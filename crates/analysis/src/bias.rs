@@ -1,0 +1,145 @@
+//! Bias bookkeeping: trajectories of the fraction of correct agents.
+
+/// A recorded trajectory of the fraction of correct agents over phases or rounds.
+///
+/// # Example
+///
+/// ```
+/// use analysis::BiasTrajectory;
+///
+/// let mut trajectory = BiasTrajectory::new();
+/// trajectory.push(0.52);
+/// trajectory.push(0.6);
+/// trajectory.push(0.99);
+/// assert_eq!(trajectory.len(), 3);
+/// assert!((trajectory.final_bias().unwrap() - 0.49).abs() < 1e-12);
+/// assert!(trajectory.is_monotonically_non_decreasing(1e-9));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BiasTrajectory {
+    fractions: Vec<f64>,
+}
+
+impl BiasTrajectory {
+    /// An empty trajectory.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a trajectory from recorded fractions of correct agents.
+    #[must_use]
+    pub fn from_fractions(fractions: Vec<f64>) -> Self {
+        Self { fractions }
+    }
+
+    /// Appends the fraction of correct agents after one more phase/round.
+    pub fn push(&mut self, fraction_correct: f64) {
+        self.fractions.push(fraction_correct);
+    }
+
+    /// Number of recorded points.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.fractions.len()
+    }
+
+    /// Whether the trajectory is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.fractions.is_empty()
+    }
+
+    /// The recorded fractions of correct agents.
+    #[must_use]
+    pub fn fractions(&self) -> &[f64] {
+        &self.fractions
+    }
+
+    /// The recorded biases (`fraction − 1/2`).
+    #[must_use]
+    pub fn biases(&self) -> Vec<f64> {
+        self.fractions.iter().map(|f| f - 0.5).collect()
+    }
+
+    /// The final bias, if any point was recorded.
+    #[must_use]
+    pub fn final_bias(&self) -> Option<f64> {
+        self.fractions.last().map(|f| f - 0.5)
+    }
+
+    /// First index at which the fraction of correct agents reached `threshold`, if any.
+    #[must_use]
+    pub fn first_reaching(&self, threshold: f64) -> Option<usize> {
+        self.fractions.iter().position(|&f| f >= threshold)
+    }
+
+    /// Whether each point is at least the previous one minus `slack`
+    /// (the boosting stage should essentially never lose ground).
+    #[must_use]
+    pub fn is_monotonically_non_decreasing(&self, slack: f64) -> bool {
+        self.fractions.windows(2).all(|w| w[1] + slack >= w[0])
+    }
+
+    /// The per-step multiplicative growth factors of the bias (ignoring steps
+    /// where the bias is non-positive).
+    #[must_use]
+    pub fn bias_growth_factors(&self) -> Vec<f64> {
+        self.biases()
+            .windows(2)
+            .filter(|w| w[0] > 0.0)
+            .map(|w| w[1] / w[0])
+            .collect()
+    }
+}
+
+impl FromIterator<f64> for BiasTrajectory {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        Self {
+            fractions: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_trajectory_behaves() {
+        let t = BiasTrajectory::new();
+        assert!(t.is_empty());
+        assert_eq!(t.final_bias(), None);
+        assert_eq!(t.first_reaching(0.5), None);
+        assert!(t.is_monotonically_non_decreasing(0.0));
+        assert!(t.bias_growth_factors().is_empty());
+    }
+
+    #[test]
+    fn biases_and_fractions_are_consistent() {
+        let t: BiasTrajectory = [0.5, 0.6, 0.75].into_iter().collect();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.fractions(), &[0.5, 0.6, 0.75]);
+        let biases = t.biases();
+        assert!((biases[1] - 0.1).abs() < 1e-12);
+        assert!((t.final_bias().unwrap() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn threshold_and_monotonicity_queries() {
+        let t = BiasTrajectory::from_fractions(vec![0.51, 0.55, 0.54, 0.9, 1.0]);
+        assert_eq!(t.first_reaching(0.9), Some(3));
+        assert_eq!(t.first_reaching(1.01), None);
+        assert!(!t.is_monotonically_non_decreasing(0.0));
+        assert!(t.is_monotonically_non_decreasing(0.02));
+    }
+
+    #[test]
+    fn growth_factors_skip_non_positive_biases() {
+        let t = BiasTrajectory::from_fractions(vec![0.45, 0.55, 0.65]);
+        let factors = t.bias_growth_factors();
+        // Only the 0.05 -> 0.15 step counts (the first has negative bias).
+        assert_eq!(factors.len(), 1);
+        assert!((factors[0] - 3.0).abs() < 1e-9);
+    }
+}

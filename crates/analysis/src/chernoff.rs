@@ -1,0 +1,161 @@
+//! The multiplicative Chernoff bounds of paper §1.7.
+//!
+//! For independent (or negatively-correlated, per Panconesi–Srinivasan)
+//! Bernoulli variables with sum `X` and mean `μ = E[X]`:
+//!
+//! * upper tail: `Pr[X ≥ (1+δ)μ] ≤ exp(−δ²μ/3)`   (Equation 1)
+//! * lower tail: `Pr[X ≤ (1−δ)μ] ≤ exp(−δ²μ/2)`   (Equation 2)
+//!
+//! for any `0 < δ < 1`.  These are the only concentration tools the paper's
+//! analysis needs; the experiments use them to derive predicted failure
+//! probabilities to put next to the measured ones.
+
+/// Upper bound on `Pr[X ≥ (1+δ)·mean]` (paper Equation 1).
+///
+/// Returns `1.0` (a vacuous bound) when `δ` or `mean` are outside the valid
+/// range, so the function is total and safe to call on experiment data.
+#[must_use]
+pub fn upper_tail(delta: f64, mean: f64) -> f64 {
+    if !(0.0..1.0).contains(&delta) || delta == 0.0 || mean <= 0.0 {
+        return 1.0;
+    }
+    (-delta * delta * mean / 3.0).exp().min(1.0)
+}
+
+/// Upper bound on `Pr[X ≤ (1−δ)·mean]` (paper Equation 2).
+///
+/// Returns `1.0` (a vacuous bound) when `δ` or `mean` are outside the valid range.
+#[must_use]
+pub fn lower_tail(delta: f64, mean: f64) -> f64 {
+    if !(0.0..1.0).contains(&delta) || delta == 0.0 || mean <= 0.0 {
+        return 1.0;
+    }
+    (-delta * delta * mean / 2.0).exp().min(1.0)
+}
+
+/// The smallest mean `μ` for which the lower-tail bound drops below
+/// `failure_probability` at relative deviation `δ`.
+///
+/// Used to reproduce the paper's "choose `s` large enough" arguments: e.g.
+/// Claim 2.2 needs `e^{−ε²·Y₀/8} ≤ n^{−c}`, i.e. `Y₀ ≥ 8·c·ln n / ε²`.
+#[must_use]
+pub fn required_mean(delta: f64, failure_probability: f64) -> f64 {
+    if !(0.0..1.0).contains(&delta) || delta == 0.0 {
+        return f64::INFINITY;
+    }
+    if failure_probability <= 0.0 || failure_probability >= 1.0 {
+        return 0.0;
+    }
+    2.0 * (1.0 / failure_probability).ln() / (delta * delta)
+}
+
+/// Exact tail probability `Pr[Bin(trials, p) ≥ threshold]`, computed by
+/// summing the binomial mass; used in tests and small-sample predictions
+/// where the Chernoff bound is too loose.
+///
+/// Returns `0.0` when `threshold > trials`.
+#[must_use]
+pub fn binomial_upper_tail(trials: u64, p: f64, threshold: u64) -> f64 {
+    if threshold > trials {
+        return 0.0;
+    }
+    if threshold == 0 {
+        return 1.0;
+    }
+    let p = p.clamp(0.0, 1.0);
+    // Iterate the pmf multiplicatively for numerical stability at small sizes.
+    let q = 1.0 - p;
+    let mut pmf = q.powf(trials as f64); // Pr[X = 0]
+    let mut cdf_below = 0.0;
+    for k in 0..threshold {
+        cdf_below += pmf;
+        // pmf(k+1) = pmf(k) * (n-k)/(k+1) * p/q
+        let k_f = k as f64;
+        if q == 0.0 {
+            pmf = 0.0;
+        } else {
+            pmf *= (trials as f64 - k_f) / (k_f + 1.0) * (p / q);
+        }
+    }
+    (1.0 - cdf_below).clamp(0.0, 1.0)
+}
+
+/// Probability that the majority of `2r + 1` independent samples, each correct
+/// with probability `p`, is correct.
+#[must_use]
+pub fn majority_correct_probability(samples: u64, p: f64) -> f64 {
+    debug_assert_eq!(samples % 2, 1, "majorities need an odd sample count");
+    binomial_upper_tail(samples, p, samples / 2 + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tails_are_probabilities_and_decay_with_the_mean() {
+        for &mean in &[1.0, 10.0, 100.0, 1_000.0] {
+            let up = upper_tail(0.3, mean);
+            let low = lower_tail(0.3, mean);
+            assert!((0.0..=1.0).contains(&up));
+            assert!((0.0..=1.0).contains(&low));
+        }
+        assert!(upper_tail(0.3, 1_000.0) < upper_tail(0.3, 10.0));
+        assert!(lower_tail(0.3, 1_000.0) < lower_tail(0.3, 10.0));
+    }
+
+    #[test]
+    fn lower_tail_is_tighter_than_upper_tail() {
+        // exp(-δ²μ/2) ≤ exp(-δ²μ/3)
+        assert!(lower_tail(0.4, 50.0) <= upper_tail(0.4, 50.0));
+    }
+
+    #[test]
+    fn out_of_range_inputs_give_vacuous_bounds() {
+        assert_eq!(upper_tail(0.0, 10.0), 1.0);
+        assert_eq!(upper_tail(1.5, 10.0), 1.0);
+        assert_eq!(lower_tail(0.3, -1.0), 1.0);
+    }
+
+    #[test]
+    fn required_mean_inverts_the_lower_tail() {
+        let delta = 0.25;
+        let target = 1e-6;
+        let mean = required_mean(delta, target);
+        let achieved = lower_tail(delta, mean);
+        assert!(achieved <= target * 1.0001);
+        assert_eq!(required_mean(0.0, 0.1), f64::INFINITY);
+        assert_eq!(required_mean(0.3, 2.0), 0.0);
+    }
+
+    #[test]
+    fn binomial_tail_matches_hand_computed_values() {
+        // Pr[Bin(3, 0.5) >= 2] = 0.5
+        assert!((binomial_upper_tail(3, 0.5, 2) - 0.5).abs() < 1e-12);
+        // Pr[Bin(2, 0.5) >= 1] = 0.75
+        assert!((binomial_upper_tail(2, 0.5, 1) - 0.75).abs() < 1e-12);
+        // Degenerate cases.
+        assert_eq!(binomial_upper_tail(5, 0.3, 0), 1.0);
+        assert_eq!(binomial_upper_tail(5, 0.3, 6), 0.0);
+        assert!((binomial_upper_tail(5, 1.0, 5) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn majority_probability_grows_with_sample_count_and_bias() {
+        let p = 0.55;
+        let small = majority_correct_probability(5, p);
+        let large = majority_correct_probability(101, p);
+        assert!(large > small);
+        assert!(majority_correct_probability(21, 0.7) > majority_correct_probability(21, 0.55));
+        // A fair coin gives exactly 1/2 for odd sample counts.
+        assert!((majority_correct_probability(9, 0.5) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn chernoff_upper_bounds_the_exact_binomial_tail() {
+        // X ~ Bin(200, 0.5), mean 100; Pr[X >= 130] should be below exp-bound.
+        let exact = binomial_upper_tail(200, 0.5, 130);
+        let bound = upper_tail(0.3, 100.0);
+        assert!(exact <= bound, "exact {exact} vs bound {bound}");
+    }
+}

@@ -1,0 +1,179 @@
+//! Empirical estimators: success rates with confidence intervals, means and
+//! standard deviations.
+
+/// An empirical success rate over repeated trials, with a Wilson confidence interval.
+///
+/// # Example
+///
+/// ```
+/// use analysis::SuccessRate;
+///
+/// let mut rate = SuccessRate::new();
+/// for i in 0..20 {
+///     rate.record(i % 5 != 0); // 16 successes out of 20
+/// }
+/// assert!((rate.estimate() - 0.8).abs() < 1e-12);
+/// let (lo, hi) = rate.wilson_interval(1.96);
+/// assert!(lo < 0.8 && 0.8 < hi);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SuccessRate {
+    successes: u64,
+    trials: u64,
+}
+
+impl SuccessRate {
+    /// An empty estimator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an estimator directly from counts.
+    #[must_use]
+    pub fn from_counts(successes: u64, trials: u64) -> Self {
+        Self { successes, trials }
+    }
+
+    /// Records the outcome of one trial.
+    pub fn record(&mut self, success: bool) {
+        self.trials += 1;
+        if success {
+            self.successes += 1;
+        }
+    }
+
+    /// Number of recorded trials.
+    #[must_use]
+    pub fn trials(&self) -> u64 {
+        self.trials
+    }
+
+    /// Number of recorded successes.
+    #[must_use]
+    pub fn successes(&self) -> u64 {
+        self.successes
+    }
+
+    /// The point estimate (0 when no trials were recorded).
+    #[must_use]
+    pub fn estimate(&self) -> f64 {
+        if self.trials == 0 {
+            0.0
+        } else {
+            self.successes as f64 / self.trials as f64
+        }
+    }
+
+    /// The Wilson score interval at the given z-value (e.g. `1.96` for 95%).
+    ///
+    /// Returns `(0, 1)` when no trials were recorded.
+    #[must_use]
+    pub fn wilson_interval(&self, z: f64) -> (f64, f64) {
+        if self.trials == 0 {
+            return (0.0, 1.0);
+        }
+        let n = self.trials as f64;
+        let p = self.estimate();
+        let z2 = z * z;
+        let denom = 1.0 + z2 / n;
+        let centre = (p + z2 / (2.0 * n)) / denom;
+        let half = (z / denom) * ((p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt());
+        ((centre - half).max(0.0), (centre + half).min(1.0))
+    }
+}
+
+/// Arithmetic mean of a slice (0 for an empty slice).
+#[must_use]
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Sample standard deviation of a slice (0 for fewer than two values).
+#[must_use]
+pub fn std_dev(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(values);
+    let var = values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / (values.len() - 1) as f64;
+    var.sqrt()
+}
+
+/// Median of a slice (0 for an empty slice); does not require sorted input.
+#[must_use]
+pub fn median(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let mid = sorted.len() / 2;
+    if sorted.len() % 2 == 1 {
+        sorted[mid]
+    } else {
+        (sorted[mid - 1] + sorted[mid]) / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_estimators_are_safe() {
+        let rate = SuccessRate::new();
+        assert_eq!(rate.estimate(), 0.0);
+        assert_eq!(rate.wilson_interval(1.96), (0.0, 1.0));
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(std_dev(&[]), 0.0);
+        assert_eq!(median(&[]), 0.0);
+    }
+
+    #[test]
+    fn success_rate_counts_and_estimates() {
+        let mut rate = SuccessRate::new();
+        for i in 0..10 {
+            rate.record(i < 7);
+        }
+        assert_eq!(rate.trials(), 10);
+        assert_eq!(rate.successes(), 7);
+        assert!((rate.estimate() - 0.7).abs() < 1e-12);
+        assert_eq!(rate, SuccessRate::from_counts(7, 10));
+    }
+
+    #[test]
+    fn wilson_interval_contains_the_estimate_and_narrows_with_trials() {
+        let narrow = SuccessRate::from_counts(800, 1_000);
+        let wide = SuccessRate::from_counts(8, 10);
+        let (nl, nh) = narrow.wilson_interval(1.96);
+        let (wl, wh) = wide.wilson_interval(1.96);
+        assert!(nl < 0.8 && 0.8 < nh);
+        assert!(wl < 0.8 && 0.8 < wh);
+        assert!(nh - nl < wh - wl);
+        assert!(nl >= 0.0 && nh <= 1.0);
+    }
+
+    #[test]
+    fn extreme_rates_stay_within_bounds() {
+        let all = SuccessRate::from_counts(50, 50);
+        let (lo, hi) = all.wilson_interval(1.96);
+        assert!(lo > 0.9 && (hi - 1.0).abs() < 1e-12);
+        let none = SuccessRate::from_counts(0, 50);
+        let (lo, hi) = none.wilson_interval(1.96);
+        assert!((lo - 0.0).abs() < 1e-12 && hi < 0.1);
+    }
+
+    #[test]
+    fn mean_std_and_median_match_hand_computations() {
+        let values = [1.0, 2.0, 3.0, 4.0];
+        assert!((mean(&values) - 2.5).abs() < 1e-12);
+        assert!((std_dev(&values) - 1.2909944487358056).abs() < 1e-12);
+        assert!((median(&values) - 2.5).abs() < 1e-12);
+        assert!((median(&[3.0, 1.0, 2.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(std_dev(&[5.0]), 0.0);
+    }
+}

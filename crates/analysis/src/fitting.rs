@@ -1,0 +1,131 @@
+//! Least-squares fits used to verify scaling shapes (`log n`, `1/ε²`).
+
+/// The result of a simple linear least-squares fit `y ≈ slope·x + intercept`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearFit {
+    /// Fitted slope.
+    pub slope: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Coefficient of determination `R²` (1 means a perfect fit).
+    pub r_squared: f64,
+}
+
+/// Fits `y ≈ slope·x + intercept` by ordinary least squares.
+///
+/// Returns `None` if fewer than two points are given or all `x` are identical.
+///
+/// # Example
+///
+/// ```
+/// use analysis::fit_linear;
+///
+/// let xs = [1.0, 2.0, 3.0, 4.0];
+/// let ys = [2.1, 3.9, 6.1, 8.0];
+/// let fit = fit_linear(&xs, &ys).unwrap();
+/// assert!((fit.slope - 2.0).abs() < 0.1);
+/// assert!(fit.r_squared > 0.99);
+/// ```
+#[must_use]
+pub fn fit_linear(xs: &[f64], ys: &[f64]) -> Option<LinearFit> {
+    if xs.len() != ys.len() || xs.len() < 2 {
+        return None;
+    }
+    let n = xs.len() as f64;
+    let mean_x = xs.iter().sum::<f64>() / n;
+    let mean_y = ys.iter().sum::<f64>() / n;
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    let mut syy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        sxx += (x - mean_x) * (x - mean_x);
+        sxy += (x - mean_x) * (y - mean_y);
+        syy += (y - mean_y) * (y - mean_y);
+    }
+    if sxx == 0.0 {
+        return None;
+    }
+    let slope = sxy / sxx;
+    let intercept = mean_y - slope * mean_x;
+    let r_squared = if syy == 0.0 {
+        1.0
+    } else {
+        (sxy * sxy) / (sxx * syy)
+    };
+    Some(LinearFit {
+        slope,
+        intercept,
+        r_squared,
+    })
+}
+
+/// Fits a power law `y ≈ c·x^exponent` by linear regression in log-log space.
+///
+/// Returns `None` if any input is non-positive or the linear fit fails.
+/// The returned pair is `(exponent, c)` along with the log-space `R²`.
+#[must_use]
+pub fn fit_power_law(xs: &[f64], ys: &[f64]) -> Option<(f64, f64, f64)> {
+    if xs.iter().any(|&x| x <= 0.0) || ys.iter().any(|&y| y <= 0.0) {
+        return None;
+    }
+    let log_x: Vec<f64> = xs.iter().map(|x| x.ln()).collect();
+    let log_y: Vec<f64> = ys.iter().map(|y| y.ln()).collect();
+    let fit = fit_linear(&log_x, &log_y)?;
+    Some((fit.slope, fit.intercept.exp(), fit.r_squared))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_line_is_recovered() {
+        let xs: Vec<f64> = (1..=10).map(f64::from).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x - 1.0).collect();
+        let fit = fit_linear(&xs, &ys).unwrap();
+        assert!((fit.slope - 3.0).abs() < 1e-9);
+        assert!((fit.intercept + 1.0).abs() < 1e-9);
+        assert!((fit.r_squared - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_inputs_yield_none() {
+        assert!(fit_linear(&[1.0], &[2.0]).is_none());
+        assert!(fit_linear(&[1.0, 1.0], &[2.0, 3.0]).is_none());
+        assert!(fit_linear(&[1.0, 2.0], &[2.0]).is_none());
+        assert!(fit_power_law(&[1.0, -2.0], &[1.0, 2.0]).is_none());
+        assert!(fit_power_law(&[1.0, 2.0], &[0.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn power_law_exponent_is_recovered() {
+        let xs: Vec<f64> = (1..=20).map(f64::from).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 5.0 * x.powf(2.0)).collect();
+        let (exponent, c, r2) = fit_power_law(&xs, &ys).unwrap();
+        assert!((exponent - 2.0).abs() < 1e-9);
+        assert!((c - 5.0).abs() < 1e-6);
+        assert!(r2 > 0.999);
+    }
+
+    #[test]
+    fn constant_data_has_perfect_r_squared() {
+        let xs = [1.0, 2.0, 3.0];
+        let ys = [4.0, 4.0, 4.0];
+        let fit = fit_linear(&xs, &ys).unwrap();
+        assert!((fit.slope - 0.0).abs() < 1e-12);
+        assert!((fit.r_squared - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisy_line_still_fits_well() {
+        let xs: Vec<f64> = (1..=30).map(f64::from).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, x)| 2.0 * x + if i % 2 == 0 { 0.3 } else { -0.3 })
+            .collect();
+        let fit = fit_linear(&xs, &ys).unwrap();
+        assert!((fit.slope - 2.0).abs() < 0.05);
+        assert!(fit.r_squared > 0.99);
+    }
+}

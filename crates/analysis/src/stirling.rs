@@ -1,0 +1,152 @@
+//! Stirling-formula bounds and the two-step imaginary process of Lemma 2.11.
+//!
+//! Claim 2.12 of the paper lower-bounds the probability that a fair-coin
+//! population of `2r + 1` players lands within `x` of a tie:
+//! `Pr[U_x] > x / (10 √r)` for `1 ≤ x ≤ √r`.  Lemma 2.11 then shows that the
+//! majority of `γ = 2r + 1` noisy samples from a population with bias `δ` is
+//! correct with probability at least `min{1/2 + 4δ, 1/2 + 1/100}`.  This
+//! module provides both the paper's closed-form bounds and exact evaluations
+//! so experiments can compare measured boost probabilities against them.
+
+/// Natural-log factorial via the `ln Γ` series (adequate for the modest sizes
+/// used in the analysis; exact for small integers by direct summation).
+fn ln_factorial(n: u64) -> f64 {
+    if n < 2 {
+        return 0.0;
+    }
+    if n <= 256 {
+        return (2..=n).map(|k| (k as f64).ln()).sum();
+    }
+    // Stirling's series with the 1/(12n) correction term.
+    let n_f = n as f64;
+    n_f * n_f.ln() - n_f + 0.5 * (2.0 * std::f64::consts::PI * n_f).ln() + 1.0 / (12.0 * n_f)
+}
+
+/// Probability that a fair binomial `Bin(2r+1, 1/2)` equals exactly `r + i`
+/// ("`i` more wrong than right" in the paper's imaginary first step).
+#[must_use]
+pub fn central_binomial_probability(r: u64, i: u64) -> f64 {
+    let n = 2 * r + 1;
+    if r + i > n {
+        return 0.0;
+    }
+    let k = r + i;
+    let ln_p = ln_factorial(n) - ln_factorial(k) - ln_factorial(n - k)
+        - n as f64 * std::f64::consts::LN_2;
+    ln_p.exp()
+}
+
+/// The paper's Claim 2.12 lower bound `x / (10 √r)` on `Pr[U_x]`, the
+/// probability that the first step leaves between `r+1` and `r+x` wrong players.
+#[must_use]
+pub fn claim_2_12_lower_bound(r: u64, x: u64) -> f64 {
+    if r == 0 || x == 0 {
+        return 0.0;
+    }
+    x as f64 / (10.0 * (r as f64).sqrt())
+}
+
+/// Exact value of `Pr[U_x] = Σ_{i=1..x} Pr[exactly r+i wrong]`.
+#[must_use]
+pub fn probability_near_tie(r: u64, x: u64) -> f64 {
+    (1..=x).map(|i| central_binomial_probability(r, i)).sum()
+}
+
+/// The paper's Lemma 2.11 guarantee: the probability that the majority of
+/// `γ = 2r+1` noisy samples from a population with bias `δ` towards the
+/// correct opinion is itself correct is at least `min{1/2 + 4δ, 1/2 + 1/100}`.
+#[must_use]
+pub fn lemma_2_11_lower_bound(delta: f64) -> f64 {
+    0.5 + (4.0 * delta).min(0.01)
+}
+
+/// Exact probability that the majority of `gamma` samples is correct when each
+/// sample is independently correct with probability `1/2 + 2·ε·δ`
+/// (the per-sample correctness derived at the start of Lemma 2.11).
+#[must_use]
+pub fn exact_majority_boost(gamma: u64, epsilon: f64, delta: f64) -> f64 {
+    let p = 0.5 + 2.0 * epsilon * delta;
+    crate::chernoff::majority_correct_probability(gamma, p.clamp(0.0, 1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_factorial_matches_known_values() {
+        assert!((ln_factorial(0) - 0.0).abs() < 1e-12);
+        assert!((ln_factorial(1) - 0.0).abs() < 1e-12);
+        assert!((ln_factorial(5) - (120.0f64).ln()).abs() < 1e-9);
+        assert!((ln_factorial(10) - (3_628_800.0f64).ln()).abs() < 1e-9);
+        // The Stirling branch should agree closely with the direct branch near
+        // the crossover.
+        let direct: f64 = (2..=300u64).map(|k| (k as f64).ln()).sum();
+        assert!((ln_factorial(300) - direct).abs() / direct < 1e-9);
+    }
+
+    #[test]
+    fn central_binomial_probabilities_sum_to_at_most_one() {
+        let r = 40;
+        let total: f64 = (0..=(r + 1)).map(|i| central_binomial_probability(r, i)).sum();
+        assert!(total <= 1.0 + 1e-9);
+        assert!(total > 0.4, "mass above the tie should be close to 1/2");
+    }
+
+    #[test]
+    fn claim_2_12_bound_holds_for_exact_probabilities() {
+        // Verify Pr[U_x] > x / (10 sqrt r) for a range of r and x <= sqrt r.
+        for &r in &[9u64, 25, 64, 144, 400] {
+            let sqrt_r = (r as f64).sqrt() as u64;
+            for x in 1..=sqrt_r {
+                let exact = probability_near_tie(r, x);
+                let bound = claim_2_12_lower_bound(r, x);
+                assert!(
+                    exact > bound,
+                    "r={r}, x={x}: exact {exact} <= bound {bound}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lemma_2_11_bound_is_capped() {
+        assert!((lemma_2_11_lower_bound(0.001) - 0.504).abs() < 1e-12);
+        assert!((lemma_2_11_lower_bound(0.3) - 0.51).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exact_boost_dominates_the_papers_bound_for_large_gamma() {
+        // With a comfortably large sample count (γ ≈ 16/ε²) the exact majority
+        // probability exceeds the paper's min{1/2+4δ, ...} guarantee; the
+        // paper's own constants are far larger still.
+        let epsilon = 0.2;
+        let gamma = 401; // ≈ 16 / 0.04, odd
+        for &delta in &[0.005, 0.01, 0.05, 0.1, 0.25] {
+            let exact = exact_majority_boost(gamma, epsilon, delta);
+            let bound = lemma_2_11_lower_bound(delta);
+            assert!(
+                exact >= bound - 1e-9,
+                "delta={delta}: exact {exact} < bound {bound}"
+            );
+        }
+    }
+
+    #[test]
+    fn exact_boost_increases_with_delta_and_gamma() {
+        let epsilon = 0.2;
+        assert!(
+            exact_majority_boost(101, epsilon, 0.1) > exact_majority_boost(101, epsilon, 0.01)
+        );
+        assert!(
+            exact_majority_boost(301, epsilon, 0.05) > exact_majority_boost(51, epsilon, 0.05)
+        );
+    }
+
+    #[test]
+    fn degenerate_inputs_are_handled() {
+        assert_eq!(claim_2_12_lower_bound(0, 5), 0.0);
+        assert_eq!(claim_2_12_lower_bound(5, 0), 0.0);
+        assert_eq!(central_binomial_probability(3, 10), 0.0);
+    }
+}

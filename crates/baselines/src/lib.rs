@@ -1,0 +1,82 @@
+//! Comparator protocols ("baselines") for the *Breathe before Speaking*
+//! reproduction.
+//!
+//! The paper motivates its protocol by explaining why the obvious strategies
+//! fail in the Flip model (§1.6) and by situating it among related dynamics
+//! from distributed computing and physics (§1.2).  This crate implements those
+//! comparators so that the experiments can reproduce the paper's qualitative
+//! comparisons:
+//!
+//! * [`forwarding`] — *immediately forward what you heard*: reliability decays
+//!   exponentially with the hop count, so the population converges to a
+//!   near-coin-flip mixture.
+//! * [`wait_source`] — *stay silent and listen only to the source*: reliable
+//!   but needs `Θ(n log n / ε²)` rounds, a factor `n` slower than breathe.
+//! * [`two_choices`] — the two-choices majority dynamics of Doerr et al.,
+//!   which converges from a large initial bias in the noiseless setting but
+//!   has no mechanism to create a bias from a single source under noise.
+//! * [`three_state`] — the Angluin–Aspnes–Eisenstat three-state approximate
+//!   majority population protocol (needs a third symbol, which the Flip model
+//!   forbids; simulated with pairwise interactions for comparison).
+//! * [`noisy_voter`] — the physicists' noisy voter model with a zealot source,
+//!   whose convergence time is polynomial in `n`.
+//! * [`path_deterioration`] — the `1/2 + (2ε)^c / 2` per-hop reliability decay
+//!   that motivates breathing before speaking.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod forwarding;
+pub mod noisy_voter;
+pub mod path_deterioration;
+pub mod three_state;
+pub mod two_choices;
+pub mod wait_source;
+
+pub use forwarding::{ForwardingAgent, ForwardingProtocol};
+pub use noisy_voter::NoisyVoterProtocol;
+pub use path_deterioration::{chain_correct_probability, simulate_chain};
+pub use three_state::{ThreeState, ThreeStateProtocol};
+pub use two_choices::TwoChoicesProtocol;
+pub use wait_source::WaitForSourceProtocol;
+
+use flip_model::Opinion;
+
+/// The outcome shared by every baseline runner.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineOutcome {
+    /// Population size.
+    pub n: usize,
+    /// Noise margin `ε` of the channel the baseline ran over.
+    pub epsilon: f64,
+    /// The correct opinion the population was supposed to converge to.
+    pub correct: Opinion,
+    /// Rounds executed.
+    pub rounds: u64,
+    /// Messages (bits) pushed in total.
+    pub messages_sent: u64,
+    /// Fraction of all agents holding the correct opinion at the end.
+    pub fraction_correct: f64,
+    /// Whether every agent held the correct opinion at the end.
+    pub all_correct: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_outcome_is_plain_data() {
+        let outcome = BaselineOutcome {
+            n: 10,
+            epsilon: 0.2,
+            correct: Opinion::One,
+            rounds: 5,
+            messages_sent: 40,
+            fraction_correct: 0.7,
+            all_correct: false,
+        };
+        let copy = outcome.clone();
+        assert_eq!(outcome, copy);
+    }
+}

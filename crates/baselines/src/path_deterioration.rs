@@ -1,0 +1,112 @@
+//! Per-hop reliability decay along a forwarding chain (paper §1.6).
+//!
+//! If a bit is relayed over a path of `c` noisy hops, each flipping it
+//! independently with probability `1/2 − ε`, then the probability that the
+//! final copy equals the original is exactly `1/2 + (2ε)^c / 2`.  This is the
+//! quantitative reason why "immediately forward what you heard" fails: the
+//! typical agent in a push-gossip spread sits at depth `Θ(log n)`, so its
+//! first message is essentially a coin flip.
+
+use flip_model::{BinarySymmetricChannel, Channel, FlipError, Opinion, SimRng};
+
+/// Exact probability that a bit relayed over `hops` independent binary
+/// symmetric channels with crossover `1/2 − ε` arrives uncorrupted.
+///
+/// # Example
+///
+/// ```
+/// use baselines::chain_correct_probability;
+///
+/// // One hop: 1/2 + ε.
+/// assert!((chain_correct_probability(0.2, 1) - 0.7).abs() < 1e-12);
+/// // Long chains converge to a fair coin.
+/// assert!((chain_correct_probability(0.2, 20) - 0.5).abs() < 1e-6);
+/// ```
+#[must_use]
+pub fn chain_correct_probability(epsilon: f64, hops: u32) -> f64 {
+    0.5 + 0.5 * (2.0 * epsilon).powi(hops as i32)
+}
+
+/// Monte-Carlo estimate of the same probability, obtained by actually pushing
+/// a bit through `hops` instances of [`BinarySymmetricChannel`].
+///
+/// # Errors
+///
+/// Returns [`FlipError::InvalidEpsilon`] if `ε ∉ (0, 1/2]` and
+/// [`FlipError::InvalidParameter`] if `trials` is zero.
+pub fn simulate_chain(
+    epsilon: f64,
+    hops: u32,
+    trials: u32,
+    seed: u64,
+) -> Result<f64, FlipError> {
+    if trials == 0 {
+        return Err(FlipError::InvalidParameter {
+            name: "trials",
+            message: "at least one trial is required".to_string(),
+        });
+    }
+    let channel = BinarySymmetricChannel::from_epsilon(epsilon)?;
+    let mut rng = SimRng::from_seed(seed);
+    let mut correct = 0u32;
+    for _ in 0..trials {
+        let original = Opinion::random(&mut rng);
+        let mut bit = original;
+        for _ in 0..hops {
+            bit = channel.transmit(bit, &mut rng);
+        }
+        if bit == original {
+            correct += 1;
+        }
+    }
+    Ok(f64::from(correct) / f64::from(trials))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_hops_are_always_correct() {
+        assert!((chain_correct_probability(0.1, 0) - 1.0).abs() < 1e-12);
+        let simulated = simulate_chain(0.1, 0, 1_000, 1).unwrap();
+        assert!((simulated - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn probability_decreases_monotonically_with_hops() {
+        let eps = 0.25;
+        let mut last = 1.0;
+        for hops in 0..10 {
+            let p = chain_correct_probability(eps, hops);
+            assert!(p <= last + 1e-12);
+            assert!(p >= 0.5);
+            last = p;
+        }
+    }
+
+    #[test]
+    fn simulation_matches_the_closed_form() {
+        for &(eps, hops) in &[(0.3, 1u32), (0.3, 3), (0.2, 5), (0.45, 2)] {
+            let exact = chain_correct_probability(eps, hops);
+            let simulated = simulate_chain(eps, hops, 40_000, 7).unwrap();
+            assert!(
+                (exact - simulated).abs() < 0.02,
+                "eps={eps} hops={hops}: exact {exact} vs simulated {simulated}"
+            );
+        }
+    }
+
+    #[test]
+    fn invalid_inputs_are_rejected() {
+        assert!(simulate_chain(0.0, 3, 100, 0).is_err());
+        assert!(simulate_chain(0.3, 3, 0, 0).is_err());
+    }
+
+    #[test]
+    fn noiseless_chain_is_perfect() {
+        assert!((chain_correct_probability(0.5, 30) - 1.0).abs() < 1e-12);
+        let simulated = simulate_chain(0.5, 30, 500, 3).unwrap();
+        assert!((simulated - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,69 @@
+//! Microbenchmarks of the Flip-model substrate itself (engine, scheduler,
+//! channel), used as an ablation reference point: how much of the protocol's
+//! wall-clock cost is the communication substrate versus protocol logic.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flip_model::{
+    Agent, BinarySymmetricChannel, Channel, GossipScheduler, Opinion, Round, SimRng, Simulation,
+    SimulationConfig,
+};
+
+struct Beacon(Opinion);
+
+impl Agent for Beacon {
+    fn send(&mut self, _round: Round, _rng: &mut SimRng) -> Option<Opinion> {
+        Some(self.0)
+    }
+    fn deliver(&mut self, _round: Round, _message: Opinion, _rng: &mut SimRng) {}
+    fn opinion(&self) -> Option<Opinion> {
+        Some(self.0)
+    }
+}
+
+fn substrate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+
+    // Raw channel throughput.
+    let channel = BinarySymmetricChannel::from_epsilon(0.2).expect("valid");
+    group.bench_function("channel_transmit_10k", |b| {
+        let mut rng = SimRng::from_seed(1);
+        b.iter(|| {
+            let mut flips = 0u32;
+            for _ in 0..10_000 {
+                if channel.transmit(Opinion::One, &mut rng) == Opinion::Zero {
+                    flips += 1;
+                }
+            }
+            flips
+        });
+    });
+
+    // Scheduler routing with everyone sending.
+    for &n in &[1_000usize, 10_000] {
+        group.bench_with_input(BenchmarkId::new("route_all_send", n), &n, |b, &n| {
+            let mut scheduler = GossipScheduler::new(n).expect("valid population");
+            let mut rng = SimRng::from_seed(2);
+            let sends: Vec<(usize, Opinion)> = (0..n).map(|i| (i, Opinion::One)).collect();
+            b.iter(|| scheduler.route(&sends, &mut rng).sent);
+        });
+    }
+
+    // One full engine round with everyone sending.
+    for &n in &[1_000usize, 10_000] {
+        group.bench_with_input(BenchmarkId::new("engine_round_all_send", n), &n, |b, &n| {
+            let agents: Vec<Beacon> = (0..n).map(|_| Beacon(Opinion::One)).collect();
+            let channel = BinarySymmetricChannel::from_epsilon(0.2).expect("valid");
+            let config = SimulationConfig::new(n).with_seed(3);
+            let mut sim = Simulation::new(agents, channel, config).expect("valid simulation");
+            b.iter(|| sim.step().metrics.messages_sent);
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, substrate);
+criterion_main!(benches);

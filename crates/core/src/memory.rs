@@ -1,0 +1,114 @@
+//! Memory accounting for the agent state machine.
+//!
+//! The paper (§1.5) notes that its protocols can be implemented with
+//! `O(log log n + log(1/ε))` bits of memory per agent: a phase counter over
+//! `O(log n / ε²)` rounds can be maintained with `O(log log n + log(1/ε))`
+//! bits, the current opinion takes one bit, and the per-phase sample counters
+//! take `O(log(1/ε))` bits (plus `O(log log n)` for the final phase).  This
+//! module quantifies the footprint of the concrete state machine used here so
+//! that experiments can report it alongside the theoretical bound.
+
+use crate::params::Params;
+use crate::schedule::Schedule;
+
+/// Bits of per-agent state required by the protocol, broken down by component.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryFootprint {
+    /// Bits to count rounds within the longest phase.
+    pub round_in_phase_bits: u32,
+    /// Bits to store the current phase index.
+    pub phase_index_bits: u32,
+    /// Bits to store the activation level.
+    pub level_bits: u32,
+    /// Bits to store the current opinion (present/absent + value).
+    pub opinion_bits: u32,
+    /// Bits for the Stage II receive counters (zeros and ones of one phase).
+    pub sample_counter_bits: u32,
+}
+
+impl MemoryFootprint {
+    /// Total bits of protocol state per agent.
+    #[must_use]
+    pub fn total_bits(&self) -> u32 {
+        self.round_in_phase_bits
+            + self.phase_index_bits
+            + self.level_bits
+            + self.opinion_bits
+            + self.sample_counter_bits
+    }
+}
+
+/// Number of bits needed to represent values in `0..=max`.
+fn bits_for(max: u64) -> u32 {
+    64 - max.max(1).leading_zeros()
+}
+
+/// Computes the concrete memory footprint of the agent state machine for the
+/// given parameters.
+#[must_use]
+pub fn footprint(params: &Params) -> MemoryFootprint {
+    let schedule = Schedule::broadcast(params);
+    let longest_phase = schedule.phases().iter().map(|p| p.len).max().unwrap_or(1);
+    let phase_count = schedule.phase_count() as u64;
+    let level_count = schedule.spreading_phase_count() as u64;
+    MemoryFootprint {
+        round_in_phase_bits: bits_for(longest_phase),
+        phase_index_bits: bits_for(phase_count),
+        level_bits: bits_for(level_count),
+        opinion_bits: 2,
+        sample_counter_bits: 2 * bits_for(longest_phase),
+    }
+}
+
+/// The paper's asymptotic memory bound `log₂ log₂ n + log₂(1/ε)` (in bits,
+/// without constant factors), for comparison against [`footprint`].
+#[must_use]
+pub fn theoretical_bits(n: usize, epsilon: f64) -> f64 {
+    (n as f64).log2().log2().max(0.0) + (1.0 / epsilon).log2().max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_for_counts_correctly() {
+        assert_eq!(bits_for(1), 1);
+        assert_eq!(bits_for(2), 2);
+        assert_eq!(bits_for(3), 2);
+        assert_eq!(bits_for(255), 8);
+        assert_eq!(bits_for(256), 9);
+        assert_eq!(bits_for(0), 1);
+    }
+
+    #[test]
+    fn footprint_total_is_the_sum_of_components() {
+        let params = Params::practical(1_000, 0.25).unwrap();
+        let fp = footprint(&params);
+        assert_eq!(
+            fp.total_bits(),
+            fp.round_in_phase_bits
+                + fp.phase_index_bits
+                + fp.level_bits
+                + fp.opinion_bits
+                + fp.sample_counter_bits
+        );
+        assert!(fp.total_bits() < 128, "state should be tiny: {fp:?}");
+    }
+
+    #[test]
+    fn footprint_grows_slowly_with_n() {
+        let eps = 0.25;
+        let small = footprint(&Params::practical(1_000, eps).unwrap());
+        let large = footprint(&Params::practical(100_000, eps).unwrap());
+        // Doubling-log growth: going from 10^3 to 10^5 agents adds only a few bits.
+        assert!(large.total_bits() <= small.total_bits() + 8);
+    }
+
+    #[test]
+    fn theoretical_bits_increase_with_noise() {
+        let low_noise = theoretical_bits(10_000, 0.4);
+        let high_noise = theoretical_bits(10_000, 0.05);
+        assert!(high_noise > low_noise);
+    }
+}

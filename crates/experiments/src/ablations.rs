@@ -1,0 +1,224 @@
+//! Ablations of the protocol's design choices (DESIGN.md §"Key design
+//! decisions"): how much of each ingredient — the initial bias handed over by
+//! Stage I, the Stage II sample count `γ`, and the phase-0 length `βs` — is
+//! actually needed for consensus.
+//!
+//! These are not claims made by the paper, but they probe exactly the
+//! quantities its analysis identifies as critical: Stage II needs a starting
+//! bias of `Ω(√(log n / n))` (Lemma 2.14's precondition), the boost needs
+//! `γ = Ω(1/ε²)` samples (Lemma 2.11), and phase 0 needs `βs = Ω(log n / ε²)`
+//! rounds to seed a reliable committee (Claim 2.2).
+
+use analysis::estimators::{mean, SuccessRate};
+use analysis::tables::fmt_float;
+use analysis::Table;
+use breathe::{BroadcastProtocol, InitialSet, MajorityConsensusProtocol, Multipliers, Params};
+use flip_model::Opinion;
+
+use crate::{ExperimentConfig, TrialRunner};
+
+/// **A1 — how much initial bias does the boosting stage need?**
+///
+/// Every agent starts opinionated with the given bias towards the correct
+/// opinion (i.e. Stage I is replaced by an oracle of varying quality) and only
+/// the sampling/boosting machinery runs.  Consensus should appear once the
+/// bias clears the `Θ(√(ln n / n))` threshold of Lemma 2.14 and fail well
+/// below it — showing why a naive, bias-free start (immediate forwarding)
+/// cannot be rescued by Stage II alone.
+#[must_use]
+pub fn a1_required_initial_bias(cfg: &ExperimentConfig) -> Table {
+    let n = cfg.pick(1_000, 2_000);
+    let epsilon = 0.25;
+    let params = Params::practical(n, epsilon).expect("valid parameters");
+    let threshold = ((n as f64).ln() / n as f64).sqrt();
+    let mut table = Table::new(
+        "A1: consensus vs the bias handed to the boosting stage",
+        &[
+            "initial bias",
+            "threshold sqrt(ln n / n)",
+            "mean fraction correct",
+            "all-correct rate",
+        ],
+    );
+    let biases = [0.002, 0.01, 0.03, 0.08, 0.2];
+    for (idx, &bias) in biases.iter().enumerate() {
+        // The whole population is the "initial set": Stage I degenerates to a
+        // single re-broadcast phase and Stage II does all the work.
+        let initial = InitialSet::with_bias(n, bias).expect("valid bias");
+        let protocol = MajorityConsensusProtocol::new(params.clone(), Opinion::One, initial)
+            .expect("valid initial set");
+        let runner = TrialRunner::new(u64::from(cfg.trials));
+        let outcomes = runner.run(|trial| {
+            protocol
+                .run_with_seed(cfg.seed_for(2_000 + idx as u64, trial))
+                .expect("simulation construction cannot fail")
+        });
+        let mut success = SuccessRate::new();
+        let mut fractions = Vec::new();
+        for o in &outcomes {
+            success.record(o.all_correct);
+            fractions.push(o.fraction_correct);
+        }
+        table.push_row(&[
+            fmt_float(bias),
+            fmt_float(threshold),
+            fmt_float(mean(&fractions)),
+            fmt_float(success.estimate()),
+        ]);
+    }
+    table
+}
+
+/// **A2 — how large must the Stage II sample count `γ` be?**
+///
+/// Sweeps the `γ` multiplier while keeping everything else fixed.  Lemma 2.11
+/// needs `γ = Ω(1/ε²)`; with too few samples per phase the per-phase boost
+/// drops below the noise floor and consensus becomes unreliable.
+#[must_use]
+pub fn a2_gamma_requirement(cfg: &ExperimentConfig) -> Table {
+    let n = cfg.pick(600, 1_500);
+    let epsilon = 0.2;
+    let mut table = Table::new(
+        "A2: consensus vs the Stage II sample multiplier (gamma = mult / eps^2)",
+        &[
+            "gamma multiplier",
+            "gamma (samples per phase)",
+            "mean fraction correct",
+            "all-correct rate",
+        ],
+    );
+    for (idx, &gamma_mult) in [0.25f64, 0.5, 1.0, 2.0, 6.0].iter().enumerate() {
+        let multipliers = Multipliers {
+            gamma_mult,
+            ..Multipliers::practical()
+        };
+        let params =
+            Params::with_multipliers(n, epsilon, multipliers).expect("valid parameters");
+        let protocol = BroadcastProtocol::new(params.clone(), Opinion::One);
+        let runner = TrialRunner::new(u64::from(cfg.trials));
+        let outcomes = runner.run(|trial| {
+            protocol
+                .run_with_seed(cfg.seed_for(2_100 + idx as u64, trial))
+                .expect("simulation construction cannot fail")
+        });
+        let mut success = SuccessRate::new();
+        let mut fractions = Vec::new();
+        for o in &outcomes {
+            success.record(o.all_correct);
+            fractions.push(o.fraction_correct);
+        }
+        table.push_row(&[
+            fmt_float(gamma_mult),
+            params.gamma().to_string(),
+            fmt_float(mean(&fractions)),
+            fmt_float(success.estimate()),
+        ]);
+    }
+    table
+}
+
+/// **A3 — how long must phase 0 be?**
+///
+/// Sweeps the `βs` multiplier.  Claim 2.2 needs `βs = Ω(log n / ε²)` so that
+/// the seed committee is both large enough and biased enough; with a very
+/// short phase 0 the committee is too small and the downstream bias collapses.
+#[must_use]
+pub fn a3_phase0_requirement(cfg: &ExperimentConfig) -> Table {
+    let n = cfg.pick(600, 1_500);
+    let epsilon = 0.2;
+    let mut table = Table::new(
+        "A3: Stage I output bias vs the phase-0 length multiplier (beta_s = mult * ln n / eps^2)",
+        &[
+            "s multiplier",
+            "beta_s (rounds)",
+            "mean bias after Stage I",
+            "mean fraction correct at the end",
+            "all-correct rate",
+        ],
+    );
+    for (idx, &s_mult) in [0.05f64, 0.2, 0.5, 1.5].iter().enumerate() {
+        let multipliers = Multipliers {
+            s_mult,
+            ..Multipliers::practical()
+        };
+        let params =
+            Params::with_multipliers(n, epsilon, multipliers).expect("valid parameters");
+        let protocol = BroadcastProtocol::new(params.clone(), Opinion::One);
+        let runner = TrialRunner::new(u64::from(cfg.trials));
+        let outcomes = runner.run(|trial| {
+            protocol
+                .run_with_seed(cfg.seed_for(2_200 + idx as u64, trial))
+                .expect("simulation construction cannot fail")
+        });
+        let mut success = SuccessRate::new();
+        let mut stage1_bias = Vec::new();
+        let mut fractions = Vec::new();
+        for o in &outcomes {
+            success.record(o.all_correct);
+            stage1_bias.push(o.fraction_correct_after_stage1 - 0.5);
+            fractions.push(o.fraction_correct);
+        }
+        table.push_row(&[
+            fmt_float(s_mult),
+            params.beta_s().to_string(),
+            fmt_float(mean(&stage1_bias)),
+            fmt_float(mean(&fractions)),
+            fmt_float(success.estimate()),
+        ]);
+    }
+    table
+}
+
+/// Runs all ablations.
+#[must_use]
+pub fn all(cfg: &ExperimentConfig) -> Vec<Table> {
+    vec![
+        a1_required_initial_bias(cfg),
+        a2_gamma_requirement(cfg),
+        a3_phase0_requirement(cfg),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ExperimentConfig {
+        ExperimentConfig {
+            trials: 2,
+            base_seed: 12,
+            quick: true,
+        }
+    }
+
+    #[test]
+    fn a1_large_bias_succeeds_and_reports_every_row() {
+        let table = a1_required_initial_bias(&tiny());
+        assert_eq!(table.len(), 5);
+        let last = table.rows().last().unwrap();
+        let fraction: f64 = last[2].parse().unwrap();
+        assert!(fraction > 0.95, "row = {last:?}");
+    }
+
+    #[test]
+    fn a2_full_sample_count_beats_a_starved_one() {
+        let table = a2_gamma_requirement(&tiny());
+        let first: f64 = table.rows().first().unwrap()[2].parse().unwrap();
+        let last: f64 = table.rows().last().unwrap()[2].parse().unwrap();
+        assert!(last >= first, "starved {first} vs full {last}");
+        assert!(last > 0.95);
+    }
+
+    #[test]
+    fn a3_reports_every_multiplier_and_the_full_length_phase0_succeeds() {
+        let table = a3_phase0_requirement(&tiny());
+        assert_eq!(table.len(), 4);
+        let last = table.rows().last().unwrap();
+        let fraction: f64 = last[3].parse().unwrap();
+        assert!(fraction > 0.95, "row = {last:?}");
+        // beta_s grows with the multiplier.
+        let beta_first: u64 = table.rows().first().unwrap()[1].parse().unwrap();
+        let beta_last: u64 = last[1].parse().unwrap();
+        assert!(beta_last > beta_first);
+    }
+}

@@ -1,0 +1,10 @@
+//! Experiment binary `ablations`: design-choice ablations A1-A3.
+//!
+//! Usage: `cargo run --release -p experiments --bin ablations [-- --full]`
+
+fn main() {
+    let cfg = experiments::config_from_args(std::env::args().skip(1));
+    for table in experiments::ablations::all(&cfg) {
+        println!("{}", table.to_markdown());
+    }
+}

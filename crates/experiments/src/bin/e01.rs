@@ -1,0 +1,8 @@
+//! Experiment binary `e01`: broadcast rounds vs n (Theorem 2.17).
+//!
+//! Usage: `cargo run --release -p experiments --bin e01 [-- --full]`
+
+fn main() {
+    let cfg = experiments::config_from_args(std::env::args().skip(1));
+    println!("{}", experiments::scaling::e01_rounds_vs_n(&cfg).to_markdown());
+}

@@ -1,0 +1,8 @@
+//! Experiment binary `e02`: broadcast rounds vs epsilon (Theorem 2.17).
+//!
+//! Usage: `cargo run --release -p experiments --bin e02 [-- --full]`
+
+fn main() {
+    let cfg = experiments::config_from_args(std::env::args().skip(1));
+    println!("{}", experiments::scaling::e02_rounds_vs_epsilon(&cfg).to_markdown());
+}

@@ -1,0 +1,8 @@
+//! Experiment binary `e03`: message complexity (Theorem 2.17).
+//!
+//! Usage: `cargo run --release -p experiments --bin e03 [-- --full]`
+
+fn main() {
+    let cfg = experiments::config_from_args(std::env::args().skip(1));
+    println!("{}", experiments::scaling::e03_message_complexity(&cfg).to_markdown());
+}

@@ -1,0 +1,8 @@
+//! Experiment binary `e04`: phase-0 activation and bias (Claim 2.2).
+//!
+//! Usage: `cargo run --release -p experiments --bin e04 [-- --full]`
+
+fn main() {
+    let cfg = experiments::config_from_args(std::env::args().skip(1));
+    println!("{}", experiments::stage_claims::e04_phase0_seeding(&cfg).to_markdown());
+}

@@ -1,0 +1,8 @@
+//! Experiment binary `e05`: Stage I layer growth (Claim 2.4).
+//!
+//! Usage: `cargo run --release -p experiments --bin e05 [-- --full]`
+
+fn main() {
+    let cfg = experiments::config_from_args(std::env::args().skip(1));
+    println!("{}", experiments::stage_claims::e05_layer_growth(&cfg).to_markdown());
+}

@@ -1,0 +1,8 @@
+//! Experiment binary `e06`: per-level bias decay (Claim 2.8, Lemma 2.3).
+//!
+//! Usage: `cargo run --release -p experiments --bin e06 [-- --full]`
+
+fn main() {
+    let cfg = experiments::config_from_args(std::env::args().skip(1));
+    println!("{}", experiments::stage_claims::e06_bias_decay(&cfg).to_markdown());
+}

@@ -1,0 +1,8 @@
+//! Experiment binary `e07`: Stage II boost (Lemmas 2.11 and 2.14).
+//!
+//! Usage: `cargo run --release -p experiments --bin e07 [-- --full]`
+
+fn main() {
+    let cfg = experiments::config_from_args(std::env::args().skip(1));
+    for table in experiments::stage_claims::e07_stage2_boost(&cfg) { println!("{}", table.to_markdown()); }
+}

@@ -1,0 +1,8 @@
+//! Experiment binary `e08`: noisy majority-consensus (Corollary 2.18).
+//!
+//! Usage: `cargo run --release -p experiments --bin e08 [-- --full]`
+
+fn main() {
+    let cfg = experiments::config_from_args(std::env::args().skip(1));
+    println!("{}", experiments::consensus::e08_majority_consensus(&cfg).to_markdown());
+}

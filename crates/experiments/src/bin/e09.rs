@@ -1,0 +1,8 @@
+//! Experiment binary `e09`: removing the global clock (Theorem 3.1).
+//!
+//! Usage: `cargo run --release -p experiments --bin e09 [-- --full]`
+
+fn main() {
+    let cfg = experiments::config_from_args(std::env::args().skip(1));
+    println!("{}", experiments::scaling::e09_async_overhead(&cfg).to_markdown());
+}

@@ -1,0 +1,8 @@
+//! Experiment binary `e10`: baseline comparison (sections 1.2 and 1.6).
+//!
+//! Usage: `cargo run --release -p experiments --bin e10 [-- --full]`
+
+fn main() {
+    let cfg = experiments::config_from_args(std::env::args().skip(1));
+    println!("{}", experiments::comparisons::e10_baseline_comparison(&cfg).to_markdown());
+}

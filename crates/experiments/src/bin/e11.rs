@@ -1,0 +1,8 @@
+//! Experiment binary `e11`: per-hop reliability decay (section 1.6).
+//!
+//! Usage: `cargo run --release -p experiments --bin e11 [-- --full]`
+
+fn main() {
+    let cfg = experiments::config_from_args(std::env::args().skip(1));
+    println!("{}", experiments::comparisons::e11_path_deterioration(&cfg).to_markdown());
+}

@@ -1,0 +1,8 @@
+//! Experiment binary `e12`: two-party lower bound (section 1.4).
+//!
+//! Usage: `cargo run --release -p experiments --bin e12 [-- --full]`
+
+fn main() {
+    let cfg = experiments::config_from_args(std::env::args().skip(1));
+    println!("{}", experiments::comparisons::e12_two_party_lower_bound(&cfg).to_markdown());
+}

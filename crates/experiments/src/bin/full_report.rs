@@ -1,0 +1,8 @@
+//! Runs every experiment (E1-E12) and prints the combined markdown report.
+//!
+//! Usage: `cargo run --release -p experiments --bin full_report [-- --full]`
+
+fn main() {
+    let cfg = experiments::config_from_args(std::env::args().skip(1));
+    println!("{}", experiments::report::full_report(&cfg).to_markdown());
+}

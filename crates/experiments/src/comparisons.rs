@@ -1,0 +1,283 @@
+//! E10–E12: comparison against the baselines of §1.2/§1.6, the per-hop
+//! deterioration curve, and the two-party `Θ(1/ε²)` lower bound of §1.4.
+
+use analysis::chernoff::majority_correct_probability;
+use analysis::estimators::{mean, SuccessRate};
+use analysis::tables::fmt_float;
+use analysis::theory;
+use analysis::Table;
+use baselines::{
+    chain_correct_probability, simulate_chain, ForwardingProtocol, NoisyVoterProtocol,
+    ThreeStateProtocol, TwoChoicesProtocol, WaitForSourceProtocol,
+};
+use breathe::{BroadcastProtocol, Params};
+use flip_model::Opinion;
+
+use crate::{ExperimentConfig, TrialRunner};
+
+/// **E10 (§1.2, §1.6)** — final accuracy of breathe-before-speaking versus the
+/// baselines, all solving the broadcast problem (one informed source) with the
+/// same round budget.
+///
+/// The two-choices and three-state dynamics require every agent to start with
+/// an opinion; they are seeded with uniformly random opinions plus the correct
+/// source, which matches the information actually available at the start of a
+/// broadcast and demonstrates why a spreading stage is necessary.
+#[must_use]
+pub fn e10_baseline_comparison(cfg: &ExperimentConfig) -> Table {
+    let n = cfg.pick(600, 2_000);
+    let epsilons = [0.1, 0.2];
+    let mut table = Table::new(
+        "E10: protocol comparison on the broadcast problem",
+        &[
+            "epsilon",
+            "protocol",
+            "rounds",
+            "mean fraction correct",
+            "all-correct rate",
+        ],
+    );
+    let mut point = 1_000;
+    for &epsilon in &epsilons {
+        let params = Params::practical(n, epsilon).expect("valid parameters");
+        let budget = params.total_rounds();
+        let correct = Opinion::One;
+        let runner = TrialRunner::new(u64::from(cfg.trials));
+
+        // Breathe before speaking (ours).
+        let breathe_protocol = BroadcastProtocol::new(params.clone(), correct);
+        let outcomes = runner.run(|trial| {
+            breathe_protocol
+                .run_with_seed(cfg.seed_for(point, trial))
+                .expect("simulation construction cannot fail")
+        });
+        point += 1;
+        push_summary(
+            &mut table,
+            epsilon,
+            "breathe (this paper)",
+            budget,
+            outcomes.iter().map(|o| (o.fraction_correct, o.all_correct)),
+        );
+
+        // Immediate forwarding.
+        let forwarding = ForwardingProtocol::new(n, epsilon, budget).expect("valid");
+        let outcomes = runner.run(|trial| {
+            forwarding
+                .run_with_seed(correct, cfg.seed_for(point, trial))
+                .expect("simulation construction cannot fail")
+        });
+        point += 1;
+        push_summary(
+            &mut table,
+            epsilon,
+            "immediate forwarding",
+            budget,
+            outcomes.iter().map(|o| (o.fraction_correct, o.all_correct)),
+        );
+
+        // Wait for the source.
+        let wait = WaitForSourceProtocol::new(n, epsilon, budget).expect("valid");
+        let outcomes = runner.run(|trial| {
+            wait.run_with_seed(correct, cfg.seed_for(point, trial))
+                .expect("simulation construction cannot fail")
+        });
+        point += 1;
+        push_summary(
+            &mut table,
+            epsilon,
+            "wait for source",
+            budget,
+            outcomes.iter().map(|o| (o.fraction_correct, o.all_correct)),
+        );
+
+        // Two-choices dynamics seeded with random opinions + the source.
+        let two_choices = TwoChoicesProtocol::new(n, epsilon, budget).expect("valid");
+        let outcomes = runner.run(|trial| {
+            two_choices
+                .run_with_seed(correct, n / 2 + 1, cfg.seed_for(point, trial))
+                .expect("simulation construction cannot fail")
+        });
+        point += 1;
+        push_summary(
+            &mut table,
+            epsilon,
+            "two-choices majority [22]",
+            budget,
+            outcomes.iter().map(|o| (o.fraction_correct, o.all_correct)),
+        );
+
+        // Three-state approximate majority (needs a 3-symbol alphabet).
+        let three_state = ThreeStateProtocol::new(n, epsilon, budget).expect("valid");
+        let outcomes = runner.run(|trial| {
+            three_state
+                .run_with_seed(correct, 1, 0, cfg.seed_for(point, trial))
+                .expect("simulation construction cannot fail")
+        });
+        point += 1;
+        push_summary(
+            &mut table,
+            epsilon,
+            "three-state majority [6]",
+            budget,
+            outcomes.iter().map(|o| (o.fraction_correct, o.all_correct)),
+        );
+
+        // Noisy voter model with a zealot.
+        let voter = NoisyVoterProtocol::new(n, epsilon, budget).expect("valid");
+        let outcomes = runner.run(|trial| {
+            voter
+                .run_with_seed(correct, cfg.seed_for(point, trial))
+                .expect("simulation construction cannot fail")
+        });
+        point += 1;
+        push_summary(
+            &mut table,
+            epsilon,
+            "noisy voter with zealot [49]",
+            budget,
+            outcomes.iter().map(|o| (o.fraction_correct, o.all_correct)),
+        );
+    }
+    table
+}
+
+fn push_summary<I: Iterator<Item = (f64, bool)>>(
+    table: &mut Table,
+    epsilon: f64,
+    name: &str,
+    rounds: u64,
+    outcomes: I,
+) {
+    let mut success = SuccessRate::new();
+    let mut fractions = Vec::new();
+    for (fraction, all_correct) in outcomes {
+        success.record(all_correct);
+        fractions.push(fraction);
+    }
+    table.push_row(&[
+        fmt_float(epsilon),
+        name.to_string(),
+        rounds.to_string(),
+        fmt_float(mean(&fractions)),
+        fmt_float(success.estimate()),
+    ]);
+}
+
+/// **E11 (§1.6)** — reliability of a relayed bit versus chain length:
+/// measured versus the closed form `1/2 + (2ε)^c / 2`.
+#[must_use]
+pub fn e11_path_deterioration(cfg: &ExperimentConfig) -> Table {
+    let trials = cfg.pick(20_000u32, 100_000u32);
+    let mut table = Table::new(
+        "E11: per-hop reliability decay (section 1.6)",
+        &[
+            "epsilon",
+            "hops",
+            "measured Pr[correct]",
+            "closed form 1/2 + (2eps)^c / 2",
+        ],
+    );
+    for &epsilon in &[0.1, 0.3] {
+        for &hops in &[1u32, 2, 3, 5, 8, 12] {
+            let measured =
+                simulate_chain(epsilon, hops, trials, cfg.seed_for(1_100, u64::from(hops)))
+                    .expect("valid chain parameters");
+            table.push_row(&[
+                fmt_float(epsilon),
+                hops.to_string(),
+                fmt_float(measured),
+                fmt_float(chain_correct_probability(epsilon, hops)),
+            ]);
+        }
+    }
+    table
+}
+
+/// **E12 (§1.4)** — the two-party lower bound: samples over a binary symmetric
+/// channel needed for a 99%-confident majority decision, versus `Θ(1/ε²)`.
+#[must_use]
+pub fn e12_two_party_lower_bound(cfg: &ExperimentConfig) -> Table {
+    let confidence = 0.99;
+    let mut table = Table::new(
+        "E12: two-party channel uses for one reliable bit (section 1.4)",
+        &[
+            "epsilon",
+            "samples needed (exact majority decoder)",
+            "samples * eps^2",
+            "Shannon-style prediction ln(1/0.01)/(2 eps^2)",
+        ],
+    );
+    let epsilons: &[f64] = if cfg.quick {
+        &[0.1, 0.2, 0.3, 0.4]
+    } else {
+        &[0.05, 0.1, 0.15, 0.2, 0.3, 0.4]
+    };
+    for &epsilon in epsilons {
+        let needed = samples_for_confidence(epsilon, confidence);
+        table.push_row(&[
+            fmt_float(epsilon),
+            needed.to_string(),
+            fmt_float(needed as f64 * epsilon * epsilon),
+            fmt_float(theory::two_party_samples(epsilon, 1.0 - confidence)),
+        ]);
+    }
+    table
+}
+
+/// Smallest odd sample count for which the majority decoder over a BSC with
+/// margin `ε` is correct with probability at least `confidence`.
+#[must_use]
+pub fn samples_for_confidence(epsilon: f64, confidence: f64) -> u64 {
+    let p = 0.5 + epsilon;
+    let mut samples = 1u64;
+    while majority_correct_probability(samples, p) < confidence {
+        samples += 2;
+        if samples > 1_000_000 {
+            break;
+        }
+    }
+    samples
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_for_confidence_scales_roughly_as_inverse_epsilon_squared() {
+        let coarse = samples_for_confidence(0.4, 0.99);
+        let fine = samples_for_confidence(0.1, 0.99);
+        let ratio = fine as f64 / coarse as f64;
+        assert!(ratio > 6.0 && ratio < 40.0, "ratio = {ratio}");
+        assert!(samples_for_confidence(0.3, 0.999) > samples_for_confidence(0.3, 0.9));
+    }
+
+    #[test]
+    fn e11_measured_matches_closed_form() {
+        let cfg = ExperimentConfig {
+            trials: 1,
+            base_seed: 1,
+            quick: true,
+        };
+        let table = e11_path_deterioration(&cfg);
+        for row in table.rows() {
+            let measured: f64 = row[2].parse().unwrap();
+            let exact: f64 = row[3].parse().unwrap();
+            assert!(
+                (measured - exact).abs() < 0.02,
+                "row mismatch: {row:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn e12_table_is_monotone_in_epsilon() {
+        let cfg = ExperimentConfig::quick();
+        let table = e12_two_party_lower_bound(&cfg);
+        let needed: Vec<f64> = table.rows().iter().map(|r| r[1].parse().unwrap()).collect();
+        for w in needed.windows(2) {
+            assert!(w[0] >= w[1], "more noise must need more samples: {needed:?}");
+        }
+    }
+}

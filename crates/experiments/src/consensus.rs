@@ -1,0 +1,125 @@
+//! E8: noisy majority-consensus success versus initial set size and
+//! majority-bias (Corollary 2.18).
+
+use analysis::estimators::{mean, SuccessRate};
+use analysis::tables::fmt_float;
+use analysis::Table;
+use breathe::{InitialSet, MajorityConsensusProtocol, Params};
+use flip_model::Opinion;
+
+use crate::{ExperimentConfig, TrialRunner};
+
+/// The initial-set sizes swept by E8.
+#[must_use]
+pub fn initial_set_grid(cfg: &ExperimentConfig) -> Vec<usize> {
+    if cfg.quick {
+        vec![40, 100, 400]
+    } else {
+        vec![40, 100, 400, 1_000, 4_000]
+    }
+}
+
+/// The majority-bias values swept by E8.
+#[must_use]
+pub fn bias_grid(cfg: &ExperimentConfig) -> Vec<f64> {
+    if cfg.quick {
+        vec![0.1, 0.25]
+    } else {
+        vec![0.05, 0.1, 0.25, 0.4]
+    }
+}
+
+/// **E8 (Corollary 2.18)** — consensus on the initial majority for varying
+/// `|A|` and majority-bias.
+///
+/// The corollary requires `|A| = Ω(log n / ε²)` and bias `Ω(√(log n / |A|))`;
+/// rows below the requirement are included deliberately to show where the
+/// guarantee starts to apply.
+#[must_use]
+pub fn e08_majority_consensus(cfg: &ExperimentConfig) -> Table {
+    let n = cfg.pick(1_000, 4_000);
+    let epsilon = 0.3;
+    let mut table = Table::new(
+        "E8: noisy majority-consensus (Corollary 2.18)",
+        &[
+            "|A|",
+            "majority-bias",
+            "required bias sqrt(ln n/|A|)",
+            "mean fraction correct",
+            "all-correct rate",
+        ],
+    );
+    let params = Params::practical(n, epsilon).expect("valid parameters");
+    let mut point = 800;
+    for &size in &initial_set_grid(cfg) {
+        if size > n {
+            continue;
+        }
+        for &bias in &bias_grid(cfg) {
+            let initial = InitialSet::with_bias(size, bias).expect("valid bias");
+            if initial.holding_correct <= initial.holding_wrong {
+                continue;
+            }
+            let protocol =
+                MajorityConsensusProtocol::new(params.clone(), Opinion::One, initial)
+                    .expect("valid initial set");
+            let runner = TrialRunner::new(u64::from(cfg.trials));
+            let outcomes = runner.run(|trial| {
+                protocol
+                    .run_with_seed(cfg.seed_for(point, trial))
+                    .expect("simulation construction cannot fail")
+            });
+            point += 1;
+            let mut success = SuccessRate::new();
+            let mut fractions = Vec::new();
+            for o in &outcomes {
+                success.record(o.all_correct);
+                fractions.push(o.fraction_correct);
+            }
+            let required = ((n as f64).ln() / size as f64).sqrt().min(0.5);
+            table.push_row(&[
+                size.to_string(),
+                fmt_float(initial.majority_bias()),
+                fmt_float(required),
+                fmt_float(mean(&fractions)),
+                fmt_float(success.estimate()),
+            ]);
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grids_scale_with_mode() {
+        assert!(
+            initial_set_grid(&ExperimentConfig::full()).len()
+                > initial_set_grid(&ExperimentConfig::quick()).len()
+        );
+        assert!(
+            bias_grid(&ExperimentConfig::full()).len() > bias_grid(&ExperimentConfig::quick()).len()
+        );
+    }
+
+    #[test]
+    fn e08_produces_a_row_per_grid_point_and_large_biased_sets_win() {
+        let cfg = ExperimentConfig {
+            trials: 2,
+            base_seed: 5,
+            quick: true,
+        };
+        let table = e08_majority_consensus(&cfg);
+        assert_eq!(
+            table.len(),
+            initial_set_grid(&cfg).len() * bias_grid(&cfg).len()
+        );
+        // The easiest configuration (largest set, largest bias) should reach a
+        // high fraction of correct agents.
+        let last = table.rows().last().unwrap();
+        let fraction: f64 = last[3].parse().unwrap();
+        assert!(fraction > 0.8, "fraction = {fraction}, row = {last:?}");
+    }
+}

@@ -1,0 +1,153 @@
+//! The experiment harness of the *Breathe before Speaking* reproduction.
+//!
+//! The paper is theoretical, so its "evaluation" is the collection of
+//! quantitative claims (theorems, lemmas, claims) plus the informal
+//! comparisons of §1.4 and §1.6.  Each becomes an experiment `E1`–`E12`
+//! (see `DESIGN.md` for the index); this crate provides:
+//!
+//! * [`runner`] — a deterministic multi-trial runner that fans trials out over
+//!   threads (crossbeam scoped threads) while keeping per-trial seeds stable,
+//! * [`scaling`] — E1–E3 and E9: round/message complexity scaling and the
+//!   local-clock overhead,
+//! * [`stage_claims`] — E4–E7: the Stage I claims (2.2, 2.4/2.5/2.7, 2.8) and
+//!   the Stage II boost lemmas (2.11, 2.14),
+//! * [`consensus`] — E8: majority-consensus success versus initial set size
+//!   and bias (Corollary 2.18),
+//! * [`ablations`] — A1–A3: design-choice ablations (required initial bias,
+//!   Stage II sample count, phase-0 length),
+//! * [`comparisons`] — E10–E12: baseline comparison, path deterioration and
+//!   the two-party lower bound,
+//! * [`report`] — assembling the tables into a markdown report.
+//!
+//! Every experiment function takes an [`ExperimentConfig`] and returns one or
+//! more [`analysis::Table`]s, so the same code path serves the `e01`…`e12`
+//! binaries, the integration tests and the Criterion benchmarks.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablations;
+pub mod comparisons;
+pub mod consensus;
+pub mod report;
+pub mod runner;
+pub mod scaling;
+pub mod stage_claims;
+
+pub use report::Report;
+pub use runner::TrialRunner;
+
+/// Controls how heavy an experiment run is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExperimentConfig {
+    /// Number of independent trials per configuration point.
+    pub trials: u32,
+    /// Base seed; trial `t` of configuration point `c` uses a seed derived
+    /// deterministically from `(base_seed, c, t)`.
+    pub base_seed: u64,
+    /// Quick mode shrinks population sizes and trial counts so that the whole
+    /// suite finishes in minutes; full mode uses the sizes quoted in
+    /// `EXPERIMENTS.md`.
+    pub quick: bool,
+}
+
+impl ExperimentConfig {
+    /// The quick preset used by tests and the default binary invocation.
+    #[must_use]
+    pub fn quick() -> Self {
+        Self {
+            trials: 5,
+            base_seed: 0xBEA7_4E5E,
+            quick: true,
+        }
+    }
+
+    /// The full preset used to produce `EXPERIMENTS.md`.
+    #[must_use]
+    pub fn full() -> Self {
+        Self {
+            trials: 20,
+            base_seed: 0xBEA7_4E5E,
+            quick: false,
+        }
+    }
+
+    /// Chooses between two values depending on quick/full mode.
+    #[must_use]
+    pub fn pick<T: Copy>(&self, quick: T, full: T) -> T {
+        if self.quick {
+            quick
+        } else {
+            full
+        }
+    }
+
+    /// A deterministic seed for configuration point `point` and trial `trial`.
+    #[must_use]
+    pub fn seed_for(&self, point: u64, trial: u64) -> u64 {
+        // SplitMix64-style mixing keeps the seeds well separated.
+        let mut z = self
+            .base_seed
+            .wrapping_add(point.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .wrapping_add(trial.wrapping_mul(0xD1B5_4A32_D192_ED03));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        Self::quick()
+    }
+}
+
+/// Parses the standard command-line convention of the experiment binaries:
+/// `--full` selects [`ExperimentConfig::full`], anything else stays quick.
+#[must_use]
+pub fn config_from_args<I: IntoIterator<Item = String>>(args: I) -> ExperimentConfig {
+    if args.into_iter().any(|a| a == "--full") {
+        ExperimentConfig::full()
+    } else {
+        ExperimentConfig::quick()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_differ_in_scale() {
+        let quick = ExperimentConfig::quick();
+        let full = ExperimentConfig::full();
+        assert!(quick.trials < full.trials);
+        assert!(quick.quick && !full.quick);
+        assert_eq!(quick.pick(1, 2), 1);
+        assert_eq!(full.pick(1, 2), 2);
+    }
+
+    #[test]
+    fn seeds_are_deterministic_and_distinct() {
+        let cfg = ExperimentConfig::quick();
+        assert_eq!(cfg.seed_for(1, 2), cfg.seed_for(1, 2));
+        assert_ne!(cfg.seed_for(1, 2), cfg.seed_for(1, 3));
+        assert_ne!(cfg.seed_for(1, 2), cfg.seed_for(2, 2));
+    }
+
+    #[test]
+    fn args_select_the_preset() {
+        assert_eq!(
+            config_from_args(vec!["e01".to_string()]),
+            ExperimentConfig::quick()
+        );
+        assert_eq!(
+            config_from_args(vec!["--full".to_string()]),
+            ExperimentConfig::full()
+        );
+        assert_eq!(
+            config_from_args(Vec::<String>::new()),
+            ExperimentConfig::quick()
+        );
+    }
+}

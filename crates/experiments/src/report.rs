@@ -1,0 +1,108 @@
+//! Assembling experiment tables into a markdown report.
+
+use analysis::Table;
+
+use crate::{comparisons, consensus, scaling, stage_claims, ExperimentConfig};
+
+/// A named collection of result tables rendered as one markdown document.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    title: String,
+    preamble: String,
+    tables: Vec<Table>,
+}
+
+impl Report {
+    /// Creates an empty report.
+    #[must_use]
+    pub fn new(title: &str) -> Self {
+        Self {
+            title: title.to_string(),
+            preamble: String::new(),
+            tables: Vec::new(),
+        }
+    }
+
+    /// Sets free-form text shown between the title and the tables.
+    #[must_use]
+    pub fn with_preamble(mut self, preamble: &str) -> Self {
+        self.preamble = preamble.to_string();
+        self
+    }
+
+    /// Adds a table to the report.
+    pub fn push(&mut self, table: Table) {
+        self.tables.push(table);
+    }
+
+    /// Adds several tables to the report.
+    pub fn extend<I: IntoIterator<Item = Table>>(&mut self, tables: I) {
+        self.tables.extend(tables);
+    }
+
+    /// The tables collected so far.
+    #[must_use]
+    pub fn tables(&self) -> &[Table] {
+        &self.tables
+    }
+
+    /// Renders the whole report as markdown.
+    #[must_use]
+    pub fn to_markdown(&self) -> String {
+        let mut out = format!("# {}\n\n", self.title);
+        if !self.preamble.is_empty() {
+            out.push_str(&self.preamble);
+            out.push_str("\n\n");
+        }
+        for table in &self.tables {
+            out.push_str(&table.to_markdown());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Runs every experiment (E1–E12) and assembles the full report.
+///
+/// With [`ExperimentConfig::quick`] this takes a few minutes on a laptop; the
+/// full preset reproduces the numbers recorded in `EXPERIMENTS.md`.
+#[must_use]
+pub fn full_report(cfg: &ExperimentConfig) -> Report {
+    let mut report = Report::new("Breathe before Speaking — experiment report").with_preamble(
+        "Measured reproductions of every quantitative claim of the paper; see DESIGN.md for the \
+         experiment index and EXPERIMENTS.md for the archived paper-vs-measured discussion.",
+    );
+    report.push(scaling::e01_rounds_vs_n(cfg));
+    report.push(scaling::e02_rounds_vs_epsilon(cfg));
+    report.push(scaling::e03_message_complexity(cfg));
+    report.push(stage_claims::e04_phase0_seeding(cfg));
+    report.push(stage_claims::e05_layer_growth(cfg));
+    report.push(stage_claims::e06_bias_decay(cfg));
+    report.extend(stage_claims::e07_stage2_boost(cfg));
+    report.push(consensus::e08_majority_consensus(cfg));
+    report.push(scaling::e09_async_overhead(cfg));
+    report.push(comparisons::e10_baseline_comparison(cfg));
+    report.push(comparisons::e11_path_deterioration(cfg));
+    report.push(comparisons::e12_two_party_lower_bound(cfg));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_renders_title_preamble_and_tables() {
+        let mut report = Report::new("demo").with_preamble("hello");
+        let mut table = Table::new("t1", &["a"]);
+        table.push_row(&["1"]);
+        report.push(table);
+        report.extend(vec![Table::new("t2", &["b"])]);
+        assert_eq!(report.tables().len(), 2);
+        let md = report.to_markdown();
+        assert!(md.starts_with("# demo"));
+        assert!(md.contains("hello"));
+        assert!(md.contains("### t1"));
+        assert!(md.contains("### t2"));
+    }
+}

@@ -1,0 +1,126 @@
+//! A deterministic multi-trial runner that fans independent simulations out
+//! over threads.
+
+use parking_lot::Mutex;
+
+/// Runs independent trials in parallel with stable per-trial seeds.
+///
+/// Results are returned in trial order regardless of which thread produced
+/// them, so a parallel run is indistinguishable from a sequential one.
+///
+/// # Example
+///
+/// ```
+/// use experiments::TrialRunner;
+///
+/// let runner = TrialRunner::new(8);
+/// let squares = runner.run(|trial| trial * trial);
+/// assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TrialRunner {
+    trials: u64,
+    threads: usize,
+}
+
+impl TrialRunner {
+    /// Creates a runner for the given number of trials, using as many threads
+    /// as the machine offers (capped at the trial count).
+    #[must_use]
+    pub fn new(trials: u64) -> Self {
+        let available = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        Self {
+            trials,
+            threads: available.max(1),
+        }
+    }
+
+    /// Overrides the number of worker threads (useful in tests).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The number of trials this runner executes.
+    #[must_use]
+    pub fn trials(&self) -> u64 {
+        self.trials
+    }
+
+    /// Runs `task` once per trial index (0-based) and collects the results in
+    /// trial order.
+    pub fn run<T, F>(&self, task: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(u64) -> T + Sync,
+    {
+        if self.trials == 0 {
+            return Vec::new();
+        }
+        let threads = self.threads.min(self.trials as usize).max(1);
+        if threads == 1 {
+            return (0..self.trials).map(task).collect();
+        }
+
+        let results: Mutex<Vec<Option<T>>> =
+            Mutex::new((0..self.trials).map(|_| None).collect());
+        let next = std::sync::atomic::AtomicU64::new(0);
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|_| loop {
+                    let trial = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if trial >= self.trials {
+                        break;
+                    }
+                    let value = task(trial);
+                    results.lock()[trial as usize] = Some(value);
+                });
+            }
+        })
+        .expect("trial worker threads never panic");
+
+        results
+            .into_inner()
+            .into_iter()
+            .map(|v| v.expect("every trial index is filled exactly once"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_trials_yield_nothing() {
+        let runner = TrialRunner::new(0);
+        let out: Vec<u64> = runner.run(|t| t);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn results_come_back_in_trial_order() {
+        let runner = TrialRunner::new(64).with_threads(4);
+        let out = runner.run(|t| t * 3);
+        assert_eq!(out.len(), 64);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i as u64 * 3);
+        }
+    }
+
+    #[test]
+    fn single_threaded_and_parallel_runs_agree() {
+        let sequential = TrialRunner::new(16).with_threads(1).run(|t| t * t + 1);
+        let parallel = TrialRunner::new(16).with_threads(8).run(|t| t * t + 1);
+        assert_eq!(sequential, parallel);
+    }
+
+    #[test]
+    fn trial_count_is_reported() {
+        assert_eq!(TrialRunner::new(7).trials(), 7);
+        assert!(TrialRunner::new(7).with_threads(0).threads >= 1);
+    }
+}

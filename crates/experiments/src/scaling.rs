@@ -1,0 +1,291 @@
+//! E1–E3 and E9: round and message complexity scaling (Theorem 2.17) and the
+//! local-clock overhead (Theorem 3.1).
+
+use analysis::estimators::{mean, SuccessRate};
+use analysis::fitting::fit_linear;
+use analysis::tables::fmt_float;
+use analysis::Table;
+use breathe::{AsyncBroadcastProtocol, AsyncVariant, BroadcastProtocol, Params};
+use flip_model::Opinion;
+
+use crate::{ExperimentConfig, TrialRunner};
+
+/// The population sizes swept by E1/E3.
+#[must_use]
+pub fn population_grid(cfg: &ExperimentConfig) -> Vec<usize> {
+    if cfg.quick {
+        vec![250, 500, 1_000, 2_000]
+    } else {
+        vec![250, 500, 1_000, 2_000, 4_000, 8_000, 16_000]
+    }
+}
+
+/// The noise margins swept by E2/E3.
+#[must_use]
+pub fn epsilon_grid(cfg: &ExperimentConfig) -> Vec<f64> {
+    if cfg.quick {
+        vec![0.15, 0.2, 0.3, 0.4]
+    } else {
+        vec![0.1, 0.15, 0.2, 0.25, 0.3, 0.4]
+    }
+}
+
+/// Runs the broadcast protocol `cfg.trials` times and summarises success.
+fn broadcast_point(
+    cfg: &ExperimentConfig,
+    point: u64,
+    n: usize,
+    epsilon: f64,
+) -> (SuccessRate, f64, f64, u64, u64) {
+    let params = Params::practical(n, epsilon).expect("grid parameters are valid");
+    let protocol = BroadcastProtocol::new(params, Opinion::One);
+    let runner = TrialRunner::new(u64::from(cfg.trials));
+    let outcomes = runner.run(|trial| {
+        protocol
+            .run_with_seed(cfg.seed_for(point, trial))
+            .expect("simulation construction cannot fail for valid parameters")
+    });
+    let mut success = SuccessRate::new();
+    let mut fractions = Vec::new();
+    let mut messages = Vec::new();
+    for outcome in &outcomes {
+        success.record(outcome.all_correct);
+        fractions.push(outcome.fraction_correct);
+        messages.push(outcome.messages_sent as f64);
+    }
+    let rounds = outcomes.first().map_or(0, |o| o.total_rounds);
+    (
+        success,
+        mean(&fractions),
+        mean(&messages),
+        rounds,
+        outcomes.first().map_or(0, |o| o.stage1_rounds),
+    )
+}
+
+/// **E1 (Theorem 2.17)** — rounds and success probability versus `n` at fixed `ε`.
+///
+/// The protocol's round count is fixed by the schedule, so the table reports
+/// the measured rounds, the normalised ratio `rounds / (ln n / ε²)` (which the
+/// theorem predicts to be bounded by a constant) and the success statistics.
+/// The last row reports the slope of a linear fit of rounds against `ln n`.
+#[must_use]
+pub fn e01_rounds_vs_n(cfg: &ExperimentConfig) -> Table {
+    let epsilon = 0.2;
+    let mut table = Table::new(
+        "E1: broadcast rounds vs n (epsilon = 0.2, Theorem 2.17)",
+        &[
+            "n",
+            "rounds",
+            "rounds / (ln n / eps^2)",
+            "mean fraction correct",
+            "all-correct rate",
+            "wilson 95% low",
+        ],
+    );
+    let mut ln_ns = Vec::new();
+    let mut rounds_list = Vec::new();
+    for (idx, n) in population_grid(cfg).into_iter().enumerate() {
+        let (success, frac, _msgs, rounds, _s1) = broadcast_point(cfg, idx as u64, n, epsilon);
+        let scale = (n as f64).ln() / (epsilon * epsilon);
+        ln_ns.push((n as f64).ln());
+        rounds_list.push(rounds as f64);
+        table.push_row(&[
+            n.to_string(),
+            rounds.to_string(),
+            fmt_float(rounds as f64 / scale),
+            fmt_float(frac),
+            fmt_float(success.estimate()),
+            fmt_float(success.wilson_interval(1.96).0),
+        ]);
+    }
+    if let Some(fit) = fit_linear(&ln_ns, &rounds_list) {
+        table.push_row(&[
+            "fit: rounds ~ a*ln n + b".to_string(),
+            format!("a = {}", fmt_float(fit.slope)),
+            format!("b = {}", fmt_float(fit.intercept)),
+            format!("R^2 = {}", fmt_float(fit.r_squared)),
+            String::new(),
+            String::new(),
+        ]);
+    }
+    table
+}
+
+/// **E2 (Theorem 2.17)** — rounds versus `ε` at fixed `n`.
+///
+/// The theorem predicts `rounds · ε²` to stay within a constant factor across
+/// the sweep.
+#[must_use]
+pub fn e02_rounds_vs_epsilon(cfg: &ExperimentConfig) -> Table {
+    let n = cfg.pick(1_000, 2_000);
+    let mut table = Table::new(
+        "E2: broadcast rounds vs epsilon (Theorem 2.17)",
+        &[
+            "epsilon",
+            "rounds",
+            "rounds * eps^2",
+            "mean fraction correct",
+            "all-correct rate",
+        ],
+    );
+    for (idx, epsilon) in epsilon_grid(cfg).into_iter().enumerate() {
+        let (success, frac, _msgs, rounds, _s1) =
+            broadcast_point(cfg, 100 + idx as u64, n, epsilon);
+        table.push_row(&[
+            fmt_float(epsilon),
+            rounds.to_string(),
+            fmt_float(rounds as f64 * epsilon * epsilon),
+            fmt_float(frac),
+            fmt_float(success.estimate()),
+        ]);
+    }
+    table
+}
+
+/// **E3 (Theorem 2.17)** — total messages versus the `n·ln n/ε²` prediction.
+#[must_use]
+pub fn e03_message_complexity(cfg: &ExperimentConfig) -> Table {
+    let mut table = Table::new(
+        "E3: message complexity (Theorem 2.17)",
+        &[
+            "n",
+            "epsilon",
+            "mean messages",
+            "messages / (n ln n / eps^2)",
+            "all-correct rate",
+        ],
+    );
+    let ns = if cfg.quick {
+        vec![500, 1_000, 2_000]
+    } else {
+        vec![500, 1_000, 2_000, 4_000, 8_000]
+    };
+    let epsilons = [0.2, 0.3];
+    let mut point = 200;
+    for &n in &ns {
+        for &epsilon in &epsilons {
+            let (success, _frac, msgs, _rounds, _s1) = broadcast_point(cfg, point, n, epsilon);
+            point += 1;
+            let scale = n as f64 * (n as f64).ln() / (epsilon * epsilon);
+            table.push_row(&[
+                n.to_string(),
+                fmt_float(epsilon),
+                fmt_float(msgs),
+                fmt_float(msgs / scale),
+                fmt_float(success.estimate()),
+            ]);
+        }
+    }
+    table
+}
+
+/// **E9 (Theorem 3.1)** — the local-clock variants: correctness preserved and
+/// additive overhead versus `ln² n`.
+#[must_use]
+pub fn e09_async_overhead(cfg: &ExperimentConfig) -> Table {
+    let epsilon = 0.3;
+    let ns = if cfg.quick {
+        vec![250, 500, 1_000]
+    } else {
+        vec![500, 1_000, 2_000, 4_000]
+    };
+    let mut table = Table::new(
+        "E9: removing the global clock (Theorem 3.1)",
+        &[
+            "n",
+            "variant",
+            "sync rounds",
+            "total rounds",
+            "overhead rounds",
+            "ln^2 n",
+            "all-correct rate",
+        ],
+    );
+    let mut point = 900;
+    for &n in &ns {
+        let params = Params::practical(n, epsilon).expect("valid parameters");
+        let d = 2 * (n as f64).log2().ceil() as u64;
+        let variants = [
+            ("bounded offsets", AsyncVariant::BoundedOffsets { max_offset: d }),
+            ("resynchronised", AsyncVariant::Resynchronised),
+        ];
+        for (name, variant) in variants {
+            let protocol = AsyncBroadcastProtocol::new(params.clone(), Opinion::One, variant);
+            let runner = TrialRunner::new(u64::from(cfg.trials));
+            let outcomes = runner.run(|trial| {
+                protocol
+                    .run_with_seed(cfg.seed_for(point, trial))
+                    .expect("simulation construction cannot fail")
+            });
+            point += 1;
+            let mut success = SuccessRate::new();
+            for o in &outcomes {
+                success.record(o.all_correct);
+            }
+            let first = &outcomes[0];
+            let ln_n = (n as f64).ln();
+            table.push_row(&[
+                n.to_string(),
+                name.to_string(),
+                first.synchronous_rounds.to_string(),
+                first.total_rounds.to_string(),
+                first.overhead_rounds().to_string(),
+                fmt_float(ln_n * ln_n),
+                fmt_float(success.estimate()),
+            ]);
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> ExperimentConfig {
+        ExperimentConfig {
+            trials: 2,
+            base_seed: 7,
+            quick: true,
+        }
+    }
+
+    #[test]
+    fn grids_are_larger_in_full_mode() {
+        assert!(
+            population_grid(&ExperimentConfig::full()).len()
+                > population_grid(&ExperimentConfig::quick()).len()
+        );
+        assert!(
+            epsilon_grid(&ExperimentConfig::full()).len()
+                >= epsilon_grid(&ExperimentConfig::quick()).len()
+        );
+    }
+
+    #[test]
+    fn e02_table_has_one_row_per_epsilon() {
+        let cfg = tiny_config();
+        let table = e02_rounds_vs_epsilon(&cfg);
+        assert_eq!(table.len(), epsilon_grid(&cfg).len());
+        // The normalised column should be within an order of magnitude across rows.
+        let normalised: Vec<f64> = table
+            .rows()
+            .iter()
+            .map(|r| r[2].parse::<f64>().unwrap())
+            .collect();
+        let max = normalised.iter().cloned().fold(f64::MIN, f64::max);
+        let min = normalised.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(max / min < 12.0, "normalised rounds vary too much: {normalised:?}");
+    }
+
+    #[test]
+    fn broadcast_point_reports_success_on_easy_instances() {
+        let cfg = tiny_config();
+        let (success, frac, msgs, rounds, stage1) = broadcast_point(&cfg, 0, 300, 0.3);
+        assert_eq!(success.trials(), 2);
+        assert!(frac > 0.9);
+        assert!(msgs > 0.0);
+        assert!(rounds > stage1);
+    }
+}

@@ -1,0 +1,353 @@
+//! E4–E7: the per-stage claims — phase-0 seeding (Claim 2.2), layer growth
+//! (Claim 2.4 / Corollaries 2.5–2.7), per-level bias (Claim 2.8 / Lemma 2.3)
+//! and the Stage II boost (Lemmas 2.11 and 2.14).
+
+use analysis::estimators::{mean, SuccessRate};
+use analysis::stirling::{exact_majority_boost, lemma_2_11_lower_bound};
+use analysis::tables::fmt_float;
+use analysis::theory;
+use analysis::Table;
+use breathe::{BroadcastProtocol, DetailedOutcome, Multipliers, Params};
+use flip_model::{BinarySymmetricChannel, Channel, Opinion, SimRng};
+use rand::Rng;
+
+use crate::{ExperimentConfig, TrialRunner};
+
+fn detailed_runs(
+    cfg: &ExperimentConfig,
+    point: u64,
+    params: &Params,
+) -> Vec<DetailedOutcome> {
+    let protocol = BroadcastProtocol::new(params.clone(), Opinion::One);
+    let runner = TrialRunner::new(u64::from(cfg.trials));
+    runner.run(|trial| {
+        protocol
+            .run_detailed(cfg.seed_for(point, trial))
+            .expect("simulation construction cannot fail for valid parameters")
+    })
+}
+
+/// **E4 (Claim 2.2)** — after phase 0 the activated set has size in
+/// `[βs/3, βs]` and bias at least `ε/2`.
+#[must_use]
+pub fn e04_phase0_seeding(cfg: &ExperimentConfig) -> Table {
+    let n = cfg.pick(1_000, 4_000);
+    let epsilons = [0.15, 0.2, 0.3];
+    let mut table = Table::new(
+        "E4: phase-0 activation and bias (Claim 2.2)",
+        &[
+            "epsilon",
+            "beta_s",
+            "mean X0",
+            "bound [beta_s/3, beta_s]",
+            "mean bias eps_0",
+            "claimed bias >= eps/2",
+            "claim holds (rate)",
+        ],
+    );
+    for (idx, &epsilon) in epsilons.iter().enumerate() {
+        let params = Params::practical(n, epsilon).expect("valid parameters");
+        let (lo, hi, min_bias) = theory::claim_2_2_bounds(params.beta_s(), epsilon);
+        let outcomes = detailed_runs(cfg, 400 + idx as u64, &params);
+        let mut x0 = Vec::new();
+        let mut bias0 = Vec::new();
+        let mut holds = SuccessRate::new();
+        for outcome in &outcomes {
+            let level0 = outcome.levels[0];
+            x0.push(level0.activated as f64);
+            bias0.push(level0.bias());
+            holds.record(
+                level0.activated as f64 >= lo
+                    && level0.activated as f64 <= hi
+                    && level0.bias() >= min_bias,
+            );
+        }
+        table.push_row(&[
+            fmt_float(epsilon),
+            params.beta_s().to_string(),
+            fmt_float(mean(&x0)),
+            format!("[{}, {}]", fmt_float(lo), fmt_float(hi)),
+            fmt_float(mean(&bias0)),
+            fmt_float(min_bias),
+            fmt_float(holds.estimate()),
+        ]);
+    }
+    table
+}
+
+/// Parameters that expose several intermediate Stage I phases (`T ≥ 2`) at a
+/// population size that simulates quickly.
+///
+/// The paper's constants make the early phases so long that, at laptop scale,
+/// the schedule degenerates to `T = 0`; shrinking `s` and `β` (while keeping
+/// the structure intact) restores a multi-layer spreading stage so that the
+/// layer-growth and bias-decay claims can be observed.
+#[must_use]
+pub fn layered_params(n: usize, epsilon: f64) -> Params {
+    let multipliers = Multipliers {
+        s_mult: 0.6,
+        beta_mult: 1.2,
+        f_mult: 2.0,
+        gamma_mult: 6.0,
+        extra_boost_phases: 3,
+        final_mult: 3.0,
+    };
+    Params::with_multipliers(n, epsilon, multipliers).expect("valid parameters")
+}
+
+/// **E5 (Claim 2.4, Corollaries 2.5–2.7)** — the activated population grows by
+/// a factor close to `β + 1` per phase and everyone is activated by the end of
+/// Stage I.
+#[must_use]
+pub fn e05_layer_growth(cfg: &ExperimentConfig) -> Table {
+    let n = cfg.pick(8_000, 20_000);
+    let epsilon = 0.45;
+    let params = layered_params(n, epsilon);
+    let outcomes = detailed_runs(cfg, 500, &params);
+    let beta = params.beta();
+    let mut table = Table::new(
+        "E5: Stage I layer growth (Claim 2.4)",
+        &[
+            "level i",
+            "mean X_i (cumulative activated)",
+            "lower bound (beta+1)^i X0 / 16",
+            "upper bound (beta+1)^i X0",
+            "within bounds (rate)",
+        ],
+    );
+    let levels = outcomes[0].levels.len();
+    // X_i is cumulative over levels 0..=i, including the source itself.
+    for level in 0..levels.saturating_sub(1) {
+        let mut xi = Vec::new();
+        let mut holds = SuccessRate::new();
+        for outcome in &outcomes {
+            let x0: usize = outcome.levels[0].activated + 1;
+            let cumulative: usize =
+                outcome.levels[..=level].iter().map(|l| l.activated).sum::<usize>() + 1;
+            let (lo, hi) = theory::claim_2_4_bounds(beta, x0 as u64, level as u32);
+            xi.push(cumulative as f64);
+            holds.record(cumulative as f64 >= lo && cumulative as f64 <= hi + 1.0);
+        }
+        let x0_mean = mean(
+            &outcomes
+                .iter()
+                .map(|o| o.levels[0].activated as f64 + 1.0)
+                .collect::<Vec<_>>(),
+        );
+        let (lo, hi) = theory::claim_2_4_bounds(beta, x0_mean.round() as u64, level as u32);
+        table.push_row(&[
+            level.to_string(),
+            fmt_float(mean(&xi)),
+            fmt_float(lo),
+            fmt_float(hi),
+            fmt_float(holds.estimate()),
+        ]);
+    }
+    // Final row: everyone activated at the end of Stage I (Corollary 2.6).
+    let mut all_active = SuccessRate::new();
+    for outcome in &outcomes {
+        all_active.record(outcome.outcome.active_after_stage1 == params.n());
+    }
+    table.push_row(&[
+        "end of Stage I".to_string(),
+        format!("all {} agents activated", params.n()),
+        String::new(),
+        String::new(),
+        fmt_float(all_active.estimate()),
+    ]);
+    table
+}
+
+/// **E6 (Claim 2.8, Lemma 2.3)** — the per-level bias decays no faster than
+/// `ε_i ≥ ε^{i+1}/2` and the end-of-Stage-I population bias is positive and of
+/// order `√(ln n / n)`.
+#[must_use]
+pub fn e06_bias_decay(cfg: &ExperimentConfig) -> Table {
+    let n = cfg.pick(4_000, 10_000);
+    let epsilon = 0.45;
+    let params = layered_params(n, epsilon);
+    let outcomes = detailed_runs(cfg, 600, &params);
+    let levels = outcomes[0].levels.len();
+    let mut table = Table::new(
+        "E6: per-level bias decay (Claim 2.8) and end-of-Stage-I bias (Lemma 2.3)",
+        &[
+            "level i",
+            "mean bias eps_i",
+            "claimed lower bound eps^{i+1}/2",
+            "bound holds (rate)",
+        ],
+    );
+    for level in 0..levels {
+        let bound = theory::claim_2_8_bias_lower_bound(epsilon, level as u32);
+        let mut biases = Vec::new();
+        let mut holds = SuccessRate::new();
+        for outcome in &outcomes {
+            let stats = outcome.levels[level];
+            if stats.activated == 0 {
+                continue;
+            }
+            biases.push(stats.bias());
+            holds.record(stats.bias() >= bound);
+        }
+        if biases.is_empty() {
+            continue;
+        }
+        table.push_row(&[
+            level.to_string(),
+            fmt_float(mean(&biases)),
+            fmt_float(bound),
+            fmt_float(holds.estimate()),
+        ]);
+    }
+    // End-of-Stage-I population bias vs the Lemma 2.3 scale.
+    let final_biases: Vec<f64> = outcomes
+        .iter()
+        .map(|o| o.outcome.fraction_correct_after_stage1 - 0.5)
+        .collect();
+    table.push_row(&[
+        "end of Stage I".to_string(),
+        fmt_float(mean(&final_biases)),
+        format!(
+            "scale sqrt(ln n / n) = {}",
+            fmt_float(theory::stage1_final_bias(n, 1.0))
+        ),
+        fmt_float(
+            final_biases.iter().filter(|b| **b > 0.0).count() as f64 / final_biases.len() as f64,
+        ),
+    ]);
+    table
+}
+
+/// Monte-Carlo estimate of the probability that the majority of `gamma` noisy
+/// samples from a population with bias `delta` is correct.
+fn empirical_boost(gamma: u64, epsilon: f64, delta: f64, trials: u32, seed: u64) -> f64 {
+    let channel = BinarySymmetricChannel::from_epsilon(epsilon).expect("valid epsilon");
+    let mut rng = SimRng::from_seed(seed);
+    let mut correct_majorities = 0u32;
+    for _ in 0..trials {
+        let mut correct_samples = 0u64;
+        for _ in 0..gamma {
+            // Sample an agent from a population with bias delta, then transmit.
+            let opinion_correct = rng.gen::<f64>() < 0.5 + delta;
+            let sent = if opinion_correct {
+                Opinion::One
+            } else {
+                Opinion::Zero
+            };
+            if channel.transmit(sent, &mut rng) == Opinion::One {
+                correct_samples += 1;
+            }
+        }
+        if 2 * correct_samples > gamma {
+            correct_majorities += 1;
+        }
+    }
+    f64::from(correct_majorities) / f64::from(trials)
+}
+
+/// **E7 (Lemmas 2.11 and 2.14)** — the Stage II boost: measured
+/// majority-correctness versus the paper's `min{1/2 + 4δ, ...}` bound, plus the
+/// bias trajectory of a real execution.
+#[must_use]
+pub fn e07_stage2_boost(cfg: &ExperimentConfig) -> Vec<Table> {
+    let epsilon = 0.2;
+    let params = Params::practical(cfg.pick(1_000, 2_000), epsilon).expect("valid parameters");
+    let gamma = params.gamma();
+    let deltas = [0.005, 0.01, 0.02, 0.05, 0.1, 0.25];
+    let mc_trials = cfg.pick(4_000u32, 20_000u32);
+
+    let mut sampling = Table::new(
+        "E7a: majority-of-noisy-samples boost (Lemma 2.11)",
+        &[
+            "population bias delta",
+            "gamma (samples)",
+            "measured Pr[majority correct]",
+            "exact (binomial)",
+            "paper bound min{1/2+4d, 1/2+1/100}",
+        ],
+    );
+    for (idx, &delta) in deltas.iter().enumerate() {
+        let measured = empirical_boost(gamma, epsilon, delta, mc_trials, cfg.seed_for(700, idx as u64));
+        sampling.push_row(&[
+            fmt_float(delta),
+            gamma.to_string(),
+            fmt_float(measured),
+            fmt_float(exact_majority_boost(gamma, epsilon, delta)),
+            fmt_float(lemma_2_11_lower_bound(delta)),
+        ]);
+    }
+
+    // Bias trajectory over the boosting phases of one detailed execution.
+    let mut trajectory = Table::new(
+        "E7b: bias trajectory over Stage II phases (Lemma 2.14)",
+        &[
+            "boosting phase",
+            "mean fraction correct",
+            "mean bias",
+            "growth factor vs previous phase",
+        ],
+    );
+    let outcomes = detailed_runs(cfg, 710, &params);
+    let spreading_count = breathe::Schedule::broadcast(&params).spreading_phase_count();
+    let phases = outcomes[0].fraction_correct_after_phase.len();
+    let mut previous_bias: Option<f64> = None;
+    for phase in (spreading_count - 1)..phases {
+        let fracs: Vec<f64> = outcomes
+            .iter()
+            .map(|o| o.fraction_correct_after_phase[phase])
+            .collect();
+        let frac = mean(&fracs);
+        let bias = frac - 0.5;
+        let label = if phase == spreading_count - 1 {
+            "end of Stage I".to_string()
+        } else {
+            format!("{}", phase - spreading_count + 1)
+        };
+        let growth = previous_bias
+            .filter(|p| *p > 0.0)
+            .map(|p| fmt_float(bias / p))
+            .unwrap_or_default();
+        trajectory.push_row(&[label, fmt_float(frac), fmt_float(bias), growth]);
+        previous_bias = Some(bias);
+    }
+
+    vec![sampling, trajectory]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> ExperimentConfig {
+        ExperimentConfig {
+            trials: 2,
+            base_seed: 3,
+            quick: true,
+        }
+    }
+
+    #[test]
+    fn layered_params_expose_intermediate_phases() {
+        let params = layered_params(20_000, 0.45);
+        assert!(params.stage1_intermediate_phases() >= 2);
+    }
+
+    #[test]
+    fn e04_reports_one_row_per_epsilon_and_claims_mostly_hold() {
+        let cfg = tiny_config();
+        let table = e04_phase0_seeding(&cfg);
+        assert_eq!(table.len(), 3);
+        for row in table.rows() {
+            let rate: f64 = row[6].parse().unwrap();
+            assert!(rate >= 0.5, "claim 2.2 should usually hold, row = {row:?}");
+        }
+    }
+
+    #[test]
+    fn empirical_boost_exceeds_half_for_positive_bias() {
+        let p = empirical_boost(101, 0.2, 0.1, 2_000, 9);
+        assert!(p > 0.6, "p = {p}");
+        let fair = empirical_boost(101, 0.2, 0.0, 2_000, 9);
+        assert!((fair - 0.5).abs() < 0.06, "fair = {fair}");
+    }
+}

@@ -1,0 +1,142 @@
+//! The agent contract that protocols implement.
+
+use std::fmt;
+
+use crate::opinion::Opinion;
+use crate::rng::SimRng;
+
+/// A round number (the global, zero-based round counter of the engine).
+///
+/// Protocols that do not assume a global clock should ignore the value and
+/// maintain their own [`LocalClock`](crate::LocalClock).
+pub type Round = u64;
+
+/// Identifier of an agent within a population.
+///
+/// Only the simulation engine ever sees agent identifiers; they are used for
+/// routing and tracing.  They are *never* exposed to protocol logic, which
+/// keeps the model anonymous as required by the paper.
+///
+/// # Example
+///
+/// ```
+/// use flip_model::AgentId;
+///
+/// let id = AgentId::new(3);
+/// assert_eq!(id.index(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AgentId(usize);
+
+impl AgentId {
+    /// Wraps a population index.
+    #[must_use]
+    pub fn new(index: usize) -> Self {
+        Self(index)
+    }
+
+    /// Returns the underlying population index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for AgentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "agent#{}", self.0)
+    }
+}
+
+impl From<usize> for AgentId {
+    fn from(index: usize) -> Self {
+        Self(index)
+    }
+}
+
+/// A per-agent protocol state machine driven by the [`Simulation`](crate::Simulation) engine.
+///
+/// In every round the engine:
+///
+/// 1. asks every agent what to [`send`](Agent::send) (or whether to *wait*),
+/// 2. routes each sent message to a uniformly random other agent, keeps one
+///    message per recipient (uniformly among those that arrived), corrupts the
+///    bit through the channel, and calls [`deliver`](Agent::deliver) on the
+///    recipient,
+/// 3. calls [`end_round`](Agent::end_round) on every agent.
+///
+/// Agents never learn who they talked to.  The `round` argument is the global
+/// round counter; protocols relying only on local clocks must ignore it.
+pub trait Agent {
+    /// Decides what to transmit this round; `None` means stay silent ("breathe").
+    fn send(&mut self, round: Round, rng: &mut SimRng) -> Option<Opinion>;
+
+    /// Handles a message delivered to this agent (already corrupted by the channel).
+    fn deliver(&mut self, round: Round, message: Opinion, rng: &mut SimRng);
+
+    /// Hook invoked after all deliveries of the round; the default does nothing.
+    ///
+    /// Phase-based protocols use this to make end-of-phase decisions (choosing
+    /// an initial opinion, taking the majority of samples, ...).
+    fn end_round(&mut self, round: Round, rng: &mut SimRng) {
+        let _ = (round, rng);
+    }
+
+    /// The opinion the agent currently holds, if it has adopted one.
+    fn opinion(&self) -> Option<Opinion>;
+
+    /// Whether the agent has been activated (holds an opinion or has heard a message).
+    ///
+    /// The default considers an agent active exactly when it holds an opinion.
+    fn is_active(&self) -> bool {
+        self.opinion().is_some()
+    }
+
+    /// Whether the agent has irrevocably finished executing its protocol.
+    ///
+    /// The engine never forces termination; this is informational (used by
+    /// [`Simulation::run_until`](crate::Simulation::run_until) predicates and
+    /// experiment harnesses).  The default is `false`.
+    fn is_done(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Silent;
+
+    impl Agent for Silent {
+        fn send(&mut self, _round: Round, _rng: &mut SimRng) -> Option<Opinion> {
+            None
+        }
+        fn deliver(&mut self, _round: Round, _message: Opinion, _rng: &mut SimRng) {}
+        fn opinion(&self) -> Option<Opinion> {
+            None
+        }
+    }
+
+    #[test]
+    fn default_hooks_are_benign() {
+        let mut agent = Silent;
+        let mut rng = SimRng::from_seed(0);
+        agent.end_round(0, &mut rng);
+        assert!(!agent.is_active());
+        assert!(!agent.is_done());
+    }
+
+    #[test]
+    fn agent_id_round_trips() {
+        let id = AgentId::from(17usize);
+        assert_eq!(id.index(), 17);
+        assert_eq!(id, AgentId::new(17));
+        assert_eq!(id.to_string(), "agent#17");
+    }
+
+    #[test]
+    fn agent_id_ordering_follows_index() {
+        assert!(AgentId::new(1) < AgentId::new(2));
+    }
+}

@@ -1,0 +1,177 @@
+//! Clock models: the fully-synchronous global clock and bounded-offset local clocks.
+
+use rand::Rng;
+
+use crate::rng::SimRng;
+
+/// How agents' clocks are initialised at the start of an execution.
+///
+/// * [`ClockModel::Global`] — the fully-synchronous setting of paper §2: every
+///   agent starts with its clock at zero.
+/// * [`ClockModel::BoundedOffset`] — the relaxed setting of paper §3.1: every
+///   clock starts at an integer drawn uniformly from `[0, max_offset)`.
+/// * [`ClockModel::OnActivation`] — the standard setting of paper §1.3.3: an
+///   agent's clock starts (at zero) only when it first hears a message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClockModel {
+    /// All agents share a global clock initialised to zero.
+    Global,
+    /// Each clock is initialised to an arbitrary value in `[0, max_offset)`.
+    BoundedOffset {
+        /// Exclusive upper bound `D` on initial clock values.
+        max_offset: u64,
+    },
+    /// Clocks start only upon activation (first received message).
+    OnActivation,
+}
+
+impl ClockModel {
+    /// Draws the initial clock value for one agent under this model.
+    ///
+    /// For [`ClockModel::OnActivation`] the initial value is `0`; the clock
+    /// should additionally be considered *stopped* until activation, which is
+    /// the protocol's responsibility (see [`LocalClock::stopped`]).
+    #[must_use]
+    pub fn initial_offset(&self, rng: &mut SimRng) -> u64 {
+        match self {
+            ClockModel::Global | ClockModel::OnActivation => 0,
+            ClockModel::BoundedOffset { max_offset } => {
+                if *max_offset <= 1 {
+                    0
+                } else {
+                    rng.gen_range(0..*max_offset)
+                }
+            }
+        }
+    }
+}
+
+/// A per-agent local clock.
+///
+/// The clock ticks once per simulation round (the protocol calls
+/// [`LocalClock::tick`] from its `end_round` hook), can start from a non-zero
+/// offset, can be created stopped (for the on-activation model) and can be
+/// reset (used by the clock-synchronisation preamble of paper §3.2).
+///
+/// # Example
+///
+/// ```
+/// use flip_model::LocalClock;
+///
+/// let mut clock = LocalClock::stopped();
+/// clock.tick();
+/// assert_eq!(clock.now(), None); // not started yet
+/// clock.start_at(0);
+/// clock.tick();
+/// clock.tick();
+/// assert_eq!(clock.now(), Some(2));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LocalClock {
+    value: Option<u64>,
+}
+
+impl LocalClock {
+    /// A running clock starting at `offset`.
+    #[must_use]
+    pub fn starting_at(offset: u64) -> Self {
+        Self {
+            value: Some(offset),
+        }
+    }
+
+    /// A stopped clock (reads `None` until started).
+    #[must_use]
+    pub fn stopped() -> Self {
+        Self { value: None }
+    }
+
+    /// Whether the clock has been started.
+    #[must_use]
+    pub fn is_running(&self) -> bool {
+        self.value.is_some()
+    }
+
+    /// The current reading, or `None` if the clock has not started.
+    #[must_use]
+    pub fn now(&self) -> Option<u64> {
+        self.value
+    }
+
+    /// Starts (or restarts) the clock at the given value.
+    pub fn start_at(&mut self, value: u64) {
+        self.value = Some(value);
+    }
+
+    /// Resets a running clock back to zero; stopped clocks stay stopped.
+    pub fn reset(&mut self) {
+        if self.value.is_some() {
+            self.value = Some(0);
+        }
+    }
+
+    /// Advances the clock by one round if it is running.
+    pub fn tick(&mut self) {
+        if let Some(v) = self.value.as_mut() {
+            *v += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_model_has_zero_offsets() {
+        let mut rng = SimRng::from_seed(0);
+        for _ in 0..10 {
+            assert_eq!(ClockModel::Global.initial_offset(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn bounded_offsets_are_in_range_and_varied() {
+        let mut rng = SimRng::from_seed(1);
+        let model = ClockModel::BoundedOffset { max_offset: 10 };
+        let offsets: Vec<u64> = (0..200).map(|_| model.initial_offset(&mut rng)).collect();
+        assert!(offsets.iter().all(|&o| o < 10));
+        assert!(offsets.iter().any(|&o| o != offsets[0]));
+    }
+
+    #[test]
+    fn degenerate_bound_yields_zero() {
+        let mut rng = SimRng::from_seed(2);
+        let model = ClockModel::BoundedOffset { max_offset: 1 };
+        assert_eq!(model.initial_offset(&mut rng), 0);
+        let model = ClockModel::BoundedOffset { max_offset: 0 };
+        assert_eq!(model.initial_offset(&mut rng), 0);
+    }
+
+    #[test]
+    fn stopped_clock_ignores_ticks_until_started() {
+        let mut clock = LocalClock::stopped();
+        assert!(!clock.is_running());
+        clock.tick();
+        assert_eq!(clock.now(), None);
+        clock.start_at(5);
+        clock.tick();
+        assert_eq!(clock.now(), Some(6));
+    }
+
+    #[test]
+    fn reset_only_affects_running_clocks() {
+        let mut stopped = LocalClock::stopped();
+        stopped.reset();
+        assert_eq!(stopped.now(), None);
+
+        let mut running = LocalClock::starting_at(9);
+        running.reset();
+        assert_eq!(running.now(), Some(0));
+    }
+
+    #[test]
+    fn default_clock_is_stopped() {
+        assert_eq!(LocalClock::default().now(), None);
+    }
+}

@@ -1,0 +1,364 @@
+//! The synchronous round engine driving agents over the Flip model.
+
+use crate::agent::{Agent, Round};
+use crate::channel::Channel;
+use crate::config::SimulationConfig;
+use crate::error::FlipError;
+use crate::metrics::{Metrics, RoundMetrics};
+use crate::opinion::Opinion;
+use crate::population::Census;
+use crate::rng::SimRng;
+use crate::scheduler::GossipScheduler;
+use crate::trace::TraceRecorder;
+
+/// Summary of a single executed round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RoundSummary {
+    /// Counters for the round.
+    pub metrics: RoundMetrics,
+    /// Census taken after the round completed.
+    pub census_active: usize,
+    /// Agents holding the reference opinion after the round, if configured.
+    pub census_correct: Option<usize>,
+}
+
+/// A synchronous Flip-model simulation over a homogeneous population of agents.
+///
+/// The engine owns the agents, the gossip scheduler, the noise channel, the
+/// metrics and the trace.  Each call to [`Simulation::step`] executes one
+/// round with exactly the semantics of paper §1.3.2; [`Simulation::run`] and
+/// [`Simulation::run_until`] execute many.
+///
+/// See the crate-level documentation for a complete example.
+#[derive(Debug)]
+pub struct Simulation<A, C> {
+    agents: Vec<A>,
+    channel: C,
+    scheduler: GossipScheduler,
+    rng: SimRng,
+    round: Round,
+    metrics: Metrics,
+    trace: TraceRecorder,
+    reference: Option<Opinion>,
+    send_buffer: Vec<(usize, Opinion)>,
+}
+
+impl<A: Agent, C: Channel> Simulation<A, C> {
+    /// Creates a simulation over the given agents.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlipError::PopulationTooSmall`] if fewer than two agents are
+    /// supplied, or [`FlipError::InvalidParameter`] if the configured
+    /// population size does not match `agents.len()`.
+    pub fn new(agents: Vec<A>, channel: C, config: SimulationConfig) -> Result<Self, FlipError> {
+        if agents.len() < 2 {
+            return Err(FlipError::PopulationTooSmall { n: agents.len() });
+        }
+        if config.population() != agents.len() {
+            return Err(FlipError::InvalidParameter {
+                name: "population",
+                message: format!(
+                    "config says {} agents but {} were supplied",
+                    config.population(),
+                    agents.len()
+                ),
+            });
+        }
+        let scheduler = GossipScheduler::new(agents.len())?;
+        let trace = TraceRecorder::new(agents.len(), config.trace_options(), config.reference());
+        Ok(Self {
+            agents,
+            channel,
+            scheduler,
+            rng: SimRng::from_seed(config.seed()),
+            round: 0,
+            metrics: Metrics::new(),
+            trace,
+            reference: config.reference(),
+            send_buffer: Vec::new(),
+        })
+    }
+
+    /// Executes one synchronous round and returns its summary.
+    pub fn step(&mut self) -> RoundSummary {
+        let round = self.round;
+
+        // Phase 1: collect sends.
+        self.send_buffer.clear();
+        for (idx, agent) in self.agents.iter_mut().enumerate() {
+            if let Some(message) = agent.send(round, &mut self.rng) {
+                self.send_buffer.push((idx, message));
+            }
+        }
+
+        // Phase 2: route, corrupt, deliver.
+        let routing = self.scheduler.route(&self.send_buffer, &mut self.rng);
+        let mut flips = 0u64;
+        for delivery in &routing.accepted {
+            let corrupted = self.channel.transmit(delivery.payload, &mut self.rng);
+            if corrupted != delivery.payload {
+                flips += 1;
+            }
+            let recipient = delivery.recipient.index();
+            self.trace.on_delivery(recipient, round);
+            self.agents[recipient].deliver(round, corrupted, &mut self.rng);
+        }
+
+        // Phase 3: end-of-round hooks.
+        for agent in &mut self.agents {
+            agent.end_round(round, &mut self.rng);
+        }
+
+        let round_metrics = RoundMetrics {
+            round,
+            messages_sent: routing.sent,
+            messages_accepted: routing.accepted.len() as u64,
+            messages_collided: routing.collided,
+            bits_flipped: flips,
+        };
+        self.metrics.absorb_round(&round_metrics);
+
+        let census = Census::of_agents(&self.agents);
+        self.trace.on_round_end(round, &census, routing.sent);
+        self.round += 1;
+
+        RoundSummary {
+            metrics: round_metrics,
+            census_active: census.active(),
+            census_correct: self.reference.map(|r| census.holding(r)),
+        }
+    }
+
+    /// Executes `rounds` rounds and returns the accumulated metrics.
+    pub fn run(&mut self, rounds: u64) -> &Metrics {
+        for _ in 0..rounds {
+            self.step();
+        }
+        &self.metrics
+    }
+
+    /// Executes rounds until `predicate` returns `true` (checked after every
+    /// round) or `max_rounds` rounds have been executed, whichever comes first.
+    ///
+    /// Returns the number of rounds executed by this call.
+    pub fn run_until<F>(&mut self, max_rounds: u64, mut predicate: F) -> u64
+    where
+        F: FnMut(&Self) -> bool,
+    {
+        let mut executed = 0;
+        while executed < max_rounds {
+            self.step();
+            executed += 1;
+            if predicate(self) {
+                break;
+            }
+        }
+        executed
+    }
+
+    /// The agents, in population order.
+    #[must_use]
+    pub fn agents(&self) -> &[A] {
+        &self.agents
+    }
+
+    /// Mutable access to the agents (useful for seeding initial opinions).
+    #[must_use]
+    pub fn agents_mut(&mut self) -> &mut [A] {
+        &mut self.agents
+    }
+
+    /// A census of the current population.
+    #[must_use]
+    pub fn census(&self) -> Census {
+        Census::of_agents(&self.agents)
+    }
+
+    /// The accumulated metrics so far.
+    #[must_use]
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// The recorded trace.
+    #[must_use]
+    pub fn trace(&self) -> &TraceRecorder {
+        &self.trace
+    }
+
+    /// The next round index to be executed (equals rounds executed so far).
+    #[must_use]
+    pub fn round(&self) -> Round {
+        self.round
+    }
+
+    /// The noise channel in use.
+    #[must_use]
+    pub fn channel(&self) -> &C {
+        &self.channel
+    }
+
+    /// Consumes the simulation, returning the agents, metrics and trace.
+    #[must_use]
+    pub fn into_parts(self) -> (Vec<A>, Metrics, TraceRecorder) {
+        (self.agents, self.metrics, self.trace)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::{BinarySymmetricChannel, NoiselessChannel};
+
+    /// An agent that always sends its fixed opinion.
+    struct Beacon(Opinion);
+
+    impl Agent for Beacon {
+        fn send(&mut self, _round: Round, _rng: &mut SimRng) -> Option<Opinion> {
+            Some(self.0)
+        }
+        fn deliver(&mut self, _round: Round, _message: Opinion, _rng: &mut SimRng) {}
+        fn opinion(&self) -> Option<Opinion> {
+            Some(self.0)
+        }
+    }
+
+    /// An agent that adopts the first message it hears and then repeats it.
+    struct Adopter {
+        opinion: Option<Opinion>,
+    }
+
+    impl Agent for Adopter {
+        fn send(&mut self, _round: Round, _rng: &mut SimRng) -> Option<Opinion> {
+            self.opinion
+        }
+        fn deliver(&mut self, _round: Round, message: Opinion, _rng: &mut SimRng) {
+            if self.opinion.is_none() {
+                self.opinion = Some(message);
+            }
+        }
+        fn opinion(&self) -> Option<Opinion> {
+            self.opinion
+        }
+    }
+
+    fn adopters(n: usize, informed: usize) -> Vec<Adopter> {
+        (0..n)
+            .map(|i| Adopter {
+                opinion: (i < informed).then_some(Opinion::One),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn rejects_mismatched_population() {
+        let agents = adopters(10, 1);
+        let config = SimulationConfig::new(11);
+        assert!(Simulation::new(agents, NoiselessChannel, config).is_err());
+    }
+
+    #[test]
+    fn rejects_tiny_population() {
+        let agents = adopters(1, 1);
+        let config = SimulationConfig::new(1);
+        assert!(matches!(
+            Simulation::new(agents, NoiselessChannel, config),
+            Err(FlipError::PopulationTooSmall { n: 1 })
+        ));
+    }
+
+    #[test]
+    fn step_counts_messages_and_rounds() {
+        let agents = vec![Beacon(Opinion::One), Beacon(Opinion::Zero)];
+        let config = SimulationConfig::new(2).with_seed(3);
+        let mut sim = Simulation::new(agents, NoiselessChannel, config).unwrap();
+        let summary = sim.step();
+        assert_eq!(summary.metrics.messages_sent, 2);
+        // With two agents, each message must go to the other agent; both accept one.
+        assert_eq!(summary.metrics.messages_accepted, 2);
+        assert_eq!(sim.metrics().rounds, 1);
+        assert_eq!(sim.round(), 1);
+    }
+
+    #[test]
+    fn rumor_spreads_in_noiseless_network() {
+        let agents = adopters(200, 1);
+        let config = SimulationConfig::new(200).with_seed(5);
+        let mut sim = Simulation::new(agents, NoiselessChannel, config).unwrap();
+        let executed = sim.run_until(5_000, |s| s.census().active() == 200);
+        assert!(executed < 5_000, "rumor should spread quickly");
+        assert!(sim.census().is_unanimous(Opinion::One));
+    }
+
+    #[test]
+    fn run_until_stops_at_max_rounds() {
+        let agents = adopters(10, 0); // nobody informed, nothing ever happens
+        let config = SimulationConfig::new(10).with_seed(5);
+        let mut sim = Simulation::new(agents, NoiselessChannel, config).unwrap();
+        let executed = sim.run_until(17, |_| false);
+        assert_eq!(executed, 17);
+        assert_eq!(sim.metrics().rounds, 17);
+        assert_eq!(sim.metrics().messages_sent, 0);
+    }
+
+    #[test]
+    fn identical_seeds_give_identical_runs() {
+        let run = |seed: u64| {
+            let agents = adopters(100, 1);
+            let config = SimulationConfig::new(100).with_seed(seed).with_history(true);
+            let channel = BinarySymmetricChannel::from_epsilon(0.2).unwrap();
+            let mut sim = Simulation::new(agents, channel, config).unwrap();
+            sim.run(50);
+            let history: Vec<(usize, u64)> = sim
+                .trace()
+                .history()
+                .iter()
+                .map(|s| (s.active, s.messages_sent))
+                .collect();
+            (history, sim.metrics().clone())
+        };
+        let (h1, m1) = run(99);
+        let (h2, m2) = run(99);
+        assert_eq!(h1, h2);
+        assert_eq!(m1, m2);
+        let (h3, _) = run(100);
+        assert_ne!(h1, h3, "different seeds should (almost surely) differ");
+    }
+
+    #[test]
+    fn noise_flips_are_counted() {
+        let agents = vec![Beacon(Opinion::One), Beacon(Opinion::One)];
+        let config = SimulationConfig::new(2).with_seed(8);
+        let channel = BinarySymmetricChannel::new(0.5).unwrap();
+        let mut sim = Simulation::new(agents, channel, config).unwrap();
+        sim.run(1_000);
+        let rate = sim.metrics().empirical_flip_rate().unwrap();
+        assert!((rate - 0.5).abs() < 0.05, "rate = {rate}");
+    }
+
+    #[test]
+    fn trace_reference_counts_correct_agents() {
+        let agents = adopters(50, 5);
+        let config = SimulationConfig::new(50)
+            .with_seed(2)
+            .with_reference(Opinion::One)
+            .with_history(true)
+            .with_activation_trace(true);
+        let mut sim = Simulation::new(agents, NoiselessChannel, config).unwrap();
+        let summary = sim.step();
+        assert_eq!(summary.census_correct, Some(sim.census().holding(Opinion::One)));
+        assert!(!sim.trace().history().is_empty());
+    }
+
+    #[test]
+    fn into_parts_returns_state() {
+        let agents = adopters(10, 1);
+        let config = SimulationConfig::new(10).with_seed(2);
+        let mut sim = Simulation::new(agents, NoiselessChannel, config).unwrap();
+        sim.run(3);
+        let (agents, metrics, _trace) = sim.into_parts();
+        assert_eq!(agents.len(), 10);
+        assert_eq!(metrics.rounds, 3);
+    }
+}

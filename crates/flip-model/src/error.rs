@@ -1,0 +1,80 @@
+//! Error types for the Flip-model substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned when constructing or running Flip-model simulations.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum FlipError {
+    /// The binary symmetric channel crossover probability must lie in `[0, 1/2]`.
+    InvalidCrossover {
+        /// The rejected probability.
+        probability: f64,
+    },
+    /// The noise margin `ε` must lie in `(0, 1/2]`.
+    InvalidEpsilon {
+        /// The rejected value of `ε`.
+        epsilon: f64,
+    },
+    /// A population must contain at least two agents for push gossip to be defined.
+    PopulationTooSmall {
+        /// The rejected population size.
+        n: usize,
+    },
+    /// A protocol or configuration parameter was outside its valid range.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Human-readable description of the constraint that was violated.
+        message: String,
+    },
+}
+
+impl fmt::Display for FlipError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlipError::InvalidCrossover { probability } => write!(
+                f,
+                "channel crossover probability {probability} is outside [0, 0.5]"
+            ),
+            FlipError::InvalidEpsilon { epsilon } => {
+                write!(f, "noise margin epsilon {epsilon} is outside (0, 0.5]")
+            }
+            FlipError::PopulationTooSmall { n } => {
+                write!(f, "population of {n} agents is too small; need at least 2")
+            }
+            FlipError::InvalidParameter { name, message } => {
+                write!(f, "invalid parameter `{name}`: {message}")
+            }
+        }
+    }
+}
+
+impl Error for FlipError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = FlipError::InvalidCrossover { probability: 0.7 };
+        assert!(e.to_string().contains("0.7"));
+        let e = FlipError::InvalidEpsilon { epsilon: 0.9 };
+        assert!(e.to_string().contains("0.9"));
+        let e = FlipError::PopulationTooSmall { n: 1 };
+        assert!(e.to_string().contains('1'));
+        let e = FlipError::InvalidParameter {
+            name: "beta",
+            message: "must be positive".to_string(),
+        };
+        assert!(e.to_string().contains("beta"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FlipError>();
+    }
+}

@@ -1,0 +1,85 @@
+//! The **Flip model** of communication from *Breathe before Speaking:
+//! Efficient Information Dissemination despite Noisy, Limited and Anonymous
+//! Communication* (Feinerman, Haeupler, Korman; PODC 2014).
+//!
+//! The model (paper §1.3) consists of `n` anonymous agents proceeding in
+//! synchronous rounds.  In every round each agent may either *wait* (send
+//! nothing) or *push* a single-bit message to another agent chosen uniformly
+//! at random; neither side learns the other's identity.  If several messages
+//! reach the same agent in one round, the recipient accepts exactly one of
+//! them, chosen uniformly at random, and the rest are dropped.  Every accepted
+//! bit is flipped independently with probability at most `1/2 − ε`
+//! (a binary symmetric channel).
+//!
+//! This crate is the *substrate* on which the paper's protocols (crate
+//! `breathe`) and the comparison baselines (crate `baselines`) run.  It knows
+//! nothing about any particular protocol: protocols are per-agent state
+//! machines implementing the [`Agent`] trait, and the [`Simulation`] engine
+//! applies the push-gossip routing, collision and noise semantics.
+//!
+//! # Example
+//!
+//! A tiny "everyone repeats what they last heard" protocol:
+//!
+//! ```
+//! use flip_model::{
+//!     Agent, BinarySymmetricChannel, Opinion, Round, SimRng, Simulation, SimulationConfig,
+//! };
+//!
+//! struct Parrot {
+//!     opinion: Option<Opinion>,
+//! }
+//!
+//! impl Agent for Parrot {
+//!     fn send(&mut self, _round: Round, _rng: &mut SimRng) -> Option<Opinion> {
+//!         self.opinion
+//!     }
+//!     fn deliver(&mut self, _round: Round, message: Opinion, _rng: &mut SimRng) {
+//!         self.opinion = Some(message);
+//!     }
+//!     fn opinion(&self) -> Option<Opinion> {
+//!         self.opinion
+//!     }
+//! }
+//!
+//! # fn main() -> Result<(), flip_model::FlipError> {
+//! let mut agents: Vec<Parrot> = (0..100).map(|_| Parrot { opinion: None }).collect();
+//! agents[0].opinion = Some(Opinion::One); // a single informed agent
+//!
+//! let channel = BinarySymmetricChannel::from_epsilon(0.3)?;
+//! let config = SimulationConfig::new(100).with_seed(7);
+//! let mut sim = Simulation::new(agents, channel, config)?;
+//! sim.run(200);
+//! assert!(sim.census().active() > 90);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod agent;
+mod channel;
+mod clock;
+mod config;
+mod engine;
+mod error;
+mod metrics;
+mod opinion;
+mod population;
+mod rng;
+mod scheduler;
+mod trace;
+
+pub use agent::{Agent, AgentId, Round};
+pub use channel::{AdversarialCapChannel, BinarySymmetricChannel, Channel, NoiselessChannel};
+pub use clock::{ClockModel, LocalClock};
+pub use config::SimulationConfig;
+pub use engine::{RoundSummary, Simulation};
+pub use error::FlipError;
+pub use metrics::{Metrics, RoundMetrics};
+pub use opinion::Opinion;
+pub use population::{majority_bias, Census};
+pub use rng::SimRng;
+pub use scheduler::{Delivery, GossipScheduler, RoundRouting};
+pub use trace::{TraceOptions, TraceRecorder};

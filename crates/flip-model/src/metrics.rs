@@ -1,0 +1,128 @@
+//! Round and message accounting.
+
+/// Aggregate counters maintained by the engine over an entire run.
+///
+/// In the Flip model every message carries exactly one bit, so
+/// `messages_sent` equals the total bit complexity of the execution.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Metrics {
+    /// Number of rounds executed so far.
+    pub rounds: u64,
+    /// Total number of messages pushed by agents.
+    pub messages_sent: u64,
+    /// Messages accepted by a recipient (at most one per agent per round).
+    pub messages_accepted: u64,
+    /// Messages dropped because the recipient accepted another message that round.
+    pub messages_collided: u64,
+    /// Accepted messages whose bit was flipped by the channel.
+    pub bits_flipped: u64,
+}
+
+impl Metrics {
+    /// Creates zeroed counters.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total bit complexity of the run (one bit per pushed message).
+    #[must_use]
+    pub fn bits_sent(&self) -> u64 {
+        self.messages_sent
+    }
+
+    /// Fraction of accepted messages corrupted by the channel, if any were accepted.
+    #[must_use]
+    pub fn empirical_flip_rate(&self) -> Option<f64> {
+        if self.messages_accepted == 0 {
+            None
+        } else {
+            Some(self.bits_flipped as f64 / self.messages_accepted as f64)
+        }
+    }
+
+    /// Fraction of sent messages lost to collisions, if any were sent.
+    #[must_use]
+    pub fn collision_rate(&self) -> Option<f64> {
+        if self.messages_sent == 0 {
+            None
+        } else {
+            Some(self.messages_collided as f64 / self.messages_sent as f64)
+        }
+    }
+
+    /// Adds one round's worth of counters.
+    pub fn absorb_round(&mut self, round: &RoundMetrics) {
+        self.rounds += 1;
+        self.messages_sent += round.messages_sent;
+        self.messages_accepted += round.messages_accepted;
+        self.messages_collided += round.messages_collided;
+        self.bits_flipped += round.bits_flipped;
+    }
+}
+
+/// Counters for a single round.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RoundMetrics {
+    /// The round index these counters belong to.
+    pub round: u64,
+    /// Messages pushed in the round.
+    pub messages_sent: u64,
+    /// Messages accepted by recipients in the round.
+    pub messages_accepted: u64,
+    /// Messages dropped due to collisions in the round.
+    pub messages_collided: u64,
+    /// Accepted messages whose bit was flipped in the round.
+    pub bits_flipped: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorbing_rounds_accumulates() {
+        let mut m = Metrics::new();
+        m.absorb_round(&RoundMetrics {
+            round: 0,
+            messages_sent: 10,
+            messages_accepted: 8,
+            messages_collided: 2,
+            bits_flipped: 3,
+        });
+        m.absorb_round(&RoundMetrics {
+            round: 1,
+            messages_sent: 5,
+            messages_accepted: 5,
+            messages_collided: 0,
+            bits_flipped: 1,
+        });
+        assert_eq!(m.rounds, 2);
+        assert_eq!(m.messages_sent, 15);
+        assert_eq!(m.messages_accepted, 13);
+        assert_eq!(m.messages_collided, 2);
+        assert_eq!(m.bits_flipped, 4);
+        assert_eq!(m.bits_sent(), 15);
+    }
+
+    #[test]
+    fn rates_are_none_when_nothing_happened() {
+        let m = Metrics::new();
+        assert!(m.empirical_flip_rate().is_none());
+        assert!(m.collision_rate().is_none());
+    }
+
+    #[test]
+    fn rates_are_fractions() {
+        let mut m = Metrics::new();
+        m.absorb_round(&RoundMetrics {
+            round: 0,
+            messages_sent: 100,
+            messages_accepted: 80,
+            messages_collided: 20,
+            bits_flipped: 20,
+        });
+        assert!((m.empirical_flip_rate().unwrap() - 0.25).abs() < 1e-12);
+        assert!((m.collision_rate().unwrap() - 0.2).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,156 @@
+//! Deterministic random number generation for simulations.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// The random number generator threaded through every simulation.
+///
+/// All randomness in a [`Simulation`](crate::Simulation) — protocol coin
+/// flips, gossip recipient choices, collision resolution and channel noise —
+/// is derived from a single `SimRng` seeded by the caller, so that every run
+/// is exactly reproducible from its seed.
+///
+/// # Example
+///
+/// ```
+/// use flip_model::SimRng;
+/// use rand::Rng;
+///
+/// let mut a = SimRng::from_seed(1);
+/// let mut b = SimRng::from_seed(1);
+/// assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: StdRng,
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed.
+    #[must_use]
+    pub fn from_seed(seed: u64) -> Self {
+        Self {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derives an independent child generator for a named stream.
+    ///
+    /// Useful when running many trials in parallel from one master seed: each
+    /// trial gets `master.fork(trial_index)` and the streams do not interact.
+    #[must_use]
+    pub fn fork(&mut self, stream: u64) -> Self {
+        let base = self.inner.next_u64();
+        // Mix the stream id with SplitMix64 so that nearby ids diverge.
+        let mut z = base ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        Self::from_seed(z)
+    }
+
+    /// Returns `true` with the given probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `probability` is not within `[0, 1]` (delegated to
+    /// [`rand::Rng::gen_bool`]).
+    #[must_use]
+    pub fn chance(&mut self, probability: f64) -> bool {
+        use rand::Rng;
+        if probability <= 0.0 {
+            false
+        } else if probability >= 1.0 {
+            true
+        } else {
+            self.inner.gen_bool(probability)
+        }
+    }
+}
+
+impl RngCore for SimRng {
+    fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.inner.fill_bytes(dest);
+    }
+
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.inner.try_fill_bytes(dest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::from_seed(99);
+        let mut b = SimRng::from_seed(99);
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SimRng::from_seed(1);
+        let mut b = SimRng::from_seed(2);
+        let same = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn forked_streams_are_deterministic() {
+        let mut master1 = SimRng::from_seed(5);
+        let mut master2 = SimRng::from_seed(5);
+        let mut c1 = master1.fork(3);
+        let mut c2 = master2.fork(3);
+        for _ in 0..16 {
+            assert_eq!(c1.next_u64(), c2.next_u64());
+        }
+    }
+
+    #[test]
+    fn forked_streams_diverge_by_stream_id() {
+        let mut master = SimRng::from_seed(5);
+        let mut c1 = master.fork(1);
+        let mut master = SimRng::from_seed(5);
+        let mut c2 = master.fork(2);
+        let same = (0..16).filter(|_| c1.next_u64() == c2.next_u64()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = SimRng::from_seed(0);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+        assert!(!rng.chance(-0.5));
+        assert!(rng.chance(1.5));
+    }
+
+    #[test]
+    fn chance_is_roughly_calibrated() {
+        let mut rng = SimRng::from_seed(11);
+        let hits = (0..10_000).filter(|_| rng.chance(0.3)).count();
+        assert!((2_700..3_300).contains(&hits), "hits = {hits}");
+    }
+
+    #[test]
+    fn gen_range_works_via_rng_trait() {
+        let mut rng = SimRng::from_seed(4);
+        for _ in 0..100 {
+            let x: usize = rng.gen_range(0..10);
+            assert!(x < 10);
+        }
+    }
+}

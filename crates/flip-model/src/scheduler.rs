@@ -1,0 +1,242 @@
+//! Push-gossip routing with per-recipient collision resolution.
+
+use rand::Rng;
+
+use crate::agent::AgentId;
+use crate::error::FlipError;
+use crate::opinion::Opinion;
+use crate::rng::SimRng;
+
+/// A message accepted by its recipient in one round, before channel noise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Delivery {
+    /// The agent that pushed the message.
+    pub sender: AgentId,
+    /// The agent that accepted the message.
+    pub recipient: AgentId,
+    /// The transmitted opinion as it left the sender (noise is applied later).
+    pub payload: Opinion,
+}
+
+/// The outcome of routing one round of push gossip.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RoundRouting {
+    /// Messages accepted by their recipients (one per receiving agent at most).
+    pub accepted: Vec<Delivery>,
+    /// Number of messages pushed this round.
+    pub sent: u64,
+    /// Number of messages dropped because their recipient accepted another one.
+    pub collided: u64,
+}
+
+/// Routes pushed messages to uniformly random recipients and resolves collisions.
+///
+/// The scheduler implements exactly the interaction pattern of the paper
+/// (§1.3.2): each pushed message is addressed to an agent chosen uniformly at
+/// random among the *other* `n − 1` agents, and an agent that receives several
+/// messages in the same round accepts one of them chosen uniformly at random.
+///
+/// The scheduler reuses internal buffers across rounds, so a single instance
+/// should be kept for the lifetime of a simulation.
+#[derive(Debug, Clone)]
+pub struct GossipScheduler {
+    n: usize,
+    /// Number of messages that have arrived at each agent this round.
+    arrival_counts: Vec<u32>,
+    /// The reservoir-sampled kept message per agent this round.
+    kept: Vec<Option<(AgentId, Opinion)>>,
+    /// Agents touched this round (for cheap resets).
+    touched: Vec<usize>,
+}
+
+impl GossipScheduler {
+    /// Creates a scheduler for a population of `n` agents.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlipError::PopulationTooSmall`] if `n < 2`.
+    pub fn new(n: usize) -> Result<Self, FlipError> {
+        if n < 2 {
+            return Err(FlipError::PopulationTooSmall { n });
+        }
+        Ok(Self {
+            n,
+            arrival_counts: vec![0; n],
+            kept: vec![None; n],
+            touched: Vec::new(),
+        })
+    }
+
+    /// The population size this scheduler routes for.
+    #[must_use]
+    pub fn population(&self) -> usize {
+        self.n
+    }
+
+    /// Routes one round of sends.
+    ///
+    /// `sends` lists `(sender index, opinion)` pairs for every agent that chose
+    /// to push a message this round.  Each message is assigned a uniformly
+    /// random recipient different from its sender; each recipient keeps one
+    /// arriving message uniformly at random (reservoir sampling of size one).
+    pub fn route(&mut self, sends: &[(usize, Opinion)], rng: &mut SimRng) -> RoundRouting {
+        // Reset only the entries touched last round.
+        for &idx in &self.touched {
+            self.arrival_counts[idx] = 0;
+            self.kept[idx] = None;
+        }
+        self.touched.clear();
+
+        let mut sent = 0u64;
+        for &(sender, payload) in sends {
+            debug_assert!(sender < self.n, "sender index out of range");
+            sent += 1;
+            // Uniform recipient among the other n - 1 agents.
+            let mut recipient = rng.gen_range(0..self.n - 1);
+            if recipient >= sender {
+                recipient += 1;
+            }
+            let count = &mut self.arrival_counts[recipient];
+            *count += 1;
+            if *count == 1 {
+                self.touched.push(recipient);
+                self.kept[recipient] = Some((AgentId::new(sender), payload));
+            } else {
+                // Reservoir sampling: replace with probability 1/count.
+                let c = *count;
+                if rng.gen_range(0..c) == 0 {
+                    self.kept[recipient] = Some((AgentId::new(sender), payload));
+                }
+            }
+        }
+
+        let mut accepted = Vec::with_capacity(self.touched.len());
+        let mut collided = 0u64;
+        for &idx in &self.touched {
+            let (sender, payload) = self.kept[idx].expect("touched entries hold a message");
+            collided += u64::from(self.arrival_counts[idx] - 1);
+            accepted.push(Delivery {
+                sender,
+                recipient: AgentId::new(idx),
+                payload,
+            });
+        }
+
+        RoundRouting {
+            accepted,
+            sent,
+            collided,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_tiny_populations() {
+        assert!(GossipScheduler::new(0).is_err());
+        assert!(GossipScheduler::new(1).is_err());
+        assert!(GossipScheduler::new(2).is_ok());
+    }
+
+    #[test]
+    fn no_sends_no_deliveries() {
+        let mut s = GossipScheduler::new(10).unwrap();
+        let mut rng = SimRng::from_seed(0);
+        let routing = s.route(&[], &mut rng);
+        assert!(routing.accepted.is_empty());
+        assert_eq!(routing.sent, 0);
+        assert_eq!(routing.collided, 0);
+    }
+
+    #[test]
+    fn never_delivers_to_sender() {
+        let mut s = GossipScheduler::new(5).unwrap();
+        let mut rng = SimRng::from_seed(1);
+        for _ in 0..500 {
+            let routing = s.route(&[(2, Opinion::One)], &mut rng);
+            assert_eq!(routing.accepted.len(), 1);
+            assert_ne!(routing.accepted[0].recipient.index(), 2);
+            assert_eq!(routing.accepted[0].sender.index(), 2);
+        }
+    }
+
+    #[test]
+    fn each_recipient_accepts_at_most_one_message() {
+        let mut s = GossipScheduler::new(4).unwrap();
+        let mut rng = SimRng::from_seed(2);
+        // All four agents push, so collisions are very likely.
+        let sends: Vec<(usize, Opinion)> = (0..4).map(|i| (i, Opinion::Zero)).collect();
+        for _ in 0..200 {
+            let routing = s.route(&sends, &mut rng);
+            let mut seen = [0u32; 4];
+            for d in &routing.accepted {
+                seen[d.recipient.index()] += 1;
+            }
+            assert!(seen.iter().all(|&c| c <= 1));
+            assert_eq!(
+                routing.sent,
+                routing.accepted.len() as u64 + routing.collided
+            );
+        }
+    }
+
+    #[test]
+    fn recipients_are_roughly_uniform() {
+        let mut s = GossipScheduler::new(6).unwrap();
+        let mut rng = SimRng::from_seed(3);
+        let mut counts = [0u32; 6];
+        let trials = 30_000;
+        for _ in 0..trials {
+            let routing = s.route(&[(0, Opinion::One)], &mut rng);
+            counts[routing.accepted[0].recipient.index()] += 1;
+        }
+        assert_eq!(counts[0], 0);
+        let expected = trials as f64 / 5.0;
+        for &c in &counts[1..] {
+            assert!(
+                (f64::from(c) - expected).abs() < expected * 0.1,
+                "counts = {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn collision_winner_is_roughly_uniform() {
+        // Three senders all pushing into a 2-agent-recipient world is impossible;
+        // instead use n = 2: both messages from agent 0 and 1 must go to the other,
+        // so craft a scenario with repeated sends from distinct senders and check
+        // the accepted sender distribution at a single recipient.
+        let mut s = GossipScheduler::new(3).unwrap();
+        let mut rng = SimRng::from_seed(4);
+        let mut winner_counts = [0u32; 3];
+        let mut total = 0u32;
+        for _ in 0..30_000 {
+            let routing = s.route(&[(0, Opinion::Zero), (1, Opinion::One)], &mut rng);
+            for d in &routing.accepted {
+                if d.recipient.index() == 2 && routing.collided == 1 {
+                    // Both messages landed on agent 2; record who won.
+                    winner_counts[d.sender.index()] += 1;
+                    total += 1;
+                }
+            }
+        }
+        assert!(total > 5_000, "collisions should be frequent, got {total}");
+        let share0 = f64::from(winner_counts[0]) / f64::from(total);
+        assert!((share0 - 0.5).abs() < 0.05, "share0 = {share0}");
+    }
+
+    #[test]
+    fn buffers_reset_between_rounds() {
+        let mut s = GossipScheduler::new(4).unwrap();
+        let mut rng = SimRng::from_seed(5);
+        let r1 = s.route(&[(0, Opinion::One), (1, Opinion::One)], &mut rng);
+        assert!(r1.sent == 2);
+        let r2 = s.route(&[], &mut rng);
+        assert!(r2.accepted.is_empty());
+        assert_eq!(r2.sent, 0);
+        assert_eq!(r2.collided, 0);
+    }
+}

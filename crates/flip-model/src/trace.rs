@@ -1,0 +1,182 @@
+//! Execution traces: activation times and per-round population snapshots.
+
+use crate::agent::Round;
+use crate::opinion::Opinion;
+use crate::population::Census;
+
+/// What the [`TraceRecorder`] should collect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TraceOptions {
+    /// Record a [`Census`]-derived snapshot of the population after every round.
+    pub record_history: bool,
+    /// Record the round in which each agent first received a message.
+    pub record_activations: bool,
+}
+
+/// One per-round snapshot of the population.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Snapshot {
+    /// Round after which the snapshot was taken.
+    pub round: Round,
+    /// Number of agents holding any opinion.
+    pub active: usize,
+    /// Number of agents holding the reference ("correct") opinion, if a
+    /// reference was configured.
+    pub correct: Option<usize>,
+    /// Messages sent during the round.
+    pub messages_sent: u64,
+}
+
+/// Records activation times and optional per-round population history.
+#[derive(Debug, Clone, Default)]
+pub struct TraceRecorder {
+    options: TraceOptions,
+    reference: Option<Opinion>,
+    activation_round: Vec<Option<Round>>,
+    history: Vec<Snapshot>,
+}
+
+impl TraceRecorder {
+    /// Creates a recorder for a population of `n` agents.
+    #[must_use]
+    pub fn new(n: usize, options: TraceOptions, reference: Option<Opinion>) -> Self {
+        let activation_round = if options.record_activations {
+            vec![None; n]
+        } else {
+            Vec::new()
+        };
+        Self {
+            options,
+            reference,
+            activation_round,
+            history: Vec::new(),
+        }
+    }
+
+    /// The options this recorder was created with.
+    #[must_use]
+    pub fn options(&self) -> TraceOptions {
+        self.options
+    }
+
+    /// Notes that `agent` received a message in `round` (first one wins).
+    pub fn on_delivery(&mut self, agent: usize, round: Round) {
+        if self.options.record_activations {
+            if let Some(slot) = self.activation_round.get_mut(agent) {
+                if slot.is_none() {
+                    *slot = Some(round);
+                }
+            }
+        }
+    }
+
+    /// Records an end-of-round snapshot from a census.
+    pub fn on_round_end(&mut self, round: Round, census: &Census, messages_sent: u64) {
+        if self.options.record_history {
+            self.history.push(Snapshot {
+                round,
+                active: census.active(),
+                correct: self.reference.map(|r| census.holding(r)),
+                messages_sent,
+            });
+        }
+    }
+
+    /// Round in which `agent` was first delivered a message, if recorded.
+    #[must_use]
+    pub fn activation_round(&self, agent: usize) -> Option<Round> {
+        self.activation_round.get(agent).copied().flatten()
+    }
+
+    /// All recorded activation rounds (empty unless activation tracing was enabled).
+    #[must_use]
+    pub fn activation_rounds(&self) -> &[Option<Round>] {
+        &self.activation_round
+    }
+
+    /// The recorded per-round history (empty unless history tracing was enabled).
+    #[must_use]
+    pub fn history(&self) -> &[Snapshot] {
+        &self.history
+    }
+
+    /// First round after which at least `threshold` agents were active, if any.
+    #[must_use]
+    pub fn round_reaching_active(&self, threshold: usize) -> Option<Round> {
+        self.history
+            .iter()
+            .find(|s| s.active >= threshold)
+            .map(|s| s.round)
+    }
+
+    /// First round after which at least `threshold` agents held the reference
+    /// opinion, if a reference was configured and history recorded.
+    #[must_use]
+    pub fn round_reaching_correct(&self, threshold: usize) -> Option<Round> {
+        self.history
+            .iter()
+            .find(|s| s.correct.is_some_and(|c| c >= threshold))
+            .map(|s| s.round)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn full_options() -> TraceOptions {
+        TraceOptions {
+            record_history: true,
+            record_activations: true,
+        }
+    }
+
+    #[test]
+    fn first_delivery_wins() {
+        let mut trace = TraceRecorder::new(3, full_options(), None);
+        trace.on_delivery(1, 4);
+        trace.on_delivery(1, 9);
+        assert_eq!(trace.activation_round(1), Some(4));
+        assert_eq!(trace.activation_round(0), None);
+        assert_eq!(trace.activation_round(99), None);
+    }
+
+    #[test]
+    fn disabled_activation_tracing_records_nothing() {
+        let mut trace = TraceRecorder::new(3, TraceOptions::default(), None);
+        trace.on_delivery(1, 4);
+        assert_eq!(trace.activation_round(1), None);
+        assert!(trace.activation_rounds().is_empty());
+    }
+
+    #[test]
+    fn history_records_census_and_reference() {
+        let mut trace = TraceRecorder::new(4, full_options(), Some(Opinion::One));
+        let census = Census::from_counts(1, 2, 4);
+        trace.on_round_end(0, &census, 7);
+        assert_eq!(trace.history().len(), 1);
+        let snap = trace.history()[0];
+        assert_eq!(snap.active, 3);
+        assert_eq!(snap.correct, Some(2));
+        assert_eq!(snap.messages_sent, 7);
+    }
+
+    #[test]
+    fn threshold_queries_scan_history() {
+        let mut trace = TraceRecorder::new(4, full_options(), Some(Opinion::One));
+        trace.on_round_end(0, &Census::from_counts(1, 1, 4), 1);
+        trace.on_round_end(1, &Census::from_counts(1, 3, 4), 1);
+        assert_eq!(trace.round_reaching_active(4), Some(1));
+        assert_eq!(trace.round_reaching_active(5), None);
+        assert_eq!(trace.round_reaching_correct(3), Some(1));
+        assert_eq!(trace.round_reaching_correct(4), None);
+    }
+
+    #[test]
+    fn history_disabled_means_no_snapshots() {
+        let mut trace = TraceRecorder::new(4, TraceOptions::default(), None);
+        trace.on_round_end(0, &Census::from_counts(1, 1, 4), 1);
+        assert!(trace.history().is_empty());
+        assert_eq!(trace.round_reaching_active(1), None);
+    }
+}

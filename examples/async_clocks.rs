@@ -1,0 +1,54 @@
+//! Removing the global clock (paper §3): the same broadcast succeeds when
+//! agents' clocks start out of sync, at an additive `O(log² n)` round cost.
+//!
+//! ```text
+//! cargo run --release --example async_clocks
+//! ```
+
+use breathe::{AsyncBroadcastProtocol, AsyncVariant, BroadcastProtocol, Params};
+use flip_model::Opinion;
+
+fn main() -> Result<(), flip_model::FlipError> {
+    let n = 1_000;
+    let epsilon = 0.25;
+    let params = Params::practical(n, epsilon)?;
+    let correct = Opinion::One;
+
+    let sync_outcome = BroadcastProtocol::new(params.clone(), correct).run_with_seed(3)?;
+    println!(
+        "fully synchronous   : {:>6} rounds, fraction correct {:.4}",
+        sync_outcome.total_rounds, sync_outcome.fraction_correct
+    );
+
+    let d = 2 * (n as f64).log2().ceil() as u64;
+    let offsets = AsyncBroadcastProtocol::new(
+        params.clone(),
+        correct,
+        AsyncVariant::BoundedOffsets { max_offset: d },
+    )
+    .run_with_seed(3)?;
+    println!(
+        "clock offsets < {d:>3} : {:>6} rounds, fraction correct {:.4}, overhead {} rounds",
+        offsets.total_rounds,
+        offsets.fraction_correct,
+        offsets.overhead_rounds()
+    );
+
+    let resync = AsyncBroadcastProtocol::new(params, correct, AsyncVariant::Resynchronised)
+        .run_with_seed(3)?;
+    let ln_n = (n as f64).ln();
+    println!(
+        "arbitrary skew      : {:>6} rounds, fraction correct {:.4}, overhead {} rounds (ln^2 n = {:.0})",
+        resync.total_rounds,
+        resync.fraction_correct,
+        resync.overhead_rounds(),
+        ln_n * ln_n
+    );
+
+    println!();
+    println!(
+        "Theorem 3.1: both clockless variants stay correct and pay only an additive \
+         O(log^2 n) in rounds; the message complexity is unchanged."
+    );
+    Ok(())
+}

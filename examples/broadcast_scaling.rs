@@ -1,0 +1,53 @@
+//! Scaling demo: how the round and message cost of noisy broadcast grows with
+//! the population size and the noise level (Theorem 2.17).
+//!
+//! ```text
+//! cargo run --release --example broadcast_scaling
+//! ```
+//!
+//! The protocol's cost should track `log n / ε²`: doubling the population adds
+//! a constant number of rounds, while halving `ε` quadruples them.
+
+use analysis::fitting::fit_linear;
+use breathe::{BroadcastProtocol, Params};
+use flip_model::Opinion;
+
+fn main() -> Result<(), flip_model::FlipError> {
+    println!("== rounds vs n at eps = 0.25 ==");
+    let epsilon = 0.25;
+    let mut ln_ns = Vec::new();
+    let mut rounds = Vec::new();
+    for n in [250usize, 500, 1_000, 2_000, 4_000] {
+        let params = Params::practical(n, epsilon)?;
+        let protocol = BroadcastProtocol::new(params, Opinion::One);
+        let outcome = protocol.run_with_seed(1)?;
+        println!(
+            "n = {n:>5}: {} rounds, {:>9} bits, fraction correct {:.3}",
+            outcome.total_rounds, outcome.messages_sent, outcome.fraction_correct
+        );
+        ln_ns.push((n as f64).ln());
+        rounds.push(outcome.total_rounds as f64);
+    }
+    if let Some(fit) = fit_linear(&ln_ns, &rounds) {
+        println!(
+            "linear fit rounds ~ {:.1} * ln(n) + {:.1}   (R^2 = {:.4})",
+            fit.slope, fit.intercept, fit.r_squared
+        );
+    }
+
+    println!("\n== rounds vs eps at n = 1000 ==");
+    let n = 1_000;
+    for epsilon in [0.4, 0.3, 0.2, 0.15, 0.1] {
+        let params = Params::practical(n, epsilon)?;
+        let protocol = BroadcastProtocol::new(params, Opinion::One);
+        let outcome = protocol.run_with_seed(2)?;
+        println!(
+            "eps = {epsilon:>4}: {:>6} rounds, rounds*eps^2 = {:>6.1}, fraction correct {:.3}",
+            outcome.total_rounds,
+            outcome.total_rounds as f64 * epsilon * epsilon,
+            outcome.fraction_correct
+        );
+    }
+    println!("\nrounds*eps^2 staying (roughly) flat is the 1/eps^2 scaling of Theorem 2.17.");
+    Ok(())
+}

@@ -1,0 +1,69 @@
+//! Baseline comparison (paper §1.6): why the obvious strategies fail in the
+//! Flip model while breathe-before-speaking succeeds.
+//!
+//! ```text
+//! cargo run --release --example noisy_vs_baselines
+//! ```
+//!
+//! Every protocol gets the same setup (one informed source, `n` agents, noise
+//! margin `ε`) and the same round budget as the breathe protocol.
+
+use baselines::{
+    chain_correct_probability, ForwardingProtocol, NoisyVoterProtocol, TwoChoicesProtocol,
+    WaitForSourceProtocol,
+};
+use breathe::{BroadcastProtocol, Params};
+use flip_model::Opinion;
+
+fn main() -> Result<(), flip_model::FlipError> {
+    let n = 1_000;
+    let epsilon = 0.15;
+    let correct = Opinion::One;
+    let params = Params::practical(n, epsilon)?;
+    let budget = params.total_rounds();
+
+    println!("n = {n}, eps = {epsilon}, round budget = {budget}");
+    println!("| protocol | fraction correct | unanimous |");
+    println!("|----------|------------------|-----------|");
+
+    let breathe_outcome = BroadcastProtocol::new(params, correct).run_with_seed(5)?;
+    println!(
+        "| breathe (this paper) | {:>16.4} | {:>9} |",
+        breathe_outcome.fraction_correct, breathe_outcome.all_correct
+    );
+
+    let forwarding = ForwardingProtocol::new(n, epsilon, budget)?.run_with_seed(correct, 5)?;
+    println!(
+        "| immediate forwarding | {:>16.4} | {:>9} |",
+        forwarding.fraction_correct, forwarding.all_correct
+    );
+
+    let wait = WaitForSourceProtocol::new(n, epsilon, budget)?.run_with_seed(correct, 5)?;
+    println!(
+        "| wait for source      | {:>16.4} | {:>9} |",
+        wait.fraction_correct, wait.all_correct
+    );
+
+    let two_choices =
+        TwoChoicesProtocol::new(n, epsilon, budget)?.run_with_seed(correct, n / 2 + 1, 5)?;
+    println!(
+        "| two-choices majority | {:>16.4} | {:>9} |",
+        two_choices.fraction_correct, two_choices.all_correct
+    );
+
+    let voter = NoisyVoterProtocol::new(n, epsilon, budget)?.run_with_seed(correct, 5)?;
+    println!(
+        "| noisy voter + zealot | {:>16.4} | {:>9} |",
+        voter.fraction_correct, voter.all_correct
+    );
+
+    println!();
+    println!("why forwarding fails: reliability of a bit relayed over c hops (eps = {epsilon}):");
+    for hops in [1u32, 2, 4, 8, 12] {
+        println!(
+            "  {hops:>2} hops -> Pr[correct] = {:.4}",
+            chain_correct_probability(epsilon, hops)
+        );
+    }
+    Ok(())
+}

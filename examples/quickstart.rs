@@ -1,0 +1,53 @@
+//! Quickstart: broadcast one bit through a noisy, anonymous population.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! A single source agent knows the correct opinion `B = 1`.  Every message in
+//! the system is a single bit and is flipped with probability `1/2 − ε` in
+//! transit, yet after `O(log n / ε²)` rounds the whole population holds `B`.
+
+use breathe::{BroadcastProtocol, Params};
+use flip_model::Opinion;
+
+fn main() -> Result<(), flip_model::FlipError> {
+    let n = 2_000;
+    let epsilon = 0.2; // every bit is flipped with probability 0.3
+
+    let params = Params::practical(n, epsilon)?;
+    println!(
+        "population n = {n}, noise margin eps = {epsilon} (flip probability {})",
+        0.5 - epsilon
+    );
+    println!(
+        "schedule: {} Stage I rounds + {} Stage II rounds = {} rounds total",
+        params.stage1_rounds(),
+        params.stage2_rounds(),
+        params.total_rounds()
+    );
+
+    let protocol = BroadcastProtocol::new(params, Opinion::One);
+    let outcome = protocol.run_with_seed(2_024)?;
+
+    println!(
+        "after Stage I: {} / {n} agents activated, fraction correct {:.3}",
+        outcome.active_after_stage1, outcome.fraction_correct_after_stage1
+    );
+    println!(
+        "after Stage II: fraction correct {:.4} ({}), using {} single-bit messages",
+        outcome.fraction_correct,
+        if outcome.all_correct {
+            "full consensus"
+        } else {
+            "not yet unanimous"
+        },
+        outcome.messages_sent
+    );
+    println!(
+        "normalised cost: {:.2} rounds per (ln n / eps^2), {:.2} bits per agent per (ln n / eps^2)",
+        outcome.total_rounds as f64 / ((n as f64).ln() / (epsilon * epsilon)),
+        outcome.messages_sent as f64 / (n as f64 * (n as f64).ln() / (epsilon * epsilon))
+    );
+    Ok(())
+}

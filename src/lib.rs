@@ -1,0 +1,33 @@
+//! Umbrella crate for the *Breathe before Speaking* reproduction workspace.
+//!
+//! This crate simply re-exports the member crates so that the repository-level
+//! examples and integration tests can use a single dependency:
+//!
+//! * [`flip_model`] — the Flip communication model substrate (push gossip,
+//!   single-bit messages, binary symmetric channel noise).
+//! * [`breathe`] — the paper's two-stage noisy broadcast and noisy
+//!   majority-consensus protocols.
+//! * [`baselines`] — the comparator protocols discussed by the paper.
+//! * [`analysis`] — Chernoff/Stirling bounds, theoretical predictions and
+//!   empirical estimators.
+//! * [`experiments`] — the multi-trial experiment harness used to regenerate
+//!   every quantitative claim of the paper.
+//!
+//! # Example
+//!
+//! ```
+//! use breathe::{BroadcastProtocol, Params};
+//! use flip_model::Opinion;
+//!
+//! let params = Params::practical(500, 0.25).expect("valid parameters");
+//! let outcome = BroadcastProtocol::new(params, Opinion::One)
+//!     .run_with_seed(42)
+//!     .expect("simulation runs");
+//! assert!(outcome.fraction_correct > 0.9);
+//! ```
+
+pub use analysis;
+pub use baselines;
+pub use breathe;
+pub use experiments;
+pub use flip_model;

@@ -1,0 +1,111 @@
+//! Cross-protocol integration tests reproducing the qualitative comparisons of
+//! paper §1.2 and §1.6: breathe-before-speaking succeeds where the naive
+//! strategies fail.
+
+use baselines::{
+    chain_correct_probability, ForwardingProtocol, NoisyVoterProtocol, TwoChoicesProtocol,
+    WaitForSourceProtocol,
+};
+use breathe::{BroadcastProtocol, Params};
+use flip_model::Opinion;
+
+const N: usize = 600;
+const EPSILON: f64 = 0.15;
+
+fn breathe_fraction(seed: u64) -> (f64, u64) {
+    let params = Params::practical(N, EPSILON).unwrap();
+    let protocol = BroadcastProtocol::new(params.clone(), Opinion::One);
+    let outcome = protocol.run_with_seed(seed).unwrap();
+    (outcome.fraction_correct, params.total_rounds())
+}
+
+#[test]
+fn breathe_beats_immediate_forwarding_under_noise() {
+    let (breathe, budget) = breathe_fraction(21);
+    let forwarding = ForwardingProtocol::new(N, EPSILON, budget)
+        .unwrap()
+        .run_with_seed(Opinion::One, 21)
+        .unwrap();
+    assert!(breathe > 0.95, "breathe = {breathe}");
+    assert!(
+        forwarding.fraction_correct < breathe - 0.15,
+        "forwarding = {} vs breathe = {breathe}",
+        forwarding.fraction_correct
+    );
+}
+
+#[test]
+fn breathe_beats_wait_for_source_at_equal_round_budget() {
+    let (breathe, budget) = breathe_fraction(22);
+    let wait = WaitForSourceProtocol::new(N, EPSILON, budget)
+        .unwrap()
+        .run_with_seed(Opinion::One, 22)
+        .unwrap();
+    assert!(
+        wait.fraction_correct < breathe,
+        "wait = {} vs breathe = {breathe}",
+        wait.fraction_correct
+    );
+    // Wait-for-source sends only one message per round.
+    assert_eq!(wait.messages_sent, budget);
+}
+
+#[test]
+fn breathe_beats_unseeded_two_choices_and_noisy_voter() {
+    let (breathe, budget) = breathe_fraction(23);
+    let two_choices = TwoChoicesProtocol::new(N, EPSILON, budget)
+        .unwrap()
+        .run_with_seed(Opinion::One, N / 2 + 1, 23)
+        .unwrap();
+    let voter = NoisyVoterProtocol::new(N, EPSILON, budget)
+        .unwrap()
+        .run_with_seed(Opinion::One, 23)
+        .unwrap();
+    assert!(breathe > two_choices.fraction_correct);
+    assert!(breathe > voter.fraction_correct);
+    // Starting from a (nearly) unbiased configuration, neither dynamics can
+    // reliably find the source's opinion: they hover near a fair coin.
+    assert!(two_choices.fraction_correct < 0.85);
+    assert!(voter.fraction_correct < 0.85);
+}
+
+#[test]
+fn forwarding_accuracy_tracks_the_path_deterioration_formula() {
+    // The typical forwarding depth is Theta(log n); the end-to-end accuracy of
+    // immediate forwarding should therefore be within the range spanned by the
+    // one-hop and the log2(n)-hop closed forms.
+    let budget = 400;
+    let forwarding = ForwardingProtocol::new(1_000, 0.2, budget)
+        .unwrap()
+        .run_with_seed(Opinion::One, 3)
+        .unwrap();
+    let best = chain_correct_probability(0.2, 1);
+    let worst = chain_correct_probability(0.2, 14);
+    assert!(
+        forwarding.fraction_correct <= best + 0.05,
+        "fraction = {}",
+        forwarding.fraction_correct
+    );
+    assert!(
+        forwarding.fraction_correct >= worst - 0.1,
+        "fraction = {}",
+        forwarding.fraction_correct
+    );
+}
+
+#[test]
+fn noiseless_baselines_do_work_confirming_noise_is_the_differentiator() {
+    // With epsilon = 0.5 (no noise) immediate forwarding solves broadcast: the
+    // paper's difficulty is entirely created by the channel noise.
+    let forwarding = ForwardingProtocol::new(500, 0.5, 300)
+        .unwrap()
+        .run_with_seed(Opinion::One, 4)
+        .unwrap();
+    assert!(forwarding.fraction_correct > 0.99);
+
+    let two_choices = TwoChoicesProtocol::new(500, 0.5, 300)
+        .unwrap()
+        .run_with_seed(Opinion::One, 320, 4)
+        .unwrap();
+    assert!(two_choices.fraction_correct > 0.95);
+}

@@ -1,0 +1,104 @@
+//! Integration tests for the majority-consensus protocol (Corollary 2.18) and
+//! the clockless variants (Theorem 3.1).
+
+use breathe::{
+    AsyncBroadcastProtocol, AsyncVariant, InitialSet, MajorityConsensusProtocol, Params,
+};
+use flip_model::Opinion;
+
+#[test]
+fn majority_consensus_follows_the_initial_majority_not_the_label() {
+    let params = Params::practical(400, 0.3).unwrap();
+    for correct in Opinion::ALL {
+        let initial = InitialSet::new(90, 30);
+        let protocol =
+            MajorityConsensusProtocol::new(params.clone(), correct, initial).unwrap();
+        let outcome = protocol.run_with_seed(17).unwrap();
+        assert!(
+            outcome.fraction_correct > 0.9,
+            "correct={correct}: fraction = {}",
+            outcome.fraction_correct
+        );
+    }
+}
+
+#[test]
+fn majority_consensus_improves_with_set_size_and_bias() {
+    let params = Params::practical(600, 0.3).unwrap();
+    let weak = InitialSet::with_bias(40, 0.05).unwrap();
+    let strong = InitialSet::with_bias(300, 0.3).unwrap();
+    let run = |initial: InitialSet| {
+        let protocol =
+            MajorityConsensusProtocol::new(params.clone(), Opinion::One, initial).unwrap();
+        let mut total = 0.0;
+        for seed in 0..5 {
+            total += protocol.run_with_seed(seed).unwrap().fraction_correct;
+        }
+        total / 5.0
+    };
+    let weak_fraction = run(weak);
+    let strong_fraction = run(strong);
+    assert!(
+        strong_fraction >= weak_fraction,
+        "strong {strong_fraction} vs weak {weak_fraction}"
+    );
+    assert!(strong_fraction > 0.95, "strong = {strong_fraction}");
+}
+
+#[test]
+fn majority_consensus_message_budget_matches_the_broadcast_budget_shape() {
+    let params = Params::practical(500, 0.3).unwrap();
+    let initial = InitialSet::with_bias(100, 0.25).unwrap();
+    let protocol = MajorityConsensusProtocol::new(params.clone(), Opinion::One, initial).unwrap();
+    let outcome = protocol.run_with_seed(1).unwrap();
+    let scale = 500.0 * (500f64).ln() / (0.3 * 0.3);
+    assert!(outcome.messages_sent as f64 / scale < 200.0);
+    assert!(outcome.total_rounds <= params.total_rounds());
+}
+
+#[test]
+fn bounded_offset_broadcast_reaches_consensus_with_large_skew() {
+    let params = Params::practical(400, 0.3).unwrap();
+    let d = 2 * (400f64).log2().ceil() as u64;
+    let protocol = AsyncBroadcastProtocol::new(
+        params,
+        Opinion::One,
+        AsyncVariant::BoundedOffsets { max_offset: d },
+    );
+    let outcome = protocol.run_with_seed(9).unwrap();
+    assert!(outcome.fraction_correct > 0.95, "{outcome:?}");
+    // Overhead is (#phases - 1 + 1) * D, i.e. polylogarithmic, far below the
+    // synchronous runtime for these parameters.
+    assert!(outcome.overhead_rounds() < outcome.synchronous_rounds);
+}
+
+#[test]
+fn resynchronised_broadcast_reaches_consensus_without_any_clock_assumption() {
+    let params = Params::practical(400, 0.3).unwrap();
+    let protocol = AsyncBroadcastProtocol::new(params, Opinion::Zero, AsyncVariant::Resynchronised);
+    let outcome = protocol.run_with_seed(13).unwrap();
+    assert!(outcome.fraction_correct > 0.95, "{outcome:?}");
+}
+
+#[test]
+fn async_overhead_grows_slower_than_the_synchronous_runtime() {
+    // Theorem 3.1: total = O(log n / eps^2 + log^2 n).  As n grows with eps
+    // fixed, the relative overhead should stay bounded (both terms are Theta(log n)
+    // up to the extra log factor).
+    let epsilon = 0.3;
+    let mut relative = Vec::new();
+    for &n in &[200usize, 400, 800] {
+        let params = Params::practical(n, epsilon).unwrap();
+        let d = 2 * (n as f64).log2().ceil() as u64;
+        let protocol = AsyncBroadcastProtocol::new(
+            params,
+            Opinion::One,
+            AsyncVariant::BoundedOffsets { max_offset: d },
+        );
+        let outcome = protocol.run_with_seed(3).unwrap();
+        relative.push(outcome.overhead_rounds() as f64 / outcome.synchronous_rounds as f64);
+    }
+    for r in &relative {
+        assert!(*r < 1.5, "relative overhead too large: {relative:?}");
+    }
+}
