@@ -31,8 +31,8 @@ pub fn central_binomial_probability(r: u64, i: u64) -> f64 {
         return 0.0;
     }
     let k = r + i;
-    let ln_p = ln_factorial(n) - ln_factorial(k) - ln_factorial(n - k)
-        - n as f64 * std::f64::consts::LN_2;
+    let ln_p =
+        ln_factorial(n) - ln_factorial(k) - ln_factorial(n - k) - n as f64 * std::f64::consts::LN_2;
     ln_p.exp()
 }
 
@@ -88,7 +88,9 @@ mod tests {
     #[test]
     fn central_binomial_probabilities_sum_to_at_most_one() {
         let r = 40;
-        let total: f64 = (0..=(r + 1)).map(|i| central_binomial_probability(r, i)).sum();
+        let total: f64 = (0..=(r + 1))
+            .map(|i| central_binomial_probability(r, i))
+            .sum();
         assert!(total <= 1.0 + 1e-9);
         assert!(total > 0.4, "mass above the tie should be close to 1/2");
     }
@@ -135,12 +137,8 @@ mod tests {
     #[test]
     fn exact_boost_increases_with_delta_and_gamma() {
         let epsilon = 0.2;
-        assert!(
-            exact_majority_boost(101, epsilon, 0.1) > exact_majority_boost(101, epsilon, 0.01)
-        );
-        assert!(
-            exact_majority_boost(301, epsilon, 0.05) > exact_majority_boost(51, epsilon, 0.05)
-        );
+        assert!(exact_majority_boost(101, epsilon, 0.1) > exact_majority_boost(101, epsilon, 0.01));
+        assert!(exact_majority_boost(301, epsilon, 0.05) > exact_majority_boost(51, epsilon, 0.05));
     }
 
     #[test]

@@ -187,7 +187,7 @@ mod tests {
     fn float_formatting_has_three_regimes() {
         assert_eq!(fmt_float(0.0), "0");
         assert_eq!(fmt_float(12345.678), "12346");
-        assert_eq!(fmt_float(3.14159), "3.14");
+        assert_eq!(fmt_float(3.24159), "3.24");
         assert_eq!(fmt_float(0.012345), "0.0123");
     }
 }

@@ -9,8 +9,7 @@
 //! the zealot.  This baseline quantifies both effects.
 
 use flip_model::{
-    Agent, BinarySymmetricChannel, FlipError, Opinion, Round, SimRng, Simulation,
-    SimulationConfig,
+    Agent, BinarySymmetricChannel, FlipError, Opinion, Round, SimRng, Simulation, SimulationConfig,
 };
 
 use crate::BaselineOutcome;

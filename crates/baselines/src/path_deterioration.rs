@@ -34,12 +34,7 @@ pub fn chain_correct_probability(epsilon: f64, hops: u32) -> f64 {
 ///
 /// Returns [`FlipError::InvalidEpsilon`] if `ε ∉ (0, 1/2]` and
 /// [`FlipError::InvalidParameter`] if `trials` is zero.
-pub fn simulate_chain(
-    epsilon: f64,
-    hops: u32,
-    trials: u32,
-    seed: u64,
-) -> Result<f64, FlipError> {
+pub fn simulate_chain(epsilon: f64, hops: u32, trials: u32, seed: u64) -> Result<f64, FlipError> {
     if trials == 0 {
         return Err(FlipError::InvalidParameter {
             name: "trials",

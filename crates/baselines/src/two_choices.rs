@@ -15,8 +15,7 @@
 //! clears the buffer.
 
 use flip_model::{
-    Agent, BinarySymmetricChannel, FlipError, Opinion, Round, SimRng, Simulation,
-    SimulationConfig,
+    Agent, BinarySymmetricChannel, FlipError, Opinion, Round, SimRng, Simulation, SimulationConfig,
 };
 
 use crate::BaselineOutcome;
@@ -46,7 +45,11 @@ impl Agent for TwoChoicesAgent {
                 .filter(|&&m| m == Opinion::One)
                 .count()
                 + usize::from(self.opinion == Opinion::One);
-            self.opinion = if ones >= 2 { Opinion::One } else { Opinion::Zero };
+            self.opinion = if ones >= 2 {
+                Opinion::One
+            } else {
+                Opinion::Zero
+            };
             self.buffer.clear();
         }
     }

@@ -9,8 +9,7 @@
 //! slower than the breathe-before-speaking protocol.
 
 use flip_model::{
-    Agent, BinarySymmetricChannel, FlipError, Opinion, Round, SimRng, Simulation,
-    SimulationConfig,
+    Agent, BinarySymmetricChannel, FlipError, Opinion, Round, SimRng, Simulation, SimulationConfig,
 };
 
 use crate::BaselineOutcome;

@@ -1,7 +1,9 @@
 //! E10 (§1.2, §1.6): breathe versus the baseline protocols, plus the
 //! regenerated comparison table.
 
-use baselines::{ForwardingProtocol, NoisyVoterProtocol, TwoChoicesProtocol, WaitForSourceProtocol};
+use baselines::{
+    ForwardingProtocol, NoisyVoterProtocol, TwoChoicesProtocol, WaitForSourceProtocol,
+};
 use bench::{announce, bench_config};
 use breathe::{BroadcastProtocol, Params};
 use criterion::{criterion_group, criterion_main, Criterion};
@@ -45,7 +47,8 @@ fn baseline_comparison(c: &mut Criterion) {
         let mut seed = 0;
         b.iter(|| {
             seed += 1;
-            wait.run_with_seed(Opinion::One, seed).expect("run succeeds")
+            wait.run_with_seed(Opinion::One, seed)
+                .expect("run succeeds")
         });
     });
 
@@ -65,7 +68,9 @@ fn baseline_comparison(c: &mut Criterion) {
         let mut seed = 0;
         b.iter(|| {
             seed += 1;
-            voter.run_with_seed(Opinion::One, seed).expect("run succeeds")
+            voter
+                .run_with_seed(Opinion::One, seed)
+                .expect("run succeeds")
         });
     });
 

@@ -52,7 +52,9 @@ impl ProtocolCore {
     /// begun, otherwise the Stage I initial opinion.
     #[must_use]
     pub fn opinion(&self) -> Option<Opinion> {
-        self.stage2.opinion().or_else(|| self.stage1.initial_opinion())
+        self.stage2
+            .opinion()
+            .or_else(|| self.stage1.initial_opinion())
     }
 
     /// What to push during the phase with the given index (into the schedule).

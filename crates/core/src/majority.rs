@@ -122,11 +122,7 @@ impl MajorityConsensusProtocol {
     /// Returns [`FlipError::InvalidParameter`] if the initial set is empty,
     /// does not fit in the population, or does not have a strict majority for
     /// `correct`.
-    pub fn new(
-        params: Params,
-        correct: Opinion,
-        initial: InitialSet,
-    ) -> Result<Self, FlipError> {
+    pub fn new(params: Params, correct: Opinion, initial: InitialSet) -> Result<Self, FlipError> {
         if initial.size() == 0 {
             return Err(FlipError::InvalidParameter {
                 name: "initial_set",
@@ -247,10 +243,12 @@ mod tests {
     #[test]
     fn constructor_validates_the_initial_set() {
         let params = Params::practical(200, 0.3).unwrap();
-        assert!(
-            MajorityConsensusProtocol::new(params.clone(), Opinion::One, InitialSet::new(0, 0))
-                .is_err()
-        );
+        assert!(MajorityConsensusProtocol::new(
+            params.clone(),
+            Opinion::One,
+            InitialSet::new(0, 0)
+        )
+        .is_err());
         assert!(MajorityConsensusProtocol::new(
             params.clone(),
             Opinion::One,
@@ -272,8 +270,7 @@ mod tests {
     fn consensus_reaches_the_initial_majority() {
         let params = Params::practical(300, 0.3).unwrap();
         let initial = InitialSet::new(70, 30);
-        let protocol =
-            MajorityConsensusProtocol::new(params, Opinion::Zero, initial).unwrap();
+        let protocol = MajorityConsensusProtocol::new(params, Opinion::Zero, initial).unwrap();
         let outcome = protocol.run_with_seed(4).unwrap();
         assert!(outcome.fraction_correct > 0.9, "outcome = {outcome:?}");
         assert_eq!(outcome.initial_set_size, 100);

@@ -173,7 +173,7 @@ impl Params {
     pub fn gamma(&self) -> u64 {
         let raw = (self.gamma_mult * self.inv_eps_sq()).ceil() as u64;
         let raw = raw.max(3);
-        if raw % 2 == 0 {
+        if raw.is_multiple_of(2) {
             raw + 1
         } else {
             raw
@@ -203,7 +203,7 @@ impl Params {
     pub fn final_samples(&self) -> u64 {
         let half = (self.final_mult * self.ln_n() * self.inv_eps_sq() / 2.0).ceil() as u64;
         let half = half.max(3);
-        if half % 2 == 0 {
+        if half.is_multiple_of(2) {
             half + 1
         } else {
             half

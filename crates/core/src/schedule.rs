@@ -104,7 +104,11 @@ impl Schedule {
         let ia = params.majority_start_phase(initial_set);
         let mut spreading_lens = Vec::new();
         for i in ia..=t {
-            spreading_lens.push(if i == 0 { params.beta_s() } else { params.beta() });
+            spreading_lens.push(if i == 0 {
+                params.beta_s()
+            } else {
+                params.beta()
+            });
         }
         spreading_lens.push(params.beta_f());
         Self::from_lens(params, &spreading_lens)
@@ -350,7 +354,10 @@ mod tests {
     fn zero_shift_matches_plain_position() {
         let schedule = Schedule::broadcast(&Params::practical(300, 0.3).unwrap());
         for round in 0..schedule.total_rounds() {
-            assert_eq!(schedule.position(round), schedule.shifted_position(round, 0));
+            assert_eq!(
+                schedule.position(round),
+                schedule.shifted_position(round, 0)
+            );
         }
     }
 

@@ -92,8 +92,7 @@ pub fn a2_gamma_requirement(cfg: &ExperimentConfig) -> Table {
             gamma_mult,
             ..Multipliers::practical()
         };
-        let params =
-            Params::with_multipliers(n, epsilon, multipliers).expect("valid parameters");
+        let params = Params::with_multipliers(n, epsilon, multipliers).expect("valid parameters");
         let protocol = BroadcastProtocol::new(params.clone(), Opinion::One);
         let runner = TrialRunner::new(u64::from(cfg.trials));
         let outcomes = runner.run(|trial| {
@@ -141,8 +140,7 @@ pub fn a3_phase0_requirement(cfg: &ExperimentConfig) -> Table {
             s_mult,
             ..Multipliers::practical()
         };
-        let params =
-            Params::with_multipliers(n, epsilon, multipliers).expect("valid parameters");
+        let params = Params::with_multipliers(n, epsilon, multipliers).expect("valid parameters");
         let protocol = BroadcastProtocol::new(params.clone(), Opinion::One);
         let runner = TrialRunner::new(u64::from(cfg.trials));
         let outcomes = runner.run(|trial| {

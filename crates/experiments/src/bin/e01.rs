@@ -4,5 +4,8 @@
 
 fn main() {
     let cfg = experiments::config_from_args(std::env::args().skip(1));
-    println!("{}", experiments::scaling::e01_rounds_vs_n(&cfg).to_markdown());
+    println!(
+        "{}",
+        experiments::scaling::e01_rounds_vs_n(&cfg).to_markdown()
+    );
 }

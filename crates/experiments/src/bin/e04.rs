@@ -4,5 +4,8 @@
 
 fn main() {
     let cfg = experiments::config_from_args(std::env::args().skip(1));
-    println!("{}", experiments::stage_claims::e04_phase0_seeding(&cfg).to_markdown());
+    println!(
+        "{}",
+        experiments::stage_claims::e04_phase0_seeding(&cfg).to_markdown()
+    );
 }

@@ -4,5 +4,8 @@
 
 fn main() {
     let cfg = experiments::config_from_args(std::env::args().skip(1));
-    println!("{}", experiments::stage_claims::e05_layer_growth(&cfg).to_markdown());
+    println!(
+        "{}",
+        experiments::stage_claims::e05_layer_growth(&cfg).to_markdown()
+    );
 }

@@ -4,5 +4,8 @@
 
 fn main() {
     let cfg = experiments::config_from_args(std::env::args().skip(1));
-    println!("{}", experiments::stage_claims::e06_bias_decay(&cfg).to_markdown());
+    println!(
+        "{}",
+        experiments::stage_claims::e06_bias_decay(&cfg).to_markdown()
+    );
 }

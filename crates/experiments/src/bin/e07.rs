@@ -4,5 +4,7 @@
 
 fn main() {
     let cfg = experiments::config_from_args(std::env::args().skip(1));
-    for table in experiments::stage_claims::e07_stage2_boost(&cfg) { println!("{}", table.to_markdown()); }
+    for table in experiments::stage_claims::e07_stage2_boost(&cfg) {
+        println!("{}", table.to_markdown());
+    }
 }

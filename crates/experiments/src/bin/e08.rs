@@ -4,5 +4,8 @@
 
 fn main() {
     let cfg = experiments::config_from_args(std::env::args().skip(1));
-    println!("{}", experiments::consensus::e08_majority_consensus(&cfg).to_markdown());
+    println!(
+        "{}",
+        experiments::consensus::e08_majority_consensus(&cfg).to_markdown()
+    );
 }

@@ -4,5 +4,8 @@
 
 fn main() {
     let cfg = experiments::config_from_args(std::env::args().skip(1));
-    println!("{}", experiments::comparisons::e10_baseline_comparison(&cfg).to_markdown());
+    println!(
+        "{}",
+        experiments::comparisons::e10_baseline_comparison(&cfg).to_markdown()
+    );
 }

@@ -4,5 +4,8 @@
 
 fn main() {
     let cfg = experiments::config_from_args(std::env::args().skip(1));
-    println!("{}", experiments::comparisons::e11_path_deterioration(&cfg).to_markdown());
+    println!(
+        "{}",
+        experiments::comparisons::e11_path_deterioration(&cfg).to_markdown()
+    );
 }

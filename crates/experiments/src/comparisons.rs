@@ -264,10 +264,7 @@ mod tests {
         for row in table.rows() {
             let measured: f64 = row[2].parse().unwrap();
             let exact: f64 = row[3].parse().unwrap();
-            assert!(
-                (measured - exact).abs() < 0.02,
-                "row mismatch: {row:?}"
-            );
+            assert!((measured - exact).abs() < 0.02, "row mismatch: {row:?}");
         }
     }
 
@@ -277,7 +274,10 @@ mod tests {
         let table = e12_two_party_lower_bound(&cfg);
         let needed: Vec<f64> = table.rows().iter().map(|r| r[1].parse().unwrap()).collect();
         for w in needed.windows(2) {
-            assert!(w[0] >= w[1], "more noise must need more samples: {needed:?}");
+            assert!(
+                w[0] >= w[1],
+                "more noise must need more samples: {needed:?}"
+            );
         }
     }
 }

@@ -60,9 +60,8 @@ pub fn e08_majority_consensus(cfg: &ExperimentConfig) -> Table {
             if initial.holding_correct <= initial.holding_wrong {
                 continue;
             }
-            let protocol =
-                MajorityConsensusProtocol::new(params.clone(), Opinion::One, initial)
-                    .expect("valid initial set");
+            let protocol = MajorityConsensusProtocol::new(params.clone(), Opinion::One, initial)
+                .expect("valid initial set");
             let runner = TrialRunner::new(u64::from(cfg.trials));
             let outcomes = runner.run(|trial| {
                 protocol
@@ -100,7 +99,8 @@ mod tests {
                 > initial_set_grid(&ExperimentConfig::quick()).len()
         );
         assert!(
-            bias_grid(&ExperimentConfig::full()).len() > bias_grid(&ExperimentConfig::quick()).len()
+            bias_grid(&ExperimentConfig::full()).len()
+                > bias_grid(&ExperimentConfig::quick()).len()
         );
     }
 

@@ -6,7 +6,7 @@
 //! (see `DESIGN.md` for the index); this crate provides:
 //!
 //! * [`runner`] — a deterministic multi-trial runner that fans trials out over
-//!   threads (crossbeam scoped threads) while keeping per-trial seeds stable,
+//!   threads (std scoped threads) while keeping per-trial seeds stable,
 //! * [`scaling`] — E1–E3 and E9: round/message complexity scaling and the
 //!   local-clock overhead,
 //! * [`stage_claims`] — E4–E7: the Stage I claims (2.2, 2.4/2.5/2.7, 2.8) and

@@ -65,12 +65,11 @@ impl TrialRunner {
             return (0..self.trials).map(task).collect();
         }
 
-        let results: Mutex<Vec<Option<T>>> =
-            Mutex::new((0..self.trials).map(|_| None).collect());
+        let results: Mutex<Vec<Option<T>>> = Mutex::new((0..self.trials).map(|_| None).collect());
         let next = std::sync::atomic::AtomicU64::new(0);
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for _ in 0..threads {
-                scope.spawn(|_| loop {
+                scope.spawn(|| loop {
                     let trial = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                     if trial >= self.trials {
                         break;
@@ -79,8 +78,7 @@ impl TrialRunner {
                     results.lock()[trial as usize] = Some(value);
                 });
             }
-        })
-        .expect("trial worker threads never panic");
+        });
 
         results
             .into_inner()

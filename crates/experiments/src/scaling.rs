@@ -207,7 +207,10 @@ pub fn e09_async_overhead(cfg: &ExperimentConfig) -> Table {
         let params = Params::practical(n, epsilon).expect("valid parameters");
         let d = 2 * (n as f64).log2().ceil() as u64;
         let variants = [
-            ("bounded offsets", AsyncVariant::BoundedOffsets { max_offset: d }),
+            (
+                "bounded offsets",
+                AsyncVariant::BoundedOffsets { max_offset: d },
+            ),
             ("resynchronised", AsyncVariant::Resynchronised),
         ];
         for (name, variant) in variants {
@@ -276,7 +279,10 @@ mod tests {
             .collect();
         let max = normalised.iter().cloned().fold(f64::MIN, f64::max);
         let min = normalised.iter().cloned().fold(f64::MAX, f64::min);
-        assert!(max / min < 12.0, "normalised rounds vary too much: {normalised:?}");
+        assert!(
+            max / min < 12.0,
+            "normalised rounds vary too much: {normalised:?}"
+        );
     }
 
     #[test]

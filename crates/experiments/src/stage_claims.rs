@@ -13,11 +13,7 @@ use rand::Rng;
 
 use crate::{ExperimentConfig, TrialRunner};
 
-fn detailed_runs(
-    cfg: &ExperimentConfig,
-    point: u64,
-    params: &Params,
-) -> Vec<DetailedOutcome> {
+fn detailed_runs(cfg: &ExperimentConfig, point: u64, params: &Params) -> Vec<DetailedOutcome> {
     let protocol = BroadcastProtocol::new(params.clone(), Opinion::One);
     let runner = TrialRunner::new(u64::from(cfg.trials));
     runner.run(|trial| {
@@ -122,8 +118,11 @@ pub fn e05_layer_growth(cfg: &ExperimentConfig) -> Table {
         let mut holds = SuccessRate::new();
         for outcome in &outcomes {
             let x0: usize = outcome.levels[0].activated + 1;
-            let cumulative: usize =
-                outcome.levels[..=level].iter().map(|l| l.activated).sum::<usize>() + 1;
+            let cumulative: usize = outcome.levels[..=level]
+                .iter()
+                .map(|l| l.activated)
+                .sum::<usize>()
+                + 1;
             let (lo, hi) = theory::claim_2_4_bounds(beta, x0 as u64, level as u32);
             xi.push(cumulative as f64);
             holds.record(cumulative as f64 >= lo && cumulative as f64 <= hi + 1.0);
@@ -267,7 +266,13 @@ pub fn e07_stage2_boost(cfg: &ExperimentConfig) -> Vec<Table> {
         ],
     );
     for (idx, &delta) in deltas.iter().enumerate() {
-        let measured = empirical_boost(gamma, epsilon, delta, mc_trials, cfg.seed_for(700, idx as u64));
+        let measured = empirical_boost(
+            gamma,
+            epsilon,
+            delta,
+            mc_trials,
+            cfg.seed_for(700, idx as u64),
+        );
         sampling.push_row(&[
             fmt_float(delta),
             gamma.to_string(),

@@ -306,7 +306,9 @@ mod tests {
     fn identical_seeds_give_identical_runs() {
         let run = |seed: u64| {
             let agents = adopters(100, 1);
-            let config = SimulationConfig::new(100).with_seed(seed).with_history(true);
+            let config = SimulationConfig::new(100)
+                .with_seed(seed)
+                .with_history(true);
             let channel = BinarySymmetricChannel::from_epsilon(0.2).unwrap();
             let mut sim = Simulation::new(agents, channel, config).unwrap();
             sim.run(50);
@@ -347,7 +349,10 @@ mod tests {
             .with_activation_trace(true);
         let mut sim = Simulation::new(agents, NoiselessChannel, config).unwrap();
         let summary = sim.step();
-        assert_eq!(summary.census_correct, Some(sim.census().holding(Opinion::One)));
+        assert_eq!(
+            summary.census_correct,
+            Some(sim.census().holding(Opinion::One))
+        );
         assert!(!sim.trace().history().is_empty());
     }
 

@@ -17,7 +17,13 @@ fn main() -> Result<(), flip_model::FlipError> {
     println!("| |A| | majority-bias | fraction correct | unanimous |");
     println!("|-----|---------------|------------------|-----------|");
 
-    for (size, bias) in [(60usize, 0.25), (200, 0.1), (200, 0.25), (1_000, 0.05), (1_000, 0.25)] {
+    for (size, bias) in [
+        (60usize, 0.25),
+        (200, 0.1),
+        (200, 0.25),
+        (1_000, 0.05),
+        (1_000, 0.25),
+    ] {
         let initial = InitialSet::with_bias(size, bias)?;
         let protocol = MajorityConsensusProtocol::new(params.clone(), Opinion::One, initial)?;
         let outcome = protocol.run_with_seed(11)?;

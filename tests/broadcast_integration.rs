@@ -26,13 +26,7 @@ fn broadcast_success_rate_is_high_over_repeated_trials() {
     let protocol = BroadcastProtocol::new(params, Opinion::Zero);
     let trials = 10;
     let successes = (0..trials)
-        .filter(|&seed| {
-            protocol
-                .run_with_seed(seed)
-                .unwrap()
-                .fraction_correct
-                > 0.99
-        })
+        .filter(|&seed| protocol.run_with_seed(seed).unwrap().fraction_correct > 0.99)
         .count();
     assert!(
         successes >= trials as usize - 1,
@@ -117,5 +111,9 @@ fn custom_multipliers_flow_through_to_the_schedule() {
     let protocol = BroadcastProtocol::new(params, Opinion::One);
     let outcome = protocol.run_with_seed(3).unwrap();
     // Smaller constants still give a strong (if not always perfect) majority.
-    assert!(outcome.fraction_correct > 0.8, "{}", outcome.fraction_correct);
+    assert!(
+        outcome.fraction_correct > 0.8,
+        "{}",
+        outcome.fraction_correct
+    );
 }

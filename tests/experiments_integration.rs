@@ -76,11 +76,7 @@ fn e10_breathe_rows_dominate_the_failing_baselines() {
 #[test]
 fn e12_sample_counts_scale_like_inverse_epsilon_squared() {
     let table = comparisons::e12_two_party_lower_bound(&tiny());
-    let normalised: Vec<f64> = table
-        .rows()
-        .iter()
-        .map(|r| r[2].parse().unwrap())
-        .collect();
+    let normalised: Vec<f64> = table.rows().iter().map(|r| r[2].parse().unwrap()).collect();
     let max = normalised.iter().cloned().fold(f64::MIN, f64::max);
     let min = normalised.iter().cloned().fold(f64::MAX, f64::min);
     assert!(

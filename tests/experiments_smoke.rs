@@ -1,0 +1,169 @@
+//! Smoke tests: every experiment entrypoint behind the `e01`–`e12`,
+//! `ablations` and `full_report` binaries runs end-to-end at a tiny scale
+//! and produces a well-formed, non-empty table.
+//!
+//! The point is rot prevention, not statistics — a binary whose inner
+//! function panics, loops or returns an empty table fails here within
+//! seconds instead of rotting silently until someone runs `cargo run`.
+
+use analysis::Table;
+use experiments::ExperimentConfig;
+
+/// The smallest configuration every entrypoint accepts: one trial per point,
+/// quick-mode grids.
+fn smoke_config() -> ExperimentConfig {
+    ExperimentConfig {
+        trials: 1,
+        base_seed: 0x0005_40CE,
+        quick: true,
+    }
+}
+
+/// A table is well-formed when it has a title, at least one column and at
+/// least one row, and every row matches the column count.
+fn assert_well_formed(table: &Table) {
+    assert!(!table.title().is_empty(), "table has an empty title");
+    assert!(
+        !table.columns().is_empty(),
+        "table `{}` has no columns",
+        table.title()
+    );
+    assert!(
+        !table.is_empty(),
+        "table `{}` produced no rows",
+        table.title()
+    );
+    for row in table.rows() {
+        assert_eq!(
+            row.len(),
+            table.columns().len(),
+            "table `{}` has a ragged row",
+            table.title()
+        );
+    }
+    let markdown = table.to_markdown();
+    assert!(markdown.contains(table.title()));
+}
+
+#[test]
+fn e01_rounds_vs_n_smoke() {
+    assert_well_formed(&experiments::scaling::e01_rounds_vs_n(&smoke_config()));
+}
+
+#[test]
+fn e02_rounds_vs_epsilon_smoke() {
+    assert_well_formed(&experiments::scaling::e02_rounds_vs_epsilon(&smoke_config()));
+}
+
+#[test]
+fn e03_message_complexity_smoke() {
+    assert_well_formed(&experiments::scaling::e03_message_complexity(
+        &smoke_config(),
+    ));
+}
+
+#[test]
+fn e04_phase0_seeding_smoke() {
+    assert_well_formed(&experiments::stage_claims::e04_phase0_seeding(
+        &smoke_config(),
+    ));
+}
+
+#[test]
+fn e05_layer_growth_smoke() {
+    assert_well_formed(&experiments::stage_claims::e05_layer_growth(&smoke_config()));
+}
+
+#[test]
+fn e06_bias_decay_smoke() {
+    assert_well_formed(&experiments::stage_claims::e06_bias_decay(&smoke_config()));
+}
+
+#[test]
+fn e07_stage2_boost_smoke() {
+    let tables = experiments::stage_claims::e07_stage2_boost(&smoke_config());
+    assert!(!tables.is_empty(), "E7 produced no tables");
+    for table in &tables {
+        assert_well_formed(table);
+    }
+}
+
+#[test]
+fn e08_majority_consensus_smoke() {
+    assert_well_formed(&experiments::consensus::e08_majority_consensus(
+        &smoke_config(),
+    ));
+}
+
+#[test]
+fn e09_async_overhead_smoke() {
+    assert_well_formed(&experiments::scaling::e09_async_overhead(&smoke_config()));
+}
+
+#[test]
+fn e10_baseline_comparison_smoke() {
+    assert_well_formed(&experiments::comparisons::e10_baseline_comparison(
+        &smoke_config(),
+    ));
+}
+
+#[test]
+fn e11_path_deterioration_smoke() {
+    assert_well_formed(&experiments::comparisons::e11_path_deterioration(
+        &smoke_config(),
+    ));
+}
+
+#[test]
+fn e12_two_party_lower_bound_smoke() {
+    assert_well_formed(&experiments::comparisons::e12_two_party_lower_bound(
+        &smoke_config(),
+    ));
+}
+
+#[test]
+fn ablations_smoke() {
+    let tables = experiments::ablations::all(&smoke_config());
+    assert_eq!(tables.len(), 3, "expected ablations A1, A2 and A3");
+    for table in &tables {
+        assert_well_formed(table);
+    }
+}
+
+#[test]
+fn full_report_smoke() {
+    // The `full_report` binary stitches every experiment into one document.
+    let report = experiments::report::full_report(&smoke_config());
+    assert!(!report.tables().is_empty(), "report has no tables");
+    for table in report.tables() {
+        assert_well_formed(table);
+    }
+    let markdown = report.to_markdown();
+    for table in report.tables() {
+        assert!(
+            markdown.contains(table.title()),
+            "report markdown is missing table `{}`",
+            table.title()
+        );
+    }
+}
+
+#[test]
+fn config_from_args_matches_binary_convention() {
+    // The binaries all parse flags through this helper; pin its contract.
+    let quick = experiments::config_from_args(std::iter::empty::<String>());
+    assert!(quick.quick);
+    let full = experiments::config_from_args(["--full".to_string()]);
+    assert!(!full.quick);
+    assert!(full.trials > quick.trials);
+}
+
+#[test]
+fn experiments_are_deterministic_for_a_fixed_seed() {
+    // Two runs of the same entrypoint with the same config must be
+    // byte-identical; this is the property that makes the e01–e12 binaries
+    // reproducible report generators rather than one-off samples.
+    let first = experiments::scaling::e01_rounds_vs_n(&smoke_config());
+    let second = experiments::scaling::e01_rounds_vs_n(&smoke_config());
+    assert_eq!(first.to_csv(), second.to_csv());
+}

@@ -11,8 +11,7 @@ fn majority_consensus_follows_the_initial_majority_not_the_label() {
     let params = Params::practical(400, 0.3).unwrap();
     for correct in Opinion::ALL {
         let initial = InitialSet::new(90, 30);
-        let protocol =
-            MajorityConsensusProtocol::new(params.clone(), correct, initial).unwrap();
+        let protocol = MajorityConsensusProtocol::new(params.clone(), correct, initial).unwrap();
         let outcome = protocol.run_with_seed(17).unwrap();
         assert!(
             outcome.fraction_correct > 0.9,

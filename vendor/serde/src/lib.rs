@@ -1,0 +1,68 @@
+//! Offline stand-in for the [`serde`](https://serde.rs) crate.
+//!
+//! No serialization format ships with this workspace (reports are rendered by
+//! hand as markdown/CSV in `analysis::tables`), so `Serialize` and
+//! `Deserialize` are marker traits: deriving them records the intent — the
+//! type is plain data safe to serialize — and keeps the source compatible
+//! with the real serde for the day the workspace gains registry access.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker for types that can be serialized.
+pub trait Serialize {}
+
+/// Marker for types that can be deserialized.
+pub trait Deserialize<'de>: Sized {}
+
+macro_rules! impl_markers {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {}
+        impl<'de> Deserialize<'de> for $t {}
+    )*};
+}
+
+impl_markers!(
+    (),
+    bool,
+    char,
+    u8,
+    u16,
+    u32,
+    u64,
+    u128,
+    usize,
+    i8,
+    i16,
+    i32,
+    i64,
+    i128,
+    isize,
+    f32,
+    f64,
+    String
+);
+
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {}
+impl<T: Serialize> Serialize for Option<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {}
+impl<T: Serialize + ?Sized> Serialize for &T {}
+impl<T: Serialize + ?Sized> Serialize for Box<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_serialize<T: Serialize>() {}
+    fn assert_deserialize<T: for<'de> Deserialize<'de>>() {}
+
+    #[test]
+    fn primitives_are_marked() {
+        assert_serialize::<u64>();
+        assert_serialize::<Vec<String>>();
+        assert_serialize::<Option<f64>>();
+        assert_deserialize::<Vec<Vec<String>>>();
+    }
+}

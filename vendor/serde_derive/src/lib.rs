@@ -1,0 +1,105 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The vendored `serde` crate defines `Serialize` / `Deserialize` as marker
+//! traits (no actual serialization format ships with this workspace), so the
+//! derive macros only need to locate the type name and emit the two marker
+//! impls. Plain structs and enums, with or without simple generic parameters,
+//! are supported; that covers every derive site in the workspace.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts `(name, generics)` from a struct/enum/union definition, where
+/// `generics` is the parameter list verbatim, e.g. `<T, 'a>`, or empty.
+fn type_header(input: TokenStream) -> (String, String) {
+    let mut tokens = input.into_iter().peekable();
+    while let Some(token) = tokens.next() {
+        if let TokenTree::Ident(ident) = &token {
+            let kw = ident.to_string();
+            if kw == "struct" || kw == "enum" || kw == "union" {
+                let name = match tokens.next() {
+                    Some(TokenTree::Ident(name)) => name.to_string(),
+                    other => panic!("expected a type name after `{kw}`, found {other:?}"),
+                };
+                let mut generics = String::new();
+                if let Some(TokenTree::Punct(p)) = tokens.peek() {
+                    if p.as_char() == '<' {
+                        let mut depth = 0i32;
+                        for t in tokens.by_ref() {
+                            let s = t.to_string();
+                            if s == "<" {
+                                depth += 1;
+                            } else if s == ">" {
+                                depth -= 1;
+                            }
+                            generics.push_str(&s);
+                            generics.push(' ');
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                    }
+                }
+                return (name, generics);
+            }
+        }
+    }
+    panic!("serde derive: input is not a struct, enum or union");
+}
+
+/// Strips bounds and defaults from a generic parameter list so it can be used
+/// at the type position: `<T: Clone, 'a>` becomes `<T, 'a>`.
+fn generics_as_args(generics: &str) -> String {
+    if generics.is_empty() {
+        return String::new();
+    }
+    let inner = generics
+        .trim()
+        .trim_start_matches('<')
+        .trim_end_matches('>');
+    let mut args = Vec::new();
+    let mut depth = 0i32;
+    let mut current = String::new();
+    for c in inner.chars() {
+        match c {
+            '<' | '(' | '[' => depth += 1,
+            '>' | ')' | ']' => depth -= 1,
+            ',' if depth == 0 => {
+                args.push(std::mem::take(&mut current));
+                continue;
+            }
+            _ => {}
+        }
+        current.push(c);
+    }
+    if !current.trim().is_empty() {
+        args.push(current);
+    }
+    let names: Vec<String> = args
+        .iter()
+        .map(|a| a.split(':').next().unwrap_or("").trim().to_string())
+        .collect();
+    format!("<{}>", names.join(", "))
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, generics) = type_header(input);
+    let args = generics_as_args(&generics);
+    format!("impl {generics} ::serde::Serialize for {name} {args} {{}}")
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, generics) = type_header(input);
+    let args = generics_as_args(&generics);
+    let impl_generics = if generics.is_empty() {
+        "<'de>".to_string()
+    } else {
+        format!("<'de, {}", generics.trim().trim_start_matches('<'))
+    };
+    format!("impl {impl_generics} ::serde::Deserialize<'de> for {name} {args} {{}}")
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
