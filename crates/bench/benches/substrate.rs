@@ -26,6 +26,28 @@ fn substrate(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_millis(500));
     group.measurement_time(std::time::Duration::from_secs(2));
 
+    // A fixed pure-CPU workload (~3 ms/iter) used as the machine-speed
+    // calibration unit by the bench gate: long enough that low-sample
+    // timings are stable to a few percent, unlike the microsecond benches
+    // whose single-run jitter would otherwise multiply into every
+    // normalized ratio.  Deliberately self-contained arithmetic (an inline
+    // LCG, no workspace code): if it shared a hot function with the gated
+    // benches, a regression there would cancel out of the normalized ratios
+    // instead of tripping the gate.
+    group.bench_function("calibration_spin", |b| {
+        b.iter(|| {
+            let mut state = 0xCA11_B8A7Eu64;
+            let mut acc = 0u64;
+            for _ in 0..4_000_000 {
+                state = state
+                    .wrapping_mul(6_364_136_223_846_793_005)
+                    .wrapping_add(1_442_695_040_888_963_407);
+                acc = acc.wrapping_add(state >> 33);
+            }
+            acc
+        });
+    });
+
     // Raw channel throughput.
     let channel = BinarySymmetricChannel::from_epsilon(0.2).expect("valid");
     group.bench_function("channel_transmit_10k", |b| {

@@ -1,0 +1,185 @@
+//! The CI perf-regression gate.
+//!
+//! Usage:
+//!
+//! ```sh
+//! # Compare a fresh run against the checked-in baseline (threshold in %),
+//! # normalising both sides by a calibration bench so host speed cancels:
+//! cargo run -p bench --bin bench_gate -- check BENCH_RESULTS.json bench/baseline.json 25 \
+//!     --calibrate substrate/calibration_spin
+//!
+//! # Regenerate the baseline from a fresh run:
+//! cargo run -p bench --bin bench_gate -- write-baseline BENCH_RESULTS.json bench/baseline.json
+//! ```
+//!
+//! `BENCH_RESULTS.json` is produced by running the benches with
+//! `BENCH_RESULTS_JSON=$PWD/BENCH_RESULTS.json cargo bench` (the vendored
+//! criterion harness appends one JSON line per benchmark).  Only benchmarks
+//! listed in the baseline are gated; `check` exits non-zero when any of them
+//! regresses past the threshold or disappears from the run.  Without
+//! `--calibrate` (or when the calibration bench is missing from either side)
+//! the comparison falls back to raw milliseconds, which is only meaningful
+//! when baseline and run come from the same machine.
+
+use std::process::ExitCode;
+
+use bench::gate::{
+    compare, format_baseline, normalize, parse_results, CALIBRATED_FLOOR, CALIBRATION_GUARD_RATIO,
+    RAW_FLOOR_MS,
+};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: bench_gate check <results> <baseline> [threshold_pct] [--calibrate <bench-id>]\n\
+         \x20      bench_gate write-baseline <results> <baseline>"
+    );
+    ExitCode::from(2)
+}
+
+fn read(path: &str) -> Result<String, ExitCode> {
+    std::fs::read_to_string(path).map_err(|e| {
+        eprintln!("bench_gate: cannot read {path}: {e}");
+        ExitCode::from(2)
+    })
+}
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let calibrate = match args.iter().position(|a| a == "--calibrate") {
+        Some(pos) => {
+            if pos + 1 >= args.len() {
+                return usage();
+            }
+            let id = args.remove(pos + 1);
+            args.remove(pos);
+            Some(id)
+        }
+        None => None,
+    };
+    match args.first().map(String::as_str) {
+        Some("check") if (3..=4).contains(&args.len()) => {
+            let results_text = match read(&args[1]) {
+                Ok(t) => t,
+                Err(code) => return code,
+            };
+            let baseline_text = match read(&args[2]) {
+                Ok(t) => t,
+                Err(code) => return code,
+            };
+            let threshold: f64 = match args.get(3).map_or(Ok(25.0), |s| s.parse()) {
+                Ok(t) if t >= 0.0 => t,
+                _ => {
+                    eprintln!("bench_gate: threshold must be a non-negative percentage");
+                    return ExitCode::from(2);
+                }
+            };
+            let mut current = parse_results(&results_text);
+            let mut baseline = parse_results(&baseline_text);
+            if current.is_empty() {
+                eprintln!(
+                    "bench_gate: no benchmark records in {} — was BENCH_RESULTS_JSON set?",
+                    args[1]
+                );
+                return ExitCode::from(2);
+            }
+            if baseline.is_empty() {
+                // An unparseable baseline (e.g. reformatted by a JSON
+                // pretty-printer — the file is line-JSON with exact
+                // `"bench":"` needles) must not silently disable the gate.
+                eprintln!(
+                    "bench_gate: no benchmark records in baseline {} — regenerate it with \
+                     `bench_gate write-baseline`",
+                    args[2]
+                );
+                return ExitCode::from(2);
+            }
+            let mut floor = RAW_FLOOR_MS;
+            let mut unit = "ms";
+            let mut calibration_regressed = false;
+            if let Some(cal) = &calibrate {
+                match (normalize(&baseline, cal), normalize(&current, cal)) {
+                    (Some(b), Some(c)) => {
+                        // The calibration bench is the unit, so it leaves the
+                        // gated set; guard it separately against catastrophic
+                        // raw regression, which would deflate every other
+                        // normalized timing.
+                        let base_unit = baseline[cal.as_str()];
+                        let cur_unit = current[cal.as_str()];
+                        if cur_unit > base_unit * CALIBRATION_GUARD_RATIO {
+                            println!(
+                                "REGRESSED {cal}: calibration bench {base_unit:.3} ms -> \
+                                 {cur_unit:.3} ms exceeds the {CALIBRATION_GUARD_RATIO}x guard"
+                            );
+                            calibration_regressed = true;
+                        }
+                        println!("calibrated: values are multiples of `{cal}`");
+                        baseline = b;
+                        current = c;
+                        floor = CALIBRATED_FLOOR;
+                        unit = "x";
+                    }
+                    _ => {
+                        eprintln!(
+                            "bench_gate: calibration bench `{cal}` missing from results or \
+                             baseline; falling back to raw milliseconds"
+                        );
+                    }
+                }
+            }
+            let report = compare(&baseline, &current, threshold, floor);
+            for (id, base, now) in &report.passed {
+                println!("ok       {id}: {base:.3} {unit} -> {now:.3} {unit}");
+            }
+            for id in &report.ungated {
+                println!("ungated  {id} (no baseline entry)");
+            }
+            for id in &report.missing {
+                println!("MISSING  {id}: in baseline but not in this run");
+            }
+            for (id, base, now) in &report.regressions {
+                println!(
+                    "REGRESSED {id}: {base:.3} {unit} -> {now:.3} {unit} (+{:.1}% > {threshold}%)",
+                    (now / base - 1.0) * 100.0
+                );
+            }
+            if report.is_ok() && !calibration_regressed {
+                println!(
+                    "bench gate passed: {} gated, {} ungated",
+                    report.passed.len(),
+                    report.ungated.len()
+                );
+                ExitCode::SUCCESS
+            } else {
+                println!(
+                    "bench gate FAILED: {} regression(s), {} missing{}",
+                    report.regressions.len(),
+                    report.missing.len(),
+                    if calibration_regressed {
+                        ", calibration bench regressed"
+                    } else {
+                        ""
+                    }
+                );
+                ExitCode::FAILURE
+            }
+        }
+        Some("write-baseline") if args.len() == 3 => {
+            let results_text = match read(&args[1]) {
+                Ok(t) => t,
+                Err(code) => return code,
+            };
+            let results = parse_results(&results_text);
+            if results.is_empty() {
+                eprintln!("bench_gate: no benchmark records in {}", args[1]);
+                return ExitCode::from(2);
+            }
+            if let Err(e) = std::fs::write(&args[2], format_baseline(&results)) {
+                eprintln!("bench_gate: cannot write {}: {e}", args[2]);
+                return ExitCode::from(2);
+            }
+            println!("wrote {} baseline entries to {}", results.len(), args[2]);
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,324 @@
+//! The CI perf-regression gate: parsing and comparing benchmark summaries.
+//!
+//! The vendored criterion harness appends one JSON line per finished
+//! benchmark to `$BENCH_RESULTS_JSON`
+//! (`{"bench":"group/id","ms_per_iter":…,"iters":…}`).  This module parses
+//! those line files and compares a fresh run against the checked-in baseline
+//! `bench/baseline.json`; the `bench_gate` binary wraps it for CI.
+//!
+//! Only benchmarks listed in the baseline are gated — the baseline *is* the
+//! declaration of which benches are hot paths.  Results without a baseline
+//! entry are informational, and a baseline entry whose benchmark vanished
+//! fails the gate (a silently deleted hot-path bench would otherwise make
+//! regressions invisible).
+//!
+//! Raw wall-clock comparisons across machines are meaningless — a CI runner
+//! may simply be 1.5× slower than the machine that recorded the baseline —
+//! so the gate supports *calibrated* mode: both sides are divided by the
+//! timing of a designated calibration benchmark measured in the same run
+//! ([`normalize`]), cancelling overall host speed and leaving only relative
+//! regressions of each bench against the calibration workload.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One benchmark's wall-clock summary: mean milliseconds per iteration.
+pub type BenchResults = BTreeMap<String, f64>;
+
+/// Parses a results/baseline file: one JSON object per line with `"bench"`
+/// and `"ms_per_iter"` fields.  Unparseable lines and non-positive timings
+/// (a `{:.6}`-rounded zero carries no gating signal and would print
+/// `inf%` regressions) are skipped.  Later lines win on duplicate ids.
+#[must_use]
+pub fn parse_results(text: &str) -> BenchResults {
+    let mut results = BenchResults::new();
+    for line in text.lines() {
+        let Some(id) = extract_string_field(line, "bench") else {
+            continue;
+        };
+        let Some(ms) = extract_number_field(line, "ms_per_iter") else {
+            continue;
+        };
+        if ms.is_finite() && ms > 0.0 {
+            results.insert(id, ms);
+        }
+    }
+    results
+}
+
+fn extract_string_field(line: &str, field: &str) -> Option<String> {
+    let needle = format!("\"{field}\":\"");
+    let start = line.find(&needle)? + needle.len();
+    let end = line[start..].find('"')? + start;
+    Some(line[start..end].to_string())
+}
+
+fn extract_number_field(line: &str, field: &str) -> Option<f64> {
+    let needle = format!("\"{field}\":");
+    let start = line.find(&needle)? + needle.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| {
+            c != '-' && c != '+' && c != '.' && c != 'e' && c != 'E' && !c.is_ascii_digit()
+        })
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Renders results in the line-JSON format [`parse_results`] reads, for
+/// regenerating the checked-in baseline.
+#[must_use]
+pub fn format_baseline(results: &BenchResults) -> String {
+    let mut out = String::new();
+    for (id, ms) in results {
+        let _ = writeln!(out, "{{\"bench\":\"{id}\",\"ms_per_iter\":{ms:.6}}}");
+    }
+    out
+}
+
+/// The verdict of comparing a run against the baseline.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct GateReport {
+    /// Benchmarks slower than baseline by more than the threshold:
+    /// `(id, baseline_ms, current_ms)`.
+    pub regressions: Vec<(String, f64, f64)>,
+    /// Baseline benchmarks absent from the current run.
+    pub missing: Vec<String>,
+    /// Gated benchmarks within the threshold: `(id, baseline_ms, current_ms)`.
+    pub passed: Vec<(String, f64, f64)>,
+    /// Benchmarks in the current run with no baseline entry (not gated).
+    pub ungated: Vec<String>,
+}
+
+impl GateReport {
+    /// Whether the gate passes (no regressions, nothing missing).
+    #[must_use]
+    pub fn is_ok(&self) -> bool {
+        self.regressions.is_empty() && self.missing.is_empty()
+    }
+}
+
+/// Divides every entry by the `calibration` entry's value and drops the
+/// calibration bench itself (its normalized value is identically 1).
+///
+/// Returns `None` when the calibration bench is absent or its timing is not
+/// a positive number, in which case callers should fall back to raw
+/// comparison.
+#[must_use]
+pub fn normalize(results: &BenchResults, calibration: &str) -> Option<BenchResults> {
+    let unit = *results.get(calibration)?;
+    if unit <= 0.0 || unit.is_nan() {
+        return None;
+    }
+    Some(
+        results
+            .iter()
+            .filter(|(id, _)| id.as_str() != calibration)
+            .map(|(id, &ms)| (id.clone(), ms / unit))
+            .collect(),
+    )
+}
+
+/// The absolute allowance floor for raw (milliseconds) comparisons:
+/// scheduler jitter on micro-benchmarks must not produce false alarms.
+pub const RAW_FLOOR_MS: f64 = 0.05;
+
+/// The absolute allowance floor for calibrated comparisons, in units of the
+/// calibration bench's cost (~100 µs against the ~5 ms `calibration_spin`
+/// unit).  Low-sample timing of the microsecond-scale benches jitters by
+/// tens of µs on a shared runner, so benches whose baseline sits below this
+/// resolution are in effect gated only against multi-x regressions — 25% of
+/// a few microseconds is not measurable there — which is the intended
+/// trade-off; benches at or above a millisecond are governed by the
+/// percentage threshold alone.
+pub const CALIBRATED_FLOOR: f64 = 0.02;
+
+/// Maximum tolerated raw slowdown of the calibration bench itself between
+/// baseline and current run.  The calibration bench is the normalisation
+/// unit, so [`normalize`] removes it from the gated set; this guard is the
+/// backstop that keeps a catastrophic regression *of the calibration path*
+/// (which would silently deflate every other normalized timing) from
+/// passing.  It must stay loose enough to absorb genuine machine-speed
+/// differences between the baseline recorder and CI runners.
+pub const CALIBRATION_GUARD_RATIO: f64 = 4.0;
+
+/// Compares `current` against `baseline`, flagging every gated benchmark
+/// whose value exceeds the baseline by more than `threshold_pct` percent
+/// (with an `abs_floor` absolute allowance on top, in whatever unit the two
+/// result sets are expressed in — see [`RAW_FLOOR_MS`] / [`CALIBRATED_FLOOR`]).
+#[must_use]
+pub fn compare(
+    baseline: &BenchResults,
+    current: &BenchResults,
+    threshold_pct: f64,
+    abs_floor: f64,
+) -> GateReport {
+    let mut report = GateReport::default();
+    for (id, &base_ms) in baseline {
+        match current.get(id) {
+            None => report.missing.push(id.clone()),
+            Some(&now_ms) => {
+                let allowed = (base_ms * (1.0 + threshold_pct / 100.0)).max(base_ms + abs_floor);
+                if now_ms > allowed {
+                    report.regressions.push((id.clone(), base_ms, now_ms));
+                } else {
+                    report.passed.push((id.clone(), base_ms, now_ms));
+                }
+            }
+        }
+    }
+    for id in current.keys() {
+        if !baseline.contains_key(id) {
+            report.ungated.push(id.clone());
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn results(pairs: &[(&str, f64)]) -> BenchResults {
+        pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect()
+    }
+
+    #[test]
+    fn parses_harness_output_lines() {
+        let text = "\
+{\"bench\":\"substrate/route_all_send/1000\",\"ms_per_iter\":0.123456,\"iters\":20}\n\
+not json at all\n\
+{\"bench\":\"dense_engine/run500_n1e6\",\"ms_per_iter\":42.5,\"iters\":3}\n";
+        let parsed = parse_results(text);
+        assert_eq!(parsed.len(), 2);
+        assert!((parsed["substrate/route_all_send/1000"] - 0.123456).abs() < 1e-9);
+        assert!((parsed["dense_engine/run500_n1e6"] - 42.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn later_duplicates_win_and_garbage_is_skipped() {
+        let text = "\
+{\"bench\":\"a/b\",\"ms_per_iter\":1.0,\"iters\":2}\n\
+{\"bench\":\"a/b\",\"ms_per_iter\":2.0,\"iters\":2}\n\
+{\"bench\":\"bad\",\"ms_per_iter\":NaN}\n\
+{\"bench\":\"worse\",\"ms_per_iter\":-1.0}\n\
+{\"bench\":\"zero\",\"ms_per_iter\":0.000000}\n";
+        let parsed = parse_results(text);
+        assert_eq!(parsed.len(), 1);
+        assert!((parsed["a/b"] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn baseline_format_round_trips() {
+        let original = results(&[("g/one", 1.25), ("g/two", 0.003)]);
+        let parsed = parse_results(&format_baseline(&original));
+        assert_eq!(parsed.len(), 2);
+        for (id, ms) in &original {
+            assert!((parsed[id] - ms).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn regressions_beyond_threshold_fail() {
+        let baseline = results(&[("g/hot", 10.0)]);
+        let ok = compare(&baseline, &results(&[("g/hot", 12.0)]), 25.0, RAW_FLOOR_MS);
+        assert!(ok.is_ok());
+        assert_eq!(ok.passed.len(), 1);
+        let bad = compare(&baseline, &results(&[("g/hot", 12.6)]), 25.0, RAW_FLOOR_MS);
+        assert!(!bad.is_ok());
+        assert_eq!(bad.regressions.len(), 1);
+        assert_eq!(bad.regressions[0].0, "g/hot");
+    }
+
+    #[test]
+    fn tiny_baselines_get_an_absolute_jitter_floor() {
+        // 25% of 0.01 ms is 2.5 µs — far below scheduler noise.  The 0.05 ms
+        // floor keeps micro-benchmarks from flapping.
+        let baseline = results(&[("g/micro", 0.01)]);
+        let report = compare(
+            &baseline,
+            &results(&[("g/micro", 0.05)]),
+            25.0,
+            RAW_FLOOR_MS,
+        );
+        assert!(report.is_ok(), "{report:?}");
+        let report = compare(
+            &baseline,
+            &results(&[("g/micro", 0.12)]),
+            25.0,
+            RAW_FLOOR_MS,
+        );
+        assert!(!report.is_ok());
+    }
+
+    #[test]
+    fn vanished_benchmarks_fail_and_new_ones_are_ungated() {
+        let baseline = results(&[("g/gone", 1.0)]);
+        let current = results(&[("g/new", 1.0)]);
+        let report = compare(&baseline, &current, 25.0, RAW_FLOOR_MS);
+        assert!(!report.is_ok());
+        assert_eq!(report.missing, vec!["g/gone".to_string()]);
+        assert_eq!(report.ungated, vec!["g/new".to_string()]);
+    }
+
+    #[test]
+    fn normalization_divides_by_the_calibration_bench() {
+        let raw = results(&[("cal/unit", 0.5), ("g/hot", 10.0), ("g/cold", 0.25)]);
+        let normalized = normalize(&raw, "cal/unit").unwrap();
+        assert_eq!(normalized.len(), 2, "calibration bench itself is dropped");
+        assert!((normalized["g/hot"] - 20.0).abs() < 1e-12);
+        assert!((normalized["g/cold"] - 0.5).abs() < 1e-12);
+        assert!(normalize(&raw, "missing/bench").is_none());
+        assert!(normalize(&results(&[("cal/unit", 0.0)]), "cal/unit").is_none());
+    }
+
+    #[test]
+    fn cheap_benches_are_still_gated_against_multi_x_regressions() {
+        // A bench far below the calibration unit: 25% is unmeasurable, but a
+        // regression past the jitter floor must still trip the gate.
+        let baseline = results(&[("g/micro", 0.02)]);
+        let ok = compare(
+            &baseline,
+            &results(&[("g/micro", 0.02 + CALIBRATED_FLOOR * 0.9)]),
+            25.0,
+            CALIBRATED_FLOOR,
+        );
+        assert!(ok.is_ok(), "{ok:?}");
+        let bad = compare(
+            &baseline,
+            &results(&[("g/micro", 0.02 + CALIBRATED_FLOOR * 1.5)]),
+            25.0,
+            CALIBRATED_FLOOR,
+        );
+        assert!(
+            !bad.is_ok(),
+            "a regression past the floor must fail: {bad:?}"
+        );
+    }
+
+    #[test]
+    fn calibration_cancels_uniform_host_slowdown() {
+        // The same workload on a machine 1.6x slower: every raw timing grows
+        // 60%, which a raw 25% gate would flag; the calibrated gate does not.
+        let baseline = results(&[("cal/unit", 0.5), ("g/hot", 10.0)]);
+        let slower = results(&[("cal/unit", 0.8), ("g/hot", 16.0)]);
+        let raw = compare(&baseline, &slower, 25.0, RAW_FLOOR_MS);
+        assert!(!raw.is_ok(), "raw comparison is fooled by host speed");
+        let report = compare(
+            &normalize(&baseline, "cal/unit").unwrap(),
+            &normalize(&slower, "cal/unit").unwrap(),
+            25.0,
+            CALIBRATED_FLOOR,
+        );
+        assert!(report.is_ok(), "calibrated comparison is not: {report:?}");
+        // A genuine 2x regression of g/hot still fails after calibration.
+        let regressed = results(&[("cal/unit", 0.8), ("g/hot", 32.0)]);
+        let report = compare(
+            &normalize(&baseline, "cal/unit").unwrap(),
+            &normalize(&regressed, "cal/unit").unwrap(),
+            25.0,
+            CALIBRATED_FLOOR,
+        );
+        assert!(!report.is_ok());
+    }
+}

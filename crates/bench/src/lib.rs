@@ -18,7 +18,7 @@ pub fn bench_config() -> ExperimentConfig {
     ExperimentConfig {
         trials: 2,
         base_seed: 0xBE9C,
-        quick: true,
+        ..ExperimentConfig::quick()
     }
 }
 
@@ -26,6 +26,8 @@ pub fn bench_config() -> ExperimentConfig {
 pub fn announce(table_markdown: &str) {
     println!("\n--- regenerated table ---\n{table_markdown}");
 }
+
+pub mod gate;
 
 #[cfg(test)]
 mod tests {

@@ -185,7 +185,7 @@ mod tests {
         ExperimentConfig {
             trials: 2,
             base_seed: 12,
-            quick: true,
+            ..ExperimentConfig::quick()
         }
     }
 

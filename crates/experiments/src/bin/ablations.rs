@@ -4,6 +4,7 @@
 
 fn main() {
     let cfg = experiments::config_from_args(std::env::args().skip(1));
+    experiments::require_agents_backend(&cfg, "ablations");
     for table in experiments::ablations::all(&cfg) {
         println!("{}", table.to_markdown());
     }

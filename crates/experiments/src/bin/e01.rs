@@ -1,11 +1,23 @@
 //! Experiment binary `e01`: broadcast rounds vs n (Theorem 2.17).
 //!
-//! Usage: `cargo run --release -p experiments --bin e01 [-- --full]`
+//! Usage: `cargo run --release -p experiments --bin e01 [-- --full] [--backend dense|agents]`
+//!
+//! With `--backend dense` the binary runs the dense-engine scaling variant
+//! E1-D, which sweeps populations of 10⁵–10⁶⁺ agents; the default per-agent
+//! backend runs the protocol-level sweep E1.
+
+use flip_model::Backend;
 
 fn main() {
     let cfg = experiments::config_from_args(std::env::args().skip(1));
-    println!(
-        "{}",
-        experiments::scaling::e01_rounds_vs_n(&cfg).to_markdown()
-    );
+    match cfg.backend {
+        Backend::Dense => println!(
+            "{}",
+            experiments::scaling::e01_dense_scaling(&cfg).to_markdown()
+        ),
+        Backend::Agents => println!(
+            "{}",
+            experiments::scaling::e01_rounds_vs_n(&cfg).to_markdown()
+        ),
+    }
 }

@@ -4,6 +4,7 @@
 
 fn main() {
     let cfg = experiments::config_from_args(std::env::args().skip(1));
+    experiments::require_agents_backend(&cfg, "e02");
     println!(
         "{}",
         experiments::scaling::e02_rounds_vs_epsilon(&cfg).to_markdown()

@@ -4,6 +4,7 @@
 
 fn main() {
     let cfg = experiments::config_from_args(std::env::args().skip(1));
+    experiments::require_agents_backend(&cfg, "e03");
     println!(
         "{}",
         experiments::scaling::e03_message_complexity(&cfg).to_markdown()

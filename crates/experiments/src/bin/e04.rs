@@ -4,6 +4,7 @@
 
 fn main() {
     let cfg = experiments::config_from_args(std::env::args().skip(1));
+    experiments::require_agents_backend(&cfg, "e04");
     println!(
         "{}",
         experiments::stage_claims::e04_phase0_seeding(&cfg).to_markdown()

@@ -4,6 +4,7 @@
 
 fn main() {
     let cfg = experiments::config_from_args(std::env::args().skip(1));
+    experiments::require_agents_backend(&cfg, "e05");
     println!(
         "{}",
         experiments::stage_claims::e05_layer_growth(&cfg).to_markdown()

@@ -4,6 +4,7 @@
 
 fn main() {
     let cfg = experiments::config_from_args(std::env::args().skip(1));
+    experiments::require_agents_backend(&cfg, "e06");
     println!(
         "{}",
         experiments::stage_claims::e06_bias_decay(&cfg).to_markdown()

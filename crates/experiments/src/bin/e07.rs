@@ -4,6 +4,7 @@
 
 fn main() {
     let cfg = experiments::config_from_args(std::env::args().skip(1));
+    experiments::require_agents_backend(&cfg, "e07");
     for table in experiments::stage_claims::e07_stage2_boost(&cfg) {
         println!("{}", table.to_markdown());
     }

@@ -1,11 +1,23 @@
 //! Experiment binary `e08`: noisy majority-consensus (Corollary 2.18).
 //!
-//! Usage: `cargo run --release -p experiments --bin e08 [-- --full]`
+//! Usage: `cargo run --release -p experiments --bin e08 [-- --full] [--backend dense|agents]`
+//!
+//! With `--backend dense` the binary runs the dense-engine variant E8-D,
+//! which measures the Stage II majority boost on populations of 10⁵–10⁶⁺
+//! agents; the default per-agent backend runs the full protocol sweep E8.
+
+use flip_model::Backend;
 
 fn main() {
     let cfg = experiments::config_from_args(std::env::args().skip(1));
-    println!(
-        "{}",
-        experiments::consensus::e08_majority_consensus(&cfg).to_markdown()
-    );
+    match cfg.backend {
+        Backend::Dense => println!(
+            "{}",
+            experiments::consensus::e08_dense_majority(&cfg).to_markdown()
+        ),
+        Backend::Agents => println!(
+            "{}",
+            experiments::consensus::e08_majority_consensus(&cfg).to_markdown()
+        ),
+    }
 }

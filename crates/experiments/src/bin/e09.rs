@@ -4,6 +4,7 @@
 
 fn main() {
     let cfg = experiments::config_from_args(std::env::args().skip(1));
+    experiments::require_agents_backend(&cfg, "e09");
     println!(
         "{}",
         experiments::scaling::e09_async_overhead(&cfg).to_markdown()

@@ -4,6 +4,7 @@
 
 fn main() {
     let cfg = experiments::config_from_args(std::env::args().skip(1));
+    experiments::require_agents_backend(&cfg, "e10");
     println!(
         "{}",
         experiments::comparisons::e10_baseline_comparison(&cfg).to_markdown()

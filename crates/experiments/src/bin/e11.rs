@@ -4,6 +4,7 @@
 
 fn main() {
     let cfg = experiments::config_from_args(std::env::args().skip(1));
+    experiments::require_agents_backend(&cfg, "e11");
     println!(
         "{}",
         experiments::comparisons::e11_path_deterioration(&cfg).to_markdown()

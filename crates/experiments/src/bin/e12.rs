@@ -4,6 +4,7 @@
 
 fn main() {
     let cfg = experiments::config_from_args(std::env::args().skip(1));
+    experiments::require_agents_backend(&cfg, "e12");
     println!(
         "{}",
         experiments::comparisons::e12_two_party_lower_bound(&cfg).to_markdown()

@@ -4,5 +4,6 @@
 
 fn main() {
     let cfg = experiments::config_from_args(std::env::args().skip(1));
+    experiments::require_agents_backend(&cfg, "full_report");
     println!("{}", experiments::report::full_report(&cfg).to_markdown());
 }

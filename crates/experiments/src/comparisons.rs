@@ -258,7 +258,7 @@ mod tests {
         let cfg = ExperimentConfig {
             trials: 1,
             base_seed: 1,
-            quick: true,
+            ..ExperimentConfig::quick()
         };
         let table = e11_path_deterioration(&cfg);
         for row in table.rows() {

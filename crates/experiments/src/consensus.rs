@@ -1,11 +1,14 @@
 //! E8: noisy majority-consensus success versus initial set size and
-//! majority-bias (Corollary 2.18).
+//! majority-bias (Corollary 2.18), plus the dense-engine variant E8-D that
+//! measures the Stage II boost on populations of `10⁵`–`10⁶` agents.
 
 use analysis::estimators::{mean, SuccessRate};
 use analysis::tables::fmt_float;
 use analysis::Table;
 use breathe::{InitialSet, MajorityConsensusProtocol, Params};
-use flip_model::Opinion;
+use flip_model::{
+    BinarySymmetricChannel, DenseSimulation, MajoritySamplerProtocol, Opinion, SimulationConfig,
+};
 
 use crate::{ExperimentConfig, TrialRunner};
 
@@ -88,6 +91,85 @@ pub fn e08_majority_consensus(cfg: &ExperimentConfig) -> Table {
     table
 }
 
+/// The population sizes swept by the dense majority experiment E8-D.
+#[must_use]
+pub fn dense_majority_grid(cfg: &ExperimentConfig) -> Vec<u64> {
+    if cfg.quick {
+        vec![100_000, 1_000_000]
+    } else {
+        vec![100_000, 1_000_000, 4_000_000]
+    }
+}
+
+/// The whole-population initial biases swept by E8-D.
+#[must_use]
+pub fn dense_bias_grid(cfg: &ExperimentConfig) -> Vec<f64> {
+    if cfg.quick {
+        vec![0.01, 0.05]
+    } else {
+        vec![0.005, 0.01, 0.05, 0.1]
+    }
+}
+
+/// **E8-D (Lemma 2.11 / Corollary 2.18, dense form)** — Stage II majority
+/// boosting at `n = 10⁵`–`10⁶⁺`.
+///
+/// Every agent starts opinionated with a small whole-population bias towards
+/// the correct opinion and runs `O(log n)` phases of noisy majority sampling
+/// ([`MajoritySamplerProtocol`]).  The paper predicts each phase to multiply
+/// the bias by `Θ(ε·√samples)` until it saturates, so even a 1% initial edge
+/// should end with nearly every agent correct.  Only the dense engine makes
+/// this measurable at such `n`; there is deliberately no per-agent fallback.
+#[must_use]
+pub fn e08_dense_majority(cfg: &ExperimentConfig) -> Table {
+    let epsilon = 0.3f64;
+    // An odd Θ(1/ε²) phase length, the paper's Stage II sample scale.
+    let phase_len = ((2.0 / (epsilon * epsilon)).ceil() as u64) | 1;
+    let mut table = Table::new(
+        &format!("E8-D: dense majority boost (epsilon = {epsilon}, phase_len = {phase_len})"),
+        &[
+            "n",
+            "initial bias",
+            "phases",
+            "final fraction correct",
+            "majority preserved rate",
+        ],
+    );
+    let mut point = 1_800;
+    for &n in &dense_majority_grid(cfg) {
+        for &bias in &dense_bias_grid(cfg) {
+            let correct = ((0.5 + bias) * n as f64).round() as u64;
+            let phases = 2 * (n as f64).log2().ceil() as u64;
+            let runner = TrialRunner::new(u64::from(cfg.trials));
+            let outcomes = runner.run(|trial| {
+                let sampler = MajoritySamplerProtocol::new(phase_len);
+                let population = sampler.population(n - correct, correct);
+                let channel = BinarySymmetricChannel::from_epsilon(epsilon).expect("valid epsilon");
+                let config = SimulationConfig::new(n as usize)
+                    .with_seed(cfg.seed_for(point, trial))
+                    .with_reference(Opinion::One);
+                let mut sim = DenseSimulation::new(sampler, channel, population, config)
+                    .expect("grid parameters are valid");
+                sim.run(phases * phase_len);
+                sim.census().fraction_correct(Opinion::One)
+            });
+            point += 1;
+            let mut preserved = SuccessRate::new();
+            for &f in &outcomes {
+                preserved.record(f > 0.5);
+            }
+            table.push_row(&[
+                n.to_string(),
+                fmt_float(bias),
+                phases.to_string(),
+                fmt_float(mean(&outcomes)),
+                fmt_float(preserved.estimate()),
+            ]);
+        }
+    }
+    table
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -105,11 +187,31 @@ mod tests {
     }
 
     #[test]
+    fn e08_dense_boosts_small_biases_at_scale() {
+        let cfg = ExperimentConfig {
+            trials: 1,
+            base_seed: 5,
+            ..ExperimentConfig::quick()
+        };
+        let table = e08_dense_majority(&cfg);
+        assert_eq!(
+            table.len(),
+            dense_majority_grid(&cfg).len() * dense_bias_grid(&cfg).len()
+        );
+        // Even the smallest swept bias should be amplified to a solid
+        // majority at every n.
+        for row in table.rows() {
+            let fraction: f64 = row[3].parse().unwrap();
+            assert!(fraction > 0.8, "fraction = {fraction}, row = {row:?}");
+        }
+    }
+
+    #[test]
     fn e08_produces_a_row_per_grid_point_and_large_biased_sets_win() {
         let cfg = ExperimentConfig {
             trials: 2,
             base_seed: 5,
-            quick: true,
+            ..ExperimentConfig::quick()
         };
         let table = e08_majority_consensus(&cfg);
         assert_eq!(

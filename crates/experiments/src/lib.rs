@@ -37,6 +37,8 @@ pub mod stage_claims;
 pub use report::Report;
 pub use runner::TrialRunner;
 
+use flip_model::Backend;
+
 /// Controls how heavy an experiment run is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ExperimentConfig {
@@ -49,6 +51,10 @@ pub struct ExperimentConfig {
     /// suite finishes in minutes; full mode uses the sizes quoted in
     /// `EXPERIMENTS.md`.
     pub quick: bool,
+    /// Which simulation engine to use where an experiment supports both: the
+    /// exact per-agent engine, or the dense counts-based engine that reaches
+    /// `n = 10⁶⁺` (selected on the command line with `--backend dense`).
+    pub backend: Backend,
 }
 
 impl ExperimentConfig {
@@ -59,6 +65,7 @@ impl ExperimentConfig {
             trials: 5,
             base_seed: 0xBEA7_4E5E,
             quick: true,
+            backend: Backend::Agents,
         }
     }
 
@@ -69,7 +76,15 @@ impl ExperimentConfig {
             trials: 20,
             base_seed: 0xBEA7_4E5E,
             quick: false,
+            backend: Backend::Agents,
         }
+    }
+
+    /// Returns the same configuration with the given backend selected.
+    #[must_use]
+    pub fn with_backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
     }
 
     /// Chooses between two values depending on quick/full mode.
@@ -103,19 +118,75 @@ impl Default for ExperimentConfig {
 }
 
 /// Parses the standard command-line convention of the experiment binaries:
-/// `--full` selects [`ExperimentConfig::full`], anything else stays quick.
+/// `--full` selects [`ExperimentConfig::full`] (anything else stays quick) and
+/// `--backend dense|agents` (or `--backend=dense`) selects the simulation
+/// engine for experiments that support both.
+///
+/// # Panics
+///
+/// Panics with a usage message on an unknown or missing `--backend` value, so
+/// a typo fails a binary invocation loudly instead of silently running the
+/// default engine.
 #[must_use]
 pub fn config_from_args<I: IntoIterator<Item = String>>(args: I) -> ExperimentConfig {
-    if args.into_iter().any(|a| a == "--full") {
+    let args: Vec<String> = args.into_iter().collect();
+    let mut cfg = if args.iter().any(|a| a == "--full") {
         ExperimentConfig::full()
     } else {
         ExperimentConfig::quick()
+    };
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let value = if arg == "--backend" {
+            Some(
+                iter.next()
+                    .unwrap_or_else(|| panic!("--backend requires a value: agents or dense"))
+                    .as_str(),
+            )
+        } else {
+            arg.strip_prefix("--backend=")
+        };
+        if let Some(value) = value {
+            cfg.backend = value
+                .parse()
+                .unwrap_or_else(|e| panic!("invalid --backend value: {e}"));
+        }
     }
+    cfg
+}
+
+/// Guard for binaries whose experiments exist only on the per-agent engine:
+/// rejects a `--backend dense` selection loudly instead of silently running
+/// the default engine and letting the user mistake the numbers for dense
+/// results.  (`e01` and `e08` have dense variants and do not call this.)
+///
+/// # Panics
+///
+/// Panics when `cfg.backend` is not [`Backend::Agents`].
+pub fn require_agents_backend(cfg: &ExperimentConfig, binary: &str) {
+    assert!(
+        cfg.backend == Backend::Agents,
+        "`{binary}` has no dense-engine variant; drop `--backend {}` \
+         (dense variants exist for e01 and e08)",
+        cfg.backend
+    );
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn agents_only_binaries_reject_the_dense_backend() {
+        require_agents_backend(&ExperimentConfig::quick(), "e03");
+        let result = std::panic::catch_unwind(|| {
+            require_agents_backend(
+                &ExperimentConfig::quick().with_backend(Backend::Dense),
+                "e03",
+            );
+        });
+        assert!(result.is_err(), "dense must be rejected loudly");
+    }
 
     #[test]
     fn presets_differ_in_scale() {
@@ -149,5 +220,36 @@ mod tests {
             config_from_args(Vec::<String>::new()),
             ExperimentConfig::quick()
         );
+    }
+
+    #[test]
+    fn args_select_the_backend() {
+        assert_eq!(
+            config_from_args(Vec::<String>::new()).backend,
+            Backend::Agents
+        );
+        assert_eq!(
+            config_from_args(vec!["--backend".to_string(), "dense".to_string()]).backend,
+            Backend::Dense
+        );
+        assert_eq!(
+            config_from_args(vec!["--backend=dense".to_string()]).backend,
+            Backend::Dense
+        );
+        let cfg = config_from_args(vec!["--full".to_string(), "--backend=agents".to_string()]);
+        assert_eq!(cfg.backend, Backend::Agents);
+        assert!(!cfg.quick);
+        assert_eq!(
+            ExperimentConfig::quick()
+                .with_backend(Backend::Dense)
+                .backend,
+            Backend::Dense
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid --backend")]
+    fn unknown_backend_fails_loudly() {
+        let _ = config_from_args(vec!["--backend".to_string(), "gpu".to_string()]);
     }
 }

@@ -25,15 +25,18 @@ pub struct TrialRunner {
 
 impl TrialRunner {
     /// Creates a runner for the given number of trials, using as many threads
-    /// as the machine offers (capped at the trial count).
+    /// as the machine offers — but never more threads than trials: a 4-trial
+    /// run on a 64-core machine gets 4 worker threads, not 64, since the
+    /// surplus threads would only be spawned to exit immediately.
     #[must_use]
     pub fn new(trials: u64) -> Self {
         let available = std::thread::available_parallelism()
             .map(std::num::NonZeroUsize::get)
             .unwrap_or(1);
+        let cap = usize::try_from(trials).unwrap_or(usize::MAX);
         Self {
             trials,
-            threads: available.max(1),
+            threads: available.min(cap).max(1),
         }
     }
 
@@ -48,6 +51,12 @@ impl TrialRunner {
     #[must_use]
     pub fn trials(&self) -> u64 {
         self.trials
+    }
+
+    /// The number of worker threads a parallel run will use.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// Runs `task` once per trial index (0-based) and collects the results in
@@ -120,5 +129,15 @@ mod tests {
     fn trial_count_is_reported() {
         assert_eq!(TrialRunner::new(7).trials(), 7);
         assert!(TrialRunner::new(7).with_threads(0).threads >= 1);
+    }
+
+    #[test]
+    fn worker_threads_never_exceed_trials() {
+        assert_eq!(TrialRunner::new(1).threads(), 1);
+        assert!(TrialRunner::new(4).threads() <= 4);
+        // Zero trials still leaves a (never-used) worker so the struct stays valid.
+        assert_eq!(TrialRunner::new(0).threads(), 1);
+        // The explicit override remains available for tests that want more.
+        assert_eq!(TrialRunner::new(2).with_threads(8).threads(), 8);
     }
 }

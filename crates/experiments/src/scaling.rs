@@ -1,12 +1,16 @@
 //! E1–E3 and E9: round and message complexity scaling (Theorem 2.17) and the
-//! local-clock overhead (Theorem 3.1).
+//! local-clock overhead (Theorem 3.1), plus the dense-engine variant E1-D
+//! that pushes the population sweep to `n = 10⁶⁺`.
 
 use analysis::estimators::{mean, SuccessRate};
 use analysis::fitting::fit_linear;
 use analysis::tables::fmt_float;
 use analysis::Table;
 use breathe::{AsyncBroadcastProtocol, AsyncVariant, BroadcastProtocol, Params};
-use flip_model::Opinion;
+use flip_model::{
+    Backend, BinarySymmetricChannel, DenseSimulation, Opinion, RumorAgent, RumorProtocol,
+    Simulation, SimulationConfig,
+};
 
 use crate::{ExperimentConfig, TrialRunner};
 
@@ -180,6 +184,138 @@ pub fn e03_message_complexity(cfg: &ExperimentConfig) -> Table {
     table
 }
 
+/// The population sizes swept by the dense-engine scaling experiment E1-D.
+///
+/// These sizes are far beyond what the per-agent engine can sweep in
+/// reasonable time; the dense engine's per-round cost is independent of `n`,
+/// so the grid tops out at four million agents even in quick mode's superset.
+#[must_use]
+pub fn dense_population_grid(cfg: &ExperimentConfig) -> Vec<usize> {
+    if cfg.quick {
+        vec![100_000, 1_000_000]
+    } else {
+        vec![100_000, 1_000_000, 4_000_000]
+    }
+}
+
+/// One E1-D trial: rounds until full activation (capped), the fraction of
+/// agents holding the source opinion at that point, and total messages.
+/// Wall-clock timing deliberately stays out of the table — experiment output
+/// must be byte-identical per seed; the `dense_engine` criterion bench is
+/// where the engine's speed is measured.
+struct DenseScalingPoint {
+    rounds: u64,
+    fraction_correct: f64,
+    messages_sent: u64,
+}
+
+/// Rounds cap for an E1-D run; full activation takes `O(log n)` rounds, so
+/// 500 leaves an order of magnitude of slack at `n = 10⁷`.
+const DENSE_SCALING_MAX_ROUNDS: u64 = 500;
+
+fn dense_scaling_trial(
+    backend: Backend,
+    n: usize,
+    informed: u64,
+    epsilon: f64,
+    seed: u64,
+) -> DenseScalingPoint {
+    let channel = BinarySymmetricChannel::from_epsilon(epsilon).expect("grid epsilon is valid");
+    let config = SimulationConfig::new(n)
+        .with_seed(seed)
+        .with_reference(Opinion::One);
+    match backend {
+        Backend::Dense => {
+            let population = RumorProtocol::population(n as u64, 0, informed);
+            let mut sim = DenseSimulation::new(RumorProtocol, channel, population, config)
+                .expect("grid parameters are valid");
+            let rounds = sim.run_until(DENSE_SCALING_MAX_ROUNDS, |s| s.census().active() == n);
+            DenseScalingPoint {
+                rounds,
+                fraction_correct: sim.census().fraction_correct(Opinion::One),
+                messages_sent: sim.metrics().messages_sent,
+            }
+        }
+        Backend::Agents => {
+            let agents = RumorAgent::population(n, 0, informed as usize);
+            let mut sim =
+                Simulation::new(agents, channel, config).expect("grid parameters are valid");
+            let rounds = sim.run_until(DENSE_SCALING_MAX_ROUNDS, |s| s.census().active() == n);
+            DenseScalingPoint {
+                rounds,
+                fraction_correct: sim.census().fraction_correct(Opinion::One),
+                messages_sent: sim.metrics().messages_sent,
+            }
+        }
+    }
+}
+
+/// **E1-D** — dense-engine rumor spreading at `n = 10⁵`–`10⁶⁺`.
+///
+/// Sweeps [`dense_population_grid`] with 1000 informed agents and `ε = 0.2`
+/// noise over `cfg.trials` trials per size, reporting mean rounds to full
+/// activation (which Theorem 2.17's Stage I analysis predicts to grow as
+/// `Θ(log n)`), the mean fraction of agents left holding the source opinion
+/// and mean message totals.  Called with [`Backend::Agents`] (reachable via
+/// the library API; the `e01` binary routes `--backend agents` to the
+/// classic protocol sweep [`e01_rounds_vs_n`] instead), the per-agent
+/// reference engine runs the same sweep capped at `n = 10⁵` — larger sizes
+/// are impractical there, which is the point of the dense engine.
+#[must_use]
+pub fn e01_dense_scaling(cfg: &ExperimentConfig) -> Table {
+    let epsilon = 0.2;
+    let mut table = Table::new(
+        &format!(
+            "E1-D: rumor spreading at large n (backend = {}, epsilon = 0.2)",
+            cfg.backend
+        ),
+        &[
+            "n",
+            "mean rounds to full activation",
+            "rounds / ln n",
+            "mean fraction holding source bit",
+            "mean messages sent",
+        ],
+    );
+    for (idx, n) in dense_population_grid(cfg).into_iter().enumerate() {
+        if cfg.backend == Backend::Agents && n > 100_000 {
+            continue;
+        }
+        let backend = cfg.backend;
+        let runner = TrialRunner::new(u64::from(cfg.trials));
+        let trials = runner.run(|trial| {
+            dense_scaling_trial(
+                backend,
+                n,
+                1_000,
+                epsilon,
+                cfg.seed_for(1_300 + idx as u64, trial),
+            )
+        });
+        let rounds = mean(&trials.iter().map(|t| t.rounds as f64).collect::<Vec<_>>());
+        let fraction = mean(
+            &trials
+                .iter()
+                .map(|t| t.fraction_correct)
+                .collect::<Vec<_>>(),
+        );
+        let messages = mean(
+            &trials
+                .iter()
+                .map(|t| t.messages_sent as f64)
+                .collect::<Vec<_>>(),
+        );
+        table.push_row(&[
+            n.to_string(),
+            fmt_float(rounds),
+            fmt_float(rounds / (n as f64).ln()),
+            fmt_float(fraction),
+            fmt_float(messages),
+        ]);
+    }
+    table
+}
+
 /// **E9 (Theorem 3.1)** — the local-clock variants: correctness preserved and
 /// additive overhead versus `ln² n`.
 #[must_use]
@@ -250,7 +386,7 @@ mod tests {
         ExperimentConfig {
             trials: 2,
             base_seed: 7,
-            quick: true,
+            ..ExperimentConfig::quick()
         }
     }
 
@@ -283,6 +419,38 @@ mod tests {
             max / min < 12.0,
             "normalised rounds vary too much: {normalised:?}"
         );
+    }
+
+    #[test]
+    fn dense_grid_reaches_one_million() {
+        assert!(dense_population_grid(&tiny_config()).contains(&1_000_000));
+        assert!(
+            dense_population_grid(&ExperimentConfig::full()).len()
+                > dense_population_grid(&ExperimentConfig::quick()).len()
+        );
+    }
+
+    #[test]
+    fn e01_dense_covers_the_grid_with_the_dense_backend() {
+        let cfg = tiny_config().with_backend(Backend::Dense);
+        let table = e01_dense_scaling(&cfg);
+        assert_eq!(table.len(), dense_population_grid(&cfg).len());
+        for row in table.rows() {
+            let rounds: f64 = row[1].parse().unwrap();
+            assert!(rounds > 0.0 && rounds < super::DENSE_SCALING_MAX_ROUNDS as f64);
+            let fraction: f64 = row[3].parse().unwrap();
+            assert!((0.0..=1.0).contains(&fraction));
+        }
+    }
+
+    #[test]
+    fn e01_dense_caps_the_agents_backend_sweep() {
+        let cfg = tiny_config();
+        assert_eq!(cfg.backend, Backend::Agents);
+        let table = e01_dense_scaling(&cfg);
+        // Only the 10^5 grid point is practical per-agent.
+        assert_eq!(table.len(), 1);
+        assert_eq!(table.rows()[0][0], "100000");
     }
 
     #[test]

@@ -327,7 +327,7 @@ mod tests {
         ExperimentConfig {
             trials: 2,
             base_seed: 3,
-            quick: true,
+            ..ExperimentConfig::quick()
         }
     }
 

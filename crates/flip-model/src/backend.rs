@@ -1,0 +1,96 @@
+//! Selection between the per-agent and dense simulation engines.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::error::FlipError;
+
+/// Which simulation engine executes a workload.
+///
+/// * [`Backend::Agents`] — the per-agent [`Simulation`](crate::Simulation):
+///   one state machine object per agent, exact collision resolution, per-agent
+///   traces.  The reference semantics; practical up to `n ≈ 10⁴–10⁵`.
+/// * [`Backend::Dense`] — the counts-based
+///   [`DenseSimulation`](crate::DenseSimulation): `O(#states)` per round,
+///   distributionally equivalent at the population level; practical to
+///   `n = 10⁷` and beyond.
+///
+/// Experiment binaries select the backend with `--backend dense|agents`.
+///
+/// # Example
+///
+/// ```
+/// use flip_model::Backend;
+///
+/// assert_eq!("dense".parse::<Backend>().unwrap(), Backend::Dense);
+/// assert_eq!(Backend::Agents.to_string(), "agents");
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum Backend {
+    /// The per-agent reference engine.
+    #[default]
+    Agents,
+    /// The dense counts-based engine.
+    Dense,
+}
+
+impl Backend {
+    /// Both backends, in default-first order.
+    pub const ALL: [Backend; 2] = [Backend::Agents, Backend::Dense];
+
+    /// The canonical command-line name of the backend.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Backend::Agents => "agents",
+            Backend::Dense => "dense",
+        }
+    }
+}
+
+impl fmt::Display for Backend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl FromStr for Backend {
+    type Err = FlipError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "agents" | "agent" | "per-agent" => Ok(Backend::Agents),
+            "dense" | "counts" => Ok(Backend::Dense),
+            other => Err(FlipError::InvalidParameter {
+                name: "backend",
+                message: format!("unknown backend `{other}`; expected `agents` or `dense`"),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_all_spellings() {
+        assert_eq!("agents".parse::<Backend>().unwrap(), Backend::Agents);
+        assert_eq!("per-agent".parse::<Backend>().unwrap(), Backend::Agents);
+        assert_eq!("DENSE".parse::<Backend>().unwrap(), Backend::Dense);
+        assert_eq!("counts".parse::<Backend>().unwrap(), Backend::Dense);
+        assert!("gpu".parse::<Backend>().is_err());
+    }
+
+    #[test]
+    fn display_round_trips() {
+        for backend in Backend::ALL {
+            assert_eq!(backend.as_str().parse::<Backend>().unwrap(), backend);
+        }
+    }
+
+    #[test]
+    fn default_is_the_reference_engine() {
+        assert_eq!(Backend::default(), Backend::Agents);
+    }
+}

@@ -23,6 +23,16 @@ pub trait Channel {
     fn epsilon(&self) -> f64 {
         0.5 - self.crossover()
     }
+
+    /// The *expected* per-message flip probability, used by the dense engine
+    /// to sample aggregate flip counts.  Defaults to [`crossover`]
+    /// (exact for channels with a fixed flip rate); channels whose noise
+    /// varies per message must override it with the mean rate.
+    ///
+    /// [`crossover`]: Channel::crossover
+    fn mean_crossover(&self) -> f64 {
+        self.crossover()
+    }
 }
 
 /// The binary symmetric channel with a fixed crossover probability `p ∈ [0, 1/2]`.
@@ -160,6 +170,11 @@ impl Channel for AdversarialCapChannel {
 
     fn crossover(&self) -> f64 {
         self.cap
+    }
+
+    fn mean_crossover(&self) -> f64 {
+        // The per-message rate is uniform on [low, cap].
+        0.5 * (self.low + self.cap)
     }
 }
 

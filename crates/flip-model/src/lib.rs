@@ -17,6 +17,13 @@
 //! machines implementing the [`Agent`] trait, and the [`Simulation`] engine
 //! applies the push-gossip routing, collision and noise semantics.
 //!
+//! Two engines execute the model, selected by [`Backend`]: the per-agent
+//! [`Simulation`] (the exact reference semantics) and the counts-based
+//! [`DenseSimulation`], which runs homogeneous protocols ([`DenseProtocol`])
+//! in `O(#states)` per round and reaches populations of `10⁶`–`10⁷` agents —
+//! see the [`dense`](DenseSimulation) module documentation for the
+//! equivalence contract between the two.
+//!
 //! # Example
 //!
 //! A tiny "everyone repeats what they last heard" protocol:
@@ -59,9 +66,12 @@
 #![warn(missing_docs)]
 
 mod agent;
+mod backend;
 mod channel;
 mod clock;
 mod config;
+mod dense;
+mod dense_protocols;
 mod engine;
 mod error;
 mod metrics;
@@ -72,9 +82,12 @@ mod scheduler;
 mod trace;
 
 pub use agent::{Agent, AgentId, Round};
+pub use backend::Backend;
 pub use channel::{AdversarialCapChannel, BinarySymmetricChannel, Channel, NoiselessChannel};
 pub use clock::{ClockModel, LocalClock};
 pub use config::SimulationConfig;
+pub use dense::{DensePopulation, DenseProtocol, DenseSimulation, OpinionBitmap};
+pub use dense_protocols::{MajoritySamplerProtocol, RumorAgent, RumorProtocol, VoterProtocol};
 pub use engine::{RoundSummary, Simulation};
 pub use error::FlipError;
 pub use metrics::{Metrics, RoundMetrics};

@@ -1,0 +1,342 @@
+//! Equivalence of the dense counts-based engine and the per-agent reference
+//! engine.
+//!
+//! The two backends share the round structure (send → route/collide →
+//! corrupt → deliver) but the dense engine samples aggregate transition
+//! counts instead of iterating agents, replacing the exact balls-into-bins
+//! collision process with its independent-reception marginal.  The contract
+//! (documented on `flip_model::DenseSimulation`) is therefore:
+//!
+//! 1. **identical** results wherever the dynamics are deterministic — e.g.
+//!    any fixed point of a noiseless protocol, or a population that sends
+//!    nothing — and
+//! 2. **distributional equivalence** elsewhere: mean population trajectories
+//!    agree within Chernoff-style fluctuation bounds.
+//!
+//! All tests run under fixed seeds and are fully deterministic.
+
+use breathe_paper as _;
+use flip_model::{
+    Agent, BinarySymmetricChannel, DenseSimulation, NoiselessChannel, Opinion, Round, RumorAgent,
+    RumorProtocol, SimRng, Simulation, SimulationConfig, VoterProtocol,
+};
+
+/// The per-agent twin of `VoterProtocol`: always pushes its opinion, adopts
+/// whatever it hears.
+struct Voter {
+    opinion: Opinion,
+}
+
+impl Agent for Voter {
+    fn send(&mut self, _round: Round, _rng: &mut SimRng) -> Option<Opinion> {
+        Some(self.opinion)
+    }
+    fn deliver(&mut self, _round: Round, message: Opinion, _rng: &mut SimRng) {
+        self.opinion = message;
+    }
+    fn opinion(&self) -> Option<Opinion> {
+        Some(self.opinion)
+    }
+}
+
+fn adopters(n: usize, ones: usize) -> Vec<RumorAgent> {
+    RumorAgent::population(n, 0, ones)
+}
+
+// ---------------------------------------------------------------- identity
+
+/// A noiseless, unanimous population is a deterministic fixed point: both
+/// backends must report *identical* censuses and message counts every round.
+#[test]
+fn degenerate_noiseless_fixed_point_is_identical() {
+    let n = 1_000;
+    let mut agent_sim = Simulation::new(
+        adopters(n, n),
+        NoiselessChannel,
+        SimulationConfig::new(n).with_seed(1),
+    )
+    .unwrap();
+    let mut dense_sim = DenseSimulation::new(
+        RumorProtocol,
+        NoiselessChannel,
+        RumorProtocol::population(n as u64, 0, n as u64),
+        SimulationConfig::new(n).with_seed(2),
+    )
+    .unwrap();
+
+    for _ in 0..50 {
+        let a = agent_sim.step();
+        let d = dense_sim.step();
+        assert_eq!(a.census_active, d.census_active);
+        assert_eq!(a.metrics.messages_sent, d.metrics.messages_sent);
+        assert_eq!(
+            agent_sim.census().holding(Opinion::One),
+            dense_sim.census().holding(Opinion::One)
+        );
+    }
+    assert!(agent_sim.census().is_unanimous(Opinion::One));
+    assert!(dense_sim.census().is_unanimous(Opinion::One));
+}
+
+/// A population in which nobody ever sends is equally deterministic: nothing
+/// may change on either backend, round after round.
+#[test]
+fn silent_population_is_identical() {
+    let n = 500;
+    let mut agent_sim = Simulation::new(
+        adopters(n, 0),
+        NoiselessChannel,
+        SimulationConfig::new(n).with_seed(3),
+    )
+    .unwrap();
+    let mut dense_sim = DenseSimulation::new(
+        RumorProtocol,
+        NoiselessChannel,
+        RumorProtocol::population(n as u64, 0, 0),
+        SimulationConfig::new(n).with_seed(4),
+    )
+    .unwrap();
+    for _ in 0..20 {
+        let a = agent_sim.step();
+        let d = dense_sim.step();
+        assert_eq!(a.census_active, 0);
+        assert_eq!(d.census_active, 0);
+        assert_eq!(a.metrics.messages_sent, 0);
+        assert_eq!(d.metrics.messages_sent, 0);
+    }
+}
+
+/// Absorption is permanent on both backends: once a noiseless rumor saturates
+/// the population, the unanimous state never decays.
+#[test]
+fn noiseless_rumor_reaches_the_same_absorbing_state() {
+    let n = 400;
+    let mut agent_sim = Simulation::new(
+        adopters(n, 1),
+        NoiselessChannel,
+        SimulationConfig::new(n).with_seed(5),
+    )
+    .unwrap();
+    let mut dense_sim = DenseSimulation::new(
+        RumorProtocol,
+        NoiselessChannel,
+        RumorProtocol::population(n as u64, 0, 1),
+        SimulationConfig::new(n).with_seed(6),
+    )
+    .unwrap();
+    agent_sim.run_until(5_000, |s| s.census().active() == n);
+    dense_sim.run_until(5_000, |s| s.census().active() == n);
+    assert!(agent_sim.census().is_unanimous(Opinion::One));
+    assert!(dense_sim.census().is_unanimous(Opinion::One));
+    // Still absorbed 50 rounds later.
+    agent_sim.run(50);
+    dense_sim.run(50);
+    assert!(agent_sim.census().is_unanimous(Opinion::One));
+    assert!(dense_sim.census().is_unanimous(Opinion::One));
+}
+
+// ------------------------------------------------------- mean trajectories
+
+/// Chernoff-style allowance for comparing two empirical means of a
+/// `[0, n]`-valued statistic over `trials` independent runs: with per-run
+/// fluctuations of order `√n` (binomial concentration), the difference of
+/// means concentrates within `O(√(n/trials))`.  The constant 6 keeps the
+/// false-alarm probability far below one in a million while still detecting
+/// any systematic O(n) discrepancy between the backends.
+fn chernoff_allowance(n: f64, trials: f64) -> f64 {
+    6.0 * (n / trials).sqrt() + 6.0
+}
+
+/// Mean active-count trajectories of noisy rumor spreading must agree at
+/// every checkpoint within the Chernoff allowance.
+#[test]
+fn noisy_rumor_mean_trajectories_agree() {
+    let n = 2_000usize;
+    let trials = 32u64;
+    let checkpoints = [3u64, 6, 10, 15, 25];
+    let epsilon = 0.25;
+
+    // trajectories[c][t] = active count at checkpoint c in trial t.
+    let mut agent_traj = vec![Vec::new(); checkpoints.len()];
+    let mut dense_traj = vec![Vec::new(); checkpoints.len()];
+    for trial in 0..trials {
+        let channel = BinarySymmetricChannel::from_epsilon(epsilon).unwrap();
+        let mut sim = Simulation::new(
+            adopters(n, 10),
+            channel,
+            SimulationConfig::new(n).with_seed(1_000 + trial),
+        )
+        .unwrap();
+        let mut round = 0u64;
+        for (c, &checkpoint) in checkpoints.iter().enumerate() {
+            sim.run(checkpoint - round);
+            round = checkpoint;
+            agent_traj[c].push(sim.census().active() as f64);
+        }
+
+        let channel = BinarySymmetricChannel::from_epsilon(epsilon).unwrap();
+        let mut sim = DenseSimulation::new(
+            RumorProtocol,
+            channel,
+            RumorProtocol::population(n as u64, 0, 10),
+            SimulationConfig::new(n).with_seed(2_000 + trial),
+        )
+        .unwrap();
+        let mut round = 0u64;
+        for (c, &checkpoint) in checkpoints.iter().enumerate() {
+            sim.run(checkpoint - round);
+            round = checkpoint;
+            dense_traj[c].push(sim.census().active() as f64);
+        }
+    }
+
+    let allowance = chernoff_allowance(n as f64, trials as f64);
+    for (c, &checkpoint) in checkpoints.iter().enumerate() {
+        let agent_mean: f64 = agent_traj[c].iter().sum::<f64>() / trials as f64;
+        let dense_mean: f64 = dense_traj[c].iter().sum::<f64>() / trials as f64;
+        assert!(
+            (agent_mean - dense_mean).abs() < allowance,
+            "round {checkpoint}: agents mean {agent_mean:.1} vs dense mean {dense_mean:.1} \
+             (allowance {allowance:.1})"
+        );
+    }
+}
+
+/// The noisy voter model keeps its mean opinion split near the initial split
+/// on both backends (the voter update is unbiased in expectation while the
+/// noise pulls towards 1/2, so neither backend may drift systematically away
+/// from the other).
+#[test]
+fn noisy_voter_mean_splits_agree() {
+    let n = 2_000usize;
+    let trials = 32u64;
+    let rounds = 30u64;
+    let crossover = 0.1;
+
+    let mut agent_ones = Vec::new();
+    let mut dense_ones = Vec::new();
+    for trial in 0..trials {
+        let channel = BinarySymmetricChannel::new(crossover).unwrap();
+        let voters: Vec<Voter> = (0..n)
+            .map(|i| Voter {
+                opinion: if i < n * 7 / 10 {
+                    Opinion::One
+                } else {
+                    Opinion::Zero
+                },
+            })
+            .collect();
+        let mut sim = Simulation::new(
+            voters,
+            channel,
+            SimulationConfig::new(n).with_seed(3_000 + trial),
+        )
+        .unwrap();
+        sim.run(rounds);
+        agent_ones.push(sim.census().holding(Opinion::One) as f64);
+
+        let channel = BinarySymmetricChannel::new(crossover).unwrap();
+        let population = flip_model::DensePopulation::from_counts(vec![
+            (n * 3 / 10) as u64,
+            (n * 7 / 10) as u64,
+        ])
+        .unwrap();
+        let mut sim = DenseSimulation::new(
+            VoterProtocol,
+            channel,
+            population,
+            SimulationConfig::new(n).with_seed(4_000 + trial),
+        )
+        .unwrap();
+        sim.run(rounds);
+        dense_ones.push(sim.census().holding(Opinion::One) as f64);
+    }
+
+    let agent_mean: f64 = agent_ones.iter().sum::<f64>() / trials as f64;
+    let dense_mean: f64 = dense_ones.iter().sum::<f64>() / trials as f64;
+    let allowance = chernoff_allowance(n as f64, trials as f64);
+    assert!(
+        (agent_mean - dense_mean).abs() < allowance,
+        "agents mean {agent_mean:.1} vs dense mean {dense_mean:.1} (allowance {allowance:.1})"
+    );
+}
+
+/// Aggregate message accounting must agree in expectation too: with every
+/// agent sending each round, both backends accept `≈ n(1 − 1/e)` messages
+/// per round and flip the configured fraction of them.
+#[test]
+fn message_metrics_agree_in_expectation() {
+    let n = 5_000usize;
+    let rounds = 200u64;
+    let crossover = 0.2;
+
+    let channel = BinarySymmetricChannel::new(crossover).unwrap();
+    let voters: Vec<Voter> = (0..n)
+        .map(|i| Voter {
+            opinion: Opinion::from_bit(u8::from(i % 2 == 0)),
+        })
+        .collect();
+    let mut agent_sim =
+        Simulation::new(voters, channel, SimulationConfig::new(n).with_seed(11)).unwrap();
+    agent_sim.run(rounds);
+
+    let channel = BinarySymmetricChannel::new(crossover).unwrap();
+    let population =
+        flip_model::DensePopulation::from_counts(vec![(n / 2) as u64, (n / 2) as u64]).unwrap();
+    let mut dense_sim = DenseSimulation::new(
+        VoterProtocol,
+        channel,
+        population,
+        SimulationConfig::new(n).with_seed(12),
+    )
+    .unwrap();
+    dense_sim.run(rounds);
+
+    let a = agent_sim.metrics();
+    let d = dense_sim.metrics();
+    assert_eq!(
+        a.messages_sent, d.messages_sent,
+        "everyone sends every round"
+    );
+    let a_accept = a.messages_accepted as f64 / a.messages_sent as f64;
+    let d_accept = d.messages_accepted as f64 / d.messages_sent as f64;
+    assert!(
+        (a_accept - d_accept).abs() < 0.01,
+        "acceptance rates diverge: {a_accept:.4} vs {d_accept:.4}"
+    );
+    let a_flip = a.empirical_flip_rate().unwrap();
+    let d_flip = d.empirical_flip_rate().unwrap();
+    assert!(
+        (a_flip - d_flip).abs() < 0.01,
+        "flip rates diverge: {a_flip:.4} vs {d_flip:.4}"
+    );
+}
+
+// ------------------------------------------------------------- performance
+
+/// The acceptance bar for the dense engine: one million agents for 500 rounds
+/// in under a second (release builds only — debug builds skip the wall-clock
+/// assertion but still exercise the run).
+#[test]
+fn dense_million_agents_500_rounds_under_a_second() {
+    let n = 1_000_000u64;
+    let channel = BinarySymmetricChannel::from_epsilon(0.2).unwrap();
+    let population = RumorProtocol::population(n, 0, 1_000);
+    let config = SimulationConfig::new(n as usize).with_seed(42);
+    let start = std::time::Instant::now();
+    let mut sim = DenseSimulation::new(RumorProtocol, channel, population, config).unwrap();
+    sim.run(500);
+    let elapsed = start.elapsed();
+    assert_eq!(sim.round(), 500);
+    assert_eq!(
+        sim.census().active(),
+        n as usize,
+        "rumor saturates well before round 500"
+    );
+    if !cfg!(debug_assertions) {
+        assert!(
+            elapsed < std::time::Duration::from_secs(1),
+            "500 dense rounds at n = 10^6 took {elapsed:?}"
+        );
+    }
+}

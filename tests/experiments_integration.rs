@@ -8,7 +8,7 @@ fn tiny() -> ExperimentConfig {
     ExperimentConfig {
         trials: 2,
         base_seed: 99,
-        quick: true,
+        ..ExperimentConfig::quick()
     }
 }
 

@@ -15,7 +15,7 @@ fn smoke_config() -> ExperimentConfig {
     ExperimentConfig {
         trials: 1,
         base_seed: 0x0005_40CE,
-        quick: true,
+        ..ExperimentConfig::quick()
     }
 }
 

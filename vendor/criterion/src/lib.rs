@@ -9,6 +9,17 @@
 //! [`criterion_group!`] / [`criterion_main!`] macros — as a plain wall-clock
 //! harness. Statistics are deliberately simple (mean ms/iter over a fixed
 //! sample count); there is no outlier analysis, plotting or HTML report.
+//!
+//! Two environment variables drive the CI bench gate (see
+//! `crates/bench/src/bin/bench_gate.rs`):
+//!
+//! * `BENCH_RESULTS_JSON=path` — append one JSON line per finished benchmark
+//!   (`{"bench":"group/id","ms_per_iter":…,"iters":…}`) to `path`, so a
+//!   `cargo bench` run accumulates a machine-readable summary across all
+//!   bench targets (each target is a separate process, so the harness can
+//!   only append — delete a stale file before a fresh accumulation).
+//! * `CRITERION_SAMPLE_SIZE=k` — override every group's sample size with `k`
+//!   (CI quick mode runs `k = 3` to keep the gate fast).
 
 #![forbid(unsafe_code)]
 
@@ -18,6 +29,40 @@ use std::time::{Duration, Instant};
 /// Prevents the optimizer from deleting a computed value.
 pub fn black_box<T>(value: T) -> T {
     std::hint::black_box(value)
+}
+
+/// The CI quick-mode sample-size override, if `CRITERION_SAMPLE_SIZE` is set
+/// to a positive integer.
+fn sample_size_override() -> Option<u64> {
+    std::env::var("CRITERION_SAMPLE_SIZE")
+        .ok()?
+        .parse::<u64>()
+        .ok()
+        .filter(|&k| k > 0)
+}
+
+/// Appends one benchmark's summary as a JSON line to `$BENCH_RESULTS_JSON`,
+/// if set.  Failures to write are reported on stderr but never fail the
+/// benchmark itself.
+fn append_json_record(group: &str, id: &str, ms_per_iter: f64, iters: u64) {
+    let Ok(path) = std::env::var("BENCH_RESULTS_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    use std::io::Write;
+    let line = format!(
+        "{{\"bench\":\"{group}/{id}\",\"ms_per_iter\":{ms_per_iter:.6},\"iters\":{iters}}}\n"
+    );
+    let result = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut file| file.write_all(line.as_bytes()));
+    if let Err(e) = result {
+        eprintln!("warning: could not append bench result to {path}: {e}");
+    }
 }
 
 /// Identifies one benchmark within a group.
@@ -109,19 +154,19 @@ impl BenchmarkGroup {
             elapsed: Duration::ZERO,
         };
         f(&mut warmup);
+        let iterations = sample_size_override().unwrap_or(self.sample_size);
         let mut bencher = Bencher {
-            iterations: self.sample_size,
+            iterations,
             elapsed: Duration::ZERO,
         };
         f(&mut bencher);
         let per_iter = bencher.elapsed.as_nanos() / u128::from(bencher.iterations.max(1));
+        let ms_per_iter = per_iter as f64 / 1e6;
         println!(
             "bench {}/{}: {} iters, {:.3} ms/iter",
-            self.name,
-            id.id,
-            bencher.iterations,
-            per_iter as f64 / 1e6,
+            self.name, id.id, bencher.iterations, ms_per_iter,
         );
+        append_json_record(&self.name, &id.id, ms_per_iter, bencher.iterations);
         self
     }
 
@@ -185,9 +230,15 @@ macro_rules! criterion_main {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Mutex;
+
+    /// Serialises tests that read or mutate the process-global environment
+    /// variables the harness honours.
+    static ENV_LOCK: Mutex<()> = Mutex::new(());
 
     #[test]
     fn group_runs_and_counts_iterations() {
+        let _guard = ENV_LOCK.lock().unwrap();
         let mut c = Criterion::default();
         let mut group = c.benchmark_group("demo");
         group.sample_size(3);
@@ -211,5 +262,48 @@ mod tests {
     #[test]
     fn black_box_is_identity() {
         assert_eq!(black_box(21) * 2, 42);
+    }
+
+    #[test]
+    fn json_records_accumulate_in_the_results_file() {
+        let _guard = ENV_LOCK.lock().unwrap();
+        let path =
+            std::env::temp_dir().join(format!("criterion-json-test-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        std::env::set_var("BENCH_RESULTS_JSON", &path);
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("jsontest");
+        group.sample_size(2);
+        group.bench_function("unique_json_marker", |b| b.iter(|| 1 + 1));
+        group.finish();
+        std::env::remove_var("BENCH_RESULTS_JSON");
+
+        let contents = std::fs::read_to_string(&path).expect("results file exists");
+        let line = contents
+            .lines()
+            .find(|l| l.contains("jsontest/unique_json_marker"))
+            .expect("our benchmark is recorded");
+        assert!(line.contains("\"ms_per_iter\":"), "line = {line}");
+        assert!(line.contains("\"iters\":2"), "line = {line}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn sample_size_env_override_wins() {
+        let _guard = ENV_LOCK.lock().unwrap();
+        std::env::set_var("CRITERION_SAMPLE_SIZE", "5");
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("override");
+        group.sample_size(50);
+        let mut calls = 0u64;
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                calls += 1;
+            });
+        });
+        group.finish();
+        std::env::remove_var("CRITERION_SAMPLE_SIZE");
+        // One warm-up iteration plus 5 (not 50) timed iterations.
+        assert_eq!(calls, 6);
     }
 }

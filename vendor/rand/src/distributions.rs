@@ -1,0 +1,419 @@
+//! The subset of `rand::distributions` / `rand_distr` the workspace uses:
+//! the [`Distribution`] trait and an exact [`Binomial`] sampler.
+//!
+//! The binomial sampler is the workhorse of the dense population engine in
+//! `flip-model`: one simulation round draws a handful of binomials instead of
+//! iterating over up to 10⁷ agents, so the sampler must be O(1) in `n`.  It
+//! follows the standard two-regime scheme:
+//!
+//! * **BINV** (inversion) when `n·min(p, 1−p) < 10`: walk the CDF from 0,
+//!   which takes `O(n·p)` expected steps — cheap exactly when the mean is
+//!   small.
+//! * **BTPE** (Kachitvichyanukul & Schmeiser, *Binomial random variate
+//!   generation*, CACM 31(2), 1988) otherwise: an acceptance/rejection
+//!   scheme over a triangle + parallelogram + two exponential tails envelope
+//!   whose expected number of iterations is bounded by a constant
+//!   independent of `n` and `p`.
+//!
+//! Both regimes sample the *exact* binomial distribution (up to f64
+//! rounding), not a normal approximation.
+
+use crate::{Rng, RngCore};
+
+/// Types that sample values of `T` from a random source, mirroring
+/// `rand::distributions::Distribution`.
+pub trait Distribution<T> {
+    /// Draws one value from the distribution.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Error returned by [`Binomial::new`] for invalid parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinomialError {
+    /// `p` was not a probability in `[0, 1]`.
+    ProbabilityOutOfRange,
+}
+
+impl std::fmt::Display for BinomialError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("binomial success probability must lie in [0, 1]")
+    }
+}
+
+impl std::error::Error for BinomialError {}
+
+/// The binomial distribution `Bin(n, p)`: the number of successes among `n`
+/// independent trials that each succeed with probability `p`.
+///
+/// # Example
+///
+/// ```
+/// use rand::distributions::{Binomial, Distribution};
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let coin_flips = Binomial::new(1_000_000, 0.5).unwrap();
+/// let heads = coin_flips.sample(&mut rng);
+/// assert!((heads as f64 - 500_000.0).abs() < 5_000.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Binomial {
+    n: u64,
+    p: f64,
+}
+
+/// Expected-mean threshold below which plain CDF inversion (BINV) beats BTPE.
+const BINV_THRESHOLD: f64 = 10.0;
+/// Abort bound for the BINV walk; P(X > 110 | n·p < 10) is below 1e-18.
+const BINV_MAX_X: u64 = 110;
+/// |x − mode| below which BTPE evaluates the density directly (step 5.1)
+/// rather than via the squeeze bounds (steps 5.2/5.3).
+const SQUEEZE_THRESHOLD: i64 = 20;
+
+impl Binomial {
+    /// Creates a `Bin(n, p)` distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BinomialError::ProbabilityOutOfRange`] if `p` is not a finite
+    /// probability in `[0, 1]`.
+    pub fn new(n: u64, p: f64) -> Result<Self, BinomialError> {
+        if !p.is_finite() || !(0.0..=1.0).contains(&p) {
+            return Err(BinomialError::ProbabilityOutOfRange);
+        }
+        Ok(Self { n, p })
+    }
+
+    /// The number of trials `n`.
+    #[must_use]
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// The per-trial success probability `p`.
+    #[must_use]
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+}
+
+/// Converts a non-negative f64 with integral value to i64 (BTPE helper).
+fn f64_to_i64(x: f64) -> i64 {
+    debug_assert!(x < i64::MAX as f64);
+    x as i64
+}
+
+fn binv<R: RngCore + ?Sized>(n: u64, p: f64, rng: &mut R) -> u64 {
+    let q = 1.0 - p;
+    let s = p / q;
+    let a = ((n + 1) as f64) * s;
+    // q^n underflows to 0 only when n·p is far above BINV_THRESHOLD, which
+    // this regime excludes.  powf (not powi) so that n beyond i32::MAX — the
+    // np < 10 regime BTPE cannot handle — stays valid.
+    let r0 = q.powf(n as f64);
+    let mut result = 0u64;
+    let mut r = r0;
+    let mut u: f64 = rng.gen();
+    loop {
+        u -= r;
+        if u <= 0.0 {
+            break;
+        }
+        result += 1;
+        r *= a / (result as f64) - s;
+        if result > BINV_MAX_X {
+            // Astronomically unlikely; restart rather than walk forever.
+            result = 0;
+            r = r0;
+            u = rng.gen();
+        }
+    }
+    result
+}
+
+#[allow(clippy::many_single_char_names)]
+fn btpe<R: RngCore + ?Sized>(n_int: u64, p: f64, rng: &mut R) -> u64 {
+    // Step 0: constants depending only on n and p (p <= 1/2 here).
+    let n = n_int as f64;
+    let q = 1.0 - p;
+    let np = n * p;
+    let npq = np * q;
+    let f_m = np + p;
+    let m = f64_to_i64(f_m);
+    // Radius (and, with height 1, area) of the central triangle region.
+    let p1 = (2.195 * npq.sqrt() - 4.6 * q).floor() + 0.5;
+    // Tip of the triangle.
+    let x_m = (m as f64) + 0.5;
+    let x_l = x_m - p1;
+    let x_r = x_m + p1;
+    let c = 0.134 + 20.5 / (15.3 + (m as f64));
+    // Exponential-tail decay rates.
+    let lambda = |a: f64| a * (1.0 + 0.5 * a);
+    let lambda_l = lambda((f_m - x_l) / (f_m - x_l * p));
+    let lambda_r = lambda((x_r - f_m) / (x_r * q));
+    // Cumulative areas: triangle, + parallelograms, + left tail, + right tail.
+    let p2 = p1 * (1.0 + 2.0 * c);
+    let p3 = p2 + c / lambda_l;
+    let p4 = p3 + c / lambda_r;
+
+    let mut result: i64;
+    loop {
+        // Step 1: select a region via u, and a vertical coordinate via v.
+        let u: f64 = rng.gen_range(0.0..p4);
+        let mut v: f64 = rng.gen();
+        if u <= p1 {
+            // Triangle: accept immediately (the density dominates it).
+            result = f64_to_i64(x_m - p1 * v + u);
+            break;
+        }
+        if u <= p2 {
+            // Parallelogram.
+            let x = x_l + (u - p1) / c;
+            v = v * c + 1.0 - (x - x_m).abs() / p1;
+            if v > 1.0 {
+                continue;
+            }
+            result = f64_to_i64(x);
+        } else if u <= p3 {
+            // Left exponential tail.
+            result = f64_to_i64(x_l + v.ln() / lambda_l);
+            if result < 0 {
+                continue;
+            }
+            v *= (u - p2) * lambda_l;
+        } else {
+            // Right exponential tail.
+            result = f64_to_i64(x_r - v.ln() / lambda_r);
+            if result > n_int as i64 {
+                continue;
+            }
+            v *= (u - p3) * lambda_r;
+        }
+
+        // Step 5.0: choose how to run the acceptance test.
+        let k = (result - m).abs();
+        if k <= SQUEEZE_THRESHOLD || (k as f64) >= 0.5 * npq - 1.0 {
+            // Step 5.1: evaluate f(x) by the recurrence from the mode.
+            let s = p / q;
+            let a = s * (n + 1.0);
+            let mut f = 1.0;
+            match m.cmp(&result) {
+                std::cmp::Ordering::Less => {
+                    for i in (m + 1)..=result {
+                        f *= a / (i as f64) - s;
+                    }
+                }
+                std::cmp::Ordering::Greater => {
+                    for i in (result + 1)..=m {
+                        f /= a / (i as f64) - s;
+                    }
+                }
+                std::cmp::Ordering::Equal => {}
+            }
+            if v > f {
+                continue;
+            }
+            break;
+        }
+
+        // Step 5.2: squeeze bounds on ln f(x).
+        let kf = k as f64;
+        let rho = (kf / npq) * ((kf * (kf / 3.0 + 0.625) + 1.0 / 6.0) / npq + 0.5);
+        let t = -0.5 * kf * kf / npq;
+        let alpha = v.ln();
+        if alpha < t - rho {
+            break;
+        }
+        if alpha > t + rho {
+            continue;
+        }
+
+        // Step 5.3: exact comparison via Stirling-corrected log factorials.
+        let x1 = (result + 1) as f64;
+        let f1 = (m + 1) as f64;
+        let z = (n_int as i64 + 1 - m) as f64;
+        let w = (n_int as i64 - result + 1) as f64;
+        let stirling = |a: f64| {
+            let a2 = a * a;
+            (13860.0 - (462.0 - (132.0 - (99.0 - 140.0 / a2) / a2) / a2) / a2) / a / 166320.0
+        };
+        if alpha
+            > x_m * (f1 / x1).ln()
+                + (n - (m as f64) + 0.5) * (z / w).ln()
+                + ((result - m) as f64) * (w * p / (x1 * q)).ln()
+                + stirling(f1)
+                + stirling(z)
+                + stirling(x1)
+                + stirling(w)
+        {
+            continue;
+        }
+        break;
+    }
+    debug_assert!(result >= 0);
+    result as u64
+}
+
+impl Distribution<u64> for Binomial {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u64 {
+        // Degenerate cases first, so the algorithms below may assume
+        // 0 < p < 1 and n >= 1.
+        if self.p <= 0.0 || self.n == 0 {
+            return 0;
+        }
+        if self.p >= 1.0 {
+            return self.n;
+        }
+        // Work with p <= 1/2 and mirror the result otherwise.  BINV handles
+        // every small-mean case (BTPE's envelope degenerates when
+        // n·min(p,q) is below the threshold, regardless of n).
+        let flipped = self.p > 0.5;
+        let p = if flipped { 1.0 - self.p } else { self.p };
+        let sample = if (self.n as f64) * p < BINV_THRESHOLD {
+            binv(self.n, p, rng)
+        } else {
+            btpe(self.n, p, rng)
+        };
+        if flipped {
+            self.n - sample
+        } else {
+            sample
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    fn moments(n: u64, p: f64, samples: u32, seed: u64) -> (f64, f64, u64, u64) {
+        let dist = Binomial::new(n, p).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut sum = 0.0;
+        let mut sum_sq = 0.0;
+        let mut min = u64::MAX;
+        let mut max = 0;
+        for _ in 0..samples {
+            let x = dist.sample(&mut rng);
+            min = min.min(x);
+            max = max.max(x);
+            sum += x as f64;
+            sum_sq += (x as f64) * (x as f64);
+        }
+        let mean = sum / f64::from(samples);
+        let var = sum_sq / f64::from(samples) - mean * mean;
+        (mean, var, min, max)
+    }
+
+    #[test]
+    fn rejects_bad_probabilities() {
+        assert!(Binomial::new(10, -0.1).is_err());
+        assert!(Binomial::new(10, 1.1).is_err());
+        assert!(Binomial::new(10, f64::NAN).is_err());
+        let b = Binomial::new(10, 0.3).unwrap();
+        assert_eq!(b.n(), 10);
+        assert!((b.p() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_parameters_are_exact() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(Binomial::new(100, 0.0).unwrap().sample(&mut rng), 0);
+        assert_eq!(Binomial::new(100, 1.0).unwrap().sample(&mut rng), 100);
+        assert_eq!(Binomial::new(0, 0.5).unwrap().sample(&mut rng), 0);
+    }
+
+    #[test]
+    fn samples_stay_in_range() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for &(n, p) in &[(1u64, 0.5), (7, 0.01), (100, 0.99), (10_000, 0.3)] {
+            let dist = Binomial::new(n, p).unwrap();
+            for _ in 0..2_000 {
+                assert!(dist.sample(&mut rng) <= n);
+            }
+        }
+    }
+
+    #[test]
+    fn binv_regime_matches_moments() {
+        // n*p = 4 -> BINV path.
+        let (mean, var, _, max) = moments(40, 0.1, 60_000, 3);
+        assert!((mean - 4.0).abs() < 0.1, "mean = {mean}");
+        assert!((var - 3.6).abs() < 0.25, "var = {var}");
+        assert!(max <= 40);
+    }
+
+    #[test]
+    fn btpe_regime_matches_moments() {
+        // n*p = 300 -> BTPE path.
+        let (mean, var, _, _) = moments(1_000, 0.3, 60_000, 4);
+        assert!((mean - 300.0).abs() < 0.5, "mean = {mean}");
+        assert!((var - 210.0).abs() < 6.0, "var = {var}");
+    }
+
+    #[test]
+    fn btpe_handles_large_n() {
+        // The dense engine's regime: n = 10^6.
+        let (mean, var, _, _) = moments(1_000_000, 0.632, 20_000, 5);
+        assert!((mean - 632_000.0).abs() < 50.0, "mean = {mean}");
+        let expect_var = 1_000_000.0 * 0.632 * 0.368;
+        assert!(
+            (var / expect_var - 1.0).abs() < 0.05,
+            "var = {var}, expected {expect_var}"
+        );
+    }
+
+    #[test]
+    fn flipped_probabilities_mirror() {
+        // p > 1/2 exercises the mirroring path in both regimes.
+        let (mean_small, _, _, _) = moments(30, 0.9, 60_000, 6);
+        assert!((mean_small - 27.0).abs() < 0.1, "mean = {mean_small}");
+        let (mean_large, _, _, _) = moments(5_000, 0.8, 30_000, 7);
+        assert!((mean_large - 4_000.0).abs() < 1.5, "mean = {mean_large}");
+    }
+
+    #[test]
+    fn extreme_tail_probabilities_are_sane() {
+        // Tiny p with huge n: mean 0.5, essentially Poisson.
+        let (mean, _, min, max) = moments(1_000_000, 0.000_000_5, 40_000, 8);
+        assert!((mean - 0.5).abs() < 0.05, "mean = {mean}");
+        assert_eq!(min, 0);
+        assert!(max < 10);
+    }
+
+    #[test]
+    fn huge_n_with_tiny_p_stays_in_the_inversion_regime() {
+        // n beyond i32::MAX with np = 5: BTPE's envelope would degenerate
+        // (negative triangle radius); BINV must handle it instead of
+        // panicking.
+        let (mean, _, _, max) = moments(5_000_000_000, 1e-9, 20_000, 14);
+        assert!((mean - 5.0).abs() < 0.1, "mean = {mean}");
+        assert!(max < 30);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let dist = Binomial::new(123_456, 0.37).unwrap();
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        for _ in 0..100 {
+            assert_eq!(dist.sample(&mut a), dist.sample(&mut b));
+        }
+    }
+
+    #[test]
+    fn distribution_shape_near_mode_is_symmetricish() {
+        // For p = 1/2 the distribution is exactly symmetric around n/2; check
+        // the empirical median sits at the mode.
+        let dist = Binomial::new(10_000, 0.5).unwrap();
+        let mut rng = StdRng::seed_from_u64(10);
+        let below = (0..40_000)
+            .filter(|_| dist.sample(&mut rng) < 5_000)
+            .count() as f64;
+        let frac = below / 40_000.0;
+        assert!((frac - 0.5).abs() < 0.02, "frac below mode = {frac}");
+    }
+}

@@ -6,12 +6,16 @@
 //!
 //! * [`RngCore`], [`SeedableRng`] and the extension trait [`Rng`]
 //!   (`gen`, `gen_bool`, `gen_range`),
-//! * [`rngs::StdRng`], here a xoshiro256++ generator seeded via SplitMix64.
+//! * [`rngs::StdRng`], here a xoshiro256++ generator seeded via SplitMix64,
+//! * [`distributions::Binomial`] (from `rand_distr`), the exact BINV/BTPE
+//!   binomial sampler used by the dense population engine.
 //!
 //! Everything is deterministic: the same seed always yields the same stream,
 //! which is what the reproduction harness relies on.
 
 #![forbid(unsafe_code)]
+
+pub mod distributions;
 
 use std::fmt;
 use std::ops::{Range, RangeInclusive};
