@@ -9,7 +9,8 @@
 //! failure mode.
 
 use flip_model::{
-    Agent, BinarySymmetricChannel, FlipError, Opinion, Round, SimRng, Simulation, SimulationConfig,
+    Agent, BinarySymmetricChannel, FlipError, Opinion, OpinionDelta, Round, SimRng, Simulation,
+    SimulationConfig,
 };
 
 use crate::BaselineOutcome;
@@ -45,6 +46,7 @@ impl ForwardingAgent {
 }
 
 impl Agent for ForwardingAgent {
+    const USES_END_ROUND: bool = false;
     fn send(&mut self, round: Round, _rng: &mut SimRng) -> Option<Opinion> {
         // Forward from the round after adoption (a message heard this round is
         // only forwarded starting next round).
@@ -54,10 +56,13 @@ impl Agent for ForwardingAgent {
         }
     }
 
-    fn deliver(&mut self, round: Round, message: Opinion, _rng: &mut SimRng) {
+    fn deliver(&mut self, round: Round, message: Opinion, _rng: &mut SimRng) -> OpinionDelta {
         if self.opinion.is_none() {
             self.opinion = Some(message);
             self.adopted_at = Some(round);
+            OpinionDelta::adopted(message)
+        } else {
+            OpinionDelta::NONE
         }
     }
 
@@ -213,7 +218,7 @@ mod tests {
 
         let mut adopter = ForwardingAgent::uninformed();
         assert_eq!(adopter.send(0, &mut rng), None);
-        adopter.deliver(4, Opinion::Zero, &mut rng);
+        let _ = adopter.deliver(4, Opinion::Zero, &mut rng);
         assert_eq!(adopter.adopted_at(), Some(4));
         assert_eq!(adopter.send(4, &mut rng), None);
         assert_eq!(adopter.send(5, &mut rng), Some(Opinion::Zero));
@@ -223,8 +228,8 @@ mod tests {
     fn first_message_wins() {
         let mut rng = SimRng::from_seed(0);
         let mut agent = ForwardingAgent::uninformed();
-        agent.deliver(1, Opinion::Zero, &mut rng);
-        agent.deliver(2, Opinion::One, &mut rng);
+        let _ = agent.deliver(1, Opinion::Zero, &mut rng);
+        let _ = agent.deliver(2, Opinion::One, &mut rng);
         assert_eq!(agent.opinion(), Some(Opinion::Zero));
     }
 }

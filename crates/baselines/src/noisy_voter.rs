@@ -9,7 +9,8 @@
 //! the zealot.  This baseline quantifies both effects.
 
 use flip_model::{
-    Agent, BinarySymmetricChannel, FlipError, Opinion, Round, SimRng, Simulation, SimulationConfig,
+    Agent, BinarySymmetricChannel, FlipError, Opinion, OpinionDelta, Round, SimRng, Simulation,
+    SimulationConfig,
 };
 
 use crate::BaselineOutcome;
@@ -22,14 +23,18 @@ struct VoterAgent {
 }
 
 impl Agent for VoterAgent {
+    const USES_END_ROUND: bool = false;
     fn send(&mut self, _round: Round, _rng: &mut SimRng) -> Option<Opinion> {
         self.opinion
     }
 
-    fn deliver(&mut self, _round: Round, message: Opinion, _rng: &mut SimRng) {
-        if !self.is_zealot {
-            self.opinion = Some(message);
+    fn deliver(&mut self, _round: Round, message: Opinion, _rng: &mut SimRng) -> OpinionDelta {
+        if self.is_zealot {
+            return OpinionDelta::NONE;
         }
+        let before = self.opinion;
+        self.opinion = Some(message);
+        OpinionDelta::between(before, self.opinion)
     }
 
     fn opinion(&self) -> Option<Opinion> {
@@ -164,13 +169,13 @@ mod tests {
             opinion: Some(Opinion::One),
             is_zealot: true,
         };
-        zealot.deliver(0, Opinion::Zero, &mut rng);
+        let _ = zealot.deliver(0, Opinion::Zero, &mut rng);
         assert_eq!(zealot.opinion(), Some(Opinion::One));
 
         let mut voter = VoterAgent::default();
-        voter.deliver(0, Opinion::Zero, &mut rng);
+        let _ = voter.deliver(0, Opinion::Zero, &mut rng);
         assert_eq!(voter.opinion(), Some(Opinion::Zero));
-        voter.deliver(1, Opinion::One, &mut rng);
+        let _ = voter.deliver(1, Opinion::One, &mut rng);
         assert_eq!(voter.opinion(), Some(Opinion::One));
     }
 }

@@ -15,7 +15,8 @@
 //! clears the buffer.
 
 use flip_model::{
-    Agent, BinarySymmetricChannel, FlipError, Opinion, Round, SimRng, Simulation, SimulationConfig,
+    Agent, BinarySymmetricChannel, FlipError, Opinion, OpinionDelta, Round, SimRng, Simulation,
+    SimulationConfig,
 };
 
 use crate::BaselineOutcome;
@@ -32,12 +33,14 @@ impl Agent for TwoChoicesAgent {
         Some(self.opinion)
     }
 
-    fn deliver(&mut self, _round: Round, message: Opinion, _rng: &mut SimRng) {
+    fn deliver(&mut self, _round: Round, message: Opinion, _rng: &mut SimRng) -> OpinionDelta {
         self.buffer.push(message);
+        OpinionDelta::NONE
     }
 
-    fn end_round(&mut self, _round: Round, _rng: &mut SimRng) {
+    fn end_round(&mut self, _round: Round, _rng: &mut SimRng) -> OpinionDelta {
         if self.buffer.len() >= 2 {
+            let before = self.opinion;
             let ones = self
                 .buffer
                 .iter()
@@ -51,6 +54,9 @@ impl Agent for TwoChoicesAgent {
                 Opinion::Zero
             };
             self.buffer.clear();
+            OpinionDelta::between(Some(before), Some(self.opinion))
+        } else {
+            OpinionDelta::NONE
         }
     }
 
@@ -187,13 +193,13 @@ mod tests {
             opinion: Opinion::Zero,
             buffer: Vec::new(),
         };
-        agent.deliver(0, Opinion::One, &mut rng);
-        agent.end_round(0, &mut rng);
+        let _ = agent.deliver(0, Opinion::One, &mut rng);
+        let _ = agent.end_round(0, &mut rng);
         // Only one sample: no update yet.
         assert_eq!(agent.opinion(), Some(Opinion::Zero));
-        agent.deliver(1, Opinion::One, &mut rng);
-        agent.deliver(1, Opinion::One, &mut rng);
-        agent.end_round(1, &mut rng);
+        let _ = agent.deliver(1, Opinion::One, &mut rng);
+        let _ = agent.deliver(1, Opinion::One, &mut rng);
+        let _ = agent.end_round(1, &mut rng);
         // Two one-samples beat the zero own-opinion.
         assert_eq!(agent.opinion(), Some(Opinion::One));
     }

@@ -9,7 +9,8 @@
 //! slower than the breathe-before-speaking protocol.
 
 use flip_model::{
-    Agent, BinarySymmetricChannel, FlipError, Opinion, Round, SimRng, Simulation, SimulationConfig,
+    Agent, BinarySymmetricChannel, FlipError, Opinion, OpinionDelta, Round, SimRng, Simulation,
+    SimulationConfig,
 };
 
 use crate::BaselineOutcome;
@@ -23,18 +24,23 @@ struct WaitAgent {
 }
 
 impl Agent for WaitAgent {
+    const USES_END_ROUND: bool = false;
     fn send(&mut self, _round: Round, _rng: &mut SimRng) -> Option<Opinion> {
         self.source_opinion
     }
 
-    fn deliver(&mut self, _round: Round, message: Opinion, _rng: &mut SimRng) {
+    fn deliver(&mut self, _round: Round, message: Opinion, _rng: &mut SimRng) -> OpinionDelta {
         if self.source_opinion.is_some() {
-            return; // the source ignores incoming messages
+            return OpinionDelta::NONE; // the source ignores incoming messages
         }
+        // The running majority can change (or vanish into a tie) with every
+        // sample, so capture the derived opinion around the update.
+        let before = self.opinion();
         match message {
             Opinion::Zero => self.zeros += 1,
             Opinion::One => self.ones += 1,
         }
+        OpinionDelta::between(before, self.opinion())
     }
 
     fn opinion(&self) -> Option<Opinion> {
@@ -170,10 +176,10 @@ mod tests {
         assert_eq!(agent.opinion(), None);
         let mut agent = WaitAgent::default();
         let mut rng = SimRng::from_seed(0);
-        agent.deliver(0, Opinion::One, &mut rng);
-        agent.deliver(1, Opinion::Zero, &mut rng);
+        let _ = agent.deliver(0, Opinion::One, &mut rng);
+        let _ = agent.deliver(1, Opinion::Zero, &mut rng);
         assert_eq!(agent.opinion(), None, "ties stay undecided");
-        agent.deliver(2, Opinion::One, &mut rng);
+        let _ = agent.deliver(2, Opinion::One, &mut rng);
         assert_eq!(agent.opinion(), Some(Opinion::One));
     }
 }

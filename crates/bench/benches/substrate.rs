@@ -4,17 +4,20 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use flip_model::{
-    Agent, BinarySymmetricChannel, Channel, GossipScheduler, Opinion, Round, SimRng, Simulation,
-    SimulationConfig,
+    Agent, BernoulliSkip, BinarySymmetricChannel, Channel, GossipScheduler, Opinion, OpinionDelta,
+    Round, RoundRouting, SimRng, Simulation, SimulationConfig,
 };
 
 struct Beacon(Opinion);
 
 impl Agent for Beacon {
+    const USES_END_ROUND: bool = false;
     fn send(&mut self, _round: Round, _rng: &mut SimRng) -> Option<Opinion> {
         Some(self.0)
     }
-    fn deliver(&mut self, _round: Round, _message: Opinion, _rng: &mut SimRng) {}
+    fn deliver(&mut self, _round: Round, _message: Opinion, _rng: &mut SimRng) -> OpinionDelta {
+        OpinionDelta::NONE
+    }
     fn opinion(&self) -> Option<Opinion> {
         Some(self.0)
     }
@@ -48,6 +51,17 @@ fn substrate(c: &mut Criterion) {
         });
     });
 
+    // Raw generator throughput: batched counter-mixed refill of a 4k-word
+    // buffer (the core primitive behind every other number here).
+    group.bench_function("rng_fill", |b| {
+        let mut rng = SimRng::from_seed(7);
+        let mut buf = vec![0u64; 4096];
+        b.iter(|| {
+            rng.fill_u64(&mut buf);
+            buf[4095]
+        });
+    });
+
     // Raw channel throughput.
     let channel = BinarySymmetricChannel::from_epsilon(0.2).expect("valid");
     group.bench_function("channel_transmit_10k", |b| {
@@ -69,12 +83,35 @@ fn substrate(c: &mut Criterion) {
             let mut scheduler = GossipScheduler::new(n).expect("valid population");
             let mut rng = SimRng::from_seed(2);
             let sends: Vec<(usize, Opinion)> = (0..n).map(|i| (i, Opinion::One)).collect();
-            b.iter(|| scheduler.route(&sends, &mut rng).sent);
+            let mut routing = RoundRouting::with_capacity(n);
+            b.iter(|| {
+                scheduler.route_into(&sends, &mut rng, &mut routing);
+                routing.sent
+            });
         });
     }
 
-    // One full engine round with everyone sending.
-    for &n in &[1_000usize, 10_000] {
+    // Routing plus fused channel noise (geometric skip-sampling over the
+    // accepted stream) without any agent logic: the substrate cost of one
+    // noisy all-send round at the worst-case crossover of ε = 0.2.
+    group.bench_function("route_fused_noise_10k", |b| {
+        let n = 10_000;
+        let mut scheduler = GossipScheduler::new(n).expect("valid population");
+        let mut rng = SimRng::from_seed(4);
+        let sends: Vec<(usize, Opinion)> = (0..n).map(|i| (i, Opinion::One)).collect();
+        let mut routing = RoundRouting::with_capacity(n);
+        let skip = BernoulliSkip::new(channel.crossover()).expect("noisy channel");
+        b.iter(|| {
+            scheduler.route_into(&sends, &mut rng, &mut routing);
+            let mut flips = 0u64;
+            skip.for_each_success(&mut rng, routing.accepted().len(), |_| flips += 1);
+            flips
+        });
+    });
+
+    // One full engine round with everyone sending (the headline per-agent
+    // hot-path number; 100k is the scenario-diversity scale of the ROADMAP).
+    for &n in &[1_000usize, 10_000, 100_000] {
         group.bench_with_input(BenchmarkId::new("engine_round_all_send", n), &n, |b, &n| {
             let agents: Vec<Beacon> = (0..n).map(|_| Beacon(Opinion::One)).collect();
             let channel = BinarySymmetricChannel::from_epsilon(0.2).expect("valid");

@@ -16,8 +16,8 @@
 use std::sync::Arc;
 
 use flip_model::{
-    Agent, BinarySymmetricChannel, ClockModel, FlipError, Opinion, Round, SimRng, Simulation,
-    SimulationConfig,
+    Agent, BinarySymmetricChannel, ClockModel, FlipError, Opinion, OpinionDelta, Round, SimRng,
+    Simulation, SimulationConfig,
 };
 
 use crate::agent_core::ProtocolCore;
@@ -71,23 +71,29 @@ impl Agent for OffsetAgent {
         }
     }
 
-    fn deliver(&mut self, round: Round, message: Opinion, rng: &mut SimRng) {
+    fn deliver(&mut self, round: Round, message: Opinion, rng: &mut SimRng) -> OpinionDelta {
+        let before = self.core.opinion();
         match self.position(round) {
             Position::Active { phase, .. } | Position::Waiting { next_phase: phase } => {
                 self.core.deliver_in_phase(phase, message, rng);
             }
             Position::Done => {}
         }
+        OpinionDelta::between(before, self.core.opinion())
     }
 
-    fn end_round(&mut self, round: Round, rng: &mut SimRng) {
+    fn end_round(&mut self, round: Round, rng: &mut SimRng) -> OpinionDelta {
         if let Position::Active {
             phase,
             is_last_round: true,
             ..
         } = self.position(round)
         {
+            let before = self.core.opinion();
             self.core.end_phase(phase, rng);
+            OpinionDelta::between(before, self.core.opinion())
+        } else {
+            OpinionDelta::NONE
         }
     }
 
@@ -179,7 +185,8 @@ impl Agent for ResyncAgent {
         }
     }
 
-    fn deliver(&mut self, round: Round, message: Opinion, rng: &mut SimRng) {
+    fn deliver(&mut self, round: Round, message: Opinion, rng: &mut SimRng) -> OpinionDelta {
+        let before = self.core.opinion();
         self.maybe_reset(round);
         if let Some(position) = self.main_position(round) {
             match position {
@@ -188,15 +195,16 @@ impl Agent for ResyncAgent {
                 }
                 Position::Done => {}
             }
-            return;
+            return OpinionDelta::between(before, self.core.opinion());
         }
         // Preamble messages only matter for activation (clock start).
         if self.heard_first.is_none() {
             self.heard_first = Some(round);
         }
+        OpinionDelta::between(before, self.core.opinion())
     }
 
-    fn end_round(&mut self, round: Round, rng: &mut SimRng) {
+    fn end_round(&mut self, round: Round, rng: &mut SimRng) -> OpinionDelta {
         self.maybe_reset(round);
         if let Some(Position::Active {
             phase,
@@ -204,7 +212,11 @@ impl Agent for ResyncAgent {
             ..
         }) = self.main_position(round)
         {
+            let before = self.core.opinion();
             self.core.end_phase(phase, rng);
+            OpinionDelta::between(before, self.core.opinion())
+        } else {
+            OpinionDelta::NONE
         }
     }
 
@@ -455,7 +467,7 @@ mod tests {
         assert!(!agent.is_resynchronised());
         for round in 0..8 {
             let _ = agent.send(round, &mut rng);
-            agent.end_round(round, &mut rng);
+            let _ = agent.end_round(round, &mut rng);
         }
         assert!(!agent.is_resynchronised());
         let _ = agent.send(8, &mut rng);
@@ -470,7 +482,7 @@ mod tests {
         let mut rng = SimRng::from_seed(2);
         // Silent while dormant.
         assert_eq!(agent.send(0, &mut rng), None);
-        agent.deliver(3, Opinion::One, &mut rng);
+        let _ = agent.deliver(3, Opinion::One, &mut rng);
         // During its preamble window it broadcasts arbitrary bits.
         assert!(agent.send(4, &mut rng).is_some());
         // After the preamble window but before reset it is silent again.

@@ -4,8 +4,8 @@
 use std::sync::Arc;
 
 use flip_model::{
-    Agent, BinarySymmetricChannel, Census, FlipError, Opinion, Round, SimRng, Simulation,
-    SimulationConfig,
+    Agent, BinarySymmetricChannel, Census, FlipError, Opinion, OpinionDelta, Round, SimRng,
+    Simulation, SimulationConfig,
 };
 
 use crate::agent_core::ProtocolCore;
@@ -68,23 +68,29 @@ impl Agent for BreatheAgent {
         }
     }
 
-    fn deliver(&mut self, round: Round, message: Opinion, rng: &mut SimRng) {
+    fn deliver(&mut self, round: Round, message: Opinion, rng: &mut SimRng) -> OpinionDelta {
+        let before = self.core.opinion();
         match self.core.schedule().position(round) {
             Position::Active { phase, .. } | Position::Waiting { next_phase: phase } => {
                 self.core.deliver_in_phase(phase, message, rng);
             }
             Position::Done => {}
         }
+        OpinionDelta::between(before, self.core.opinion())
     }
 
-    fn end_round(&mut self, round: Round, rng: &mut SimRng) {
+    fn end_round(&mut self, round: Round, rng: &mut SimRng) -> OpinionDelta {
         if let Position::Active {
             phase,
             is_last_round: true,
             ..
         } = self.core.schedule().position(round)
         {
+            let before = self.core.opinion();
             self.core.end_phase(phase, rng);
+            OpinionDelta::between(before, self.core.opinion())
+        } else {
+            OpinionDelta::NONE
         }
     }
 

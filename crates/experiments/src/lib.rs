@@ -6,7 +6,8 @@
 //! (see `DESIGN.md` for the index); this crate provides:
 //!
 //! * [`runner`] — a deterministic multi-trial runner that fans trials out over
-//!   threads (std scoped threads) while keeping per-trial seeds stable,
+//!   threads (std scoped threads, lock-free chunked result writes) while
+//!   keeping per-trial seeds stable,
 //! * [`scaling`] — E1–E3 and E9: round/message complexity scaling and the
 //!   local-clock overhead,
 //! * [`stage_claims`] — E4–E7: the Stage I claims (2.2, 2.4/2.5/2.7, 2.8) and
@@ -98,16 +99,15 @@ impl ExperimentConfig {
     }
 
     /// A deterministic seed for configuration point `point` and trial `trial`.
+    ///
+    /// Derived with [`flip_model::SimRng::stream_seed`], the same mixer
+    /// `SimRng::fork` uses, so "one master seed, many independent streams"
+    /// has a single definition: point streams fork off the base seed, trial
+    /// streams fork off their point stream.
     #[must_use]
     pub fn seed_for(&self, point: u64, trial: u64) -> u64 {
-        // SplitMix64-style mixing keeps the seeds well separated.
-        let mut z = self
-            .base_seed
-            .wrapping_add(point.wrapping_mul(0x9E37_79B9_7F4A_7C15))
-            .wrapping_add(trial.wrapping_mul(0xD1B5_4A32_D192_ED03));
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
+        use flip_model::SimRng;
+        SimRng::stream_seed(SimRng::stream_seed(self.base_seed, point), trial)
     }
 }
 

@@ -1,12 +1,14 @@
 //! A deterministic multi-trial runner that fans independent simulations out
 //! over threads.
 
-use parking_lot::Mutex;
-
 /// Runs independent trials in parallel with stable per-trial seeds.
 ///
-/// Results are returned in trial order regardless of which thread produced
-/// them, so a parallel run is indistinguishable from a sequential one.
+/// The fan-out is lock-free: the pre-sized results vector is split into one
+/// disjoint contiguous chunk per worker (`chunks_mut`), so every worker
+/// writes its own slots and no result ever crosses a lock.  Results are
+/// returned in trial order, and because each trial's value depends only on
+/// its trial index, a parallel run is *bit-identical* to a sequential one by
+/// construction.
 ///
 /// # Example
 ///
@@ -61,6 +63,10 @@ impl TrialRunner {
 
     /// Runs `task` once per trial index (0-based) and collects the results in
     /// trial order.
+    ///
+    /// Each worker owns a disjoint chunk of the pre-sized results vector and
+    /// runs the contiguous trial range backing it, so no synchronisation is
+    /// needed beyond the scope join.
     pub fn run<T, F>(&self, task: F) -> Vec<T>
     where
         T: Send,
@@ -69,30 +75,29 @@ impl TrialRunner {
         if self.trials == 0 {
             return Vec::new();
         }
-        let threads = self.threads.min(self.trials as usize).max(1);
+        let trials = usize::try_from(self.trials).expect("trial count fits in memory");
+        let threads = self.threads.min(trials).max(1);
         if threads == 1 {
             return (0..self.trials).map(task).collect();
         }
 
-        let results: Mutex<Vec<Option<T>>> = Mutex::new((0..self.trials).map(|_| None).collect());
-        let next = std::sync::atomic::AtomicU64::new(0);
+        let mut results: Vec<Option<T>> = (0..trials).map(|_| None).collect();
+        let chunk_len = trials.div_ceil(threads);
+        let task = &task;
         std::thread::scope(|scope| {
-            for _ in 0..threads {
-                scope.spawn(|| loop {
-                    let trial = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if trial >= self.trials {
-                        break;
+            for (chunk_index, chunk) in results.chunks_mut(chunk_len).enumerate() {
+                scope.spawn(move || {
+                    let first_trial = (chunk_index * chunk_len) as u64;
+                    for (offset, slot) in chunk.iter_mut().enumerate() {
+                        *slot = Some(task(first_trial + offset as u64));
                     }
-                    let value = task(trial);
-                    results.lock()[trial as usize] = Some(value);
                 });
             }
         });
 
         results
-            .into_inner()
             .into_iter()
-            .map(|v| v.expect("every trial index is filled exactly once"))
+            .map(|v| v.expect("every chunk fills all of its slots"))
             .collect()
     }
 }
@@ -123,6 +128,20 @@ mod tests {
         let sequential = TrialRunner::new(16).with_threads(1).run(|t| t * t + 1);
         let parallel = TrialRunner::new(16).with_threads(8).run(|t| t * t + 1);
         assert_eq!(sequential, parallel);
+    }
+
+    #[test]
+    fn parallel_runs_are_bit_identical_for_every_thread_count() {
+        // Chunked disjoint writes make parallel output identical to the
+        // sequential reference regardless of how the trials split across
+        // workers — including thread counts that do not divide the trials.
+        let reference = TrialRunner::new(23).with_threads(1).run(|t| t * 31 + 7);
+        for threads in 2..=9 {
+            let parallel = TrialRunner::new(23)
+                .with_threads(threads)
+                .run(|t| t * 31 + 7);
+            assert_eq!(parallel, reference, "threads = {threads}");
+        }
     }
 
     #[test]

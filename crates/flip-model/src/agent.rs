@@ -31,13 +31,13 @@ pub struct AgentId(usize);
 impl AgentId {
     /// Wraps a population index.
     #[must_use]
-    pub fn new(index: usize) -> Self {
+    pub const fn new(index: usize) -> Self {
         Self(index)
     }
 
     /// Returns the underlying population index.
     #[must_use]
-    pub fn index(self) -> usize {
+    pub const fn index(self) -> usize {
         self.0
     }
 }
@@ -54,6 +54,59 @@ impl From<usize> for AgentId {
     }
 }
 
+/// A report of how one agent callback changed the agent's opinion, so the
+/// engine can maintain a running [`Census`](crate::Census) in O(changes)
+/// instead of recounting all `n` agents every round.
+///
+/// `before` and `after` are the opinions [`Agent::opinion`] would have
+/// returned immediately before and after the callback ran.  A callback that
+/// cannot change the opinion returns [`OpinionDelta::NONE`]; a callback with
+/// non-trivial internal state simply captures `self.opinion()` on entry and
+/// exit:
+///
+/// ```ignore
+/// fn deliver(&mut self, round: Round, message: Opinion, rng: &mut SimRng) -> OpinionDelta {
+///     let before = self.opinion();
+///     /* ... mutate state ... */
+///     OpinionDelta::between(before, self.opinion())
+/// }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[must_use = "the engine needs the delta to keep its census consistent"]
+pub struct OpinionDelta {
+    /// Opinion held before the callback ran.
+    pub before: Option<Opinion>,
+    /// Opinion held after the callback ran.
+    pub after: Option<Opinion>,
+}
+
+impl OpinionDelta {
+    /// The delta of a callback that left the opinion untouched.
+    pub const NONE: Self = Self {
+        before: None,
+        after: None,
+    };
+
+    /// A delta from explicit before/after opinions.
+    pub fn between(before: Option<Opinion>, after: Option<Opinion>) -> Self {
+        Self { before, after }
+    }
+
+    /// The delta of an undecided agent adopting its first opinion.
+    pub fn adopted(opinion: Opinion) -> Self {
+        Self {
+            before: None,
+            after: Some(opinion),
+        }
+    }
+
+    /// Whether the callback actually changed the opinion.
+    #[must_use]
+    pub fn is_change(&self) -> bool {
+        self.before != self.after
+    }
+}
+
 /// A per-agent protocol state machine driven by the [`Simulation`](crate::Simulation) engine.
 ///
 /// In every round the engine:
@@ -67,19 +120,43 @@ impl From<usize> for AgentId {
 ///
 /// Agents never learn who they talked to.  The `round` argument is the global
 /// round counter; protocols relying only on local clocks must ignore it.
+///
+/// # Census contract
+///
+/// [`deliver`](Agent::deliver) and [`end_round`](Agent::end_round) return an
+/// [`OpinionDelta`] describing any change of [`opinion`](Agent::opinion) they
+/// caused; the engine folds these into a running census instead of recounting
+/// the population.  [`send`](Agent::send) takes `&mut self` only for internal
+/// bookkeeping — it must **not** change the value `opinion()` reports, since
+/// it has no way to report a delta.  (Debug builds of the engine periodically
+/// recount the population and assert agreement.)
 pub trait Agent {
+    /// Whether this agent type has a non-trivial [`end_round`](Agent::end_round).
+    ///
+    /// Protocols that never act at end of round (most of the simple dynamics:
+    /// rumor spreading, voter models, beacons) can set this to `false`, and
+    /// the engine statically skips its O(n) end-of-round hook loop.  Leave it
+    /// `true` (the default) whenever `end_round` is overridden.
+    const USES_END_ROUND: bool = true;
+
     /// Decides what to transmit this round; `None` means stay silent ("breathe").
+    ///
+    /// Must not change the opinion reported by [`opinion`](Agent::opinion)
+    /// (see the census contract above).
     fn send(&mut self, round: Round, rng: &mut SimRng) -> Option<Opinion>;
 
-    /// Handles a message delivered to this agent (already corrupted by the channel).
-    fn deliver(&mut self, round: Round, message: Opinion, rng: &mut SimRng);
+    /// Handles a message delivered to this agent (already corrupted by the
+    /// channel), reporting any opinion change it caused.
+    fn deliver(&mut self, round: Round, message: Opinion, rng: &mut SimRng) -> OpinionDelta;
 
-    /// Hook invoked after all deliveries of the round; the default does nothing.
+    /// Hook invoked after all deliveries of the round; the default does
+    /// nothing and reports no change.
     ///
     /// Phase-based protocols use this to make end-of-phase decisions (choosing
     /// an initial opinion, taking the majority of samples, ...).
-    fn end_round(&mut self, round: Round, rng: &mut SimRng) {
+    fn end_round(&mut self, round: Round, rng: &mut SimRng) -> OpinionDelta {
         let _ = (round, rng);
+        OpinionDelta::NONE
     }
 
     /// The opinion the agent currently holds, if it has adopted one.
@@ -112,7 +189,9 @@ mod tests {
         fn send(&mut self, _round: Round, _rng: &mut SimRng) -> Option<Opinion> {
             None
         }
-        fn deliver(&mut self, _round: Round, _message: Opinion, _rng: &mut SimRng) {}
+        fn deliver(&mut self, _round: Round, _message: Opinion, _rng: &mut SimRng) -> OpinionDelta {
+            OpinionDelta::NONE
+        }
         fn opinion(&self) -> Option<Opinion> {
             None
         }
@@ -122,9 +201,19 @@ mod tests {
     fn default_hooks_are_benign() {
         let mut agent = Silent;
         let mut rng = SimRng::from_seed(0);
-        agent.end_round(0, &mut rng);
+        assert_eq!(agent.end_round(0, &mut rng), OpinionDelta::NONE);
         assert!(!agent.is_active());
         assert!(!agent.is_done());
+    }
+
+    #[test]
+    fn opinion_delta_reports_changes() {
+        use crate::opinion::Opinion;
+        assert!(!OpinionDelta::NONE.is_change());
+        assert!(OpinionDelta::adopted(Opinion::One).is_change());
+        assert!(!OpinionDelta::between(Some(Opinion::One), Some(Opinion::One)).is_change());
+        assert!(OpinionDelta::between(Some(Opinion::One), Some(Opinion::Zero)).is_change());
+        assert!(OpinionDelta::between(Some(Opinion::One), None).is_change());
     }
 
     #[test]

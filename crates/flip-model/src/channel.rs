@@ -33,6 +33,19 @@ pub trait Channel {
     fn mean_crossover(&self) -> f64 {
         self.crossover()
     }
+
+    /// The single fixed per-message flip probability of this channel, or
+    /// `None` when the flip probability depends on the message.
+    ///
+    /// When this returns `Some(p)` the engine *fuses* noise into routing: it
+    /// geometric-skip-samples the positions of flipped messages directly in
+    /// the accepted stream (exact for i.i.d. Bernoulli(`p`) flips, one `ln`
+    /// per flip instead of one draw per message) and never calls
+    /// [`transmit`](Channel::transmit).  Channels with message-dependent
+    /// noise return `None` (the default) and keep the per-message path.
+    fn fixed_crossover(&self) -> Option<f64> {
+        None
+    }
 }
 
 /// The binary symmetric channel with a fixed crossover probability `p ∈ [0, 1/2]`.
@@ -101,6 +114,10 @@ impl Channel for BinarySymmetricChannel {
     fn crossover(&self) -> f64 {
         self.crossover
     }
+
+    fn fixed_crossover(&self) -> Option<f64> {
+        Some(self.crossover)
+    }
 }
 
 /// A channel that never corrupts messages (`ε = 1/2`).
@@ -117,6 +134,10 @@ impl Channel for NoiselessChannel {
 
     fn crossover(&self) -> f64 {
         0.0
+    }
+
+    fn fixed_crossover(&self) -> Option<f64> {
+        Some(0.0)
     }
 }
 
@@ -175,6 +196,12 @@ impl Channel for AdversarialCapChannel {
     fn mean_crossover(&self) -> f64 {
         // The per-message rate is uniform on [low, cap].
         0.5 * (self.low + self.cap)
+    }
+
+    fn fixed_crossover(&self) -> Option<f64> {
+        // A collapsed interval is a fixed-rate channel; anything wider has
+        // message-dependent noise and must keep the per-message path.
+        ((self.cap - self.low).abs() < f64::EPSILON).then_some(self.cap)
     }
 }
 
@@ -243,6 +270,29 @@ mod tests {
         assert!(AdversarialCapChannel::new(0.2, 0.1).is_err());
         assert!(AdversarialCapChannel::new(-0.1, 0.4).is_err());
         assert!(AdversarialCapChannel::new(0.0, 0.6).is_err());
+    }
+
+    #[test]
+    fn fixed_crossover_reports_fusable_channels() {
+        assert_eq!(
+            BinarySymmetricChannel::new(0.3).unwrap().fixed_crossover(),
+            Some(0.3)
+        );
+        assert_eq!(NoiselessChannel.fixed_crossover(), Some(0.0));
+        // A genuinely varying channel must keep the per-message path ...
+        assert_eq!(
+            AdversarialCapChannel::new(0.1, 0.4)
+                .unwrap()
+                .fixed_crossover(),
+            None
+        );
+        // ... but a collapsed interval is a fixed-rate channel.
+        assert_eq!(
+            AdversarialCapChannel::new(0.4, 0.4)
+                .unwrap()
+                .fixed_crossover(),
+            Some(0.4)
+        );
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! boosting).  Protocol crates can define their own machines; these three
 //! cover the scaling and consensus experiments and the equivalence tests.
 
-use crate::agent::{Agent, Round};
+use crate::agent::{Agent, OpinionDelta, Round};
 use crate::dense::{DensePopulation, DenseProtocol};
 use crate::opinion::Opinion;
 use crate::rng::SimRng;
@@ -119,13 +119,17 @@ impl RumorAgent {
 }
 
 impl Agent for RumorAgent {
+    const USES_END_ROUND: bool = false;
     fn send(&mut self, _round: Round, _rng: &mut SimRng) -> Option<Opinion> {
         self.opinion
     }
 
-    fn deliver(&mut self, _round: Round, message: Opinion, _rng: &mut SimRng) {
+    fn deliver(&mut self, _round: Round, message: Opinion, _rng: &mut SimRng) -> OpinionDelta {
         if self.opinion.is_none() {
             self.opinion = Some(message);
+            OpinionDelta::adopted(message)
+        } else {
+            OpinionDelta::NONE
         }
     }
 

@@ -7,9 +7,44 @@ use crate::error::FlipError;
 use crate::metrics::{Metrics, RoundMetrics};
 use crate::opinion::Opinion;
 use crate::population::Census;
-use crate::rng::SimRng;
-use crate::scheduler::GossipScheduler;
+use crate::rng::{BernoulliSkip, SimRng};
+use crate::scheduler::{GossipScheduler, RoundRouting};
 use crate::trace::TraceRecorder;
+
+/// How the engine applies channel noise to accepted messages.
+///
+/// Resolved once at construction from [`Channel::fixed_crossover`].
+#[derive(Debug, Clone, Copy)]
+enum NoiseMode {
+    /// The channel never flips: skip noise entirely.
+    Noiseless,
+    /// Fixed crossover `p`: geometric skip-sampling positions the flipped
+    /// messages directly in the accepted stream (exact for i.i.d.
+    /// Bernoulli(`p`) flips), costing one logarithm per flip instead of one
+    /// draw per message.
+    Fused(BernoulliSkip),
+    /// Message-dependent noise: fall back to one [`Channel::transmit`] call
+    /// per accepted message.
+    PerMessage,
+}
+
+impl NoiseMode {
+    fn for_channel<C: Channel>(channel: &C) -> Self {
+        match channel.fixed_crossover() {
+            Some(p) => match BernoulliSkip::new(p) {
+                Some(skip) => NoiseMode::Fused(skip),
+                // The skip-sampler rejects p ≤ 0 and p too small to ever
+                // flip in a finite stream — genuinely noiseless — but also
+                // p ≥ 1 and NaN, which must keep the exact per-message path
+                // (a hypothetical always-flip channel would otherwise be
+                // silently treated as never flipping).
+                None if (0.0..0.5).contains(&p) || p <= 0.0 => NoiseMode::Noiseless,
+                None => NoiseMode::PerMessage,
+            },
+            None => NoiseMode::PerMessage,
+        }
+    }
+}
 
 /// Summary of a single executed round.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -30,6 +65,17 @@ pub struct RoundSummary {
 /// [`Simulation::run_until`] execute many.
 ///
 /// See the crate-level documentation for a complete example.
+///
+/// # Hot-path design
+///
+/// The round loop is allocation-free after the first round: the send buffer
+/// and the [`RoundRouting`] are pre-sized to the population and reused every
+/// step.  The census is *incremental* — the engine folds the
+/// [`OpinionDelta`](crate::OpinionDelta)s returned by
+/// [`Agent::deliver`]/[`Agent::end_round`] into a running [`Census`] in
+/// O(changes), instead of recounting all `n` agents each round — and channel
+/// noise for fixed-crossover channels is fused into delivery by geometric
+/// skip-sampling (see [`Channel::fixed_crossover`]).
 #[derive(Debug)]
 pub struct Simulation<A, C> {
     agents: Vec<A>,
@@ -40,7 +86,14 @@ pub struct Simulation<A, C> {
     metrics: Metrics,
     trace: TraceRecorder,
     reference: Option<Opinion>,
+    noise: NoiseMode,
+    /// Running opinion counts, maintained from agent-reported deltas.
+    census: Census,
+    /// Set by [`Simulation::agents_mut`]: the caller may have changed
+    /// opinions behind the engine's back, so the next census read recounts.
+    census_dirty: bool,
     send_buffer: Vec<(usize, Opinion)>,
+    routing: RoundRouting,
 }
 
 impl<A: Agent, C: Channel> Simulation<A, C> {
@@ -65,10 +118,13 @@ impl<A: Agent, C: Channel> Simulation<A, C> {
                 ),
             });
         }
-        let scheduler = GossipScheduler::new(agents.len())?;
-        let trace = TraceRecorder::new(agents.len(), config.trace_options(), config.reference());
+        let n = agents.len();
+        let scheduler = GossipScheduler::new(n)?;
+        let trace = TraceRecorder::new(n, config.trace_options(), config.reference());
+        let census = Census::of_agents(&agents);
         Ok(Self {
             agents,
+            noise: NoiseMode::for_channel(&channel),
             channel,
             scheduler,
             rng: SimRng::from_seed(config.seed()),
@@ -76,12 +132,19 @@ impl<A: Agent, C: Channel> Simulation<A, C> {
             metrics: Metrics::new(),
             trace,
             reference: config.reference(),
-            send_buffer: Vec::new(),
+            census,
+            census_dirty: false,
+            send_buffer: Vec::with_capacity(n),
+            routing: RoundRouting::with_capacity(n),
         })
     }
 
     /// Executes one synchronous round and returns its summary.
     pub fn step(&mut self) -> RoundSummary {
+        if self.census_dirty {
+            self.census = Census::of_agents(&self.agents);
+            self.census_dirty = false;
+        }
         let round = self.round;
 
         // Phase 1: collect sends.
@@ -92,41 +155,94 @@ impl<A: Agent, C: Channel> Simulation<A, C> {
             }
         }
 
-        // Phase 2: route, corrupt, deliver.
-        let routing = self.scheduler.route(&self.send_buffer, &mut self.rng);
+        // Phase 2: route into the reused buffer, then corrupt + deliver.
+        self.scheduler
+            .route_into(&self.send_buffer, &mut self.rng, &mut self.routing);
+
+        // Split borrows: the routing buffer is corrupted in place, then read
+        // while agents, census, trace and rng are written.
+        let noise = self.noise;
+        let (agents, routing, rng, trace, census, channel) = (
+            &mut self.agents,
+            &mut self.routing,
+            &mut self.rng,
+            &mut self.trace,
+            &mut self.census,
+            &self.channel,
+        );
+
+        // Apply channel noise to the accepted payloads in place, before
+        // delivery, so the delivery loop below carries no noise logic.
         let mut flips = 0u64;
-        for delivery in &routing.accepted {
-            let corrupted = self.channel.transmit(delivery.payload, &mut self.rng);
-            if corrupted != delivery.payload {
-                flips += 1;
+        match noise {
+            NoiseMode::Noiseless => {}
+            NoiseMode::Fused(skip) => {
+                // Geometric skip-sampling: walk straight to each flipped
+                // message (gaps batch-drawn so the logs pipeline).
+                let accepted = routing.accepted_mut();
+                skip.for_each_success(rng, accepted.len(), |position| {
+                    accepted[position].payload = accepted[position].payload.flipped();
+                    flips += 1;
+                });
             }
-            let recipient = delivery.recipient.index();
-            self.trace.on_delivery(recipient, round);
-            self.agents[recipient].deliver(round, corrupted, &mut self.rng);
+            NoiseMode::PerMessage => {
+                for delivery in routing.accepted_mut() {
+                    let corrupted = channel.transmit(delivery.payload, rng);
+                    flips += u64::from(corrupted != delivery.payload);
+                    delivery.payload = corrupted;
+                }
+            }
         }
 
-        // Phase 3: end-of-round hooks.
-        for agent in &mut self.agents {
-            agent.end_round(round, &mut self.rng);
+        // Deliver; the activation-trace flag is loop-invariant, letting the
+        // compiler unswitch the untraced (default) path into a tight loop.
+        let record_activations = trace.options().record_activations;
+        for delivery in routing.accepted() {
+            let recipient = delivery.recipient.index();
+            if record_activations {
+                trace.on_delivery(recipient, round);
+            }
+            census.apply(agents[recipient].deliver(round, delivery.payload, rng));
+        }
+
+        // Phase 3: end-of-round hooks (statically skipped for agent types
+        // that declare the hook unused).
+        if A::USES_END_ROUND {
+            for agent in agents.iter_mut() {
+                census.apply(agent.end_round(round, rng));
+            }
         }
 
         let round_metrics = RoundMetrics {
             round,
-            messages_sent: routing.sent,
-            messages_accepted: routing.accepted.len() as u64,
-            messages_collided: routing.collided,
+            messages_sent: self.routing.sent,
+            messages_accepted: self.routing.accepted().len() as u64,
+            messages_collided: self.routing.collided,
             bits_flipped: flips,
         };
         self.metrics.absorb_round(&round_metrics);
 
-        let census = Census::of_agents(&self.agents);
-        self.trace.on_round_end(round, &census, routing.sent);
+        // The trace consumes the maintained census; no O(n) recount.
+        self.trace
+            .on_round_end(round, &self.census, self.routing.sent);
         self.round += 1;
+
+        // Debug builds periodically audit the incremental census against a
+        // full recount, which catches agents that misreport deltas (or
+        // change opinions inside `send`).
+        #[cfg(debug_assertions)]
+        if round.is_multiple_of(64) {
+            debug_assert_eq!(
+                self.census,
+                Census::of_agents(&self.agents),
+                "incremental census diverged from a full recount at round {round}"
+            );
+        }
 
         RoundSummary {
             metrics: round_metrics,
-            census_active: census.active(),
-            census_correct: self.reference.map(|r| census.holding(r)),
+            census_active: self.census.active(),
+            census_correct: self.reference.map(|r| self.census.holding(r)),
         }
     }
 
@@ -164,15 +280,29 @@ impl<A: Agent, C: Channel> Simulation<A, C> {
     }
 
     /// Mutable access to the agents (useful for seeding initial opinions).
+    ///
+    /// Marks the maintained census dirty: the engine recounts once on the
+    /// next [`census`](Simulation::census) read or [`step`](Simulation::step).
     #[must_use]
     pub fn agents_mut(&mut self) -> &mut [A] {
+        self.census_dirty = true;
         &mut self.agents
     }
 
     /// A census of the current population.
+    ///
+    /// O(1): returns the incrementally maintained counts.  After
+    /// [`agents_mut`](Simulation::agents_mut) the maintained counts are
+    /// stale, and every `census` call until the next
+    /// [`step`](Simulation::step) recounts the population in O(n) (`step`
+    /// resynchronises the maintained counts once).
     #[must_use]
     pub fn census(&self) -> Census {
-        Census::of_agents(&self.agents)
+        if self.census_dirty {
+            Census::of_agents(&self.agents)
+        } else {
+            self.census
+        }
     }
 
     /// The accumulated metrics so far.
@@ -209,7 +339,8 @@ impl<A: Agent, C: Channel> Simulation<A, C> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::channel::{BinarySymmetricChannel, NoiselessChannel};
+    use crate::agent::OpinionDelta;
+    use crate::channel::{AdversarialCapChannel, BinarySymmetricChannel, NoiselessChannel};
 
     /// An agent that always sends its fixed opinion.
     struct Beacon(Opinion);
@@ -218,7 +349,9 @@ mod tests {
         fn send(&mut self, _round: Round, _rng: &mut SimRng) -> Option<Opinion> {
             Some(self.0)
         }
-        fn deliver(&mut self, _round: Round, _message: Opinion, _rng: &mut SimRng) {}
+        fn deliver(&mut self, _round: Round, _message: Opinion, _rng: &mut SimRng) -> OpinionDelta {
+            OpinionDelta::NONE
+        }
         fn opinion(&self) -> Option<Opinion> {
             Some(self.0)
         }
@@ -233,9 +366,12 @@ mod tests {
         fn send(&mut self, _round: Round, _rng: &mut SimRng) -> Option<Opinion> {
             self.opinion
         }
-        fn deliver(&mut self, _round: Round, message: Opinion, _rng: &mut SimRng) {
+        fn deliver(&mut self, _round: Round, message: Opinion, _rng: &mut SimRng) -> OpinionDelta {
             if self.opinion.is_none() {
                 self.opinion = Some(message);
+                OpinionDelta::adopted(message)
+            } else {
+                OpinionDelta::NONE
             }
         }
         fn opinion(&self) -> Option<Opinion> {
@@ -354,6 +490,85 @@ mod tests {
             Some(sim.census().holding(Opinion::One))
         );
         assert!(!sim.trace().history().is_empty());
+    }
+
+    #[test]
+    fn maintained_census_matches_full_recount_every_round() {
+        let agents = adopters(150, 3);
+        let config = SimulationConfig::new(150).with_seed(13);
+        let channel = BinarySymmetricChannel::from_epsilon(0.2).unwrap();
+        let mut sim = Simulation::new(agents, channel, config).unwrap();
+        for _ in 0..80 {
+            sim.step();
+            assert_eq!(sim.census(), Census::of_agents(sim.agents()));
+        }
+    }
+
+    #[test]
+    fn agents_mut_invalidates_the_maintained_census() {
+        let agents = adopters(10, 0);
+        let config = SimulationConfig::new(10).with_seed(1);
+        let mut sim = Simulation::new(agents, NoiselessChannel, config).unwrap();
+        assert_eq!(sim.census().active(), 0);
+        sim.agents_mut()[4].opinion = Some(Opinion::One);
+        // The census read after external mutation must reflect it ...
+        assert_eq!(sim.census().active(), 1);
+        assert_eq!(sim.census().holding(Opinion::One), 1);
+        // ... and stepping resynchronises the maintained counts.
+        sim.step();
+        assert_eq!(sim.census(), Census::of_agents(sim.agents()));
+    }
+
+    #[test]
+    fn fused_noise_flip_rate_matches_crossover() {
+        // Same statistical check as `noise_flips_are_counted`, but at a
+        // crossover where skips are long enough to exercise multi-message
+        // gaps (p = 0.1) and over a larger population.
+        let agents: Vec<Beacon> = (0..100).map(|_| Beacon(Opinion::One)).collect();
+        let config = SimulationConfig::new(100).with_seed(17);
+        let channel = BinarySymmetricChannel::new(0.1).unwrap();
+        let mut sim = Simulation::new(agents, channel, config).unwrap();
+        sim.run(1_000);
+        let rate = sim.metrics().empirical_flip_rate().unwrap();
+        assert!((rate - 0.1).abs() < 0.01, "rate = {rate}");
+    }
+
+    #[test]
+    fn out_of_range_fixed_crossover_keeps_the_per_message_path() {
+        // A (contract-stretching) channel reporting a fixed crossover of 1.0
+        // must not be fused into "noiseless": the engine has to fall back to
+        // per-message transmit, which flips every bit.
+        struct AlwaysFlip;
+        impl Channel for AlwaysFlip {
+            fn transmit(&self, message: Opinion, _rng: &mut SimRng) -> Opinion {
+                message.flipped()
+            }
+            fn crossover(&self) -> f64 {
+                1.0
+            }
+            fn fixed_crossover(&self) -> Option<f64> {
+                Some(1.0)
+            }
+        }
+        let agents = vec![Beacon(Opinion::One), Beacon(Opinion::One)];
+        let config = SimulationConfig::new(2).with_seed(23);
+        let mut sim = Simulation::new(agents, AlwaysFlip, config).unwrap();
+        sim.run(100);
+        let rate = sim.metrics().empirical_flip_rate().unwrap();
+        assert!((rate - 1.0).abs() < f64::EPSILON, "rate = {rate}");
+    }
+
+    #[test]
+    fn per_message_fallback_matches_mean_crossover() {
+        // An AdversarialCapChannel with a genuine interval cannot be fused;
+        // its empirical flip rate must match the interval mean.
+        let agents: Vec<Beacon> = (0..100).map(|_| Beacon(Opinion::One)).collect();
+        let config = SimulationConfig::new(100).with_seed(19);
+        let channel = AdversarialCapChannel::new(0.1, 0.3).unwrap();
+        let mut sim = Simulation::new(agents, channel, config).unwrap();
+        sim.run(1_000);
+        let rate = sim.metrics().empirical_flip_rate().unwrap();
+        assert!((rate - 0.2).abs() < 0.01, "rate = {rate}");
     }
 
     #[test]

@@ -30,7 +30,8 @@
 //!
 //! ```
 //! use flip_model::{
-//!     Agent, BinarySymmetricChannel, Opinion, Round, SimRng, Simulation, SimulationConfig,
+//!     Agent, BinarySymmetricChannel, Opinion, OpinionDelta, Round, SimRng, Simulation,
+//!     SimulationConfig,
 //! };
 //!
 //! struct Parrot {
@@ -41,8 +42,10 @@
 //!     fn send(&mut self, _round: Round, _rng: &mut SimRng) -> Option<Opinion> {
 //!         self.opinion
 //!     }
-//!     fn deliver(&mut self, _round: Round, message: Opinion, _rng: &mut SimRng) {
+//!     fn deliver(&mut self, _round: Round, message: Opinion, _rng: &mut SimRng) -> OpinionDelta {
+//!         let before = self.opinion;
 //!         self.opinion = Some(message);
+//!         OpinionDelta::between(before, self.opinion)
 //!     }
 //!     fn opinion(&self) -> Option<Opinion> {
 //!         self.opinion
@@ -81,7 +84,7 @@ mod rng;
 mod scheduler;
 mod trace;
 
-pub use agent::{Agent, AgentId, Round};
+pub use agent::{Agent, AgentId, OpinionDelta, Round};
 pub use backend::Backend;
 pub use channel::{AdversarialCapChannel, BinarySymmetricChannel, Channel, NoiselessChannel};
 pub use clock::{ClockModel, LocalClock};
@@ -93,6 +96,6 @@ pub use error::FlipError;
 pub use metrics::{Metrics, RoundMetrics};
 pub use opinion::Opinion;
 pub use population::{majority_bias, Census};
-pub use rng::SimRng;
+pub use rng::{BernoulliSkip, SimRng};
 pub use scheduler::{Delivery, GossipScheduler, RoundRouting};
 pub use trace::{TraceOptions, TraceRecorder};

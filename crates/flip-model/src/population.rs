@@ -1,6 +1,6 @@
 //! Population-level censuses: counts, fractions and biases.
 
-use crate::agent::Agent;
+use crate::agent::{Agent, OpinionDelta};
 use crate::opinion::Opinion;
 
 /// A snapshot of how many agents hold which opinion.
@@ -43,6 +43,28 @@ impl Census {
         Self {
             holding,
             n: agents.len(),
+        }
+    }
+
+    /// Folds one agent callback's [`OpinionDelta`] into the counts.
+    ///
+    /// This is the O(1) update behind the engine's incremental census: the
+    /// engine applies the delta each `deliver`/`end_round` returns instead of
+    /// recounting all `n` agents every round.
+    #[inline]
+    pub fn apply(&mut self, delta: OpinionDelta) {
+        if delta.before == delta.after {
+            return;
+        }
+        if let Some(before) = delta.before {
+            debug_assert!(
+                self.holding[before.index()] > 0,
+                "delta retracts an opinion nobody held"
+            );
+            self.holding[before.index()] = self.holding[before.index()].saturating_sub(1);
+        }
+        if let Some(after) = delta.after {
+            self.holding[after.index()] += 1;
         }
     }
 
@@ -146,10 +168,36 @@ mod tests {
         fn send(&mut self, _round: Round, _rng: &mut SimRng) -> Option<Opinion> {
             None
         }
-        fn deliver(&mut self, _round: Round, _message: Opinion, _rng: &mut SimRng) {}
+        fn deliver(&mut self, _round: Round, _message: Opinion, _rng: &mut SimRng) -> OpinionDelta {
+            OpinionDelta::NONE
+        }
         fn opinion(&self) -> Option<Opinion> {
             self.0
         }
+    }
+
+    #[test]
+    fn apply_folds_deltas_into_counts() {
+        let mut census = Census::from_counts(2, 3, 10);
+        census.apply(OpinionDelta::adopted(Opinion::One));
+        assert_eq!(census.holding(Opinion::One), 4);
+        assert_eq!(census.active(), 6);
+        census.apply(OpinionDelta::between(
+            Some(Opinion::One),
+            Some(Opinion::Zero),
+        ));
+        assert_eq!(census.holding(Opinion::One), 3);
+        assert_eq!(census.holding(Opinion::Zero), 3);
+        census.apply(OpinionDelta::between(Some(Opinion::Zero), None));
+        assert_eq!(census.holding(Opinion::Zero), 2);
+        assert_eq!(census.active(), 5);
+        // No-op deltas leave everything untouched.
+        census.apply(OpinionDelta::NONE);
+        census.apply(OpinionDelta::between(
+            Some(Opinion::One),
+            Some(Opinion::One),
+        ));
+        assert_eq!(census, Census::from_counts(2, 3, 10));
     }
 
     #[test]

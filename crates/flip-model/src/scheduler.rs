@@ -1,6 +1,6 @@
 //! Push-gossip routing with per-recipient collision resolution.
 
-use rand::Rng;
+use rand::RngCore;
 
 use crate::agent::AgentId;
 use crate::error::FlipError;
@@ -18,15 +18,81 @@ pub struct Delivery {
     pub payload: Opinion,
 }
 
+const PLACEHOLDER: Delivery = Delivery {
+    sender: AgentId::new(0),
+    recipient: AgentId::new(0),
+    payload: Opinion::Zero,
+};
+
 /// The outcome of routing one round of push gossip.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+///
+/// Designed for reuse: [`GossipScheduler::route_into`] refills an existing
+/// instance, so a long-running simulation routes every round into one buffer
+/// with zero per-round allocation.  The accepted messages live in a
+/// population-sized build buffer (whose tail doubles as the routing loop's
+/// discard slot) and are exposed as the [`accepted`](RoundRouting::accepted)
+/// prefix slice.
+#[derive(Debug, Clone, Default)]
 pub struct RoundRouting {
-    /// Messages accepted by their recipients (one per receiving agent at most).
-    pub accepted: Vec<Delivery>,
+    /// Build buffer: `accepted_len` live entries, then scratch (the very
+    /// last entry is the discard slot for losing reservoir writes).
+    buffer: Vec<Delivery>,
+    accepted_len: usize,
     /// Number of messages pushed this round.
     pub sent: u64,
     /// Number of messages dropped because their recipient accepted another one.
     pub collided: u64,
+}
+
+impl RoundRouting {
+    /// An empty routing pre-sized for a population of `capacity` agents (at
+    /// most one accepted message per recipient, so routing into it can never
+    /// allocate).
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            buffer: vec![PLACEHOLDER; capacity + 1],
+            accepted_len: 0,
+            sent: 0,
+            collided: 0,
+        }
+    }
+
+    /// Messages accepted by their recipients (one per receiving agent at most).
+    #[must_use]
+    pub fn accepted(&self) -> &[Delivery] {
+        &self.buffer[..self.accepted_len]
+    }
+
+    /// Mutable view of the accepted messages (the engine corrupts payloads in
+    /// place when applying channel noise).
+    #[must_use]
+    pub fn accepted_mut(&mut self) -> &mut [Delivery] {
+        &mut self.buffer[..self.accepted_len]
+    }
+}
+
+impl PartialEq for RoundRouting {
+    fn eq(&self, other: &Self) -> bool {
+        // Only the live prefix is meaningful; the scratch tail is garbage.
+        self.sent == other.sent
+            && self.collided == other.collided
+            && self.accepted() == other.accepted()
+    }
+}
+
+impl Eq for RoundRouting {}
+
+/// Per-recipient routing state for one round, packed into a single 8-byte
+/// word so each message touches exactly one random cache location.
+#[derive(Debug, Clone, Copy, Default)]
+struct RecipientSlot {
+    /// Highest reservoir priority seen at this agent this round (`0` = no
+    /// arrivals yet; drawn priorities always have their low bit set).
+    priority: u32,
+    /// Message index (into the round's `sends`) of the arrival currently
+    /// winning this agent's reservoir; reset to `0` with `priority`.
+    winner: u32,
 }
 
 /// Routes pushed messages to uniformly random recipients and resolves collisions.
@@ -36,17 +102,33 @@ pub struct RoundRouting {
 /// random among the *other* `n − 1` agents, and an agent that receives several
 /// messages in the same round accepts one of them chosen uniformly at random.
 ///
+/// # Hot-path design
+///
+/// One batched [`SimRng::fill_u64`] pass draws one word per message; the low
+/// half maps to the recipient with a cached-threshold 32-bit Lemire
+/// multiply-shift (exact — the rare rejection redraws from the live stream)
+/// and the high half becomes the message's *reservoir priority*.  A
+/// recipient keeps the highest-priority message that reached it, which picks
+/// a uniformly random arrival (priorities are i.i.d. uniform) without any
+/// per-collision RNG call.  The routing loop itself is free of
+/// data-dependent branches: winners and losers both store, losers into the
+/// buffer's discard slot, selected by conditional moves.
+///
 /// The scheduler reuses internal buffers across rounds, so a single instance
 /// should be kept for the lifetime of a simulation.
 #[derive(Debug, Clone)]
 pub struct GossipScheduler {
     n: usize,
-    /// Number of messages that have arrived at each agent this round.
-    arrival_counts: Vec<u32>,
-    /// The reservoir-sampled kept message per agent this round.
-    kept: Vec<Option<(AgentId, Opinion)>>,
-    /// Agents touched this round (for cheap resets).
-    touched: Vec<usize>,
+    /// `n − 1` (the recipient span), as the 32-bit Lemire multiplier.
+    span: u32,
+    /// `2^32 mod span`: the cached Lemire rejection threshold.
+    threshold: u32,
+    /// Per-recipient reservoir state for the current round.
+    slots: Vec<RecipientSlot>,
+    /// Recipient of each message this round (one entry per send).
+    recipients: Vec<u32>,
+    /// One random word per message, filled in a single batched pass.
+    words: Vec<u64>,
 }
 
 impl GossipScheduler {
@@ -54,16 +136,26 @@ impl GossipScheduler {
     ///
     /// # Errors
     ///
-    /// Returns [`FlipError::PopulationTooSmall`] if `n < 2`.
+    /// Returns [`FlipError::PopulationTooSmall`] if `n < 2`, or
+    /// [`FlipError::InvalidParameter`] if `n` exceeds the 32-bit routing
+    /// index range (`n − 1` must fit in a `u32`).
     pub fn new(n: usize) -> Result<Self, FlipError> {
         if n < 2 {
             return Err(FlipError::PopulationTooSmall { n });
         }
+        let Ok(span) = u32::try_from(n - 1) else {
+            return Err(FlipError::InvalidParameter {
+                name: "population",
+                message: format!("population {n} exceeds the u32 routing-index range"),
+            });
+        };
         Ok(Self {
             n,
-            arrival_counts: vec![0; n],
-            kept: vec![None; n],
-            touched: Vec::new(),
+            span,
+            threshold: span.wrapping_neg() % span,
+            slots: vec![RecipientSlot::default(); n],
+            recipients: Vec::new(),
+            words: Vec::new(),
         })
     }
 
@@ -73,60 +165,102 @@ impl GossipScheduler {
         self.n
     }
 
-    /// Routes one round of sends.
+    /// Routes one round of sends into a fresh [`RoundRouting`].
+    ///
+    /// Equivalent to [`route_into`](GossipScheduler::route_into) with a new
+    /// output buffer; hot loops should hold one `RoundRouting` and call
+    /// `route_into` instead to avoid the per-round allocation.
+    pub fn route(&mut self, sends: &[(usize, Opinion)], rng: &mut SimRng) -> RoundRouting {
+        let mut out = RoundRouting::with_capacity(self.n);
+        self.route_into(sends, rng, &mut out);
+        out
+    }
+
+    /// Routes one round of sends, reusing `out`'s buffers.
     ///
     /// `sends` lists `(sender index, opinion)` pairs for every agent that chose
     /// to push a message this round.  Each message is assigned a uniformly
     /// random recipient different from its sender; each recipient keeps one
-    /// arriving message uniformly at random (reservoir sampling of size one).
-    pub fn route(&mut self, sends: &[(usize, Opinion)], rng: &mut SimRng) -> RoundRouting {
-        // Reset only the entries touched last round.
-        for &idx in &self.touched {
-            self.arrival_counts[idx] = 0;
-            self.kept[idx] = None;
-        }
-        self.touched.clear();
+    /// arriving message uniformly at random (highest reservoir priority).
+    ///
+    /// After the first call with this scheduler's population, `out` never
+    /// allocates again.
+    pub fn route_into(
+        &mut self,
+        sends: &[(usize, Opinion)],
+        rng: &mut SimRng,
+        out: &mut RoundRouting,
+    ) {
+        let m = sends.len();
 
-        let mut sent = 0u64;
-        for &(sender, payload) in sends {
+        // Grow the working buffers on demand; no-ops after the first round.
+        if out.buffer.len() < self.n + 1 {
+            out.buffer.resize(self.n + 1, PLACEHOLDER);
+        }
+        if self.words.len() < m {
+            self.words.resize(m, 0);
+            self.recipients.resize(m, 0);
+        }
+
+        // One batched pass of counter-mixed words, one word per message.
+        rng.fill_u64(&mut self.words[..m]);
+
+        // Pass 1 - scatter: update each message's recipient reservoir.
+        // Nothing loop-carried depends on the (random, cache-missing) slot
+        // loads, so the out-of-order core overlaps many messages at once.
+        let span = self.span;
+        let threshold = self.threshold;
+        let words = &self.words[..m];
+        for (i, &(sender, _)) in sends.iter().enumerate() {
+            let word = words[i];
             debug_assert!(sender < self.n, "sender index out of range");
-            sent += 1;
-            // Uniform recipient among the other n - 1 agents.
-            let mut recipient = rng.gen_range(0..self.n - 1);
-            if recipient >= sender {
-                recipient += 1;
+            // Low half of the word: uniform recipient among the other n − 1
+            // agents (32-bit Lemire multiply-shift; the cold rejection path
+            // redraws from the live stream to stay exactly uniform).
+            let mut product = u64::from(word as u32) * u64::from(span);
+            while (product as u32) < threshold {
+                product = u64::from(rng.next_u64() as u32) * u64::from(span);
             }
-            let count = &mut self.arrival_counts[recipient];
-            *count += 1;
-            if *count == 1 {
-                self.touched.push(recipient);
-                self.kept[recipient] = Some((AgentId::new(sender), payload));
-            } else {
-                // Reservoir sampling: replace with probability 1/count.
-                let c = *count;
-                if rng.gen_range(0..c) == 0 {
-                    self.kept[recipient] = Some((AgentId::new(sender), payload));
-                }
-            }
+            let mut recipient = (product >> 32) as usize;
+            recipient += usize::from(recipient >= sender);
+
+            // High half: the reservoir priority.  The forced low bit keeps
+            // drawn priorities nonzero (zero means "no arrivals"); ties —
+            // probability ~2⁻³¹ per colliding pair — keep the earlier
+            // arrival, which preserves uniformity up to that same odds.
+            let priority = ((word >> 32) as u32) | 1;
+
+            let slot = &mut self.slots[recipient];
+            let wins = priority > slot.priority;
+            slot.priority = if wins { priority } else { slot.priority };
+            slot.winner = if wins { i as u32 } else { slot.winner };
+            self.recipients[i] = recipient as u32;
         }
 
-        let mut accepted = Vec::with_capacity(self.touched.len());
-        let mut collided = 0u64;
-        for &idx in &self.touched {
-            let (sender, payload) = self.kept[idx].expect("touched entries hold a message");
-            collided += u64::from(self.arrival_counts[idx] - 1);
-            accepted.push(Delivery {
-                sender,
-                recipient: AgentId::new(idx),
+        // Pass 2 — gather: walk the messages again; each recipient's first
+        // occurrence reads its final winner and appends the delivery, then
+        // zeroes the slot, so duplicates (and next round's reset) cost
+        // nothing extra.  Branch-free: losers write to the same buffer
+        // position without advancing it.
+        let mut accepted_len = 0usize;
+        for &recipient in &self.recipients[..m] {
+            let slot = &mut self.slots[recipient as usize];
+            let live = slot.priority != 0;
+            // Stale slots always hold winner 0, which is in bounds for any
+            // non-empty round.
+            let (sender, payload) = sends[slot.winner as usize];
+            *slot = RecipientSlot::default();
+            out.buffer[accepted_len] = Delivery {
+                sender: AgentId::new(sender),
+                recipient: AgentId::new(recipient as usize),
                 payload,
-            });
+            };
+            accepted_len += usize::from(live);
         }
 
-        RoundRouting {
-            accepted,
-            sent,
-            collided,
-        }
+        out.accepted_len = accepted_len;
+        out.sent = m as u64;
+        out.collided = m as u64 - accepted_len as u64;
     }
 }
 
@@ -146,7 +280,7 @@ mod tests {
         let mut s = GossipScheduler::new(10).unwrap();
         let mut rng = SimRng::from_seed(0);
         let routing = s.route(&[], &mut rng);
-        assert!(routing.accepted.is_empty());
+        assert!(routing.accepted().is_empty());
         assert_eq!(routing.sent, 0);
         assert_eq!(routing.collided, 0);
     }
@@ -157,9 +291,9 @@ mod tests {
         let mut rng = SimRng::from_seed(1);
         for _ in 0..500 {
             let routing = s.route(&[(2, Opinion::One)], &mut rng);
-            assert_eq!(routing.accepted.len(), 1);
-            assert_ne!(routing.accepted[0].recipient.index(), 2);
-            assert_eq!(routing.accepted[0].sender.index(), 2);
+            assert_eq!(routing.accepted().len(), 1);
+            assert_ne!(routing.accepted()[0].recipient.index(), 2);
+            assert_eq!(routing.accepted()[0].sender.index(), 2);
         }
     }
 
@@ -172,13 +306,13 @@ mod tests {
         for _ in 0..200 {
             let routing = s.route(&sends, &mut rng);
             let mut seen = [0u32; 4];
-            for d in &routing.accepted {
+            for d in routing.accepted() {
                 seen[d.recipient.index()] += 1;
             }
             assert!(seen.iter().all(|&c| c <= 1));
             assert_eq!(
                 routing.sent,
-                routing.accepted.len() as u64 + routing.collided
+                routing.accepted().len() as u64 + routing.collided
             );
         }
     }
@@ -191,7 +325,7 @@ mod tests {
         let trials = 30_000;
         for _ in 0..trials {
             let routing = s.route(&[(0, Opinion::One)], &mut rng);
-            counts[routing.accepted[0].recipient.index()] += 1;
+            counts[routing.accepted()[0].recipient.index()] += 1;
         }
         assert_eq!(counts[0], 0);
         let expected = trials as f64 / 5.0;
@@ -205,17 +339,16 @@ mod tests {
 
     #[test]
     fn collision_winner_is_roughly_uniform() {
-        // Three senders all pushing into a 2-agent-recipient world is impossible;
-        // instead use n = 2: both messages from agent 0 and 1 must go to the other,
-        // so craft a scenario with repeated sends from distinct senders and check
-        // the accepted sender distribution at a single recipient.
+        // Two senders pushing into a 3-agent population collide at agent 2
+        // whenever both messages land there; the reservoir priority must pick
+        // each sender's message about half the time.
         let mut s = GossipScheduler::new(3).unwrap();
         let mut rng = SimRng::from_seed(4);
         let mut winner_counts = [0u32; 3];
         let mut total = 0u32;
         for _ in 0..30_000 {
             let routing = s.route(&[(0, Opinion::Zero), (1, Opinion::One)], &mut rng);
-            for d in &routing.accepted {
+            for d in routing.accepted() {
                 if d.recipient.index() == 2 && routing.collided == 1 {
                     // Both messages landed on agent 2; record who won.
                     winner_counts[d.sender.index()] += 1;
@@ -229,13 +362,77 @@ mod tests {
     }
 
     #[test]
+    fn three_way_collision_winner_is_roughly_uniform() {
+        // Three senders in a 4-agent population: conditioned on all three
+        // messages landing on agent 3, each must win 1/3 of the time.
+        let mut s = GossipScheduler::new(4).unwrap();
+        let mut rng = SimRng::from_seed(5);
+        let sends = [
+            (0usize, Opinion::Zero),
+            (1, Opinion::One),
+            (2, Opinion::Zero),
+        ];
+        let mut winner_counts = [0u32; 4];
+        let mut total = 0u32;
+        for _ in 0..60_000 {
+            let routing = s.route(&sends, &mut rng);
+            if routing.collided == 2 && routing.accepted()[0].recipient.index() == 3 {
+                winner_counts[routing.accepted()[0].sender.index()] += 1;
+                total += 1;
+            }
+        }
+        assert!(total > 1_000, "three-way collisions observed: {total}");
+        for (sender, &count) in winner_counts.iter().take(3).enumerate() {
+            let share = f64::from(count) / f64::from(total);
+            assert!(
+                (share - 1.0 / 3.0).abs() < 0.05,
+                "sender {sender} share = {share}"
+            );
+        }
+    }
+
+    #[test]
+    fn route_into_reuses_the_output_buffer() {
+        let mut s = GossipScheduler::new(16).unwrap();
+        let mut rng = SimRng::from_seed(7);
+        let sends: Vec<(usize, Opinion)> = (0..16).map(|i| (i, Opinion::One)).collect();
+        let mut out = RoundRouting::with_capacity(16);
+        let capacity = out.buffer.capacity();
+        for _ in 0..100 {
+            s.route_into(&sends, &mut rng, &mut out);
+            assert_eq!(out.sent, 16);
+            assert_eq!(out.sent, out.accepted().len() as u64 + out.collided);
+            assert_eq!(
+                out.buffer.capacity(),
+                capacity,
+                "routing buffer must never reallocate at capacity n"
+            );
+        }
+    }
+
+    #[test]
+    fn route_and_route_into_agree_from_equal_rng_states() {
+        let mut s1 = GossipScheduler::new(8).unwrap();
+        let mut s2 = GossipScheduler::new(8).unwrap();
+        let mut rng1 = SimRng::from_seed(9);
+        let mut rng2 = SimRng::from_seed(9);
+        let sends: Vec<(usize, Opinion)> = (0..8).map(|i| (i, Opinion::Zero)).collect();
+        let mut out = RoundRouting::default();
+        for _ in 0..20 {
+            let fresh = s1.route(&sends, &mut rng1);
+            s2.route_into(&sends, &mut rng2, &mut out);
+            assert_eq!(fresh, out);
+        }
+    }
+
+    #[test]
     fn buffers_reset_between_rounds() {
         let mut s = GossipScheduler::new(4).unwrap();
         let mut rng = SimRng::from_seed(5);
         let r1 = s.route(&[(0, Opinion::One), (1, Opinion::One)], &mut rng);
         assert!(r1.sent == 2);
         let r2 = s.route(&[], &mut rng);
-        assert!(r2.accepted.is_empty());
+        assert!(r2.accepted().is_empty());
         assert_eq!(r2.sent, 0);
         assert_eq!(r2.collided, 0);
     }

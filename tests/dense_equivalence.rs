@@ -17,8 +17,9 @@
 
 use breathe_paper as _;
 use flip_model::{
-    Agent, BinarySymmetricChannel, DenseSimulation, NoiselessChannel, Opinion, Round, RumorAgent,
-    RumorProtocol, SimRng, Simulation, SimulationConfig, VoterProtocol,
+    AdversarialCapChannel, Agent, BinarySymmetricChannel, DenseSimulation, NoiselessChannel,
+    Opinion, OpinionDelta, Round, RumorAgent, RumorProtocol, SimRng, Simulation, SimulationConfig,
+    VoterProtocol,
 };
 
 /// The per-agent twin of `VoterProtocol`: always pushes its opinion, adopts
@@ -28,11 +29,14 @@ struct Voter {
 }
 
 impl Agent for Voter {
+    const USES_END_ROUND: bool = false;
     fn send(&mut self, _round: Round, _rng: &mut SimRng) -> Option<Opinion> {
         Some(self.opinion)
     }
-    fn deliver(&mut self, _round: Round, message: Opinion, _rng: &mut SimRng) {
+    fn deliver(&mut self, _round: Round, message: Opinion, _rng: &mut SimRng) -> OpinionDelta {
+        let before = self.opinion;
         self.opinion = message;
+        OpinionDelta::between(Some(before), Some(self.opinion))
     }
     fn opinion(&self) -> Option<Opinion> {
         Some(self.opinion)
@@ -310,6 +314,126 @@ fn message_metrics_agree_in_expectation() {
         (a_flip - d_flip).abs() < 0.01,
         "flip rates diverge: {a_flip:.4} vs {d_flip:.4}"
     );
+}
+
+// ------------------------------------- optimized-engine noise-path parity
+
+/// The *optimized* agent engine (fused geometric-skip noise, incremental
+/// census, priority-reservoir routing) must track the dense engine's mean
+/// trajectories through the noisy regime the fused path handles — the suite
+/// above certifies the engine as a whole; this pins the fused-noise path at
+/// a high crossover where skip gaps are short.
+#[test]
+fn fused_noise_engine_matches_dense_voter_trajectories() {
+    let n = 2_000usize;
+    let trials = 32u64;
+    let rounds = 25u64;
+    let crossover = 0.3; // mean skip gap ≈ 2.3: exercises dense flip runs
+
+    let mut agent_ones = Vec::new();
+    let mut dense_ones = Vec::new();
+    for trial in 0..trials {
+        let channel = BinarySymmetricChannel::new(crossover).unwrap();
+        let voters: Vec<Voter> = (0..n)
+            .map(|i| Voter {
+                opinion: if i < n * 4 / 5 {
+                    Opinion::One
+                } else {
+                    Opinion::Zero
+                },
+            })
+            .collect();
+        let mut sim = Simulation::new(
+            voters,
+            channel,
+            SimulationConfig::new(n).with_seed(5_000 + trial),
+        )
+        .unwrap();
+        sim.run(rounds);
+        agent_ones.push(sim.census().holding(Opinion::One) as f64);
+
+        let channel = BinarySymmetricChannel::new(crossover).unwrap();
+        let population =
+            flip_model::DensePopulation::from_counts(vec![(n / 5) as u64, (n * 4 / 5) as u64])
+                .unwrap();
+        let mut sim = DenseSimulation::new(
+            VoterProtocol,
+            channel,
+            population,
+            SimulationConfig::new(n).with_seed(6_000 + trial),
+        )
+        .unwrap();
+        sim.run(rounds);
+        dense_ones.push(sim.census().holding(Opinion::One) as f64);
+    }
+
+    let agent_mean: f64 = agent_ones.iter().sum::<f64>() / trials as f64;
+    let dense_mean: f64 = dense_ones.iter().sum::<f64>() / trials as f64;
+    let allowance = chernoff_allowance(n as f64, trials as f64);
+    assert!(
+        (agent_mean - dense_mean).abs() < allowance,
+        "agents mean {agent_mean:.1} vs dense mean {dense_mean:.1} (allowance {allowance:.1})"
+    );
+}
+
+/// A genuinely varying channel (`AdversarialCapChannel` with a non-collapsed
+/// interval) cannot be fused, so the engine falls back to one `transmit` per
+/// message; that per-message path must also track the dense engine, which
+/// consumes the channel's `mean_crossover`.
+#[test]
+fn per_message_fallback_engine_matches_dense_mean_trajectories() {
+    let n = 2_000usize;
+    let trials = 32u64;
+    let checkpoints = [3u64, 8, 15, 25];
+
+    let mut agent_traj = vec![Vec::new(); checkpoints.len()];
+    let mut dense_traj = vec![Vec::new(); checkpoints.len()];
+    for trial in 0..trials {
+        // Flip probability uniform on [0.1, 0.3] per message (mean 0.2).
+        let channel = AdversarialCapChannel::new(0.1, 0.3).unwrap();
+        assert!(
+            flip_model::Channel::fixed_crossover(&channel).is_none(),
+            "the interval channel must take the per-message path"
+        );
+        let mut sim = Simulation::new(
+            adopters(n, 10),
+            channel,
+            SimulationConfig::new(n).with_seed(7_000 + trial),
+        )
+        .unwrap();
+        let mut round = 0u64;
+        for (c, &checkpoint) in checkpoints.iter().enumerate() {
+            sim.run(checkpoint - round);
+            round = checkpoint;
+            agent_traj[c].push(sim.census().active() as f64);
+        }
+
+        let channel = AdversarialCapChannel::new(0.1, 0.3).unwrap();
+        let mut sim = DenseSimulation::new(
+            RumorProtocol,
+            channel,
+            RumorProtocol::population(n as u64, 0, 10),
+            SimulationConfig::new(n).with_seed(8_000 + trial),
+        )
+        .unwrap();
+        let mut round = 0u64;
+        for (c, &checkpoint) in checkpoints.iter().enumerate() {
+            sim.run(checkpoint - round);
+            round = checkpoint;
+            dense_traj[c].push(sim.census().active() as f64);
+        }
+    }
+
+    let allowance = chernoff_allowance(n as f64, trials as f64);
+    for (c, &checkpoint) in checkpoints.iter().enumerate() {
+        let agent_mean: f64 = agent_traj[c].iter().sum::<f64>() / trials as f64;
+        let dense_mean: f64 = dense_traj[c].iter().sum::<f64>() / trials as f64;
+        assert!(
+            (agent_mean - dense_mean).abs() < allowance,
+            "round {checkpoint}: agents mean {agent_mean:.1} vs dense mean {dense_mean:.1} \
+             (allowance {allowance:.1})"
+        );
+    }
 }
 
 // ------------------------------------------------------------- performance

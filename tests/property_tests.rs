@@ -38,10 +38,10 @@ proptest! {
         prop_assert_eq!(routing.sent as usize, senders.len());
         prop_assert_eq!(
             routing.sent,
-            routing.accepted.len() as u64 + routing.collided
+            routing.accepted().len() as u64 + routing.collided
         );
         let mut seen = vec![0u32; n];
-        for delivery in &routing.accepted {
+        for delivery in routing.accepted() {
             prop_assert_ne!(delivery.sender.index(), delivery.recipient.index());
             seen[delivery.recipient.index()] += 1;
         }

@@ -27,6 +27,56 @@ pub trait Distribution<T> {
     fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
 }
 
+/// A uniform sampler over `[0, bound)` with Lemire's nearly-divisionless
+/// method *and a cached rejection threshold*.
+///
+/// `sample` costs one `next_u64`, one 64×64→128 multiply and one compare on
+/// the overwhelmingly common path; the `2^64 mod bound` division that plain
+/// one-shot Lemire sampling must evaluate lazily on its cold path is paid
+/// once at construction.  Use this for a bound drawn from many times; use
+/// `Rng::gen_range` for ad-hoc bounds.  (The gossip scheduler inlines the
+/// same cached-threshold technique at 32 bits for its recipient draws.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UniformIndex {
+    bound: u64,
+    /// `2^64 mod bound`: draws whose low product half falls below this are
+    /// rejected, which makes the high half exactly uniform.
+    threshold: u64,
+}
+
+impl UniformIndex {
+    /// Creates a sampler over `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    #[must_use]
+    pub fn new(bound: u64) -> Self {
+        assert!(bound > 0, "cannot sample an empty range");
+        Self {
+            bound,
+            threshold: bound.wrapping_neg() % bound,
+        }
+    }
+
+    /// The exclusive upper bound of the sampler.
+    #[must_use]
+    pub fn bound(&self) -> u64 {
+        self.bound
+    }
+
+    /// Draws one value uniformly from `[0, bound)`.
+    #[inline]
+    pub fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u64 {
+        loop {
+            let m = u128::from(rng.next_u64()) * u128::from(self.bound);
+            if (m as u64) >= self.threshold {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+}
+
 /// Error returned by [`Binomial::new`] for invalid parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BinomialError {
@@ -402,6 +452,55 @@ mod tests {
         for _ in 0..100 {
             assert_eq!(dist.sample(&mut a), dist.sample(&mut b));
         }
+    }
+
+    #[test]
+    fn uniform_index_stays_in_bounds_and_covers_the_span() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let sampler = UniformIndex::new(10);
+        assert_eq!(sampler.bound(), 10);
+        let mut seen = [false; 10];
+        for _ in 0..2_000 {
+            seen[sampler.sample(&mut rng) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn uniform_index_is_roughly_uniform_at_a_non_power_of_two_bound() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let sampler = UniformIndex::new(7);
+        let mut counts = [0u32; 7];
+        let trials = 70_000;
+        for _ in 0..trials {
+            counts[sampler.sample(&mut rng) as usize] += 1;
+        }
+        let expected = trials as f64 / 7.0;
+        for &c in &counts {
+            assert!(
+                (f64::from(c) - expected).abs() < expected * 0.05,
+                "counts = {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn uniform_index_handles_degenerate_bounds() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let one = UniformIndex::new(1);
+        for _ in 0..10 {
+            assert_eq!(one.sample(&mut rng), 0);
+        }
+        let huge = UniformIndex::new(u64::MAX);
+        for _ in 0..10 {
+            assert!(huge.sample(&mut rng) < u64::MAX);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn uniform_index_rejects_zero_bound() {
+        let _ = UniformIndex::new(0);
     }
 
     #[test]

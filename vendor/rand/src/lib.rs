@@ -8,7 +8,10 @@
 //!   (`gen`, `gen_bool`, `gen_range`),
 //! * [`rngs::StdRng`], here a xoshiro256++ generator seeded via SplitMix64,
 //! * [`distributions::Binomial`] (from `rand_distr`), the exact BINV/BTPE
-//!   binomial sampler used by the dense population engine.
+//!   binomial sampler used by the dense population engine,
+//! * [`split_mix64`], the counter-mix core behind the simulation generator's
+//!   batched refill, and [`distributions::UniformIndex`], a Lemire
+//!   nearly-divisionless bounded sampler with a cached rejection threshold.
 //!
 //! Everything is deterministic: the same seed always yields the same stream,
 //! which is what the reproduction harness relies on.
@@ -34,6 +37,26 @@ impl fmt::Display for Error {
 }
 
 impl std::error::Error for Error {}
+
+/// The additive constant of the SplitMix64 counter (the 64-bit golden ratio).
+pub const GOLDEN_GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// The SplitMix64 output mix: a bijective finalizer turning a raw counter
+/// value into a statistically solid 64-bit word.
+///
+/// Unlike a shift-register generator, a counter-mixed core has no
+/// loop-carried data dependency between outputs: word `i` of a batch is
+/// `split_mix64(base + i·GAMMA)`, so a refill loop runs at full
+/// instruction-level parallelism.  This is the core behind the simulation
+/// generator's batched refill.
+#[inline]
+#[must_use]
+pub fn split_mix64(counter: u64) -> u64 {
+    let mut z = counter;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
 
 /// The core of a random number generator: raw word and byte output.
 pub trait RngCore {
@@ -138,6 +161,37 @@ pub trait SampleRange<T> {
     fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
 }
 
+/// Draws a uniform value in `[0, span)` (`span = 0` meaning the full 64-bit
+/// range) with Lemire's nearly-divisionless multiply-shift method: one
+/// 64×64→128 multiply per draw, with the single `%` confined to the rare
+/// rejection path (probability `span / 2^64`).
+///
+/// This is the one shared core behind every bounded draw in the workspace:
+/// `Rng::gen_range` integer impls and `SimRng::gen_index` delegate here, and
+/// [`distributions::UniformIndex`] is its cached-threshold form for bounds
+/// sampled many times.
+#[inline]
+pub fn sample_below<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    let mut x = rng.next_u64();
+    if span == 0 {
+        return x;
+    }
+    let mut m = u128::from(x) * u128::from(span);
+    let mut low = m as u64;
+    if low < span {
+        // Cold path: compute the rejection threshold 2^64 mod span and
+        // redraw until the low half clears it, which makes the high half
+        // exactly uniform on [0, span).
+        let threshold = span.wrapping_neg() % span;
+        while low < threshold {
+            x = rng.next_u64();
+            m = u128::from(x) * u128::from(span);
+            low = m as u64;
+        }
+    }
+    (m >> 64) as u64
+}
+
 macro_rules! impl_sample_range_int {
     ($($t:ty),*) => {$(
         impl SampleRange<$t> for Range<$t> {
@@ -146,9 +200,8 @@ macro_rules! impl_sample_range_int {
                 // Subtract on 64-bit two's-complement bit patterns: modulo
                 // 2^64 the difference equals the true span for every range of
                 // these types, including signed ranges with a negative start.
-                let span = u128::from((self.end as u64).wrapping_sub(self.start as u64));
-                let word = (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64());
-                let offset = (word % span) as u64 as $t;
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                let offset = sample_below(rng, span) as $t;
                 self.start.wrapping_add(offset)
             }
         }
@@ -159,9 +212,10 @@ macro_rules! impl_sample_range_int {
                 if start == end {
                     return start;
                 }
-                let span = u128::from((end as u64).wrapping_sub(start as u64)) + 1;
-                let word = (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64());
-                let offset = (word % span) as u64 as $t;
+                // An inclusive span of 2^64 wraps to 0, which `sample_below`
+                // reads as "the full 64-bit range" — exactly right.
+                let span = (end as u64).wrapping_sub(start as u64).wrapping_add(1);
+                let offset = sample_below(rng, span) as $t;
                 start.wrapping_add(offset)
             }
         }
@@ -359,6 +413,56 @@ mod tests {
             let x: f64 = rng.gen();
             assert!((0.0..1.0).contains(&x));
         }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_exclusive_range_panics_loudly() {
+        // `sample_below` treats a span of 0 as "full 64-bit range" — a
+        // convention only the *inclusive* impl may reach (0..=u64::MAX).
+        // The exclusive impl must keep rejecting empty ranges before that
+        // convention can misfire.
+        let mut rng = StdRng::seed_from_u64(1);
+        let _: u64 = rng.gen_range(5..5);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_inclusive_range_panics_loudly() {
+        let mut rng = StdRng::seed_from_u64(1);
+        #[allow(clippy::reversed_empty_ranges)]
+        let _: u64 = rng.gen_range(6..=5);
+    }
+
+    #[test]
+    fn full_inclusive_u64_range_is_supported() {
+        // The one case whose span wraps to 0: must return raw words, not loop.
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut distinct = std::collections::HashSet::new();
+        for _ in 0..64 {
+            distinct.insert(rng.gen_range(0..=u64::MAX));
+        }
+        assert!(distinct.len() > 60);
+    }
+
+    #[test]
+    fn split_mix64_scrambles_sequential_counters() {
+        use super::{split_mix64, GOLDEN_GAMMA};
+        let words: Vec<u64> = (0..64)
+            .map(|i| split_mix64((i as u64).wrapping_mul(GOLDEN_GAMMA)))
+            .collect();
+        // All distinct (the mix is bijective) and bit-balanced in aggregate.
+        for (i, a) in words.iter().enumerate() {
+            for b in &words[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+        let ones: u32 = words.iter().map(|w| w.count_ones()).sum();
+        let total = 64 * 64;
+        assert!(
+            (i64::from(ones) - i64::from(total) / 2).abs() < 200,
+            "ones = {ones}"
+        );
     }
 
     #[test]
