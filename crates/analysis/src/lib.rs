@@ -12,6 +12,9 @@
 //! * [`bias`] — bias/fraction-correct bookkeeping shared by experiments.
 //! * [`fitting`] — least-squares fits used to check the `log n` and `1/ε²`
 //!   scaling shapes.
+//! * [`streaming`] — single-pass aggregation: online moments (Welford) and
+//!   P² quantile sketches, used by the sweep orchestrator so million-trial
+//!   sweeps never hold per-trial data in memory.
 //! * [`tables`] — plain-text/markdown/CSV rendering for experiment reports.
 
 #![forbid(unsafe_code)]
@@ -22,10 +25,12 @@ pub mod chernoff;
 pub mod estimators;
 pub mod fitting;
 pub mod stirling;
+pub mod streaming;
 pub mod tables;
 pub mod theory;
 
 pub use bias::BiasTrajectory;
 pub use estimators::{mean, std_dev, SuccessRate};
 pub use fitting::{fit_linear, fit_power_law, LinearFit};
+pub use streaming::{P2Quantile, P2State, StreamingEstimator, StreamingMoments};
 pub use tables::Table;

@@ -1,0 +1,441 @@
+//! Streaming (single-pass, O(1)-memory) aggregation: online moments and
+//! quantile sketches.
+//!
+//! Million-trial sweeps cannot hold per-trial samples in memory, so the sweep
+//! orchestrator folds every metric into these accumulators as trials finish.
+//! Two estimators are provided:
+//!
+//! * [`StreamingMoments`] — count, plain running sum, Welford mean/M2 (for a
+//!   numerically stable variance), min and max.  The reported
+//!   [`mean`](StreamingMoments::mean) is `sum / count`, which is *bit-identical*
+//!   to [`crate::estimators::mean`] over the same values in the same order —
+//!   that identity is what lets a sweep-backed experiment reproduce a
+//!   hand-rolled one digit-for-digit.
+//! * [`P2Quantile`] — the P² algorithm of Jain & Chlamtac (1985): a five-marker
+//!   sketch that tracks one quantile with O(1) memory and no sorting.
+//!
+//! Both expose their full internal state ([`StreamingMoments`] as public
+//! fields, [`P2Quantile`] via [`P2Quantile::snapshot`]/[`P2Quantile::restore`])
+//! so result stores can serialize them exactly and resume aggregation across
+//! process restarts.
+
+/// Anything that can absorb a stream of observations one value at a time.
+///
+/// The sweep orchestrator drives every metric accumulator through this trait,
+/// so adding a new streaming estimator only requires implementing it here.
+pub trait StreamingEstimator {
+    /// Absorbs one observation.
+    fn observe(&mut self, x: f64);
+
+    /// Number of observations absorbed so far.
+    fn count(&self) -> u64;
+}
+
+/// Online count / sum / mean / variance / min / max.
+///
+/// # Example
+///
+/// ```
+/// use analysis::streaming::{StreamingEstimator, StreamingMoments};
+///
+/// let mut m = StreamingMoments::new();
+/// for x in [1.0, 2.0, 3.0, 4.0] {
+///     m.observe(x);
+/// }
+/// assert_eq!(m.count(), 4);
+/// assert!((m.mean() - 2.5).abs() < 1e-12);
+/// assert!((m.std_dev() - 1.2909944487358056).abs() < 1e-12);
+/// assert_eq!(m.min, 1.0);
+/// assert_eq!(m.max, 4.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamingMoments {
+    /// Number of observations.
+    pub count: u64,
+    /// Plain running sum, accumulated in observation order (`mean()` divides
+    /// this by `count` so it matches a naive sum-then-divide bit for bit).
+    pub sum: f64,
+    /// Welford running mean (used only to keep `m2` stable; see `mean()`).
+    pub welford_mean: f64,
+    /// Welford sum of squared deviations.
+    pub m2: f64,
+    /// Smallest observation (`+∞` when empty).
+    pub min: f64,
+    /// Largest observation (`-∞` when empty).
+    pub max: f64,
+}
+
+impl StreamingMoments {
+    /// An empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            count: 0,
+            sum: 0.0,
+            welford_mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// The mean as `sum / count` (0 when empty).
+    ///
+    /// Deliberately *not* the Welford mean: dividing the plain in-order sum
+    /// reproduces [`crate::estimators::mean`] exactly, so streaming and
+    /// collect-then-average code paths print identical digits.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Unbiased sample variance from Welford's M2 (0 for fewer than 2 values).
+    #[must_use]
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    #[must_use]
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+}
+
+impl Default for StreamingMoments {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StreamingEstimator for StreamingMoments {
+    fn observe(&mut self, x: f64) {
+        self.count += 1;
+        self.sum += x;
+        let delta = x - self.welford_mean;
+        self.welford_mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.welford_mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    fn count(&self) -> u64 {
+        self.count
+    }
+}
+
+/// The full serializable state of a [`P2Quantile`] sketch.
+///
+/// `buffer` holds the raw observations while fewer than five have been seen
+/// (the sketch proper initialises from the first five); afterwards it is
+/// empty and the five markers carry all state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct P2State {
+    /// The tracked quantile in `(0, 1)`.
+    pub q: f64,
+    /// Observations absorbed so far.
+    pub count: u64,
+    /// Marker heights (estimates of the min, q/2, q, (1+q)/2 quantiles, max).
+    pub heights: [f64; 5],
+    /// Marker positions (1-based ranks, integral values stored as `f64`).
+    pub positions: [f64; 5],
+    /// Desired marker positions.
+    pub desired: [f64; 5],
+    /// Raw observations while `count < 5`, in arrival order.
+    pub buffer: Vec<f64>,
+}
+
+/// A P² single-quantile sketch (Jain & Chlamtac, 1985).
+///
+/// Tracks an estimate of the `q`-quantile of a stream using five markers,
+/// adjusted with piecewise-parabolic interpolation — O(1) memory and O(1)
+/// work per observation, no sorting, deterministic given the input order.
+///
+/// # Example
+///
+/// ```
+/// use analysis::streaming::{P2Quantile, StreamingEstimator};
+///
+/// let mut median = P2Quantile::new(0.5).unwrap();
+/// for i in 0..1001 {
+///     // A linear ramp: the true median is 500.
+///     median.observe(f64::from(i));
+/// }
+/// assert!((median.estimate() - 500.0).abs() < 10.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct P2Quantile {
+    q: f64,
+    count: u64,
+    heights: [f64; 5],
+    positions: [f64; 5],
+    desired: [f64; 5],
+    increments: [f64; 5],
+    buffer: Vec<f64>,
+}
+
+impl P2Quantile {
+    /// Creates a sketch for the quantile `q`; returns `None` unless
+    /// `0 < q < 1`.
+    #[must_use]
+    pub fn new(q: f64) -> Option<Self> {
+        if !(q > 0.0 && q < 1.0) {
+            return None;
+        }
+        Some(Self {
+            q,
+            count: 0,
+            heights: [0.0; 5],
+            positions: [1.0, 2.0, 3.0, 4.0, 5.0],
+            desired: [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0],
+            increments: [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0],
+            buffer: Vec::with_capacity(5),
+        })
+    }
+
+    /// The tracked quantile.
+    #[must_use]
+    pub fn q(&self) -> f64 {
+        self.q
+    }
+
+    /// The current estimate of the `q`-quantile.
+    ///
+    /// With fewer than five observations the estimate interpolates the sorted
+    /// buffer; with none it is `NaN`.
+    #[must_use]
+    pub fn estimate(&self) -> f64 {
+        if self.count == 0 {
+            return f64::NAN;
+        }
+        if self.count < 5 {
+            let mut sorted = self.buffer.clone();
+            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            // Linear interpolation between order statistics.
+            let rank = self.q * (sorted.len() - 1) as f64;
+            let lo = rank.floor() as usize;
+            let hi = rank.ceil() as usize;
+            let frac = rank - lo as f64;
+            return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+        }
+        self.heights[2]
+    }
+
+    /// Exports the full sketch state for serialization.
+    #[must_use]
+    pub fn snapshot(&self) -> P2State {
+        P2State {
+            q: self.q,
+            count: self.count,
+            heights: self.heights,
+            positions: self.positions,
+            desired: self.desired,
+            buffer: self.buffer.clone(),
+        }
+    }
+
+    /// Rebuilds a sketch from a [`snapshot`](Self::snapshot); returns `None`
+    /// on an invalid quantile or an inconsistent buffer.
+    #[must_use]
+    pub fn restore(state: P2State) -> Option<Self> {
+        let mut sketch = Self::new(state.q)?;
+        if state.count < 5 && state.buffer.len() as u64 != state.count {
+            return None;
+        }
+        sketch.count = state.count;
+        sketch.heights = state.heights;
+        sketch.positions = state.positions;
+        sketch.desired = state.desired;
+        sketch.buffer = state.buffer;
+        Some(sketch)
+    }
+
+    /// Initialises the markers from the first five observations.
+    fn initialise(&mut self) {
+        let mut sorted = self.buffer.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        for (h, s) in self.heights.iter_mut().zip(sorted) {
+            *h = s;
+        }
+        self.buffer.clear();
+    }
+
+    /// One P² marker-adjustment step after a new observation landed in cell
+    /// `k` (i.e. between markers `k` and `k + 1`).
+    fn adjust(&mut self, k: usize) {
+        for pos in self.positions.iter_mut().skip(k + 1) {
+            *pos += 1.0;
+        }
+        for (des, inc) in self.desired.iter_mut().zip(self.increments) {
+            *des += inc;
+        }
+        for i in 1..=3 {
+            let d = self.desired[i] - self.positions[i];
+            let can_right = d >= 1.0 && self.positions[i + 1] - self.positions[i] > 1.0;
+            let can_left = d <= -1.0 && self.positions[i - 1] - self.positions[i] < -1.0;
+            if !(can_right || can_left) {
+                continue;
+            }
+            let d = d.signum();
+            let parabolic = self.heights[i]
+                + d / (self.positions[i + 1] - self.positions[i - 1])
+                    * ((self.positions[i] - self.positions[i - 1] + d)
+                        * (self.heights[i + 1] - self.heights[i])
+                        / (self.positions[i + 1] - self.positions[i])
+                        + (self.positions[i + 1] - self.positions[i] - d)
+                            * (self.heights[i] - self.heights[i - 1])
+                            / (self.positions[i] - self.positions[i - 1]));
+            if self.heights[i - 1] < parabolic && parabolic < self.heights[i + 1] {
+                self.heights[i] = parabolic;
+            } else {
+                // Parabolic prediction left the bracket: fall back to linear.
+                let j = if d > 0.0 { i + 1 } else { i - 1 };
+                self.heights[i] += d * (self.heights[j] - self.heights[i])
+                    / (self.positions[j] - self.positions[i]);
+            }
+            self.positions[i] += d;
+        }
+    }
+}
+
+impl StreamingEstimator for P2Quantile {
+    fn observe(&mut self, x: f64) {
+        self.count += 1;
+        if self.count <= 5 {
+            self.buffer.push(x);
+            if self.count == 5 {
+                self.initialise();
+            }
+            return;
+        }
+        let k = if x < self.heights[0] {
+            self.heights[0] = x;
+            0
+        } else if x >= self.heights[4] {
+            self.heights[4] = x;
+            3
+        } else {
+            // Largest i in 0..=3 with heights[i] <= x.
+            (0..=3).rfind(|&i| self.heights[i] <= x).unwrap_or(0)
+        };
+        self.adjust(k);
+    }
+
+    fn count(&self) -> u64 {
+        self.count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn moments_match_the_batch_estimators() {
+        let values: Vec<f64> = (0..100).map(|i| f64::from(i) * 0.37 - 5.0).collect();
+        let mut m = StreamingMoments::new();
+        for &v in &values {
+            m.observe(v);
+        }
+        assert_eq!(m.count(), 100);
+        // Bit-identical to the naive in-order sum, not merely close.
+        assert_eq!(m.mean(), crate::estimators::mean(&values));
+        assert!((m.std_dev() - crate::estimators::std_dev(&values)).abs() < 1e-9);
+        assert_eq!(m.min, -5.0);
+        assert_eq!(m.max, 99.0 * 0.37 - 5.0);
+    }
+
+    #[test]
+    fn empty_and_single_moments_are_safe() {
+        let mut m = StreamingMoments::new();
+        assert_eq!(m.mean(), 0.0);
+        assert_eq!(m.variance(), 0.0);
+        m.observe(3.0);
+        assert_eq!(m.mean(), 3.0);
+        assert_eq!(m.variance(), 0.0);
+        assert_eq!(m.min, 3.0);
+        assert_eq!(m.max, 3.0);
+    }
+
+    #[test]
+    fn p2_rejects_degenerate_quantiles() {
+        assert!(P2Quantile::new(0.0).is_none());
+        assert!(P2Quantile::new(1.0).is_none());
+        assert!(P2Quantile::new(-0.5).is_none());
+        assert!(P2Quantile::new(0.5).is_some());
+    }
+
+    #[test]
+    fn p2_small_streams_interpolate_exactly() {
+        let mut sketch = P2Quantile::new(0.5).unwrap();
+        assert!(sketch.estimate().is_nan());
+        for x in [4.0, 1.0, 3.0] {
+            sketch.observe(x);
+        }
+        assert!((sketch.estimate() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn p2_tracks_quantiles_of_a_uniform_ramp() {
+        for (q, truth) in [(0.1, 100.0), (0.5, 500.0), (0.9, 900.0)] {
+            let mut sketch = P2Quantile::new(q).unwrap();
+            for i in 0..=1000 {
+                sketch.observe(f64::from(i));
+            }
+            let got = sketch.estimate();
+            assert!(
+                (got - truth).abs() < 25.0,
+                "q = {q}: got {got}, want ≈ {truth}"
+            );
+        }
+    }
+
+    #[test]
+    fn p2_survives_constant_streams() {
+        let mut sketch = P2Quantile::new(0.9).unwrap();
+        for _ in 0..100 {
+            sketch.observe(7.0);
+        }
+        assert_eq!(sketch.estimate(), 7.0);
+    }
+
+    #[test]
+    fn p2_snapshot_restore_round_trips_mid_stream() {
+        let mut original = P2Quantile::new(0.5).unwrap();
+        for i in 0..37 {
+            original.observe(f64::from(i * i % 23));
+        }
+        let mut restored = P2Quantile::restore(original.snapshot()).unwrap();
+        // Continuing both with the same tail keeps them identical.
+        for i in 0..50 {
+            original.observe(f64::from(i));
+            restored.observe(f64::from(i));
+        }
+        assert_eq!(original, restored);
+
+        // Round-trip also works before the sketch initialises.
+        let mut young = P2Quantile::new(0.1).unwrap();
+        young.observe(2.0);
+        young.observe(9.0);
+        let back = P2Quantile::restore(young.snapshot()).unwrap();
+        assert_eq!(young, back);
+    }
+
+    #[test]
+    fn p2_restore_rejects_inconsistent_state() {
+        let mut state = P2Quantile::new(0.5).unwrap().snapshot();
+        state.count = 3; // but buffer is empty
+        assert!(P2Quantile::restore(state).is_none());
+        let mut bad_q = P2Quantile::new(0.5).unwrap().snapshot();
+        bad_q.q = 1.5;
+        assert!(P2Quantile::restore(bad_q).is_none());
+    }
+}

@@ -15,7 +15,7 @@ use analysis::Table;
 use breathe::{BroadcastProtocol, InitialSet, MajorityConsensusProtocol, Multipliers, Params};
 use flip_model::Opinion;
 
-use crate::{ExperimentConfig, TrialRunner};
+use crate::ExperimentConfig;
 
 /// **A1 — how much initial bias does the boosting stage need?**
 ///
@@ -47,7 +47,7 @@ pub fn a1_required_initial_bias(cfg: &ExperimentConfig) -> Table {
         let initial = InitialSet::with_bias(n, bias).expect("valid bias");
         let protocol = MajorityConsensusProtocol::new(params.clone(), Opinion::One, initial)
             .expect("valid initial set");
-        let runner = TrialRunner::new(u64::from(cfg.trials));
+        let runner = cfg.runner();
         let outcomes = runner.run(|trial| {
             protocol
                 .run_with_seed(cfg.seed_for(2_000 + idx as u64, trial))
@@ -94,7 +94,7 @@ pub fn a2_gamma_requirement(cfg: &ExperimentConfig) -> Table {
         };
         let params = Params::with_multipliers(n, epsilon, multipliers).expect("valid parameters");
         let protocol = BroadcastProtocol::new(params.clone(), Opinion::One);
-        let runner = TrialRunner::new(u64::from(cfg.trials));
+        let runner = cfg.runner();
         let outcomes = runner.run(|trial| {
             protocol
                 .run_with_seed(cfg.seed_for(2_100 + idx as u64, trial))
@@ -142,7 +142,7 @@ pub fn a3_phase0_requirement(cfg: &ExperimentConfig) -> Table {
         };
         let params = Params::with_multipliers(n, epsilon, multipliers).expect("valid parameters");
         let protocol = BroadcastProtocol::new(params.clone(), Opinion::One);
-        let runner = TrialRunner::new(u64::from(cfg.trials));
+        let runner = cfg.runner();
         let outcomes = runner.run(|trial| {
             protocol
                 .run_with_seed(cfg.seed_for(2_200 + idx as u64, trial))

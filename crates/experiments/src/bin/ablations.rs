@@ -1,11 +1,17 @@
 //! Experiment binary `ablations`: design-choice ablations A1-A3.
 //!
-//! Usage: `cargo run --release -p experiments --bin ablations [-- --full]`
+//! Usage: `cargo run --release -p experiments --bin ablations [-- --full]
+//! [--trials N] [--threads N]`
+//!
+//! A2 (the Stage II sample-count sweep) runs through the registry-backed
+//! `a2` sweep spec (`experiments::specs`); A1 and A3 remain direct loops.
 
 fn main() {
-    let cfg = experiments::config_from_args(std::env::args().skip(1));
-    experiments::require_agents_backend(&cfg, "ablations");
-    for table in experiments::ablations::all(&cfg) {
-        println!("{}", table.to_markdown());
-    }
+    experiments::cli::run_tables("ablations", true, |cfg| {
+        vec![
+            experiments::ablations::a1_required_initial_bias(cfg),
+            experiments::specs::a2_table(cfg),
+            experiments::ablations::a3_phase0_requirement(cfg),
+        ]
+    });
 }

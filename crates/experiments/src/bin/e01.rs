@@ -1,23 +1,19 @@
 //! Experiment binary `e01`: broadcast rounds vs n (Theorem 2.17).
 //!
-//! Usage: `cargo run --release -p experiments --bin e01 [-- --full] [--backend dense|agents]`
+//! Usage: `cargo run --release -p experiments --bin e01 [-- --full]
+//! [--backend dense|agents] [--trials N] [--threads N]`
 //!
-//! With `--backend dense` the binary runs the dense-engine scaling variant
-//! E1-D, which sweeps populations of 10⁵–10⁶⁺ agents; the default per-agent
-//! backend runs the protocol-level sweep E1.
+//! A thin wrapper over the registry-backed sweeps `e01` / `e01-dense`
+//! (`experiments::specs`): with `--backend dense` it runs the dense-engine
+//! scaling variant E1-D at populations of 10⁵–10⁶⁺ agents; the default
+//! per-agent backend runs the protocol-level sweep E1.  The same sweeps are
+//! available with persistence and resume via the `sweep` binary.
 
 use flip_model::Backend;
 
 fn main() {
-    let cfg = experiments::config_from_args(std::env::args().skip(1));
-    match cfg.backend {
-        Backend::Dense => println!(
-            "{}",
-            experiments::scaling::e01_dense_scaling(&cfg).to_markdown()
-        ),
-        Backend::Agents => println!(
-            "{}",
-            experiments::scaling::e01_rounds_vs_n(&cfg).to_markdown()
-        ),
-    }
+    experiments::cli::run_tables("e01", false, |cfg| match cfg.backend {
+        Backend::Dense => vec![experiments::specs::e01_dense_table(cfg)],
+        Backend::Agents => vec![experiments::specs::e01_table(cfg)],
+    });
 }

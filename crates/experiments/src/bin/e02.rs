@@ -1,12 +1,10 @@
 //! Experiment binary `e02`: broadcast rounds vs epsilon (Theorem 2.17).
 //!
-//! Usage: `cargo run --release -p experiments --bin e02 [-- --full]`
+//! Usage: `cargo run --release -p experiments --bin e02 [-- --full]
+//! [--trials N] [--threads N]`
 
 fn main() {
-    let cfg = experiments::config_from_args(std::env::args().skip(1));
-    experiments::require_agents_backend(&cfg, "e02");
-    println!(
-        "{}",
-        experiments::scaling::e02_rounds_vs_epsilon(&cfg).to_markdown()
-    );
+    experiments::cli::run_tables("e02", true, |cfg| {
+        vec![experiments::scaling::e02_rounds_vs_epsilon(cfg)]
+    });
 }

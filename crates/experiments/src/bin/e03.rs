@@ -1,12 +1,10 @@
 //! Experiment binary `e03`: message complexity (Theorem 2.17).
 //!
-//! Usage: `cargo run --release -p experiments --bin e03 [-- --full]`
+//! Usage: `cargo run --release -p experiments --bin e03 [-- --full]
+//! [--trials N] [--threads N]`
 
 fn main() {
-    let cfg = experiments::config_from_args(std::env::args().skip(1));
-    experiments::require_agents_backend(&cfg, "e03");
-    println!(
-        "{}",
-        experiments::scaling::e03_message_complexity(&cfg).to_markdown()
-    );
+    experiments::cli::run_tables("e03", true, |cfg| {
+        vec![experiments::scaling::e03_message_complexity(cfg)]
+    });
 }

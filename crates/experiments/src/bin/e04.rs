@@ -1,12 +1,10 @@
 //! Experiment binary `e04`: phase-0 activation and bias (Claim 2.2).
 //!
-//! Usage: `cargo run --release -p experiments --bin e04 [-- --full]`
+//! Usage: `cargo run --release -p experiments --bin e04 [-- --full]
+//! [--trials N] [--threads N]`
 
 fn main() {
-    let cfg = experiments::config_from_args(std::env::args().skip(1));
-    experiments::require_agents_backend(&cfg, "e04");
-    println!(
-        "{}",
-        experiments::stage_claims::e04_phase0_seeding(&cfg).to_markdown()
-    );
+    experiments::cli::run_tables("e04", true, |cfg| {
+        vec![experiments::stage_claims::e04_phase0_seeding(cfg)]
+    });
 }

@@ -1,12 +1,10 @@
 //! Experiment binary `e05`: Stage I layer growth (Claim 2.4).
 //!
-//! Usage: `cargo run --release -p experiments --bin e05 [-- --full]`
+//! Usage: `cargo run --release -p experiments --bin e05 [-- --full]
+//! [--trials N] [--threads N]`
 
 fn main() {
-    let cfg = experiments::config_from_args(std::env::args().skip(1));
-    experiments::require_agents_backend(&cfg, "e05");
-    println!(
-        "{}",
-        experiments::stage_claims::e05_layer_growth(&cfg).to_markdown()
-    );
+    experiments::cli::run_tables("e05", true, |cfg| {
+        vec![experiments::stage_claims::e05_layer_growth(cfg)]
+    });
 }

@@ -1,12 +1,10 @@
 //! Experiment binary `e06`: per-level bias decay (Claim 2.8, Lemma 2.3).
 //!
-//! Usage: `cargo run --release -p experiments --bin e06 [-- --full]`
+//! Usage: `cargo run --release -p experiments --bin e06 [-- --full]
+//! [--trials N] [--threads N]`
 
 fn main() {
-    let cfg = experiments::config_from_args(std::env::args().skip(1));
-    experiments::require_agents_backend(&cfg, "e06");
-    println!(
-        "{}",
-        experiments::stage_claims::e06_bias_decay(&cfg).to_markdown()
-    );
+    experiments::cli::run_tables("e06", true, |cfg| {
+        vec![experiments::stage_claims::e06_bias_decay(cfg)]
+    });
 }

@@ -1,11 +1,10 @@
 //! Experiment binary `e07`: Stage II boost (Lemmas 2.11 and 2.14).
 //!
-//! Usage: `cargo run --release -p experiments --bin e07 [-- --full]`
+//! Usage: `cargo run --release -p experiments --bin e07 [-- --full]
+//! [--trials N] [--threads N]`
 
 fn main() {
-    let cfg = experiments::config_from_args(std::env::args().skip(1));
-    experiments::require_agents_backend(&cfg, "e07");
-    for table in experiments::stage_claims::e07_stage2_boost(&cfg) {
-        println!("{}", table.to_markdown());
-    }
+    experiments::cli::run_tables("e07", true, |cfg| {
+        experiments::stage_claims::e07_stage2_boost(cfg)
+    });
 }

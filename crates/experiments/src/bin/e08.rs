@@ -1,23 +1,19 @@
 //! Experiment binary `e08`: noisy majority-consensus (Corollary 2.18).
 //!
-//! Usage: `cargo run --release -p experiments --bin e08 [-- --full] [--backend dense|agents]`
+//! Usage: `cargo run --release -p experiments --bin e08 [-- --full]
+//! [--backend dense|agents] [--trials N] [--threads N]`
 //!
-//! With `--backend dense` the binary runs the dense-engine variant E8-D,
-//! which measures the Stage II majority boost on populations of 10⁵–10⁶⁺
-//! agents; the default per-agent backend runs the full protocol sweep E8.
+//! A thin wrapper over the registry-backed sweeps `e08` / `e08-dense`
+//! (`experiments::specs`): with `--backend dense` it measures the Stage II
+//! majority boost on populations of 10⁵–10⁶⁺ agents; the default per-agent
+//! backend runs the full protocol sweep E8.  The same sweeps are available
+//! with persistence and resume via the `sweep` binary.
 
 use flip_model::Backend;
 
 fn main() {
-    let cfg = experiments::config_from_args(std::env::args().skip(1));
-    match cfg.backend {
-        Backend::Dense => println!(
-            "{}",
-            experiments::consensus::e08_dense_majority(&cfg).to_markdown()
-        ),
-        Backend::Agents => println!(
-            "{}",
-            experiments::consensus::e08_majority_consensus(&cfg).to_markdown()
-        ),
-    }
+    experiments::cli::run_tables("e08", false, |cfg| match cfg.backend {
+        Backend::Dense => vec![experiments::specs::e08_dense_table(cfg)],
+        Backend::Agents => vec![experiments::specs::e08_table(cfg)],
+    });
 }

@@ -1,12 +1,10 @@
 //! Experiment binary `e09`: removing the global clock (Theorem 3.1).
 //!
-//! Usage: `cargo run --release -p experiments --bin e09 [-- --full]`
+//! Usage: `cargo run --release -p experiments --bin e09 [-- --full]
+//! [--trials N] [--threads N]`
 
 fn main() {
-    let cfg = experiments::config_from_args(std::env::args().skip(1));
-    experiments::require_agents_backend(&cfg, "e09");
-    println!(
-        "{}",
-        experiments::scaling::e09_async_overhead(&cfg).to_markdown()
-    );
+    experiments::cli::run_tables("e09", true, |cfg| {
+        vec![experiments::scaling::e09_async_overhead(cfg)]
+    });
 }

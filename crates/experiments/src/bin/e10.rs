@@ -1,12 +1,10 @@
 //! Experiment binary `e10`: baseline comparison (sections 1.2 and 1.6).
 //!
-//! Usage: `cargo run --release -p experiments --bin e10 [-- --full]`
+//! Usage: `cargo run --release -p experiments --bin e10 [-- --full]
+//! [--trials N] [--threads N]`
 
 fn main() {
-    let cfg = experiments::config_from_args(std::env::args().skip(1));
-    experiments::require_agents_backend(&cfg, "e10");
-    println!(
-        "{}",
-        experiments::comparisons::e10_baseline_comparison(&cfg).to_markdown()
-    );
+    experiments::cli::run_tables("e10", true, |cfg| {
+        vec![experiments::comparisons::e10_baseline_comparison(cfg)]
+    });
 }

@@ -1,12 +1,10 @@
 //! Experiment binary `e11`: per-hop reliability decay (section 1.6).
 //!
-//! Usage: `cargo run --release -p experiments --bin e11 [-- --full]`
+//! Usage: `cargo run --release -p experiments --bin e11 [-- --full]
+//! [--trials N] [--threads N]`
 
 fn main() {
-    let cfg = experiments::config_from_args(std::env::args().skip(1));
-    experiments::require_agents_backend(&cfg, "e11");
-    println!(
-        "{}",
-        experiments::comparisons::e11_path_deterioration(&cfg).to_markdown()
-    );
+    experiments::cli::run_tables("e11", true, |cfg| {
+        vec![experiments::comparisons::e11_path_deterioration(cfg)]
+    });
 }

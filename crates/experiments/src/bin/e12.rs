@@ -1,12 +1,10 @@
 //! Experiment binary `e12`: two-party lower bound (section 1.4).
 //!
-//! Usage: `cargo run --release -p experiments --bin e12 [-- --full]`
+//! Usage: `cargo run --release -p experiments --bin e12 [-- --full]
+//! [--trials N] [--threads N]`
 
 fn main() {
-    let cfg = experiments::config_from_args(std::env::args().skip(1));
-    experiments::require_agents_backend(&cfg, "e12");
-    println!(
-        "{}",
-        experiments::comparisons::e12_two_party_lower_bound(&cfg).to_markdown()
-    );
+    experiments::cli::run_tables("e12", true, |cfg| {
+        vec![experiments::comparisons::e12_two_party_lower_bound(cfg)]
+    });
 }

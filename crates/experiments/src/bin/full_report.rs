@@ -1,6 +1,7 @@
 //! Runs every experiment (E1-E12) and prints the combined markdown report.
 //!
-//! Usage: `cargo run --release -p experiments --bin full_report [-- --full]`
+//! Usage: `cargo run --release -p experiments --bin full_report [-- --full]
+//! [--trials N] [--threads N]`
 
 fn main() {
     let cfg = experiments::config_from_args(std::env::args().skip(1));

@@ -1,0 +1,269 @@
+//! `sweep` — the command-line face of the declarative sweep subsystem.
+//!
+//! ```text
+//! sweep list                          # builtin specs and registry protocols
+//! sweep gen e01 [--full] [--trials N] [--seed N]
+//!                                     # print a builtin spec as JSON
+//! sweep run spec.json --out DIR [--threads N] [--max-cells N]
+//!                                     # execute, checkpointing each cell
+//! sweep resume DIR [--threads N]      # finish a killed/interrupted sweep
+//! sweep export DIR --csv|--json [--out FILE] [--partial]
+//!                                     # deterministic, grid-ordered export
+//! ```
+//!
+//! A sweep directory holds a manifest (the spec plus its hash) and JSONL
+//! shards of completed cells; `run` on an existing directory, like `resume`,
+//! skips persisted cells.  Because every cell is a deterministic function of
+//! its hash-addressed spec, an interrupted-then-resumed sweep exports
+//! byte-identical output to an uninterrupted one.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use experiments::{specs, ExperimentConfig};
+use sweeps::{
+    export_csv, export_json, ordered_cells, ProtocolRegistry, SweepError, SweepRunner, SweepSpec,
+    SweepStore,
+};
+
+const USAGE: &str = "usage:
+  sweep list
+  sweep gen <name> [--full] [--trials N] [--seed N]
+  sweep run <spec.json> --out <dir> [--threads N] [--max-cells N]
+  sweep resume <dir> [--threads N] [--max-cells N]
+  sweep export <dir> --csv|--json [--out FILE] [--partial]";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("list") => cmd_list(),
+        Some("gen") => cmd_gen(&args[1..]),
+        Some("run") => cmd_run(&args[1..]),
+        Some("resume") => cmd_resume(&args[1..]),
+        Some("export") => cmd_export(&args[1..]),
+        Some("--help" | "-h" | "help") | None => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(SweepError::Spec(format!(
+            "unknown subcommand `{other}`\n{USAGE}"
+        ))),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(err) => {
+            eprintln!("sweep: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_list() -> Result<(), SweepError> {
+    println!("builtin sweeps (sweep gen <name>):");
+    let cfg = ExperimentConfig::quick();
+    for name in specs::BUILTIN_SWEEPS {
+        let spec = specs::builtin(name, &cfg).expect("builtin names resolve");
+        println!(
+            "  {name:<10} protocol={} backend={} cells={}",
+            spec.protocol,
+            spec.backend,
+            spec.grid_len()
+        );
+    }
+    println!("registered protocols:");
+    for (id, backends) in ProtocolRegistry::builtin().list() {
+        let names: Vec<&str> = backends.iter().map(|b| b.as_str()).collect();
+        println!("  {id:<20} backends: {}", names.join(", "));
+    }
+    Ok(())
+}
+
+fn cmd_gen(args: &[String]) -> Result<(), SweepError> {
+    // The sweep name must come first; everything after it (flags and their
+    // values) goes to the shared experiment-config parser.  Requiring the
+    // name up front keeps `gen --trials 2 e01` from misreading `2` as the
+    // name and `e01` as a flag value.
+    let Some((name, cfg_args)) = args.split_first() else {
+        return Err(SweepError::Spec(format!("gen needs a name\n{USAGE}")));
+    };
+    if name.starts_with('-') {
+        return Err(SweepError::Spec(format!(
+            "gen takes the sweep name first, then flags (got `{name}`)\n{USAGE}"
+        )));
+    }
+    let cfg = experiments::config_from_args(cfg_args.to_vec());
+    let spec = specs::builtin(name, &cfg).ok_or_else(|| {
+        SweepError::Spec(format!(
+            "unknown builtin sweep `{name}`; available: {}",
+            specs::BUILTIN_SWEEPS.join(", ")
+        ))
+    })?;
+    println!("{}", spec.to_pretty_json());
+    Ok(())
+}
+
+/// Shared flag parsing for `run` / `resume` / `export`.
+struct Flags {
+    positional: Vec<String>,
+    out: Option<PathBuf>,
+    threads: Option<usize>,
+    max_cells: Option<usize>,
+    csv: bool,
+    json: bool,
+    partial: bool,
+}
+
+fn parse_flags(args: &[String]) -> Result<Flags, SweepError> {
+    let mut flags = Flags {
+        positional: Vec::new(),
+        out: None,
+        threads: None,
+        max_cells: None,
+        csv: false,
+        json: false,
+        partial: false,
+    };
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let (flag, inline) = match arg.split_once('=') {
+            Some((f, v)) => (f, Some(v.to_string())),
+            None => (arg.as_str(), None),
+        };
+        let mut value = |name: &str| -> Result<String, SweepError> {
+            inline.clone().map_or_else(
+                || {
+                    iter.next()
+                        .cloned()
+                        .ok_or_else(|| SweepError::Spec(format!("{name} requires a value")))
+                },
+                Ok,
+            )
+        };
+        match flag {
+            "--out" => flags.out = Some(PathBuf::from(value("--out")?)),
+            "--threads" => {
+                flags.threads = Some(parse_positive(&value("--threads")?, "--threads")?);
+            }
+            "--max-cells" => {
+                flags.max_cells = Some(parse_positive(&value("--max-cells")?, "--max-cells")?);
+            }
+            "--csv" => flags.csv = true,
+            "--json" => flags.json = true,
+            "--partial" => flags.partial = true,
+            // Single-dash typos (`-threads`) must not pass as positionals.
+            other if other.starts_with('-') => {
+                return Err(SweepError::Spec(format!("unknown flag `{other}`\n{USAGE}")));
+            }
+            _ => flags.positional.push(arg.clone()),
+        }
+    }
+    Ok(flags)
+}
+
+fn parse_positive(raw: &str, flag: &str) -> Result<usize, SweepError> {
+    match raw.parse::<usize>() {
+        Ok(n) if n >= 1 => Ok(n),
+        _ => Err(SweepError::Spec(format!(
+            "invalid {flag} value `{raw}`: expected an integer >= 1"
+        ))),
+    }
+}
+
+fn build_runner(flags: &Flags) -> SweepRunner {
+    let mut runner = SweepRunner::new();
+    if let Some(threads) = flags.threads {
+        runner = runner.with_threads(threads);
+    }
+    if let Some(max_cells) = flags.max_cells {
+        runner = runner.with_max_cells(max_cells);
+    }
+    runner
+}
+
+fn execute(spec: &SweepSpec, store: &SweepStore, flags: &Flags) -> Result<(), SweepError> {
+    let outcome = build_runner(flags).run(spec, &ProtocolRegistry::builtin(), Some(store))?;
+    println!(
+        "sweep `{}` ({}): {} cells total, {} executed, {} already persisted",
+        spec.name,
+        spec.hash_hex(),
+        outcome.total,
+        outcome.executed,
+        outcome.skipped,
+    );
+    if outcome.completed {
+        println!(
+            "complete; export with: sweep export {} --csv",
+            store.dir().display()
+        );
+    } else {
+        println!(
+            "incomplete ({}/{} cells); continue with: sweep resume {}",
+            outcome.skipped + outcome.executed,
+            outcome.total,
+            store.dir().display()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_run(args: &[String]) -> Result<(), SweepError> {
+    let flags = parse_flags(args)?;
+    let [spec_path] = flags.positional.as_slice() else {
+        return Err(SweepError::Spec(format!(
+            "run needs exactly one spec file\n{USAGE}"
+        )));
+    };
+    let text = std::fs::read_to_string(spec_path)
+        .map_err(|e| SweepError::Spec(format!("cannot read {spec_path}: {e}")))?;
+    let spec = SweepSpec::from_json_text(&text)?;
+    let out = flags
+        .out
+        .clone()
+        .ok_or_else(|| SweepError::Spec("run needs --out <dir>".into()))?;
+    let store = SweepStore::create(&out, &spec)?;
+    execute(&spec, &store, &flags)
+}
+
+fn cmd_resume(args: &[String]) -> Result<(), SweepError> {
+    let flags = parse_flags(args)?;
+    let [dir] = flags.positional.as_slice() else {
+        return Err(SweepError::Spec(format!(
+            "resume needs exactly one store directory\n{USAGE}"
+        )));
+    };
+    let (store, spec) = SweepStore::open(Path::new(dir))?;
+    execute(&spec, &store, &flags)
+}
+
+fn cmd_export(args: &[String]) -> Result<(), SweepError> {
+    let flags = parse_flags(args)?;
+    let [dir] = flags.positional.as_slice() else {
+        return Err(SweepError::Spec(format!(
+            "export needs exactly one store directory\n{USAGE}"
+        )));
+    };
+    if flags.csv == flags.json {
+        return Err(SweepError::Spec(
+            "export needs exactly one of --csv or --json".into(),
+        ));
+    }
+    let (store, spec) = SweepStore::open(Path::new(dir))?;
+    let records = store.load_cells()?;
+    let (pairs, missing) = ordered_cells(&spec, &records)?;
+    if missing > 0 && !flags.partial {
+        return Err(SweepError::Incomplete {
+            done: pairs.len(),
+            total: pairs.len() + missing,
+        });
+    }
+    let document = if flags.csv {
+        export_csv(&pairs)
+    } else {
+        export_json(&spec, &pairs)
+    };
+    match &flags.out {
+        Some(path) => std::fs::write(path, document)?,
+        None => print!("{document}"),
+    }
+    Ok(())
+}

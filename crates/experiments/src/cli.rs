@@ -1,0 +1,154 @@
+//! The shared command-line convention of every experiment binary.
+//!
+//! Before this module each of the 14 binaries re-implemented its own
+//! argument handling; they now all call [`run_tables`] (or [`parse_config`]
+//! directly) so a flag means the same thing everywhere:
+//!
+//! | flag                         | effect                                               |
+//! |------------------------------|------------------------------------------------------|
+//! | `--full`                     | full-scale grids and trials (default: quick)         |
+//! | `--backend agents\|dense`    | engine selection where a dense variant exists        |
+//! | `--trials N`                 | trials per configuration point                       |
+//! | `--threads N`                | worker-thread cap (`FLIP_THREADS` env is honoured when absent) |
+//! | `--seed N`                   | base seed override                                   |
+//!
+//! All flags accept both `--flag value` and `--flag=value`.  Unknown `--`
+//! flags panic with a usage message — a typo must never silently run a
+//! default configuration.
+
+use crate::{require_agents_backend, ExperimentConfig};
+use analysis::Table;
+
+/// Parses the shared flags into an [`ExperimentConfig`].
+///
+/// # Panics
+///
+/// Panics with a usage message on unknown `--` flags, missing values or
+/// unparseable numbers.
+#[must_use]
+pub fn parse_config<I: IntoIterator<Item = String>>(args: I) -> ExperimentConfig {
+    let args: Vec<String> = args.into_iter().collect();
+    let mut cfg = if args.iter().any(|a| a == "--full") {
+        ExperimentConfig::full()
+    } else {
+        ExperimentConfig::quick()
+    };
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        if arg == "--full" || !arg.starts_with('-') {
+            // Bare words (argv[0]-style) pass through; `--full` was handled
+            // above.  Anything starting with `-` falls through to the flag
+            // match so a single-dash typo (`-threads 4`) fails loudly
+            // instead of silently running a default configuration.
+            continue;
+        }
+        let (flag, value) = match arg.split_once('=') {
+            Some((flag, value)) => (flag, Some(value.to_string())),
+            None => (arg.as_str(), None),
+        };
+        let mut value = || {
+            value.clone().unwrap_or_else(|| {
+                iter.next()
+                    .unwrap_or_else(|| panic!("{flag} requires a value"))
+                    .clone()
+            })
+        };
+        match flag {
+            "--backend" => {
+                cfg.backend = value()
+                    .parse()
+                    .unwrap_or_else(|e| panic!("invalid --backend value: {e}"));
+            }
+            "--trials" => {
+                cfg.trials = parse_number(flag, &value());
+                assert!(cfg.trials >= 1, "--trials must be >= 1");
+            }
+            "--threads" => {
+                let threads: usize = parse_number(flag, &value());
+                assert!(threads >= 1, "--threads must be >= 1");
+                cfg.threads = Some(threads);
+            }
+            "--seed" => cfg.base_seed = parse_number(flag, &value()),
+            other => panic!(
+                "unknown flag `{other}`; supported: --full --backend --trials --threads --seed"
+            ),
+        }
+    }
+    cfg
+}
+
+fn parse_number<T: std::str::FromStr>(flag: &str, raw: &str) -> T {
+    raw.parse()
+        .unwrap_or_else(|_| panic!("invalid {flag} value `{raw}`: expected a number"))
+}
+
+/// The whole body of an experiment binary: parse `std::env::args`, enforce
+/// the backend guard for agents-only experiments, run, print markdown.
+///
+/// # Panics
+///
+/// Panics on invalid flags (see [`parse_config`]) and when `agents_only`
+/// rejects a `--backend dense` selection.
+pub fn run_tables<F>(binary: &str, agents_only: bool, experiment: F)
+where
+    F: FnOnce(&ExperimentConfig) -> Vec<Table>,
+{
+    let cfg = parse_config(std::env::args().skip(1));
+    if agents_only {
+        require_agents_backend(&cfg, binary);
+    }
+    for table in experiment(&cfg) {
+        println!("{}", table.to_markdown());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flip_model::Backend;
+
+    fn parse(args: &[&str]) -> ExperimentConfig {
+        parse_config(args.iter().map(ToString::to_string))
+    }
+
+    #[test]
+    fn extended_flags_parse_in_both_spellings() {
+        let cfg = parse(&["--trials", "17", "--threads=2", "--seed", "99"]);
+        assert_eq!(cfg.trials, 17);
+        assert_eq!(cfg.threads, Some(2));
+        assert_eq!(cfg.base_seed, 99);
+        assert!(cfg.quick);
+
+        let cfg = parse(&["--full", "--trials=3", "--backend=dense"]);
+        assert_eq!(cfg.trials, 3);
+        assert!(!cfg.quick);
+        assert_eq!(cfg.backend, Backend::Dense);
+        assert_eq!(cfg.threads, None);
+    }
+
+    #[test]
+    fn non_flag_arguments_are_ignored() {
+        // argv[0]-style words pass through untouched.
+        let cfg = parse(&["e01", "quick"]);
+        assert_eq!(cfg, ExperimentConfig::quick());
+    }
+
+    #[test]
+    fn invalid_inputs_fail_loudly() {
+        for bad in [
+            vec!["--trials"],
+            vec!["--trials", "zero"],
+            vec!["--trials=0"],
+            vec!["--threads", "0"],
+            vec!["--verbose"],
+            vec!["--seed", "abc"],
+            // Single-dash typos must not silently run defaults.
+            vec!["-threads", "4"],
+            vec!["-full"],
+        ] {
+            let owned: Vec<String> = bad.iter().map(ToString::to_string).collect();
+            let result = std::panic::catch_unwind(|| parse_config(owned.clone()));
+            assert!(result.is_err(), "{bad:?} must be rejected");
+        }
+    }
+}

@@ -13,7 +13,7 @@ use baselines::{
 use breathe::{BroadcastProtocol, Params};
 use flip_model::Opinion;
 
-use crate::{ExperimentConfig, TrialRunner};
+use crate::ExperimentConfig;
 
 /// **E10 (§1.2, §1.6)** — final accuracy of breathe-before-speaking versus the
 /// baselines, all solving the broadcast problem (one informed source) with the
@@ -42,7 +42,7 @@ pub fn e10_baseline_comparison(cfg: &ExperimentConfig) -> Table {
         let params = Params::practical(n, epsilon).expect("valid parameters");
         let budget = params.total_rounds();
         let correct = Opinion::One;
-        let runner = TrialRunner::new(u64::from(cfg.trials));
+        let runner = cfg.runner();
 
         // Breathe before speaking (ours).
         let breathe_protocol = BroadcastProtocol::new(params.clone(), correct);

@@ -10,7 +10,7 @@ use flip_model::{
     BinarySymmetricChannel, DenseSimulation, MajoritySamplerProtocol, Opinion, SimulationConfig,
 };
 
-use crate::{ExperimentConfig, TrialRunner};
+use crate::ExperimentConfig;
 
 /// The initial-set sizes swept by E8.
 #[must_use]
@@ -65,7 +65,7 @@ pub fn e08_majority_consensus(cfg: &ExperimentConfig) -> Table {
             }
             let protocol = MajorityConsensusProtocol::new(params.clone(), Opinion::One, initial)
                 .expect("valid initial set");
-            let runner = TrialRunner::new(u64::from(cfg.trials));
+            let runner = cfg.runner();
             let outcomes = runner.run(|trial| {
                 protocol
                     .run_with_seed(cfg.seed_for(point, trial))
@@ -140,7 +140,7 @@ pub fn e08_dense_majority(cfg: &ExperimentConfig) -> Table {
         for &bias in &dense_bias_grid(cfg) {
             let correct = ((0.5 + bias) * n as f64).round() as u64;
             let phases = 2 * (n as f64).log2().ceil() as u64;
-            let runner = TrialRunner::new(u64::from(cfg.trials));
+            let runner = cfg.runner();
             let outcomes = runner.run(|trial| {
                 let sampler = MajoritySamplerProtocol::new(phase_len);
                 let population = sampler.population(n - correct, correct);

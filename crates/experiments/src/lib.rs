@@ -5,9 +5,8 @@
 //! comparisons of §1.4 and §1.6.  Each becomes an experiment `E1`–`E12`
 //! (see `DESIGN.md` for the index); this crate provides:
 //!
-//! * [`runner`] — a deterministic multi-trial runner that fans trials out over
-//!   threads (std scoped threads, lock-free chunked result writes) while
-//!   keeping per-trial seeds stable,
+//! * [`cli`] — the shared command-line convention of every experiment
+//!   binary (`--full`, `--backend`, `--trials`, `--threads`, `--seed`),
 //! * [`scaling`] — E1–E3 and E9: round/message complexity scaling and the
 //!   local-clock overhead,
 //! * [`stage_claims`] — E4–E7: the Stage I claims (2.2, 2.4/2.5/2.7, 2.8) and
@@ -18,7 +17,14 @@
 //!   Stage II sample count, phase-0 length),
 //! * [`comparisons`] — E10–E12: baseline comparison, path deterioration and
 //!   the two-party lower bound,
+//! * [`specs`] — the registry-backed sweep specs: E1, E1-D, E8, E8-D and A2
+//!   expressed as declarative [`sweeps::SweepSpec`]s, plus renderers that
+//!   reproduce the legacy tables digit-for-digit from sweep aggregates,
 //! * [`report`] — assembling the tables into a markdown report.
+//!
+//! Multi-trial fan-out lives in [`sweeps::TrialRunner`] (re-exported here as
+//! [`TrialRunner`]); grid-level orchestration, persistence and resume live in
+//! the [`sweeps`] crate driven by the `sweep` binary.
 //!
 //! Every experiment function takes an [`ExperimentConfig`] and returns one or
 //! more [`analysis::Table`]s, so the same code path serves the `e01`…`e12`
@@ -28,15 +34,16 @@
 #![warn(missing_docs)]
 
 pub mod ablations;
+pub mod cli;
 pub mod comparisons;
 pub mod consensus;
 pub mod report;
-pub mod runner;
 pub mod scaling;
+pub mod specs;
 pub mod stage_claims;
 
 pub use report::Report;
-pub use runner::TrialRunner;
+pub use sweeps::{runner, TrialRunner};
 
 use flip_model::Backend;
 
@@ -56,6 +63,10 @@ pub struct ExperimentConfig {
     /// exact per-agent engine, or the dense counts-based engine that reaches
     /// `n = 10⁶⁺` (selected on the command line with `--backend dense`).
     pub backend: Backend,
+    /// Worker-thread override (`--threads`); `None` defers to
+    /// [`sweeps::default_threads`] (the `FLIP_THREADS` environment variable,
+    /// or the machine width).
+    pub threads: Option<usize>,
 }
 
 impl ExperimentConfig {
@@ -67,6 +78,7 @@ impl ExperimentConfig {
             base_seed: 0xBEA7_4E5E,
             quick: true,
             backend: Backend::Agents,
+            threads: None,
         }
     }
 
@@ -78,6 +90,7 @@ impl ExperimentConfig {
             base_seed: 0xBEA7_4E5E,
             quick: false,
             backend: Backend::Agents,
+            threads: None,
         }
     }
 
@@ -109,6 +122,18 @@ impl ExperimentConfig {
         use flip_model::SimRng;
         SimRng::stream_seed(SimRng::stream_seed(self.base_seed, point), trial)
     }
+
+    /// A [`TrialRunner`] for one configuration point, honouring the
+    /// `--threads` override (and, through [`TrialRunner::new`], the
+    /// `FLIP_THREADS` environment variable).
+    #[must_use]
+    pub fn runner(&self) -> TrialRunner {
+        let runner = TrialRunner::new(u64::from(self.trials));
+        match self.threads {
+            Some(threads) => runner.with_threads(threads),
+            None => runner,
+        }
+    }
 }
 
 impl Default for ExperimentConfig {
@@ -117,42 +142,16 @@ impl Default for ExperimentConfig {
     }
 }
 
-/// Parses the standard command-line convention of the experiment binaries:
-/// `--full` selects [`ExperimentConfig::full`] (anything else stays quick) and
-/// `--backend dense|agents` (or `--backend=dense`) selects the simulation
-/// engine for experiments that support both.
+/// Parses the standard command-line convention of the experiment binaries
+/// (see [`cli::parse_config`] for the accepted flags).
 ///
 /// # Panics
 ///
-/// Panics with a usage message on an unknown or missing `--backend` value, so
-/// a typo fails a binary invocation loudly instead of silently running the
-/// default engine.
+/// Panics with a usage message on unknown flags or invalid values, so a typo
+/// fails a binary invocation loudly instead of silently running a default.
 #[must_use]
 pub fn config_from_args<I: IntoIterator<Item = String>>(args: I) -> ExperimentConfig {
-    let args: Vec<String> = args.into_iter().collect();
-    let mut cfg = if args.iter().any(|a| a == "--full") {
-        ExperimentConfig::full()
-    } else {
-        ExperimentConfig::quick()
-    };
-    let mut iter = args.iter();
-    while let Some(arg) = iter.next() {
-        let value = if arg == "--backend" {
-            Some(
-                iter.next()
-                    .unwrap_or_else(|| panic!("--backend requires a value: agents or dense"))
-                    .as_str(),
-            )
-        } else {
-            arg.strip_prefix("--backend=")
-        };
-        if let Some(value) = value {
-            cfg.backend = value
-                .parse()
-                .unwrap_or_else(|e| panic!("invalid --backend value: {e}"));
-        }
-    }
-    cfg
+    cli::parse_config(args)
 }
 
 /// Guard for binaries whose experiments exist only on the per-agent engine:
@@ -251,5 +250,16 @@ mod tests {
     #[should_panic(expected = "invalid --backend")]
     fn unknown_backend_fails_loudly() {
         let _ = config_from_args(vec!["--backend".to_string(), "gpu".to_string()]);
+    }
+
+    #[test]
+    fn runner_honours_the_threads_override() {
+        let mut cfg = ExperimentConfig::quick();
+        cfg.trials = 64;
+        cfg.threads = Some(3);
+        assert_eq!(cfg.runner().threads(), 3);
+        assert_eq!(cfg.runner().trials(), 64);
+        cfg.threads = None;
+        assert!(cfg.runner().threads() >= 1);
     }
 }

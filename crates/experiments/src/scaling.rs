@@ -12,7 +12,7 @@ use flip_model::{
     Simulation, SimulationConfig,
 };
 
-use crate::{ExperimentConfig, TrialRunner};
+use crate::ExperimentConfig;
 
 /// The population sizes swept by E1/E3.
 #[must_use]
@@ -43,7 +43,7 @@ fn broadcast_point(
 ) -> (SuccessRate, f64, f64, u64, u64) {
     let params = Params::practical(n, epsilon).expect("grid parameters are valid");
     let protocol = BroadcastProtocol::new(params, Opinion::One);
-    let runner = TrialRunner::new(u64::from(cfg.trials));
+    let runner = cfg.runner();
     let outcomes = runner.run(|trial| {
         protocol
             .run_with_seed(cfg.seed_for(point, trial))
@@ -282,7 +282,7 @@ pub fn e01_dense_scaling(cfg: &ExperimentConfig) -> Table {
             continue;
         }
         let backend = cfg.backend;
-        let runner = TrialRunner::new(u64::from(cfg.trials));
+        let runner = cfg.runner();
         let trials = runner.run(|trial| {
             dense_scaling_trial(
                 backend,
@@ -351,7 +351,7 @@ pub fn e09_async_overhead(cfg: &ExperimentConfig) -> Table {
         ];
         for (name, variant) in variants {
             let protocol = AsyncBroadcastProtocol::new(params.clone(), Opinion::One, variant);
-            let runner = TrialRunner::new(u64::from(cfg.trials));
+            let runner = cfg.runner();
             let outcomes = runner.run(|trial| {
                 protocol
                     .run_with_seed(cfg.seed_for(point, trial))

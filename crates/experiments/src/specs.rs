@@ -1,0 +1,538 @@
+//! Registry-backed sweep specs for the migrated experiments.
+//!
+//! E1 (broadcast scaling), E1-D (dense rumor at large `n`), E8 (majority
+//! consensus), E8-D (dense majority boost) and ablation A2 (Stage II sample
+//! count) are expressed here as declarative [`SweepSpec`]s instead of
+//! hand-rolled loops.  Their binaries are thin wrappers: build the spec, run
+//! it through the [`sweeps`] orchestrator, render the legacy table from the
+//! streamed aggregates.
+//!
+//! **The migration contract:** for every migrated experiment, the sweep uses
+//! the same protocol constructions, the same grid order and the same
+//! `(base_seed, point, trial)` seed derivation as the legacy loop — so the
+//! rendered table is digit-for-digit identical to the legacy function's
+//! (`tests/spec_equivalence.rs` pins this).  The same specs serialized to
+//! `specs/*.json` drive the standalone `sweep` binary, which adds
+//! persistence, resume and CSV/JSON export on top.
+
+use std::collections::BTreeMap;
+
+use analysis::estimators::SuccessRate;
+use analysis::fitting::fit_linear;
+use analysis::tables::fmt_float;
+use analysis::Table;
+use breathe::{InitialSet, Multipliers, Params};
+use flip_model::Backend;
+use sweeps::{
+    Axis, CellRecord, MetricAggregate, ProtocolRegistry, ScenarioSpec, SweepRunner, SweepSpec,
+};
+
+use crate::{consensus, scaling, ExperimentConfig};
+
+/// A sweep result in grid order: each cell's resolved spec with its record.
+pub type CellPairs = Vec<(ScenarioSpec, CellRecord)>;
+
+/// The names accepted by [`builtin`] (and the `sweep gen`/`sweep list`
+/// subcommands), in presentation order.
+pub const BUILTIN_SWEEPS: [&str; 5] = ["e01", "e01-dense", "e08", "e08-dense", "a2"];
+
+/// Builds the named builtin sweep for the given configuration; `None` for
+/// unknown names.
+#[must_use]
+pub fn builtin(name: &str, cfg: &ExperimentConfig) -> Option<SweepSpec> {
+    match name {
+        "e01" => Some(e01_sweep(cfg)),
+        "e01-dense" => Some(e01_dense_sweep(cfg)),
+        "e08" => Some(e08_sweep(cfg)),
+        "e08-dense" => Some(e08_dense_sweep(cfg)),
+        "a2" => Some(a2_sweep(cfg)),
+        _ => None,
+    }
+}
+
+/// Runs a spec in memory (no store) with the builtin registry, honouring the
+/// configuration's `--threads` override, and pairs each cell spec with its
+/// record in grid order.
+///
+/// # Panics
+///
+/// Panics when the sweep fails — for builtin specs that means a bug, and the
+/// experiment binaries have no useful way to continue.
+#[must_use]
+pub fn run_in_memory(spec: &SweepSpec, cfg: &ExperimentConfig) -> CellPairs {
+    let mut runner = SweepRunner::new();
+    if let Some(threads) = cfg.threads {
+        runner = runner.with_threads(threads);
+    }
+    let outcome = runner
+        .run(spec, &ProtocolRegistry::builtin(), None)
+        .unwrap_or_else(|e| panic!("sweep `{}` failed: {e}", spec.name));
+    assert!(
+        outcome.completed,
+        "in-memory sweeps always run the full grid"
+    );
+    let grid = spec.expand().expect("a spec that ran also expands");
+    grid.into_iter().zip(outcome.cells).collect()
+}
+
+fn params_map(pairs: &[(&str, f64)]) -> BTreeMap<String, f64> {
+    pairs.iter().map(|(k, v)| ((*k).to_string(), *v)).collect()
+}
+
+/// A metric aggregate or a loud failure naming what is missing.
+fn metric<'a>(record: &'a CellRecord, name: &str) -> &'a MetricAggregate {
+    record
+        .metrics
+        .get(name)
+        .unwrap_or_else(|| panic!("cell {} has no `{name}` metric", record.point))
+}
+
+/// Success-rate estimator from a 0/1 metric (the sum counts the successes).
+fn success_rate(record: &CellRecord, name: &str) -> SuccessRate {
+    let agg = metric(record, name);
+    SuccessRate::from_counts(agg.moments.sum as u64, agg.moments.count)
+}
+
+/// An integer-valued metric that is constant across a cell's trials (round
+/// counts fixed by the protocol schedule).
+fn constant_u64(record: &CellRecord, name: &str) -> u64 {
+    let agg = metric(record, name);
+    agg.moments.min as u64
+}
+
+// ---------------------------------------------------------------------------
+// E1: broadcast rounds vs n (Theorem 2.17)
+// ---------------------------------------------------------------------------
+
+/// The migrated E1 sweep: `broadcast` over [`scaling::population_grid`] at
+/// `ε = 0.2`, seed points `0, 1, …` — the legacy loop's numbering.
+#[must_use]
+pub fn e01_sweep(cfg: &ExperimentConfig) -> SweepSpec {
+    SweepSpec {
+        name: "e01".into(),
+        protocol: "broadcast".into(),
+        backend: Backend::Agents,
+        trials: cfg.trials,
+        base_seed: cfg.base_seed,
+        point_base: 0,
+        rounds: 0,
+        defaults: params_map(&[("epsilon", 0.2)]),
+        axes: vec![Axis {
+            key: "n".into(),
+            values: scaling::population_grid(cfg)
+                .into_iter()
+                .map(|n| n as f64)
+                .collect(),
+        }],
+    }
+}
+
+/// Runs the migrated E1 sweep and renders the legacy table (digit-identical
+/// to [`scaling::e01_rounds_vs_n`]).
+#[must_use]
+pub fn e01_table(cfg: &ExperimentConfig) -> Table {
+    render_e01(&run_in_memory(&e01_sweep(cfg), cfg))
+}
+
+/// Renders E1 from sweep aggregates (also used on persisted stores).
+#[must_use]
+pub fn render_e01(cells: &CellPairs) -> Table {
+    let epsilon = 0.2;
+    let mut table = Table::new(
+        "E1: broadcast rounds vs n (epsilon = 0.2, Theorem 2.17)",
+        &[
+            "n",
+            "rounds",
+            "rounds / (ln n / eps^2)",
+            "mean fraction correct",
+            "all-correct rate",
+            "wilson 95% low",
+        ],
+    );
+    let mut ln_ns = Vec::new();
+    let mut rounds_list = Vec::new();
+    for (spec, record) in cells {
+        let n = spec.n();
+        let rounds = constant_u64(record, "total_rounds");
+        let success = success_rate(record, "all_correct");
+        let scale = (n as f64).ln() / (epsilon * epsilon);
+        ln_ns.push((n as f64).ln());
+        rounds_list.push(rounds as f64);
+        table.push_row(&[
+            n.to_string(),
+            rounds.to_string(),
+            fmt_float(rounds as f64 / scale),
+            fmt_float(metric(record, "fraction_correct").moments.mean()),
+            fmt_float(success.estimate()),
+            fmt_float(success.wilson_interval(1.96).0),
+        ]);
+    }
+    if let Some(fit) = fit_linear(&ln_ns, &rounds_list) {
+        table.push_row(&[
+            "fit: rounds ~ a*ln n + b".to_string(),
+            format!("a = {}", fmt_float(fit.slope)),
+            format!("b = {}", fmt_float(fit.intercept)),
+            format!("R^2 = {}", fmt_float(fit.r_squared)),
+            String::new(),
+            String::new(),
+        ]);
+    }
+    table
+}
+
+// ---------------------------------------------------------------------------
+// E1-D: dense-engine rumor spreading at large n
+// ---------------------------------------------------------------------------
+
+/// The migrated E1-D sweep: dense `rumor` over
+/// [`scaling::dense_population_grid`], 1000 informed agents, `ε = 0.2`,
+/// capped at 500 rounds, seed points `1300, 1301, …`.
+#[must_use]
+pub fn e01_dense_sweep(cfg: &ExperimentConfig) -> SweepSpec {
+    SweepSpec {
+        name: "e01-dense".into(),
+        protocol: "rumor".into(),
+        backend: Backend::Dense,
+        trials: cfg.trials,
+        base_seed: cfg.base_seed,
+        point_base: 1_300,
+        rounds: 500,
+        defaults: params_map(&[("epsilon", 0.2), ("informed", 1_000.0)]),
+        axes: vec![Axis {
+            key: "n".into(),
+            values: scaling::dense_population_grid(cfg)
+                .into_iter()
+                .map(|n| n as f64)
+                .collect(),
+        }],
+    }
+}
+
+/// Runs the migrated E1-D sweep and renders the legacy table
+/// (digit-identical to [`scaling::e01_dense_scaling`] on the dense backend).
+#[must_use]
+pub fn e01_dense_table(cfg: &ExperimentConfig) -> Table {
+    render_e01_dense(&run_in_memory(&e01_dense_sweep(cfg), cfg))
+}
+
+/// Renders E1-D from sweep aggregates.
+#[must_use]
+pub fn render_e01_dense(cells: &CellPairs) -> Table {
+    let mut table = Table::new(
+        "E1-D: rumor spreading at large n (backend = dense, epsilon = 0.2)",
+        &[
+            "n",
+            "mean rounds to full activation",
+            "rounds / ln n",
+            "mean fraction holding source bit",
+            "mean messages sent",
+        ],
+    );
+    for (spec, record) in cells {
+        let n = spec.n();
+        let rounds = metric(record, "rounds").moments.mean();
+        table.push_row(&[
+            n.to_string(),
+            fmt_float(rounds),
+            fmt_float(rounds / (n as f64).ln()),
+            fmt_float(metric(record, "fraction_correct").moments.mean()),
+            fmt_float(metric(record, "messages_sent").moments.mean()),
+        ]);
+    }
+    table
+}
+
+// ---------------------------------------------------------------------------
+// E8: noisy majority-consensus (Corollary 2.18)
+// ---------------------------------------------------------------------------
+
+/// The migrated E8 sweep: `majority-consensus` over
+/// [`consensus::initial_set_grid`] × [`consensus::bias_grid`] at
+/// `n = pick(1000, 4000)`, `ε = 0.3`, seed points `800, 801, …`.
+///
+/// # Panics
+///
+/// Panics if a grid combination would have been skipped by the legacy loop
+/// (set larger than `n`, or a bias that rounds to a tie) — the declarative
+/// grid is a plain cross product, so a skip would silently shift every
+/// later seed point off the legacy numbering.
+#[must_use]
+pub fn e08_sweep(cfg: &ExperimentConfig) -> SweepSpec {
+    let n = cfg.pick(1_000, 4_000);
+    let sizes = consensus::initial_set_grid(cfg);
+    let biases = consensus::bias_grid(cfg);
+    for &size in &sizes {
+        assert!(size <= n, "E8 grid set size {size} exceeds n = {n}");
+        for &bias in &biases {
+            let initial = InitialSet::with_bias(size, bias).expect("valid bias");
+            assert!(
+                initial.holding_correct > initial.holding_wrong,
+                "E8 grid point (|A| = {size}, bias = {bias}) rounds to a tie"
+            );
+        }
+    }
+    SweepSpec {
+        name: "e08".into(),
+        protocol: "majority-consensus".into(),
+        backend: Backend::Agents,
+        trials: cfg.trials,
+        base_seed: cfg.base_seed,
+        point_base: 800,
+        rounds: 0,
+        defaults: params_map(&[("n", n as f64), ("epsilon", 0.3)]),
+        axes: vec![
+            Axis {
+                key: "initial_size".into(),
+                values: sizes.into_iter().map(|s| s as f64).collect(),
+            },
+            Axis {
+                key: "initial_bias".into(),
+                values: biases,
+            },
+        ],
+    }
+}
+
+/// Runs the migrated E8 sweep and renders the legacy table (digit-identical
+/// to [`consensus::e08_majority_consensus`]).
+#[must_use]
+pub fn e08_table(cfg: &ExperimentConfig) -> Table {
+    render_e08(&run_in_memory(&e08_sweep(cfg), cfg))
+}
+
+/// Renders E8 from sweep aggregates.
+#[must_use]
+pub fn render_e08(cells: &CellPairs) -> Table {
+    let mut table = Table::new(
+        "E8: noisy majority-consensus (Corollary 2.18)",
+        &[
+            "|A|",
+            "majority-bias",
+            "required bias sqrt(ln n/|A|)",
+            "mean fraction correct",
+            "all-correct rate",
+        ],
+    );
+    for (spec, record) in cells {
+        let n = spec.n();
+        let size = spec.param_or("initial_size", 0.0) as usize;
+        let bias = spec.param_or("initial_bias", 0.0);
+        let initial = InitialSet::with_bias(size, bias).expect("grid bias is valid");
+        let required = ((n as f64).ln() / size as f64).sqrt().min(0.5);
+        table.push_row(&[
+            size.to_string(),
+            fmt_float(initial.majority_bias()),
+            fmt_float(required),
+            fmt_float(metric(record, "fraction_correct").moments.mean()),
+            fmt_float(success_rate(record, "all_correct").estimate()),
+        ]);
+    }
+    table
+}
+
+// ---------------------------------------------------------------------------
+// E8-D: dense majority boost
+// ---------------------------------------------------------------------------
+
+/// The migrated E8-D sweep: dense `majority-sampler` over
+/// [`consensus::dense_majority_grid`] × [`consensus::dense_bias_grid`] at
+/// `ε = 0.3`, seed points `1800, 1801, …`.
+#[must_use]
+pub fn e08_dense_sweep(cfg: &ExperimentConfig) -> SweepSpec {
+    SweepSpec {
+        name: "e08-dense".into(),
+        protocol: "majority-sampler".into(),
+        backend: Backend::Dense,
+        trials: cfg.trials,
+        base_seed: cfg.base_seed,
+        point_base: 1_800,
+        rounds: 0,
+        defaults: params_map(&[("epsilon", 0.3)]),
+        axes: vec![
+            Axis {
+                key: "n".into(),
+                values: consensus::dense_majority_grid(cfg)
+                    .into_iter()
+                    .map(|n| n as f64)
+                    .collect(),
+            },
+            Axis {
+                key: "initial_bias".into(),
+                values: consensus::dense_bias_grid(cfg),
+            },
+        ],
+    }
+}
+
+/// Runs the migrated E8-D sweep and renders the legacy table
+/// (digit-identical to [`consensus::e08_dense_majority`]).
+#[must_use]
+pub fn e08_dense_table(cfg: &ExperimentConfig) -> Table {
+    render_e08_dense(&run_in_memory(&e08_dense_sweep(cfg), cfg))
+}
+
+/// Renders E8-D from sweep aggregates.
+#[must_use]
+pub fn render_e08_dense(cells: &CellPairs) -> Table {
+    let epsilon = 0.3f64;
+    let phase_len = ((2.0 / (epsilon * epsilon)).ceil() as u64) | 1;
+    let mut table = Table::new(
+        &format!("E8-D: dense majority boost (epsilon = {epsilon}, phase_len = {phase_len})"),
+        &[
+            "n",
+            "initial bias",
+            "phases",
+            "final fraction correct",
+            "majority preserved rate",
+        ],
+    );
+    for (spec, record) in cells {
+        let n = spec.n();
+        let phases = 2 * (n as f64).log2().ceil() as u64;
+        table.push_row(&[
+            n.to_string(),
+            fmt_float(spec.param_or("initial_bias", 0.0)),
+            phases.to_string(),
+            fmt_float(metric(record, "fraction_correct").moments.mean()),
+            fmt_float(success_rate(record, "majority_preserved").estimate()),
+        ]);
+    }
+    table
+}
+
+// ---------------------------------------------------------------------------
+// A2: Stage II sample-count ablation
+// ---------------------------------------------------------------------------
+
+/// The γ multipliers A2 sweeps (the legacy loop's literal list).
+pub const A2_GAMMA_MULTIPLIERS: [f64; 5] = [0.25, 0.5, 1.0, 2.0, 6.0];
+
+/// The migrated A2 sweep: `broadcast` with a swept `gamma_mult` at
+/// `n = pick(600, 1500)`, `ε = 0.2`, seed points `2100, 2101, …`.
+#[must_use]
+pub fn a2_sweep(cfg: &ExperimentConfig) -> SweepSpec {
+    let n = cfg.pick(600, 1_500);
+    SweepSpec {
+        name: "a2".into(),
+        protocol: "broadcast".into(),
+        backend: Backend::Agents,
+        trials: cfg.trials,
+        base_seed: cfg.base_seed,
+        point_base: 2_100,
+        rounds: 0,
+        defaults: params_map(&[("n", n as f64), ("epsilon", 0.2)]),
+        axes: vec![Axis {
+            key: "gamma_mult".into(),
+            values: A2_GAMMA_MULTIPLIERS.to_vec(),
+        }],
+    }
+}
+
+/// Runs the migrated A2 sweep and renders the legacy table (digit-identical
+/// to [`crate::ablations::a2_gamma_requirement`]).
+#[must_use]
+pub fn a2_table(cfg: &ExperimentConfig) -> Table {
+    render_a2(&run_in_memory(&a2_sweep(cfg), cfg))
+}
+
+/// Renders A2 from sweep aggregates.
+#[must_use]
+pub fn render_a2(cells: &CellPairs) -> Table {
+    let mut table = Table::new(
+        "A2: consensus vs the Stage II sample multiplier (gamma = mult / eps^2)",
+        &[
+            "gamma multiplier",
+            "gamma (samples per phase)",
+            "mean fraction correct",
+            "all-correct rate",
+        ],
+    );
+    for (spec, record) in cells {
+        let gamma_mult = spec.param_or("gamma_mult", 1.0);
+        let multipliers = Multipliers {
+            gamma_mult,
+            ..Multipliers::practical()
+        };
+        let params = Params::with_multipliers(
+            usize::try_from(spec.n()).expect("n fits in usize"),
+            spec.epsilon(),
+            multipliers,
+        )
+        .expect("grid parameters are valid");
+        table.push_row(&[
+            fmt_float(gamma_mult),
+            params.gamma().to_string(),
+            fmt_float(metric(record, "fraction_correct").moments.mean()),
+            fmt_float(success_rate(record, "all_correct").estimate()),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ExperimentConfig {
+        ExperimentConfig {
+            trials: 2,
+            base_seed: 7,
+            ..ExperimentConfig::quick()
+        }
+    }
+
+    #[test]
+    fn builtin_names_resolve_and_unknown_ones_do_not() {
+        let cfg = tiny();
+        for name in BUILTIN_SWEEPS {
+            let spec = builtin(name, &cfg).unwrap_or_else(|| panic!("{name} must resolve"));
+            assert_eq!(spec.name, name);
+            assert!(spec.expand().is_ok(), "{name} must expand");
+        }
+        assert!(builtin("e99", &cfg).is_none());
+    }
+
+    #[test]
+    fn e01_sweep_matches_the_legacy_grid_and_seeds() {
+        let cfg = tiny();
+        let cells = e01_sweep(&cfg).expand().unwrap();
+        let grid = scaling::population_grid(&cfg);
+        assert_eq!(cells.len(), grid.len());
+        for (idx, (cell, n)) in cells.iter().zip(grid).enumerate() {
+            assert_eq!(cell.n(), n as u64);
+            assert_eq!(cell.point, idx as u64);
+            // The legacy harness derivation, exactly.
+            assert_eq!(cell.seed_for_trial(1), cfg.seed_for(idx as u64, 1));
+        }
+    }
+
+    #[test]
+    fn e08_sweep_enumerates_the_cross_product_in_legacy_order() {
+        let cfg = tiny();
+        let cells = e08_sweep(&cfg).expand().unwrap();
+        let sizes = consensus::initial_set_grid(&cfg);
+        let biases = consensus::bias_grid(&cfg);
+        assert_eq!(cells.len(), sizes.len() * biases.len());
+        // Row-major: sizes outer, biases inner — the legacy nesting.
+        assert_eq!(cells[0].param_or("initial_size", 0.0), sizes[0] as f64);
+        assert_eq!(cells[1].param_or("initial_size", 0.0), sizes[0] as f64);
+        assert_eq!(cells[1].param_or("initial_bias", 0.0), biases[1]);
+        assert_eq!(cells[0].point, 800);
+    }
+
+    #[test]
+    fn full_mode_e08_grid_has_no_skipped_combinations() {
+        // The legacy loop skipped over-large sets and tie-rounding biases
+        // (shifting seed points); the declarative grid asserts instead.
+        let _ = e08_sweep(&ExperimentConfig::full());
+    }
+
+    #[test]
+    fn dense_sweeps_target_the_dense_backend() {
+        let cfg = tiny();
+        assert_eq!(e01_dense_sweep(&cfg).backend, Backend::Dense);
+        assert_eq!(e08_dense_sweep(&cfg).backend, Backend::Dense);
+        assert_eq!(e01_dense_sweep(&cfg).point_base, 1_300);
+        assert_eq!(e08_dense_sweep(&cfg).point_base, 1_800);
+    }
+}

@@ -11,11 +11,11 @@ use breathe::{BroadcastProtocol, DetailedOutcome, Multipliers, Params};
 use flip_model::{BinarySymmetricChannel, Channel, Opinion, SimRng};
 use rand::Rng;
 
-use crate::{ExperimentConfig, TrialRunner};
+use crate::ExperimentConfig;
 
 fn detailed_runs(cfg: &ExperimentConfig, point: u64, params: &Params) -> Vec<DetailedOutcome> {
     let protocol = BroadcastProtocol::new(params.clone(), Opinion::One);
-    let runner = TrialRunner::new(u64::from(cfg.trials));
+    let runner = cfg.runner();
     runner.run(|trial| {
         protocol
             .run_detailed(cfg.seed_for(point, trial))

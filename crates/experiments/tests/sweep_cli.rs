@@ -1,0 +1,216 @@
+//! End-to-end tests of the `sweep` binary: run, interrupt, resume, export —
+//! and the byte-identity guarantee that holds it all together.
+//!
+//! The interruption is simulated two ways: deterministically with
+//! `--max-cells` (stop after N cells, exactly what a kill between
+//! checkpoints leaves behind) and destructively by truncating a shard file
+//! mid-line (exactly what a kill *during* a checkpoint write leaves behind).
+//! In both cases `sweep resume` must complete the grid and `sweep export`
+//! must emit bytes identical to an uninterrupted run's.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+/// A tiny 4-cell rumor sweep that runs in well under a second.
+const TINY_SPEC: &str = r#"{
+  "name": "cli-tiny",
+  "protocol": "rumor",
+  "backend": "agents",
+  "trials": 3,
+  "base_seed": 99,
+  "point_base": 0,
+  "rounds": 120,
+  "defaults": {"epsilon": 0.25, "informed": 5.0},
+  "axes": [{"key": "n", "values": [60.0, 90.0, 120.0, 150.0]}]
+}"#;
+
+fn sweep(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_sweep"))
+        .args(args)
+        .output()
+        .expect("sweep binary runs")
+}
+
+fn sweep_ok(args: &[&str]) -> String {
+    let out = sweep(args);
+    assert!(
+        out.status.success(),
+        "sweep {args:?} failed:\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("utf-8 output")
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = Path::new(env!("CARGO_TARGET_TMPDIR")).join(format!("sweep-cli-{tag}"));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn write_spec(dir: &Path) -> PathBuf {
+    let path = dir.join("spec.json");
+    fs::write(&path, TINY_SPEC).unwrap();
+    path
+}
+
+fn export(dir: &Path, format: &str) -> String {
+    sweep_ok(&["export", dir.to_str().unwrap(), format])
+}
+
+#[test]
+fn interrupted_then_resumed_sweep_exports_byte_identical_output() {
+    let root = scratch("resume");
+    let spec = write_spec(&root);
+    let spec = spec.to_str().unwrap();
+
+    // Reference: an uninterrupted run.
+    let full_dir = root.join("full");
+    let stdout = sweep_ok(&[
+        "run",
+        spec,
+        "--out",
+        full_dir.to_str().unwrap(),
+        "--threads",
+        "2",
+    ]);
+    assert!(stdout.contains("4 executed"), "{stdout}");
+    let reference_csv = export(&full_dir, "--csv");
+    let reference_json = export(&full_dir, "--json");
+
+    // Interrupted: stop after 2 cells, then resume.
+    let cut_dir = root.join("interrupted");
+    let stdout = sweep_ok(&[
+        "run",
+        spec,
+        "--out",
+        cut_dir.to_str().unwrap(),
+        "--max-cells",
+        "2",
+    ]);
+    assert!(stdout.contains("incomplete (2/4"), "{stdout}");
+    // Exporting an incomplete store refuses without --partial.
+    let refused = sweep(&["export", cut_dir.to_str().unwrap(), "--csv"]);
+    assert!(!refused.status.success());
+    assert!(String::from_utf8_lossy(&refused.stderr).contains("incomplete"));
+
+    let stdout = sweep_ok(&["resume", cut_dir.to_str().unwrap()]);
+    assert!(stdout.contains("2 already persisted"), "{stdout}");
+    assert_eq!(
+        export(&cut_dir, "--csv"),
+        reference_csv,
+        "CSV must be byte-identical"
+    );
+    assert_eq!(
+        export(&cut_dir, "--json"),
+        reference_json,
+        "JSON must be byte-identical"
+    );
+
+    // Resuming a complete sweep is a no-op.
+    let stdout = sweep_ok(&["resume", cut_dir.to_str().unwrap()]);
+    assert!(stdout.contains("0 executed"), "{stdout}");
+}
+
+#[test]
+fn a_kill_mid_checkpoint_write_loses_only_the_torn_cell() {
+    let root = scratch("torn");
+    let spec = write_spec(&root);
+    let dir = root.join("store");
+    sweep_ok(&[
+        "run",
+        spec.to_str().unwrap(),
+        "--out",
+        dir.to_str().unwrap(),
+    ]);
+    let reference_csv = export(&dir, "--csv");
+
+    // Simulate `kill -9` during a checkpoint append: truncate one shard
+    // inside its final line.
+    let shards: Vec<PathBuf> = fs::read_dir(dir.join("shards"))
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .collect();
+    let victim = shards
+        .iter()
+        .max_by_key(|p| fs::metadata(p).unwrap().len())
+        .unwrap();
+    let content = fs::read(victim).unwrap();
+    fs::write(victim, &content[..content.len() - 25]).unwrap();
+
+    // The torn cell re-runs on resume; the export is unchanged.
+    let stdout = sweep_ok(&["resume", dir.to_str().unwrap()]);
+    assert!(stdout.contains("1 executed"), "{stdout}");
+    assert_eq!(export(&dir, "--csv"), reference_csv);
+}
+
+#[test]
+fn run_rejects_a_store_holding_a_different_spec() {
+    let root = scratch("mismatch");
+    let spec = write_spec(&root);
+    let dir = root.join("store");
+    sweep_ok(&[
+        "run",
+        spec.to_str().unwrap(),
+        "--out",
+        dir.to_str().unwrap(),
+    ]);
+
+    let edited = root.join("edited.json");
+    fs::write(&edited, TINY_SPEC.replace("\"trials\": 3", "\"trials\": 5")).unwrap();
+    let out = sweep(&[
+        "run",
+        edited.to_str().unwrap(),
+        "--out",
+        dir.to_str().unwrap(),
+    ]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("fresh --out"));
+}
+
+#[test]
+fn gen_list_and_generated_specs_are_runnable() {
+    let listing = sweep_ok(&["list"]);
+    for name in ["e01", "e01-dense", "e08", "e08-dense", "a2"] {
+        assert!(listing.contains(name), "list must mention {name}");
+    }
+    assert!(listing.contains("majority-sampler"));
+
+    // `gen` output parses and carries the legacy seed points.
+    let generated = sweep_ok(&["gen", "e01", "--trials", "2"]);
+    assert!(generated.contains("\"point_base\": 0"));
+    assert!(generated.contains("broadcast"));
+    let spec = sweeps::SweepSpec::from_json_text(&generated).expect("gen output parses");
+    assert_eq!(spec.trials, 2);
+    assert_eq!(spec.base_seed, 0xBEA7_4E5E);
+
+    let unknown = sweep(&["gen", "e99"]);
+    assert!(!unknown.status.success());
+
+    // A flag before the name is a clean usage error, not a misparse.
+    let swapped = sweep(&["gen", "--trials", "2", "e01"]);
+    assert!(!swapped.status.success());
+    assert!(String::from_utf8_lossy(&swapped.stderr).contains("name first"));
+}
+
+#[test]
+fn usage_errors_exit_nonzero_with_guidance() {
+    for bad in [
+        vec!["run"],
+        vec!["run", "/nonexistent/spec.json", "--out", "/tmp/x"],
+        vec!["export", "/nonexistent-dir", "--csv"],
+        vec!["export"],
+        vec!["frobnicate"],
+        // Single-dash typos must fail, not pass as positionals.
+        vec!["resume", "/tmp/x", "-threads", "4"],
+    ] {
+        let out = sweep(&bad);
+        assert!(!out.status.success(), "{bad:?} must fail");
+        assert!(!out.stderr.is_empty(), "{bad:?} must explain itself");
+    }
+    // And --help succeeds.
+    let help = sweep_ok(&["--help"]);
+    assert!(help.contains("sweep run"));
+}

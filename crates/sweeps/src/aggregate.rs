@@ -1,0 +1,383 @@
+//! Streaming per-cell aggregation and its serialized form.
+//!
+//! A sweep cell may run millions of trials; nothing here ever holds
+//! per-trial data.  Every metric a protocol reports folds into a
+//! [`MetricAggregate`]: online moments ([`analysis::streaming::StreamingMoments`])
+//! plus three P² quantile sketches (q = 0.1, 0.5, 0.9).  A finished cell is a
+//! [`CellRecord`] — the unit the shard store persists, one JSONL line each.
+//!
+//! Aggregation order is trial order (the [`crate::TrialRunner`] returns
+//! results in trial order regardless of thread count), so a record is a
+//! deterministic function of the cell spec alone — the property the
+//! byte-identical-resume guarantee rests on.
+
+use std::collections::BTreeMap;
+
+use analysis::streaming::{P2Quantile, P2State, StreamingEstimator, StreamingMoments};
+
+use crate::error::SweepError;
+use crate::json::Json;
+
+/// The quantiles every metric tracks.
+pub const TRACKED_QUANTILES: [f64; 3] = [0.1, 0.5, 0.9];
+
+/// Streaming summary of one metric across a cell's trials.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricAggregate {
+    /// Count / sum / mean / variance / min / max.
+    pub moments: StreamingMoments,
+    /// P² sketches for [`TRACKED_QUANTILES`], in that order.
+    pub quantiles: [P2Quantile; 3],
+}
+
+impl MetricAggregate {
+    /// An empty aggregate.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            moments: StreamingMoments::new(),
+            quantiles: TRACKED_QUANTILES
+                .map(|q| P2Quantile::new(q).expect("tracked quantiles are valid")),
+        }
+    }
+
+    /// Absorbs one trial's value.
+    pub fn observe(&mut self, x: f64) {
+        self.moments.observe(x);
+        for sketch in &mut self.quantiles {
+            sketch.observe(x);
+        }
+    }
+
+    /// The estimate for tracked quantile index `i` (0 → q10, 1 → q50, 2 → q90).
+    #[must_use]
+    pub fn quantile(&self, i: usize) -> f64 {
+        self.quantiles[i].estimate()
+    }
+
+    /// Serializes the full aggregate state.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let m = &self.moments;
+        Json::object(vec![
+            ("count".into(), Json::UInt(m.count)),
+            ("sum".into(), Json::Float(m.sum)),
+            ("welford_mean".into(), Json::Float(m.welford_mean)),
+            ("m2".into(), Json::Float(m.m2)),
+            ("min".into(), Json::Float(m.min)),
+            ("max".into(), Json::Float(m.max)),
+            (
+                "quantiles".into(),
+                Json::Array(
+                    self.quantiles
+                        .iter()
+                        .map(|s| p2_to_json(&s.snapshot()))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Restores an aggregate from [`MetricAggregate::to_json`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SweepError::Store`] on missing fields or inconsistent
+    /// sketch state.
+    pub fn from_json(doc: &Json) -> Result<Self, SweepError> {
+        let moments = StreamingMoments {
+            count: field_u64(doc, "count")?,
+            sum: field_f64(doc, "sum")?,
+            welford_mean: field_f64(doc, "welford_mean")?,
+            m2: field_f64(doc, "m2")?,
+            min: field_f64(doc, "min")?,
+            max: field_f64(doc, "max")?,
+        };
+        let sketches = doc
+            .get("quantiles")
+            .and_then(Json::as_array)
+            .ok_or_else(|| SweepError::Store("aggregate has no `quantiles`".into()))?;
+        if sketches.len() != TRACKED_QUANTILES.len() {
+            return Err(SweepError::Store(format!(
+                "expected {} quantile sketches, found {}",
+                TRACKED_QUANTILES.len(),
+                sketches.len()
+            )));
+        }
+        let mut quantiles = Vec::with_capacity(TRACKED_QUANTILES.len());
+        for (expected_q, sketch) in TRACKED_QUANTILES.iter().zip(sketches) {
+            let state = p2_from_json(sketch)?;
+            if (state.q - expected_q).abs() > 1e-12 {
+                return Err(SweepError::Store(format!(
+                    "quantile sketch order mismatch: expected q={expected_q}, found q={}",
+                    state.q
+                )));
+            }
+            quantiles.push(
+                P2Quantile::restore(state)
+                    .ok_or_else(|| SweepError::Store("inconsistent P² sketch state".into()))?,
+            );
+        }
+        let quantiles: [P2Quantile; 3] = quantiles
+            .try_into()
+            .map_err(|_| SweepError::Store("quantile sketch count mismatch".into()))?;
+        Ok(Self { moments, quantiles })
+    }
+}
+
+impl Default for MetricAggregate {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn p2_to_json(state: &P2State) -> Json {
+    Json::object(vec![
+        ("q".into(), Json::Float(state.q)),
+        ("count".into(), Json::UInt(state.count)),
+        (
+            "heights".into(),
+            Json::Array(state.heights.iter().map(|&v| Json::Float(v)).collect()),
+        ),
+        (
+            "positions".into(),
+            Json::Array(state.positions.iter().map(|&v| Json::Float(v)).collect()),
+        ),
+        (
+            "desired".into(),
+            Json::Array(state.desired.iter().map(|&v| Json::Float(v)).collect()),
+        ),
+        (
+            "buffer".into(),
+            Json::Array(state.buffer.iter().map(|&v| Json::Float(v)).collect()),
+        ),
+    ])
+}
+
+fn p2_from_json(doc: &Json) -> Result<P2State, SweepError> {
+    Ok(P2State {
+        q: field_f64(doc, "q")?,
+        count: field_u64(doc, "count")?,
+        heights: field_array5(doc, "heights")?,
+        positions: field_array5(doc, "positions")?,
+        desired: field_array5(doc, "desired")?,
+        buffer: doc
+            .get("buffer")
+            .and_then(Json::as_array)
+            .ok_or_else(|| SweepError::Store("sketch has no `buffer`".into()))?
+            .iter()
+            .map(|v| {
+                v.as_f64()
+                    .ok_or_else(|| SweepError::Store("non-numeric buffer entry".into()))
+            })
+            .collect::<Result<Vec<_>, _>>()?,
+    })
+}
+
+fn field_f64(doc: &Json, key: &str) -> Result<f64, SweepError> {
+    doc.get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| SweepError::Store(format!("missing or non-numeric `{key}`")))
+}
+
+fn field_u64(doc: &Json, key: &str) -> Result<u64, SweepError> {
+    doc.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| SweepError::Store(format!("missing or non-integer `{key}`")))
+}
+
+fn field_array5(doc: &Json, key: &str) -> Result<[f64; 5], SweepError> {
+    let items = doc
+        .get(key)
+        .and_then(Json::as_array)
+        .ok_or_else(|| SweepError::Store(format!("missing `{key}` array")))?;
+    let values: Vec<f64> = items
+        .iter()
+        .map(|v| {
+            v.as_f64()
+                .ok_or_else(|| SweepError::Store(format!("non-numeric `{key}` entry")))
+        })
+        .collect::<Result<_, _>>()?;
+    values
+        .try_into()
+        .map_err(|_| SweepError::Store(format!("`{key}` must have exactly 5 entries")))
+}
+
+/// A completed sweep cell: its address, spec echo, and per-metric aggregates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellRecord {
+    /// The cell's content address ([`crate::ScenarioSpec::hash_hex`]).
+    pub hash: String,
+    /// The cell's seed point (also its position in the grid).
+    pub point: u64,
+    /// Trials aggregated into this record.
+    pub trials: u32,
+    /// Aggregates keyed by metric name (sorted — canonical order).
+    pub metrics: BTreeMap<String, MetricAggregate>,
+}
+
+impl CellRecord {
+    /// Builds a record by folding per-trial metric lists in trial order.
+    ///
+    /// Every trial must report the same metric names; the fold is sequential
+    /// so the result is deterministic.
+    #[must_use]
+    pub fn from_trials(
+        hash: String,
+        point: u64,
+        trial_metrics: &[Vec<(&'static str, f64)>],
+    ) -> Self {
+        let mut metrics: BTreeMap<String, MetricAggregate> = BTreeMap::new();
+        for trial in trial_metrics {
+            for (name, value) in trial {
+                metrics
+                    .entry((*name).to_string())
+                    .or_default()
+                    .observe(*value);
+            }
+        }
+        Self {
+            hash,
+            point,
+            trials: u32::try_from(trial_metrics.len()).expect("trials fit in u32"),
+            metrics,
+        }
+    }
+
+    /// One shard-store JSONL line (no trailing newline).
+    #[must_use]
+    pub fn to_json_line(&self) -> String {
+        Json::object(vec![
+            ("cell".into(), Json::Str(self.hash.clone())),
+            ("point".into(), Json::UInt(self.point)),
+            ("trials".into(), Json::UInt(u64::from(self.trials))),
+            (
+                "metrics".into(),
+                Json::Object(
+                    self.metrics
+                        .iter()
+                        .map(|(name, agg)| (name.clone(), agg.to_json()))
+                        .collect(),
+                ),
+            ),
+        ])
+        .to_string()
+    }
+
+    /// Parses one shard-store line.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SweepError::Store`] on malformed JSON or schema drift.
+    pub fn from_json_line(line: &str) -> Result<Self, SweepError> {
+        let doc = crate::json::parse(line).map_err(SweepError::Store)?;
+        let hash = doc
+            .get("cell")
+            .and_then(Json::as_str)
+            .ok_or_else(|| SweepError::Store("record has no `cell` hash".into()))?
+            .to_string();
+        let point = field_u64(&doc, "point")?;
+        let trials = u32::try_from(field_u64(&doc, "trials")?)
+            .map_err(|_| SweepError::Store("`trials` does not fit in u32".into()))?;
+        let metrics = match doc.get("metrics") {
+            Some(Json::Object(pairs)) => pairs
+                .iter()
+                .map(|(name, value)| Ok((name.clone(), MetricAggregate::from_json(value)?)))
+                .collect::<Result<BTreeMap<_, _>, SweepError>>()?,
+            _ => return Err(SweepError::Store("record has no `metrics` object".into())),
+        };
+        Ok(Self {
+            hash,
+            point,
+            trials,
+            metrics,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_record() -> CellRecord {
+        let trials: Vec<Vec<(&'static str, f64)>> = (0..40)
+            .map(|t| {
+                vec![
+                    ("rounds", f64::from(t % 7) + 10.0),
+                    ("fraction_correct", 1.0 - f64::from(t) / 100.0),
+                    ("all_correct", f64::from(u32::from(t % 3 == 0))),
+                ]
+            })
+            .collect();
+        CellRecord::from_trials("00ff00ff00ff00ff".into(), 42, &trials)
+    }
+
+    #[test]
+    fn fold_matches_batch_statistics() {
+        let record = demo_record();
+        assert_eq!(record.trials, 40);
+        let rounds = &record.metrics["rounds"];
+        assert_eq!(rounds.moments.count, 40);
+        assert_eq!(rounds.moments.min, 10.0);
+        assert_eq!(rounds.moments.max, 16.0);
+        let values: Vec<f64> = (0..40).map(|t| f64::from(t % 7) + 10.0).collect();
+        assert_eq!(rounds.moments.mean(), analysis::mean(&values));
+        // The success-rate metric folds to successes/trials exactly.
+        let successes = (0..40).filter(|t| t % 3 == 0).count() as f64;
+        assert_eq!(record.metrics["all_correct"].moments.sum, successes);
+    }
+
+    #[test]
+    fn record_round_trips_byte_identically() {
+        let record = demo_record();
+        let line = record.to_json_line();
+        assert!(!line.contains('\n'));
+        let parsed = CellRecord::from_json_line(&line).unwrap();
+        assert_eq!(parsed, record);
+        // Serializing the parsed record reproduces the original bytes — the
+        // property resumable exports depend on.
+        assert_eq!(parsed.to_json_line(), line);
+    }
+
+    #[test]
+    fn aggregate_round_trips_mid_stream_and_continues_identically() {
+        let mut original = MetricAggregate::new();
+        for i in 0..23 {
+            original.observe(f64::from(i * i % 17));
+        }
+        let mut restored = MetricAggregate::from_json(&original.to_json()).unwrap();
+        assert_eq!(restored, original);
+        for i in 0..50 {
+            original.observe(f64::from(i));
+            restored.observe(f64::from(i));
+        }
+        assert_eq!(restored, original);
+        // Small-count aggregates (buffer still in play) also round-trip.
+        let mut young = MetricAggregate::new();
+        young.observe(3.5);
+        young.observe(-1.0);
+        let back = MetricAggregate::from_json(&young.to_json()).unwrap();
+        assert_eq!(back, young);
+    }
+
+    #[test]
+    fn quantile_estimates_are_exposed() {
+        let mut agg = MetricAggregate::new();
+        for i in 0..=100 {
+            agg.observe(f64::from(i));
+        }
+        assert!((agg.quantile(1) - 50.0).abs() < 6.0, "median ≈ 50");
+        assert!(agg.quantile(0) < agg.quantile(1));
+        assert!(agg.quantile(1) < agg.quantile(2));
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected() {
+        assert!(CellRecord::from_json_line("").is_err());
+        assert!(CellRecord::from_json_line("{\"cell\":\"x\"}").is_err());
+        assert!(CellRecord::from_json_line("{\"point\":1}").is_err());
+        // A truncated (torn) line is a parse error, not a panic.
+        let line = demo_record().to_json_line();
+        assert!(CellRecord::from_json_line(&line[..line.len() / 2]).is_err());
+    }
+}

@@ -1,0 +1,75 @@
+//! The error type of the sweep subsystem.
+
+use std::fmt;
+
+/// Everything that can go wrong while parsing, running, persisting or
+/// exporting a sweep.
+#[derive(Debug)]
+pub enum SweepError {
+    /// A spec document failed to parse or validate.
+    Spec(String),
+    /// An unknown protocol id, or a protocol/backend combination the
+    /// registry rejects.
+    Protocol(String),
+    /// Reading or writing the result store failed.
+    Io(std::io::Error),
+    /// A persisted document (manifest or shard line) is malformed.
+    Store(String),
+    /// An export was requested from a store that has not finished the grid.
+    Incomplete {
+        /// Cells with persisted results.
+        done: usize,
+        /// Cells in the full grid.
+        total: usize,
+    },
+    /// A simulation inside a cell failed.
+    Simulation(String),
+}
+
+impl fmt::Display for SweepError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SweepError::Spec(msg) => write!(f, "invalid sweep spec: {msg}"),
+            SweepError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            SweepError::Io(err) => write!(f, "store I/O error: {err}"),
+            SweepError::Store(msg) => write!(f, "corrupt result store: {msg}"),
+            SweepError::Incomplete { done, total } => write!(
+                f,
+                "sweep incomplete: {done}/{total} cells persisted (run `sweep resume` first, \
+                 or export with --partial)"
+            ),
+            SweepError::Simulation(msg) => write!(f, "simulation failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SweepError {}
+
+impl From<std::io::Error> for SweepError {
+    fn from(err: std::io::Error) -> Self {
+        SweepError::Io(err)
+    }
+}
+
+impl From<flip_model::FlipError> for SweepError {
+    fn from(err: flip_model::FlipError) -> Self {
+        SweepError::Simulation(err.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_failure() {
+        assert!(SweepError::Spec("missing `protocol`".into())
+            .to_string()
+            .contains("missing `protocol`"));
+        assert!(SweepError::Incomplete { done: 2, total: 9 }
+            .to_string()
+            .contains("2/9"));
+        let io: SweepError = std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into();
+        assert!(io.to_string().contains("gone"));
+    }
+}

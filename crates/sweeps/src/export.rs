@@ -1,0 +1,270 @@
+//! Deterministic CSV / JSON exports of a sweep's aggregates.
+//!
+//! Exports walk cells in **grid order** (the [`crate::SweepSpec::expand`]
+//! order), never in completion or shard order, and format floats with Rust's
+//! shortest round-trip form — so two stores holding the same records export
+//! byte-identical documents no matter how the sweep was scheduled, killed or
+//! resumed.
+//!
+//! * **CSV** — one row per cell: identity columns (`point`, `protocol`,
+//!   `backend`, `trials`, `rounds`, then every parameter in sorted order)
+//!   followed, for each metric in sorted order, by
+//!   `mean`/`std`/`min`/`max`/`p10`/`p50`/`p90`.  A summary for people and
+//!   spreadsheets; lossy (sketch internals are dropped).
+//! * **JSON** — the full aggregate schema, including quantile-sketch state;
+//!   [`parse_export_json`] round-trips it losslessly back into
+//!   [`CellRecord`]s.
+
+use std::collections::BTreeMap;
+
+use crate::aggregate::CellRecord;
+use crate::error::SweepError;
+use crate::json::{parse, Json};
+use crate::spec::{ScenarioSpec, SweepSpec};
+
+/// Pairs every grid cell with its persisted record, in grid order.
+///
+/// Returns the pairs plus the number of missing cells (0 means complete);
+/// callers decide whether partial is acceptable.
+///
+/// # Errors
+///
+/// Returns [`SweepError::Spec`] when the spec fails to expand.
+pub fn ordered_cells(
+    spec: &SweepSpec,
+    records: &BTreeMap<String, CellRecord>,
+) -> Result<(Vec<(ScenarioSpec, CellRecord)>, usize), SweepError> {
+    let grid = spec.expand()?;
+    let mut pairs = Vec::with_capacity(grid.len());
+    let mut missing = 0usize;
+    for cell in grid {
+        match records.get(&cell.hash_hex()) {
+            Some(record) => pairs.push((cell, record.clone())),
+            None => missing += 1,
+        }
+    }
+    Ok((pairs, missing))
+}
+
+/// The union of parameter keys across cells, sorted (CSV column stability).
+fn param_columns(cells: &[(ScenarioSpec, CellRecord)]) -> Vec<String> {
+    let mut keys: Vec<String> = cells
+        .iter()
+        .flat_map(|(spec, _)| spec.params.keys().cloned())
+        .collect();
+    keys.sort();
+    keys.dedup();
+    keys
+}
+
+/// The union of metric names across cells, sorted.
+fn metric_columns(cells: &[(ScenarioSpec, CellRecord)]) -> Vec<String> {
+    let mut names: Vec<String> = cells
+        .iter()
+        .flat_map(|(_, record)| record.metrics.keys().cloned())
+        .collect();
+    names.sort();
+    names.dedup();
+    names
+}
+
+/// Shortest-round-trip float formatting (`{:?}`), the byte-stable form.
+fn fmt(value: f64) -> String {
+    format!("{value:?}")
+}
+
+/// Renders the summary CSV (see the module docs for the column layout).
+#[must_use]
+pub fn export_csv(cells: &[(ScenarioSpec, CellRecord)]) -> String {
+    let params = param_columns(cells);
+    let metrics = metric_columns(cells);
+    let mut out = String::new();
+    out.push_str("point,protocol,backend,trials,rounds");
+    for key in &params {
+        out.push(',');
+        out.push_str(key);
+    }
+    for name in &metrics {
+        for stat in ["mean", "std", "min", "max", "p10", "p50", "p90"] {
+            out.push(',');
+            out.push_str(name);
+            out.push('_');
+            out.push_str(stat);
+        }
+    }
+    out.push('\n');
+    for (spec, record) in cells {
+        out.push_str(&format!(
+            "{},{},{},{},{}",
+            record.point, spec.protocol, spec.backend, record.trials, spec.rounds
+        ));
+        for key in &params {
+            out.push(',');
+            if let Some(v) = spec.params.get(key) {
+                out.push_str(&fmt(*v));
+            }
+        }
+        for name in &metrics {
+            match record.metrics.get(name) {
+                Some(agg) => {
+                    let m = &agg.moments;
+                    for v in [
+                        m.mean(),
+                        m.std_dev(),
+                        m.min,
+                        m.max,
+                        agg.quantile(0),
+                        agg.quantile(1),
+                        agg.quantile(2),
+                    ] {
+                        out.push(',');
+                        out.push_str(&fmt(v));
+                    }
+                }
+                None => out.push_str(",,,,,,,"),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders the lossless JSON export: sweep identity plus every cell's full
+/// aggregate state (spec echo included).
+#[must_use]
+pub fn export_json(spec: &SweepSpec, cells: &[(ScenarioSpec, CellRecord)]) -> String {
+    let cell_docs: Vec<Json> = cells
+        .iter()
+        .map(|(cell_spec, record)| {
+            Json::object(vec![
+                ("spec".into(), cell_spec.canonical_json()),
+                (
+                    "record".into(),
+                    parse(&record.to_json_line()).expect("records serialize to valid JSON"),
+                ),
+            ])
+        })
+        .collect();
+    Json::object(vec![
+        ("name".into(), Json::Str(spec.name.clone())),
+        ("sweep_hash".into(), Json::Str(spec.hash_hex())),
+        ("cells".into(), Json::Array(cell_docs)),
+    ])
+    .to_string()
+}
+
+/// Parses an [`export_json`] document back into `(spec, record)` pairs —
+/// the lossless round trip the export tests pin down.
+///
+/// # Errors
+///
+/// Returns [`SweepError::Store`] on malformed documents.
+pub fn parse_export_json(text: &str) -> Result<Vec<(ScenarioSpec, CellRecord)>, SweepError> {
+    let doc = parse(text).map_err(SweepError::Store)?;
+    doc.get("cells")
+        .and_then(Json::as_array)
+        .ok_or_else(|| SweepError::Store("export has no `cells` array".into()))?
+        .iter()
+        .map(|cell| {
+            let spec = ScenarioSpec::from_json(
+                cell.get("spec")
+                    .ok_or_else(|| SweepError::Store("cell has no `spec`".into()))?,
+            )?;
+            let record = CellRecord::from_json_line(
+                &cell
+                    .get("record")
+                    .ok_or_else(|| SweepError::Store("cell has no `record`".into()))?
+                    .to_string(),
+            )?;
+            Ok((spec, record))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::ProtocolRegistry;
+    use crate::spec::Axis;
+    use crate::SweepRunner;
+    use flip_model::Backend;
+
+    fn run_demo() -> (SweepSpec, Vec<(ScenarioSpec, CellRecord)>) {
+        let spec = SweepSpec {
+            name: "export-demo".into(),
+            protocol: "rumor".into(),
+            backend: Backend::Agents,
+            trials: 3,
+            base_seed: 9,
+            point_base: 0,
+            rounds: 120,
+            defaults: BTreeMap::from([
+                ("epsilon".to_string(), 0.25),
+                ("informed".to_string(), 4.0),
+            ]),
+            axes: vec![Axis {
+                key: "n".into(),
+                values: vec![60.0, 90.0],
+            }],
+        };
+        let outcome = SweepRunner::new()
+            .with_threads(2)
+            .run(&spec, &ProtocolRegistry::builtin(), None)
+            .unwrap();
+        let records: BTreeMap<String, CellRecord> = outcome
+            .cells
+            .into_iter()
+            .map(|r| (r.hash.clone(), r))
+            .collect();
+        let (pairs, missing) = ordered_cells(&spec, &records).unwrap();
+        assert_eq!(missing, 0);
+        (spec, pairs)
+    }
+
+    #[test]
+    fn csv_has_one_row_per_cell_with_stable_columns() {
+        let (_, pairs) = run_demo();
+        let csv = export_csv(&pairs);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3, "header + 2 cells");
+        let header = lines[0];
+        assert!(header.starts_with("point,protocol,backend,trials,rounds,epsilon,informed,n"));
+        assert!(header.contains("rounds_mean"));
+        assert!(header.contains("fraction_correct_p50"));
+        let columns = header.split(',').count();
+        for line in &lines[1..] {
+            assert_eq!(line.split(',').count(), columns, "ragged row: {line}");
+        }
+        assert!(lines[1].starts_with("0,rumor,agents,3,120,0.25,4.0,60.0"));
+    }
+
+    #[test]
+    fn json_export_round_trips_losslessly() {
+        let (spec, pairs) = run_demo();
+        let exported = export_json(&spec, &pairs);
+        let parsed = parse_export_json(&exported).unwrap();
+        assert_eq!(parsed, pairs);
+        // Re-export of the parsed document is byte-identical.
+        assert_eq!(export_json(&spec, &parsed), exported);
+    }
+
+    #[test]
+    fn missing_cells_are_counted_not_invented() {
+        let (spec, pairs) = run_demo();
+        let mut records: BTreeMap<String, CellRecord> = pairs
+            .iter()
+            .map(|(_, r)| (r.hash.clone(), r.clone()))
+            .collect();
+        records.remove(&pairs[0].1.hash);
+        let (partial, missing) = ordered_cells(&spec, &records).unwrap();
+        assert_eq!(partial.len(), 1);
+        assert_eq!(missing, 1);
+    }
+
+    #[test]
+    fn malformed_exports_fail_loudly() {
+        assert!(parse_export_json("{}").is_err());
+        assert!(parse_export_json("{\"cells\":[{}]}").is_err());
+        assert!(parse_export_json("nope").is_err());
+    }
+}

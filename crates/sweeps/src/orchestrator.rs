@@ -1,0 +1,364 @@
+//! The sweep orchestrator: executes a grid of cells across threads,
+//! checkpointing each completed cell to the shard store.
+//!
+//! # Execution model
+//!
+//! Cells are handed out from a shared atomic counter — dynamic load
+//! balancing, so a slow cell (large `n`) never stalls the queue behind it
+//! the way static chunking would.  Inside a cell, trials fan out over the
+//! lock-free [`TrialRunner`]; the two levels share the thread budget
+//! (`outer × inner ≤ threads`), so small grids with heavy cells still
+//! saturate the machine.
+//!
+//! # Determinism and resume
+//!
+//! A cell's record depends only on its hash-addressed spec: seeds derive
+//! from `(base_seed, point, trial)`, the [`TrialRunner`] returns results in
+//! trial order for any thread count, and aggregation folds sequentially.
+//! Scheduling therefore cannot influence results — which is what makes
+//! `resume` (skip persisted cells, run the rest) produce byte-identical
+//! exports to an uninterrupted run.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+use crate::aggregate::CellRecord;
+use crate::error::SweepError;
+use crate::registry::ProtocolRegistry;
+use crate::runner::{default_threads, TrialRunner};
+use crate::spec::{ScenarioSpec, SweepSpec};
+use crate::store::{ShardWriter, SweepStore};
+
+/// Result of one [`SweepRunner::run`] call.
+#[derive(Debug)]
+pub struct SweepOutcome {
+    /// Every available cell record (persisted + newly run), in grid order.
+    /// Complete exactly when `completed`.
+    pub cells: Vec<CellRecord>,
+    /// Cells executed by this call.
+    pub executed: usize,
+    /// Cells skipped because the store already held them.
+    pub skipped: usize,
+    /// Cells in the full grid.
+    pub total: usize,
+    /// Whether every grid cell now has a record.
+    pub completed: bool,
+}
+
+/// Orchestrates one sweep: expansion, scheduling, checkpointing.
+#[derive(Debug, Clone)]
+pub struct SweepRunner {
+    threads: usize,
+    max_cells: Option<usize>,
+}
+
+impl SweepRunner {
+    /// A runner with the default thread budget ([`default_threads`]:
+    /// `FLIP_THREADS` override or machine width).
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            threads: default_threads(),
+            max_cells: None,
+        }
+    }
+
+    /// Overrides the total thread budget.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Stops after executing at most `max_cells` new cells (grid order).
+    ///
+    /// This is the deterministic stand-in for "kill the process mid-sweep"
+    /// used by the interruption tests and the CI smoke leg; a real kill
+    /// behaves the same except that its cut-off point is arbitrary.
+    #[must_use]
+    pub fn with_max_cells(mut self, max_cells: usize) -> Self {
+        self.max_cells = Some(max_cells);
+        self
+    }
+
+    /// The configured thread budget.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `spec`, skipping cells already persisted in `store`, appending
+    /// each newly completed cell to the store as it finishes.  Pass
+    /// `store = None` for a purely in-memory run (the thin experiment
+    /// binaries do this).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first error hit: spec expansion, registry resolution,
+    /// simulation failure, or store I/O.  Cells completed before the error
+    /// remain persisted — a failed run resumes like a killed one.
+    pub fn run(
+        &self,
+        spec: &SweepSpec,
+        registry: &ProtocolRegistry,
+        store: Option<&SweepStore>,
+    ) -> Result<SweepOutcome, SweepError> {
+        let grid = spec.expand()?;
+        // Resolve every cell up front so an unknown protocol or a bad
+        // backend fails before any compute is spent.
+        for cell in &grid {
+            registry.resolve(cell)?;
+        }
+        let persisted = match store {
+            Some(store) => store.load_cells()?,
+            None => std::collections::BTreeMap::new(),
+        };
+
+        let pending: Vec<(usize, &ScenarioSpec)> = grid
+            .iter()
+            .enumerate()
+            .filter(|(_, cell)| !persisted.contains_key(&cell.hash_hex()))
+            .take(self.max_cells.unwrap_or(usize::MAX))
+            .collect();
+        let skipped = persisted.len().min(grid.len());
+
+        let outer = self.threads.min(pending.len()).max(1);
+        let inner = (self.threads / outer).max(1);
+        let mut shards = match store {
+            Some(store) if !pending.is_empty() => store.open_shards(outer)?,
+            _ => Vec::new(),
+        };
+
+        let next = AtomicUsize::new(0);
+        // First error wins and aborts the queue: workers check the flag
+        // before pulling another cell, so a failure on cell 3 of 1000 does
+        // not burn hours finishing the other 997 before reporting.
+        let abort = AtomicBool::new(false);
+        let pending_ref = &pending;
+        let next_ref = &next;
+        let abort_ref = &abort;
+        let mut fresh: Vec<(usize, CellRecord)> = Vec::with_capacity(pending.len());
+        let mut first_error: Option<SweepError> = None;
+
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..outer)
+                .map(|_| {
+                    let mut shard = shards.pop();
+                    scope.spawn(move || {
+                        let mut mine: Vec<(usize, CellRecord)> = Vec::new();
+                        let run = |cell: &ScenarioSpec,
+                                   shard: Option<&mut ShardWriter>|
+                         -> Result<CellRecord, SweepError> {
+                            let record = run_cell(cell, registry, inner)?;
+                            if let Some(writer) = shard {
+                                writer.append(&record)?;
+                            }
+                            Ok(record)
+                        };
+                        loop {
+                            if abort_ref.load(Ordering::Relaxed) {
+                                return Ok(mine);
+                            }
+                            let slot = next_ref.fetch_add(1, Ordering::Relaxed);
+                            let Some(&(grid_index, cell)) = pending_ref.get(slot) else {
+                                return Ok(mine);
+                            };
+                            match run(cell, shard.as_mut()) {
+                                Ok(record) => mine.push((grid_index, record)),
+                                Err(err) => {
+                                    abort_ref.store(true, Ordering::Relaxed);
+                                    return Err(err);
+                                }
+                            }
+                        }
+                    })
+                })
+                .collect();
+            for handle in handles {
+                match handle.join().expect("sweep worker panicked") {
+                    Ok(mine) => fresh.extend(mine),
+                    Err(err) => {
+                        if first_error.is_none() {
+                            first_error = Some(err);
+                        }
+                    }
+                }
+            }
+        });
+        if let Some(err) = first_error {
+            return Err(err);
+        }
+
+        let executed = fresh.len();
+        let mut by_index: std::collections::BTreeMap<usize, CellRecord> =
+            fresh.into_iter().collect();
+        let mut cells = Vec::with_capacity(grid.len());
+        for (i, cell) in grid.iter().enumerate() {
+            if let Some(record) = by_index.remove(&i) {
+                cells.push(record);
+            } else if let Some(record) = persisted.get(&cell.hash_hex()) {
+                cells.push(record.clone());
+            }
+        }
+        let completed = cells.len() == grid.len();
+        Ok(SweepOutcome {
+            cells,
+            executed,
+            skipped,
+            total: grid.len(),
+            completed,
+        })
+    }
+}
+
+impl Default for SweepRunner {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Runs every trial of one cell (fanning out over `inner_threads`) and folds
+/// the per-trial metrics into a record, in trial order.
+fn run_cell(
+    cell: &ScenarioSpec,
+    registry: &ProtocolRegistry,
+    inner_threads: usize,
+) -> Result<CellRecord, SweepError> {
+    let runner = TrialRunner::new(u64::from(cell.trials)).with_threads(inner_threads);
+    let results = runner.run(|trial| registry.run_trial(cell, trial));
+    let mut trials = Vec::with_capacity(results.len());
+    for result in results {
+        trials.push(result?);
+    }
+    Ok(CellRecord::from_trials(
+        cell.hash_hex(),
+        cell.point,
+        &trials,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::Axis;
+    use flip_model::Backend;
+    use std::collections::BTreeMap;
+
+    fn tiny_sweep() -> SweepSpec {
+        SweepSpec {
+            name: "orchestrator-demo".into(),
+            protocol: "rumor".into(),
+            backend: Backend::Agents,
+            trials: 3,
+            base_seed: 21,
+            point_base: 10,
+            rounds: 150,
+            defaults: BTreeMap::from([
+                ("epsilon".to_string(), 0.25),
+                ("informed".to_string(), 5.0),
+            ]),
+            axes: vec![Axis {
+                key: "n".into(),
+                values: vec![80.0, 120.0, 160.0],
+            }],
+        }
+    }
+
+    #[test]
+    fn in_memory_runs_cover_the_grid_in_order() {
+        let outcome = SweepRunner::new()
+            .with_threads(4)
+            .run(&tiny_sweep(), &ProtocolRegistry::builtin(), None)
+            .unwrap();
+        assert!(outcome.completed);
+        assert_eq!(outcome.executed, 3);
+        assert_eq!(outcome.skipped, 0);
+        assert_eq!(outcome.total, 3);
+        let points: Vec<u64> = outcome.cells.iter().map(|c| c.point).collect();
+        assert_eq!(points, vec![10, 11, 12]);
+        for cell in &outcome.cells {
+            assert_eq!(cell.trials, 3);
+            assert!(cell.metrics.contains_key("rounds"));
+        }
+    }
+
+    #[test]
+    fn scheduling_cannot_change_results() {
+        let registry = ProtocolRegistry::builtin();
+        let spec = tiny_sweep();
+        let single = SweepRunner::new()
+            .with_threads(1)
+            .run(&spec, &registry, None)
+            .unwrap();
+        for threads in [2, 3, 8] {
+            let parallel = SweepRunner::new()
+                .with_threads(threads)
+                .run(&spec, &registry, None)
+                .unwrap();
+            assert_eq!(parallel.cells, single.cells, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn max_cells_executes_a_prefix_and_reports_incomplete() {
+        let outcome = SweepRunner::new()
+            .with_threads(2)
+            .with_max_cells(2)
+            .run(&tiny_sweep(), &ProtocolRegistry::builtin(), None)
+            .unwrap();
+        assert!(!outcome.completed);
+        assert_eq!(outcome.executed, 2);
+        assert_eq!(outcome.cells.len(), 2);
+    }
+
+    #[test]
+    fn a_cell_error_aborts_the_queue_instead_of_draining_it() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+
+        let executed = Arc::new(AtomicUsize::new(0));
+        let seen = Arc::clone(&executed);
+        let mut registry = crate::ProtocolRegistry::new();
+        registry.register(
+            "fail-second",
+            &[Backend::Agents],
+            Box::new(move |spec, _trial| {
+                seen.fetch_add(1, Ordering::Relaxed);
+                if spec.point == 1 {
+                    Err(crate::SweepError::Simulation("boom".into()))
+                } else {
+                    Ok(vec![("x", 1.0)])
+                }
+            }),
+        );
+        let mut spec = tiny_sweep();
+        spec.protocol = "fail-second".into();
+        spec.point_base = 0;
+        spec.trials = 1;
+        spec.axes[0].values = (0..20).map(|i| 100.0 + f64::from(i)).collect();
+
+        let err = SweepRunner::new()
+            .with_threads(1)
+            .run(&spec, &registry, None)
+            .unwrap_err();
+        assert!(err.to_string().contains("boom"), "{err}");
+        // Sequentially, the failure on cell 1 must stop the queue: cells
+        // 2..20 never run.
+        assert_eq!(executed.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn bad_specs_fail_before_any_compute() {
+        let mut spec = tiny_sweep();
+        spec.protocol = "no-such-protocol".into();
+        let err = SweepRunner::new()
+            .run(&spec, &ProtocolRegistry::builtin(), None)
+            .unwrap_err();
+        assert!(matches!(err, SweepError::Protocol(_)));
+        let mut spec = tiny_sweep();
+        spec.backend = Backend::Dense;
+        spec.protocol = "broadcast".into();
+        assert!(SweepRunner::new()
+            .run(&spec, &ProtocolRegistry::builtin(), None)
+            .is_err());
+    }
+}

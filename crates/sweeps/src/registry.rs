@@ -1,0 +1,493 @@
+//! The protocol registry: scenario ids resolved to executable trial runners.
+//!
+//! A [`ProtocolRegistry`] maps a protocol id (the `protocol` field of a
+//! [`ScenarioSpec`]) to a [`TrialFn`] that runs **one trial** of one cell and
+//! returns its metrics as `(name, value)` pairs.  Every entry declares which
+//! [`Backend`]s it supports, so a spec that asks the dense engine for an
+//! agents-only protocol fails loudly at lookup time — before any cell runs.
+//!
+//! [`ProtocolRegistry::builtin`] registers the four workloads the paper's
+//! sweeps need:
+//!
+//! | id                   | backends        | protocol                                       |
+//! |----------------------|-----------------|------------------------------------------------|
+//! | `broadcast`          | agents          | full two-stage noisy broadcast (`breathe`)     |
+//! | `majority-consensus` | agents          | noisy majority-consensus from an initial set   |
+//! | `rumor`              | agents, dense   | push rumor spreading until full activation     |
+//! | `majority-sampler`   | dense           | Stage-II style repeated noisy majority boost   |
+//!
+//! Custom protocols register with [`ProtocolRegistry::register`]; the sweep
+//! runner treats them identically.
+
+use breathe::{BroadcastProtocol, InitialSet, MajorityConsensusProtocol, Multipliers, Params};
+use flip_model::{
+    Backend, BinarySymmetricChannel, DenseSimulation, MajoritySamplerProtocol, Opinion, RumorAgent,
+    RumorProtocol, Simulation, SimulationConfig,
+};
+
+use crate::error::SweepError;
+use crate::spec::ScenarioSpec;
+
+/// Runs one trial of one cell: `(spec, trial_index)` → metric pairs.
+///
+/// Implementations must be deterministic functions of
+/// [`ScenarioSpec::seed_for_trial`]`(trial)` and must report the same metric
+/// names for every trial of a cell.
+pub type TrialFn =
+    Box<dyn Fn(&ScenarioSpec, u64) -> Result<Vec<(&'static str, f64)>, SweepError> + Send + Sync>;
+
+struct ProtocolEntry {
+    backends: Vec<Backend>,
+    run: TrialFn,
+}
+
+/// The scenario-id → runner mapping driving a sweep.
+pub struct ProtocolRegistry {
+    entries: std::collections::BTreeMap<String, ProtocolEntry>,
+}
+
+impl ProtocolRegistry {
+    /// An empty registry (useful for fully custom harnesses).
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            entries: std::collections::BTreeMap::new(),
+        }
+    }
+
+    /// The registry with the built-in protocols (see the module docs).
+    #[must_use]
+    pub fn builtin() -> Self {
+        let mut registry = Self::new();
+        registry.register("broadcast", &[Backend::Agents], Box::new(run_broadcast));
+        registry.register(
+            "majority-consensus",
+            &[Backend::Agents],
+            Box::new(run_majority_consensus),
+        );
+        registry.register(
+            "rumor",
+            &[Backend::Agents, Backend::Dense],
+            Box::new(run_rumor),
+        );
+        registry.register(
+            "majority-sampler",
+            &[Backend::Dense],
+            Box::new(run_majority_sampler),
+        );
+        registry
+    }
+
+    /// Registers (or replaces) a protocol.
+    pub fn register(&mut self, id: &str, backends: &[Backend], run: TrialFn) {
+        self.entries.insert(
+            id.to_string(),
+            ProtocolEntry {
+                backends: backends.to_vec(),
+                run,
+            },
+        );
+    }
+
+    /// The registered protocol ids with their supported backends, in id order.
+    #[must_use]
+    pub fn list(&self) -> Vec<(String, Vec<Backend>)> {
+        self.entries
+            .iter()
+            .map(|(id, e)| (id.clone(), e.backends.clone()))
+            .collect()
+    }
+
+    /// Resolves a cell to its trial runner, checking backend support.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SweepError::Protocol`] for unknown ids or unsupported
+    /// protocol/backend combinations.
+    pub fn resolve(&self, spec: &ScenarioSpec) -> Result<&TrialFn, SweepError> {
+        let entry = self.entries.get(&spec.protocol).ok_or_else(|| {
+            SweepError::Protocol(format!(
+                "unknown protocol `{}`; registered: {}",
+                spec.protocol,
+                self.entries.keys().cloned().collect::<Vec<_>>().join(", ")
+            ))
+        })?;
+        if !entry.backends.contains(&spec.backend) {
+            return Err(SweepError::Protocol(format!(
+                "protocol `{}` has no `{}` variant (supported: {})",
+                spec.protocol,
+                spec.backend,
+                entry
+                    .backends
+                    .iter()
+                    .map(|b| b.as_str())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            )));
+        }
+        Ok(&entry.run)
+    }
+
+    /// Runs one trial of `spec` (resolve + execute).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ProtocolRegistry::resolve`] failures and simulation
+    /// errors from the protocol itself.
+    pub fn run_trial(
+        &self,
+        spec: &ScenarioSpec,
+        trial: u64,
+    ) -> Result<Vec<(&'static str, f64)>, SweepError> {
+        (self.resolve(spec)?)(spec, trial)
+    }
+}
+
+impl Default for ProtocolRegistry {
+    fn default() -> Self {
+        Self::builtin()
+    }
+}
+
+/// Builds `Params` from a cell: `n`/`epsilon` plus any of the multiplier
+/// overrides (`s_mult`, `beta_mult`, `f_mult`, `gamma_mult`, `final_mult`,
+/// `extra_boost_phases`) the spec carries.
+fn params_from_spec(spec: &ScenarioSpec) -> Result<Params, SweepError> {
+    let practical = Multipliers::practical();
+    let multipliers = Multipliers {
+        s_mult: spec.param_or("s_mult", practical.s_mult),
+        beta_mult: spec.param_or("beta_mult", practical.beta_mult),
+        f_mult: spec.param_or("f_mult", practical.f_mult),
+        gamma_mult: spec.param_or("gamma_mult", practical.gamma_mult),
+        extra_boost_phases: spec.param_or("extra_boost_phases", practical.extra_boost_phases as f64)
+            as usize,
+        final_mult: spec.param_or("final_mult", practical.final_mult),
+    };
+    let n = usize::try_from(spec.n())
+        .map_err(|_| SweepError::Spec("`n` does not fit in usize".into()))?;
+    Params::with_multipliers(n, spec.epsilon(), multipliers)
+        .map_err(|e| SweepError::Spec(e.to_string()))
+}
+
+/// `broadcast`: the full two-stage protocol, one source, opinion `One`.
+fn run_broadcast(spec: &ScenarioSpec, trial: u64) -> Result<Vec<(&'static str, f64)>, SweepError> {
+    let params = params_from_spec(spec)?;
+    let protocol = BroadcastProtocol::new(params, Opinion::One);
+    let outcome = protocol.run_with_seed(spec.seed_for_trial(trial))?;
+    Ok(vec![
+        ("total_rounds", outcome.total_rounds as f64),
+        ("stage1_rounds", outcome.stage1_rounds as f64),
+        ("messages_sent", outcome.messages_sent as f64),
+        ("active_after_stage1", outcome.active_after_stage1 as f64),
+        (
+            "fraction_correct_after_stage1",
+            outcome.fraction_correct_after_stage1,
+        ),
+        ("fraction_correct", outcome.fraction_correct),
+        ("all_correct", f64::from(u8::from(outcome.all_correct))),
+    ])
+}
+
+/// `majority-consensus`: params `initial_size` and `initial_bias` select the
+/// opinionated set.
+fn run_majority_consensus(
+    spec: &ScenarioSpec,
+    trial: u64,
+) -> Result<Vec<(&'static str, f64)>, SweepError> {
+    let params = params_from_spec(spec)?;
+    let size = spec.param_or("initial_size", spec.n() as f64) as usize;
+    let bias = spec.param_or("initial_bias", 0.1);
+    let initial = InitialSet::with_bias(size, bias).map_err(|e| SweepError::Spec(e.to_string()))?;
+    let protocol = MajorityConsensusProtocol::new(params, Opinion::One, initial)
+        .map_err(|e| SweepError::Spec(e.to_string()))?;
+    let outcome = protocol.run_with_seed(spec.seed_for_trial(trial))?;
+    Ok(vec![
+        ("total_rounds", outcome.total_rounds as f64),
+        ("messages_sent", outcome.messages_sent as f64),
+        ("initial_majority_bias", outcome.initial_majority_bias),
+        ("fraction_correct", outcome.fraction_correct),
+        ("all_correct", f64::from(u8::from(outcome.all_correct))),
+    ])
+}
+
+/// `rumor`: `informed` agents start active; runs until full activation or
+/// the cell's round cap, on either engine.
+fn run_rumor(spec: &ScenarioSpec, trial: u64) -> Result<Vec<(&'static str, f64)>, SweepError> {
+    if spec.rounds == 0 {
+        return Err(SweepError::Spec(
+            "`rumor` needs a round cap (`rounds` > 0)".into(),
+        ));
+    }
+    let n = usize::try_from(spec.n())
+        .map_err(|_| SweepError::Spec("`n` does not fit in usize".into()))?;
+    let informed = spec.param_or("informed", 1.0) as u64;
+    let channel = BinarySymmetricChannel::from_epsilon(spec.epsilon())
+        .map_err(|e| SweepError::Spec(e.to_string()))?;
+    let config = SimulationConfig::new(n)
+        .with_seed(spec.seed_for_trial(trial))
+        .with_reference(Opinion::One);
+    let (rounds, fraction, messages) = match spec.backend {
+        Backend::Dense => {
+            let population = RumorProtocol::population(spec.n(), 0, informed);
+            let mut sim = DenseSimulation::new(RumorProtocol, channel, population, config)?;
+            let rounds = sim.run_until(spec.rounds, |s| s.census().active() == n);
+            (
+                rounds,
+                sim.census().fraction_correct(Opinion::One),
+                sim.metrics().messages_sent,
+            )
+        }
+        Backend::Agents => {
+            let agents = RumorAgent::population(n, 0, informed as usize);
+            let mut sim = Simulation::new(agents, channel, config)?;
+            let rounds = sim.run_until(spec.rounds, |s| s.census().active() == n);
+            (
+                rounds,
+                sim.census().fraction_correct(Opinion::One),
+                sim.metrics().messages_sent,
+            )
+        }
+    };
+    Ok(vec![
+        ("rounds", rounds as f64),
+        ("fraction_correct", fraction),
+        ("messages_sent", messages as f64),
+    ])
+}
+
+/// `majority-sampler`: dense Stage-II boost.  Param `initial_bias` sets the
+/// whole-population bias towards the correct opinion; phase length is the
+/// paper's odd `Θ(1/ε²)` and the phase count `2·⌈log₂ n⌉` (the E8-D
+/// schedule).
+fn run_majority_sampler(
+    spec: &ScenarioSpec,
+    trial: u64,
+) -> Result<Vec<(&'static str, f64)>, SweepError> {
+    let epsilon = spec.epsilon();
+    let n = spec.n();
+    let bias = spec.param_or("initial_bias", 0.01);
+    if !(-0.5..=0.5).contains(&bias) {
+        return Err(SweepError::Spec(format!(
+            "`initial_bias` must be in [-0.5, 0.5] (a whole-population bias), got {bias}"
+        )));
+    }
+    let phase_len = ((2.0 / (epsilon * epsilon)).ceil() as u64) | 1;
+    let phases = 2 * (n as f64).log2().ceil() as u64;
+    let correct = (((0.5 + bias) * n as f64).round() as u64).min(n);
+    let sampler = MajoritySamplerProtocol::new(phase_len);
+    let population = sampler.population(n - correct, correct);
+    let channel = BinarySymmetricChannel::from_epsilon(epsilon)
+        .map_err(|e| SweepError::Spec(e.to_string()))?;
+    let config = SimulationConfig::new(
+        usize::try_from(n).map_err(|_| SweepError::Spec("`n` does not fit in usize".into()))?,
+    )
+    .with_seed(spec.seed_for_trial(trial))
+    .with_reference(Opinion::One);
+    let mut sim = DenseSimulation::new(sampler, channel, population, config)?;
+    sim.run(phases * phase_len);
+    let fraction = sim.census().fraction_correct(Opinion::One);
+    Ok(vec![
+        ("fraction_correct", fraction),
+        ("majority_preserved", f64::from(u8::from(fraction > 0.5))),
+        ("phases", phases as f64),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn cell(protocol: &str, backend: Backend, params: &[(&str, f64)]) -> ScenarioSpec {
+        ScenarioSpec {
+            protocol: protocol.into(),
+            backend,
+            trials: 2,
+            base_seed: 11,
+            point: 0,
+            rounds: 200,
+            params: params
+                .iter()
+                .map(|(k, v)| ((*k).to_string(), *v))
+                .collect::<BTreeMap<_, _>>(),
+        }
+    }
+
+    #[test]
+    fn unknown_protocols_and_backends_fail_loudly() {
+        let registry = ProtocolRegistry::builtin();
+        let unknown = cell(
+            "teleport",
+            Backend::Agents,
+            &[("n", 100.0), ("epsilon", 0.2)],
+        );
+        assert!(matches!(
+            registry.resolve(&unknown),
+            Err(SweepError::Protocol(_))
+        ));
+        let dense_broadcast = cell(
+            "broadcast",
+            Backend::Dense,
+            &[("n", 100.0), ("epsilon", 0.2)],
+        );
+        let Err(err) = registry.resolve(&dense_broadcast) else {
+            panic!("dense broadcast must be rejected");
+        };
+        assert!(err.to_string().contains("no `dense` variant"), "{err}");
+    }
+
+    #[test]
+    fn listing_names_every_builtin() {
+        let ids: Vec<String> = ProtocolRegistry::builtin()
+            .list()
+            .into_iter()
+            .map(|(id, _)| id)
+            .collect();
+        assert_eq!(
+            ids,
+            vec![
+                "broadcast",
+                "majority-consensus",
+                "majority-sampler",
+                "rumor"
+            ]
+        );
+    }
+
+    #[test]
+    fn rumor_runs_on_both_engines_and_is_seed_deterministic() {
+        let registry = ProtocolRegistry::builtin();
+        for backend in Backend::ALL {
+            let spec = cell(
+                "rumor",
+                backend,
+                &[("n", 300.0), ("epsilon", 0.25), ("informed", 10.0)],
+            );
+            let a = registry.run_trial(&spec, 0).unwrap();
+            let b = registry.run_trial(&spec, 0).unwrap();
+            assert_eq!(a, b, "same seed must reproduce ({backend})");
+            let c = registry.run_trial(&spec, 1).unwrap();
+            assert_ne!(a, c, "different trials use different seeds ({backend})");
+            let names: Vec<&str> = a.iter().map(|(k, _)| *k).collect();
+            assert_eq!(names, vec!["rounds", "fraction_correct", "messages_sent"]);
+        }
+    }
+
+    #[test]
+    fn rumor_requires_a_round_cap() {
+        let registry = ProtocolRegistry::builtin();
+        let mut spec = cell("rumor", Backend::Agents, &[("n", 100.0), ("epsilon", 0.2)]);
+        spec.rounds = 0;
+        assert!(registry.run_trial(&spec, 0).is_err());
+    }
+
+    #[test]
+    fn broadcast_reports_the_legacy_outcome_metrics() {
+        let registry = ProtocolRegistry::builtin();
+        let spec = cell(
+            "broadcast",
+            Backend::Agents,
+            &[("n", 300.0), ("epsilon", 0.3)],
+        );
+        let metrics = registry.run_trial(&spec, 0).unwrap();
+        let get = |name: &str| {
+            metrics
+                .iter()
+                .find(|(k, _)| *k == name)
+                .map(|(_, v)| *v)
+                .unwrap()
+        };
+        assert!(get("total_rounds") > get("stage1_rounds"));
+        assert!(get("fraction_correct") > 0.9);
+        assert!(get("messages_sent") > 0.0);
+        // Reproduces the protocol run directly (the migration contract).
+        let params = Params::practical(300, 0.3).unwrap();
+        let outcome = BroadcastProtocol::new(params, Opinion::One)
+            .run_with_seed(spec.seed_for_trial(0))
+            .unwrap();
+        assert_eq!(get("fraction_correct"), outcome.fraction_correct);
+        assert_eq!(get("messages_sent"), outcome.messages_sent as f64);
+    }
+
+    #[test]
+    fn gamma_multiplier_override_reaches_params() {
+        let registry = ProtocolRegistry::builtin();
+        let starved = cell(
+            "broadcast",
+            Backend::Agents,
+            &[("n", 300.0), ("epsilon", 0.3), ("gamma_mult", 0.25)],
+        );
+        // Must match a direct with_multipliers construction trial-for-trial.
+        let multipliers = Multipliers {
+            gamma_mult: 0.25,
+            ..Multipliers::practical()
+        };
+        let params = Params::with_multipliers(300, 0.3, multipliers).unwrap();
+        let outcome = BroadcastProtocol::new(params, Opinion::One)
+            .run_with_seed(starved.seed_for_trial(1))
+            .unwrap();
+        let metrics = registry.run_trial(&starved, 1).unwrap();
+        let fraction = metrics
+            .iter()
+            .find(|(k, _)| *k == "fraction_correct")
+            .unwrap()
+            .1;
+        assert_eq!(fraction, outcome.fraction_correct);
+    }
+
+    #[test]
+    fn majority_sampler_boosts_bias_on_the_dense_engine() {
+        let registry = ProtocolRegistry::builtin();
+        let spec = cell(
+            "majority-sampler",
+            Backend::Dense,
+            &[("n", 50_000.0), ("epsilon", 0.3), ("initial_bias", 0.05)],
+        );
+        let metrics = registry.run_trial(&spec, 0).unwrap();
+        let fraction = metrics
+            .iter()
+            .find(|(k, _)| *k == "fraction_correct")
+            .unwrap()
+            .1;
+        assert!(fraction > 0.8, "boost should amplify a 5% edge: {fraction}");
+    }
+
+    #[test]
+    fn majority_sampler_rejects_impossible_biases() {
+        // A typo'd bias (> 0.5) must fail loudly, not wrap `n - correct`
+        // into a garbage population that exports plausible-looking numbers.
+        let registry = ProtocolRegistry::builtin();
+        for bad in [0.6, -0.7, 5.0] {
+            let spec = cell(
+                "majority-sampler",
+                Backend::Dense,
+                &[("n", 10_000.0), ("epsilon", 0.3), ("initial_bias", bad)],
+            );
+            let err = registry.run_trial(&spec, 0).unwrap_err();
+            assert!(err.to_string().contains("initial_bias"), "{bad}: {err}");
+        }
+        // The boundary itself is fine: bias 0.5 = everyone starts correct.
+        let spec = cell(
+            "majority-sampler",
+            Backend::Dense,
+            &[("n", 10_000.0), ("epsilon", 0.3), ("initial_bias", 0.5)],
+        );
+        assert!(registry.run_trial(&spec, 0).is_ok());
+    }
+
+    #[test]
+    fn custom_protocols_can_be_registered() {
+        let mut registry = ProtocolRegistry::new();
+        registry.register(
+            "constant",
+            &[Backend::Agents],
+            Box::new(|spec, trial| Ok(vec![("value", spec.n() as f64 + trial as f64)])),
+        );
+        let spec = cell(
+            "constant",
+            Backend::Agents,
+            &[("n", 10.0), ("epsilon", 0.2)],
+        );
+        assert_eq!(registry.run_trial(&spec, 5).unwrap(), vec![("value", 15.0)]);
+    }
+}

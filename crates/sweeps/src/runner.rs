@@ -1,6 +1,39 @@
 //! A deterministic multi-trial runner that fans independent simulations out
 //! over threads.
 
+/// The environment variable that caps worker threads for every
+/// [`TrialRunner`] (and, transitively, every sweep): `FLIP_THREADS=4` limits
+/// fan-out to four workers machine-wide without touching any command line.
+pub const THREADS_ENV: &str = "FLIP_THREADS";
+
+/// Parses a `FLIP_THREADS`-style value: `None` (unset) falls back to the
+/// machine's available parallelism.
+///
+/// # Panics
+///
+/// Panics on a present-but-invalid value (non-numeric or zero) so a typo'd
+/// override fails loudly instead of silently running at a surprise width.
+#[must_use]
+pub fn threads_from_env(value: Option<&str>) -> usize {
+    match value {
+        None => std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1),
+        Some(raw) => match raw.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => panic!("invalid {THREADS_ENV} value `{raw}`: expected an integer >= 1"),
+        },
+    }
+}
+
+/// The default worker-thread count: the `FLIP_THREADS` environment override
+/// when set, otherwise the machine's available parallelism.
+#[must_use]
+pub fn default_threads() -> usize {
+    let value = std::env::var(THREADS_ENV).ok();
+    threads_from_env(value.as_deref())
+}
+
 /// Runs independent trials in parallel with stable per-trial seeds.
 ///
 /// The fan-out is lock-free: the pre-sized results vector is split into one
@@ -13,7 +46,7 @@
 /// # Example
 ///
 /// ```
-/// use experiments::TrialRunner;
+/// use sweeps::TrialRunner;
 ///
 /// let runner = TrialRunner::new(8);
 /// let squares = runner.run(|trial| trial * trial);
@@ -27,14 +60,14 @@ pub struct TrialRunner {
 
 impl TrialRunner {
     /// Creates a runner for the given number of trials, using as many threads
-    /// as the machine offers — but never more threads than trials: a 4-trial
-    /// run on a 64-core machine gets 4 worker threads, not 64, since the
-    /// surplus threads would only be spawned to exit immediately.
+    /// as [`default_threads`] allows (the `FLIP_THREADS` environment override
+    /// when set, otherwise every core the machine offers) — but never more
+    /// threads than trials: a 4-trial run on a 64-core machine gets 4 worker
+    /// threads, not 64, since the surplus threads would only be spawned to
+    /// exit immediately.
     #[must_use]
     pub fn new(trials: u64) -> Self {
-        let available = std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(1);
+        let available = default_threads();
         let cap = usize::try_from(trials).unwrap_or(usize::MAX);
         Self {
             trials,
@@ -42,7 +75,8 @@ impl TrialRunner {
         }
     }
 
-    /// Overrides the number of worker threads (useful in tests).
+    /// Overrides the number of worker threads (the `--threads` flag and tests
+    /// route through this).
     #[must_use]
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
@@ -158,5 +192,17 @@ mod tests {
         assert_eq!(TrialRunner::new(0).threads(), 1);
         // The explicit override remains available for tests that want more.
         assert_eq!(TrialRunner::new(2).with_threads(8).threads(), 8);
+    }
+
+    #[test]
+    fn env_override_parsing_is_strict() {
+        // Unset: falls back to the machine width, always >= 1.
+        assert!(threads_from_env(None) >= 1);
+        assert_eq!(threads_from_env(Some("3")), 3);
+        assert_eq!(threads_from_env(Some(" 12 ")), 12);
+        for bad in ["0", "-1", "four", ""] {
+            let result = std::panic::catch_unwind(|| threads_from_env(Some(bad)));
+            assert!(result.is_err(), "`{bad}` must be rejected loudly");
+        }
     }
 }

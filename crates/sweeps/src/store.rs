@@ -1,0 +1,385 @@
+//! The resumable result store: a manifest plus JSONL shards.
+//!
+//! Layout of a store directory:
+//!
+//! ```text
+//! out/
+//!   manifest.json          # {"format":1,"sweep_hash":"…","spec":{…}}
+//!   shards/
+//!     shard-0001-00.jsonl  # one CellRecord per line, appended + flushed
+//!     shard-0001-01.jsonl  #   as cells complete (generation 1, worker 1)
+//!     shard-0002-00.jsonl  # a resumed run appends a new generation
+//! ```
+//!
+//! Each worker thread owns one shard file per run *generation*, so no line is
+//! ever written concurrently and no lock guards the hot path.  A completed
+//! cell is checkpointed by appending its record and flushing; a run killed
+//! mid-write leaves at most a torn **final** line per shard, which the loader
+//! drops (the cell simply re-runs on resume).  Because every record is a
+//! deterministic function of its hash-addressed spec, re-running loses
+//! nothing and the final export is byte-identical to an uninterrupted run.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+use crate::aggregate::CellRecord;
+use crate::error::SweepError;
+use crate::json::{parse, Json};
+use crate::spec::SweepSpec;
+
+/// The store format version written to manifests.
+pub const STORE_FORMAT: u64 = 1;
+
+/// A sweep's on-disk result store.
+#[derive(Debug)]
+pub struct SweepStore {
+    dir: PathBuf,
+    sweep_hash: String,
+}
+
+impl SweepStore {
+    /// Creates (or re-opens) the store for `spec` at `dir`.
+    ///
+    /// A fresh directory gets a manifest; an existing one must carry the
+    /// same sweep hash — pointing a different spec at an existing store is
+    /// an error, never silent reuse.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SweepError::Io`] on filesystem failures and
+    /// [`SweepError::Store`] on a manifest/spec mismatch.
+    pub fn create(dir: &Path, spec: &SweepSpec) -> Result<Self, SweepError> {
+        fs::create_dir_all(dir.join("shards"))?;
+        let manifest_path = dir.join("manifest.json");
+        let sweep_hash = spec.hash_hex();
+        if manifest_path.exists() {
+            let (existing_hash, _) = read_manifest(&manifest_path)?;
+            if existing_hash != sweep_hash {
+                return Err(SweepError::Store(format!(
+                    "store at {} holds sweep {existing_hash}, but the given spec hashes to \
+                     {sweep_hash}; use a fresh --out directory for an edited spec",
+                    dir.display()
+                )));
+            }
+        } else {
+            let manifest = Json::object(vec![
+                ("format".into(), Json::UInt(STORE_FORMAT)),
+                ("sweep_hash".into(), Json::Str(sweep_hash.clone())),
+                ("spec".into(), spec.to_json()),
+            ]);
+            atomic_write(&manifest_path, manifest.to_string().as_bytes())?;
+        }
+        Ok(Self {
+            dir: dir.to_path_buf(),
+            sweep_hash,
+        })
+    }
+
+    /// Opens an existing store and returns it with the spec its manifest
+    /// recorded (what `sweep resume` and `sweep export` run from).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SweepError::Store`] when the directory has no valid
+    /// manifest.
+    pub fn open(dir: &Path) -> Result<(Self, SweepSpec), SweepError> {
+        let (sweep_hash, spec) = read_manifest(&dir.join("manifest.json"))?;
+        Ok((
+            Self {
+                dir: dir.to_path_buf(),
+                sweep_hash,
+            },
+            spec,
+        ))
+    }
+
+    /// The store directory.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The sweep hash this store is bound to.
+    #[must_use]
+    pub fn sweep_hash(&self) -> &str {
+        &self.sweep_hash
+    }
+
+    /// Loads every persisted cell record, keyed by cell hash.
+    ///
+    /// Shards are read in sorted filename order.  A record whose hash
+    /// appears twice keeps the later read (identical by construction).  A
+    /// torn **final** line — the signature of a killed run — is dropped;
+    /// a malformed line anywhere else is corruption and fails loudly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SweepError::Io`] on read failures, [`SweepError::Store`]
+    /// on mid-file corruption.
+    pub fn load_cells(&self) -> Result<BTreeMap<String, CellRecord>, SweepError> {
+        let mut cells = BTreeMap::new();
+        let shards_dir = self.dir.join("shards");
+        let mut paths: Vec<PathBuf> = fs::read_dir(&shards_dir)?
+            .collect::<Result<Vec<_>, _>>()?
+            .into_iter()
+            .map(|entry| entry.path())
+            .filter(|p| p.extension().is_some_and(|ext| ext == "jsonl"))
+            .collect();
+        paths.sort();
+        for path in paths {
+            let content = fs::read_to_string(&path)?;
+            let lines: Vec<&str> = content.lines().collect();
+            for (i, line) in lines.iter().enumerate() {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                match CellRecord::from_json_line(line) {
+                    Ok(record) => {
+                        cells.insert(record.hash.clone(), record);
+                    }
+                    Err(err) if i + 1 == lines.len() && !content.ends_with('\n') => {
+                        // Torn final line from a killed writer: the cell
+                        // never checkpointed, so resuming re-runs it.
+                        let _ = err;
+                    }
+                    Err(err) => {
+                        return Err(SweepError::Store(format!(
+                            "{}:{}: {err}",
+                            path.display(),
+                            i + 1
+                        )));
+                    }
+                }
+            }
+        }
+        Ok(cells)
+    }
+
+    /// Opens one shard writer per worker for a new run generation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SweepError::Io`] when the shards directory is unreadable.
+    pub fn open_shards(&self, workers: usize) -> Result<Vec<ShardWriter>, SweepError> {
+        let shards_dir = self.dir.join("shards");
+        let mut generation = 0u64;
+        for entry in fs::read_dir(&shards_dir)? {
+            let name = entry?.file_name();
+            if let Some(gen) = name
+                .to_str()
+                .and_then(|s| s.strip_prefix("shard-"))
+                .and_then(|s| s.split('-').next())
+                .and_then(|s| s.parse::<u64>().ok())
+            {
+                generation = generation.max(gen);
+            }
+        }
+        generation += 1;
+        Ok((0..workers)
+            .map(|worker| ShardWriter {
+                path: shards_dir.join(format!("shard-{generation:04}-{worker:02}.jsonl")),
+                file: None,
+            })
+            .collect())
+    }
+}
+
+/// An append-only writer for one shard file.
+///
+/// The file is created lazily on the first append, so workers that never
+/// receive a cell leave no empty shard behind.
+#[derive(Debug)]
+pub struct ShardWriter {
+    path: PathBuf,
+    file: Option<BufWriter<fs::File>>,
+}
+
+impl ShardWriter {
+    /// Appends one completed cell and flushes — the checkpoint that makes a
+    /// kill at any later instant lose at most the in-flight cells.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SweepError::Io`] on write failures.
+    pub fn append(&mut self, record: &CellRecord) -> Result<(), SweepError> {
+        if self.file.is_none() {
+            self.file = Some(BufWriter::new(
+                fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(&self.path)?,
+            ));
+        }
+        let file = self.file.as_mut().expect("just created");
+        file.write_all(record.to_json_line().as_bytes())?;
+        file.write_all(b"\n")?;
+        file.flush()?;
+        Ok(())
+    }
+
+    /// The shard's path (for diagnostics).
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+fn read_manifest(path: &Path) -> Result<(String, SweepSpec), SweepError> {
+    let text = fs::read_to_string(path).map_err(|e| {
+        SweepError::Store(format!(
+            "{} is not a sweep store ({e}); run `sweep run` first",
+            path.display()
+        ))
+    })?;
+    let doc = parse(&text).map_err(|e| SweepError::Store(format!("manifest: {e}")))?;
+    let format = doc
+        .get("format")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| SweepError::Store("manifest has no `format`".into()))?;
+    if format != STORE_FORMAT {
+        return Err(SweepError::Store(format!(
+            "manifest format {format} is not the supported {STORE_FORMAT}"
+        )));
+    }
+    let hash = doc
+        .get("sweep_hash")
+        .and_then(Json::as_str)
+        .ok_or_else(|| SweepError::Store("manifest has no `sweep_hash`".into()))?
+        .to_string();
+    let spec = SweepSpec::from_json(
+        doc.get("spec")
+            .ok_or_else(|| SweepError::Store("manifest has no `spec`".into()))?,
+    )?;
+    if spec.hash_hex() != hash {
+        return Err(SweepError::Store(
+            "manifest sweep_hash does not match its own spec".into(),
+        ));
+    }
+    Ok((hash, spec))
+}
+
+/// Writes via a temp file + rename so a kill never leaves a half manifest.
+fn atomic_write(path: &Path, bytes: &[u8]) -> Result<(), SweepError> {
+    let tmp = path.with_extension("json.tmp");
+    fs::write(&tmp, bytes)?;
+    fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{Axis, SweepSpec};
+    use flip_model::Backend;
+    use std::collections::BTreeMap as Map;
+
+    fn demo_spec() -> SweepSpec {
+        SweepSpec {
+            name: "store-demo".into(),
+            protocol: "rumor".into(),
+            backend: Backend::Agents,
+            trials: 2,
+            base_seed: 3,
+            point_base: 0,
+            rounds: 100,
+            defaults: Map::from([("epsilon".to_string(), 0.2), ("informed".to_string(), 4.0)]),
+            axes: vec![Axis {
+                key: "n".into(),
+                values: vec![64.0, 128.0],
+            }],
+        }
+    }
+
+    fn demo_record(hash: &str, point: u64) -> CellRecord {
+        let trials = vec![vec![("x", 1.0)], vec![("x", 3.0)]];
+        CellRecord::from_trials(hash.to_string(), point, &trials)
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("sweep-store-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn create_open_and_reload_round_trip() {
+        let dir = temp_dir("roundtrip");
+        let spec = demo_spec();
+        let store = SweepStore::create(&dir, &spec).unwrap();
+        assert!(store.load_cells().unwrap().is_empty());
+
+        let mut shards = store.open_shards(2).unwrap();
+        shards[0].append(&demo_record("aaaa", 0)).unwrap();
+        shards[1].append(&demo_record("bbbb", 1)).unwrap();
+
+        let (reopened, stored_spec) = SweepStore::open(&dir).unwrap();
+        assert_eq!(stored_spec, spec);
+        assert_eq!(reopened.sweep_hash(), spec.hash_hex());
+        let cells = reopened.load_cells().unwrap();
+        assert_eq!(cells.len(), 2);
+        assert_eq!(cells["aaaa"].point, 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn resume_generations_never_collide() {
+        let dir = temp_dir("generations");
+        let store = SweepStore::create(&dir, &demo_spec()).unwrap();
+        let mut first = store.open_shards(1).unwrap();
+        first[0].append(&demo_record("aaaa", 0)).unwrap();
+        let mut second = store.open_shards(1).unwrap();
+        assert_ne!(first[0].path(), second[0].path());
+        second[0].append(&demo_record("bbbb", 1)).unwrap();
+        assert_eq!(store.load_cells().unwrap().len(), 2);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_final_lines_are_dropped_but_mid_file_corruption_fails() {
+        let dir = temp_dir("torn");
+        let store = SweepStore::create(&dir, &demo_spec()).unwrap();
+        let mut shards = store.open_shards(1).unwrap();
+        shards[0].append(&demo_record("aaaa", 0)).unwrap();
+        shards[0].append(&demo_record("bbbb", 1)).unwrap();
+
+        // Simulate a kill mid-write: truncate the shard inside the last line.
+        let path = shards[0].path().to_path_buf();
+        drop(shards);
+        let content = fs::read_to_string(&path).unwrap();
+        let cut = content.len() - 20;
+        fs::write(&path, &content[..cut]).unwrap();
+        let cells = store.load_cells().unwrap();
+        assert_eq!(cells.len(), 1, "torn cell must be treated as not-run");
+        assert!(cells.contains_key("aaaa"));
+
+        // Corruption before the end is a hard error.
+        fs::write(&path, "garbage\n{\"also\":\"bad\"}\n").unwrap();
+        assert!(store.load_cells().is_err());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn mismatched_specs_are_rejected() {
+        let dir = temp_dir("mismatch");
+        SweepStore::create(&dir, &demo_spec()).unwrap();
+        let mut edited = demo_spec();
+        edited.trials = 9;
+        let err = SweepStore::create(&dir, &edited).unwrap_err();
+        assert!(err.to_string().contains("fresh --out"), "{err}");
+        // The original spec still opens fine.
+        assert!(SweepStore::create(&dir, &demo_spec()).is_ok());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn opening_a_non_store_fails_with_guidance() {
+        let dir = temp_dir("nonstore");
+        fs::create_dir_all(&dir).unwrap();
+        let err = SweepStore::open(&dir).unwrap_err();
+        assert!(err.to_string().contains("sweep run"), "{err}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}
