@@ -250,6 +250,12 @@ impl P2Quantile {
         if state.count < 5 && state.buffer.len() as u64 != state.count {
             return None;
         }
+        if state.count >= 5 && !state.buffer.is_empty() {
+            // Initialisation drains the buffer into the markers; a state
+            // claiming both is corrupt and would diverge from the sketch
+            // that produced it.
+            return None;
+        }
         sketch.count = state.count;
         sketch.heights = state.heights;
         sketch.positions = state.positions;
@@ -437,5 +443,94 @@ mod tests {
         let mut bad_q = P2Quantile::new(0.5).unwrap().snapshot();
         bad_q.q = 1.5;
         assert!(P2Quantile::restore(bad_q).is_none());
+        // An initialised sketch (count >= 5) must have drained its buffer;
+        // a state claiming both is corrupt.
+        let mut sketch = P2Quantile::new(0.5).unwrap();
+        for i in 0..9 {
+            sketch.observe(f64::from(i));
+        }
+        let mut torn = sketch.snapshot();
+        torn.buffer = vec![1.0, 2.0];
+        assert!(P2Quantile::restore(torn).is_none());
+    }
+
+    #[test]
+    fn p2_small_sample_regime_estimates_and_round_trips_exactly() {
+        // Every pre-initialisation count (0..=4): the estimate is the exact
+        // sorted-buffer interpolation, and snapshot -> restore reproduces
+        // the sketch *exactly* (f64-bit equality via PartialEq), then
+        // continues identically to the original.
+        let samples = [7.5, -2.0, 7.5, 11.25]; // includes a duplicate
+        for (q, truths) in [
+            (0.5, [7.5, 2.75, 7.5, 7.5]),
+            (0.1, [7.5, -1.05, -0.1, 0.85]),
+        ] {
+            let mut sketch = P2Quantile::new(q).unwrap();
+            assert!(sketch.estimate().is_nan(), "empty sketch has no estimate");
+            let empty = P2Quantile::restore(sketch.snapshot()).unwrap();
+            assert_eq!(empty, sketch, "empty state round-trips");
+
+            for (i, &x) in samples.iter().enumerate() {
+                sketch.observe(x);
+                assert_eq!(sketch.count(), i as u64 + 1);
+                let got = sketch.estimate();
+                let want = truths[i];
+                assert!(
+                    (got - want).abs() < 1e-12,
+                    "q = {q}, n = {}: estimate {got} != {want}",
+                    i + 1
+                );
+                let restored = P2Quantile::restore(sketch.snapshot()).unwrap();
+                assert_eq!(restored, sketch, "q = {q}, n = {}", i + 1);
+                // Exact same future: drive both across the initialisation
+                // boundary and beyond.
+                let mut a = sketch.clone();
+                let mut b = restored;
+                for j in 0..40 {
+                    a.observe(f64::from(j * j % 13));
+                    b.observe(f64::from(j * j % 13));
+                    assert_eq!(a, b);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn p2_all_duplicate_streams_stay_exact_and_round_trip() {
+        // A constant stream must pin every quantile to the constant with no
+        // drift (the parabolic update degenerates to equal heights), and the
+        // sketch state must serialize exactly at every prefix length.
+        for q in [0.1, 0.5, 0.9] {
+            let mut sketch = P2Quantile::new(q).unwrap();
+            for i in 0..200 {
+                sketch.observe(-3.25);
+                assert_eq!(
+                    sketch.estimate(),
+                    -3.25,
+                    "q = {q}: drifted after {} duplicates",
+                    i + 1
+                );
+                let state = sketch.snapshot();
+                assert!(state.heights.iter().all(|h| h.is_finite()));
+                let restored = P2Quantile::restore(state).unwrap();
+                assert_eq!(restored, sketch);
+            }
+        }
+    }
+
+    #[test]
+    fn moments_small_and_duplicate_streams_round_trip_through_public_state() {
+        // StreamingMoments exposes its state as public fields; rebuilding
+        // from them must be exact in the same regimes.
+        let mut m = StreamingMoments::new();
+        for _ in 0..3 {
+            m.observe(0.1); // 0.1 is not exactly representable: sums wobble
+        }
+        let copy = StreamingMoments { ..m };
+        assert_eq!(copy, m);
+        assert_eq!(m.count(), 3);
+        assert_eq!(m.min, 0.1);
+        assert_eq!(m.max, 0.1);
+        assert_eq!(m.mean(), (0.1 + 0.1 + 0.1) / 3.0, "in-order sum exactly");
     }
 }

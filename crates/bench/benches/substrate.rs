@@ -82,10 +82,37 @@ fn substrate(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("route_all_send", n), &n, |b, &n| {
             let mut scheduler = GossipScheduler::new(n).expect("valid population");
             let mut rng = SimRng::from_seed(2);
-            let sends: Vec<(usize, Opinion)> = (0..n).map(|i| (i, Opinion::One)).collect();
+            let sends: Vec<(u32, Opinion)> = (0..n as u32).map(|i| (i, Opinion::One)).collect();
             let mut routing = RoundRouting::with_capacity(n);
             b.iter(|| {
                 scheduler.route_into(&sends, &mut rng, &mut routing);
+                routing.sent
+            });
+        });
+    }
+
+    // The two routing paths head to head at and above the radix crossover:
+    // `route_single_pass` scatters straight into the population-wide
+    // reservoir slots, `route_radix` buckets recipients into cache-resident
+    // windows first.  The gap between the pairs is the cache-miss cost the
+    // radix scheme removes (and the data behind the `RADIX_MIN_N` choice).
+    for &n in &[100_000usize, 1_000_000] {
+        let sends: Vec<(u32, Opinion)> = (0..n as u32).map(|i| (i, Opinion::One)).collect();
+        group.bench_with_input(BenchmarkId::new("route_radix", n), &n, |b, &n| {
+            let mut scheduler = GossipScheduler::new(n).expect("valid population");
+            let mut rng = SimRng::from_seed(6);
+            let mut routing = RoundRouting::with_capacity(n);
+            b.iter(|| {
+                scheduler.route_into_radix(&sends, &mut rng, &mut routing);
+                routing.sent
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("route_single_pass", n), &n, |b, &n| {
+            let mut scheduler = GossipScheduler::new(n).expect("valid population");
+            let mut rng = SimRng::from_seed(6);
+            let mut routing = RoundRouting::with_capacity(n);
+            b.iter(|| {
+                scheduler.route_into_single_pass(&sends, &mut rng, &mut routing);
                 routing.sent
             });
         });
@@ -98,7 +125,7 @@ fn substrate(c: &mut Criterion) {
         let n = 10_000;
         let mut scheduler = GossipScheduler::new(n).expect("valid population");
         let mut rng = SimRng::from_seed(4);
-        let sends: Vec<(usize, Opinion)> = (0..n).map(|i| (i, Opinion::One)).collect();
+        let sends: Vec<(u32, Opinion)> = (0..n as u32).map(|i| (i, Opinion::One)).collect();
         let mut routing = RoundRouting::with_capacity(n);
         let skip = BernoulliSkip::new(channel.crossover()).expect("noisy channel");
         b.iter(|| {
@@ -110,8 +137,9 @@ fn substrate(c: &mut Criterion) {
     });
 
     // One full engine round with everyone sending (the headline per-agent
-    // hot-path number; 100k is the scenario-diversity scale of the ROADMAP).
-    for &n in &[1_000usize, 10_000, 100_000] {
+    // hot-path number; 100k is the scenario-diversity scale of the ROADMAP,
+    // and 1e6 is the million-agent north star the radix path unlocked).
+    for &n in &[1_000usize, 10_000, 100_000, 1_000_000] {
         group.bench_with_input(BenchmarkId::new("engine_round_all_send", n), &n, |b, &n| {
             let agents: Vec<Beacon> = (0..n).map(|_| Beacon(Opinion::One)).collect();
             let channel = BinarySymmetricChannel::from_epsilon(0.2).expect("valid");

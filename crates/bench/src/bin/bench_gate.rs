@@ -6,7 +6,8 @@
 //! # Compare a fresh run against the checked-in baseline (threshold in %),
 //! # normalising both sides by a calibration bench so host speed cancels:
 //! cargo run -p bench --bin bench_gate -- check BENCH_RESULTS.json bench/baseline.json 25 \
-//!     --calibrate substrate/calibration_spin
+//!     --calibrate substrate/calibration_spin \
+//!     --require-prefix substrate/ --require-prefix dense_engine/
 //!
 //! # Regenerate the baseline from a fresh run:
 //! cargo run -p bench --bin bench_gate -- write-baseline BENCH_RESULTS.json bench/baseline.json
@@ -24,14 +25,18 @@
 use std::process::ExitCode;
 
 use bench::gate::{
-    compare, format_baseline, normalize, parse_results, CALIBRATED_FLOOR, CALIBRATION_GUARD_RATIO,
-    RAW_FLOOR_MS,
+    compare, format_baseline, normalize, parse_results, unbaselined, CALIBRATED_FLOOR,
+    CALIBRATION_GUARD_RATIO, RAW_FLOOR_MS,
 };
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: bench_gate check <results> <baseline> [threshold_pct] [--calibrate <bench-id>]\n\
-         \x20      bench_gate write-baseline <results> <baseline>"
+         \x20                  [--require-prefix <group/> ...]\n\
+         \x20      bench_gate write-baseline <results> <baseline>\n\
+         --require-prefix declares a gated group: a bench in the results whose id\n\
+         starts with the prefix but which has no baseline entry fails the gate\n\
+         (add it with `bench_gate write-baseline` and commit the new entry)."
     );
     ExitCode::from(2)
 }
@@ -56,6 +61,14 @@ fn main() -> ExitCode {
         }
         None => None,
     };
+    let mut require_prefixes = Vec::new();
+    while let Some(pos) = args.iter().position(|a| a == "--require-prefix") {
+        if pos + 1 >= args.len() {
+            return usage();
+        }
+        require_prefixes.push(args.remove(pos + 1));
+        args.remove(pos);
+    }
     match args.first().map(String::as_str) {
         Some("check") if (3..=4).contains(&args.len()) => {
             let results_text = match read(&args[1]) {
@@ -75,6 +88,9 @@ fn main() -> ExitCode {
             };
             let mut current = parse_results(&results_text);
             let mut baseline = parse_results(&baseline_text);
+            // Gated-group enforcement works on the raw sets: normalization
+            // drops the calibration bench and must not hide anything.
+            let unbaselined_ids = unbaselined(&baseline, &current, &require_prefixes);
             if current.is_empty() {
                 eprintln!(
                     "bench_gate: no benchmark records in {} — was BENCH_RESULTS_JSON set?",
@@ -126,7 +142,8 @@ fn main() -> ExitCode {
                     }
                 }
             }
-            let report = compare(&baseline, &current, threshold, floor);
+            let mut report = compare(&baseline, &current, threshold, floor);
+            report.unbaselined = unbaselined_ids;
             for (id, base, now) in &report.passed {
                 println!("ok       {id}: {base:.3} {unit} -> {now:.3} {unit}");
             }
@@ -135,6 +152,16 @@ fn main() -> ExitCode {
             }
             for id in &report.missing {
                 println!("MISSING  {id}: in baseline but not in this run");
+            }
+            for id in &report.unbaselined {
+                println!(
+                    "UNBASELINED {id}: in a gated group but missing from the baseline — \
+                     regressions of this bench are invisible until it is added; run\n\
+                     \x20   cargo run -p bench --bin bench_gate -- write-baseline \
+                     BENCH_RESULTS.json {}\n\
+                     \x20   (then trim to the hot-path entries and commit)",
+                    args[2]
+                );
             }
             for (id, base, now) in &report.regressions {
                 println!(
@@ -151,9 +178,10 @@ fn main() -> ExitCode {
                 ExitCode::SUCCESS
             } else {
                 println!(
-                    "bench gate FAILED: {} regression(s), {} missing{}",
+                    "bench gate FAILED: {} regression(s), {} missing, {} unbaselined{}",
                     report.regressions.len(),
                     report.missing.len(),
+                    report.unbaselined.len(),
                     if calibration_regressed {
                         ", calibration bench regressed"
                     } else {

@@ -88,14 +88,44 @@ pub struct GateReport {
     pub passed: Vec<(String, f64, f64)>,
     /// Benchmarks in the current run with no baseline entry (not gated).
     pub ungated: Vec<String>,
+    /// Ungated benchmarks that belong to a *gated group* (their id matches
+    /// one of the `--require-prefix` prefixes): present in the run, missing
+    /// from the baseline.  Failing, because a hot-path bench that never
+    /// enters the baseline is silently exempt from regression gating.
+    pub unbaselined: Vec<String>,
 }
 
 impl GateReport {
-    /// Whether the gate passes (no regressions, nothing missing).
+    /// Whether the gate passes (no regressions, nothing missing from the
+    /// run, no gated-group bench missing from the baseline).
     #[must_use]
     pub fn is_ok(&self) -> bool {
-        self.regressions.is_empty() && self.missing.is_empty()
+        self.regressions.is_empty() && self.missing.is_empty() && self.unbaselined.is_empty()
     }
+}
+
+/// Benchmarks in `current` whose id starts with one of the gated-group
+/// `prefixes` but which have no `baseline` entry.
+///
+/// The baseline is the declaration of which benches are gated, which makes
+/// a *new* hot-path bench invisible to the gate by default: it shows up as
+/// "ungated", the gate passes, and a later regression of that bench passes
+/// too.  Declaring the hot-path groups by prefix turns that silence into a
+/// failure with a fix attached (run `bench_gate write-baseline` and commit
+/// the new entry).  Compute this on the **raw** result sets — calibration
+/// normalization drops the calibration bench and must not mask anything.
+#[must_use]
+pub fn unbaselined(
+    baseline: &BenchResults,
+    current: &BenchResults,
+    prefixes: &[String],
+) -> Vec<String> {
+    current
+        .keys()
+        .filter(|id| prefixes.iter().any(|p| id.starts_with(p.as_str())))
+        .filter(|id| !baseline.contains_key(id.as_str()))
+        .cloned()
+        .collect()
 }
 
 /// Divides every entry by the `calibration` entry's value and drops the
@@ -259,6 +289,34 @@ not json at all\n\
         assert!(!report.is_ok());
         assert_eq!(report.missing, vec!["g/gone".to_string()]);
         assert_eq!(report.ungated, vec!["g/new".to_string()]);
+    }
+
+    #[test]
+    fn gated_group_benches_missing_from_the_baseline_fail_the_gate() {
+        let baseline = results(&[("substrate/old", 1.0)]);
+        let current = results(&[
+            ("substrate/old", 1.0),
+            ("substrate/route_radix/100000", 0.5),
+            ("stage1_bias/side_experiment", 2.0),
+        ]);
+        // Without declared prefixes nothing changes: new benches are merely
+        // informational.
+        let mut report = compare(&baseline, &current, 25.0, RAW_FLOOR_MS);
+        assert!(report.is_ok(), "{report:?}");
+
+        // Declaring `substrate/` a gated group turns the silent omission
+        // into a failure naming exactly the new hot-path bench — and not
+        // the unrelated experiment bench.
+        report.unbaselined = unbaselined(
+            &baseline,
+            &current,
+            &["substrate/".to_string(), "dense_engine/".to_string()],
+        );
+        assert!(!report.is_ok());
+        assert_eq!(
+            report.unbaselined,
+            vec!["substrate/route_radix/100000".to_string()]
+        );
     }
 
     #[test]

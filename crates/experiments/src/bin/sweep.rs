@@ -28,10 +28,12 @@ use sweeps::{
 
 const USAGE: &str = "usage:
   sweep list
-  sweep gen <name> [--full] [--trials N] [--seed N]
+  sweep gen <name> [--full] [--trials N] [--seed N] [--rounds N]
   sweep run <spec.json> --out <dir> [--threads N] [--max-cells N]
   sweep resume <dir> [--threads N] [--max-cells N]
-  sweep export <dir> --csv|--json [--out FILE] [--partial]";
+  sweep export <dir> --csv|--json [--out FILE] [--partial]
+(--trials, --threads, --max-cells and --rounds all require values >= 1:
+ a zero would silently produce empty runs or empty aggregates)";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -92,12 +94,17 @@ fn cmd_gen(args: &[String]) -> Result<(), SweepError> {
         )));
     }
     let cfg = experiments::config_from_args(cfg_args.to_vec());
-    let spec = specs::builtin(name, &cfg).ok_or_else(|| {
+    let mut spec = specs::builtin(name, &cfg).ok_or_else(|| {
         SweepError::Spec(format!(
             "unknown builtin sweep `{name}`; available: {}",
             specs::BUILTIN_SWEEPS.join(", ")
         ))
     })?;
+    if let Some(rounds) = cfg.rounds {
+        // Zero was rejected at parse time, so this can only tighten or
+        // loosen a real cap.
+        spec.rounds = rounds;
+    }
     println!("{}", spec.to_pretty_json());
     Ok(())
 }

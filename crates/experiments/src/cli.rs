@@ -11,10 +11,13 @@
 //! | `--trials N`                 | trials per configuration point                       |
 //! | `--threads N`                | worker-thread cap (`FLIP_THREADS` env is honoured when absent) |
 //! | `--seed N`                   | base seed override                                   |
+//! | `--rounds N`                 | round-cap override (`sweep gen` applies it to generated specs) |
 //!
 //! All flags accept both `--flag value` and `--flag=value`.  Unknown `--`
 //! flags panic with a usage message — a typo must never silently run a
-//! default configuration.
+//! default configuration.  Zero values for `--trials`, `--threads` and
+//! `--rounds` are rejected with an explicit message: a zero would not error
+//! downstream, it would silently produce empty runs and empty aggregates.
 
 use crate::{require_agents_backend, ExperimentConfig};
 use analysis::Table;
@@ -61,16 +64,29 @@ pub fn parse_config<I: IntoIterator<Item = String>>(args: I) -> ExperimentConfig
             }
             "--trials" => {
                 cfg.trials = parse_number(flag, &value());
-                assert!(cfg.trials >= 1, "--trials must be >= 1");
+                assert!(
+                    cfg.trials >= 1,
+                    "--trials must be >= 1: zero trials would silently produce empty tables"
+                );
             }
             "--threads" => {
                 let threads: usize = parse_number(flag, &value());
                 assert!(threads >= 1, "--threads must be >= 1");
                 cfg.threads = Some(threads);
             }
+            "--rounds" => {
+                let rounds: u64 = parse_number(flag, &value());
+                assert!(
+                    rounds >= 1,
+                    "--rounds must be >= 1: a zero round cap would silently produce \
+                     empty runs and empty aggregates"
+                );
+                cfg.rounds = Some(rounds);
+            }
             "--seed" => cfg.base_seed = parse_number(flag, &value()),
             other => panic!(
-                "unknown flag `{other}`; supported: --full --backend --trials --threads --seed"
+                "unknown flag `{other}`; supported: --full --backend --trials --threads \
+                 --seed --rounds"
             ),
         }
     }
@@ -94,12 +110,31 @@ where
     F: FnOnce(&ExperimentConfig) -> Vec<Table>,
 {
     let cfg = parse_config(std::env::args().skip(1));
+    require_no_rounds_override(&cfg, binary);
     if agents_only {
         require_agents_backend(&cfg, binary);
     }
     for table in experiment(&cfg) {
         println!("{}", table.to_markdown());
     }
+}
+
+/// Rejects a `--rounds` override on surfaces that do not consume it.
+///
+/// The experiment binaries run each experiment's own schedule; only
+/// `sweep gen` applies `cfg.rounds` (to the generated spec).  Accepting the
+/// flag and ignoring it would silently run a default configuration — the
+/// exact failure mode this module exists to prevent.
+///
+/// # Panics
+///
+/// Panics when `cfg.rounds` is set.
+pub fn require_no_rounds_override(cfg: &ExperimentConfig, binary: &str) {
+    assert!(
+        cfg.rounds.is_none(),
+        "`{binary}` runs its experiment's own round schedule and does not honour \
+         --rounds; the override only applies to `sweep gen`"
+    );
 }
 
 #[cfg(test)]
@@ -134,12 +169,60 @@ mod tests {
     }
 
     #[test]
+    fn rounds_override_parses_and_reaches_the_config() {
+        let cfg = parse(&["--rounds", "500"]);
+        assert_eq!(cfg.rounds, Some(500));
+        let cfg = parse(&["--rounds=1"]);
+        assert_eq!(cfg.rounds, Some(1));
+        assert_eq!(parse(&[]).rounds, None);
+    }
+
+    #[test]
+    fn experiment_binaries_reject_an_unconsumed_rounds_override() {
+        // `e01 --rounds 50` must not silently run e01's default schedule.
+        require_no_rounds_override(&parse(&[]), "e01");
+        let cfg = parse(&["--rounds", "50"]);
+        let result = std::panic::catch_unwind(|| require_no_rounds_override(&cfg, "e01"));
+        assert!(result.is_err(), "ignored --rounds must be rejected loudly");
+    }
+
+    #[test]
+    fn zero_valued_flags_are_rejected_with_guidance() {
+        // A zero here would not error downstream — it would silently run an
+        // empty experiment — so the parser must refuse with a message that
+        // names the flag.
+        for (args, needle) in [
+            (vec!["--trials", "0"], "--trials"),
+            (vec!["--trials=0"], "--trials"),
+            (vec!["--threads", "0"], "--threads"),
+            (vec!["--rounds", "0"], "--rounds"),
+            (vec!["--rounds=0"], "--rounds"),
+        ] {
+            let owned: Vec<String> = args.iter().map(ToString::to_string).collect();
+            let result = std::panic::catch_unwind(|| parse_config(owned.clone()));
+            let message = match result {
+                Ok(_) => panic!("{args:?} must be rejected"),
+                Err(payload) => payload
+                    .downcast_ref::<String>()
+                    .cloned()
+                    .or_else(|| payload.downcast_ref::<&str>().map(ToString::to_string))
+                    .unwrap_or_default(),
+            };
+            assert!(
+                message.contains(needle),
+                "{args:?} rejection must name the flag, got: {message}"
+            );
+        }
+    }
+
+    #[test]
     fn invalid_inputs_fail_loudly() {
         for bad in [
             vec!["--trials"],
             vec!["--trials", "zero"],
             vec!["--trials=0"],
             vec!["--threads", "0"],
+            vec!["--rounds", "none"],
             vec!["--verbose"],
             vec!["--seed", "abc"],
             // Single-dash typos must not silently run defaults.

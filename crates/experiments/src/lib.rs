@@ -67,6 +67,12 @@ pub struct ExperimentConfig {
     /// [`sweeps::default_threads`] (the `FLIP_THREADS` environment variable,
     /// or the machine width).
     pub threads: Option<usize>,
+    /// Round-cap override (`--rounds`) for surfaces that expose one — the
+    /// `sweep gen` builtin-spec generator applies it to the generated
+    /// spec's `rounds` field.  `None` keeps each sweep's own cap.  Zero is
+    /// rejected at parse time: a 0-round sweep silently exports empty
+    /// aggregates.
+    pub rounds: Option<u64>,
 }
 
 impl ExperimentConfig {
@@ -79,6 +85,7 @@ impl ExperimentConfig {
             quick: true,
             backend: Backend::Agents,
             threads: None,
+            rounds: None,
         }
     }
 
@@ -91,6 +98,7 @@ impl ExperimentConfig {
             quick: false,
             backend: Backend::Agents,
             threads: None,
+            rounds: None,
         }
     }
 

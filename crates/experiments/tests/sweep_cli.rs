@@ -115,6 +115,80 @@ fn interrupted_then_resumed_sweep_exports_byte_identical_output() {
 }
 
 #[test]
+fn resume_with_a_different_thread_count_exports_byte_identical_output() {
+    // The shard-to-worker mapping is a scheduling detail: a sweep killed
+    // mid-run and resumed with a *different* `--threads` (or `FLIP_THREADS`)
+    // than the original run must still export byte for byte what an
+    // uninterrupted single-threaded run exports.  Worker counts change the
+    // shard file layout, never the records.
+    let root = scratch("resume-threads");
+    let spec = write_spec(&root);
+    let spec = spec.to_str().unwrap();
+
+    // Reference: uninterrupted, three workers.
+    let full_dir = root.join("full");
+    sweep_ok(&[
+        "run",
+        spec,
+        "--out",
+        full_dir.to_str().unwrap(),
+        "--threads",
+        "3",
+    ]);
+    let reference_csv = export(&full_dir, "--csv");
+    let reference_json = export(&full_dir, "--json");
+
+    // Interrupted run at 2 threads, then a simulated kill during the last
+    // checkpoint append (torn final line in the biggest shard).
+    let cut_dir = root.join("cut");
+    sweep_ok(&[
+        "run",
+        spec,
+        "--out",
+        cut_dir.to_str().unwrap(),
+        "--threads",
+        "2",
+        "--max-cells",
+        "3",
+    ]);
+    let shards: Vec<PathBuf> = fs::read_dir(cut_dir.join("shards"))
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .collect();
+    let victim = shards
+        .iter()
+        .max_by_key(|p| fs::metadata(p).unwrap().len())
+        .unwrap();
+    let content = fs::read(victim).unwrap();
+    fs::write(victim, &content[..content.len() - 20]).unwrap();
+
+    // Resume wider than the original run ever was.
+    let stdout = sweep_ok(&["resume", cut_dir.to_str().unwrap(), "--threads", "5"]);
+    assert!(stdout.contains("executed"), "{stdout}");
+    assert_eq!(
+        export(&cut_dir, "--csv"),
+        reference_csv,
+        "CSV must not depend on worker counts"
+    );
+    assert_eq!(
+        export(&cut_dir, "--json"),
+        reference_json,
+        "JSON must not depend on worker counts"
+    );
+
+    // And a FLIP_THREADS override on a fresh single-cell-at-a-time run
+    // still converges to the same bytes.
+    let env_dir = root.join("env");
+    let out = Command::new(env!("CARGO_BIN_EXE_sweep"))
+        .args(["run", spec, "--out", env_dir.to_str().unwrap()])
+        .env("FLIP_THREADS", "1")
+        .output()
+        .expect("sweep binary runs");
+    assert!(out.status.success());
+    assert_eq!(export(&env_dir, "--csv"), reference_csv);
+}
+
+#[test]
 fn a_kill_mid_checkpoint_write_loses_only_the_torn_cell() {
     let root = scratch("torn");
     let spec = write_spec(&root);
@@ -193,6 +267,46 @@ fn gen_list_and_generated_specs_are_runnable() {
     let swapped = sweep(&["gen", "--trials", "2", "e01"]);
     assert!(!swapped.status.success());
     assert!(String::from_utf8_lossy(&swapped.stderr).contains("name first"));
+}
+
+#[test]
+fn zero_valued_flags_fail_loudly_instead_of_running_empty() {
+    // `--threads 0`, `--max-cells 0` and `--rounds 0` must all refuse with
+    // a message naming the flag — a zero here would not crash, it would
+    // silently produce an empty run or an empty aggregate.
+    let root = scratch("zeros");
+    let spec = write_spec(&root);
+    let spec = spec.to_str().unwrap();
+    let dir = root.join("store");
+    let dir = dir.to_str().unwrap();
+    for (args, needle) in [
+        (
+            vec!["run", spec, "--out", dir, "--threads", "0"],
+            "--threads",
+        ),
+        (
+            vec!["run", spec, "--out", dir, "--max-cells", "0"],
+            "--max-cells",
+        ),
+        (vec!["run", spec, "--out", dir, "--threads=0"], "--threads"),
+        (vec!["resume", dir, "--max-cells=0"], "--max-cells"),
+        (vec!["gen", "e01", "--rounds", "0"], "--rounds"),
+        (vec!["gen", "e01", "--trials", "0"], "--trials"),
+    ] {
+        let out = sweep(&args);
+        assert!(!out.status.success(), "{args:?} must fail");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains(needle),
+            "{args:?} must name {needle}, got: {stderr}"
+        );
+    }
+    // No store directory may have been created by the refused runs.
+    assert!(!Path::new(dir).exists(), "refused runs must not touch disk");
+
+    // The positive counterpart: a --rounds override lands in gen output.
+    let generated = sweep_ok(&["gen", "e01", "--rounds", "777"]);
+    assert!(generated.contains("\"rounds\": 777"), "{generated}");
 }
 
 #[test]

@@ -17,6 +17,11 @@ pub type Round = u64;
 /// routing and tracing.  They are *never* exposed to protocol logic, which
 /// keeps the model anonymous as required by the paper.
 ///
+/// Stored as 32 bits so a routed [`Delivery`](crate::Delivery) packs into
+/// 12 bytes — population indices are bounded well below `u32::MAX` by the
+/// scheduler's 31-bit routing-index range, and the round loop streams
+/// millions of deliveries per second through the cache hierarchy.
+///
 /// # Example
 ///
 /// ```
@@ -26,19 +31,26 @@ pub type Round = u64;
 /// assert_eq!(id.index(), 3);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct AgentId(usize);
+pub struct AgentId(u32);
 
 impl AgentId {
     /// Wraps a population index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` does not fit in the 32-bit identifier space (the
+    /// engine's population bound rejects such sizes long before any id is
+    /// minted).
     #[must_use]
     pub const fn new(index: usize) -> Self {
-        Self(index)
+        assert!(index <= u32::MAX as usize, "agent index exceeds u32 range");
+        Self(index as u32)
     }
 
     /// Returns the underlying population index.
     #[must_use]
     pub const fn index(self) -> usize {
-        self.0
+        self.0 as usize
     }
 }
 
@@ -50,7 +62,7 @@ impl fmt::Display for AgentId {
 
 impl From<usize> for AgentId {
     fn from(index: usize) -> Self {
-        Self(index)
+        Self::new(index)
     }
 }
 

@@ -92,8 +92,11 @@ pub struct Simulation<A, C> {
     /// Set by [`Simulation::agents_mut`]: the caller may have changed
     /// opinions behind the engine's back, so the next census read recounts.
     census_dirty: bool,
-    send_buffer: Vec<(usize, Opinion)>,
+    send_buffer: Vec<(u32, Opinion)>,
     routing: RoundRouting,
+    /// Flip positions of the current round's fused noise (reused; sized to
+    /// the population so even an everyone-flips round cannot reallocate).
+    flip_buffer: Vec<u32>,
 }
 
 impl<A: Agent, C: Channel> Simulation<A, C> {
@@ -136,6 +139,7 @@ impl<A: Agent, C: Channel> Simulation<A, C> {
             census_dirty: false,
             send_buffer: Vec::with_capacity(n),
             routing: RoundRouting::with_capacity(n),
+            flip_buffer: Vec::with_capacity(n),
         })
     }
 
@@ -151,7 +155,7 @@ impl<A: Agent, C: Channel> Simulation<A, C> {
         self.send_buffer.clear();
         for (idx, agent) in self.agents.iter_mut().enumerate() {
             if let Some(message) = agent.send(round, &mut self.rng) {
-                self.send_buffer.push((idx, message));
+                self.send_buffer.push((idx as u32, message));
             }
         }
 
@@ -159,50 +163,74 @@ impl<A: Agent, C: Channel> Simulation<A, C> {
         self.scheduler
             .route_into(&self.send_buffer, &mut self.rng, &mut self.routing);
 
-        // Split borrows: the routing buffer is corrupted in place, then read
-        // while agents, census, trace and rng are written.
+        // Split borrows: the routing buffer is read while agents, census,
+        // trace and rng are written.
         let noise = self.noise;
-        let (agents, routing, rng, trace, census, channel) = (
+        let (agents, routing, rng, trace, census, channel, flip_buffer) = (
             &mut self.agents,
-            &mut self.routing,
+            &self.routing,
             &mut self.rng,
             &mut self.trace,
             &mut self.census,
             &self.channel,
+            &mut self.flip_buffer,
         );
 
-        // Apply channel noise to the accepted payloads in place, before
-        // delivery, so the delivery loop below carries no noise logic.
+        // Noise is fused into the delivery walk: payloads are corrupted in
+        // registers on their way into `deliver`, so the accepted buffer is
+        // traversed exactly once per round (the former corrupt-in-place
+        // pre-pass re-streamed it through the cache for nothing).  The
+        // activation-trace flag is loop-invariant, letting the compiler
+        // unswitch the untraced (default) path into tight loops.
+        let record_activations = trace.options().record_activations;
+        let accepted = routing.accepted();
         let mut flips = 0u64;
         match noise {
-            NoiseMode::Noiseless => {}
-            NoiseMode::Fused(skip) => {
-                // Geometric skip-sampling: walk straight to each flipped
-                // message (gaps batch-drawn so the logs pipeline).
-                let accepted = routing.accepted_mut();
-                skip.for_each_success(rng, accepted.len(), |position| {
-                    accepted[position].payload = accepted[position].payload.flipped();
-                    flips += 1;
-                });
-            }
-            NoiseMode::PerMessage => {
-                for delivery in routing.accepted_mut() {
-                    let corrupted = channel.transmit(delivery.payload, rng);
-                    flips += u64::from(corrupted != delivery.payload);
-                    delivery.payload = corrupted;
+            NoiseMode::Noiseless => {
+                for delivery in accepted {
+                    let recipient = delivery.recipient.index();
+                    if record_activations {
+                        trace.on_delivery(recipient, round);
+                    }
+                    census.apply(agents[recipient].deliver(round, delivery.payload, rng));
                 }
             }
-        }
-
-        // Deliver; the activation-trace flag is loop-invariant, letting the
-        // compiler unswitch the untraced (default) path into a tight loop.
-        let record_activations = trace.options().record_activations;
-        for delivery in routing.accepted() {
-            let recipient = delivery.recipient.index();
-            if record_activations {
-                trace.on_delivery(recipient, round);
+            NoiseMode::Fused(skip) => {
+                // Geometric skip-sampling positions the flips (gaps
+                // batch-drawn, before any delivery, so the RNG stream
+                // matches the standalone sampler exactly), and the delivery
+                // walk merges them in with a two-pointer scan.
+                flip_buffer.clear();
+                skip.for_each_success(rng, accepted.len(), |position| {
+                    flip_buffer.push(position as u32);
+                });
+                flips = flip_buffer.len() as u64;
+                let mut next_flip = flip_buffer.iter();
+                let mut flip_at = next_flip.next().copied().unwrap_or(u32::MAX);
+                for (i, delivery) in accepted.iter().enumerate() {
+                    let mut payload = delivery.payload;
+                    if i as u32 == flip_at {
+                        payload = payload.flipped();
+                        flip_at = next_flip.next().copied().unwrap_or(u32::MAX);
+                    }
+                    let recipient = delivery.recipient.index();
+                    if record_activations {
+                        trace.on_delivery(recipient, round);
+                    }
+                    census.apply(agents[recipient].deliver(round, payload, rng));
+                }
             }
-            census.apply(agents[recipient].deliver(round, delivery.payload, rng));
+            NoiseMode::PerMessage => {
+                for delivery in accepted {
+                    let corrupted = channel.transmit(delivery.payload, rng);
+                    flips += u64::from(corrupted != delivery.payload);
+                    let recipient = delivery.recipient.index();
+                    if record_activations {
+                        trace.on_delivery(recipient, round);
+                    }
+                    census.apply(agents[recipient].deliver(round, corrupted, rng));
+                }
+            }
         }
 
         // Phase 3: end-of-round hooks (statically skipped for agent types

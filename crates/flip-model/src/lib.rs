@@ -97,5 +97,5 @@ pub use metrics::{Metrics, RoundMetrics};
 pub use opinion::Opinion;
 pub use population::{majority_bias, Census};
 pub use rng::{BernoulliSkip, SimRng};
-pub use scheduler::{Delivery, GossipScheduler, RoundRouting};
+pub use scheduler::{Delivery, GossipScheduler, RoundRouting, RADIX_BUCKET_BITS, RADIX_MIN_N};
 pub use trace::{TraceOptions, TraceRecorder};

@@ -88,6 +88,32 @@ impl SimRng {
         self.state = base.wrapping_add((dest.len() as u64).wrapping_mul(GOLDEN_GAMMA));
     }
 
+    /// Reserves a block of `count` words from the stream and returns its
+    /// counter base: word `i` of the block is
+    /// `split_mix64(base + (i + 1)·γ)`, exactly the words
+    /// [`SimRng::fill_u64`] would have written into a `count`-sized buffer.
+    ///
+    /// This is the allocation-free form of `fill_u64` for consumers that
+    /// can re-mix words on the fly (the gossip scheduler's routing passes
+    /// recompute a message's word wherever they need it instead of storing
+    /// a population-sized word buffer): the generator state advances past
+    /// the block immediately, so interleaved single draws
+    /// ([`next_u64`](RngCore::next_u64), e.g. Lemire rejection redraws)
+    /// continue the stream identically to the buffered version.
+    #[must_use]
+    pub fn reserve_block(&mut self, count: usize) -> u64 {
+        let base = self.state;
+        self.state = base.wrapping_add((count as u64).wrapping_mul(GOLDEN_GAMMA));
+        base
+    }
+
+    /// Word `i` of a block reserved with [`SimRng::reserve_block`].
+    #[inline(always)]
+    #[must_use]
+    pub fn block_word(base: u64, i: usize) -> u64 {
+        split_mix64(base.wrapping_add((i as u64 + 1).wrapping_mul(GOLDEN_GAMMA)))
+    }
+
     /// Draws a uniform index in `[0, bound)` with Lemire's nearly-divisionless
     /// method: one multiply and one compare on the common path, the modulo
     /// confined to a rejection branch of probability `bound / 2^64`.
@@ -216,8 +242,16 @@ impl BernoulliSkip {
         }
         let ln_keep = (1.0 - p).ln();
         if ln_keep == 0.0 {
+            // p = 0, p = −0.0, or p subnormal/tiny enough that `1 − p`
+            // rounds to exactly 1.0: a sampler would turn `1 / ln(1)` into
+            // infinite gaps, so "no successes, ever" is expressed as "no
+            // sampler" instead and callers skip the stream without drawing.
             return None;
         }
+        // For every accepted p, ln(1 − p) is strictly negative and finite
+        // (p < 1 keeps the argument ≥ the smallest normal above 0), so gaps
+        // can never be NaN or negative.
+        debug_assert!(ln_keep < 0.0 && ln_keep.is_finite());
         Some(Self {
             inv_ln_keep: ln_keep.recip(),
         })
@@ -303,6 +337,22 @@ mod tests {
         // And the streams stay aligned after the batch.
         for _ in 0..16 {
             assert_eq!(batched.next_u64(), single.next_u64());
+        }
+    }
+
+    #[test]
+    fn reserve_block_matches_fill_u64_exactly() {
+        let mut buffered = SimRng::from_seed(7);
+        let mut reserved = SimRng::from_seed(7);
+        let mut buf = vec![0u64; 57];
+        buffered.fill_u64(&mut buf);
+        let base = reserved.reserve_block(57);
+        for (i, &word) in buf.iter().enumerate() {
+            assert_eq!(word, SimRng::block_word(base, i), "word {i}");
+        }
+        // Streams stay aligned after the block on both sides.
+        for _ in 0..16 {
+            assert_eq!(buffered.next_u64(), reserved.next_u64());
         }
     }
 

@@ -24,6 +24,37 @@ const PLACEHOLDER: Delivery = Delivery {
     payload: Opinion::Zero,
 };
 
+/// Population size at and above which [`GossipScheduler::route_into`] routes
+/// dense rounds through the radix-bucketed path.
+///
+/// Chosen by benchmark (the `substrate/route_radix` vs
+/// `substrate/route_single_pass` pairs): the single-scatter path wins while
+/// the packed reservoir slots stay close enough to the core that the
+/// out-of-order window hides their random-access latency, and the radix
+/// path's streaming passes win once the slot array falls out of the private
+/// caches and each scatter write turns into a far-cache round trip.  On the
+/// reference machine a dense all-send break-even scan put the cross between
+/// `n ≈ 1.3×10⁵` and `n = 2×10⁵`, with the radix win growing to ~1.3× at
+/// `n = 10⁶` and ~2.2× at `n = 2×10⁶`.  `2¹⁷` sits at the measured parity
+/// point, so the dispatch is never worse than single-pass and captures the
+/// full large-`n` win.
+pub const RADIX_MIN_N: usize = 1 << 17;
+
+/// Recipients per radix bucket, as a shift: buckets of `2¹³` agents make an
+/// 8-byte-per-slot reservoir window of 64 KiB — small enough to stay
+/// resident in any L2 together with the bucket's staging area, large enough
+/// that per-bucket bookkeeping is negligible.
+pub const RADIX_BUCKET_BITS: u32 = 13;
+
+/// Dense/sparse round threshold, as a shift: a round is *dense* when
+/// `m ≥ n >> DENSE_SEND_SHIFT` (at least one message per eight agents).
+/// Dense rounds emit by sweeping the reservoir slots in recipient order
+/// (O(n) sequential); sparse rounds walk the messages in first-arrival
+/// order (O(m) random, but `m` is small).  Benchmark-chosen: the sweep's
+/// ~1 ns/slot sequential cost breaks even with the ~6 ns/message random
+/// gather around one message per 6–10 agents.
+const DENSE_SEND_SHIFT: u32 = 3;
+
 /// The outcome of routing one round of push gossip.
 ///
 /// Designed for reuse: [`GossipScheduler::route_into`] refills an existing
@@ -32,6 +63,17 @@ const PLACEHOLDER: Delivery = Delivery {
 /// population-sized build buffer (whose tail doubles as the routing loop's
 /// discard slot) and are exposed as the [`accepted`](RoundRouting::accepted)
 /// prefix slice.
+///
+/// The instance also owns the message-sized staging array of the radix
+/// path ([`GossipScheduler::route_into_radix`]): the packed reservoir
+/// words, grouped into their recipients' cache buckets.
+/// [`with_capacity`](RoundRouting::with_capacity) sizes it eagerly for
+/// populations at or above the radix crossover — ~8.6 MB at `n = 10⁶`,
+/// deliberately traded for a hard never-allocates-after-construction
+/// guarantee on the hot path — while instances built through
+/// [`Default`] grow it on the first radix round and reuse it afterwards.
+/// Either way the round loop is allocation-free at steady state on both
+/// routing paths.
 #[derive(Debug, Clone, Default)]
 pub struct RoundRouting {
     /// Build buffer: `accepted_len` live entries, then scratch (the very
@@ -42,6 +84,9 @@ pub struct RoundRouting {
     pub sent: u64,
     /// Number of messages dropped because their recipient accepted another one.
     pub collided: u64,
+    /// Radix staging: packed reservoir words (each carrying its in-bucket
+    /// recipient offset), grouped by recipient bucket.
+    staged: Vec<u64>,
 }
 
 impl RoundRouting {
@@ -50,11 +95,19 @@ impl RoundRouting {
     /// allocate).
     #[must_use]
     pub fn with_capacity(capacity: usize) -> Self {
+        // Pre-size the radix staging too when the population is large
+        // enough to route through it, so `route_into` never allocates.
+        let staged = if capacity >= RADIX_MIN_N {
+            GossipScheduler::radix_staged_len(capacity, capacity)
+        } else {
+            0
+        };
         Self {
             buffer: vec![PLACEHOLDER; capacity + 1],
             accepted_len: 0,
             sent: 0,
             collided: 0,
+            staged: vec![0; staged],
         }
     }
 
@@ -64,8 +117,8 @@ impl RoundRouting {
         &self.buffer[..self.accepted_len]
     }
 
-    /// Mutable view of the accepted messages (the engine corrupts payloads in
-    /// place when applying channel noise).
+    /// Mutable view of the accepted messages (callers may corrupt payloads
+    /// in place when applying channel noise).
     #[must_use]
     pub fn accepted_mut(&mut self) -> &mut [Delivery] {
         &mut self.buffer[..self.accepted_len]
@@ -83,18 +136,6 @@ impl PartialEq for RoundRouting {
 
 impl Eq for RoundRouting {}
 
-/// Per-recipient routing state for one round, packed into a single 8-byte
-/// word so each message touches exactly one random cache location.
-#[derive(Debug, Clone, Copy, Default)]
-struct RecipientSlot {
-    /// Highest reservoir priority seen at this agent this round (`0` = no
-    /// arrivals yet; drawn priorities always have their low bit set).
-    priority: u32,
-    /// Message index (into the round's `sends`) of the arrival currently
-    /// winning this agent's reservoir; reset to `0` with `priority`.
-    winner: u32,
-}
-
 /// Routes pushed messages to uniformly random recipients and resolves collisions.
 ///
 /// The scheduler implements exactly the interaction pattern of the paper
@@ -104,15 +145,54 @@ struct RecipientSlot {
 ///
 /// # Hot-path design
 ///
-/// One batched [`SimRng::fill_u64`] pass draws one word per message; the low
+/// Message `i`'s random word is re-mixed on demand from a counter base
+/// reserved with [`SimRng::reserve_block`] (no word buffer exists); the low
 /// half maps to the recipient with a cached-threshold 32-bit Lemire
 /// multiply-shift (exact — the rare rejection redraws from the live stream)
-/// and the high half becomes the message's *reservoir priority*.  A
-/// recipient keeps the highest-priority message that reached it, which picks
-/// a uniformly random arrival (priorities are i.i.d. uniform) without any
-/// per-collision RNG call.  The routing loop itself is free of
-/// data-dependent branches: winners and losers both store, losers into the
-/// buffer's discard slot, selected by conditional moves.
+/// and the whole message collapses into one *packed reservoir word*
+///
+/// ```text
+/// priority(18 bits, low bit forced 1) ┃ sender(31) ┃ payload(1) ┃ bucket offset(14)
+///          bits 63..46                ┃ bits 45..15┃   bit 14   ┃    bits 13..0
+/// ```
+///
+/// so per-recipient collision resolution is a single branch-free
+/// `slot = max(slot, word)`: the highest priority wins, which picks a
+/// uniformly random arrival up to ties.  Exact priority ties — probability
+/// `2⁻¹⁷` per colliding pair, versus `2⁻³¹` for the previous 31-bit
+/// priority, so ~16000× more frequent than before — fall through to the
+/// sender bits and deterministically favour the higher sender index
+/// (roughly four sender-biased deliveries per million-message round,
+/// where the old design had effectively none).  That deviation from exact
+/// uniformity is the price of fitting the whole message in one staging
+/// word, and remains orders of magnitude below anything the statistical
+/// suite — or any experiment at feasible trial counts — can resolve.  A
+/// zero slot means "no arrivals" (drawn priorities
+/// have their low bit forced), the winning slot *is* the delivery — no
+/// lookup back into the send list — and the word carries its recipient's
+/// in-bucket offset so the radix path stages whole messages as single
+/// `u64`s: one write stream per bucket, write-combining-friendly.
+///
+/// Emission order is a deterministic function of `(n, m)`, identical on
+/// every routing path: **dense** rounds (`m ≥ n/8`) sweep the slots in
+/// recipient order (sequential, and recipients arrive pre-sorted for the
+/// engine's delivery loop), **sparse** rounds walk messages in
+/// first-arrival order (O(m) instead of an O(n) sweep).
+///
+/// Two routing paths implement these semantics bit-identically, selected by
+/// population size (see [`RADIX_MIN_N`]):
+///
+/// * [`route_into_single_pass`](GossipScheduler::route_into_single_pass) —
+///   scatter straight into the population-wide slot array.  Optimal while
+///   random slot accesses stay within reach of the cache hierarchy's
+///   latency-hiding.
+/// * [`route_into_radix`](GossipScheduler::route_into_radix) — stage each
+///   message into its recipient's cache bucket (`bucket = recipient >>`
+///   [`RADIX_BUCKET_BITS`]) in one streaming pass, then max-resolve bucket
+///   by bucket inside one 64 KiB window.  Because `max` is commutative, the
+///   buckets use fixed-capacity staging areas with a tiny spill list
+///   instead of an exact-histogram pre-pass — one streaming write per
+///   message, no second scan of the send list.
 ///
 /// The scheduler reuses internal buffers across rounds, so a single instance
 /// should be kept for the lifetime of a simulation.
@@ -123,12 +203,23 @@ pub struct GossipScheduler {
     span: u32,
     /// `2^32 mod span`: the cached Lemire rejection threshold.
     threshold: u32,
-    /// Per-recipient reservoir state for the current round.
-    slots: Vec<RecipientSlot>,
-    /// Recipient of each message this round (one entry per send).
+    /// Packed per-recipient reservoir words (see the struct docs); the
+    /// radix path uses only the first `2^RADIX_BUCKET_BITS` entries as its
+    /// bucket window.
+    slots: Vec<u64>,
+    /// Recipient of each message this round (sparse rounds only, for the
+    /// first-arrival emission walk).
     recipients: Vec<u32>,
-    /// One random word per message, filled in a single batched pass.
-    words: Vec<u64>,
+    /// Per-bucket staging write cursors for the radix scatter pass.
+    bucket_cursors: Vec<u32>,
+    /// Radix staging overflow: `(recipient, packed word)` for the rare
+    /// messages whose bucket filled its fixed-capacity staging area.
+    spill: Vec<(u32, u64)>,
+    /// Test-only override of the per-bucket staging capacity, so the spill
+    /// path can be forced deterministically (a correctly sized capacity
+    /// makes natural spills ~6σ events no test could wait for).
+    #[cfg(test)]
+    forced_bucket_capacity: Option<usize>,
 }
 
 impl GossipScheduler {
@@ -137,25 +228,34 @@ impl GossipScheduler {
     /// # Errors
     ///
     /// Returns [`FlipError::PopulationTooSmall`] if `n < 2`, or
-    /// [`FlipError::InvalidParameter`] if `n` exceeds the 32-bit routing
-    /// index range (`n − 1` must fit in a `u32`).
+    /// [`FlipError::InvalidParameter`] if `n` exceeds the 31-bit routing
+    /// index range (sender indices share a 32-bit lane with the payload bit
+    /// in the packed reservoir word; `2³¹` agents is also far past any
+    /// population the per-agent engine could hold in memory).
     pub fn new(n: usize) -> Result<Self, FlipError> {
         if n < 2 {
             return Err(FlipError::PopulationTooSmall { n });
         }
-        let Ok(span) = u32::try_from(n - 1) else {
+        if n > 1 << 31 {
             return Err(FlipError::InvalidParameter {
                 name: "population",
-                message: format!("population {n} exceeds the u32 routing-index range"),
+                message: format!("population {n} exceeds the 31-bit routing-index range"),
             });
-        };
+        }
+        let span = (n - 1) as u32;
         Ok(Self {
             n,
             span,
             threshold: span.wrapping_neg() % span,
-            slots: vec![RecipientSlot::default(); n],
+            slots: vec![0; n],
             recipients: Vec::new(),
-            words: Vec::new(),
+            bucket_cursors: Vec::new(),
+            // Pre-sized so that the (≈ never taken) spill path does not
+            // allocate mid-round; 1024 entries is > 6σ beyond any real
+            // overflow mass.
+            spill: Vec::with_capacity(1024),
+            #[cfg(test)]
+            forced_bucket_capacity: None,
         })
     }
 
@@ -165,12 +265,39 @@ impl GossipScheduler {
         self.n
     }
 
+    /// Whether a round of `m` sends emits in recipient order (dense) or
+    /// first-arrival message order (sparse); see the struct docs.
+    #[inline]
+    fn is_dense(&self, m: usize) -> bool {
+        m >= self.n >> DENSE_SEND_SHIFT
+    }
+
+    /// Per-bucket staging capacity for a round of `m` sends over a
+    /// population of `n`: the expected bucket load plus `6σ` slack, so the
+    /// spill list stays empty for all practical purposes.
+    fn radix_bucket_capacity(n: usize, m: usize) -> usize {
+        // The mean must be a *full* bucket's expected share of the
+        // messages, `m · 2^bits / n` — dividing by the bucket count would
+        // understate it whenever the trailing bucket is partial (or, for
+        // exact multiples, permanently empty), eroding the 6σ slack to a
+        // fraction of a σ and pushing steady traffic into the spill list.
+        // No overflow: `m ≤ n ≤ 2³¹`, so `m << 13 < 2⁴⁴`.
+        let mean = (m << RADIX_BUCKET_BITS).div_ceil(n);
+        mean + 6 * ((mean as f64).sqrt() as usize) + 16
+    }
+
+    /// Total staging length the radix path needs for `m` sends over `n`
+    /// agents (monotone in `m`, so sizing for `m = n` covers every round).
+    fn radix_staged_len(n: usize, m: usize) -> usize {
+        ((n >> RADIX_BUCKET_BITS) + 1) * Self::radix_bucket_capacity(n, m)
+    }
+
     /// Routes one round of sends into a fresh [`RoundRouting`].
     ///
     /// Equivalent to [`route_into`](GossipScheduler::route_into) with a new
     /// output buffer; hot loops should hold one `RoundRouting` and call
     /// `route_into` instead to avoid the per-round allocation.
-    pub fn route(&mut self, sends: &[(usize, Opinion)], rng: &mut SimRng) -> RoundRouting {
+    pub fn route(&mut self, sends: &[(u32, Opinion)], rng: &mut SimRng) -> RoundRouting {
         let mut out = RoundRouting::with_capacity(self.n);
         self.route_into(sends, rng, &mut out);
         out
@@ -183,79 +310,251 @@ impl GossipScheduler {
     /// random recipient different from its sender; each recipient keeps one
     /// arriving message uniformly at random (highest reservoir priority).
     ///
+    /// Dispatches dense rounds of populations of at least [`RADIX_MIN_N`]
+    /// agents to the cache-bucketed radix path and everything else to the
+    /// single-pass path; the paths consume the same RNG stream and produce
+    /// bit-identical routings, so the crossover is invisible to callers.
+    ///
     /// After the first call with this scheduler's population, `out` never
     /// allocates again.
     pub fn route_into(
         &mut self,
-        sends: &[(usize, Opinion)],
+        sends: &[(u32, Opinion)],
+        rng: &mut SimRng,
+        out: &mut RoundRouting,
+    ) {
+        if self.n >= RADIX_MIN_N && self.is_dense(sends.len()) {
+            self.route_into_radix(sends, rng, out);
+        } else {
+            self.route_into_single_pass(sends, rng, out);
+        }
+    }
+
+    /// Grows the output buffer; a no-op after the first round.
+    fn grow_buffer(&self, out: &mut RoundRouting) {
+        if out.buffer.len() < self.n + 1 {
+            out.buffer.resize(self.n + 1, PLACEHOLDER);
+        }
+    }
+
+    /// Draws message `i`'s uniform recipient among the other `n − 1` agents
+    /// from its pre-drawn `word` (32-bit Lemire multiply-shift with the
+    /// cached rejection threshold; the cold rejection path redraws from the
+    /// live stream to stay exactly uniform).
+    #[inline(always)]
+    fn recipient_of(&self, word: u64, sender: usize, rng: &mut SimRng) -> usize {
+        let span = self.span;
+        let mut product = u64::from(word as u32) * u64::from(span);
+        while (product as u32) < self.threshold {
+            product = u64::from(rng.next_u64() as u32) * u64::from(span);
+        }
+        let recipient = (product >> 32) as usize;
+        recipient + usize::from(recipient >= sender)
+    }
+
+    /// The packed reservoir word of a message (see the struct docs): the
+    /// priority drawn from the top of `word`, the sender, the payload bit
+    /// and the recipient's offset within its radix bucket.
+    #[inline(always)]
+    fn packed_word(word: u64, sender: u32, payload: Opinion, recipient: usize) -> u64 {
+        let offset = (recipient as u64) & ((1 << RADIX_BUCKET_BITS) - 1);
+        (((word >> 46) | 1) << 46)
+            | (u64::from(sender) << 15)
+            | (u64::from(payload.as_bit()) << 14)
+            | offset
+    }
+
+    /// Unpacks a winning reservoir word into its delivery.
+    #[inline(always)]
+    fn delivery_of(pword: u64, recipient: usize) -> Delivery {
+        Delivery {
+            sender: AgentId::new(((pword >> 15) & 0x7FFF_FFFF) as usize),
+            recipient: AgentId::new(recipient),
+            payload: Opinion::from_bit((pword >> 14) as u8 & 1),
+        }
+    }
+
+    /// Emits deliveries by sweeping `slots[0..n]` in recipient order,
+    /// zeroing each slot for the next round.  Branch-free: empty slots
+    /// write to the current position without advancing it.
+    fn emit_dense(&mut self, m: usize, out: &mut RoundRouting) {
+        let mut accepted_len = 0usize;
+        for (recipient, slot) in self.slots.iter_mut().enumerate() {
+            let pword = *slot;
+            *slot = 0;
+            out.buffer[accepted_len] = Self::delivery_of(pword, recipient);
+            accepted_len += usize::from(pword != 0);
+        }
+        out.accepted_len = accepted_len;
+        out.sent = m as u64;
+        out.collided = m as u64 - accepted_len as u64;
+    }
+
+    /// The single-pass routing path: scatter each message's packed word
+    /// straight into its recipient's reservoir slot, then emit.
+    ///
+    /// This is [`route_into`](GossipScheduler::route_into)'s default path
+    /// (public so benchmarks and the equivalence tests can pin it against
+    /// the radix path at any size): the random slot accesses carry no
+    /// loop-borne dependency, so the out-of-order core keeps many cache
+    /// misses in flight at once.
+    pub fn route_into_single_pass(
+        &mut self,
+        sends: &[(u32, Opinion)],
         rng: &mut SimRng,
         out: &mut RoundRouting,
     ) {
         let m = sends.len();
+        self.grow_buffer(out);
+        let base = rng.reserve_block(m);
 
-        // Grow the working buffers on demand; no-ops after the first round.
-        if out.buffer.len() < self.n + 1 {
-            out.buffer.resize(self.n + 1, PLACEHOLDER);
+        if self.is_dense(m) {
+            for (i, &(sender, payload)) in sends.iter().enumerate() {
+                debug_assert!((sender as usize) < self.n, "sender index out of range");
+                let word = SimRng::block_word(base, i);
+                let recipient = self.recipient_of(word, sender as usize, rng);
+                let slot = &mut self.slots[recipient];
+                *slot = (*slot).max(Self::packed_word(word, sender, payload, recipient));
+            }
+            self.emit_dense(m, out);
+            return;
         }
-        if self.words.len() < m {
-            self.words.resize(m, 0);
+
+        // Sparse: remember each message's recipient so emission can walk
+        // the (few) messages in first-arrival order instead of sweeping
+        // all n slots.
+        if self.recipients.len() < m {
             self.recipients.resize(m, 0);
         }
-
-        // One batched pass of counter-mixed words, one word per message.
-        rng.fill_u64(&mut self.words[..m]);
-
-        // Pass 1 - scatter: update each message's recipient reservoir.
-        // Nothing loop-carried depends on the (random, cache-missing) slot
-        // loads, so the out-of-order core overlaps many messages at once.
-        let span = self.span;
-        let threshold = self.threshold;
-        let words = &self.words[..m];
-        for (i, &(sender, _)) in sends.iter().enumerate() {
-            let word = words[i];
-            debug_assert!(sender < self.n, "sender index out of range");
-            // Low half of the word: uniform recipient among the other n − 1
-            // agents (32-bit Lemire multiply-shift; the cold rejection path
-            // redraws from the live stream to stay exactly uniform).
-            let mut product = u64::from(word as u32) * u64::from(span);
-            while (product as u32) < threshold {
-                product = u64::from(rng.next_u64() as u32) * u64::from(span);
-            }
-            let mut recipient = (product >> 32) as usize;
-            recipient += usize::from(recipient >= sender);
-
-            // High half: the reservoir priority.  The forced low bit keeps
-            // drawn priorities nonzero (zero means "no arrivals"); ties —
-            // probability ~2⁻³¹ per colliding pair — keep the earlier
-            // arrival, which preserves uniformity up to that same odds.
-            let priority = ((word >> 32) as u32) | 1;
-
-            let slot = &mut self.slots[recipient];
-            let wins = priority > slot.priority;
-            slot.priority = if wins { priority } else { slot.priority };
-            slot.winner = if wins { i as u32 } else { slot.winner };
+        for (i, &(sender, payload)) in sends.iter().enumerate() {
+            debug_assert!((sender as usize) < self.n, "sender index out of range");
+            let word = SimRng::block_word(base, i);
+            let recipient = self.recipient_of(word, sender as usize, rng);
             self.recipients[i] = recipient as u32;
+            let slot = &mut self.slots[recipient];
+            *slot = (*slot).max(Self::packed_word(word, sender, payload, recipient));
         }
 
-        // Pass 2 — gather: walk the messages again; each recipient's first
-        // occurrence reads its final winner and appends the delivery, then
-        // zeroes the slot, so duplicates (and next round's reset) cost
-        // nothing extra.  Branch-free: losers write to the same buffer
-        // position without advancing it.
+        // First-arrival emission: the first walk past a recipient finds its
+        // winning word and zeroes the slot, so duplicates emit nothing.
         let mut accepted_len = 0usize;
         for &recipient in &self.recipients[..m] {
             let slot = &mut self.slots[recipient as usize];
-            let live = slot.priority != 0;
-            // Stale slots always hold winner 0, which is in bounds for any
-            // non-empty round.
-            let (sender, payload) = sends[slot.winner as usize];
-            *slot = RecipientSlot::default();
-            out.buffer[accepted_len] = Delivery {
-                sender: AgentId::new(sender),
-                recipient: AgentId::new(recipient as usize),
-                payload,
-            };
-            accepted_len += usize::from(live);
+            let pword = *slot;
+            *slot = 0;
+            out.buffer[accepted_len] = Self::delivery_of(pword, recipient as usize);
+            accepted_len += usize::from(pword != 0);
+        }
+        out.accepted_len = accepted_len;
+        out.sent = m as u64;
+        out.collided = m as u64 - accepted_len as u64;
+    }
+
+    /// The cache-bucketed radix routing path: stage each message into its
+    /// recipient's bucket, then max-resolve and emit bucket by bucket
+    /// inside one cache-resident window.
+    ///
+    /// Bit-identical to
+    /// [`route_into_single_pass`](GossipScheduler::route_into_single_pass)
+    /// from an equal RNG state — same word stream, same rejection redraws,
+    /// same winners, same emission order — the routing equivalence tests
+    /// pin this at `n ∈ {10³, 10⁵, 10⁶}`.  Dense rounds run three
+    /// streaming phases:
+    ///
+    /// 1. **Scatter** — draw each recipient in message order (exactly the
+    ///    single-pass order, so Lemire rejection redraws consume the same
+    ///    stream) and append the packed word to its bucket's staging area.
+    ///    Buckets have fixed capacity (expected load + 6σ); the rare
+    ///    overflow goes to a spill list.  `max` is commutative, so staging
+    ///    order — and spill — cannot affect the result.
+    /// 2. **Resolve** — per bucket: max-fold the staged words (and any of
+    ///    the bucket's spilled words) into a 64 KiB slot window that stays
+    ///    cache-resident throughout.
+    /// 3. **Emit** — sweep the window in recipient order, zeroing as it
+    ///    goes; buckets are visited in order, so the global emission order
+    ///    is exactly the dense recipient order of the single-pass path.
+    ///
+    /// Sparse rounds (`m < n/8`) delegate to the single-pass path: with few
+    /// messages the scatter misses are few, and the bucket machinery would
+    /// cost more than it saves.
+    pub fn route_into_radix(
+        &mut self,
+        sends: &[(u32, Opinion)],
+        rng: &mut SimRng,
+        out: &mut RoundRouting,
+    ) {
+        let m = sends.len();
+        if !self.is_dense(m) {
+            self.route_into_single_pass(sends, rng, out);
+            return;
+        }
+        self.grow_buffer(out);
+        let bucket_count = (self.n >> RADIX_BUCKET_BITS) + 1;
+        let capacity = Self::radix_bucket_capacity(self.n, m);
+        #[cfg(test)]
+        let capacity = self.forced_bucket_capacity.unwrap_or(capacity);
+        let staged_len = bucket_count * capacity;
+        if out.staged.len() < staged_len {
+            out.staged.resize(staged_len, 0);
+        }
+        if self.bucket_cursors.len() < bucket_count {
+            self.bucket_cursors.resize(bucket_count, 0);
+        }
+        let base = rng.reserve_block(m);
+
+        // Phase 1 — scatter into the fixed-capacity staging areas: one
+        // sequential write stream per bucket (the staged word carries the
+        // in-bucket offset, so a message is a single 8-byte append) instead
+        // of a population-wide random scatter.
+        for b in 0..bucket_count {
+            self.bucket_cursors[b] = (b * capacity) as u32;
+        }
+        self.spill.clear();
+        let bucket_mask = (1u32 << RADIX_BUCKET_BITS) - 1;
+        for (i, &(sender, payload)) in sends.iter().enumerate() {
+            debug_assert!((sender as usize) < self.n, "sender index out of range");
+            let word = SimRng::block_word(base, i);
+            let recipient = self.recipient_of(word, sender as usize, rng);
+            let pword = Self::packed_word(word, sender, payload, recipient);
+            let bucket = recipient >> RADIX_BUCKET_BITS;
+            let at = self.bucket_cursors[bucket] as usize;
+            if at < (bucket + 1) * capacity {
+                out.staged[at] = pword;
+                self.bucket_cursors[bucket] = at as u32 + 1;
+            } else {
+                self.spill.push((recipient as u32, pword));
+            }
+        }
+
+        // Phases 2 + 3 — per bucket: max-resolve staged (+ spilled) words
+        // in the resident window, then sweep-emit in recipient order.
+        let window_len = 1usize << RADIX_BUCKET_BITS;
+        let offset_mask = (1u64 << RADIX_BUCKET_BITS) - 1;
+        let mut accepted_len = 0usize;
+        for b in 0..bucket_count {
+            let start = b * capacity;
+            let end = self.bucket_cursors[b] as usize;
+            let bucket_base = b << RADIX_BUCKET_BITS;
+            let span = window_len.min(self.n - bucket_base);
+            for at in start..end {
+                let pword = out.staged[at];
+                let slot = &mut self.slots[(pword & offset_mask) as usize];
+                *slot = (*slot).max(pword);
+            }
+            if !self.spill.is_empty() {
+                for &(recipient, pword) in &self.spill {
+                    if (recipient >> RADIX_BUCKET_BITS) as usize == b {
+                        let slot = &mut self.slots[(recipient & bucket_mask) as usize];
+                        *slot = (*slot).max(pword);
+                    }
+                }
+            }
+            for off in 0..span {
+                let pword = self.slots[off];
+                self.slots[off] = 0;
+                out.buffer[accepted_len] = Self::delivery_of(pword, bucket_base + off);
+                accepted_len += usize::from(pword != 0);
+            }
         }
 
         out.accepted_len = accepted_len;
@@ -273,6 +572,15 @@ mod tests {
         assert!(GossipScheduler::new(0).is_err());
         assert!(GossipScheduler::new(1).is_err());
         assert!(GossipScheduler::new(2).is_ok());
+    }
+
+    #[test]
+    fn rejects_populations_beyond_the_31_bit_index_range() {
+        // The bound is checked before any allocation, so this test does not
+        // try to reserve a 2³¹-slot buffer.
+        let err = GossipScheduler::new((1usize << 31) + 1).unwrap_err();
+        assert!(matches!(err, FlipError::InvalidParameter { .. }), "{err}");
+        assert!(err.to_string().contains("31-bit"), "{err}");
     }
 
     #[test]
@@ -302,7 +610,7 @@ mod tests {
         let mut s = GossipScheduler::new(4).unwrap();
         let mut rng = SimRng::from_seed(2);
         // All four agents push, so collisions are very likely.
-        let sends: Vec<(usize, Opinion)> = (0..4).map(|i| (i, Opinion::Zero)).collect();
+        let sends: Vec<(u32, Opinion)> = (0..4).map(|i| (i, Opinion::Zero)).collect();
         for _ in 0..200 {
             let routing = s.route(&sends, &mut rng);
             let mut seen = [0u32; 4];
@@ -367,11 +675,7 @@ mod tests {
         // messages landing on agent 3, each must win 1/3 of the time.
         let mut s = GossipScheduler::new(4).unwrap();
         let mut rng = SimRng::from_seed(5);
-        let sends = [
-            (0usize, Opinion::Zero),
-            (1, Opinion::One),
-            (2, Opinion::Zero),
-        ];
+        let sends = [(0u32, Opinion::Zero), (1, Opinion::One), (2, Opinion::Zero)];
         let mut winner_counts = [0u32; 4];
         let mut total = 0u32;
         for _ in 0..60_000 {
@@ -395,7 +699,7 @@ mod tests {
     fn route_into_reuses_the_output_buffer() {
         let mut s = GossipScheduler::new(16).unwrap();
         let mut rng = SimRng::from_seed(7);
-        let sends: Vec<(usize, Opinion)> = (0..16).map(|i| (i, Opinion::One)).collect();
+        let sends: Vec<(u32, Opinion)> = (0..16).map(|i| (i, Opinion::One)).collect();
         let mut out = RoundRouting::with_capacity(16);
         let capacity = out.buffer.capacity();
         for _ in 0..100 {
@@ -416,12 +720,161 @@ mod tests {
         let mut s2 = GossipScheduler::new(8).unwrap();
         let mut rng1 = SimRng::from_seed(9);
         let mut rng2 = SimRng::from_seed(9);
-        let sends: Vec<(usize, Opinion)> = (0..8).map(|i| (i, Opinion::Zero)).collect();
+        let sends: Vec<(u32, Opinion)> = (0..8).map(|i| (i, Opinion::Zero)).collect();
         let mut out = RoundRouting::default();
         for _ in 0..20 {
             let fresh = s1.route(&sends, &mut rng1);
             s2.route_into(&sends, &mut rng2, &mut out);
             assert_eq!(fresh, out);
+        }
+    }
+
+    /// Routes `sends` through both paths from equal RNG states and asserts
+    /// routing and stream agree bit for bit.
+    fn assert_paths_agree(n: usize, sends: &[(u32, Opinion)], seed: u64, rounds: usize) {
+        let mut single = GossipScheduler::new(n).unwrap();
+        let mut radix = GossipScheduler::new(n).unwrap();
+        let mut rng_single = SimRng::from_seed(seed);
+        let mut rng_radix = SimRng::from_seed(seed);
+        let mut out_single = RoundRouting::with_capacity(n);
+        let mut out_radix = RoundRouting::with_capacity(n);
+        for round in 0..rounds {
+            single.route_into_single_pass(sends, &mut rng_single, &mut out_single);
+            radix.route_into_radix(sends, &mut rng_radix, &mut out_radix);
+            assert_eq!(
+                out_single, out_radix,
+                "n = {n}, round {round}: routings diverged"
+            );
+            assert_eq!(
+                rng_single.next_u64(),
+                rng_radix.next_u64(),
+                "n = {n}, round {round}: RNG streams diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn radix_and_single_pass_agree_from_equal_rng_states() {
+        for n in [100usize, 1_000, 8_192, 10_000] {
+            let all: Vec<(u32, Opinion)> = (0..n as u32)
+                .map(|i| (i, Opinion::from_bit(u8::from(i % 3 == 0))))
+                .collect();
+            let sparse: Vec<(u32, Opinion)> = (0..n as u32)
+                .step_by(7)
+                .map(|i| (i, Opinion::One))
+                .collect();
+            assert_paths_agree(n, &all, 0xABCD ^ n as u64, 5);
+            assert_paths_agree(n, &sparse, 0x1234 ^ n as u64, 5);
+            assert_paths_agree(n, &[], 7, 2);
+            assert_paths_agree(n, &[(n as u32 / 2, Opinion::One)], 8, 20);
+        }
+    }
+
+    #[test]
+    fn route_into_dispatches_by_population_without_changing_results() {
+        // Below the crossover `route_into` is the single-pass path, at or
+        // above it the radix path; both facts are observable only through
+        // bit-identity with the explicitly invoked path.
+        let n = 4_096;
+        let sends: Vec<(u32, Opinion)> = (0..n as u32).map(|i| (i, Opinion::Zero)).collect();
+        let mut dispatched = GossipScheduler::new(n).unwrap();
+        let mut explicit = GossipScheduler::new(n).unwrap();
+        let mut rng1 = SimRng::from_seed(3);
+        let mut rng2 = SimRng::from_seed(3);
+        let mut out1 = RoundRouting::with_capacity(n);
+        let mut out2 = RoundRouting::with_capacity(n);
+        for _ in 0..3 {
+            dispatched.route_into(&sends, &mut rng1, &mut out1);
+            explicit.route_into_single_pass(&sends, &mut rng2, &mut out2);
+            assert_eq!(out1, out2);
+        }
+    }
+
+    #[test]
+    fn radix_collision_winner_is_roughly_uniform() {
+        // The radix path must implement the same exact-uniform reservoir:
+        // two senders colliding at agent 2 split the wins about evenly.
+        let mut s = GossipScheduler::new(3).unwrap();
+        let mut rng = SimRng::from_seed(4);
+        let mut out = RoundRouting::with_capacity(3);
+        let mut winner_counts = [0u32; 3];
+        let mut total = 0u32;
+        for _ in 0..30_000 {
+            s.route_into_radix(&[(0, Opinion::Zero), (1, Opinion::One)], &mut rng, &mut out);
+            for d in out.accepted() {
+                if d.recipient.index() == 2 && out.collided == 1 {
+                    winner_counts[d.sender.index()] += 1;
+                    total += 1;
+                }
+            }
+        }
+        assert!(total > 5_000, "collisions should be frequent, got {total}");
+        let share0 = f64::from(winner_counts[0]) / f64::from(total);
+        assert!((share0 - 0.5).abs() < 0.05, "share0 = {share0}");
+    }
+
+    #[test]
+    fn dense_rounds_emit_in_recipient_order_sparse_in_arrival_order() {
+        let n = 64;
+        let mut s = GossipScheduler::new(n).unwrap();
+        let mut rng = SimRng::from_seed(11);
+        // Dense: everyone sends; accepted recipients must come out sorted.
+        let sends: Vec<(u32, Opinion)> = (0..n as u32).map(|i| (i, Opinion::One)).collect();
+        let routing = s.route(&sends, &mut rng);
+        let recipients: Vec<usize> = routing
+            .accepted()
+            .iter()
+            .map(|d| d.recipient.index())
+            .collect();
+        let mut sorted = recipients.clone();
+        sorted.sort_unstable();
+        assert_eq!(recipients, sorted, "dense emission is recipient-ordered");
+
+        // Sparse: a handful of senders; every send is its own first arrival
+        // with high probability, and sparse rounds emit one delivery per
+        // distinct recipient in arrival order.
+        let sparse = [(0u32, Opinion::One), (1, Opinion::Zero)];
+        let routing = s.route(&sparse, &mut rng);
+        assert!(routing.accepted().len() <= 2);
+        assert_eq!(
+            routing.sent,
+            routing.accepted().len() as u64 + routing.collided
+        );
+    }
+
+    #[test]
+    fn spilled_radix_messages_still_resolve_exactly() {
+        // A correctly sized capacity makes natural spills ~6σ events, so
+        // force the spill path: shrink every bucket's staging area to a
+        // handful of entries and require the radix result (now resolved
+        // almost entirely through the spill list, across two buckets) to
+        // stay bit-identical to the single-pass path.
+        let n = (1usize << RADIX_BUCKET_BITS) + 7;
+        let sends: Vec<(u32, Opinion)> = (0..n as u32)
+            .map(|i| (i, Opinion::from_bit(u8::from(i % 2 == 0))))
+            .collect();
+        // Sanity: the honest capacity never spills on this workload ...
+        assert_paths_agree(n, &sends, 0x5F11, 4);
+
+        // ... and a starved capacity spills thousands of messages per
+        // round yet still resolves identically.
+        let mut single = GossipScheduler::new(n).unwrap();
+        let mut radix = GossipScheduler::new(n).unwrap();
+        radix.forced_bucket_capacity = Some(8);
+        let mut rng_single = SimRng::from_seed(0x5F12);
+        let mut rng_radix = SimRng::from_seed(0x5F12);
+        let mut out_single = RoundRouting::with_capacity(n);
+        let mut out_radix = RoundRouting::with_capacity(n);
+        for round in 0..4 {
+            single.route_into_single_pass(&sends, &mut rng_single, &mut out_single);
+            radix.route_into_radix(&sends, &mut rng_radix, &mut out_radix);
+            assert!(
+                radix.spill.len() > 1_000,
+                "round {round}: the starved capacity must actually spill, got {}",
+                radix.spill.len()
+            );
+            assert_eq!(out_single, out_radix, "round {round}");
+            assert_eq!(rng_single.next_u64(), rng_radix.next_u64());
         }
     }
 

@@ -361,6 +361,47 @@ mod tests {
     }
 
     #[test]
+    fn small_sample_and_duplicate_aggregates_serialize_exactly() {
+        // A cell with fewer than five trials keeps raw observations in the
+        // P² buffers; its serialized form must restore to the *identical*
+        // aggregate (bit-exact floats via the shortest-round-trip JSON) and
+        // re-serialize to the identical line.
+        for trials in 1..5usize {
+            let rows: Vec<Vec<(&'static str, f64)>> = (0..trials)
+                .map(|t| vec![("rounds", 0.1 * t as f64 + 7.0), ("flat", -3.25)])
+                .collect();
+            let record = CellRecord::from_trials("feed".into(), 1, &rows);
+            let line = record.to_json_line();
+            let parsed = CellRecord::from_json_line(&line).unwrap();
+            assert_eq!(parsed, record, "{trials} trials");
+            assert_eq!(parsed.to_json_line(), line, "{trials} trials");
+            // Pre-initialisation estimates are the exact interpolation of
+            // the buffered values.
+            let flat = &parsed.metrics["flat"];
+            for q in 0..3 {
+                assert_eq!(flat.quantile(q), -3.25);
+            }
+        }
+
+        // All-duplicate inputs past the P² initialisation point: markers
+        // collapse onto the constant and the state still round-trips
+        // byte-identically.
+        let rows: Vec<Vec<(&'static str, f64)>> = (0..40).map(|_| vec![("c", 42.5)]).collect();
+        let record = CellRecord::from_trials("dupe".into(), 2, &rows);
+        let line = record.to_json_line();
+        let parsed = CellRecord::from_json_line(&line).unwrap();
+        assert_eq!(parsed, record);
+        assert_eq!(parsed.to_json_line(), line);
+        let c = &parsed.metrics["c"];
+        assert_eq!(c.moments.min, 42.5);
+        assert_eq!(c.moments.max, 42.5);
+        assert_eq!(c.moments.mean(), 42.5);
+        for q in 0..3 {
+            assert_eq!(c.quantile(q), 42.5, "constant stream quantile {q}");
+        }
+    }
+
+    #[test]
     fn quantile_estimates_are_exposed() {
         let mut agg = MetricAggregate::new();
         for i in 0..=100 {

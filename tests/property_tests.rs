@@ -27,9 +27,9 @@ proptest! {
         senders in proptest::collection::vec((0usize..40, arb_opinion()), 0..60),
         seed in 0u64..1_000,
     ) {
-        let senders: Vec<(usize, Opinion)> = senders
+        let senders: Vec<(u32, Opinion)> = senders
             .into_iter()
-            .map(|(s, op)| (s % n, op))
+            .map(|(s, op)| ((s % n) as u32, op))
             .collect();
         let mut scheduler = GossipScheduler::new(n).unwrap();
         let mut rng = SimRng::from_seed(seed);

@@ -1,0 +1,118 @@
+//! The radix-vs-single-pass routing equivalence contract at scale.
+//!
+//! `GossipScheduler` routes large dense rounds through a cache-bucketed
+//! radix path and everything else through the single-pass path; the
+//! crossover is purely a performance decision, so the two paths must be
+//! *bit-identical* from equal RNG states — same deliveries, same emission
+//! order (recipient order for dense rounds, first-arrival order for sparse
+//! ones), same collision counts, same RNG stream afterwards.  This suite
+//! pins that contract at n ∈ {10³, 10⁵, 10⁶} (spanning both sides of the
+//! `RADIX_MIN_N` crossover) for all-send, sparse and single-message
+//! rounds, and checks `route_into`'s dispatch matches both explicit paths
+//! exactly at the crossover boundary.
+
+use breathe_paper as _;
+use flip_model::{GossipScheduler, Opinion, RoundRouting, SimRng, RADIX_MIN_N};
+use rand::RngCore;
+
+/// Routes `sends` through both paths from equal RNG states for several
+/// rounds, asserting routing outcome and RNG stream stay identical.
+fn assert_paths_agree(n: usize, sends: &[(u32, Opinion)], seed: u64, rounds: usize) {
+    let mut single = GossipScheduler::new(n).expect("valid population");
+    let mut radix = GossipScheduler::new(n).expect("valid population");
+    let mut rng_single = SimRng::from_seed(seed);
+    let mut rng_radix = SimRng::from_seed(seed);
+    let mut out_single = RoundRouting::with_capacity(n);
+    let mut out_radix = RoundRouting::with_capacity(n);
+    for round in 0..rounds {
+        single.route_into_single_pass(sends, &mut rng_single, &mut out_single);
+        radix.route_into_radix(sends, &mut rng_radix, &mut out_radix);
+        assert_eq!(
+            out_single.sent, out_radix.sent,
+            "n = {n}, round {round}: sent diverged"
+        );
+        assert_eq!(
+            out_single.collided, out_radix.collided,
+            "n = {n}, round {round}: collided diverged"
+        );
+        assert_eq!(
+            out_single.accepted(),
+            out_radix.accepted(),
+            "n = {n}, round {round}: accepted deliveries diverged"
+        );
+        assert_eq!(
+            rng_single.next_u64(),
+            rng_radix.next_u64(),
+            "n = {n}, round {round}: RNG streams diverged"
+        );
+    }
+}
+
+#[test]
+fn radix_and_single_pass_agree_at_1e3() {
+    let n = 1_000;
+    let all: Vec<(u32, Opinion)> = (0..n as u32)
+        .map(|i| (i, Opinion::from_bit(u8::from(i % 2 == 0))))
+        .collect();
+    let sparse: Vec<(u32, Opinion)> = (0..n as u32)
+        .step_by(11)
+        .map(|i| (i, Opinion::One))
+        .collect();
+    assert_paths_agree(n, &all, 0xA11, 8);
+    assert_paths_agree(n, &sparse, 0xA12, 8);
+    assert_paths_agree(n, &[(0u32, Opinion::One)], 0xA13, 50);
+}
+
+#[test]
+fn radix_and_single_pass_agree_at_1e5() {
+    let n = 100_000;
+    let all: Vec<(u32, Opinion)> = (0..n as u32)
+        .map(|i| (i, Opinion::from_bit(u8::from(i % 2 == 0))))
+        .collect();
+    let sparse: Vec<(u32, Opinion)> = (0..n as u32)
+        .step_by(13)
+        .map(|i| (i, Opinion::Zero))
+        .collect();
+    assert_paths_agree(n, &all, 0xB11, 3);
+    assert_paths_agree(n, &sparse, 0xB12, 3);
+}
+
+#[test]
+fn radix_and_single_pass_agree_at_1e6() {
+    let n = 1_000_000;
+    let all: Vec<(u32, Opinion)> = (0..n as u32)
+        .map(|i| (i, Opinion::from_bit(u8::from(i % 5 == 0))))
+        .collect();
+    let sparse: Vec<(u32, Opinion)> = (0..n as u32)
+        .step_by(17)
+        .map(|i| (i, Opinion::One))
+        .collect();
+    assert_paths_agree(n, &all, 0xC11, 2);
+    assert_paths_agree(n, &sparse, 0xC12, 2);
+}
+
+#[test]
+fn crossover_straddles_identically() {
+    // One agent below and one agent at the crossover: `route_into` switches
+    // paths between these two sizes, and both must match their explicit
+    // counterparts exactly.
+    for n in [RADIX_MIN_N - 1, RADIX_MIN_N] {
+        let sends: Vec<(u32, Opinion)> = (0..n as u32).map(|i| (i, Opinion::One)).collect();
+        let mut dispatched = GossipScheduler::new(n).expect("valid");
+        let mut single = GossipScheduler::new(n).expect("valid");
+        let mut radix = GossipScheduler::new(n).expect("valid");
+        let mut rng_d = SimRng::from_seed(99);
+        let mut rng_s = SimRng::from_seed(99);
+        let mut rng_r = SimRng::from_seed(99);
+        let mut out_d = RoundRouting::with_capacity(n);
+        let mut out_s = RoundRouting::with_capacity(n);
+        let mut out_r = RoundRouting::with_capacity(n);
+        for _ in 0..2 {
+            dispatched.route_into(&sends, &mut rng_d, &mut out_d);
+            single.route_into_single_pass(&sends, &mut rng_s, &mut out_s);
+            radix.route_into_radix(&sends, &mut rng_r, &mut out_r);
+            assert_eq!(out_d.accepted(), out_s.accepted(), "n = {n}");
+            assert_eq!(out_d.accepted(), out_r.accepted(), "n = {n}");
+        }
+    }
+}

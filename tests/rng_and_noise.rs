@@ -10,7 +10,10 @@
 //! Bernoulli draw per message.
 
 use breathe_paper as _;
-use flip_model::{BernoulliSkip, SimRng};
+use flip_model::{
+    BernoulliSkip, BinarySymmetricChannel, NoiselessChannel, Opinion, RumorAgent, SimRng,
+    Simulation, SimulationConfig,
+};
 use rand::{Rng, RngCore};
 
 /// Chi-square statistic of `draws` samples from `sample` over `bins` bins.
@@ -205,4 +208,110 @@ fn skip_sampler_handles_degenerate_streams() {
     // A one-message stream flips about half the time.
     let flips: u64 = (0..10_000).map(|_| flips_by_skip(&skip, &mut rng, 1)).sum();
     assert!((4_700..5_300).contains(&flips), "flips = {flips}");
+}
+
+#[test]
+fn skip_sampler_guards_degenerate_crossovers() {
+    // p = 0 (both signed zeros): no sampler exists, so "skip everything"
+    // costs zero RNG draws — the engine-level proof is
+    // `zero_crossover_channel_is_bit_identical_to_noiseless` below.
+    assert!(BernoulliSkip::new(0.0).is_none());
+    assert!(BernoulliSkip::new(-0.0).is_none());
+
+    // Subnormal and denormal-adjacent p: `1 − p` rounds to exactly 1.0, and
+    // a sampler built from it would compute `1 / ln(1) = ∞` gaps.  The
+    // constructor must refuse instead.
+    assert!(BernoulliSkip::new(5e-324).is_none(), "smallest subnormal");
+    assert!(BernoulliSkip::new(f64::MIN_POSITIVE).is_none());
+    assert!(BernoulliSkip::new(1e-17).is_none());
+
+    // The first p whose `1 − p` is representably below 1.0 is accepted and
+    // produces finite (if astronomically long) gaps.
+    let skip = BernoulliSkip::new(2e-16).expect("representable keep probability");
+    let mut rng = SimRng::from_seed(7);
+    for _ in 0..1_000 {
+        let _ = skip.gap(&mut rng); // must not panic or hang
+    }
+}
+
+#[test]
+fn skip_sampler_p_at_and_above_one_half_is_finite_and_calibrated() {
+    // The p ≥ 0.5 boundary runs through the same inlined `ln` as small p;
+    // gaps must stay finite, non-negative and geometrically distributed all
+    // the way to the brink of p = 1.
+    for p in [0.5, 0.75, 0.999, 1.0 - 1e-9] {
+        let skip = BernoulliSkip::new(p).expect("p in [0.5, 1) is valid");
+        let mut rng = SimRng::from_seed(0xB0B ^ p.to_bits());
+        let draws = 20_000u32;
+        let total: u64 = (0..draws).map(|_| skip.gap(&mut rng) as u64).sum();
+        let max: u64 = (0..1_000).map(|_| skip.gap(&mut rng) as u64).max().unwrap();
+        assert!(max < 1 << 40, "p = {p}: absurd gap {max}");
+        let mean = total as f64 / f64::from(draws);
+        let expected = (1.0 - p) / p;
+        assert!(
+            (mean - expected).abs() < 0.02 + expected * 0.2,
+            "p = {p}: mean gap {mean} vs expected {expected}"
+        );
+    }
+    // p ≥ 1 needs no sampler (an always-flip channel keeps the exact
+    // per-message path) and must be rejected, NaN included.
+    assert!(BernoulliSkip::new(1.0).is_none());
+    assert!(BernoulliSkip::new(1.5).is_none());
+    assert!(BernoulliSkip::new(f64::NAN).is_none());
+    assert!(BernoulliSkip::new(f64::INFINITY).is_none());
+}
+
+/// A channel reporting a fixed crossover so small that `1 − p` rounds to
+/// 1.0 — the degenerate case the skip-sampler refuses to model.
+struct SubnormalNoise;
+
+impl flip_model::Channel for SubnormalNoise {
+    fn transmit(&self, message: Opinion, rng: &mut SimRng) -> Opinion {
+        if rng.chance(5e-324) {
+            message.flipped()
+        } else {
+            message
+        }
+    }
+    fn crossover(&self) -> f64 {
+        5e-324
+    }
+    fn fixed_crossover(&self) -> Option<f64> {
+        Some(5e-324)
+    }
+}
+
+fn run_census_trace<C: flip_model::Channel>(channel: C, seed: u64) -> (Vec<usize>, u64) {
+    let n = 300;
+    let agents = RumorAgent::population(n, 0, 3);
+    let config = SimulationConfig::new(n).with_seed(seed);
+    let mut sim = Simulation::new(agents, channel, config).unwrap();
+    let mut actives = Vec::new();
+    for _ in 0..60 {
+        actives.push(sim.step().census_active);
+    }
+    (actives, sim.metrics().bits_flipped)
+}
+
+#[test]
+fn zero_crossover_channel_is_bit_identical_to_noiseless() {
+    // p = 0 must not merely flip nothing — it must consume *no* noise
+    // randomness at all, so a zero-crossover binary symmetric channel and
+    // the noiseless channel produce bit-identical trajectories.
+    let (noiseless, flips0) = run_census_trace(NoiselessChannel, 0xD00D);
+    let zero = BinarySymmetricChannel::new(0.0).unwrap();
+    let (zeroed, flips1) = run_census_trace(zero, 0xD00D);
+    assert_eq!(noiseless, zeroed);
+    assert_eq!((flips0, flips1), (0, 0));
+}
+
+#[test]
+fn subnormal_crossover_runs_noiselessly_without_nan() {
+    // A subnormal fixed crossover cannot build a skip-sampler; the engine
+    // must treat it as noiseless (flip probability 5e-324 is unobservable
+    // in any feasible run) rather than fusing an infinite-gap sampler.
+    let (subnormal, flips) = run_census_trace(SubnormalNoise, 0xD11D);
+    let (noiseless, _) = run_census_trace(NoiselessChannel, 0xD11D);
+    assert_eq!(subnormal, noiseless);
+    assert_eq!(flips, 0);
 }

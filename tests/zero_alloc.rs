@@ -129,3 +129,30 @@ fn simulation_round_loop_is_allocation_free_after_warm_up() {
         after - before
     );
 }
+
+#[test]
+fn radix_routed_rounds_are_allocation_free_after_warm_up() {
+    // A population at the radix crossover: dense all-send rounds run
+    // through the cache-bucketed staging path (fixed-capacity bucket areas
+    // + spill list inside `RoundRouting`/`GossipScheduler`), which must be
+    // just as allocation-free as the single-pass path once warmed up.
+    let n = flip_model::RADIX_MIN_N;
+    let agents: Vec<Churner> = (0..n)
+        .map(|i| Churner(Opinion::from_bit(u8::from(i % 2 == 0))))
+        .collect();
+    let channel = BinarySymmetricChannel::from_epsilon(0.2).unwrap();
+    let config = SimulationConfig::new(n).with_seed(79);
+    let mut sim = Simulation::new(agents, channel, config).unwrap();
+
+    sim.run(5);
+
+    let before = thread_allocations();
+    sim.run(20);
+    let after = thread_allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "the radix round loop allocated {} time(s) after warm-up",
+        after - before
+    );
+}
