@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use flip_model::{
     Agent, BernoulliSkip, BinarySymmetricChannel, Channel, GossipScheduler, Opinion, OpinionDelta,
-    Round, RoundRouting, SimRng, Simulation, SimulationConfig,
+    Round, RoundPool, RoundRouting, SimRng, Simulation, SimulationConfig,
 };
 
 struct Beacon(Opinion);
@@ -118,6 +118,42 @@ fn substrate(c: &mut Criterion) {
         });
     }
 
+    // The parallel router over a persistent four-lane `RoundPool` at radix
+    // scale, against the sequential radix reference at the same tiers.  The
+    // lane width is fixed (not machine-derived) so the workload — and the
+    // baseline entry gating it — is identical on every host; on a single
+    // hardware thread the four lanes time-slice one core, so the bench then
+    // measures pure orchestration overhead (staging regions, prefix sums,
+    // pool rendezvous) rather than speedup.  n = 10⁷ is the new large-n
+    // tier: one decade past the engine's previous headline scale.
+    for &n in &[1_000_000usize, 10_000_000] {
+        let sends: Vec<(u32, Opinion)> = (0..n as u32).map(|i| (i, Opinion::One)).collect();
+        group.bench_with_input(BenchmarkId::new("route_parallel", n), &n, |b, &n| {
+            let pool = RoundPool::new(4);
+            let mut scheduler = GossipScheduler::new(n).expect("valid population");
+            let mut rng = SimRng::from_seed(6);
+            let mut routing = RoundRouting::with_capacity(n);
+            b.iter(|| {
+                scheduler.route_into_parallel(&sends, &mut rng, &mut routing, &pool);
+                routing.sent
+            });
+        });
+    }
+    group.bench_with_input(
+        BenchmarkId::new("route_radix", 10_000_000),
+        &10_000_000usize,
+        |b, &n| {
+            let sends: Vec<(u32, Opinion)> = (0..n as u32).map(|i| (i, Opinion::One)).collect();
+            let mut scheduler = GossipScheduler::new(n).expect("valid population");
+            let mut rng = SimRng::from_seed(6);
+            let mut routing = RoundRouting::with_capacity(n);
+            b.iter(|| {
+                scheduler.route_into_radix(&sends, &mut rng, &mut routing);
+                routing.sent
+            });
+        },
+    );
+
     // Routing plus fused channel noise (geometric skip-sampling over the
     // accepted stream) without any agent logic: the substrate cost of one
     // noisy all-send round at the worst-case crossover of ε = 0.2.
@@ -138,12 +174,27 @@ fn substrate(c: &mut Criterion) {
 
     // One full engine round with everyone sending (the headline per-agent
     // hot-path number; 100k is the scenario-diversity scale of the ROADMAP,
-    // and 1e6 is the million-agent north star the radix path unlocked).
-    for &n in &[1_000usize, 10_000, 100_000, 1_000_000] {
+    // 1e6 the million-agent scale the radix path unlocked, and 1e7 the tier
+    // the parallel round opens up).
+    for &n in &[1_000usize, 10_000, 100_000, 1_000_000, 10_000_000] {
         group.bench_with_input(BenchmarkId::new("engine_round_all_send", n), &n, |b, &n| {
             let agents: Vec<Beacon> = (0..n).map(|_| Beacon(Opinion::One)).collect();
             let channel = BinarySymmetricChannel::from_epsilon(0.2).expect("valid");
             let config = SimulationConfig::new(n).with_seed(3);
+            let mut sim = Simulation::new(agents, channel, config).expect("valid simulation");
+            b.iter(|| sim.step().metrics.messages_sent);
+        });
+    }
+
+    // The same engine round with four worker lanes — bit-identical results,
+    // so the gap to `engine_round_all_send` at the same n is exactly the
+    // round's parallel efficiency on the host (≈ overhead-only on a
+    // single-core runner, see `route_parallel`).
+    for &n in &[1_000_000usize, 10_000_000] {
+        group.bench_with_input(BenchmarkId::new("engine_round_threaded", n), &n, |b, &n| {
+            let agents: Vec<Beacon> = (0..n).map(|_| Beacon(Opinion::One)).collect();
+            let channel = BinarySymmetricChannel::from_epsilon(0.2).expect("valid");
+            let config = SimulationConfig::new(n).with_seed(3).with_threads(4);
             let mut sim = Simulation::new(agents, channel, config).expect("valid simulation");
             b.iter(|| sim.step().metrics.messages_sent);
         });

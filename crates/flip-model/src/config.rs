@@ -25,6 +25,7 @@ pub struct SimulationConfig {
     seed: u64,
     reference: Option<Opinion>,
     trace: TraceOptions,
+    threads: usize,
 }
 
 impl SimulationConfig {
@@ -36,6 +37,7 @@ impl SimulationConfig {
             seed: 0,
             reference: None,
             trace: TraceOptions::default(),
+            threads: 1,
         }
     }
 
@@ -75,6 +77,24 @@ impl SimulationConfig {
         self
     }
 
+    /// Sets the number of worker lanes available to a single round
+    /// (default `1`: fully sequential).
+    ///
+    /// Intra-round parallelism is **bit-identical** to the sequential
+    /// engine: a seeded run produces exactly the same deliveries, metrics
+    /// and RNG stream at every thread count (see
+    /// [`GossipScheduler::route_into_parallel`](crate::GossipScheduler::route_into_parallel)),
+    /// so this knob trades wall-clock for cores without perturbing results.
+    /// Values are clamped to [`MAX_WORKERS`](crate::MAX_WORKERS); sweeps
+    /// should derive this from
+    /// `TrialRunner::round_threads` so trial fan-out and round workers
+    /// share one budget.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
     /// The configured population size.
     #[must_use]
     pub fn population(&self) -> usize {
@@ -97,6 +117,12 @@ impl SimulationConfig {
     #[must_use]
     pub fn trace_options(&self) -> TraceOptions {
         self.trace
+    }
+
+    /// The configured number of per-round worker lanes (at least `1`).
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 }
 
@@ -125,6 +151,13 @@ mod tests {
         assert_eq!(config.reference(), None);
         assert!(!config.trace_options().record_history);
         assert!(!config.trace_options().record_activations);
+        assert_eq!(config.threads(), 1);
+    }
+
+    #[test]
+    fn threads_are_clamped_to_at_least_one() {
+        assert_eq!(SimulationConfig::new(5).with_threads(0).threads(), 1);
+        assert_eq!(SimulationConfig::new(5).with_threads(4).threads(), 4);
     }
 
     #[test]

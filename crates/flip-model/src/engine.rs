@@ -6,9 +6,10 @@ use crate::config::SimulationConfig;
 use crate::error::FlipError;
 use crate::metrics::{Metrics, RoundMetrics};
 use crate::opinion::Opinion;
+use crate::pool::RoundPool;
 use crate::population::Census;
 use crate::rng::{BernoulliSkip, SimRng};
-use crate::scheduler::{GossipScheduler, RoundRouting};
+use crate::scheduler::{GossipScheduler, RoundRouting, RADIX_MIN_N};
 use crate::trace::TraceRecorder;
 
 /// How the engine applies channel noise to accepted messages.
@@ -97,6 +98,12 @@ pub struct Simulation<A, C> {
     /// Flip positions of the current round's fused noise (reused; sized to
     /// the population so even an everyone-flips round cannot reallocate).
     flip_buffer: Vec<u32>,
+    /// Persistent worker pool for intra-round parallel routing, present
+    /// when [`SimulationConfig::with_threads`] asked for more than one
+    /// lane.  Spawned once here (warm-up) so rounds stay allocation-free;
+    /// parallel rounds are bit-identical to sequential ones, so the pool
+    /// never affects seeded results.
+    pool: Option<RoundPool>,
 }
 
 impl<A: Agent, C: Channel> Simulation<A, C> {
@@ -122,9 +129,22 @@ impl<A: Agent, C: Channel> Simulation<A, C> {
             });
         }
         let n = agents.len();
-        let scheduler = GossipScheduler::new(n)?;
+        let mut scheduler = GossipScheduler::new(n)?;
         let trace = TraceRecorder::new(n, config.trace_options(), config.reference());
         let census = Census::of_agents(&agents);
+        let mut routing = RoundRouting::with_capacity(n);
+        let pool = (config.threads() > 1).then(|| RoundPool::new(config.threads()));
+        if let Some(pool) = &pool {
+            if n >= RADIX_MIN_N {
+                // Pre-size the parallel path's staging and bookkeeping for
+                // the worst-case (all-send) round, so warmed-up parallel
+                // rounds never allocate.  Below the radix crossover the
+                // parallel dispatch falls back to single-pass routing and
+                // needs none of it.
+                scheduler.reserve_parallel(pool.workers());
+                routing.reserve_parallel(n, pool.workers());
+            }
+        }
         Ok(Self {
             agents,
             noise: NoiseMode::for_channel(&channel),
@@ -138,8 +158,9 @@ impl<A: Agent, C: Channel> Simulation<A, C> {
             census,
             census_dirty: false,
             send_buffer: Vec::with_capacity(n),
-            routing: RoundRouting::with_capacity(n),
+            routing,
             flip_buffer: Vec::with_capacity(n),
+            pool,
         })
     }
 
@@ -160,8 +181,19 @@ impl<A: Agent, C: Channel> Simulation<A, C> {
         }
 
         // Phase 2: route into the reused buffer, then corrupt + deliver.
-        self.scheduler
-            .route_into(&self.send_buffer, &mut self.rng, &mut self.routing);
+        // The parallel and sequential routes are bit-identical; the pool
+        // only changes which cores do the work.
+        match &self.pool {
+            Some(pool) => self.scheduler.route_into_parallel(
+                &self.send_buffer,
+                &mut self.rng,
+                &mut self.routing,
+                pool,
+            ),
+            None => self
+                .scheduler
+                .route_into(&self.send_buffer, &mut self.rng, &mut self.routing),
+        }
 
         // Split borrows: the routing buffer is read while agents, census,
         // trace and rng are written.

@@ -65,7 +65,10 @@
 //! # }
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the `pool` module (and only it) carries a
+// reviewed `#![allow(unsafe_code)]` for the scoped-task erasure behind
+// [`RoundPool`]; every other module remains statically unsafe-free.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod agent;
@@ -79,6 +82,7 @@ mod engine;
 mod error;
 mod metrics;
 mod opinion;
+mod pool;
 mod population;
 mod rng;
 mod scheduler;
@@ -95,6 +99,7 @@ pub use engine::{RoundSummary, Simulation};
 pub use error::FlipError;
 pub use metrics::{Metrics, RoundMetrics};
 pub use opinion::Opinion;
+pub use pool::{RoundPool, MAX_WORKERS};
 pub use population::{majority_bias, Census};
 pub use rng::{BernoulliSkip, SimRng};
 pub use scheduler::{Delivery, GossipScheduler, RoundRouting, RADIX_BUCKET_BITS, RADIX_MIN_N};

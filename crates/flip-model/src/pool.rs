@@ -1,0 +1,446 @@
+//! A persistent worker pool for intra-round parallelism.
+//!
+//! [`RoundPool`] exists because the engine's round loop must stay
+//! **allocation-free after warm-up** (pinned by `tests/zero_alloc.rs`):
+//! `std::thread::scope` spawns and joins OS threads every call, which both
+//! allocates on the caller and costs far more than a 64 KiB bucket's worth
+//! of routing work.  The pool spawns its workers once, parks them on a
+//! condvar, and dispatches one *job* (a set of disjoint borrowed tasks) per
+//! routing phase; on Linux the mutex/condvar rendezvous is futex-based and
+//! allocation-free, so a steady-state round performs zero allocations with
+//! worker threads active.
+//!
+//! # Safety model
+//!
+//! This is the only module in the crate allowed to use `unsafe`
+//! (`#![deny(unsafe_code)]` everywhere else), and the unsafety is exactly
+//! the classic *scoped-task* erasure:
+//!
+//! * [`RoundPool::run`] type-erases a stack array of task bundles and the
+//!   caller's closure behind a raw pointer + monomorphized trampoline,
+//!   because the long-lived worker threads cannot name the caller's
+//!   short-lived lifetimes.
+//! * Soundness rests on a strict rendezvous: `run` does not return (even by
+//!   panic — a drop guard enforces it) until every worker has finished its
+//!   task and can no longer touch the erased context.  Workers only read
+//!   the context pointer between the "job published" and "last task done"
+//!   edges, both under the state mutex.
+//! * Disjointness of the tasks themselves is the *caller's* obligation and
+//!   is expressed in safe code: each bundle is built from `chunks_mut`-style
+//!   split borrows before erasure, and task `i` is taken (moved out) by
+//!   exactly one executor.
+//!
+//! The caller participates as worker 0 (running bundle 0 inline), so a pool
+//! of `workers` uses `workers − 1` OS threads and `workers == 1` degrades
+//! to plain sequential execution with no synchronisation at all.
+
+#![allow(unsafe_code)]
+
+use std::cell::UnsafeCell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Hard cap on pool width: task bundles live in a stack array of this many
+/// slots inside [`RoundPool::run`] (heap-free dispatch), so a pool can never
+/// be wider.  64 workers is far past the point where a single round's ~n
+/// words of routing traffic saturates memory bandwidth.
+pub const MAX_WORKERS: usize = 64;
+
+/// A published unit of work: a type-erased context plus the trampoline that
+/// knows how to execute task `index` of that context.
+struct Job {
+    /// Borrow of the erased `TaskSet` living on the dispatching caller's
+    /// stack; valid for exactly the lifetime of the rendezvous (see module
+    /// docs).
+    context: *const (),
+    /// Monomorphized executor: takes task `index` out of the context and
+    /// runs the caller's closure on it.
+    run: unsafe fn(*const (), usize),
+    /// Number of task bundles in the context (caller executes bundle 0).
+    tasks: usize,
+    /// Generation counter distinguishing this job from the previous one, so
+    /// a worker re-checking the state after finishing cannot re-run it.
+    epoch: u64,
+}
+
+// SAFETY: the raw context pointer is only dereferenced through `run` by
+// workers holding a task index `< tasks`, while the publishing caller blocks
+// in the rendezvous keeping the pointee alive; the pointee (`TaskSet`) is
+// built from `Send` task bundles and a `Sync` closure.
+unsafe impl Send for Job {}
+
+/// Shared pool state behind the mutex.
+struct State {
+    job: Option<Job>,
+    /// Workers still executing a task of the current job.
+    remaining: usize,
+    /// Set when a worker's task panicked; the dispatching caller re-raises.
+    panicked: bool,
+    shutdown: bool,
+    next_epoch: u64,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Signalled when a new job is published (workers wait here).
+    go: Condvar,
+    /// Signalled when the last task of a job finishes (caller waits here).
+    done: Condvar,
+}
+
+/// The erased context: the caller's closure and the taken-by-one-executor
+/// task slots.
+struct TaskSet<'a, T, F> {
+    tasks: &'a [UnsafeCell<Option<T>>],
+    run_task: &'a F,
+}
+
+// SAFETY: workers access disjoint `UnsafeCell` slots (slot `i` is touched
+// only by the executor of task `i`) and share `run_task: &F` with `F: Sync`.
+unsafe impl<T: Send, F: Sync> Sync for TaskSet<'_, T, F> {}
+
+/// Monomorphized job executor: moves task `index` out of its slot and runs
+/// the caller's closure on it.
+///
+/// # Safety
+///
+/// `context` must point to a live `TaskSet<T, F>` whose slot `index` is
+/// populated and not accessed by any other thread.
+unsafe fn trampoline<T: Send, F: Fn(usize, T) + Sync>(context: *const (), index: usize) {
+    // SAFETY: per the contract above; the pool dispatches each index to
+    // exactly one executor while the caller keeps the set alive.
+    let set = unsafe { &*context.cast::<TaskSet<'_, T, F>>() };
+    let task = unsafe { (*set.tasks[index].get()).take() };
+    (set.run_task)(index, task.expect("pool task dispatched twice"));
+}
+
+/// A fixed-width pool of persistent worker threads executing one multi-task
+/// job at a time.
+///
+/// Created once per simulation (warm-up), reused every round, joined on
+/// drop.  See the module docs for the design and safety model, and
+/// [`route_into_radix_parallel`](crate::GossipScheduler::route_into_radix_parallel)
+/// for the primary caller.
+pub struct RoundPool {
+    shared: Arc<Shared>,
+    workers: usize,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for RoundPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RoundPool")
+            .field("workers", &self.workers)
+            .finish_non_exhaustive()
+    }
+}
+
+impl RoundPool {
+    /// Creates a pool of `workers` total execution lanes (the calling thread
+    /// is lane 0, so `workers − 1` OS threads are spawned; values are
+    /// clamped to `1..=`[`MAX_WORKERS`]).
+    #[must_use]
+    pub fn new(workers: usize) -> Self {
+        let workers = workers.clamp(1, MAX_WORKERS);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                job: None,
+                remaining: 0,
+                panicked: false,
+                shutdown: false,
+                next_epoch: 1,
+            }),
+            go: Condvar::new(),
+            done: Condvar::new(),
+        });
+        let handles = (1..workers)
+            .map(|index| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("flip-round-{index}"))
+                    .spawn(move || worker_loop(&shared, index))
+                    .expect("failed to spawn round-pool worker")
+            })
+            .collect();
+        Self {
+            shared,
+            workers,
+            handles,
+        }
+    }
+
+    /// Total execution lanes (including the calling thread).
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Runs up to [`Self::workers`] task bundles concurrently, one per lane,
+    /// and returns when all of them have finished.
+    ///
+    /// `tasks` yields the per-lane bundles (built from disjoint borrows —
+    /// `chunks_mut` slices and friends); `run_task(lane, bundle)` executes
+    /// one of them.  Bundle 0 runs on the calling thread, so a single-lane
+    /// pool is plain sequential execution.  Heap-free: bundles are staged in
+    /// a stack array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tasks` yields more than [`Self::workers`] bundles, and
+    /// re-raises (as a panic on the caller) any panic from a worker's task —
+    /// after all other workers finished, so no borrow outlives the call.
+    pub fn run<T, I, F>(&self, tasks: I, run_task: F)
+    where
+        T: Send,
+        I: IntoIterator<Item = T>,
+        F: Fn(usize, T) + Sync,
+    {
+        let slots: [UnsafeCell<Option<T>>; MAX_WORKERS] =
+            std::array::from_fn(|_| UnsafeCell::new(None));
+        let mut count = 0usize;
+        for task in tasks {
+            assert!(
+                count < self.workers,
+                "RoundPool::run dispatched more tasks than workers ({})",
+                self.workers
+            );
+            // Not yet shared: plain initialisation through the cell.
+            // SAFETY: `slots` is exclusively owned until the job is
+            // published below.
+            unsafe { *slots[count].get() = Some(task) };
+            count += 1;
+        }
+        if count == 0 {
+            return;
+        }
+        let set = TaskSet {
+            tasks: &slots[..count],
+            run_task: &run_task,
+        };
+        let context: *const () = (&raw const set).cast();
+
+        if count > 1 {
+            let mut state = self.shared.state.lock().expect("pool mutex poisoned");
+            debug_assert!(state.job.is_none(), "RoundPool::run is not reentrant");
+            let epoch = state.next_epoch;
+            state.next_epoch += 1;
+            state.remaining = count - 1;
+            state.job = Some(Job {
+                context,
+                run: trampoline::<T, F>,
+                tasks: count,
+                epoch,
+            });
+            drop(state);
+            self.shared.go.notify_all();
+        }
+
+        // The guard is the heart of the safety argument: whatever happens
+        // while the caller executes bundle 0 — including a panic — the
+        // erased context stays alive until every worker is done with it.
+        let rendezvous = Rendezvous {
+            shared: if count > 1 { Some(&self.shared) } else { None },
+        };
+        // SAFETY: slot 0 is populated and no worker executes index 0.
+        unsafe { trampoline::<T, F>(context, 0) };
+        drop(rendezvous);
+    }
+}
+
+/// Waits out the current job on drop; re-raises worker panics.
+struct Rendezvous<'a> {
+    shared: Option<&'a Shared>,
+}
+
+impl Drop for Rendezvous<'_> {
+    fn drop(&mut self) {
+        let Some(shared) = self.shared else { return };
+        let mut state = shared.state.lock().expect("pool mutex poisoned");
+        while state.remaining > 0 {
+            state = shared.done.wait(state).expect("pool mutex poisoned");
+        }
+        state.job = None;
+        let worker_panicked = std::mem::replace(&mut state.panicked, false);
+        drop(state);
+        if worker_panicked && !std::thread::panicking() {
+            panic!("a RoundPool worker task panicked");
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, index: usize) {
+    let mut last_epoch = 0u64;
+    loop {
+        let claimed = {
+            let mut state = shared.state.lock().expect("pool mutex poisoned");
+            loop {
+                if state.shutdown {
+                    return;
+                }
+                if let Some(job) = &state.job {
+                    if job.epoch != last_epoch {
+                        last_epoch = job.epoch;
+                        break (index < job.tasks).then_some((job.context, job.run));
+                    }
+                }
+                state = shared.go.wait(state).expect("pool mutex poisoned");
+            }
+        };
+        // `claimed` is None when this job has fewer tasks than lanes; the
+        // epoch was still recorded so the worker sleeps through it.
+        if let Some((context, run)) = claimed {
+            // A panicking task must still report completion, or the caller
+            // would wait forever; the panic flag is re-raised caller-side.
+            // SAFETY: the dispatching caller keeps `context` alive until
+            // `remaining` reaches zero, which this worker has not yet
+            // signalled; `index < tasks` was checked under the lock.
+            let ok = catch_unwind(AssertUnwindSafe(|| unsafe { run(context, index) })).is_ok();
+            let mut state = shared.state.lock().expect("pool mutex poisoned");
+            state.panicked |= !ok;
+            state.remaining -= 1;
+            if state.remaining == 0 {
+                shared.done.notify_all();
+            }
+        }
+    }
+}
+
+impl Drop for RoundPool {
+    fn drop(&mut self) {
+        {
+            let mut state = self.shared.state.lock().expect("pool mutex poisoned");
+            state.shutdown = true;
+        }
+        self.shared.go.notify_all();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn width_is_clamped() {
+        assert_eq!(RoundPool::new(0).workers(), 1);
+        assert_eq!(RoundPool::new(1).workers(), 1);
+        assert_eq!(RoundPool::new(3).workers(), 3);
+        assert_eq!(RoundPool::new(10_000).workers(), MAX_WORKERS);
+    }
+
+    #[test]
+    fn runs_disjoint_mutable_tasks() {
+        let pool = RoundPool::new(4);
+        let mut data = vec![0u64; 4096];
+        for round in 1..=50u64 {
+            pool.run(data.chunks_mut(1024), |lane, chunk| {
+                for x in chunk {
+                    *x += round * (lane as u64 + 1);
+                }
+            });
+        }
+        // Lane assignment is by chunk order, so the result is deterministic.
+        let sum_rounds: u64 = (1..=50).sum();
+        for (i, &x) in data.iter().enumerate() {
+            let lane = (i / 1024) as u64 + 1;
+            assert_eq!(x, sum_rounds * lane, "index {i}");
+        }
+    }
+
+    #[test]
+    fn caller_lane_is_zero_and_executes_inline() {
+        let pool = RoundPool::new(2);
+        let caller = std::thread::current().id();
+        let hits = AtomicUsize::new(0);
+        pool.run([0usize, 1], |lane, task| {
+            assert_eq!(lane, task);
+            if lane == 0 {
+                assert_eq!(std::thread::current().id(), caller);
+            } else {
+                assert_ne!(std::thread::current().id(), caller);
+            }
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn fewer_tasks_than_lanes_is_fine() {
+        let pool = RoundPool::new(8);
+        for _ in 0..10 {
+            let hits = AtomicUsize::new(0);
+            pool.run([(); 3], |_, ()| {
+                hits.fetch_add(1, Ordering::Relaxed);
+            });
+            assert_eq!(hits.load(Ordering::Relaxed), 3);
+        }
+    }
+
+    #[test]
+    fn empty_task_list_is_a_no_op() {
+        let pool = RoundPool::new(4);
+        pool.run(std::iter::empty::<()>(), |_, ()| panic!("never runs"));
+    }
+
+    #[test]
+    fn single_lane_pool_is_sequential() {
+        let pool = RoundPool::new(1);
+        let mut total = 0u64;
+        // A single bundle borrowing the accumulator mutably: lane 0 runs it
+        // inline, so the borrow is plain and the closure still `Sync`-checks.
+        pool.run([&mut total], |lane, total| {
+            assert_eq!(lane, 0);
+            *total += 7;
+        });
+        assert_eq!(total, 7);
+    }
+
+    #[test]
+    fn worker_panic_propagates_to_the_caller() {
+        let pool = RoundPool::new(4);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run(0..4usize, |_, task| {
+                assert!(task != 2, "task 2 explodes");
+            });
+        }));
+        assert!(result.is_err());
+        // The pool survives a panicked job and runs the next one.
+        let hits = AtomicUsize::new(0);
+        pool.run(0..4usize, |_, _| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn caller_task_panic_still_waits_for_workers() {
+        let pool = RoundPool::new(4);
+        let finished = AtomicUsize::new(0);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run(0..4usize, |lane, _| {
+                if lane == 0 {
+                    panic!("caller lane explodes");
+                }
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                finished.fetch_add(1, Ordering::Relaxed);
+            });
+        }));
+        assert!(result.is_err());
+        // All worker lanes ran to completion before `run` unwound, so their
+        // borrows never outlived the call.
+        assert_eq!(finished.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn too_many_tasks_panics() {
+        let pool = RoundPool::new(2);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run(0..3usize, |_, _| {});
+        }));
+        assert!(result.is_err());
+    }
+}

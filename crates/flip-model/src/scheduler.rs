@@ -1,10 +1,9 @@
 //! Push-gossip routing with per-recipient collision resolution.
 
-use rand::RngCore;
-
 use crate::agent::AgentId;
 use crate::error::FlipError;
 use crate::opinion::Opinion;
+use crate::pool::RoundPool;
 use crate::rng::SimRng;
 
 /// A message accepted by its recipient in one round, before channel noise.
@@ -111,6 +110,16 @@ impl RoundRouting {
         }
     }
 
+    /// Pre-grows the radix staging for parallel rounds of up to `lanes`
+    /// lanes over a population of `n` (sized for the worst-case all-send
+    /// round), so a warmed-up engine's parallel rounds never allocate.
+    pub(crate) fn reserve_parallel(&mut self, n: usize, lanes: usize) {
+        let staged = GossipScheduler::radix_parallel_staged_len(n, n, lanes);
+        if self.staged.len() < staged {
+            self.staged.resize(staged, 0);
+        }
+    }
+
     /// Messages accepted by their recipients (one per receiving agent at most).
     #[must_use]
     pub fn accepted(&self) -> &[Delivery] {
@@ -148,7 +157,9 @@ impl Eq for RoundRouting {}
 /// Message `i`'s random word is re-mixed on demand from a counter base
 /// reserved with [`SimRng::reserve_block`] (no word buffer exists); the low
 /// half maps to the recipient with a cached-threshold 32-bit Lemire
-/// multiply-shift (exact — the rare rejection redraws from the live stream)
+/// multiply-shift (exact — the rare rejection redraws re-mix the message's
+/// own word, so every recipient is a pure function of its block word and
+/// the whole stream is partition-invariant across workers)
 /// and the whole message collapses into one *packed reservoir word*
 ///
 /// ```text
@@ -215,6 +226,16 @@ pub struct GossipScheduler {
     /// Radix staging overflow: `(recipient, packed word)` for the rare
     /// messages whose bucket filled its fixed-capacity staging area.
     spill: Vec<(u32, u64)>,
+    /// Per-worker spill lists for the parallel scatter (worker `w` owns
+    /// `spills[w]`; the resolve phase reads all of them, in any order —
+    /// `max` is commutative).
+    spills: Vec<Vec<(u32, u64)>>,
+    /// Accepted-delivery count per bucket, filled by the parallel resolve
+    /// phase so emission offsets can be prefix-summed.
+    bucket_accepted: Vec<u32>,
+    /// Exclusive prefix sums of `bucket_accepted` (`bucket_count + 1`
+    /// entries): bucket `b` emits into `buffer[offsets[b]..offsets[b + 1]]`.
+    bucket_offsets: Vec<u32>,
     /// Test-only override of the per-bucket staging capacity, so the spill
     /// path can be forced deterministically (a correctly sized capacity
     /// makes natural spills ~6σ events no test could wait for).
@@ -254,6 +275,9 @@ impl GossipScheduler {
             // allocate mid-round; 1024 entries is > 6σ beyond any real
             // overflow mass.
             spill: Vec::with_capacity(1024),
+            spills: Vec::new(),
+            bucket_accepted: Vec::new(),
+            bucket_offsets: Vec::new(),
             #[cfg(test)]
             forced_bucket_capacity: None,
         })
@@ -290,6 +314,38 @@ impl GossipScheduler {
     /// agents (monotone in `m`, so sizing for `m = n` covers every round).
     fn radix_staged_len(n: usize, m: usize) -> usize {
         ((n >> RADIX_BUCKET_BITS) + 1) * Self::radix_bucket_capacity(n, m)
+    }
+
+    /// Total staging length the *parallel* radix path needs for `m` sends
+    /// over `n` agents split across `lanes` lanes: each lane gets its own
+    /// fixed-capacity area per bucket, sized for its message chunk.
+    fn radix_parallel_staged_len(n: usize, m: usize, lanes: usize) -> usize {
+        let lanes = lanes.clamp(1, m.max(1));
+        let chunk_len = m.max(1).div_ceil(lanes);
+        let lanes = m.max(1).div_ceil(chunk_len);
+        let bucket_count = n.div_ceil(1 << RADIX_BUCKET_BITS);
+        lanes * bucket_count * Self::radix_bucket_capacity(n, chunk_len)
+    }
+
+    /// Pre-grows the parallel path's per-lane bookkeeping (staging cursors,
+    /// spill lists, per-bucket accepted counts and emission offsets) for
+    /// rounds of up to `lanes` lanes, so a warmed-up engine's parallel
+    /// rounds never allocate.
+    pub(crate) fn reserve_parallel(&mut self, lanes: usize) {
+        let lanes = lanes.max(1);
+        let bucket_count = self.n.div_ceil(1 << RADIX_BUCKET_BITS);
+        if self.bucket_cursors.len() < lanes * bucket_count {
+            self.bucket_cursors.resize(lanes * bucket_count, 0);
+        }
+        while self.spills.len() < lanes {
+            self.spills.push(Vec::with_capacity(1024));
+        }
+        if self.bucket_accepted.len() < bucket_count {
+            self.bucket_accepted.resize(bucket_count, 0);
+        }
+        if self.bucket_offsets.len() < bucket_count + 1 {
+            self.bucket_offsets.resize(bucket_count + 1, 0);
+        }
     }
 
     /// Routes one round of sends into a fresh [`RoundRouting`].
@@ -337,19 +393,42 @@ impl GossipScheduler {
         }
     }
 
-    /// Draws message `i`'s uniform recipient among the other `n − 1` agents
+    /// Draws a message's uniform recipient among the other `n − 1` agents
     /// from its pre-drawn `word` (32-bit Lemire multiply-shift with the
-    /// cached rejection threshold; the cold rejection path redraws from the
-    /// live stream to stay exactly uniform).
+    /// cached rejection `threshold`; exact — the cold rejection path redraws
+    /// by re-mixing the message's *own* word instead of pulling from the
+    /// live stream).
+    ///
+    /// The redraw chain — attempt `t` uses
+    /// [`SimRng::block_word`]`(word, t)`, each output an independent
+    /// SplitMix64 mix of the original draw — is a pure function of `word`,
+    /// so a message's recipient depends only on its reserved block word and
+    /// never on which other messages were routed before it.  That makes the
+    /// whole recipient stream *partition-invariant*: the parallel scatter
+    /// can hand any message range to any worker and still produce the exact
+    /// recipients of the sequential walk, and the post-round RNG state is
+    /// always precisely `reserve_block(m)` past the pre-round state.
+    ///
+    /// An associated function (not a method) so the parallel scatter workers
+    /// can call it with copied `span`/`threshold` without borrowing the
+    /// scheduler.
     #[inline(always)]
-    fn recipient_of(&self, word: u64, sender: usize, rng: &mut SimRng) -> usize {
-        let span = self.span;
+    fn draw_recipient(word: u64, sender: usize, span: u32, threshold: u32) -> usize {
         let mut product = u64::from(word as u32) * u64::from(span);
-        while (product as u32) < self.threshold {
-            product = u64::from(rng.next_u64() as u32) * u64::from(span);
+        let mut attempt = 0usize;
+        while (product as u32) < threshold {
+            let redraw = SimRng::block_word(word, attempt);
+            attempt += 1;
+            product = u64::from(redraw as u32) * u64::from(span);
         }
         let recipient = (product >> 32) as usize;
         recipient + usize::from(recipient >= sender)
+    }
+
+    /// [`Self::draw_recipient`] with this scheduler's cached span/threshold.
+    #[inline(always)]
+    fn recipient_of(&self, word: u64, sender: usize) -> usize {
+        Self::draw_recipient(word, sender, self.span, self.threshold)
     }
 
     /// The packed reservoir word of a message (see the struct docs): the
@@ -412,7 +491,7 @@ impl GossipScheduler {
             for (i, &(sender, payload)) in sends.iter().enumerate() {
                 debug_assert!((sender as usize) < self.n, "sender index out of range");
                 let word = SimRng::block_word(base, i);
-                let recipient = self.recipient_of(word, sender as usize, rng);
+                let recipient = self.recipient_of(word, sender as usize);
                 let slot = &mut self.slots[recipient];
                 *slot = (*slot).max(Self::packed_word(word, sender, payload, recipient));
             }
@@ -429,7 +508,7 @@ impl GossipScheduler {
         for (i, &(sender, payload)) in sends.iter().enumerate() {
             debug_assert!((sender as usize) < self.n, "sender index out of range");
             let word = SimRng::block_word(base, i);
-            let recipient = self.recipient_of(word, sender as usize, rng);
+            let recipient = self.recipient_of(word, sender as usize);
             self.recipients[i] = recipient as u32;
             let slot = &mut self.slots[recipient];
             *slot = (*slot).max(Self::packed_word(word, sender, payload, recipient));
@@ -461,9 +540,10 @@ impl GossipScheduler {
     /// pin this at `n ∈ {10³, 10⁵, 10⁶}`.  Dense rounds run three
     /// streaming phases:
     ///
-    /// 1. **Scatter** — draw each recipient in message order (exactly the
-    ///    single-pass order, so Lemire rejection redraws consume the same
-    ///    stream) and append the packed word to its bucket's staging area.
+    /// 1. **Scatter** — draw each recipient from its block word (a pure
+    ///    per-message function, so the draws match the single-pass path
+    ///    word for word) and append the packed word to its bucket's staging
+    ///    area.
     ///    Buckets have fixed capacity (expected load + 6σ); the rare
     ///    overflow goes to a spill list.  `max` is commutative, so staging
     ///    order — and spill — cannot affect the result.
@@ -514,7 +594,7 @@ impl GossipScheduler {
         for (i, &(sender, payload)) in sends.iter().enumerate() {
             debug_assert!((sender as usize) < self.n, "sender index out of range");
             let word = SimRng::block_word(base, i);
-            let recipient = self.recipient_of(word, sender as usize, rng);
+            let recipient = self.recipient_of(word, sender as usize);
             let pword = Self::packed_word(word, sender, payload, recipient);
             let bucket = recipient >> RADIX_BUCKET_BITS;
             let at = self.bucket_cursors[bucket] as usize;
@@ -561,11 +641,277 @@ impl GossipScheduler {
         out.sent = m as u64;
         out.collided = m as u64 - accepted_len as u64;
     }
+
+    /// Routes one round like [`route_into`](GossipScheduler::route_into),
+    /// fanning the radix path's phases across `pool`'s lanes.
+    ///
+    /// Bit-identical to the sequential `route_into` for **any** pool width —
+    /// same deliveries, same emission order, same collision counts, same
+    /// post-round RNG state — so a caller can thread any thread budget
+    /// through without perturbing seeded results.  The thread-count
+    /// invariance suite in `tests/radix_routing.rs` pins this across
+    /// lanes × population × density.
+    pub fn route_into_parallel(
+        &mut self,
+        sends: &[(u32, Opinion)],
+        rng: &mut SimRng,
+        out: &mut RoundRouting,
+        pool: &RoundPool,
+    ) {
+        if self.n >= RADIX_MIN_N && self.is_dense(sends.len()) {
+            self.route_into_radix_parallel(sends, rng, out, pool);
+        } else {
+            self.route_into_single_pass(sends, rng, out);
+        }
+    }
+
+    /// The parallel radix routing path: the same three phases as
+    /// [`route_into_radix`](GossipScheduler::route_into_radix), each fanned
+    /// out across the pool's lanes, bit-identical to both sequential paths
+    /// from an equal RNG state for every lane count.
+    ///
+    /// Determinism is by construction, not by scheduling discipline:
+    ///
+    /// * **Scatter** — lane `w` draws the words for its message range
+    ///   straight from the round's reserved counter base
+    ///   ([`SimRng::reserve_block`]/[`SimRng::block_word`]), so message
+    ///   `i`'s word — and, through the per-message redraw chain, its
+    ///   recipient — is identical no matter which lane processes it.  Each
+    ///   lane stages packed words into its own fixed-capacity bucket areas
+    ///   (a private slice of the staging array), overflow going to its
+    ///   private spill list.
+    /// * **Resolve** — lanes own disjoint contiguous bucket ranges of the
+    ///   population-wide slot array and `max`-fold every lane's staging
+    ///   areas (plus every spill list) for their buckets.  `max` is
+    ///   commutative and associative, so the merged slot values cannot
+    ///   depend on lane count or interleaving; the per-bucket accepted
+    ///   counts fall out of the fold for free (a slot's first arrival
+    ///   counts it).
+    /// * **Emit** — a sequential prefix sum over the per-bucket counts
+    ///   (micro-work: one add per 2¹³ agents) fixes every bucket's emission
+    ///   offset, then lanes sweep their bucket ranges into disjoint regions
+    ///   of the output buffer, zeroing slots as they go.  Global emission
+    ///   order is exactly the sequential sweep's recipient order.
+    ///
+    /// Sparse rounds delegate to the single-pass path (as the sequential
+    /// radix path does), empty and single-lane rounds to the sequential
+    /// radix path.  Public so the invariance tests and benches can force
+    /// this path below [`RADIX_MIN_N`]; like `route_into_radix` it accepts
+    /// any population the scheduler accepts.
+    pub fn route_into_radix_parallel(
+        &mut self,
+        sends: &[(u32, Opinion)],
+        rng: &mut SimRng,
+        out: &mut RoundRouting,
+        pool: &RoundPool,
+    ) {
+        let m = sends.len();
+        if !self.is_dense(m) {
+            self.route_into_single_pass(sends, rng, out);
+            return;
+        }
+        if m == 0 || pool.workers() == 1 {
+            self.route_into_radix(sends, rng, out);
+            return;
+        }
+        self.grow_buffer(out);
+        let n = self.n;
+        let window = 1usize << RADIX_BUCKET_BITS;
+        let bucket_count = n.div_ceil(window);
+        let lanes = pool.workers().min(m);
+        let chunk_len = m.div_ceil(lanes);
+        let lanes = m.div_ceil(chunk_len);
+        let capacity = Self::radix_bucket_capacity(n, chunk_len);
+        #[cfg(test)]
+        let capacity = self.forced_bucket_capacity.unwrap_or(capacity);
+        let region_len = bucket_count * capacity;
+        let staged_len = lanes * region_len;
+        if out.staged.len() < staged_len {
+            out.staged.resize(staged_len, 0);
+        }
+        self.reserve_parallel(lanes);
+        let base = rng.reserve_block(m);
+        let (span, threshold) = (self.span, self.threshold);
+
+        // Phase 1 — parallel scatter: lane `w` stages messages
+        // `[w·chunk_len, (w+1)·chunk_len)` into its private bucket areas.
+        {
+            let staged = &mut out.staged[..staged_len];
+            let cursors = &mut self.bucket_cursors[..lanes * bucket_count];
+            let spills = &mut self.spills[..lanes];
+            let tasks = staged
+                .chunks_mut(region_len)
+                .zip(cursors.chunks_mut(bucket_count))
+                .zip(spills.iter_mut())
+                .zip(sends.chunks(chunk_len))
+                .enumerate()
+                .map(|(lane, (((staged, cursors), spill), sends))| {
+                    (lane * chunk_len, staged, cursors, spill, sends)
+                });
+            pool.run(tasks, |_, (first, staged, cursors, spill, sends)| {
+                for (b, cursor) in cursors.iter_mut().enumerate() {
+                    *cursor = (b * capacity) as u32;
+                }
+                spill.clear();
+                for (i, &(sender, payload)) in sends.iter().enumerate() {
+                    debug_assert!((sender as usize) < n, "sender index out of range");
+                    let word = SimRng::block_word(base, first + i);
+                    let recipient = Self::draw_recipient(word, sender as usize, span, threshold);
+                    let pword = Self::packed_word(word, sender, payload, recipient);
+                    let bucket = recipient >> RADIX_BUCKET_BITS;
+                    let at = cursors[bucket] as usize;
+                    if at < (bucket + 1) * capacity {
+                        staged[at] = pword;
+                        cursors[bucket] = at as u32 + 1;
+                    } else {
+                        spill.push((recipient as u32, pword));
+                    }
+                }
+            });
+        }
+
+        // Phase 2 — parallel resolve: lanes own disjoint contiguous bucket
+        // ranges and max-fold every lane's staging (and spills) for their
+        // buckets, counting each slot's first arrival.
+        let bucket_chunk = bucket_count.div_ceil(lanes);
+        {
+            let staged = &out.staged[..staged_len];
+            let cursors = &self.bucket_cursors[..lanes * bucket_count];
+            let spills = &self.spills[..lanes];
+            let slots = &mut self.slots[..n];
+            let accepted = &mut self.bucket_accepted[..bucket_count];
+            let tasks = slots
+                .chunks_mut(bucket_chunk << RADIX_BUCKET_BITS)
+                .zip(accepted.chunks_mut(bucket_chunk))
+                .enumerate()
+                .map(|(range, (slots, accepted))| (range * bucket_chunk, slots, accepted));
+            pool.run(tasks, |_, (bucket_lo, slots, accepted)| {
+                let offset_mask = (1u64 << RADIX_BUCKET_BITS) - 1;
+                for ((b_rel, wslots), count_slot) in slots
+                    .chunks_mut(window)
+                    .enumerate()
+                    .zip(accepted.iter_mut())
+                {
+                    let b = bucket_lo + b_rel;
+                    let mut count = 0u32;
+                    for lane in 0..lanes {
+                        let start = lane * region_len + b * capacity;
+                        let end = lane * region_len + cursors[lane * bucket_count + b] as usize;
+                        for &pword in &staged[start..end] {
+                            let slot = &mut wslots[(pword & offset_mask) as usize];
+                            let was = *slot;
+                            *slot = was.max(pword);
+                            count += u32::from(was == 0);
+                        }
+                    }
+                    for spill in spills {
+                        if spill.is_empty() {
+                            continue;
+                        }
+                        for &(recipient, pword) in spill {
+                            if (recipient as usize) >> RADIX_BUCKET_BITS == b {
+                                let slot = &mut wslots[(recipient as usize) & (window - 1)];
+                                let was = *slot;
+                                *slot = was.max(pword);
+                                count += u32::from(was == 0);
+                            }
+                        }
+                    }
+                    *count_slot = count;
+                }
+            });
+        }
+
+        // Sequential prefix sum over the per-bucket counts: one add per
+        // bucket (2¹³ agents), negligible against the parallel phases.
+        let mut total = 0u32;
+        for b in 0..bucket_count {
+            self.bucket_offsets[b] = total;
+            total += self.bucket_accepted[b];
+        }
+        self.bucket_offsets[bucket_count] = total;
+        let accepted_total = total as usize;
+
+        // Phase 3 — parallel emit: each bucket range sweeps its windows in
+        // recipient order into its exact (disjoint) region of the output
+        // buffer, zeroing slots for the next round.  The write is
+        // branch-free — an empty slot writes a placeholder at the current
+        // position without advancing it, which the next winner overwrites —
+        // and once a range has emitted its full count the remaining slots
+        // are provably zero, so the sweep stops.
+        {
+            let offsets = &self.bucket_offsets[..bucket_count + 1];
+            let slots = &mut self.slots[..n];
+            let buffer = &mut out.buffer[..accepted_total];
+            let range_count = bucket_count.div_ceil(bucket_chunk);
+            let region_lens = (0..range_count).map(|range| {
+                let lo = range * bucket_chunk;
+                let hi = (lo + bucket_chunk).min(bucket_count);
+                (offsets[hi] - offsets[lo]) as usize
+            });
+            let tasks = slots
+                .chunks_mut(bucket_chunk << RADIX_BUCKET_BITS)
+                .zip(SplitMutByLens::new(buffer, region_lens))
+                .enumerate()
+                .map(|(range, (slots, region))| (range * bucket_chunk, slots, region));
+            pool.run(tasks, |_, (bucket_lo, slots, region)| {
+                let len = region.len();
+                let mut at = 0usize;
+                'sweep: for (b_rel, wslots) in slots.chunks_mut(window).enumerate() {
+                    let bucket_base = (bucket_lo + b_rel) << RADIX_BUCKET_BITS;
+                    for (off, slot) in wslots.iter_mut().enumerate() {
+                        if at == len {
+                            break 'sweep;
+                        }
+                        let pword = *slot;
+                        *slot = 0;
+                        region[at] = Self::delivery_of(pword, bucket_base + off);
+                        at += usize::from(pword != 0);
+                    }
+                }
+                debug_assert_eq!(at, len, "emitted deliveries diverged from resolve counts");
+            });
+        }
+
+        out.accepted_len = accepted_total;
+        out.sent = m as u64;
+        out.collided = m as u64 - accepted_total as u64;
+    }
+}
+
+/// Splits one mutable slice into consecutive disjoint sub-slices of the
+/// given lengths — the safe-code way to hand each parallel emit range its
+/// exact region of the output buffer.
+struct SplitMutByLens<'a, T, I> {
+    rest: &'a mut [T],
+    lens: I,
+}
+
+impl<'a, T, I: Iterator<Item = usize>> SplitMutByLens<'a, T, I> {
+    fn new(slice: &'a mut [T], lens: impl IntoIterator<Item = usize, IntoIter = I>) -> Self {
+        Self {
+            rest: slice,
+            lens: lens.into_iter(),
+        }
+    }
+}
+
+impl<'a, T, I: Iterator<Item = usize>> Iterator for SplitMutByLens<'a, T, I> {
+    type Item = &'a mut [T];
+
+    fn next(&mut self) -> Option<&'a mut [T]> {
+        let len = self.lens.next()?;
+        let rest = std::mem::take(&mut self.rest);
+        let (head, tail) = rest.split_at_mut(len);
+        self.rest = tail;
+        Some(head)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::RngCore;
 
     #[test]
     fn rejects_tiny_populations() {
@@ -754,6 +1100,68 @@ mod tests {
     }
 
     #[test]
+    fn parallel_radix_agrees_with_both_sequential_paths() {
+        // Unit-level smoke for the parallel path (the full thread-count ×
+        // population × density matrix lives in `tests/radix_routing.rs`):
+        // 3 lanes over a small population must match the sequential radix
+        // path bit for bit, dense and sparse.
+        let pool = RoundPool::new(3);
+        for n in [100usize, 1_000, 8_192 + 7] {
+            let all: Vec<(u32, Opinion)> = (0..n as u32)
+                .map(|i| (i, Opinion::from_bit(u8::from(i % 3 == 0))))
+                .collect();
+            let sparse: Vec<(u32, Opinion)> = (0..n as u32)
+                .step_by(17)
+                .map(|i| (i, Opinion::One))
+                .collect();
+            for sends in [&all[..], &sparse[..], &[], &all[..1]] {
+                let mut sequential = GossipScheduler::new(n).unwrap();
+                let mut parallel = GossipScheduler::new(n).unwrap();
+                let mut rng_seq = SimRng::from_seed(0x9A7 ^ n as u64);
+                let mut rng_par = SimRng::from_seed(0x9A7 ^ n as u64);
+                let mut out_seq = RoundRouting::with_capacity(n);
+                let mut out_par = RoundRouting::with_capacity(n);
+                for round in 0..3 {
+                    sequential.route_into_radix(sends, &mut rng_seq, &mut out_seq);
+                    parallel.route_into_radix_parallel(sends, &mut rng_par, &mut out_par, &pool);
+                    assert_eq!(out_seq, out_par, "n = {n}, round {round}");
+                    assert_eq!(rng_seq.next_u64(), rng_par.next_u64(), "n = {n}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_radix_resolves_forced_spills_identically() {
+        // Starve the per-lane bucket capacity so every lane's spill list
+        // carries real traffic, and require the merged result to stay
+        // bit-identical to the sequential single-pass path.
+        let n = (1usize << RADIX_BUCKET_BITS) + 7;
+        let sends: Vec<(u32, Opinion)> = (0..n as u32)
+            .map(|i| (i, Opinion::from_bit(u8::from(i % 2 == 0))))
+            .collect();
+        let pool = RoundPool::new(4);
+        let mut single = GossipScheduler::new(n).unwrap();
+        let mut parallel = GossipScheduler::new(n).unwrap();
+        parallel.forced_bucket_capacity = Some(8);
+        let mut rng_single = SimRng::from_seed(0x5F13);
+        let mut rng_par = SimRng::from_seed(0x5F13);
+        let mut out_single = RoundRouting::with_capacity(n);
+        let mut out_par = RoundRouting::with_capacity(n);
+        for round in 0..4 {
+            single.route_into_single_pass(&sends, &mut rng_single, &mut out_single);
+            parallel.route_into_radix_parallel(&sends, &mut rng_par, &mut out_par, &pool);
+            let spilled: usize = parallel.spills.iter().map(Vec::len).sum();
+            assert!(
+                spilled > 1_000,
+                "round {round}: the starved capacity must actually spill, got {spilled}"
+            );
+            assert_eq!(out_single, out_par, "round {round}");
+            assert_eq!(rng_single.next_u64(), rng_par.next_u64());
+        }
+    }
+
+    #[test]
     fn radix_and_single_pass_agree_from_equal_rng_states() {
         for n in [100usize, 1_000, 8_192, 10_000] {
             let all: Vec<(u32, Opinion)> = (0..n as u32)
@@ -888,5 +1296,103 @@ mod tests {
         assert!(r2.accepted().is_empty());
         assert_eq!(r2.sent, 0);
         assert_eq!(r2.collided, 0);
+    }
+
+    /// Property coverage of the packed reservoir word, the unit the whole
+    /// routing design (and its parallel merge) rests on: encoding must
+    /// round-trip every field, and `max`-resolution must be a commutative,
+    /// associative fold with `0` as identity — that algebra is exactly what
+    /// lets worker lanes stage and merge words in any order bit-identically.
+    mod packed_word_properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_opinion() -> impl Strategy<Value = Opinion> {
+            prop_oneof![Just(Opinion::Zero), Just(Opinion::One)]
+        }
+
+        /// Packs an arbitrary `(priority word, sender, payload, recipient)`
+        /// tuple the way the routing paths do.
+        fn pack(word: u64, sender: u32, payload: Opinion, recipient: usize) -> u64 {
+            GossipScheduler::packed_word(word, sender, payload, recipient)
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(128))]
+
+            /// Encode → decode reproduces the sender, the payload and the
+            /// in-bucket offset for the full 31-bit sender/recipient range,
+            /// and a packed word is never the `0` "no arrival" sentinel.
+            #[test]
+            fn packed_words_round_trip(
+                word in 0u64..u64::MAX,
+                sender in 0u32..0x8000_0000,
+                payload in arb_opinion(),
+                recipient in 0usize..(1 << 31),
+            ) {
+                let pword = pack(word, sender, payload, recipient);
+                // The low priority bit is forced on, so a packed word can
+                // never alias the sentinel.
+                prop_assert_ne!(pword, 0);
+                let delivery = GossipScheduler::delivery_of(pword, recipient);
+                prop_assert_eq!(delivery.sender.index(), sender as usize);
+                prop_assert_eq!(delivery.recipient.index(), recipient);
+                prop_assert_eq!(delivery.payload, payload);
+                // The low 14 bits carry the recipient's offset inside its
+                // radix bucket, and the top 18 the (low-bit-forced) priority.
+                let mask = (1u64 << RADIX_BUCKET_BITS) - 1;
+                prop_assert_eq!(pword & mask, recipient as u64 & mask);
+                prop_assert_eq!(pword >> 46, (word >> 46) | 1);
+            }
+
+            /// `max` resolution is order-independent: folding the same
+            /// messages shuffled, sorted, reversed, or split at any pivot
+            /// (two lanes merged afterwards — the parallel path's shape)
+            /// always yields the same winner, and `0` slots are an identity.
+            #[test]
+            fn max_resolution_is_commutative_and_associative(
+                messages in proptest::collection::vec(
+                    (0u64..u64::MAX, 0u32..0x8000_0000, arb_opinion(), 0usize..(1 << 31)),
+                    0..40,
+                ),
+                rotation in 0usize..40,
+                pivot in 0usize..40,
+            ) {
+                let packed: Vec<u64> = messages
+                    .iter()
+                    .map(|&(w, s, p, r)| pack(w, s, p, r))
+                    .collect();
+                let fold = |words: &[u64]| words.iter().fold(0u64, |slot, &w| slot.max(w));
+
+                let reference = fold(&packed);
+                // Commutativity: any reordering folds to the same winner.
+                let mut rotated = packed.clone();
+                if !rotated.is_empty() {
+                    let mid = rotation % rotated.len();
+                    rotated.rotate_left(mid);
+                }
+                prop_assert_eq!(fold(&rotated), reference);
+                let mut sorted = packed.clone();
+                sorted.sort_unstable();
+                prop_assert_eq!(fold(&sorted), reference);
+                sorted.reverse();
+                prop_assert_eq!(fold(&sorted), reference);
+                // Associativity: fold two disjoint lanes, then merge —
+                // exactly how the parallel resolve combines staging areas.
+                let cut = pivot.min(packed.len());
+                let (lane_a, lane_b) = packed.split_at(cut);
+                prop_assert_eq!(fold(lane_a).max(fold(lane_b)), reference);
+                // Zero is the identity the empty slots provide: folding
+                // extra sentinel words in cannot move the winner.
+                let mut with_sentinels = vec![0u64];
+                with_sentinels.extend_from_slice(&packed);
+                with_sentinels.push(0);
+                prop_assert_eq!(fold(&with_sentinels), reference);
+                if !packed.is_empty() {
+                    // Real arrivals never fold back down to the sentinel.
+                    prop_assert_ne!(reference, 0);
+                }
+            }
+        }
     }
 }

@@ -6,9 +6,11 @@
 //! Cells are handed out from a shared atomic counter — dynamic load
 //! balancing, so a slow cell (large `n`) never stalls the queue behind it
 //! the way static chunking would.  Inside a cell, trials fan out over the
-//! lock-free [`TrialRunner`]; the two levels share the thread budget
-//! (`outer × inner ≤ threads`), so small grids with heavy cells still
-//! saturate the machine.
+//! lock-free [`TrialRunner`], and each trial in turn receives the leftover
+//! [`TrialRunner::round_threads`] as intra-round worker lanes; all three
+//! levels share the one thread budget
+//! (`outer × trial_workers × round_threads ≤ threads`), so small grids with
+//! heavy cells still saturate the machine without oversubscribing it.
 //!
 //! # Determinism and resume
 //!
@@ -218,13 +220,19 @@ impl Default for SweepRunner {
 
 /// Runs every trial of one cell (fanning out over `inner_threads`) and folds
 /// the per-trial metrics into a record, in trial order.
+///
+/// Threads left over after the trial fan-out ([`TrialRunner::round_threads`])
+/// are granted to each trial as intra-round worker lanes, so a cell with few
+/// trials but a huge `n` still uses its whole share of the budget —
+/// `trial_workers × round_threads` never exceeds `inner_threads`.
 fn run_cell(
     cell: &ScenarioSpec,
     registry: &ProtocolRegistry,
     inner_threads: usize,
 ) -> Result<CellRecord, SweepError> {
     let runner = TrialRunner::new(u64::from(cell.trials)).with_threads(inner_threads);
-    let results = runner.run(|trial| registry.run_trial(cell, trial));
+    let round_threads = runner.round_threads();
+    let results = runner.run(|trial| registry.run_trial_with_threads(cell, trial, round_threads));
     let mut trials = Vec::with_capacity(results.len());
     for result in results {
         trials.push(result?);
@@ -321,7 +329,7 @@ mod tests {
         registry.register(
             "fail-second",
             &[Backend::Agents],
-            Box::new(move |spec, _trial| {
+            Box::new(move |spec, _trial, _round_threads| {
                 seen.fetch_add(1, Ordering::Relaxed);
                 if spec.point == 1 {
                     Err(crate::SweepError::Simulation("boom".into()))

@@ -28,13 +28,20 @@ use flip_model::{
 use crate::error::SweepError;
 use crate::spec::ScenarioSpec;
 
-/// Runs one trial of one cell: `(spec, trial_index)` → metric pairs.
+/// Runs one trial of one cell: `(spec, trial_index, round_threads)` → metric
+/// pairs.
 ///
 /// Implementations must be deterministic functions of
 /// [`ScenarioSpec::seed_for_trial`]`(trial)` and must report the same metric
-/// names for every trial of a cell.
-pub type TrialFn =
-    Box<dyn Fn(&ScenarioSpec, u64) -> Result<Vec<(&'static str, f64)>, SweepError> + Send + Sync>;
+/// names for every trial of a cell.  The third argument is the intra-round
+/// worker budget this trial may use (from
+/// [`TrialRunner::round_threads`](crate::TrialRunner::round_threads));
+/// because the engine's parallel rounds are bit-identical across lane
+/// counts, it must never change a trial's metrics — protocols that cannot
+/// honour it simply ignore it.
+pub type TrialFn = Box<
+    dyn Fn(&ScenarioSpec, u64, usize) -> Result<Vec<(&'static str, f64)>, SweepError> + Send + Sync,
+>;
 
 struct ProtocolEntry {
     backends: Vec<Backend>,
@@ -128,7 +135,7 @@ impl ProtocolRegistry {
         Ok(&entry.run)
     }
 
-    /// Runs one trial of `spec` (resolve + execute).
+    /// Runs one trial of `spec` (resolve + execute) with sequential rounds.
     ///
     /// # Errors
     ///
@@ -139,7 +146,29 @@ impl ProtocolRegistry {
         spec: &ScenarioSpec,
         trial: u64,
     ) -> Result<Vec<(&'static str, f64)>, SweepError> {
-        (self.resolve(spec)?)(spec, trial)
+        self.run_trial_with_threads(spec, trial, 1)
+    }
+
+    /// Runs one trial of `spec`, granting it `round_threads` intra-round
+    /// worker lanes (the orchestrator passes
+    /// [`TrialRunner::round_threads`](crate::TrialRunner::round_threads)
+    /// here so trial fan-out and round workers share one budget).
+    ///
+    /// Results are bit-identical to [`ProtocolRegistry::run_trial`] for
+    /// every `round_threads` value — the lanes trade wall-clock for cores,
+    /// never determinism.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ProtocolRegistry::resolve`] failures and simulation
+    /// errors from the protocol itself.
+    pub fn run_trial_with_threads(
+        &self,
+        spec: &ScenarioSpec,
+        trial: u64,
+        round_threads: usize,
+    ) -> Result<Vec<(&'static str, f64)>, SweepError> {
+        (self.resolve(spec)?)(spec, trial, round_threads)
     }
 }
 
@@ -170,7 +199,11 @@ fn params_from_spec(spec: &ScenarioSpec) -> Result<Params, SweepError> {
 }
 
 /// `broadcast`: the full two-stage protocol, one source, opinion `One`.
-fn run_broadcast(spec: &ScenarioSpec, trial: u64) -> Result<Vec<(&'static str, f64)>, SweepError> {
+fn run_broadcast(
+    spec: &ScenarioSpec,
+    trial: u64,
+    _round_threads: usize,
+) -> Result<Vec<(&'static str, f64)>, SweepError> {
     let params = params_from_spec(spec)?;
     let protocol = BroadcastProtocol::new(params, Opinion::One);
     let outcome = protocol.run_with_seed(spec.seed_for_trial(trial))?;
@@ -193,6 +226,7 @@ fn run_broadcast(spec: &ScenarioSpec, trial: u64) -> Result<Vec<(&'static str, f
 fn run_majority_consensus(
     spec: &ScenarioSpec,
     trial: u64,
+    _round_threads: usize,
 ) -> Result<Vec<(&'static str, f64)>, SweepError> {
     let params = params_from_spec(spec)?;
     let size = spec.param_or("initial_size", spec.n() as f64) as usize;
@@ -211,8 +245,14 @@ fn run_majority_consensus(
 }
 
 /// `rumor`: `informed` agents start active; runs until full activation or
-/// the cell's round cap, on either engine.
-fn run_rumor(spec: &ScenarioSpec, trial: u64) -> Result<Vec<(&'static str, f64)>, SweepError> {
+/// the cell's round cap, on either engine.  The agents backend hands
+/// `round_threads` to the engine's (bit-identical) parallel router; the
+/// dense backend is counts-based and has no per-message work to split.
+fn run_rumor(
+    spec: &ScenarioSpec,
+    trial: u64,
+    round_threads: usize,
+) -> Result<Vec<(&'static str, f64)>, SweepError> {
     if spec.rounds == 0 {
         return Err(SweepError::Spec(
             "`rumor` needs a round cap (`rounds` > 0)".into(),
@@ -225,7 +265,8 @@ fn run_rumor(spec: &ScenarioSpec, trial: u64) -> Result<Vec<(&'static str, f64)>
         .map_err(|e| SweepError::Spec(e.to_string()))?;
     let config = SimulationConfig::new(n)
         .with_seed(spec.seed_for_trial(trial))
-        .with_reference(Opinion::One);
+        .with_reference(Opinion::One)
+        .with_threads(round_threads);
     let (rounds, fraction, messages) = match spec.backend {
         Backend::Dense => {
             let population = RumorProtocol::population(spec.n(), 0, informed);
@@ -262,6 +303,7 @@ fn run_rumor(spec: &ScenarioSpec, trial: u64) -> Result<Vec<(&'static str, f64)>
 fn run_majority_sampler(
     spec: &ScenarioSpec,
     trial: u64,
+    _round_threads: usize,
 ) -> Result<Vec<(&'static str, f64)>, SweepError> {
     let epsilon = spec.epsilon();
     let n = spec.n();
@@ -374,6 +416,34 @@ mod tests {
     }
 
     #[test]
+    fn round_threads_cannot_change_rumor_metrics() {
+        // The budget knob trades wall-clock for cores only: on both
+        // backends a trial granted extra intra-round lanes must report
+        // bit-identical metrics to the sequential run (the parallel router
+        // is bit-identical by construction, and dense ignores the knob).
+        let registry = ProtocolRegistry::builtin();
+        for backend in Backend::ALL {
+            let spec = cell(
+                "rumor",
+                backend,
+                &[("n", 400.0), ("epsilon", 0.25), ("informed", 3.0)],
+            );
+            let sequential = registry.run_trial_with_threads(&spec, 0, 1).unwrap();
+            for round_threads in [2, 4, 7] {
+                let threaded = registry
+                    .run_trial_with_threads(&spec, 0, round_threads)
+                    .unwrap();
+                assert_eq!(
+                    threaded, sequential,
+                    "round_threads={round_threads} ({backend})"
+                );
+            }
+            // The two-arg convenience wrapper is the sequential case.
+            assert_eq!(registry.run_trial(&spec, 0).unwrap(), sequential);
+        }
+    }
+
+    #[test]
     fn rumor_requires_a_round_cap() {
         let registry = ProtocolRegistry::builtin();
         let mut spec = cell("rumor", Backend::Agents, &[("n", 100.0), ("epsilon", 0.2)]);
@@ -481,7 +551,9 @@ mod tests {
         registry.register(
             "constant",
             &[Backend::Agents],
-            Box::new(|spec, trial| Ok(vec![("value", spec.n() as f64 + trial as f64)])),
+            Box::new(|spec, trial, _round_threads| {
+                Ok(vec![("value", spec.n() as f64 + trial as f64)])
+            }),
         );
         let spec = cell(
             "constant",

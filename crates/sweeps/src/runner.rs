@@ -43,6 +43,25 @@ pub fn default_threads() -> usize {
 /// its trial index, a parallel run is *bit-identical* to a sequential one by
 /// construction.
 ///
+/// # The shared thread budget
+///
+/// `threads` is the runner's **total** budget, shared between the two levels
+/// of parallelism a trial can use: the trial fan-out above, and the
+/// intra-round worker lanes of a simulation
+/// ([`SimulationConfig::with_threads`](flip_model::SimulationConfig::with_threads)).
+/// A trial body that spins up its own round workers must size them from
+/// [`TrialRunner::round_threads`], which returns the per-trial budget left
+/// over after the fan-out claims its workers; the invariant
+///
+/// ```text
+/// trial_workers × round_threads ≤ threads        (both factors ≥ 1)
+/// ```
+///
+/// holds for every `(trials, threads)` pair, so `trials × round-workers`
+/// can never oversubscribe the budget no matter how the two knobs are set.
+/// Because intra-round parallelism is bit-identical across lane counts,
+/// splitting the budget differently changes wall-clock only — never results.
+///
 /// # Example
 ///
 /// ```
@@ -93,6 +112,23 @@ impl TrialRunner {
     #[must_use]
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// The intra-round worker budget each trial may use on top of the trial
+    /// fan-out — the whole budget divided by the number of trial workers
+    /// [`TrialRunner::run`] will actually spawn, rounded down, never below 1.
+    ///
+    /// Passing this to
+    /// [`SimulationConfig::with_threads`](flip_model::SimulationConfig::with_threads)
+    /// keeps `trial_workers × round_threads ≤ threads` (see the type-level
+    /// docs): with more trials than threads every trial runs its rounds
+    /// sequentially, and when trials are scarce the spare threads migrate
+    /// into the rounds instead of idling.
+    #[must_use]
+    pub fn round_threads(&self) -> usize {
+        let trials = usize::try_from(self.trials).unwrap_or(usize::MAX);
+        let trial_workers = self.threads.min(trials).max(1);
+        (self.threads / trial_workers).max(1)
     }
 
     /// Runs `task` once per trial index (0-based) and collects the results in
@@ -192,6 +228,40 @@ mod tests {
         assert_eq!(TrialRunner::new(0).threads(), 1);
         // The explicit override remains available for tests that want more.
         assert_eq!(TrialRunner::new(2).with_threads(8).threads(), 8);
+    }
+
+    #[test]
+    fn round_threads_never_oversubscribe_the_budget() {
+        // The two parallelism levels share one budget: for every
+        // (trials, threads) pair, the trial workers actually spawned times
+        // the per-trial round budget must stay within the total.
+        for trials in [0u64, 1, 2, 3, 5, 8, 64] {
+            for threads in 1..=12usize {
+                let runner = TrialRunner::new(trials).with_threads(threads);
+                let trial_workers = threads.min(usize::try_from(trials).unwrap()).max(1);
+                let round = runner.round_threads();
+                assert!(round >= 1, "trials={trials} threads={threads}");
+                assert!(
+                    trial_workers * round <= threads.max(1),
+                    "oversubscribed: trials={trials} threads={threads} \
+                     workers={trial_workers} round={round}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn spare_threads_migrate_into_rounds() {
+        // More threads than trials: the surplus goes to intra-round lanes.
+        assert_eq!(TrialRunner::new(3).with_threads(8).round_threads(), 2);
+        assert_eq!(TrialRunner::new(1).with_threads(8).round_threads(), 8);
+        assert_eq!(TrialRunner::new(2).with_threads(9).round_threads(), 4);
+        // More trials than threads: rounds run sequentially.
+        assert_eq!(TrialRunner::new(8).with_threads(4).round_threads(), 1);
+        assert_eq!(TrialRunner::new(64).with_threads(64).round_threads(), 1);
+        // Degenerate corners stay valid.
+        assert_eq!(TrialRunner::new(0).with_threads(4).round_threads(), 4);
+        assert_eq!(TrialRunner::new(5).with_threads(1).round_threads(), 1);
     }
 
     #[test]

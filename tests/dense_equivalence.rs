@@ -434,6 +434,65 @@ fn radix_routed_engine_matches_dense_voter_trajectories() {
     );
 }
 
+/// The radix-crossover voter agreement again, with the agents engine running
+/// its rounds over three worker lanes: the parallel router is bit-identical
+/// to the sequential one, so the threaded engine must clear exactly the same
+/// Chernoff bar against the dense engine that the sequential leg does.
+#[test]
+fn parallel_radix_engine_matches_dense_voter_trajectories() {
+    let n = flip_model::RADIX_MIN_N;
+    let trials = 8u64;
+    let rounds = 10u64;
+    let crossover = 0.3;
+
+    let mut agent_ones = Vec::new();
+    let mut dense_ones = Vec::new();
+    for trial in 0..trials {
+        let channel = BinarySymmetricChannel::new(crossover).unwrap();
+        let voters: Vec<Voter> = (0..n)
+            .map(|i| Voter {
+                opinion: if i < n * 4 / 5 {
+                    Opinion::One
+                } else {
+                    Opinion::Zero
+                },
+            })
+            .collect();
+        let mut sim = Simulation::new(
+            voters,
+            channel,
+            SimulationConfig::new(n)
+                .with_seed(7_000 + trial)
+                .with_threads(3),
+        )
+        .unwrap();
+        sim.run(rounds);
+        agent_ones.push(sim.census().holding(Opinion::One) as f64);
+
+        let channel = BinarySymmetricChannel::new(crossover).unwrap();
+        let ones = (n * 4 / 5) as u64;
+        let population =
+            flip_model::DensePopulation::from_counts(vec![n as u64 - ones, ones]).unwrap();
+        let mut sim = DenseSimulation::new(
+            VoterProtocol,
+            channel,
+            population,
+            SimulationConfig::new(n).with_seed(8_000 + trial),
+        )
+        .unwrap();
+        sim.run(rounds);
+        dense_ones.push(sim.census().holding(Opinion::One) as f64);
+    }
+
+    let agent_mean: f64 = agent_ones.iter().sum::<f64>() / trials as f64;
+    let dense_mean: f64 = dense_ones.iter().sum::<f64>() / trials as f64;
+    let allowance = chernoff_allowance(n as f64, trials as f64);
+    assert!(
+        (agent_mean - dense_mean).abs() < allowance,
+        "agents mean {agent_mean:.1} vs dense mean {dense_mean:.1} (allowance {allowance:.1})"
+    );
+}
+
 /// A genuinely varying channel (`AdversarialCapChannel` with a non-collapsed
 /// interval) cannot be fused, so the engine falls back to one `transmit` per
 /// message; that per-message path must also track the dense engine, which

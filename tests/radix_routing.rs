@@ -10,9 +10,20 @@
 //! `RADIX_MIN_N` crossover) for all-send, sparse and single-message
 //! rounds, and checks `route_into`'s dispatch matches both explicit paths
 //! exactly at the crossover boundary.
+//!
+//! The second half of the suite pins the *thread-invariance* contract: the
+//! parallel router (`route_into_parallel` over a `RoundPool`) must be
+//! bit-identical to **both** sequential paths — deliveries, counts, and the
+//! post-round RNG stream — for every pool width in {1, 2, 3, 8}, at every
+//! population in {10³, 10⁵, `RADIX_MIN_N`, 10⁶}, for dense and sparse
+//! rounds alike; and a whole `Simulation` configured with any thread count
+//! must reproduce the single-threaded run census-for-census.
 
 use breathe_paper as _;
-use flip_model::{GossipScheduler, Opinion, RoundRouting, SimRng, RADIX_MIN_N};
+use flip_model::{
+    BinarySymmetricChannel, GossipScheduler, Opinion, RoundPool, RoundRouting, RumorAgent, SimRng,
+    Simulation, SimulationConfig, RADIX_MIN_N,
+};
 use rand::RngCore;
 
 /// Routes `sends` through both paths from equal RNG states for several
@@ -89,6 +100,128 @@ fn radix_and_single_pass_agree_at_1e6() {
         .collect();
     assert_paths_agree(n, &all, 0xC11, 2);
     assert_paths_agree(n, &sparse, 0xC12, 2);
+}
+
+/// Routes `sends` through the parallel router (pool of `workers` lanes) and
+/// both sequential paths from equal RNG states for several rounds, asserting
+/// deliveries, counts and the post-round RNG stream stay identical.
+fn assert_parallel_agrees(
+    n: usize,
+    sends: &[(u32, Opinion)],
+    seed: u64,
+    rounds: usize,
+    workers: usize,
+) {
+    let pool = RoundPool::new(workers);
+    let mut parallel = GossipScheduler::new(n).expect("valid population");
+    let mut single = GossipScheduler::new(n).expect("valid population");
+    let mut radix = GossipScheduler::new(n).expect("valid population");
+    let mut rng_p = SimRng::from_seed(seed);
+    let mut rng_s = SimRng::from_seed(seed);
+    let mut rng_r = SimRng::from_seed(seed);
+    let mut out_p = RoundRouting::with_capacity(n);
+    let mut out_s = RoundRouting::with_capacity(n);
+    let mut out_r = RoundRouting::with_capacity(n);
+    for round in 0..rounds {
+        parallel.route_into_parallel(sends, &mut rng_p, &mut out_p, &pool);
+        single.route_into_single_pass(sends, &mut rng_s, &mut out_s);
+        radix.route_into_radix(sends, &mut rng_r, &mut out_r);
+        let ctx = format!("n = {n}, workers = {workers}, round {round}");
+        assert_eq!(out_p.sent, out_s.sent, "{ctx}: sent diverged");
+        assert_eq!(out_p.collided, out_s.collided, "{ctx}: collided diverged");
+        assert_eq!(
+            out_p.accepted(),
+            out_s.accepted(),
+            "{ctx}: deliveries diverged from single-pass"
+        );
+        assert_eq!(
+            out_p.accepted(),
+            out_r.accepted(),
+            "{ctx}: deliveries diverged from sequential radix"
+        );
+        assert_eq!(
+            rng_p.next_u64(),
+            rng_s.next_u64(),
+            "{ctx}: RNG streams diverged"
+        );
+        rng_r.next_u64(); // keep the radix stream in lock-step too
+    }
+}
+
+/// The `sends` patterns the thread matrix exercises: a dense all-send round
+/// and a sparse round (~n/13 senders).
+fn dense_and_sparse(n: usize) -> [Vec<(u32, Opinion)>; 2] {
+    let dense: Vec<(u32, Opinion)> = (0..n as u32)
+        .map(|i| (i, Opinion::from_bit(u8::from(i % 3 == 0))))
+        .collect();
+    let sparse: Vec<(u32, Opinion)> = (0..n as u32)
+        .step_by(13)
+        .map(|i| (i, Opinion::One))
+        .collect();
+    [dense, sparse]
+}
+
+#[test]
+fn parallel_routing_is_thread_invariant_at_1e3() {
+    for sends in &dense_and_sparse(1_000) {
+        for workers in [1, 2, 3, 8] {
+            assert_parallel_agrees(1_000, sends, 0xD11, 6, workers);
+        }
+    }
+}
+
+#[test]
+fn parallel_routing_is_thread_invariant_at_1e5() {
+    for sends in &dense_and_sparse(100_000) {
+        for workers in [1, 2, 3, 8] {
+            assert_parallel_agrees(100_000, sends, 0xD12, 2, workers);
+        }
+    }
+}
+
+#[test]
+fn parallel_routing_is_thread_invariant_at_radix_min_n() {
+    // The smallest population the radix (and thus the parallel scatter)
+    // path handles: every lane-count must agree here, where per-lane
+    // staging regions are smallest relative to the bucket count.
+    for sends in &dense_and_sparse(RADIX_MIN_N) {
+        for workers in [1, 2, 3, 8] {
+            assert_parallel_agrees(RADIX_MIN_N, sends, 0xD13, 2, workers);
+        }
+    }
+}
+
+#[test]
+fn parallel_routing_is_thread_invariant_at_1e6() {
+    for sends in &dense_and_sparse(1_000_000) {
+        for workers in [1, 2, 3, 8] {
+            assert_parallel_agrees(1_000_000, sends, 0xD14, 1, workers);
+        }
+    }
+}
+
+#[test]
+fn simulations_are_bit_identical_across_thread_counts() {
+    // Whole-engine invariance: a seeded run at any `with_threads` width
+    // reproduces the single-threaded run exactly — census, metrics, and
+    // the spent RNG stream.  Half the population starts informed so the
+    // rounds are dense and the parallel radix path actually engages.
+    let n = RADIX_MIN_N;
+    let run = |threads: usize| {
+        let agents = RumorAgent::population(n, 0, n / 2);
+        let channel = BinarySymmetricChannel::from_epsilon(0.2).expect("valid epsilon");
+        let config = SimulationConfig::new(n)
+            .with_seed(0xE14)
+            .with_reference(Opinion::One)
+            .with_threads(threads);
+        let mut sim = Simulation::new(agents, channel, config).expect("valid simulation");
+        sim.run(3);
+        (sim.census(), sim.metrics().clone())
+    };
+    let reference = run(1);
+    for threads in [2, 3, 8] {
+        assert_eq!(run(threads), reference, "threads = {threads}");
+    }
 }
 
 #[test]

@@ -131,6 +131,37 @@ fn simulation_round_loop_is_allocation_free_after_warm_up() {
 }
 
 #[test]
+fn parallel_radix_rounds_are_allocation_free_after_warm_up() {
+    // The same crossover population with four worker lanes: the parallel
+    // scatter/resolve/emit path stages into per-lane regions owned by
+    // `RoundRouting`/`GossipScheduler` (pre-sized at construction), and a
+    // `RoundPool` dispatch is a futex wake, not an allocation.  The counter
+    // is per-thread, so this asserts the caller lane — which runs the full
+    // dispatch machinery plus its share of every phase — allocates nothing;
+    // the worker lanes execute the identical phase code on their own
+    // pre-sized regions.
+    let n = flip_model::RADIX_MIN_N;
+    let agents: Vec<Churner> = (0..n)
+        .map(|i| Churner(Opinion::from_bit(u8::from(i % 2 == 0))))
+        .collect();
+    let channel = BinarySymmetricChannel::from_epsilon(0.2).unwrap();
+    let config = SimulationConfig::new(n).with_seed(79).with_threads(4);
+    let mut sim = Simulation::new(agents, channel, config).unwrap();
+
+    sim.run(5);
+
+    let before = thread_allocations();
+    sim.run(20);
+    let after = thread_allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "the parallel radix round loop allocated {} time(s) after warm-up",
+        after - before
+    );
+}
+
+#[test]
 fn radix_routed_rounds_are_allocation_free_after_warm_up() {
     // A population at the radix crossover: dense all-send rounds run
     // through the cache-bucketed staging path (fixed-capacity bucket areas
