@@ -5,8 +5,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use flip_model::{
-    BinarySymmetricChannel, DenseSimulation, MajoritySamplerProtocol, RumorProtocol,
-    SimulationConfig,
+    BinarySymmetricChannel, DenseSimulation, HybridSimulation, MajoritySamplerProtocol, RumorAgent,
+    RumorProtocol, SimulationConfig, StratifiedPopulation, StratifiedSimulation,
+    ZealotRumorProtocol,
 };
 
 fn rumor_sim(n: u64, seed: u64) -> DenseSimulation<RumorProtocol, BinarySymmetricChannel> {
@@ -51,6 +52,31 @@ fn dense_engine(c: &mut Criterion) {
             sim.run(23 * 10);
             sim.census().holding(flip_model::Opinion::One)
         });
+    });
+
+    // One heterogeneous two-stratum round at n = 10^6: per-round cost is
+    // O(#strata × #states), so this should sit within a small factor of the
+    // single-stratum `step` cost.
+    group.bench_function("stratified_zealot_step_n1e6", |b| {
+        let channel = BinarySymmetricChannel::from_epsilon(0.2).expect("valid epsilon");
+        let population = ZealotRumorProtocol::population(1_000_000, 0, 1_000, 100_000);
+        let config = SimulationConfig::new(1_000_000).with_seed(4);
+        let mut sim =
+            StratifiedSimulation::new(ZealotRumorProtocol, vec![channel; 2], population, config)
+                .expect("valid simulation");
+        b.iter(|| sim.step().metrics.messages_sent);
+    });
+
+    // One hybrid round at n = 10^6 with 64 tracked agents: the tracked loop
+    // adds O(k) per-message work on top of the dense bulk's binomials.
+    group.bench_function("hybrid_round", |b| {
+        let channel = BinarySymmetricChannel::from_epsilon(0.2).expect("valid epsilon");
+        let tracked = RumorAgent::population(64, 0, 32);
+        let bulk = StratifiedPopulation::single(RumorProtocol::population(999_936, 0, 968));
+        let config = SimulationConfig::new(1_000_000).with_seed(5);
+        let mut sim = HybridSimulation::new(tracked, RumorProtocol, channel, bulk, config)
+            .expect("valid simulation");
+        b.iter(|| sim.step().metrics.messages_sent);
     });
 
     group.finish();

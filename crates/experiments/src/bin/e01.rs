@@ -1,19 +1,19 @@
 //! Experiment binary `e01`: broadcast rounds vs n (Theorem 2.17).
 //!
 //! Usage: `cargo run --release -p experiments --bin e01 [-- --full]
-//! [--backend dense|agents] [--trials N] [--threads N]`
+//! [--backend agents|dense|hybrid:k] [--trials N] [--threads N]`
 //!
-//! A thin wrapper over the registry-backed sweeps `e01` / `e01-dense`
-//! (`experiments::specs`): with `--backend dense` it runs the dense-engine
-//! scaling variant E1-D at populations of 10⁵–10⁶⁺ agents; the default
-//! per-agent backend runs the protocol-level sweep E1.  The same sweeps are
-//! available with persistence and resume via the `sweep` binary.
-
-use flip_model::Backend;
+//! A thin wrapper over the registry-backed sweeps `e01` / `e01-dense` /
+//! `e01-hybrid` (`experiments::specs`): `--backend dense` runs the
+//! dense-engine scaling variant E1-D at populations of 10⁵–10⁶⁺ agents,
+//! `--backend hybrid:k` runs the same grid with `k` tracked agents against
+//! the dense bulk, and the default per-agent backend runs the protocol-level
+//! sweep E1.  Backend dispatch lives in `specs::backend_tables`, not here.
+//! The same sweeps are available with persistence and resume via the `sweep`
+//! binary.
 
 fn main() {
-    experiments::cli::run_tables("e01", false, |cfg| match cfg.backend {
-        Backend::Dense => vec![experiments::specs::e01_dense_table(cfg)],
-        Backend::Agents => vec![experiments::specs::e01_table(cfg)],
+    experiments::cli::run_tables("e01", false, |cfg| {
+        experiments::specs::backend_tables("e01", cfg)
     });
 }

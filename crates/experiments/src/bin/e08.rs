@@ -1,19 +1,18 @@
 //! Experiment binary `e08`: noisy majority-consensus (Corollary 2.18).
 //!
 //! Usage: `cargo run --release -p experiments --bin e08 [-- --full]
-//! [--backend dense|agents] [--trials N] [--threads N]`
+//! [--backend agents|dense] [--trials N] [--threads N]`
 //!
 //! A thin wrapper over the registry-backed sweeps `e08` / `e08-dense`
 //! (`experiments::specs`): with `--backend dense` it measures the Stage II
 //! majority boost on populations of 10⁵–10⁶⁺ agents; the default per-agent
-//! backend runs the full protocol sweep E8.  The same sweeps are available
-//! with persistence and resume via the `sweep` binary.
-
-use flip_model::Backend;
+//! backend runs the full protocol sweep E8.  Backend dispatch lives in
+//! `specs::backend_tables`, not here — a backend without an E8 variant
+//! (e.g. `hybrid:k`) fails loudly naming `--backend`.  The same sweeps are
+//! available with persistence and resume via the `sweep` binary.
 
 fn main() {
-    experiments::cli::run_tables("e08", false, |cfg| match cfg.backend {
-        Backend::Dense => vec![experiments::specs::e08_dense_table(cfg)],
-        Backend::Agents => vec![experiments::specs::e08_table(cfg)],
+    experiments::cli::run_tables("e08", false, |cfg| {
+        experiments::specs::backend_tables("e08", cfg)
     });
 }

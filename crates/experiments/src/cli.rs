@@ -7,7 +7,7 @@
 //! | flag                         | effect                                               |
 //! |------------------------------|------------------------------------------------------|
 //! | `--full`                     | full-scale grids and trials (default: quick)         |
-//! | `--backend agents\|dense`    | engine selection where a dense variant exists        |
+//! | `--backend agents\|dense\|hybrid:k` | engine selection where a variant exists       |
 //! | `--trials N`                 | trials per configuration point                       |
 //! | `--threads N`                | worker-thread cap (`FLIP_THREADS` env is honoured when absent) |
 //! | `--seed N`                   | base seed override                                   |
@@ -159,6 +159,32 @@ mod tests {
         assert!(!cfg.quick);
         assert_eq!(cfg.backend, Backend::Dense);
         assert_eq!(cfg.threads, None);
+
+        let cfg = parse(&["--backend", "hybrid:64"]);
+        assert_eq!(cfg.backend, Backend::Hybrid(64));
+    }
+
+    #[test]
+    fn hybrid_backend_without_a_tracked_count_fails_naming_the_flag() {
+        // `--backend hybrid` and `--backend hybrid:0` would both run with a
+        // silently-chosen subpopulation if defaulted; they must panic with a
+        // message that names the flag (the PR-5 zero-value convention).
+        for bad in [vec!["--backend", "hybrid"], vec!["--backend=hybrid:0"]] {
+            let owned: Vec<String> = bad.iter().map(ToString::to_string).collect();
+            let result = std::panic::catch_unwind(|| parse_config(owned.clone()));
+            let message = match result {
+                Ok(_) => panic!("{bad:?} must be rejected"),
+                Err(payload) => payload
+                    .downcast_ref::<String>()
+                    .cloned()
+                    .or_else(|| payload.downcast_ref::<&str>().map(ToString::to_string))
+                    .unwrap_or_default(),
+            };
+            assert!(
+                message.contains("--backend") && message.contains("subpopulation"),
+                "{bad:?} rejection must name the flag and the missing size, got: {message}"
+            );
+        }
     }
 
     #[test]

@@ -163,9 +163,10 @@ pub fn config_from_args<I: IntoIterator<Item = String>>(args: I) -> ExperimentCo
 }
 
 /// Guard for binaries whose experiments exist only on the per-agent engine:
-/// rejects a `--backend dense` selection loudly instead of silently running
-/// the default engine and letting the user mistake the numbers for dense
-/// results.  (`e01` and `e08` have dense variants and do not call this.)
+/// rejects a `--backend dense`/`hybrid:k` selection loudly instead of
+/// silently running the default engine and letting the user mistake the
+/// numbers for counts-engine results.  (`e01` and `e08` have non-agents
+/// variants and dispatch through [`specs::backend_tables`] instead.)
 ///
 /// # Panics
 ///
@@ -173,8 +174,8 @@ pub fn config_from_args<I: IntoIterator<Item = String>>(args: I) -> ExperimentCo
 pub fn require_agents_backend(cfg: &ExperimentConfig, binary: &str) {
     assert!(
         cfg.backend == Backend::Agents,
-        "`{binary}` has no dense-engine variant; drop `--backend {}` \
-         (dense variants exist for e01 and e08)",
+        "`{binary}` runs only on the per-agent engine; drop `--backend {}` \
+         (dense and hybrid variants exist for e01, dense for e08)",
         cfg.backend
     );
 }

@@ -8,8 +8,8 @@ use analysis::tables::fmt_float;
 use analysis::Table;
 use breathe::{AsyncBroadcastProtocol, AsyncVariant, BroadcastProtocol, Params};
 use flip_model::{
-    Backend, BinarySymmetricChannel, DenseSimulation, Opinion, RumorAgent, RumorProtocol,
-    Simulation, SimulationConfig,
+    Backend, BinarySymmetricChannel, DenseSimulation, HybridSimulation, Opinion, RumorAgent,
+    RumorProtocol, Simulation, SimulationConfig, StratifiedPopulation,
 };
 
 use crate::ExperimentConfig;
@@ -240,6 +240,24 @@ fn dense_scaling_trial(
             let agents = RumorAgent::population(n, 0, informed as usize);
             let mut sim =
                 Simulation::new(agents, channel, config).expect("grid parameters are valid");
+            let rounds = sim.run_until(DENSE_SCALING_MAX_ROUNDS, |s| s.census().active() == n);
+            DenseScalingPoint {
+                rounds,
+                fraction_correct: sim.census().fraction_correct(Opinion::One),
+                messages_sent: sim.metrics().messages_sent,
+            }
+        }
+        Backend::Hybrid(k) => {
+            let k = (k as usize).min(n - 1).max(1);
+            let tracked_ones = informed.min(k as u64);
+            let tracked = RumorAgent::population(k, 0, tracked_ones as usize);
+            let bulk = StratifiedPopulation::single(RumorProtocol::population(
+                (n - k) as u64,
+                0,
+                informed - tracked_ones,
+            ));
+            let mut sim = HybridSimulation::new(tracked, RumorProtocol, channel, bulk, config)
+                .expect("grid parameters are valid");
             let rounds = sim.run_until(DENSE_SCALING_MAX_ROUNDS, |s| s.census().active() == n);
             DenseScalingPoint {
                 rounds,

@@ -22,7 +22,7 @@ use analysis::fitting::fit_linear;
 use analysis::tables::fmt_float;
 use analysis::Table;
 use breathe::{InitialSet, Multipliers, Params};
-use flip_model::Backend;
+use flip_model::{Backend, DEFAULT_HYBRID_TRACKED};
 use sweeps::{
     Axis, CellRecord, MetricAggregate, ProtocolRegistry, ScenarioSpec, SweepRunner, SweepSpec,
 };
@@ -34,7 +34,7 @@ pub type CellPairs = Vec<(ScenarioSpec, CellRecord)>;
 
 /// The names accepted by [`builtin`] (and the `sweep gen`/`sweep list`
 /// subcommands), in presentation order.
-pub const BUILTIN_SWEEPS: [&str; 5] = ["e01", "e01-dense", "e08", "e08-dense", "a2"];
+pub const BUILTIN_SWEEPS: [&str; 6] = ["e01", "e01-dense", "e01-hybrid", "e08", "e08-dense", "a2"];
 
 /// Builds the named builtin sweep for the given configuration; `None` for
 /// unknown names.
@@ -43,11 +43,85 @@ pub fn builtin(name: &str, cfg: &ExperimentConfig) -> Option<SweepSpec> {
     match name {
         "e01" => Some(e01_sweep(cfg)),
         "e01-dense" => Some(e01_dense_sweep(cfg)),
+        "e01-hybrid" => Some(e01_hybrid_sweep(cfg)),
         "e08" => Some(e08_sweep(cfg)),
         "e08-dense" => Some(e08_dense_sweep(cfg)),
         "a2" => Some(a2_sweep(cfg)),
         _ => None,
     }
+}
+
+/// The builtin sweep that runs experiment family `binary` on `backend`'s
+/// engine family, or `None` when no variant exists there.
+///
+/// Keyed on [`Backend::as_str`] (the family name), not on enum variants, so
+/// adding a backend to [`Backend::ALL`] does not force edits here — a family
+/// without a variant simply stays unlisted.
+#[must_use]
+pub fn variant_for(binary: &str, backend: Backend) -> Option<&'static str> {
+    let variants: &[(&str, &str)] = match binary {
+        "e01" => &[
+            ("agents", "e01"),
+            ("dense", "e01-dense"),
+            ("hybrid", "e01-hybrid"),
+        ],
+        "e08" => &[("agents", "e08"), ("dense", "e08-dense")],
+        "a2" => &[("agents", "a2")],
+        _ => return None,
+    };
+    variants
+        .iter()
+        .find(|(family, _)| *family == backend.as_str())
+        .map(|(_, name)| *name)
+}
+
+/// Renders the named builtin sweep's table from its aggregates.
+///
+/// # Panics
+///
+/// Panics on a name with no renderer — a bug in the caller's dispatch.
+#[must_use]
+pub fn render(name: &str, cells: &CellPairs) -> Table {
+    match name {
+        "e01" => render_e01(cells),
+        "e01-dense" | "e01-hybrid" => render_e01_dense(cells),
+        "e08" => render_e08(cells),
+        "e08-dense" => render_e08_dense(cells),
+        "a2" => render_a2(cells),
+        other => panic!("no renderer for sweep `{other}`"),
+    }
+}
+
+/// The single backend dispatch point for the experiment binaries: resolves
+/// `cfg.backend` to the family's sweep variant, runs it through the registry
+/// and renders its table.  This replaces the per-binary
+/// `match cfg.backend {...}` blocks, so binaries stay untouched when a
+/// backend family gains or loses a variant.
+///
+/// The sweep keeps `cfg.backend` verbatim (`--backend hybrid:64` runs with
+/// 64 tracked agents, not the builtin spec's default).
+///
+/// # Panics
+///
+/// Panics, naming `--backend`, when the family has no variant on the
+/// configured backend.
+#[must_use]
+pub fn backend_tables(binary: &str, cfg: &ExperimentConfig) -> Vec<Table> {
+    let name = variant_for(binary, cfg.backend).unwrap_or_else(|| {
+        let supported: Vec<&str> = Backend::ALL
+            .iter()
+            .filter(|b| variant_for(binary, **b).is_some())
+            .map(|b| b.as_str())
+            .collect();
+        panic!(
+            "`{binary}` has no --backend {} variant; supported: {}",
+            cfg.backend,
+            supported.join(", ")
+        )
+    });
+    let mut spec = builtin(name, cfg).expect("variant_for only names builtin sweeps");
+    spec.backend = cfg.backend;
+    vec![render(name, &run_in_memory(&spec, cfg))]
 }
 
 /// Runs a spec in memory (no store) with the builtin registry, honouring the
@@ -208,6 +282,20 @@ pub fn e01_dense_sweep(cfg: &ExperimentConfig) -> SweepSpec {
     }
 }
 
+/// The E1-H sweep: the same grid as [`e01_dense_sweep`] on the hybrid
+/// backend — `DEFAULT_HYBRID_TRACKED` agents simulated exactly against the
+/// dense bulk.  Seed points `2600, 2601, …` keep it disjoint from every
+/// other sweep's numbering.
+#[must_use]
+pub fn e01_hybrid_sweep(cfg: &ExperimentConfig) -> SweepSpec {
+    SweepSpec {
+        name: "e01-hybrid".into(),
+        backend: Backend::Hybrid(DEFAULT_HYBRID_TRACKED),
+        point_base: 2_600,
+        ..e01_dense_sweep(cfg)
+    }
+}
+
 /// Runs the migrated E1-D sweep and renders the legacy table
 /// (digit-identical to [`scaling::e01_dense_scaling`] on the dense backend).
 #[must_use]
@@ -215,11 +303,16 @@ pub fn e01_dense_table(cfg: &ExperimentConfig) -> Table {
     render_e01_dense(&run_in_memory(&e01_dense_sweep(cfg), cfg))
 }
 
-/// Renders E1-D from sweep aggregates.
+/// Renders E1-D from sweep aggregates.  The title reports the backend the
+/// cells actually ran on (`dense` or `hybrid:k`).
 #[must_use]
 pub fn render_e01_dense(cells: &CellPairs) -> Table {
+    let backend = cells.first().map_or_else(
+        || Backend::Dense.to_string(),
+        |(s, _)| s.backend.to_string(),
+    );
     let mut table = Table::new(
-        "E1-D: rumor spreading at large n (backend = dense, epsilon = 0.2)",
+        &format!("E1-D: rumor spreading at large n (backend = {backend}, epsilon = 0.2)"),
         &[
             "n",
             "mean rounds to full activation",
@@ -534,5 +627,58 @@ mod tests {
         assert_eq!(e08_dense_sweep(&cfg).backend, Backend::Dense);
         assert_eq!(e01_dense_sweep(&cfg).point_base, 1_300);
         assert_eq!(e08_dense_sweep(&cfg).point_base, 1_800);
+    }
+
+    #[test]
+    fn hybrid_sweep_mirrors_the_dense_grid_on_its_own_seed_points() {
+        let cfg = tiny();
+        let hybrid = e01_hybrid_sweep(&cfg);
+        let dense = e01_dense_sweep(&cfg);
+        assert_eq!(hybrid.backend, Backend::Hybrid(DEFAULT_HYBRID_TRACKED));
+        assert_eq!(hybrid.point_base, 2_600);
+        assert_eq!(hybrid.axes[0].values, dense.axes[0].values);
+        assert_eq!(hybrid.defaults, dense.defaults);
+    }
+
+    #[test]
+    fn facade_resolves_every_backend_family_it_supports() {
+        assert_eq!(variant_for("e01", Backend::Agents), Some("e01"));
+        assert_eq!(variant_for("e01", Backend::Dense), Some("e01-dense"));
+        assert_eq!(variant_for("e01", Backend::Hybrid(7)), Some("e01-hybrid"));
+        assert_eq!(variant_for("e08", Backend::Agents), Some("e08"));
+        assert_eq!(variant_for("e08", Backend::Dense), Some("e08-dense"));
+        assert_eq!(variant_for("e08", Backend::Hybrid(7)), None);
+        assert_eq!(variant_for("e99", Backend::Agents), None);
+    }
+
+    #[test]
+    fn facade_rejects_a_backend_without_a_variant_naming_the_flag() {
+        let cfg = ExperimentConfig {
+            backend: Backend::Hybrid(4),
+            ..tiny()
+        };
+        let result = std::panic::catch_unwind(|| backend_tables("e08", &cfg));
+        let message = match result {
+            Ok(_) => panic!("e08 on hybrid must be rejected"),
+            Err(payload) => payload
+                .downcast_ref::<String>()
+                .cloned()
+                .unwrap_or_default(),
+        };
+        assert!(message.contains("--backend"), "{message}");
+        assert!(message.contains("agents, dense"), "{message}");
+    }
+
+    #[test]
+    fn facade_threads_the_exact_backend_value_into_the_sweep() {
+        // `--backend hybrid:3` must run 3 tracked agents, not the builtin
+        // spec's DEFAULT_HYBRID_TRACKED.
+        let cfg = ExperimentConfig {
+            backend: Backend::Hybrid(3),
+            ..tiny()
+        };
+        let tables = backend_tables("e01", &cfg);
+        assert_eq!(tables.len(), 1);
+        assert!(tables[0].to_markdown().contains("hybrid:3"));
     }
 }

@@ -52,17 +52,15 @@
 //! # }
 //! ```
 
-use rand::distributions::{Binomial, Distribution};
-
 use crate::agent::Round;
 use crate::channel::Channel;
 use crate::config::SimulationConfig;
 use crate::engine::RoundSummary;
 use crate::error::FlipError;
-use crate::metrics::{Metrics, RoundMetrics};
+use crate::metrics::Metrics;
 use crate::opinion::Opinion;
 use crate::population::Census;
-use crate::rng::SimRng;
+use crate::stratified::{StratifiedPopulation, StratifiedSimulation};
 
 /// A protocol expressed as a finite state machine over a small state space,
 /// runnable by [`DenseSimulation`] in `O(#states)` per round.
@@ -111,11 +109,19 @@ pub trait DenseProtocol {
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DensePopulation {
-    counts: Vec<u64>,
+    pub(crate) counts: Vec<u64>,
     n: u64,
 }
 
 impl DensePopulation {
+    /// Builds one stratum of a [`StratifiedPopulation`] from raw counts,
+    /// skipping the two-agent minimum: individual strata may be empty; only
+    /// the stratified total is subject to the push-gossip size floor.
+    pub(crate) fn stratum_from_counts(counts: Vec<u64>) -> Self {
+        let n: u64 = counts.iter().sum();
+        Self { counts, n }
+    }
+
     /// Builds a population from per-state counts (`counts[s]` agents in state `s`).
     ///
     /// # Errors
@@ -315,16 +321,15 @@ impl OpinionBitmap {
 /// push-gossip/collision/noise round structure, but executes each round with
 /// `O(#states)` binomial draws, so `n = 10⁶` costs the same per round as
 /// `n = 100`.  See the module docs for the exactness contract.
+///
+/// Since the stratified generalization landed this is a thin wrapper over a
+/// single-stratum [`StratifiedSimulation`]; the stratified engine draws the
+/// same variates in the same order, so seeded dense runs are bit-identical
+/// to what this type produced when it owned the round loop
+/// (`tests/dense_golden.rs` pins the stream).
 #[derive(Debug)]
 pub struct DenseSimulation<P, C> {
-    protocol: P,
-    channel: C,
-    population: DensePopulation,
-    next_counts: Vec<u64>,
-    rng: SimRng,
-    round: Round,
-    metrics: Metrics,
-    reference: Option<Opinion>,
+    inner: StratifiedSimulation<P, C>,
 }
 
 impl<P: DenseProtocol, C: Channel> DenseSimulation<P, C> {
@@ -344,166 +349,23 @@ impl<P: DenseProtocol, C: Channel> DenseSimulation<P, C> {
         population: DensePopulation,
         config: SimulationConfig,
     ) -> Result<Self, FlipError> {
-        if config.population() as u64 != population.n() {
-            return Err(FlipError::InvalidParameter {
-                name: "population",
-                message: format!(
-                    "config says {} agents but counts sum to {}",
-                    config.population(),
-                    population.n()
-                ),
-            });
-        }
-        let states = protocol.state_count();
-        if states == 0 {
-            return Err(FlipError::InvalidParameter {
-                name: "state_count",
-                message: "a dense protocol needs at least one state".to_string(),
-            });
-        }
-        if population.counts().len() > states {
-            return Err(FlipError::InvalidParameter {
-                name: "counts",
-                message: format!(
-                    "population has {} state slots but the protocol declares {states}",
-                    population.counts().len()
-                ),
-            });
-        }
-        let mut population = population;
-        population.counts.resize(states, 0);
-        Ok(Self {
+        let inner = StratifiedSimulation::new(
             protocol,
-            channel,
-            next_counts: vec![0; states],
-            population,
-            rng: SimRng::from_seed(config.seed()),
-            round: 0,
-            metrics: Metrics::new(),
-            reference: config.reference(),
-        })
-    }
-
-    fn binomial(&mut self, n: u64, p: f64) -> u64 {
-        if n == 0 || p <= 0.0 {
-            return 0;
-        }
-        if p >= 1.0 {
-            return n;
-        }
-        Binomial::new(n, p)
-            .expect("probability is validated above")
-            .sample(&mut self.rng)
+            vec![channel],
+            StratifiedPopulation::single(population),
+            config,
+        )?;
+        Ok(Self { inner })
     }
 
     /// Executes one synchronous round and returns its summary.
     pub fn step(&mut self) -> RoundSummary {
-        let round = self.round;
-        let n = self.population.n();
-
-        // Phase 1: aggregate sends — one binomial per sending state.
-        let mut sent_by_symbol = [0u64; 2];
-        for state in 0..self.population.counts.len() {
-            let count = self.population.counts[state];
-            if count == 0 {
-                continue;
-            }
-            if let Some((symbol, probability)) = self.protocol.send(state, round) {
-                sent_by_symbol[symbol.index()] += self.binomial(count, probability);
-            }
-        }
-        let sent = sent_by_symbol[0] + sent_by_symbol[1];
-
-        // Phase 2: aggregate reception — one binomial per (state, symbol) cell.
-        self.next_counts.fill(0);
-        let mut accepted = 0u64;
-        let mut flips = 0u64;
-        if sent == 0 {
-            for state in 0..self.population.counts.len() {
-                let count = self.population.counts[state];
-                if count > 0 {
-                    self.next_counts[self.protocol.on_round_end(state, round)] += count;
-                }
-            }
-        } else {
-            // Marginal probability that a given agent's mailbox is non-empty
-            // after M uniform pushes among the other n − 1 agents; reception
-            // is sampled independently per agent (see module docs).
-            let p_receive = 1.0 - (1.0 - 1.0 / (n as f64 - 1.0)).powf(sent as f64);
-            // An accepted message is a uniformly random one of the M sent, then
-            // corrupted by the channel.
-            let fraction_one = sent_by_symbol[1] as f64 / sent as f64;
-            let crossover = self.channel.mean_crossover();
-            let hear_one = fraction_one * (1.0 - crossover) + (1.0 - fraction_one) * crossover;
-            let mut heard_ones_total = 0u64;
-            for state in 0..self.population.counts.len() {
-                let count = self.population.counts[state];
-                if count == 0 {
-                    continue;
-                }
-                let receivers = self.binomial(count, p_receive);
-                let hear_ones = self.binomial(receivers, hear_one);
-                let hear_zeros = receivers - hear_ones;
-                accepted += receivers;
-                heard_ones_total += hear_ones;
-                let silent_state = self.protocol.on_round_end(state, round);
-                self.next_counts[silent_state] += count - receivers;
-                let one_state = self
-                    .protocol
-                    .on_round_end(self.protocol.on_receive(state, Opinion::One, round), round);
-                self.next_counts[one_state] += hear_ones;
-                let zero_state = self
-                    .protocol
-                    .on_round_end(self.protocol.on_receive(state, Opinion::Zero, round), round);
-                self.next_counts[zero_state] += hear_zeros;
-            }
-            // Flip counts conditioned on the heard symbols actually drawn, so
-            // the metric is sample-path consistent with the state
-            // transitions: a heard One was a flipped Zero with probability
-            // (1 − m₁)·x / h₁, a heard Zero a flipped One with probability
-            // m₁·x / (1 − h₁).
-            let flip_given_one = if hear_one > 0.0 {
-                ((1.0 - fraction_one) * crossover / hear_one).clamp(0.0, 1.0)
-            } else {
-                0.0
-            };
-            let flip_given_zero = if hear_one < 1.0 {
-                (fraction_one * crossover / (1.0 - hear_one)).clamp(0.0, 1.0)
-            } else {
-                0.0
-            };
-            flips = self.binomial(heard_ones_total, flip_given_one)
-                + self.binomial(accepted - heard_ones_total, flip_given_zero);
-        }
-        std::mem::swap(&mut self.population.counts, &mut self.next_counts);
-
-        // Independent reception can (rarely) draw slightly more receivers than
-        // messages; clamp the accounting so `sent = accepted + collided` holds.
-        let accepted_capped = accepted.min(sent);
-        let round_metrics = RoundMetrics {
-            round,
-            messages_sent: sent,
-            messages_accepted: accepted_capped,
-            messages_collided: sent - accepted_capped,
-            bits_flipped: flips.min(accepted_capped),
-        };
-        self.metrics.absorb_round(&round_metrics);
-        self.round += 1;
-
-        let census = self.population.census(&self.protocol);
-        RoundSummary {
-            metrics: round_metrics,
-            census_active: census.active(),
-            census_correct: self.reference.map(|r| census.holding(r)),
-        }
+        self.inner.step()
     }
 
     /// Executes `rounds` rounds and returns the accumulated metrics.
     pub fn run(&mut self, rounds: u64) -> &Metrics {
-        for _ in 0..rounds {
-            self.step();
-        }
-        &self.metrics
+        self.inner.run(rounds)
     }
 
     /// Executes rounds until `predicate` returns `true` (checked after every
@@ -528,43 +390,44 @@ impl<P: DenseProtocol, C: Channel> DenseSimulation<P, C> {
     /// The current per-state population counts.
     #[must_use]
     pub fn population(&self) -> &DensePopulation {
-        &self.population
+        self.inner.population().stratum(0)
     }
 
     /// A census of the current population.
     #[must_use]
     pub fn census(&self) -> Census {
-        self.population.census(&self.protocol)
+        self.inner.census()
     }
 
     /// The accumulated metrics so far.
     #[must_use]
     pub fn metrics(&self) -> &Metrics {
-        &self.metrics
+        self.inner.metrics()
     }
 
     /// The next round index to be executed (equals rounds executed so far).
     #[must_use]
     pub fn round(&self) -> Round {
-        self.round
+        self.inner.round()
     }
 
     /// The protocol state machine in use.
     #[must_use]
     pub fn protocol(&self) -> &P {
-        &self.protocol
+        self.inner.protocol()
     }
 
     /// The noise channel in use.
     #[must_use]
     pub fn channel(&self) -> &C {
-        &self.channel
+        &self.inner.channels()[0]
     }
 
     /// Consumes the simulation, returning the final population and metrics.
     #[must_use]
     pub fn into_parts(self) -> (DensePopulation, Metrics) {
-        (self.population, self.metrics)
+        let (_, _, population, metrics) = self.inner.into_raw_parts();
+        (population.into_stratum0(), metrics)
     }
 }
 

@@ -12,6 +12,7 @@ use crate::agent::{Agent, OpinionDelta, Round};
 use crate::dense::{DensePopulation, DenseProtocol};
 use crate::opinion::Opinion;
 use crate::rng::SimRng;
+use crate::stratified::{StratifiedPopulation, StratifiedProtocol};
 
 /// Dense rumor spreading: opinionated agents push their opinion every round,
 /// undecided agents stay silent and adopt the first (possibly corrupted) bit
@@ -215,7 +216,7 @@ impl MajoritySamplerProtocol {
     /// Panics if the population has fewer than two agents.
     #[must_use]
     pub fn population(&self, zeros: u64, ones: u64) -> DensePopulation {
-        let mut counts = vec![0u64; self.state_count()];
+        let mut counts = vec![0u64; DenseProtocol::state_count(self)];
         counts[self.encode(Opinion::Zero, 0, 0)] = zeros;
         counts[self.encode(Opinion::One, 0, 0)] = ones;
         DensePopulation::from_counts(counts).expect("population has at least two agents")
@@ -282,12 +283,144 @@ impl DenseProtocol for MajoritySamplerProtocol {
     }
 }
 
+/// Stratified rumor spreading infiltrated by **zealots**: stratum 0 runs the
+/// honest [`RumorProtocol`] dynamics, stratum 1 is a fixed subpopulation that
+/// pushes [`Opinion::Zero`] every round and never listens.
+///
+/// This is the workspace's canonical *heterogeneous* scenario — two agent
+/// classes with different send tables sharing one message pool — and the
+/// reason the stratified engine exists: it has no single-stratum dense form,
+/// so before strata it only ran on the per-agent engine (capping it near
+/// `n ≈ 10⁵`).  [`ZealotAgent`] is its per-agent twin for the equivalence
+/// suite.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ZealotRumorProtocol;
+
+impl ZealotRumorProtocol {
+    /// Stratum index of the honest rumor-spreading subpopulation.
+    pub const HONEST: usize = 0;
+    /// Stratum index of the zealot subpopulation.
+    pub const ZEALOTS: usize = 1;
+
+    /// Builds the stratified counts for `n` agents total: `zealots` zealots,
+    /// and among the `n − zealots` honest agents `zeros`/`ones` opinionated
+    /// seeds with the rest undecided.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `zeros + ones + zealots > n` or the population has fewer
+    /// than two agents.
+    #[must_use]
+    pub fn population(n: u64, zeros: u64, ones: u64, zealots: u64) -> StratifiedPopulation {
+        assert!(zeros + ones + zealots <= n, "more opinions than agents");
+        let honest = n - zealots;
+        StratifiedPopulation::from_strata(vec![
+            vec![honest - zeros - ones, zeros, ones],
+            vec![zealots],
+        ])
+        .expect("population has at least two agents")
+    }
+}
+
+impl StratifiedProtocol for ZealotRumorProtocol {
+    fn stratum_count(&self) -> usize {
+        2
+    }
+
+    fn state_count(&self, stratum: usize) -> usize {
+        if stratum == Self::ZEALOTS {
+            1
+        } else {
+            DenseProtocol::state_count(&RumorProtocol)
+        }
+    }
+
+    fn send(&self, stratum: usize, state: usize, round: Round) -> Option<(Opinion, f64)> {
+        if stratum == Self::ZEALOTS {
+            Some((Opinion::Zero, 1.0))
+        } else {
+            DenseProtocol::send(&RumorProtocol, state, round)
+        }
+    }
+
+    fn on_receive(&self, stratum: usize, state: usize, heard: Opinion, round: Round) -> usize {
+        if stratum == Self::ZEALOTS {
+            state
+        } else {
+            DenseProtocol::on_receive(&RumorProtocol, state, heard, round)
+        }
+    }
+
+    fn opinion_of(&self, stratum: usize, state: usize) -> Option<Opinion> {
+        if stratum == Self::ZEALOTS {
+            Some(Opinion::Zero)
+        } else {
+            DenseProtocol::opinion_of(&RumorProtocol, state)
+        }
+    }
+}
+
+/// The per-agent twin of [`ZealotRumorProtocol`], for running the zealot
+/// scenario on the reference [`Simulation`](crate::Simulation) engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ZealotAgent {
+    /// An honest rumor-spreading agent.
+    Honest(RumorAgent),
+    /// A zealot: pushes [`Opinion::Zero`] every round, never listens.
+    Zealot,
+}
+
+impl ZealotAgent {
+    /// Builds the per-agent population matching
+    /// [`ZealotRumorProtocol::population`]: the honest agents first (in
+    /// [`RumorAgent::population`] order), then the zealots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `zeros + ones + zealots > n`.
+    #[must_use]
+    pub fn population(n: usize, zeros: usize, ones: usize, zealots: usize) -> Vec<Self> {
+        assert!(zeros + ones + zealots <= n, "more opinions than agents");
+        RumorAgent::population(n - zealots, zeros, ones)
+            .into_iter()
+            .map(ZealotAgent::Honest)
+            .chain((0..zealots).map(|_| ZealotAgent::Zealot))
+            .collect()
+    }
+}
+
+impl Agent for ZealotAgent {
+    const USES_END_ROUND: bool = false;
+
+    fn send(&mut self, round: Round, rng: &mut SimRng) -> Option<Opinion> {
+        match self {
+            ZealotAgent::Honest(agent) => agent.send(round, rng),
+            ZealotAgent::Zealot => Some(Opinion::Zero),
+        }
+    }
+
+    fn deliver(&mut self, round: Round, message: Opinion, rng: &mut SimRng) -> OpinionDelta {
+        match self {
+            ZealotAgent::Honest(agent) => agent.deliver(round, message, rng),
+            ZealotAgent::Zealot => OpinionDelta::NONE,
+        }
+    }
+
+    fn opinion(&self) -> Option<Opinion> {
+        match self {
+            ZealotAgent::Honest(agent) => agent.opinion(),
+            ZealotAgent::Zealot => Some(Opinion::Zero),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::channel::BinarySymmetricChannel;
     use crate::config::SimulationConfig;
     use crate::dense::DenseSimulation;
+    use crate::stratified::StratifiedSimulation;
 
     #[test]
     fn rumor_population_splits_counts() {
@@ -304,10 +437,13 @@ mod tests {
 
     #[test]
     fn voter_states_map_to_opinions() {
-        assert_eq!(VoterProtocol.opinion_of(0), Some(Opinion::Zero));
-        assert_eq!(VoterProtocol.opinion_of(1), Some(Opinion::One));
-        assert_eq!(VoterProtocol.on_receive(0, Opinion::One, 0), 1);
-        assert_eq!(VoterProtocol.send(1, 0), Some((Opinion::One, 1.0)));
+        // UFCS throughout: the stratified blanket impl gives every dense
+        // protocol a second set of method names differing only in arity.
+        let voter = &VoterProtocol;
+        assert_eq!(DenseProtocol::opinion_of(voter, 0), Some(Opinion::Zero));
+        assert_eq!(DenseProtocol::opinion_of(voter, 1), Some(Opinion::One));
+        assert_eq!(DenseProtocol::on_receive(voter, 0, Opinion::One, 0), 1);
+        assert_eq!(DenseProtocol::send(voter, 1, 0), Some((Opinion::One, 1.0)));
     }
 
     #[test]
@@ -317,7 +453,7 @@ mod tests {
             for total in 0..=7u64 {
                 for ones in 0..=total {
                     let state = sampler.encode(op, ones, total);
-                    assert!(state < sampler.state_count());
+                    assert!(state < DenseProtocol::state_count(&sampler));
                     assert_eq!(sampler.decode(state), (op, ones, total));
                 }
             }
@@ -329,14 +465,14 @@ mod tests {
         let sampler = MajoritySamplerProtocol::new(5);
         let start = sampler.encode(Opinion::Zero, 0, 0);
         // Hear two ones and a zero mid-phase.
-        let s = sampler.on_receive(start, Opinion::One, 0);
-        let s = sampler.on_receive(s, Opinion::One, 1);
-        let s = sampler.on_receive(s, Opinion::Zero, 2);
+        let s = DenseProtocol::on_receive(&sampler, start, Opinion::One, 0);
+        let s = DenseProtocol::on_receive(&sampler, s, Opinion::One, 1);
+        let s = DenseProtocol::on_receive(&sampler, s, Opinion::Zero, 2);
         assert_eq!(sampler.decode(s), (Opinion::Zero, 2, 3));
         // Mid-phase round ends keep the tally.
-        assert_eq!(sampler.on_round_end(s, 2), s);
+        assert_eq!(DenseProtocol::on_round_end(&sampler, s, 2), s);
         // The phase ends after round 4: majority of (2 ones / 3) flips to One.
-        let ended = sampler.on_round_end(s, 4);
+        let ended = DenseProtocol::on_round_end(&sampler, s, 4);
         assert_eq!(sampler.decode(ended), (Opinion::One, 0, 0));
     }
 
@@ -345,12 +481,12 @@ mod tests {
         let sampler = MajoritySamplerProtocol::new(4);
         let s = sampler.encode(Opinion::One, 1, 2);
         assert_eq!(
-            sampler.decode(sampler.on_round_end(s, 3)),
+            sampler.decode(DenseProtocol::on_round_end(&sampler, s, 3)),
             (Opinion::One, 0, 0)
         );
         let silent = sampler.encode(Opinion::Zero, 0, 0);
         assert_eq!(
-            sampler.decode(sampler.on_round_end(silent, 3)),
+            sampler.decode(DenseProtocol::on_round_end(&sampler, silent, 3)),
             (Opinion::Zero, 0, 0)
         );
     }
@@ -359,7 +495,52 @@ mod tests {
     fn sampler_caps_tally_at_phase_len() {
         let sampler = MajoritySamplerProtocol::new(2);
         let full = sampler.encode(Opinion::Zero, 1, 2);
-        assert_eq!(sampler.on_receive(full, Opinion::One, 0), full);
+        assert_eq!(
+            DenseProtocol::on_receive(&sampler, full, Opinion::One, 0),
+            full
+        );
+    }
+
+    #[test]
+    fn zealot_populations_match_across_engines() {
+        let dense = ZealotRumorProtocol::population(100, 5, 10, 20);
+        assert_eq!(dense.n(), 100);
+        assert_eq!(
+            dense.stratum(ZealotRumorProtocol::HONEST).counts(),
+            &[65, 5, 10]
+        );
+        assert_eq!(dense.stratum(ZealotRumorProtocol::ZEALOTS).counts(), &[20]);
+        let agents = ZealotAgent::population(100, 5, 10, 20);
+        assert_eq!(agents.len(), 100);
+        let zealots = agents
+            .iter()
+            .filter(|a| matches!(a, ZealotAgent::Zealot))
+            .count();
+        assert_eq!(zealots, 20);
+        // Both censuses agree: zealots hold Zero, honest seeds as assigned.
+        let census = dense.census(&ZealotRumorProtocol);
+        assert_eq!(census.holding(Opinion::Zero), 25);
+        assert_eq!(census.holding(Opinion::One), 10);
+    }
+
+    #[test]
+    fn zealots_drag_the_population_towards_zero() {
+        // 10% zealots vs a One-seeded rumor: once everyone is activated, far
+        // more than the noise floor holds Zero.
+        let population = ZealotRumorProtocol::population(100_000, 0, 100, 10_000);
+        let config = SimulationConfig::new(100_000)
+            .with_seed(13)
+            .with_reference(Opinion::One);
+        let channel = BinarySymmetricChannel::from_epsilon(0.4).unwrap();
+        let mut sim =
+            StratifiedSimulation::new(ZealotRumorProtocol, vec![channel; 2], population, config)
+                .unwrap();
+        sim.run_until(500, |s| s.census().active() == 100_000);
+        assert_eq!(sim.census().active(), 100_000);
+        let zero_share = sim.census().holding(Opinion::Zero) as f64 / 100_000.0;
+        // eps = 0.4 noise alone corrupts only 10% of deliveries; zealots push
+        // the Zero share well above that.
+        assert!(zero_share > 0.2, "zero share = {zero_share}");
     }
 
     #[test]

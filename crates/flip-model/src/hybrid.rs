@@ -1,0 +1,472 @@
+//! The hybrid engine: a tracked subpopulation simulated exactly, against a
+//! dense bulk.
+//!
+//! The dense/stratified engines reach `n ≥ 10⁶` by replacing per-message
+//! channel noise with its mean crossover and per-agent state with counts.
+//! That is the right trade for the bulk, but some questions are about
+//! *specific agents*: the adversary's targets, a panel of tracked agents
+//! whose exact per-message noise matters (e.g. an
+//! [`AdversarialCapChannel`](crate::AdversarialCapChannel) whose per-message
+//! crossover draws are part of the model), or any protocol whose per-agent
+//! implementation exists but whose dense form does not.
+//!
+//! [`HybridSimulation`] splits the population: `k` **tracked** agents run
+//! the per-agent [`Agent`] contract — every send, reception and channel
+//! corruption is sampled individually, exactly as the reference engine would
+//! — while the remaining `n − k` agents form a dense
+//! [`StratifiedPopulation`] bulk advanced with `O(#strata × #states)`
+//! binomial draws.  Each round the two sides exchange aggregates through one
+//! shared message pool: tracked sends and bulk sends are pooled, every agent
+//! (tracked or bulk) receives against the same occupancy marginal, and a
+//! tracked agent's accepted message is drawn from the pool's global symbol
+//! mix before being corrupted by the *real* channel.  A round therefore
+//! costs `O(k + #strata × #states)` — constant in `n` for fixed `k`.
+//!
+//! # Exactness
+//!
+//! The bulk inherits the dense engine's contract (exact aggregate sampling;
+//! independent reception at the occupancy marginal as the one
+//! approximation).  Tracked agents additionally get *exact per-message
+//! channel noise* — [`Channel::transmit`] per accepted message rather than
+//! the mean crossover — so channels whose per-message law is not a fixed
+//! Bernoulli (adversarial caps) keep their exact semantics on the tracked
+//! set.  What the split ignores is the `O(k/n)` correlation between the
+//! tracked agents' sends and their own receptions (a sender never receives
+//! its own message), the same order as the occupancy approximation itself.
+//!
+//! # Example
+//!
+//! ```
+//! use flip_model::{
+//!     AdversarialCapChannel, HybridSimulation, RumorAgent, RumorProtocol, SimulationConfig,
+//!     StratifiedPopulation,
+//! };
+//!
+//! # fn main() -> Result<(), flip_model::FlipError> {
+//! // A million-agent rumor run where 32 tracked agents experience exact
+//! // per-message adversarial noise.
+//! let tracked = RumorAgent::population(32, 0, 32);
+//! let bulk = StratifiedPopulation::single(RumorProtocol::population(999_968, 0, 968));
+//! let channel = AdversarialCapChannel::new(0.1, 0.3)?;
+//! let config = SimulationConfig::new(1_000_000).with_seed(7);
+//! let mut sim = HybridSimulation::new(tracked, RumorProtocol, channel, bulk, config)?;
+//! sim.run(60);
+//! assert!(sim.census().active() > 990_000);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::agent::{Agent, Round};
+use crate::channel::Channel;
+use crate::config::SimulationConfig;
+use crate::engine::RoundSummary;
+use crate::error::FlipError;
+use crate::metrics::{Metrics, RoundMetrics};
+use crate::opinion::Opinion;
+use crate::population::Census;
+use crate::rng::SimRng;
+use crate::stratified::{binomial, validate_and_pad, StratifiedPopulation, StratifiedProtocol};
+
+/// A synchronous Flip-model simulation over `k` exactly-simulated tracked
+/// agents plus a dense bulk, exchanging aggregate send counts and sampled
+/// deliveries through one shared pool each round.
+///
+/// Selected by `--backend hybrid:k` in experiment binaries; see the module
+/// docs for the exactness contract.
+#[derive(Debug)]
+pub struct HybridSimulation<A, P, C> {
+    tracked: Vec<A>,
+    protocol: P,
+    channel: C,
+    bulk: StratifiedPopulation,
+    next_counts: Vec<Vec<u64>>,
+    rng: SimRng,
+    round: Round,
+    metrics: Metrics,
+    reference: Option<Opinion>,
+    n: u64,
+}
+
+impl<A: Agent, P: StratifiedProtocol, C: Channel> HybridSimulation<A, P, C> {
+    /// Creates a hybrid simulation from a tracked subpopulation, a bulk
+    /// protocol/population pair, and one channel (used per-message for the
+    /// tracked agents and via its mean crossover for the bulk).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlipError::InvalidParameter`] if the tracked set is empty
+    /// or the configured population size disagrees with
+    /// `tracked.len() + bulk.n()`, [`FlipError::PopulationTooSmall`] if the
+    /// two sides sum to fewer than two agents, and the stratified engine's
+    /// validation errors for bulk/protocol mismatches.
+    pub fn new(
+        tracked: Vec<A>,
+        protocol: P,
+        channel: C,
+        bulk: StratifiedPopulation,
+        config: SimulationConfig,
+    ) -> Result<Self, FlipError> {
+        if tracked.is_empty() {
+            return Err(FlipError::InvalidParameter {
+                name: "tracked",
+                message: "the hybrid backend needs a tracked subpopulation of at least \
+                          one agent (select it with `--backend hybrid:k`, k >= 1)"
+                    .to_string(),
+            });
+        }
+        let n = tracked.len() as u64 + bulk.n();
+        if n < 2 {
+            return Err(FlipError::PopulationTooSmall { n: n as usize });
+        }
+        if config.population() as u64 != n {
+            return Err(FlipError::InvalidParameter {
+                name: "population",
+                message: format!(
+                    "config says {} agents but tracked + bulk sum to {} + {} = {n}",
+                    config.population(),
+                    tracked.len(),
+                    bulk.n()
+                ),
+            });
+        }
+        let mut bulk = bulk;
+        validate_and_pad(&protocol, &mut bulk)?;
+        let next_counts = bulk
+            .strata()
+            .iter()
+            .map(|stratum| vec![0; stratum.counts().len()])
+            .collect();
+        Ok(Self {
+            tracked,
+            protocol,
+            channel,
+            bulk,
+            next_counts,
+            rng: SimRng::from_seed(config.seed()),
+            round: 0,
+            metrics: Metrics::new(),
+            reference: config.reference(),
+            n,
+        })
+    }
+
+    /// Executes one synchronous round and returns its summary.
+    pub fn step(&mut self) -> RoundSummary {
+        let round = self.round;
+        let n = self.n;
+        let strata = self.bulk.strata().len();
+
+        // Phase 1: sends — tracked agents individually, bulk in aggregate,
+        // all into one shared pool.
+        let mut sent_by_symbol = [0u64; 2];
+        for agent in &mut self.tracked {
+            if let Some(symbol) = agent.send(round, &mut self.rng) {
+                sent_by_symbol[symbol.index()] += 1;
+            }
+        }
+        for s in 0..strata {
+            for state in 0..self.bulk.strata()[s].counts.len() {
+                let count = self.bulk.strata()[s].counts[state];
+                if count == 0 {
+                    continue;
+                }
+                if let Some((symbol, probability)) = self.protocol.send(s, state, round) {
+                    sent_by_symbol[symbol.index()] += binomial(&mut self.rng, count, probability);
+                }
+            }
+        }
+        let sent = sent_by_symbol[0] + sent_by_symbol[1];
+
+        // Phase 2: reception against the shared pool.
+        for next in &mut self.next_counts {
+            next.fill(0);
+        }
+        let mut accepted = 0u64;
+        let mut flips = 0u64;
+        if sent == 0 {
+            for s in 0..strata {
+                for state in 0..self.bulk.strata()[s].counts.len() {
+                    let count = self.bulk.strata()[s].counts[state];
+                    if count > 0 {
+                        self.next_counts[s][self.protocol.on_round_end(s, state, round)] += count;
+                    }
+                }
+            }
+        } else {
+            let p_receive = 1.0 - (1.0 - 1.0 / (n as f64 - 1.0)).powf(sent as f64);
+            let fraction_one = sent_by_symbol[1] as f64 / sent as f64;
+
+            // Tracked deliveries: sample whether each agent's mailbox is
+            // non-empty, draw the accepted symbol from the pool's global
+            // mix, then corrupt it through the *real* channel — exact
+            // per-message noise, not the mean crossover.
+            for agent in &mut self.tracked {
+                if !self.rng.chance(p_receive) {
+                    continue;
+                }
+                let symbol = if self.rng.chance(fraction_one) {
+                    Opinion::One
+                } else {
+                    Opinion::Zero
+                };
+                let delivered = self.channel.transmit(symbol, &mut self.rng);
+                if delivered != symbol {
+                    flips += 1;
+                }
+                let _ = agent.deliver(round, delivered, &mut self.rng);
+                accepted += 1;
+            }
+
+            // Bulk deliveries: the stratified engine's aggregate pass.
+            let crossover = self.channel.mean_crossover();
+            let hear_one = fraction_one * (1.0 - crossover) + (1.0 - fraction_one) * crossover;
+            for s in 0..strata {
+                let mut stratum_accepted = 0u64;
+                let mut heard_ones = 0u64;
+                for state in 0..self.bulk.strata()[s].counts.len() {
+                    let count = self.bulk.strata()[s].counts[state];
+                    if count == 0 {
+                        continue;
+                    }
+                    let receivers = binomial(&mut self.rng, count, p_receive);
+                    let hear_ones = binomial(&mut self.rng, receivers, hear_one);
+                    let hear_zeros = receivers - hear_ones;
+                    stratum_accepted += receivers;
+                    heard_ones += hear_ones;
+                    let silent_state = self.protocol.on_round_end(s, state, round);
+                    self.next_counts[s][silent_state] += count - receivers;
+                    let one_state = self.protocol.on_round_end(
+                        s,
+                        self.protocol.on_receive(s, state, Opinion::One, round),
+                        round,
+                    );
+                    self.next_counts[s][one_state] += hear_ones;
+                    let zero_state = self.protocol.on_round_end(
+                        s,
+                        self.protocol.on_receive(s, state, Opinion::Zero, round),
+                        round,
+                    );
+                    self.next_counts[s][zero_state] += hear_zeros;
+                }
+                let flip_given_one = if hear_one > 0.0 {
+                    ((1.0 - fraction_one) * crossover / hear_one).clamp(0.0, 1.0)
+                } else {
+                    0.0
+                };
+                let flip_given_zero = if hear_one < 1.0 {
+                    (fraction_one * crossover / (1.0 - hear_one)).clamp(0.0, 1.0)
+                } else {
+                    0.0
+                };
+                flips += binomial(&mut self.rng, heard_ones, flip_given_one)
+                    + binomial(
+                        &mut self.rng,
+                        stratum_accepted - heard_ones,
+                        flip_given_zero,
+                    );
+                accepted += stratum_accepted;
+            }
+        }
+        for (stratum, next) in self.bulk.strata_mut().iter_mut().zip(&mut self.next_counts) {
+            std::mem::swap(&mut stratum.counts, next);
+        }
+        if A::USES_END_ROUND {
+            for agent in &mut self.tracked {
+                let _ = agent.end_round(round, &mut self.rng);
+            }
+        }
+
+        let accepted_capped = accepted.min(sent);
+        let round_metrics = RoundMetrics {
+            round,
+            messages_sent: sent,
+            messages_accepted: accepted_capped,
+            messages_collided: sent - accepted_capped,
+            bits_flipped: flips.min(accepted_capped),
+        };
+        self.metrics.absorb_round(&round_metrics);
+        self.round += 1;
+
+        let census = self.census();
+        RoundSummary {
+            metrics: round_metrics,
+            census_active: census.active(),
+            census_correct: self.reference.map(|r| census.holding(r)),
+        }
+    }
+
+    /// Executes `rounds` rounds and returns the accumulated metrics.
+    pub fn run(&mut self, rounds: u64) -> &Metrics {
+        for _ in 0..rounds {
+            self.step();
+        }
+        &self.metrics
+    }
+
+    /// Executes rounds until `predicate` returns `true` (checked after every
+    /// round) or `max_rounds` rounds have run, whichever comes first.
+    ///
+    /// Returns the number of rounds executed by this call.
+    pub fn run_until<F>(&mut self, max_rounds: u64, mut predicate: F) -> u64
+    where
+        F: FnMut(&Self) -> bool,
+    {
+        let mut executed = 0;
+        while executed < max_rounds {
+            self.step();
+            executed += 1;
+            if predicate(self) {
+                break;
+            }
+        }
+        executed
+    }
+
+    /// A census over both sides of the split.
+    #[must_use]
+    pub fn census(&self) -> Census {
+        let mut holding = [0usize; 2];
+        for agent in &self.tracked {
+            if let Some(op) = agent.opinion() {
+                holding[op.index()] += 1;
+            }
+        }
+        let bulk = self.bulk.census(&self.protocol);
+        Census::from_counts(
+            holding[0] + bulk.holding(Opinion::Zero),
+            holding[1] + bulk.holding(Opinion::One),
+            self.n as usize,
+        )
+    }
+
+    /// The tracked agents, in their construction order.
+    #[must_use]
+    pub fn tracked(&self) -> &[A] {
+        &self.tracked
+    }
+
+    /// The dense bulk's current per-stratum counts.
+    #[must_use]
+    pub fn bulk(&self) -> &StratifiedPopulation {
+        &self.bulk
+    }
+
+    /// The accumulated metrics so far.
+    #[must_use]
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// The next round index to be executed (equals rounds executed so far).
+    #[must_use]
+    pub fn round(&self) -> Round {
+        self.round
+    }
+
+    /// The bulk protocol in use.
+    #[must_use]
+    pub fn protocol(&self) -> &P {
+        &self.protocol
+    }
+
+    /// The channel in use.
+    #[must_use]
+    pub fn channel(&self) -> &C {
+        &self.channel
+    }
+
+    /// Consumes the simulation, returning the tracked agents, the bulk
+    /// population, and the accumulated metrics.
+    #[must_use]
+    pub fn into_parts(self) -> (Vec<A>, StratifiedPopulation, Metrics) {
+        (self.tracked, self.bulk, self.metrics)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::{BinarySymmetricChannel, NoiselessChannel};
+    use crate::dense_protocols::{RumorAgent, RumorProtocol};
+
+    fn split_rumor(
+        n: u64,
+        tracked: usize,
+        informed: u64,
+    ) -> (Vec<RumorAgent>, StratifiedPopulation) {
+        // Tracked agents take the first `tracked` slots of the canonical
+        // per-agent layout (informed ones first here, for simplicity).
+        let tracked_ones = informed.min(tracked as u64);
+        let agents = RumorAgent::population(tracked, 0, tracked_ones as usize);
+        let bulk = StratifiedPopulation::single(RumorProtocol::population(
+            n - tracked as u64,
+            0,
+            informed - tracked_ones,
+        ));
+        (agents, bulk)
+    }
+
+    #[test]
+    fn rejects_bad_constructions() {
+        let (agents, bulk) = split_rumor(100, 4, 10);
+        let config = SimulationConfig::new(99);
+        assert!(matches!(
+            HybridSimulation::new(agents, RumorProtocol, NoiselessChannel, bulk, config),
+            Err(FlipError::InvalidParameter {
+                name: "population",
+                ..
+            })
+        ));
+
+        let bulk = StratifiedPopulation::single(RumorProtocol::population(10, 0, 0));
+        let config = SimulationConfig::new(10);
+        assert!(matches!(
+            HybridSimulation::new(
+                Vec::<RumorAgent>::new(),
+                RumorProtocol,
+                NoiselessChannel,
+                bulk,
+                config
+            ),
+            Err(FlipError::InvalidParameter {
+                name: "tracked",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn rumor_spreads_through_the_split() {
+        let (agents, bulk) = split_rumor(50_000, 16, 16);
+        let config = SimulationConfig::new(50_000)
+            .with_seed(3)
+            .with_reference(Opinion::One);
+        let channel = BinarySymmetricChannel::from_epsilon(0.3).unwrap();
+        let mut sim = HybridSimulation::new(agents, RumorProtocol, channel, bulk, config).unwrap();
+        let executed = sim.run_until(1_000, |s| s.census().active() == 50_000);
+        assert!(executed < 100, "rumor should spread in O(log n) rounds");
+        assert!(sim.census().holding(Opinion::One) > 0);
+        assert!(sim.census().holding(Opinion::Zero) > 0);
+        let m = sim.metrics();
+        assert_eq!(m.messages_sent, m.messages_accepted + m.messages_collided);
+    }
+
+    #[test]
+    fn identical_seeds_give_identical_runs() {
+        let run = |seed: u64| {
+            let (agents, bulk) = split_rumor(5_000, 8, 8);
+            let config = SimulationConfig::new(5_000).with_seed(seed);
+            let channel = BinarySymmetricChannel::from_epsilon(0.2).unwrap();
+            let mut sim =
+                HybridSimulation::new(agents, RumorProtocol, channel, bulk, config).unwrap();
+            (0..40)
+                .map(|_| {
+                    let s = sim.step();
+                    (s.census_active, s.metrics.messages_sent)
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(21), run(21));
+        assert_ne!(run(21), run(22));
+    }
+}

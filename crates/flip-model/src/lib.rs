@@ -17,12 +17,16 @@
 //! machines implementing the [`Agent`] trait, and the [`Simulation`] engine
 //! applies the push-gossip routing, collision and noise semantics.
 //!
-//! Two engines execute the model, selected by [`Backend`]: the per-agent
-//! [`Simulation`] (the exact reference semantics) and the counts-based
-//! [`DenseSimulation`], which runs homogeneous protocols ([`DenseProtocol`])
-//! in `O(#states)` per round and reaches populations of `10⁶`–`10⁷` agents —
-//! see the [`dense`](DenseSimulation) module documentation for the
-//! equivalence contract between the two.
+//! Three engine families execute the model, selected by [`Backend`]: the
+//! per-agent [`Simulation`] (the exact reference semantics), the counts-based
+//! [`DenseSimulation`]/[`StratifiedSimulation`] — homogeneous protocols
+//! ([`DenseProtocol`]) and stratified heterogeneous ones
+//! ([`StratifiedProtocol`]) in `O(#strata × #states)` per round, reaching
+//! populations of `10⁶`–`10⁷` agents — and the [`HybridSimulation`], which
+//! runs `k` tracked agents exactly against a dense bulk.  See the
+//! [`dense`](DenseSimulation), [`stratified`](StratifiedSimulation) and
+//! [`hybrid`](HybridSimulation) module documentation for the equivalence
+//! contract between them.
 //!
 //! # Example
 //!
@@ -80,27 +84,34 @@ mod dense;
 mod dense_protocols;
 mod engine;
 mod error;
+mod hybrid;
 mod metrics;
 mod opinion;
 mod pool;
 mod population;
 mod rng;
 mod scheduler;
+mod stratified;
 mod trace;
 
 pub use agent::{Agent, AgentId, OpinionDelta, Round};
-pub use backend::Backend;
+pub use backend::{Backend, DEFAULT_HYBRID_TRACKED};
 pub use channel::{AdversarialCapChannel, BinarySymmetricChannel, Channel, NoiselessChannel};
 pub use clock::{ClockModel, LocalClock};
 pub use config::SimulationConfig;
 pub use dense::{DensePopulation, DenseProtocol, DenseSimulation, OpinionBitmap};
-pub use dense_protocols::{MajoritySamplerProtocol, RumorAgent, RumorProtocol, VoterProtocol};
+pub use dense_protocols::{
+    MajoritySamplerProtocol, RumorAgent, RumorProtocol, VoterProtocol, ZealotAgent,
+    ZealotRumorProtocol,
+};
 pub use engine::{RoundSummary, Simulation};
 pub use error::FlipError;
+pub use hybrid::HybridSimulation;
 pub use metrics::{Metrics, RoundMetrics};
 pub use opinion::Opinion;
 pub use pool::{RoundPool, MAX_WORKERS};
 pub use population::{majority_bias, Census};
 pub use rng::{BernoulliSkip, SimRng};
 pub use scheduler::{Delivery, GossipScheduler, RoundRouting, RADIX_BUCKET_BITS, RADIX_MIN_N};
+pub use stratified::{StratifiedPopulation, StratifiedProtocol, StratifiedSimulation};
 pub use trace::{TraceOptions, TraceRecorder};

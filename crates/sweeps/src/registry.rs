@@ -6,23 +6,31 @@
 //! [`Backend`]s it supports, so a spec that asks the dense engine for an
 //! agents-only protocol fails loudly at lookup time — before any cell runs.
 //!
-//! [`ProtocolRegistry::builtin`] registers the four workloads the paper's
-//! sweeps need:
+//! [`ProtocolRegistry::builtin`] registers the workloads the paper's sweeps
+//! need:
 //!
-//! | id                   | backends        | protocol                                       |
-//! |----------------------|-----------------|------------------------------------------------|
-//! | `broadcast`          | agents          | full two-stage noisy broadcast (`breathe`)     |
-//! | `majority-consensus` | agents          | noisy majority-consensus from an initial set   |
-//! | `rumor`              | agents, dense   | push rumor spreading until full activation     |
-//! | `majority-sampler`   | dense           | Stage-II style repeated noisy majority boost   |
+//! | id                   | backends               | protocol                                       |
+//! |----------------------|------------------------|------------------------------------------------|
+//! | `broadcast`          | agents                 | full two-stage noisy broadcast (`breathe`)     |
+//! | `majority-consensus` | agents                 | noisy majority-consensus from an initial set   |
+//! | `rumor`              | agents, dense, hybrid  | push rumor spreading until full activation     |
+//! | `rumor-zealot`       | agents, dense, hybrid  | rumor spreading against a zealot subpopulation |
+//! | `majority-sampler`   | dense                  | Stage-II style repeated noisy majority boost   |
+//!
+//! Backend capabilities are **family-level** ([`Backend::same_family`]): an
+//! entry that lists `hybrid:16` accepts every `hybrid:k`.  The registry is
+//! the workspace's single backend dispatch point — experiment bins and sweep
+//! specs both resolve a `(protocol, backend)` pair here instead of matching
+//! on the enum themselves.
 //!
 //! Custom protocols register with [`ProtocolRegistry::register`]; the sweep
 //! runner treats them identically.
 
 use breathe::{BroadcastProtocol, InitialSet, MajorityConsensusProtocol, Multipliers, Params};
 use flip_model::{
-    Backend, BinarySymmetricChannel, DenseSimulation, MajoritySamplerProtocol, Opinion, RumorAgent,
-    RumorProtocol, Simulation, SimulationConfig,
+    Backend, BinarySymmetricChannel, DenseSimulation, HybridSimulation, MajoritySamplerProtocol,
+    Opinion, RumorAgent, RumorProtocol, Simulation, SimulationConfig, StratifiedPopulation,
+    StratifiedSimulation, ZealotAgent, ZealotRumorProtocol, DEFAULT_HYBRID_TRACKED,
 };
 
 use crate::error::SweepError;
@@ -74,8 +82,21 @@ impl ProtocolRegistry {
         );
         registry.register(
             "rumor",
-            &[Backend::Agents, Backend::Dense],
+            &[
+                Backend::Agents,
+                Backend::Dense,
+                Backend::Hybrid(DEFAULT_HYBRID_TRACKED),
+            ],
             Box::new(run_rumor),
+        );
+        registry.register(
+            "rumor-zealot",
+            &[
+                Backend::Agents,
+                Backend::Dense,
+                Backend::Hybrid(DEFAULT_HYBRID_TRACKED),
+            ],
+            Box::new(run_rumor_zealot),
         );
         registry.register(
             "majority-sampler",
@@ -119,7 +140,7 @@ impl ProtocolRegistry {
                 self.entries.keys().cloned().collect::<Vec<_>>().join(", ")
             ))
         })?;
-        if !entry.backends.contains(&spec.backend) {
+        if !entry.backends.iter().any(|b| b.same_family(spec.backend)) {
             return Err(SweepError::Protocol(format!(
                 "protocol `{}` has no `{}` variant (supported: {})",
                 spec.protocol,
@@ -244,10 +265,28 @@ fn run_majority_consensus(
     ])
 }
 
+/// Validates a hybrid tracked-subpopulation size against the cell's `n`.
+fn hybrid_tracked(k: u32, n: usize) -> Result<usize, SweepError> {
+    let k = k as usize;
+    if k == 0 {
+        return Err(SweepError::Spec(
+            "`hybrid:0` tracks no agents; the tracked subpopulation size must be >= 1".into(),
+        ));
+    }
+    if k >= n {
+        return Err(SweepError::Spec(format!(
+            "`hybrid:{k}` leaves no dense bulk at n = {n}; use the agents backend instead"
+        )));
+    }
+    Ok(k)
+}
+
 /// `rumor`: `informed` agents start active; runs until full activation or
-/// the cell's round cap, on either engine.  The agents backend hands
+/// the cell's round cap, on any engine family.  The agents backend hands
 /// `round_threads` to the engine's (bit-identical) parallel router; the
-/// dense backend is counts-based and has no per-message work to split.
+/// dense and hybrid backends are counts-based and have no per-message work
+/// to split.  On `hybrid:k` the tracked agents are the first `k` slots of
+/// the canonical per-agent layout (informed first, then undecided).
 fn run_rumor(
     spec: &ScenarioSpec,
     trial: u64,
@@ -281,6 +320,126 @@ fn run_rumor(
         Backend::Agents => {
             let agents = RumorAgent::population(n, 0, informed as usize);
             let mut sim = Simulation::new(agents, channel, config)?;
+            let rounds = sim.run_until(spec.rounds, |s| s.census().active() == n);
+            (
+                rounds,
+                sim.census().fraction_correct(Opinion::One),
+                sim.metrics().messages_sent,
+            )
+        }
+        Backend::Hybrid(k) => {
+            let k = hybrid_tracked(k, n)?;
+            let tracked_ones = informed.min(k as u64);
+            let tracked = RumorAgent::population(k, 0, tracked_ones as usize);
+            let bulk = StratifiedPopulation::single(RumorProtocol::population(
+                (n - k) as u64,
+                0,
+                informed - tracked_ones,
+            ));
+            let mut sim = HybridSimulation::new(tracked, RumorProtocol, channel, bulk, config)?;
+            let rounds = sim.run_until(spec.rounds, |s| s.census().active() == n);
+            (
+                rounds,
+                sim.census().fraction_correct(Opinion::One),
+                sim.metrics().messages_sent,
+            )
+        }
+    };
+    Ok(vec![
+        ("rounds", rounds as f64),
+        ("fraction_correct", fraction),
+        ("messages_sent", messages as f64),
+    ])
+}
+
+/// `rumor-zealot`: heterogeneous rumor spreading — `informed` honest agents
+/// seed [`Opinion::One`] while a `zealots`-sized subpopulation pushes
+/// [`Opinion::Zero`] every round and never listens.  Two strata on the
+/// dense engine, the same split agent-by-agent on the reference engine, and
+/// on `hybrid:k` the first `k` agents of the per-agent layout (honest
+/// first, zealots last) tracked exactly against the stratified bulk.
+fn run_rumor_zealot(
+    spec: &ScenarioSpec,
+    trial: u64,
+    round_threads: usize,
+) -> Result<Vec<(&'static str, f64)>, SweepError> {
+    if spec.rounds == 0 {
+        return Err(SweepError::Spec(
+            "`rumor-zealot` needs a round cap (`rounds` > 0)".into(),
+        ));
+    }
+    let n = usize::try_from(spec.n())
+        .map_err(|_| SweepError::Spec("`n` does not fit in usize".into()))?;
+    let informed = spec.param_or("informed", 1.0) as u64;
+    let zealots = spec.param_or("zealots", 0.0) as u64;
+    if zealots == 0 {
+        return Err(SweepError::Spec(
+            "`rumor-zealot` needs `zealots` > 0 (use `rumor` for the homogeneous case)".into(),
+        ));
+    }
+    if informed + zealots > spec.n() {
+        return Err(SweepError::Spec(format!(
+            "`informed` + `zealots` = {} exceeds n = {}",
+            informed + zealots,
+            spec.n()
+        )));
+    }
+    let channel = BinarySymmetricChannel::from_epsilon(spec.epsilon())
+        .map_err(|e| SweepError::Spec(e.to_string()))?;
+    let config = SimulationConfig::new(n)
+        .with_seed(spec.seed_for_trial(trial))
+        .with_reference(Opinion::One)
+        .with_threads(round_threads);
+    let (rounds, fraction, messages) = match spec.backend {
+        Backend::Dense => {
+            let population = ZealotRumorProtocol::population(spec.n(), 0, informed, zealots);
+            let mut sim = StratifiedSimulation::new(
+                ZealotRumorProtocol,
+                vec![channel; 2],
+                population,
+                config,
+            )?;
+            let rounds = sim.run_until(spec.rounds, |s| s.census().active() == n);
+            (
+                rounds,
+                sim.census().fraction_correct(Opinion::One),
+                sim.metrics().messages_sent,
+            )
+        }
+        Backend::Agents => {
+            let agents = ZealotAgent::population(n, 0, informed as usize, zealots as usize);
+            let mut sim = Simulation::new(agents, channel, config)?;
+            let rounds = sim.run_until(spec.rounds, |s| s.census().active() == n);
+            (
+                rounds,
+                sim.census().fraction_correct(Opinion::One),
+                sim.metrics().messages_sent,
+            )
+        }
+        Backend::Hybrid(k) => {
+            let k = hybrid_tracked(k, n)?;
+            let honest = n - zealots as usize;
+            // First k agents of the per-agent layout: informed ones, then
+            // undecided honest, then zealots.
+            let tracked: Vec<ZealotAgent> =
+                ZealotAgent::population(n, 0, informed as usize, zealots as usize)
+                    .into_iter()
+                    .take(k)
+                    .collect();
+            let tracked_ones = informed.min(k as u64);
+            let tracked_undecided = (k as u64 - tracked_ones).min(honest as u64 - informed);
+            let tracked_zealots = k as u64 - tracked_ones - tracked_undecided;
+            let bulk = StratifiedPopulation::from_strata(vec![
+                vec![
+                    honest as u64 - informed - tracked_undecided,
+                    0,
+                    informed - tracked_ones,
+                ],
+                vec![zealots - tracked_zealots],
+            ])
+            .map_err(|e| SweepError::Spec(e.to_string()))?;
+            let mut sim =
+                HybridSimulation::new(tracked, ZealotRumorProtocol, channel, bulk, config)?;
             let rounds = sim.run_until(spec.rounds, |s| s.census().active() == n);
             (
                 rounds,
@@ -391,9 +550,60 @@ mod tests {
                 "broadcast",
                 "majority-consensus",
                 "majority-sampler",
-                "rumor"
+                "rumor",
+                "rumor-zealot"
             ]
         );
+    }
+
+    #[test]
+    fn rumor_zealot_runs_on_every_engine_family() {
+        let registry = ProtocolRegistry::builtin();
+        for backend in Backend::ALL {
+            let spec = cell(
+                "rumor-zealot",
+                backend,
+                &[
+                    ("n", 400.0),
+                    ("epsilon", 0.25),
+                    ("informed", 10.0),
+                    ("zealots", 40.0),
+                ],
+            );
+            let a = registry.run_trial(&spec, 0).unwrap();
+            let b = registry.run_trial(&spec, 0).unwrap();
+            assert_eq!(a, b, "same seed must reproduce ({backend})");
+            let names: Vec<&str> = a.iter().map(|(k, _)| *k).collect();
+            assert_eq!(names, vec!["rounds", "fraction_correct", "messages_sent"]);
+        }
+    }
+
+    #[test]
+    fn rumor_zealot_requires_a_zealot_subpopulation() {
+        let registry = ProtocolRegistry::builtin();
+        let spec = cell(
+            "rumor-zealot",
+            Backend::Dense,
+            &[("n", 400.0), ("epsilon", 0.25), ("informed", 10.0)],
+        );
+        let Err(err) = registry.run_trial(&spec, 0) else {
+            panic!("zealots = 0 must be rejected");
+        };
+        assert!(err.to_string().contains("`zealots`"), "{err}");
+    }
+
+    #[test]
+    fn hybrid_rejects_a_tracked_count_that_swallows_the_population() {
+        let registry = ProtocolRegistry::builtin();
+        let spec = cell(
+            "rumor",
+            Backend::Hybrid(500),
+            &[("n", 300.0), ("epsilon", 0.25), ("informed", 10.0)],
+        );
+        let Err(err) = registry.run_trial(&spec, 0) else {
+            panic!("hybrid:500 at n = 300 must be rejected");
+        };
+        assert!(err.to_string().contains("no dense bulk"), "{err}");
     }
 
     #[test]

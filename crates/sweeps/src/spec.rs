@@ -104,7 +104,7 @@ impl ScenarioSpec {
     pub fn canonical_json(&self) -> Json {
         Json::object(vec![
             ("protocol".into(), Json::Str(self.protocol.clone())),
-            ("backend".into(), Json::Str(self.backend.as_str().into())),
+            ("backend".into(), Json::Str(self.backend.to_string())),
             ("trials".into(), Json::UInt(u64::from(self.trials))),
             ("base_seed".into(), Json::UInt(self.base_seed)),
             ("point".into(), Json::UInt(self.point)),
@@ -287,7 +287,7 @@ impl SweepSpec {
         Json::object(vec![
             ("name".into(), Json::Str(self.name.clone())),
             ("protocol".into(), Json::Str(self.protocol.clone())),
-            ("backend".into(), Json::Str(self.backend.as_str().into())),
+            ("backend".into(), Json::Str(self.backend.to_string())),
             ("trials".into(), Json::UInt(u64::from(self.trials))),
             ("base_seed".into(), Json::UInt(self.base_seed)),
             ("point_base".into(), Json::UInt(self.point_base)),
@@ -576,7 +576,20 @@ mod tests {
         assert!(spec.expand().is_err());
         // Unknown backend in text form.
         assert!(SweepSpec::from_json_text("{\"name\":\"x\",\"backend\":\"gpu\"}").is_err());
+        // A bare `hybrid` (no tracked count) must not default silently.
+        assert!(SweepSpec::from_json_text("{\"name\":\"x\",\"backend\":\"hybrid\"}").is_err());
         assert!(SweepSpec::from_json_text("not json").is_err());
+    }
+
+    #[test]
+    fn hybrid_backend_round_trips_with_its_tracked_count() {
+        let mut spec = demo_sweep();
+        spec.backend = Backend::Hybrid(64);
+        let parsed = SweepSpec::from_json_text(&spec.to_json().to_string()).unwrap();
+        assert_eq!(parsed.backend, Backend::Hybrid(64));
+        let cell = &spec.expand().unwrap()[0];
+        let reparsed = ScenarioSpec::from_json(&cell.canonical_json()).unwrap();
+        assert_eq!(reparsed.backend, Backend::Hybrid(64));
     }
 
     #[test]

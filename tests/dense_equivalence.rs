@@ -17,9 +17,10 @@
 
 use breathe_paper as _;
 use flip_model::{
-    AdversarialCapChannel, Agent, BinarySymmetricChannel, DenseSimulation, NoiselessChannel,
-    Opinion, OpinionDelta, Round, RumorAgent, RumorProtocol, SimRng, Simulation, SimulationConfig,
-    VoterProtocol,
+    AdversarialCapChannel, Agent, BinarySymmetricChannel, DenseSimulation, HybridSimulation,
+    NoiselessChannel, Opinion, OpinionDelta, Round, RumorAgent, RumorProtocol, SimRng, Simulation,
+    SimulationConfig, StratifiedPopulation, StratifiedSimulation, VoterProtocol, ZealotAgent,
+    ZealotRumorProtocol,
 };
 
 /// The per-agent twin of `VoterProtocol`: always pushes its opinion, adopts
@@ -551,6 +552,232 @@ fn per_message_fallback_engine_matches_dense_mean_trajectories() {
              (allowance {allowance:.1})"
         );
     }
+}
+
+// ---------------------------------------------- stratified & hybrid engines
+
+/// A single-stratum stratified run must be *bit-identical* to the dense
+/// engine from equal RNG states — `DenseSimulation` delegates to
+/// `StratifiedSimulation`, and this pins that an explicitly-constructed
+/// single-stratum simulation consumes the RNG stream in exactly the same
+/// order (no extra draws, no reordering).
+#[test]
+fn single_stratum_stratified_rounds_are_bit_identical_to_dense() {
+    let n = 10_000u64;
+    let channel = BinarySymmetricChannel::from_epsilon(0.2).unwrap();
+    let config = SimulationConfig::new(n as usize)
+        .with_seed(0xD0_5EED)
+        .with_reference(Opinion::One);
+    let mut dense = DenseSimulation::new(
+        RumorProtocol,
+        channel,
+        RumorProtocol::population(n, 0, 3),
+        config.clone(),
+    )
+    .unwrap();
+    let mut stratified = StratifiedSimulation::new(
+        RumorProtocol,
+        vec![channel],
+        StratifiedPopulation::single(RumorProtocol::population(n, 0, 3)),
+        config,
+    )
+    .unwrap();
+    for round in 0..40 {
+        assert_eq!(dense.step(), stratified.step(), "round {round}");
+    }
+    assert_eq!(dense.metrics(), stratified.metrics());
+    assert_eq!(
+        dense.population().counts(),
+        stratified.population().stratum(0).counts()
+    );
+}
+
+/// Mean trajectories of the two-stratum zealot scenario must agree between
+/// the per-agent reference engine (`ZealotAgent`) and the stratified dense
+/// engine (`ZealotRumorProtocol`) within the Chernoff allowance — the
+/// heterogeneous analogue of `noisy_rumor_mean_trajectories_agree`.
+#[test]
+fn stratified_zealot_mean_trajectories_agree() {
+    let n = 2_000usize;
+    let zealots = 200usize;
+    let informed = 20usize;
+    let trials = 32u64;
+    let rounds = 20u64;
+    let epsilon = 0.25;
+
+    let mut agent_zeros = Vec::new();
+    let mut agent_ones = Vec::new();
+    let mut strat_zeros = Vec::new();
+    let mut strat_ones = Vec::new();
+    for trial in 0..trials {
+        let channel = BinarySymmetricChannel::from_epsilon(epsilon).unwrap();
+        let agents = ZealotAgent::population(n, 0, informed, zealots);
+        let mut sim = Simulation::new(
+            agents,
+            channel,
+            SimulationConfig::new(n).with_seed(9_000 + trial),
+        )
+        .unwrap();
+        sim.run(rounds);
+        agent_zeros.push(sim.census().holding(Opinion::Zero) as f64);
+        agent_ones.push(sim.census().holding(Opinion::One) as f64);
+
+        let channel = BinarySymmetricChannel::from_epsilon(epsilon).unwrap();
+        let population =
+            ZealotRumorProtocol::population(n as u64, 0, informed as u64, zealots as u64);
+        let mut sim = StratifiedSimulation::new(
+            ZealotRumorProtocol,
+            vec![channel; 2],
+            population,
+            SimulationConfig::new(n).with_seed(10_000 + trial),
+        )
+        .unwrap();
+        sim.run(rounds);
+        strat_zeros.push(sim.census().holding(Opinion::Zero) as f64);
+        strat_ones.push(sim.census().holding(Opinion::One) as f64);
+    }
+
+    let allowance = chernoff_allowance(n as f64, trials as f64);
+    for (label, agents, stratified) in [
+        ("zeros", &agent_zeros, &strat_zeros),
+        ("ones", &agent_ones, &strat_ones),
+    ] {
+        let agent_mean: f64 = agents.iter().sum::<f64>() / trials as f64;
+        let strat_mean: f64 = stratified.iter().sum::<f64>() / trials as f64;
+        assert!(
+            (agent_mean - strat_mean).abs() < allowance,
+            "{label}: agents mean {agent_mean:.1} vs stratified mean {strat_mean:.1} \
+             (allowance {allowance:.1})"
+        );
+    }
+}
+
+/// The hybrid engine (tracked agents against a dense bulk) must track the
+/// full per-agent engine's mean activation trajectory at small `n`.
+#[test]
+fn hybrid_mean_trajectories_agree_with_the_per_agent_engine() {
+    let n = 2_000usize;
+    let tracked_count = 64usize;
+    let informed = 10usize;
+    let trials = 32u64;
+    let rounds = 15u64;
+    let epsilon = 0.25;
+
+    let mut agent_active = Vec::new();
+    let mut hybrid_active = Vec::new();
+    for trial in 0..trials {
+        let channel = BinarySymmetricChannel::from_epsilon(epsilon).unwrap();
+        let mut sim = Simulation::new(
+            adopters(n, informed),
+            channel,
+            SimulationConfig::new(n).with_seed(11_000 + trial),
+        )
+        .unwrap();
+        sim.run(rounds);
+        agent_active.push(sim.census().active() as f64);
+
+        // The informed agents all land in the tracked subpopulation; the
+        // bulk starts silent — the same global initial state.
+        let channel = BinarySymmetricChannel::from_epsilon(epsilon).unwrap();
+        let tracked = RumorAgent::population(tracked_count, 0, informed);
+        let bulk = StratifiedPopulation::single(RumorProtocol::population(
+            (n - tracked_count) as u64,
+            0,
+            0,
+        ));
+        let mut sim = HybridSimulation::new(
+            tracked,
+            RumorProtocol,
+            channel,
+            bulk,
+            SimulationConfig::new(n).with_seed(12_000 + trial),
+        )
+        .unwrap();
+        sim.run(rounds);
+        hybrid_active.push(sim.census().active() as f64);
+    }
+
+    let agent_mean: f64 = agent_active.iter().sum::<f64>() / trials as f64;
+    let hybrid_mean: f64 = hybrid_active.iter().sum::<f64>() / trials as f64;
+    let allowance = chernoff_allowance(n as f64, trials as f64);
+    assert!(
+        (agent_mean - hybrid_mean).abs() < allowance,
+        "agents mean {agent_mean:.1} vs hybrid mean {hybrid_mean:.1} (allowance {allowance:.1})"
+    );
+}
+
+/// Golden-seed snapshot of a stratified census: pins the exact per-stratum
+/// counts and message totals of a fixed heterogeneous run, so any change to
+/// the stratified engine's RNG draw order fails here before it can silently
+/// shift every stratified experiment.
+#[test]
+fn stratified_zealot_golden_seed_census_snapshot() {
+    let n = 10_000u64;
+    let channel = BinarySymmetricChannel::from_epsilon(0.2).unwrap();
+    let population = ZealotRumorProtocol::population(n, 0, 50, 1_000);
+    let config = SimulationConfig::new(n as usize)
+        .with_seed(0xD0_5EED)
+        .with_reference(Opinion::One);
+    let mut sim =
+        StratifiedSimulation::new(ZealotRumorProtocol, vec![channel; 2], population, config)
+            .unwrap();
+    sim.run(30);
+
+    assert_eq!(sim.population().stratum(0).counts(), &[0, 5_169, 3_831]);
+    assert_eq!(sim.population().stratum(1).counts(), &[1_000]);
+    let census = sim.census();
+    assert_eq!(census.holding(Opinion::Zero), 6_169);
+    assert_eq!(census.holding(Opinion::One), 3_831);
+    let metrics = sim.metrics();
+    assert_eq!(metrics.messages_sent, 266_360);
+    assert_eq!(metrics.messages_accepted, 172_042);
+    assert_eq!(metrics.bits_flipped, 51_541);
+}
+
+// ------------------------------------------------------- million-agent runs
+
+/// The heterogeneous zealot scenario completes at `n = 10⁶` on the
+/// stratified engine — the scale the per-agent engine cannot reach — and
+/// the rumor still saturates the honest population.
+#[test]
+fn stratified_zealot_million_completes() {
+    let n = 1_000_000u64;
+    let channel = BinarySymmetricChannel::from_epsilon(0.2).unwrap();
+    let population = ZealotRumorProtocol::population(n, 0, 1_000, 100_000);
+    let config = SimulationConfig::new(n as usize)
+        .with_seed(99)
+        .with_reference(Opinion::One);
+    let mut sim =
+        StratifiedSimulation::new(ZealotRumorProtocol, vec![channel; 2], population, config)
+            .unwrap();
+    let rounds = sim.run_until(500, |s| s.census().active() == n as usize);
+    assert!(rounds < 500, "activation must beat the cap (took {rounds})");
+    assert_eq!(sim.census().active(), n as usize);
+    assert_eq!(sim.population().stratum(1).counts(), &[100_000]);
+}
+
+/// The adversarial-cap scenario completes at `n = 10⁶` on the hybrid
+/// engine: the tracked agents see the channel's exact per-message law while
+/// the bulk runs on its mean — previously this channel was stuck at
+/// per-agent scale.
+#[test]
+fn hybrid_adversarial_cap_million_completes() {
+    let n = 1_000_000usize;
+    let tracked_count = 32usize;
+    let channel = AdversarialCapChannel::new(0.1, 0.3).unwrap();
+    let tracked = RumorAgent::population(tracked_count, 0, 1);
+    let bulk = StratifiedPopulation::single(RumorProtocol::population(
+        (n - tracked_count) as u64,
+        0,
+        999,
+    ));
+    let config = SimulationConfig::new(n)
+        .with_seed(7)
+        .with_reference(Opinion::One);
+    let mut sim = HybridSimulation::new(tracked, RumorProtocol, channel, bulk, config).unwrap();
+    let rounds = sim.run_until(500, |s| s.census().active() == n);
+    assert!(rounds < 500, "activation must beat the cap (took {rounds})");
+    assert_eq!(sim.census().active(), n);
 }
 
 // ------------------------------------------------------------- performance
