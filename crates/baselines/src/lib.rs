@@ -7,6 +7,9 @@
 //! comparators so that the experiments can reproduce the paper's qualitative
 //! comparisons:
 //!
+//! * [`bft`] — gossip adaptations of classic binary Byzantine-consensus
+//!   protocols (Ben-Or, BV-broadcast, safe BBC) plus the Stage-II style
+//!   majority boost, the comparators of the E13 fault-tolerance family.
 //! * [`forwarding`] — *immediately forward what you heard*: reliability decays
 //!   exponentially with the hop count, so the population converges to a
 //!   near-coin-flip mixture.
@@ -26,6 +29,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bft;
 pub mod forwarding;
 pub mod noisy_voter;
 pub mod path_deterioration;
@@ -33,6 +37,7 @@ pub mod three_state;
 pub mod two_choices;
 pub mod wait_source;
 
+pub use bft::{BenOrAgent, BvBroadcastAgent, MajorityBoostAgent, SafeBbcAgent};
 pub use forwarding::{ForwardingAgent, ForwardingProtocol};
 pub use noisy_voter::NoisyVoterProtocol;
 pub use path_deterioration::{chain_correct_probability, simulate_chain};

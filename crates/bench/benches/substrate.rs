@@ -200,6 +200,20 @@ fn substrate(c: &mut Criterion) {
         });
     }
 
+    // One full engine round at n = 10⁵ with a Byzantine tenth injected:
+    // the cost of the fault path (role lookups, forced sends, delivery
+    // gating) over the honest `engine_round_all_send/100000` round.
+    group.bench_function("faulty_round_n1e5", |b| {
+        let n = 100_000;
+        let agents: Vec<Beacon> = (0..n).map(|_| Beacon(Opinion::One)).collect();
+        let channel = BinarySymmetricChannel::from_epsilon(0.2).expect("valid");
+        let config = SimulationConfig::new(n)
+            .with_seed(3)
+            .with_faults("byz:0.1".parse().expect("valid directive"));
+        let mut sim = Simulation::new(agents, channel, config).expect("valid simulation");
+        b.iter(|| sim.step().metrics.messages_sent);
+    });
+
     group.finish();
 }
 

@@ -2,9 +2,15 @@
 //!
 //! Usage: `cargo run --release -p experiments --bin e02 [-- --full]
 //! [--trials N] [--threads N]`
+//!
+//! A thin wrapper over the registry-backed sweep `e02`
+//! (`experiments::specs`), digit-identical to the legacy
+//! `scaling::e02_rounds_vs_epsilon` loop.  Backend dispatch lives in
+//! `specs::backend_tables`; the same sweep is available with persistence
+//! and resume via the `sweep` binary.
 
 fn main() {
-    experiments::cli::run_tables("e02", true, |cfg| {
-        vec![experiments::scaling::e02_rounds_vs_epsilon(cfg)]
+    experiments::cli::run_tables("e02", false, |cfg| {
+        experiments::specs::backend_tables("e02", cfg)
     });
 }

@@ -1,0 +1,20 @@
+//! Experiment binary `e13`: Stage I/II majority vs Ben-Or under injected
+//! faults (the BFT-comparison family).
+//!
+//! Usage: `cargo run --release -p experiments --bin e13 [-- --full]
+//! [--faults byz:F|equiv:F|flip:F|crash:F@R] [--allow-supermajority-faults]
+//! [--trials N] [--threads N]`
+//!
+//! Runs the phase-tally Stage II majority boost and gossip Ben-Or on
+//! identically seeded populations across `ε × f/n`, scoring honest agents
+//! only.  `--faults` swaps the injected fault *kind* for the whole grid;
+//! the `fault_fraction` axis sweeps the fraction (0 = honest baseline).
+//! A thin wrapper over the registry-backed sweep `e13`
+//! (`experiments::specs`); the same sweep is available with persistence
+//! and resume via the `sweep` binary.
+
+fn main() {
+    experiments::cli::run_tables("e13", false, |cfg| {
+        experiments::specs::backend_tables("e13", cfg)
+    });
+}

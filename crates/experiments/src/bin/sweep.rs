@@ -28,7 +28,7 @@ use sweeps::{
 
 const USAGE: &str = "usage:
   sweep list
-  sweep gen <name> [--full] [--trials N] [--seed N] [--rounds N]
+  sweep gen <name> [--full] [--trials N] [--seed N] [--rounds N] [--faults D]
   sweep run <spec.json> --out <dir> [--threads N] [--max-cells N]
   sweep resume <dir> [--threads N] [--max-cells N]
   sweep export <dir> --csv|--json [--out FILE] [--partial]

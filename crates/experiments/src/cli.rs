@@ -12,12 +12,19 @@
 //! | `--threads N`                | worker-thread cap (`FLIP_THREADS` env is honoured when absent) |
 //! | `--seed N`                   | base seed override                                   |
 //! | `--rounds N`                 | round-cap override (`sweep gen` applies it to generated specs) |
+//! | `--faults DIRECTIVE`         | fault injection (`byz:F`, `equiv:F`, `flip:F`, `crash:F@R`) where supported |
+//! | `--allow-supermajority-faults` | waive the `f/n < 1/3` sanity bound on `--faults`   |
 //!
 //! All flags accept both `--flag value` and `--flag=value`.  Unknown `--`
 //! flags panic with a usage message — a typo must never silently run a
 //! default configuration.  Zero values for `--trials`, `--threads` and
 //! `--rounds` are rejected with an explicit message: a zero would not error
 //! downstream, it would silently produce empty runs and empty aggregates.
+//! The same convention covers `--faults`: a zero fraction (`byz:0`) and an
+//! unknown fault kind both panic naming the flag, and a fraction at or past
+//! the Byzantine-consensus bound `1/3` needs the explicit
+//! `--allow-supermajority-faults` waiver (the E13 family sweeps past the
+//! bound on purpose; a stray `byz:0.4` elsewhere is a typo).
 
 use crate::{require_agents_backend, ExperimentConfig};
 use analysis::Table;
@@ -84,11 +91,29 @@ pub fn parse_config<I: IntoIterator<Item = String>>(args: I) -> ExperimentConfig
                 cfg.rounds = Some(rounds);
             }
             "--seed" => cfg.base_seed = parse_number(flag, &value()),
+            "--faults" => {
+                let directive = value();
+                cfg.faults = Some(
+                    directive
+                        .parse()
+                        .unwrap_or_else(|e| panic!("invalid --faults value `{directive}`: {e}")),
+                );
+            }
+            "--allow-supermajority-faults" => cfg.allow_supermajority_faults = true,
             other => panic!(
                 "unknown flag `{other}`; supported: --full --backend --trials --threads \
-                 --seed --rounds"
+                 --seed --rounds --faults --allow-supermajority-faults"
             ),
         }
+    }
+    if let Some(spec) = cfg.faults {
+        assert!(
+            spec.fraction < 1.0 / 3.0 || cfg.allow_supermajority_faults,
+            "--faults {spec} puts {:.1}% of the population at or past the Byzantine-consensus \
+             bound f/n < 1/3; pass --allow-supermajority-faults if charting the collapse is \
+             intentional",
+            spec.fraction * 100.0
+        );
     }
     cfg
 }
@@ -185,6 +210,77 @@ mod tests {
                 "{bad:?} rejection must name the flag and the missing size, got: {message}"
             );
         }
+    }
+
+    #[test]
+    fn faults_flag_parses_every_directive_kind() {
+        use flip_model::{FaultKind, FaultSpec};
+        let cfg = parse(&["--faults", "byz:0.1"]);
+        assert_eq!(
+            cfg.faults,
+            Some(FaultSpec::new(FaultKind::Byzantine, 0.1).unwrap())
+        );
+        assert!(!cfg.allow_supermajority_faults);
+        let cfg = parse(&["--faults=crash:0.05@20"]);
+        assert_eq!(
+            cfg.faults,
+            Some(FaultSpec::new(FaultKind::Crash { round: 20 }, 0.05).unwrap())
+        );
+        assert_eq!(parse(&[]).faults, None);
+    }
+
+    #[test]
+    fn degenerate_fault_directives_fail_naming_the_flag() {
+        // `--faults byz:0` would silently run a fault-free experiment that
+        // claims to be faulty, and an unknown kind must not be guessed at —
+        // both reject with a message naming `--faults` (the PR-5 zero-value
+        // convention, same as `hybrid:0` above).
+        for bad in [
+            vec!["--faults", "byz:0"],
+            vec!["--faults=byz:0"],
+            vec!["--faults", "gremlin:0.1"],
+            vec!["--faults", "byz:1.5"],
+            vec!["--faults", "crash:0.1"],
+        ] {
+            let owned: Vec<String> = bad.iter().map(ToString::to_string).collect();
+            let result = std::panic::catch_unwind(|| parse_config(owned.clone()));
+            let message = match result {
+                Ok(_) => panic!("{bad:?} must be rejected"),
+                Err(payload) => payload
+                    .downcast_ref::<String>()
+                    .cloned()
+                    .or_else(|| payload.downcast_ref::<&str>().map(ToString::to_string))
+                    .unwrap_or_default(),
+            };
+            assert!(
+                message.contains("--faults"),
+                "{bad:?} rejection must name the flag, got: {message}"
+            );
+        }
+    }
+
+    #[test]
+    fn supermajority_fault_fractions_need_the_explicit_waiver() {
+        // f/n >= 1/3 is past what any binary consensus can tolerate, so it
+        // is almost always a typo; the waiver flag makes the intent loud.
+        let result = std::panic::catch_unwind(|| parse(&["--faults", "byz:0.4"]));
+        let message = match result {
+            Ok(_) => panic!("byz:0.4 without the waiver must be rejected"),
+            Err(payload) => payload
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| payload.downcast_ref::<&str>().map(ToString::to_string))
+                .unwrap_or_default(),
+        };
+        assert!(
+            message.contains("--faults") && message.contains("--allow-supermajority-faults"),
+            "rejection must name both flags, got: {message}"
+        );
+        let cfg = parse(&["--faults", "byz:0.4", "--allow-supermajority-faults"]);
+        assert!(cfg.allow_supermajority_faults);
+        assert_eq!(cfg.faults.unwrap().fraction, 0.4);
+        // Just under the bound needs no waiver.
+        assert!(parse(&["--faults", "byz:0.33"]).faults.is_some());
     }
 
     #[test]

@@ -17,9 +17,10 @@
 //!   Stage II sample count, phase-0 length),
 //! * [`comparisons`] — E10–E12: baseline comparison, path deterioration and
 //!   the two-party lower bound,
-//! * [`specs`] — the registry-backed sweep specs: E1, E1-D, E8, E8-D and A2
-//!   expressed as declarative [`sweeps::SweepSpec`]s, plus renderers that
-//!   reproduce the legacy tables digit-for-digit from sweep aggregates,
+//! * [`specs`] — the registry-backed sweep specs: E1, E1-D, E2, E8, E8-D,
+//!   A2 and the fault-injection family E13 expressed as declarative
+//!   [`sweeps::SweepSpec`]s, plus renderers that reproduce the legacy
+//!   tables digit-for-digit from sweep aggregates,
 //! * [`report`] — assembling the tables into a markdown report.
 //!
 //! Multi-trial fan-out lives in [`sweeps::TrialRunner`] (re-exported here as
@@ -45,10 +46,10 @@ pub mod stage_claims;
 pub use report::Report;
 pub use sweeps::{runner, TrialRunner};
 
-use flip_model::Backend;
+use flip_model::{Backend, FaultSpec};
 
 /// Controls how heavy an experiment run is.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ExperimentConfig {
     /// Number of independent trials per configuration point.
     pub trials: u32,
@@ -73,6 +74,16 @@ pub struct ExperimentConfig {
     /// rejected at parse time: a 0-round sweep silently exports empty
     /// aggregates.
     pub rounds: Option<u64>,
+    /// Fault-injection directive (`--faults byz:0.1|crash:0.05@20|...`) for
+    /// surfaces that support it — `sweep gen` writes it into the generated
+    /// spec's `faults` field.  `None` (the default) runs fault-free and
+    /// keeps every fault-free spec hash unchanged.
+    pub faults: Option<FaultSpec>,
+    /// Waives the `f/n < 1/3` sanity bound on `--faults`
+    /// (`--allow-supermajority-faults`): no binary consensus can tolerate a
+    /// Byzantine third, so asking for one is almost always a typo — but the
+    /// E13 family deliberately sweeps past the bound to chart the collapse.
+    pub allow_supermajority_faults: bool,
 }
 
 impl ExperimentConfig {
@@ -86,6 +97,8 @@ impl ExperimentConfig {
             backend: Backend::Agents,
             threads: None,
             rounds: None,
+            faults: None,
+            allow_supermajority_faults: false,
         }
     }
 
@@ -99,6 +112,8 @@ impl ExperimentConfig {
             backend: Backend::Agents,
             threads: None,
             rounds: None,
+            faults: None,
+            allow_supermajority_faults: false,
         }
     }
 

@@ -1,11 +1,12 @@
 //! Registry-backed sweep specs for the migrated experiments.
 //!
-//! E1 (broadcast scaling), E1-D (dense rumor at large `n`), E8 (majority
-//! consensus), E8-D (dense majority boost) and ablation A2 (Stage II sample
-//! count) are expressed here as declarative [`SweepSpec`]s instead of
-//! hand-rolled loops.  Their binaries are thin wrappers: build the spec, run
-//! it through the [`sweeps`] orchestrator, render the legacy table from the
-//! streamed aggregates.
+//! E1 (broadcast scaling), E1-D (dense rumor at large `n`), E2 (broadcast
+//! vs `ε`), E8 (majority consensus), E8-D (dense majority boost), ablation
+//! A2 (Stage II sample count) and E13 (Stage I/II majority vs Ben-Or under
+//! fault injection) are expressed here as declarative [`SweepSpec`]s
+//! instead of hand-rolled loops.  Their binaries are thin wrappers: build
+//! the spec, run it through the [`sweeps`] orchestrator, render the legacy
+//! table from the streamed aggregates.
 //!
 //! **The migration contract:** for every migrated experiment, the sweep uses
 //! the same protocol constructions, the same grid order and the same
@@ -34,7 +35,16 @@ pub type CellPairs = Vec<(ScenarioSpec, CellRecord)>;
 
 /// The names accepted by [`builtin`] (and the `sweep gen`/`sweep list`
 /// subcommands), in presentation order.
-pub const BUILTIN_SWEEPS: [&str; 6] = ["e01", "e01-dense", "e01-hybrid", "e08", "e08-dense", "a2"];
+pub const BUILTIN_SWEEPS: [&str; 8] = [
+    "e01",
+    "e01-dense",
+    "e01-hybrid",
+    "e02",
+    "e08",
+    "e08-dense",
+    "a2",
+    "e13",
+];
 
 /// Builds the named builtin sweep for the given configuration; `None` for
 /// unknown names.
@@ -44,9 +54,11 @@ pub fn builtin(name: &str, cfg: &ExperimentConfig) -> Option<SweepSpec> {
         "e01" => Some(e01_sweep(cfg)),
         "e01-dense" => Some(e01_dense_sweep(cfg)),
         "e01-hybrid" => Some(e01_hybrid_sweep(cfg)),
+        "e02" => Some(e02_sweep(cfg)),
         "e08" => Some(e08_sweep(cfg)),
         "e08-dense" => Some(e08_dense_sweep(cfg)),
         "a2" => Some(a2_sweep(cfg)),
+        "e13" => Some(e13_sweep(cfg)),
         _ => None,
     }
 }
@@ -65,8 +77,10 @@ pub fn variant_for(binary: &str, backend: Backend) -> Option<&'static str> {
             ("dense", "e01-dense"),
             ("hybrid", "e01-hybrid"),
         ],
+        "e02" => &[("agents", "e02")],
         "e08" => &[("agents", "e08"), ("dense", "e08-dense")],
         "a2" => &[("agents", "a2")],
+        "e13" => &[("agents", "e13")],
         _ => return None,
     };
     variants
@@ -85,9 +99,11 @@ pub fn render(name: &str, cells: &CellPairs) -> Table {
     match name {
         "e01" => render_e01(cells),
         "e01-dense" | "e01-hybrid" => render_e01_dense(cells),
+        "e02" => render_e02(cells),
         "e08" => render_e08(cells),
         "e08-dense" => render_e08_dense(cells),
         "a2" => render_a2(cells),
+        "e13" => render_e13(cells),
         other => panic!("no renderer for sweep `{other}`"),
     }
 }
@@ -174,6 +190,13 @@ fn constant_u64(record: &CellRecord, name: &str) -> u64 {
     agg.moments.min as u64
 }
 
+/// The `--faults` directive as a sweep-spec string: empty when the
+/// configuration carries no directive, so fault-free specs (and their
+/// hashes) are byte-identical to the pre-fault era.
+fn faults_directive(cfg: &ExperimentConfig) -> String {
+    cfg.faults.map(|f| f.to_string()).unwrap_or_default()
+}
+
 // ---------------------------------------------------------------------------
 // E1: broadcast rounds vs n (Theorem 2.17)
 // ---------------------------------------------------------------------------
@@ -190,6 +213,7 @@ pub fn e01_sweep(cfg: &ExperimentConfig) -> SweepSpec {
         base_seed: cfg.base_seed,
         point_base: 0,
         rounds: 0,
+        faults: faults_directive(cfg),
         defaults: params_map(&[("epsilon", 0.2)]),
         axes: vec![Axis {
             key: "n".into(),
@@ -271,6 +295,7 @@ pub fn e01_dense_sweep(cfg: &ExperimentConfig) -> SweepSpec {
         base_seed: cfg.base_seed,
         point_base: 1_300,
         rounds: 500,
+        faults: faults_directive(cfg),
         defaults: params_map(&[("epsilon", 0.2), ("informed", 1_000.0)]),
         axes: vec![Axis {
             key: "n".into(),
@@ -336,6 +361,67 @@ pub fn render_e01_dense(cells: &CellPairs) -> Table {
 }
 
 // ---------------------------------------------------------------------------
+// E2: broadcast rounds vs epsilon (Theorem 2.17)
+// ---------------------------------------------------------------------------
+
+/// The migrated E2 sweep: `broadcast` over [`scaling::epsilon_grid`] at
+/// `n = pick(1000, 2000)`, seed points `100, 101, …` — the legacy loop's
+/// numbering.
+#[must_use]
+pub fn e02_sweep(cfg: &ExperimentConfig) -> SweepSpec {
+    let n = cfg.pick(1_000, 2_000);
+    SweepSpec {
+        name: "e02".into(),
+        protocol: "broadcast".into(),
+        backend: Backend::Agents,
+        trials: cfg.trials,
+        base_seed: cfg.base_seed,
+        point_base: 100,
+        rounds: 0,
+        faults: faults_directive(cfg),
+        defaults: params_map(&[("n", n as f64)]),
+        axes: vec![Axis {
+            key: "epsilon".into(),
+            values: scaling::epsilon_grid(cfg),
+        }],
+    }
+}
+
+/// Runs the migrated E2 sweep and renders the legacy table (digit-identical
+/// to [`scaling::e02_rounds_vs_epsilon`]).
+#[must_use]
+pub fn e02_table(cfg: &ExperimentConfig) -> Table {
+    render_e02(&run_in_memory(&e02_sweep(cfg), cfg))
+}
+
+/// Renders E2 from sweep aggregates.
+#[must_use]
+pub fn render_e02(cells: &CellPairs) -> Table {
+    let mut table = Table::new(
+        "E2: broadcast rounds vs epsilon (Theorem 2.17)",
+        &[
+            "epsilon",
+            "rounds",
+            "rounds * eps^2",
+            "mean fraction correct",
+            "all-correct rate",
+        ],
+    );
+    for (spec, record) in cells {
+        let epsilon = spec.epsilon();
+        let rounds = constant_u64(record, "total_rounds");
+        table.push_row(&[
+            fmt_float(epsilon),
+            rounds.to_string(),
+            fmt_float(rounds as f64 * epsilon * epsilon),
+            fmt_float(metric(record, "fraction_correct").moments.mean()),
+            fmt_float(success_rate(record, "all_correct").estimate()),
+        ]);
+    }
+    table
+}
+
+// ---------------------------------------------------------------------------
 // E8: noisy majority-consensus (Corollary 2.18)
 // ---------------------------------------------------------------------------
 
@@ -372,6 +458,7 @@ pub fn e08_sweep(cfg: &ExperimentConfig) -> SweepSpec {
         base_seed: cfg.base_seed,
         point_base: 800,
         rounds: 0,
+        faults: faults_directive(cfg),
         defaults: params_map(&[("n", n as f64), ("epsilon", 0.3)]),
         axes: vec![
             Axis {
@@ -440,6 +527,7 @@ pub fn e08_dense_sweep(cfg: &ExperimentConfig) -> SweepSpec {
         base_seed: cfg.base_seed,
         point_base: 1_800,
         rounds: 0,
+        faults: faults_directive(cfg),
         defaults: params_map(&[("epsilon", 0.3)]),
         axes: vec![
             Axis {
@@ -513,6 +601,7 @@ pub fn a2_sweep(cfg: &ExperimentConfig) -> SweepSpec {
         base_seed: cfg.base_seed,
         point_base: 2_100,
         rounds: 0,
+        faults: faults_directive(cfg),
         defaults: params_map(&[("n", n as f64), ("epsilon", 0.2)]),
         axes: vec![Axis {
             key: "gamma_mult".into(),
@@ -557,6 +646,94 @@ pub fn render_a2(cells: &CellPairs) -> Table {
             params.gamma().to_string(),
             fmt_float(metric(record, "fraction_correct").moments.mean()),
             fmt_float(success_rate(record, "all_correct").estimate()),
+        ]);
+    }
+    table
+}
+
+// ---------------------------------------------------------------------------
+// E13: Stage I/II majority vs Ben-Or under injected faults
+// ---------------------------------------------------------------------------
+
+/// The `f/n` fault fractions E13 sweeps; `0` is the honest baseline, `0.3`
+/// sits just under the classical `f/n < 1/3` Byzantine bound.
+pub const E13_FAULT_FRACTIONS: [f64; 5] = [0.0, 0.05, 0.1, 0.2, 0.3];
+
+/// The channel crossover levels E13 sweeps (outer axis).
+pub const E13_EPSILONS: [f64; 2] = [0.15, 0.3];
+
+/// The E13 sweep: `bft-compare` (the phase-tally Stage II majority boost
+/// against gossip Ben-Or on identically seeded populations) over
+/// [`E13_EPSILONS`] × [`E13_FAULT_FRACTIONS`] at `n = pick(300, 1000)`,
+/// seed points `3000, 3001, …`.
+///
+/// The spec's `faults` directive defaults to `byz:0.1`; each cell's
+/// `fault_fraction` axis value overrides the *fraction* (with `0` running
+/// the honest baseline), so `--faults equiv:0.1` swaps the fault *kind*
+/// across the whole grid without touching the axes.
+#[must_use]
+pub fn e13_sweep(cfg: &ExperimentConfig) -> SweepSpec {
+    let n = cfg.pick(300, 1_000);
+    let faults = cfg
+        .faults
+        .map_or_else(|| "byz:0.1".to_string(), |f| f.to_string());
+    SweepSpec {
+        name: "e13".into(),
+        protocol: "bft-compare".into(),
+        backend: Backend::Agents,
+        trials: cfg.trials,
+        base_seed: cfg.base_seed,
+        point_base: 3_000,
+        rounds: 120,
+        faults,
+        defaults: params_map(&[("n", n as f64), ("initial_bias", 0.1), ("phase_len", 15.0)]),
+        axes: vec![
+            Axis {
+                key: "epsilon".into(),
+                values: E13_EPSILONS.to_vec(),
+            },
+            Axis {
+                key: "fault_fraction".into(),
+                values: E13_FAULT_FRACTIONS.to_vec(),
+            },
+        ],
+    }
+}
+
+/// Runs the E13 sweep and renders its table.
+#[must_use]
+pub fn e13_table(cfg: &ExperimentConfig) -> Table {
+    render_e13(&run_in_memory(&e13_sweep(cfg), cfg))
+}
+
+/// Renders E13 from sweep aggregates.  All statistics are over the honest
+/// agents only — faulty agents have no opinion worth scoring.
+#[must_use]
+pub fn render_e13(cells: &CellPairs) -> Table {
+    let directive = cells
+        .first()
+        .map_or_else(String::new, |(s, _)| s.faults.clone());
+    let mut table = Table::new(
+        &format!("E13: Stage II majority vs Ben-Or under injected faults (base = {directive})"),
+        &[
+            "epsilon",
+            "f/n",
+            "majority mean fraction correct",
+            "majority all-correct rate",
+            "ben-or mean fraction correct",
+            "ben-or decided fraction",
+            "ben-or mean rounds",
+        ],
+    );
+    for (spec, record) in cells {
+        table.push_row(&[
+            fmt_float(spec.epsilon()),
+            fmt_float(spec.param_or("fault_fraction", 0.0)),
+            fmt_float(metric(record, "majority_fraction_correct").moments.mean()),
+            fmt_float(success_rate(record, "majority_all_correct").estimate()),
+            fmt_float(metric(record, "benor_fraction_correct").moments.mean()),
+            fmt_float(metric(record, "benor_decided_fraction").moments.mean()),
+            fmt_float(metric(record, "benor_rounds").moments.mean()),
         ]);
     }
     table
@@ -645,10 +822,76 @@ mod tests {
         assert_eq!(variant_for("e01", Backend::Agents), Some("e01"));
         assert_eq!(variant_for("e01", Backend::Dense), Some("e01-dense"));
         assert_eq!(variant_for("e01", Backend::Hybrid(7)), Some("e01-hybrid"));
+        assert_eq!(variant_for("e02", Backend::Agents), Some("e02"));
+        assert_eq!(variant_for("e02", Backend::Dense), None);
         assert_eq!(variant_for("e08", Backend::Agents), Some("e08"));
         assert_eq!(variant_for("e08", Backend::Dense), Some("e08-dense"));
         assert_eq!(variant_for("e08", Backend::Hybrid(7)), None);
+        assert_eq!(variant_for("e13", Backend::Agents), Some("e13"));
+        assert_eq!(variant_for("e13", Backend::Dense), None);
         assert_eq!(variant_for("e99", Backend::Agents), None);
+    }
+
+    #[test]
+    fn e02_sweep_matches_the_legacy_grid_and_seeds() {
+        let cfg = tiny();
+        let cells = e02_sweep(&cfg).expand().unwrap();
+        let grid = scaling::epsilon_grid(&cfg);
+        assert_eq!(cells.len(), grid.len());
+        for (idx, (cell, epsilon)) in cells.iter().zip(grid).enumerate() {
+            assert_eq!(cell.epsilon(), epsilon);
+            assert_eq!(cell.n(), 1_000);
+            // The legacy loop's `100 + idx` point numbering, exactly.
+            assert_eq!(cell.point, 100 + idx as u64);
+            assert_eq!(cell.seed_for_trial(1), cfg.seed_for(100 + idx as u64, 1));
+        }
+    }
+
+    #[test]
+    fn fault_free_sweeps_carry_no_faults_directive() {
+        // An unset `--faults` must leave every builtin spec's directive
+        // empty so pre-fault spec hashes (and stores keyed on them) stay
+        // valid byte-for-byte.  E13 is the exception: faults are its point.
+        let cfg = tiny();
+        for name in BUILTIN_SWEEPS {
+            let spec = builtin(name, &cfg).unwrap();
+            if name == "e13" {
+                assert_eq!(spec.faults, "byz:0.1");
+            } else {
+                assert!(spec.faults.is_empty(), "{name} must default fault-free");
+            }
+        }
+    }
+
+    #[test]
+    fn faults_flag_threads_into_builtin_sweeps() {
+        let cfg = ExperimentConfig {
+            faults: Some("crash:0.05@20".parse().unwrap()),
+            ..tiny()
+        };
+        assert_eq!(e01_sweep(&cfg).faults, "crash:0.05@20");
+        // E13 keeps the axis but swaps the base kind.
+        assert_eq!(e13_sweep(&cfg).faults, "crash:0.05@20");
+    }
+
+    #[test]
+    fn e13_sweep_crosses_epsilon_with_fault_fractions() {
+        let cfg = tiny();
+        let spec = e13_sweep(&cfg);
+        assert_eq!(spec.point_base, 3_000);
+        assert_eq!(spec.rounds, 120);
+        let cells = spec.expand().unwrap();
+        assert_eq!(cells.len(), E13_EPSILONS.len() * E13_FAULT_FRACTIONS.len());
+        // Row-major: epsilon outer, fault fraction inner.
+        assert_eq!(cells[0].epsilon(), E13_EPSILONS[0]);
+        assert_eq!(cells[0].param_or("fault_fraction", -1.0), 0.0);
+        assert_eq!(cells[1].param_or("fault_fraction", -1.0), 0.05);
+        let last = cells.last().unwrap();
+        assert_eq!(last.epsilon(), E13_EPSILONS[1]);
+        assert_eq!(last.param_or("fault_fraction", -1.0), 0.3);
+        for cell in &cells {
+            assert_eq!(cell.faults, "byz:0.1");
+        }
     }
 
     #[test]

@@ -35,6 +35,14 @@ fn e01_dense_sweep_reproduces_the_legacy_table_digit_for_digit() {
 }
 
 #[test]
+fn e02_sweep_reproduces_the_legacy_table_digit_for_digit() {
+    let cfg = tiny(2);
+    let legacy = scaling::e02_rounds_vs_epsilon(&cfg).to_markdown();
+    let migrated = specs::e02_table(&cfg).to_markdown();
+    assert_eq!(migrated, legacy);
+}
+
+#[test]
 fn e08_sweep_reproduces_the_legacy_table_digit_for_digit() {
     let cfg = tiny(2);
     let legacy = consensus::e08_majority_consensus(&cfg).to_markdown();

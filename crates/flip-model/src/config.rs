@@ -1,5 +1,6 @@
 //! Simulation configuration.
 
+use crate::faults::FaultSpec;
 use crate::opinion::Opinion;
 use crate::trace::TraceOptions;
 
@@ -19,13 +20,14 @@ use crate::trace::TraceOptions;
 ///     .with_history(true);
 /// assert_eq!(config.population(), 1_000);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimulationConfig {
     n: usize,
     seed: u64,
     reference: Option<Opinion>,
     trace: TraceOptions,
     threads: usize,
+    faults: Option<FaultSpec>,
 }
 
 impl SimulationConfig {
@@ -38,6 +40,7 @@ impl SimulationConfig {
             reference: None,
             trace: TraceOptions::default(),
             threads: 1,
+            faults: None,
         }
     }
 
@@ -95,6 +98,19 @@ impl SimulationConfig {
         self
     }
 
+    /// Injects faulty participants: the engine samples a deterministic
+    /// [`FaultPlan`](crate::FaultPlan) from `spec` at construction (the
+    /// hybrid engine assigns the faulty roles to its tracked prefix).
+    ///
+    /// Without this call no fault machinery runs and no RNG words are
+    /// drawn for fault assignment, so fault-free seeded results are
+    /// byte-identical to builds that predate fault injection.
+    #[must_use]
+    pub fn with_faults(mut self, spec: FaultSpec) -> Self {
+        self.faults = Some(spec);
+        self
+    }
+
     /// The configured population size.
     #[must_use]
     pub fn population(&self) -> usize {
@@ -123,6 +139,12 @@ impl SimulationConfig {
     #[must_use]
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// The configured fault injection, if any.
+    #[must_use]
+    pub fn faults(&self) -> Option<FaultSpec> {
+        self.faults
     }
 }
 
@@ -158,6 +180,16 @@ mod tests {
     fn threads_are_clamped_to_at_least_one() {
         assert_eq!(SimulationConfig::new(5).with_threads(0).threads(), 1);
         assert_eq!(SimulationConfig::new(5).with_threads(4).threads(), 4);
+    }
+
+    #[test]
+    fn faults_default_to_none_and_round_trip() {
+        assert_eq!(SimulationConfig::new(5).faults(), None);
+        let spec: FaultSpec = "byz:0.1".parse().unwrap();
+        assert_eq!(
+            SimulationConfig::new(5).with_faults(spec).faults(),
+            Some(spec)
+        );
     }
 
     #[test]

@@ -4,6 +4,7 @@ use crate::agent::{Agent, Round};
 use crate::channel::Channel;
 use crate::config::SimulationConfig;
 use crate::error::FlipError;
+use crate::faults::{FaultPlan, FaultRole};
 use crate::metrics::{Metrics, RoundMetrics};
 use crate::opinion::Opinion;
 use crate::pool::RoundPool;
@@ -104,6 +105,10 @@ pub struct Simulation<A, C> {
     /// parallel rounds are bit-identical to sequential ones, so the pool
     /// never affects seeded results.
     pool: Option<RoundPool>,
+    /// Per-agent fault roles, sampled once at construction when the config
+    /// injects faults ([`SimulationConfig::with_faults`]); `None` keeps the
+    /// fault-free hot path (and RNG stream) untouched.
+    faults: Option<FaultPlan>,
 }
 
 impl<A: Agent, C: Channel> Simulation<A, C> {
@@ -145,12 +150,20 @@ impl<A: Agent, C: Channel> Simulation<A, C> {
                 routing.reserve_parallel(n, pool.workers());
             }
         }
+        // Fault roles are drawn from the engine's own stream *before* any
+        // round runs, via one reserved block: thread-count-invariant, and a
+        // fault-free config draws nothing at all, keeping every pre-fault
+        // seeded result byte-identical.
+        let mut rng = SimRng::from_seed(config.seed());
+        let faults = config
+            .faults()
+            .map(|spec| FaultPlan::sample(&spec, n, &mut rng));
         Ok(Self {
             agents,
             noise: NoiseMode::for_channel(&channel),
             channel,
             scheduler,
-            rng: SimRng::from_seed(config.seed()),
+            rng,
             round: 0,
             metrics: Metrics::new(),
             trace,
@@ -161,6 +174,7 @@ impl<A: Agent, C: Channel> Simulation<A, C> {
             routing,
             flip_buffer: Vec::with_capacity(n),
             pool,
+            faults,
         })
     }
 
@@ -172,11 +186,36 @@ impl<A: Agent, C: Channel> Simulation<A, C> {
         }
         let round = self.round;
 
-        // Phase 1: collect sends.
+        // Phase 1: collect sends.  With a fault plan, faulty roles override
+        // their agent: Byzantine roles inject their bit without consulting
+        // (or advancing) the agent, crashed agents fall silent, and
+        // adaptive-flip agents run their protocol but transmit its negation.
         self.send_buffer.clear();
-        for (idx, agent) in self.agents.iter_mut().enumerate() {
-            if let Some(message) = agent.send(round, &mut self.rng) {
-                self.send_buffer.push((idx as u32, message));
+        match &self.faults {
+            None => {
+                for (idx, agent) in self.agents.iter_mut().enumerate() {
+                    if let Some(message) = agent.send(round, &mut self.rng) {
+                        self.send_buffer.push((idx as u32, message));
+                    }
+                }
+            }
+            Some(plan) => {
+                for (idx, agent) in self.agents.iter_mut().enumerate() {
+                    let message = match plan.forced_send(idx, round) {
+                        Some(forced) => forced,
+                        None => {
+                            let sent = agent.send(round, &mut self.rng);
+                            if plan.role(idx) == FaultRole::ByzantineAdaptiveFlip {
+                                sent.map(Opinion::flipped)
+                            } else {
+                                sent
+                            }
+                        }
+                    };
+                    if let Some(message) = message {
+                        self.send_buffer.push((idx as u32, message));
+                    }
+                }
             }
         }
 
@@ -198,7 +237,7 @@ impl<A: Agent, C: Channel> Simulation<A, C> {
         // Split borrows: the routing buffer is read while agents, census,
         // trace and rng are written.
         let noise = self.noise;
-        let (agents, routing, rng, trace, census, channel, flip_buffer) = (
+        let (agents, routing, rng, trace, census, channel, flip_buffer, faults) = (
             &mut self.agents,
             &self.routing,
             &mut self.rng,
@@ -206,7 +245,15 @@ impl<A: Agent, C: Channel> Simulation<A, C> {
             &mut self.census,
             &self.channel,
             &mut self.flip_buffer,
+            self.faults.as_ref(),
         );
+        // A message routed to a deaf role dies at the recipient, not in the
+        // scheduler: its slot, flip position and (per-message) corruption
+        // draw are consumed exactly as for an honest recipient, so honest
+        // agents observe the same stream whether or not faulty peers exist.
+        let deaf = |recipient: usize| {
+            faults.is_some_and(|plan| !plan.role(recipient).accepts_delivery(round))
+        };
 
         // Noise is fused into the delivery walk: payloads are corrupted in
         // registers on their way into `deliver`, so the accepted buffer is
@@ -221,6 +268,9 @@ impl<A: Agent, C: Channel> Simulation<A, C> {
             NoiseMode::Noiseless => {
                 for delivery in accepted {
                     let recipient = delivery.recipient.index();
+                    if deaf(recipient) {
+                        continue;
+                    }
                     if record_activations {
                         trace.on_delivery(recipient, round);
                     }
@@ -246,6 +296,9 @@ impl<A: Agent, C: Channel> Simulation<A, C> {
                         flip_at = next_flip.next().copied().unwrap_or(u32::MAX);
                     }
                     let recipient = delivery.recipient.index();
+                    if deaf(recipient) {
+                        continue;
+                    }
                     if record_activations {
                         trace.on_delivery(recipient, round);
                     }
@@ -257,6 +310,9 @@ impl<A: Agent, C: Channel> Simulation<A, C> {
                     let corrupted = channel.transmit(delivery.payload, rng);
                     flips += u64::from(corrupted != delivery.payload);
                     let recipient = delivery.recipient.index();
+                    if deaf(recipient) {
+                        continue;
+                    }
                     if record_activations {
                         trace.on_delivery(recipient, round);
                     }
@@ -268,8 +324,21 @@ impl<A: Agent, C: Channel> Simulation<A, C> {
         // Phase 3: end-of-round hooks (statically skipped for agent types
         // that declare the hook unused).
         if A::USES_END_ROUND {
-            for agent in agents.iter_mut() {
-                census.apply(agent.end_round(round, rng));
+            match faults {
+                None => {
+                    for agent in agents.iter_mut() {
+                        census.apply(agent.end_round(round, rng));
+                    }
+                }
+                Some(plan) => {
+                    // A deaf role's protocol is frozen: its hook neither
+                    // runs nor draws from the stream.
+                    for (idx, agent) in agents.iter_mut().enumerate() {
+                        if plan.role(idx).runs_protocol(round) {
+                            census.apply(agent.end_round(round, rng));
+                        }
+                    }
+                }
             }
         }
 
@@ -387,6 +456,12 @@ impl<A: Agent, C: Channel> Simulation<A, C> {
     #[must_use]
     pub fn channel(&self) -> &C {
         &self.channel
+    }
+
+    /// The fault plan sampled at construction, when faults are configured.
+    #[must_use]
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref()
     }
 
     /// Consumes the simulation, returning the agents, metrics and trace.
@@ -629,6 +704,135 @@ mod tests {
         sim.run(1_000);
         let rate = sim.metrics().empirical_flip_rate().unwrap();
         assert!((rate - 0.2).abs() < 0.01, "rate = {rate}");
+    }
+
+    #[test]
+    fn byzantine_constant_agents_flood_the_wrong_bit() {
+        // Half the population is Byzantine-constant (pushing Zero) among
+        // adopters seeded with One: adopters must end up hearing plenty of
+        // zeros, while the Byzantine agents themselves never adopt anything.
+        let spec: crate::FaultSpec = "byz:0.5".parse().unwrap();
+        let agents = adopters(400, 10);
+        let config = SimulationConfig::new(400).with_seed(31).with_faults(spec);
+        let mut sim = Simulation::new(agents, NoiselessChannel, config).unwrap();
+        let plan = sim.fault_plan().expect("faults configured").clone();
+        assert!(plan.faulty_count() > 100, "half the population is faulty");
+        sim.run(60);
+        let zeros = sim.census().holding(Opinion::Zero);
+        assert!(zeros > 0, "Byzantine zeros must infect the population");
+        // Byzantine-constant agents ignore deliveries: a faulty adopter that
+        // started uninformed stays uninformed forever.
+        for (idx, agent) in sim.agents().iter().enumerate() {
+            if plan.is_faulty(idx) && idx >= 10 {
+                assert_eq!(agent.opinion(), None, "agent {idx} must stay deaf");
+            }
+        }
+    }
+
+    #[test]
+    fn crashed_agents_freeze_at_their_crash_round() {
+        // Everyone crashes at round 0: nothing is ever sent or delivered.
+        let spec: crate::FaultSpec = "crash:0.999999@0".parse().unwrap();
+        let mut all_faulty = None;
+        for seed in 0..50 {
+            let agents = adopters(50, 5);
+            let config = SimulationConfig::new(50).with_seed(seed).with_faults(spec);
+            let mut sim = Simulation::new(agents, NoiselessChannel, config).unwrap();
+            if sim.fault_plan().unwrap().faulty_count() == 50 {
+                sim.run(20);
+                assert_eq!(sim.metrics().messages_sent, 0);
+                assert_eq!(sim.census().active(), 5, "no one adopts after a crash");
+                all_faulty = Some(seed);
+                break;
+            }
+        }
+        assert!(all_faulty.is_some(), "some seed crashes everyone");
+    }
+
+    #[test]
+    fn fault_free_configs_share_the_stream_with_pre_fault_builds() {
+        // A config without faults must not consume any RNG words for fault
+        // machinery: its history equals the plain run digit for digit.
+        let run = |faulty: bool| {
+            let agents = adopters(100, 1);
+            let mut config = SimulationConfig::new(100).with_seed(99).with_history(true);
+            if faulty {
+                config = config.with_faults("byz:0.2".parse().unwrap());
+            }
+            let channel = BinarySymmetricChannel::from_epsilon(0.2).unwrap();
+            let mut sim = Simulation::new(agents, channel, config).unwrap();
+            sim.run(50);
+            let history: Vec<(usize, u64)> = sim
+                .trace()
+                .history()
+                .iter()
+                .map(|s| (s.active, s.messages_sent))
+                .collect();
+            (history, sim.metrics().clone())
+        };
+        let (h_clean, m_clean) = run(false);
+        let (h_again, m_again) = run(false);
+        assert_eq!(h_clean, h_again);
+        assert_eq!(m_clean, m_again);
+        let (h_faulty, _) = run(true);
+        assert_ne!(h_clean, h_faulty, "faults must actually perturb the run");
+    }
+
+    #[test]
+    fn adaptive_flip_agents_invert_their_own_sends() {
+        // Two agents that always send One and remember the last bit heard.
+        // With n = 2 every message reaches the other agent, so when exactly
+        // one agent is adaptive-flipped its peer hears Zero (the inverted
+        // send) while the flipped agent still hears the honest One.
+        struct Echo {
+            heard: Option<Opinion>,
+        }
+        impl Agent for Echo {
+            fn send(&mut self, _round: Round, _rng: &mut SimRng) -> Option<Opinion> {
+                Some(Opinion::One)
+            }
+            fn deliver(
+                &mut self,
+                _round: Round,
+                message: Opinion,
+                _rng: &mut SimRng,
+            ) -> OpinionDelta {
+                let before = self.heard;
+                self.heard = Some(message);
+                OpinionDelta::between(before, self.heard)
+            }
+            fn opinion(&self) -> Option<Opinion> {
+                self.heard
+            }
+        }
+        // Find a seed whose sampled plan flips exactly one of the two.
+        for seed in 0..50 {
+            let config = SimulationConfig::new(2)
+                .with_seed(seed)
+                .with_faults("flip:0.5".parse().unwrap());
+            let agents = vec![Echo { heard: None }, Echo { heard: None }];
+            let mut sim = Simulation::new(agents, NoiselessChannel, config).unwrap();
+            let plan = sim.fault_plan().unwrap();
+            if plan.faulty_count() != 1 {
+                continue;
+            }
+            let faulty = usize::from(!plan.is_faulty(0));
+            sim.run(10);
+            assert_eq!(
+                sim.agents()[1 - faulty].heard,
+                Some(Opinion::Zero),
+                "the honest agent hears the inverted send"
+            );
+            assert_eq!(
+                sim.agents()[faulty].heard,
+                Some(Opinion::One),
+                "the flipped agent still receives honestly"
+            );
+            // The inversion happens at the sender, not on the wire.
+            assert_eq!(sim.metrics().bits_flipped, 0);
+            return;
+        }
+        panic!("no seed flipped exactly one of two agents");
     }
 
     #[test]

@@ -61,6 +61,7 @@ use crate::channel::Channel;
 use crate::config::SimulationConfig;
 use crate::engine::RoundSummary;
 use crate::error::FlipError;
+use crate::faults::{FaultPlan, FaultRole};
 use crate::metrics::{Metrics, RoundMetrics};
 use crate::opinion::Opinion;
 use crate::population::Census;
@@ -85,6 +86,9 @@ pub struct HybridSimulation<A, P, C> {
     metrics: Metrics,
     reference: Option<Opinion>,
     n: u64,
+    /// Fault roles over the tracked prefix — the hybrid engine carries the
+    /// faulty agents on its exactly-simulated side, against an honest bulk.
+    faults: Option<FaultPlan>,
 }
 
 impl<A: Agent, P: StratifiedProtocol, C: Channel> HybridSimulation<A, P, C> {
@@ -129,6 +133,28 @@ impl<A: Agent, P: StratifiedProtocol, C: Channel> HybridSimulation<A, P, C> {
                 ),
             });
         }
+        // Faulty roles live on the tracked side: the dense bulk is always
+        // honest (its aggregate updates have no per-agent identity to
+        // corrupt), so the whole faulty population must fit in `k`.
+        let faults = match config.faults() {
+            None => None,
+            Some(spec) => {
+                let faulty = (spec.fraction * n as f64).round() as u64;
+                if faulty > tracked.len() as u64 {
+                    return Err(FlipError::InvalidParameter {
+                        name: "faults",
+                        message: format!(
+                            "fault fraction {} of n = {n} makes {faulty} agents faulty, \
+                             but the hybrid backend carries faults only on its tracked \
+                             subpopulation of {}; raise `--backend hybrid:k` to k >= {faulty}",
+                            spec.fraction,
+                            tracked.len(),
+                        ),
+                    });
+                }
+                Some(FaultPlan::leading(&spec, faulty as usize, tracked.len()))
+            }
+        };
         let mut bulk = bulk;
         validate_and_pad(&protocol, &mut bulk)?;
         let next_counts = bulk
@@ -147,6 +173,7 @@ impl<A: Agent, P: StratifiedProtocol, C: Channel> HybridSimulation<A, P, C> {
             metrics: Metrics::new(),
             reference: config.reference(),
             n,
+            faults,
         })
     }
 
@@ -159,9 +186,34 @@ impl<A: Agent, P: StratifiedProtocol, C: Channel> HybridSimulation<A, P, C> {
         // Phase 1: sends — tracked agents individually, bulk in aggregate,
         // all into one shared pool.
         let mut sent_by_symbol = [0u64; 2];
-        for agent in &mut self.tracked {
-            if let Some(symbol) = agent.send(round, &mut self.rng) {
-                sent_by_symbol[symbol.index()] += 1;
+        match &self.faults {
+            None => {
+                for agent in &mut self.tracked {
+                    if let Some(symbol) = agent.send(round, &mut self.rng) {
+                        sent_by_symbol[symbol.index()] += 1;
+                    }
+                }
+            }
+            Some(plan) => {
+                // Same role overrides as the per-agent engine: Byzantine
+                // roles inject, crashed agents fall silent, adaptive-flip
+                // agents negate their own protocol's send.
+                for (idx, agent) in self.tracked.iter_mut().enumerate() {
+                    let symbol = match plan.forced_send(idx, round) {
+                        Some(forced) => forced,
+                        None => {
+                            let sent = agent.send(round, &mut self.rng);
+                            if plan.role(idx) == FaultRole::ByzantineAdaptiveFlip {
+                                sent.map(Opinion::flipped)
+                            } else {
+                                sent
+                            }
+                        }
+                    };
+                    if let Some(symbol) = symbol {
+                        sent_by_symbol[symbol.index()] += 1;
+                    }
+                }
             }
         }
         for s in 0..strata {
@@ -200,7 +252,7 @@ impl<A: Agent, P: StratifiedProtocol, C: Channel> HybridSimulation<A, P, C> {
             // non-empty, draw the accepted symbol from the pool's global
             // mix, then corrupt it through the *real* channel — exact
             // per-message noise, not the mean crossover.
-            for agent in &mut self.tracked {
+            for (idx, agent) in self.tracked.iter_mut().enumerate() {
                 if !self.rng.chance(p_receive) {
                     continue;
                 }
@@ -213,8 +265,18 @@ impl<A: Agent, P: StratifiedProtocol, C: Channel> HybridSimulation<A, P, C> {
                 if delivered != symbol {
                     flips += 1;
                 }
-                let _ = agent.deliver(round, delivered, &mut self.rng);
                 accepted += 1;
+                // A deaf role's message dies at the recipient: its mailbox,
+                // symbol and corruption draws are all consumed exactly as
+                // for an honest agent (mirroring the per-agent engine), so
+                // the rest of the round sees an unchanged stream.
+                let deaf = self
+                    .faults
+                    .as_ref()
+                    .is_some_and(|plan| !plan.role(idx).accepts_delivery(round));
+                if !deaf {
+                    let _ = agent.deliver(round, delivered, &mut self.rng);
+                }
             }
 
             // Bulk deliveries: the stratified engine's aggregate pass.
@@ -271,8 +333,19 @@ impl<A: Agent, P: StratifiedProtocol, C: Channel> HybridSimulation<A, P, C> {
             std::mem::swap(&mut stratum.counts, next);
         }
         if A::USES_END_ROUND {
-            for agent in &mut self.tracked {
-                let _ = agent.end_round(round, &mut self.rng);
+            match &self.faults {
+                None => {
+                    for agent in &mut self.tracked {
+                        let _ = agent.end_round(round, &mut self.rng);
+                    }
+                }
+                Some(plan) => {
+                    for (idx, agent) in self.tracked.iter_mut().enumerate() {
+                        if plan.role(idx).runs_protocol(round) {
+                            let _ = agent.end_round(round, &mut self.rng);
+                        }
+                    }
+                }
             }
         }
 
@@ -375,6 +448,12 @@ impl<A: Agent, P: StratifiedProtocol, C: Channel> HybridSimulation<A, P, C> {
         &self.channel
     }
 
+    /// The fault plan over the tracked prefix, when faults are configured.
+    #[must_use]
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref()
+    }
+
     /// Consumes the simulation, returning the tracked agents, the bulk
     /// population, and the accumulated metrics.
     #[must_use]
@@ -449,6 +528,118 @@ mod tests {
         assert!(sim.census().holding(Opinion::Zero) > 0);
         let m = sim.metrics();
         assert_eq!(m.messages_sent, m.messages_accepted + m.messages_collided);
+    }
+
+    #[test]
+    fn fault_fractions_larger_than_the_tracked_set_fail_loudly() {
+        let (agents, bulk) = split_rumor(1_000, 16, 16);
+        let config = SimulationConfig::new(1_000)
+            .with_seed(1)
+            .with_faults("byz:0.1".parse().unwrap()); // 100 faulty > 16 tracked
+        let err = HybridSimulation::new(agents, RumorProtocol, NoiselessChannel, bulk, config)
+            .unwrap_err();
+        let message = err.to_string();
+        assert!(
+            message.contains("faults"),
+            "must name the parameter: {message}"
+        );
+        assert!(
+            message.contains("hybrid:k") && message.contains("k >= 100"),
+            "must tell the caller how to fix it: {message}"
+        );
+    }
+
+    #[test]
+    fn byzantine_tracked_agents_poison_the_honest_bulk() {
+        // 100 tracked agents, all Byzantine (round(0.1 * 1000) = 100 = k),
+        // flood Zero against an honest bulk: the bulk must pick up Zeros it
+        // could never produce honestly.  Only 50 tracked agents start
+        // informed, so the other 50 are deaf *and* uninformed.
+        let (agents, bulk) = split_rumor(1_000, 100, 50);
+        let config = SimulationConfig::new(1_000)
+            .with_seed(5)
+            .with_faults("byz:0.1".parse().unwrap());
+        let mut sim =
+            HybridSimulation::new(agents, RumorProtocol, NoiselessChannel, bulk, config).unwrap();
+        let plan = sim.fault_plan().expect("faults configured");
+        assert_eq!(plan.faulty_count(), 100);
+        assert_eq!(plan.len(), 100, "roles cover exactly the tracked prefix");
+        sim.run(40);
+        assert!(
+            sim.census().holding(Opinion::Zero) > 0,
+            "Byzantine zeros must reach the bulk"
+        );
+        // The Byzantine tracked agents never deliver: those that started
+        // uninformed stay inactive forever.
+        let deaf_uninformed = sim
+            .tracked()
+            .iter()
+            .filter(|agent| agent.opinion().is_none())
+            .count();
+        assert!(deaf_uninformed > 0, "deaf tracked agents must stay frozen");
+    }
+
+    #[test]
+    fn tracked_path_meters_the_same_flip_budget_as_the_per_agent_path() {
+        // Both engines spend the budget through the one `Channel::transmit`
+        // entry point, so total flips never exceed it on either backend.
+        use crate::channel::AdversarialCapChannel;
+        use crate::engine::Simulation;
+
+        let budget = 5u64;
+
+        let channel = AdversarialCapChannel::new(0.5, 0.5)
+            .unwrap()
+            .with_flip_budget(budget);
+        let agents = RumorAgent::population(500, 0, 250);
+        let config = SimulationConfig::new(500).with_seed(7);
+        let mut per_agent = Simulation::new(agents, channel, config).unwrap();
+        per_agent.run(30);
+        assert!(per_agent.metrics().bits_flipped <= budget);
+        assert_eq!(
+            per_agent.channel().flip_budget_remaining(),
+            Some(budget - per_agent.metrics().bits_flipped)
+        );
+        assert!(per_agent.metrics().bits_flipped > 0, "budget partly spent");
+
+        // Hybrid: all noise lands on the tracked path (a noiseless-mean bulk
+        // would divide by zero here, so keep the bulk empty of senders by
+        // tracking everyone except a token silent bulk of waiters).
+        let channel = AdversarialCapChannel::new(0.5, 0.5)
+            .unwrap()
+            .with_flip_budget(budget);
+        let (tracked, bulk) = split_rumor(500, 100, 100);
+        let config = SimulationConfig::new(500).with_seed(7);
+        let mut hybrid =
+            HybridSimulation::new(tracked, RumorProtocol, channel, bulk, config).unwrap();
+        hybrid.run(30);
+        let tracked_flips = budget - hybrid.channel().flip_budget_remaining().unwrap();
+        assert!(tracked_flips <= budget);
+        assert!(
+            tracked_flips > 0,
+            "tracked deliveries must spend the budget"
+        );
+    }
+
+    #[test]
+    fn faulty_runs_are_deterministic_per_seed() {
+        let run = |seed: u64| {
+            let (agents, bulk) = split_rumor(5_000, 100, 100);
+            let config = SimulationConfig::new(5_000)
+                .with_seed(seed)
+                .with_faults("crash:0.005@10".parse().unwrap());
+            let channel = BinarySymmetricChannel::from_epsilon(0.2).unwrap();
+            let mut sim =
+                HybridSimulation::new(agents, RumorProtocol, channel, bulk, config).unwrap();
+            (0..40)
+                .map(|_| {
+                    let s = sim.step();
+                    (s.census_active, s.metrics.messages_sent)
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(33), run(33));
+        assert_ne!(run(33), run(34));
     }
 
     #[test]

@@ -84,6 +84,7 @@ mod dense;
 mod dense_protocols;
 mod engine;
 mod error;
+mod faults;
 mod hybrid;
 mod metrics;
 mod opinion;
@@ -106,6 +107,7 @@ pub use dense_protocols::{
 };
 pub use engine::{RoundSummary, Simulation};
 pub use error::FlipError;
+pub use faults::{AdversarialSchedule, FaultKind, FaultPlan, FaultRole, FaultSpec};
 pub use hybrid::HybridSimulation;
 pub use metrics::{Metrics, RoundMetrics};
 pub use opinion::Opinion;

@@ -198,6 +198,7 @@ mod tests {
             base_seed: 9,
             point_base: 0,
             rounds: 120,
+            faults: String::new(),
             defaults: BTreeMap::from([
                 ("epsilon".to_string(), 0.25),
                 ("informed".to_string(), 4.0),

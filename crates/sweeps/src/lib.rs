@@ -40,6 +40,7 @@
 //!     base_seed: 7,
 //!     point_base: 0,
 //!     rounds: 80,
+//!     faults: String::new(),
 //!     defaults: BTreeMap::from([
 //!         ("epsilon".to_string(), 0.25),
 //!         ("informed".to_string(), 4.0),

@@ -260,6 +260,7 @@ mod tests {
             base_seed: 21,
             point_base: 10,
             rounds: 150,
+            faults: String::new(),
             defaults: BTreeMap::from([
                 ("epsilon".to_string(), 0.25),
                 ("informed".to_string(), 5.0),

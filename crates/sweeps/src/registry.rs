@@ -9,13 +9,17 @@
 //! [`ProtocolRegistry::builtin`] registers the workloads the paper's sweeps
 //! need:
 //!
-//! | id                   | backends               | protocol                                       |
-//! |----------------------|------------------------|------------------------------------------------|
-//! | `broadcast`          | agents                 | full two-stage noisy broadcast (`breathe`)     |
-//! | `majority-consensus` | agents                 | noisy majority-consensus from an initial set   |
-//! | `rumor`              | agents, dense, hybrid  | push rumor spreading until full activation     |
-//! | `rumor-zealot`       | agents, dense, hybrid  | rumor spreading against a zealot subpopulation |
-//! | `majority-sampler`   | dense                  | Stage-II style repeated noisy majority boost   |
+//! | id                   | backends               | faults | protocol                                       |
+//! |----------------------|------------------------|--------|------------------------------------------------|
+//! | `broadcast`          | agents                 |        | full two-stage noisy broadcast (`breathe`)     |
+//! | `majority-consensus` | agents                 |        | noisy majority-consensus from an initial set   |
+//! | `rumor`              | agents, dense, hybrid  | ✓      | push rumor spreading until full activation     |
+//! | `rumor-zealot`       | agents, dense, hybrid  |        | rumor spreading against a zealot subpopulation |
+//! | `majority-sampler`   | dense                  |        | Stage-II style repeated noisy majority boost   |
+//! | `ben-or`             | agents                 | ✓      | Ben-Or randomized consensus (gossip adapted)   |
+//! | `bv-broadcast`       | agents                 | ✓      | the BV-broadcast primitive (gossip adapted)    |
+//! | `safe-bbc`           | agents                 | ✓      | safe binary Byzantine consensus (EST/AUX)      |
+//! | `bft-compare`        | agents                 | ✓      | Stage-II majority vs Ben-Or, one trial each    |
 //!
 //! Backend capabilities are **family-level** ([`Backend::same_family`]): an
 //! entry that lists `hybrid:16` accepts every `hybrid:k`.  The registry is
@@ -23,14 +27,24 @@
 //! specs both resolve a `(protocol, backend)` pair here instead of matching
 //! on the enum themselves.
 //!
+//! **Faults** — a spec whose `faults` field carries a directive (`byz:0.1`,
+//! `crash:0.05@20`, ...) resolves only against fault-capable entries (the ✓
+//! column; [`ProtocolRegistry::register_faulty`]); everything else rejects
+//! it at lookup time.  Fault-capable runners parse the directive through
+//! [`fault_spec_for`], which also honours the `fault_fraction` *param* so a
+//! sweep axis can vary the faulty fraction cell-by-cell (`0` meaning
+//! fault-free) without changing the directive string.
+//!
 //! Custom protocols register with [`ProtocolRegistry::register`]; the sweep
 //! runner treats them identically.
 
+use baselines::{BenOrAgent, BvBroadcastAgent, MajorityBoostAgent, SafeBbcAgent};
 use breathe::{BroadcastProtocol, InitialSet, MajorityConsensusProtocol, Multipliers, Params};
 use flip_model::{
-    Backend, BinarySymmetricChannel, DenseSimulation, HybridSimulation, MajoritySamplerProtocol,
-    Opinion, RumorAgent, RumorProtocol, Simulation, SimulationConfig, StratifiedPopulation,
-    StratifiedSimulation, ZealotAgent, ZealotRumorProtocol, DEFAULT_HYBRID_TRACKED,
+    Agent, Backend, BinarySymmetricChannel, DenseSimulation, FaultSpec, HybridSimulation,
+    MajoritySamplerProtocol, Opinion, RumorAgent, RumorProtocol, SimRng, Simulation,
+    SimulationConfig, StratifiedPopulation, StratifiedSimulation, ZealotAgent, ZealotRumorProtocol,
+    DEFAULT_HYBRID_TRACKED,
 };
 
 use crate::error::SweepError;
@@ -53,6 +67,7 @@ pub type TrialFn = Box<
 
 struct ProtocolEntry {
     backends: Vec<Backend>,
+    supports_faults: bool,
     run: TrialFn,
 }
 
@@ -80,7 +95,7 @@ impl ProtocolRegistry {
             &[Backend::Agents],
             Box::new(run_majority_consensus),
         );
-        registry.register(
+        registry.register_faulty(
             "rumor",
             &[
                 Backend::Agents,
@@ -103,15 +118,35 @@ impl ProtocolRegistry {
             &[Backend::Dense],
             Box::new(run_majority_sampler),
         );
+        registry.register_faulty("ben-or", &[Backend::Agents], Box::new(run_ben_or));
+        registry.register_faulty(
+            "bv-broadcast",
+            &[Backend::Agents],
+            Box::new(run_bv_broadcast),
+        );
+        registry.register_faulty("safe-bbc", &[Backend::Agents], Box::new(run_safe_bbc));
+        registry.register_faulty("bft-compare", &[Backend::Agents], Box::new(run_bft_compare));
         registry
     }
 
-    /// Registers (or replaces) a protocol.
+    /// Registers (or replaces) a protocol that rejects fault directives.
     pub fn register(&mut self, id: &str, backends: &[Backend], run: TrialFn) {
+        self.insert(id, backends, false, run);
+    }
+
+    /// Registers (or replaces) a fault-capable protocol: its runner is
+    /// expected to honour the spec's `faults` directive (usually through
+    /// [`fault_spec_for`]).
+    pub fn register_faulty(&mut self, id: &str, backends: &[Backend], run: TrialFn) {
+        self.insert(id, backends, true, run);
+    }
+
+    fn insert(&mut self, id: &str, backends: &[Backend], supports_faults: bool, run: TrialFn) {
         self.entries.insert(
             id.to_string(),
             ProtocolEntry {
                 backends: backends.to_vec(),
+                supports_faults,
                 run,
             },
         );
@@ -151,6 +186,13 @@ impl ProtocolRegistry {
                     .map(|b| b.as_str())
                     .collect::<Vec<_>>()
                     .join(", ")
+            )));
+        }
+        if !spec.faults.is_empty() && !entry.supports_faults {
+            return Err(SweepError::Protocol(format!(
+                "protocol `{}` does not support fault injection, but the spec carries \
+                 `faults: {}`; drop the directive or pick a fault-capable protocol",
+                spec.protocol, spec.faults
             )));
         }
         Ok(&entry.run)
@@ -265,6 +307,58 @@ fn run_majority_consensus(
     ])
 }
 
+/// Resolves a cell's effective fault assignment: the spec's `faults`
+/// directive, with the fraction overridden by the `fault_fraction` param
+/// when present.
+///
+/// The override lets a sweep axis vary the faulty fraction cell-by-cell
+/// against a single directive string: `fault_fraction = 0` means
+/// *fault-free* (so a sweep can include the honest baseline in its grid),
+/// any other value replaces the directive's fraction while keeping its
+/// kind.  A `fault_fraction` without a base directive is a spec error —
+/// there is no fault kind to apply it to.
+///
+/// # Errors
+///
+/// Returns [`SweepError::Spec`] for unparsable directives, a
+/// `fault_fraction` outside `(0, 1)`, or an override with no base
+/// directive.
+pub fn fault_spec_for(spec: &ScenarioSpec) -> Result<Option<FaultSpec>, SweepError> {
+    let base: Option<FaultSpec> = if spec.faults.is_empty() {
+        None
+    } else {
+        Some(
+            spec.faults
+                .parse()
+                .map_err(|e: flip_model::FlipError| SweepError::Spec(e.to_string()))?,
+        )
+    };
+    let Some(&fraction) = spec.params.get("fault_fraction") else {
+        return Ok(base);
+    };
+    if fraction == 0.0 {
+        return Ok(None);
+    }
+    let Some(base) = base else {
+        return Err(SweepError::Spec(
+            "`fault_fraction` overrides the fraction of the spec's `faults` directive, \
+             but this spec has no `faults` directive to override"
+                .into(),
+        ));
+    };
+    FaultSpec::new(base.kind, fraction)
+        .map(Some)
+        .map_err(|e| SweepError::Spec(e.to_string()))
+}
+
+/// Applies a resolved fault assignment to an engine config.
+fn with_faults(config: SimulationConfig, fault: Option<FaultSpec>) -> SimulationConfig {
+    match fault {
+        Some(spec) => config.with_faults(spec),
+        None => config,
+    }
+}
+
 /// Validates a hybrid tracked-subpopulation size against the cell's `n`.
 fn hybrid_tracked(k: u32, n: usize) -> Result<usize, SweepError> {
     let k = k as usize;
@@ -287,6 +381,11 @@ fn hybrid_tracked(k: u32, n: usize) -> Result<usize, SweepError> {
 /// dense and hybrid backends are counts-based and have no per-message work
 /// to split.  On `hybrid:k` the tracked agents are the first `k` slots of
 /// the canonical per-agent layout (informed first, then undecided).
+///
+/// Fault-capable: a `faults` directive assigns roles on the agents backend
+/// (and on the tracked side of `hybrid:k`, whose constructor checks that
+/// `k` covers the faulty count).  The dense backend has no per-agent roles
+/// and rejects faults loudly.
 fn run_rumor(
     spec: &ScenarioSpec,
     trial: u64,
@@ -300,14 +399,25 @@ fn run_rumor(
     let n = usize::try_from(spec.n())
         .map_err(|_| SweepError::Spec("`n` does not fit in usize".into()))?;
     let informed = spec.param_or("informed", 1.0) as u64;
+    let fault = fault_spec_for(spec)?;
     let channel = BinarySymmetricChannel::from_epsilon(spec.epsilon())
         .map_err(|e| SweepError::Spec(e.to_string()))?;
-    let config = SimulationConfig::new(n)
-        .with_seed(spec.seed_for_trial(trial))
-        .with_reference(Opinion::One)
-        .with_threads(round_threads);
+    let config = with_faults(
+        SimulationConfig::new(n)
+            .with_seed(spec.seed_for_trial(trial))
+            .with_reference(Opinion::One)
+            .with_threads(round_threads),
+        fault,
+    );
     let (rounds, fraction, messages) = match spec.backend {
         Backend::Dense => {
+            if fault.is_some() {
+                return Err(SweepError::Spec(
+                    "the dense backend aggregates agents into counts and has no per-agent \
+                     fault roles; run faulty `rumor` cells on `agents` or `hybrid:k`"
+                        .into(),
+                ));
+            }
             let population = RumorProtocol::population(spec.n(), 0, informed);
             let mut sim = DenseSimulation::new(RumorProtocol, channel, population, config)?;
             let rounds = sim.run_until(spec.rounds, |s| s.census().active() == n);
@@ -494,6 +604,212 @@ fn run_majority_sampler(
     ])
 }
 
+/// Shared setup for the consensus comparators: `(n, initially-correct
+/// count, phase length)` from the `initial_bias` (default `0.1`) and
+/// `phase_len` (default `15`) params, requiring a round cap.
+fn consensus_setup(spec: &ScenarioSpec) -> Result<(usize, usize, u64), SweepError> {
+    if spec.rounds == 0 {
+        return Err(SweepError::Spec(format!(
+            "`{}` needs a round cap (`rounds` > 0)",
+            spec.protocol
+        )));
+    }
+    let n = usize::try_from(spec.n())
+        .map_err(|_| SweepError::Spec("`n` does not fit in usize".into()))?;
+    let bias = spec.param_or("initial_bias", 0.1);
+    if !(-0.5..=0.5).contains(&bias) {
+        return Err(SweepError::Spec(format!(
+            "`initial_bias` must be in [-0.5, 0.5] (a whole-population bias), got {bias}"
+        )));
+    }
+    let correct = ((0.5 + bias) * n as f64).round() as usize;
+    let phase_len = spec.param_or("phase_len", 15.0) as u64;
+    if phase_len == 0 {
+        return Err(SweepError::Spec("`phase_len` must be >= 1".into()));
+    }
+    Ok((n, correct.min(n), phase_len))
+}
+
+/// Counts `(honest agents, honest agents satisfying pred)` over a
+/// per-agent simulation, skipping agents the fault plan marked faulty —
+/// the E13 statistics are about what the *honest* population achieves
+/// despite the faulty one, whose state is adversarial garbage.
+fn honest_count<A: flip_model::Agent, C: flip_model::Channel>(
+    sim: &Simulation<A, C>,
+    pred: impl Fn(&A) -> bool,
+) -> (usize, usize) {
+    let mut honest = 0;
+    let mut matching = 0;
+    for (i, agent) in sim.agents().iter().enumerate() {
+        if sim.fault_plan().is_some_and(|p| p.is_faulty(i)) {
+            continue;
+        }
+        honest += 1;
+        matching += usize::from(pred(agent));
+    }
+    (honest, matching)
+}
+
+/// The consensus engine config shared by the `ben-or`/`bv-broadcast`/
+/// `safe-bbc`/`bft-compare` runners.
+fn consensus_config(
+    n: usize,
+    seed: u64,
+    round_threads: usize,
+    fault: Option<FaultSpec>,
+) -> SimulationConfig {
+    with_faults(
+        SimulationConfig::new(n)
+            .with_seed(seed)
+            .with_reference(Opinion::One)
+            .with_threads(round_threads),
+        fault,
+    )
+}
+
+/// `ben-or`: gossip-adapted Ben-Or consensus, run until every honest agent
+/// decides or the round cap.  Fault-capable; statistics are honest-only.
+fn run_ben_or(
+    spec: &ScenarioSpec,
+    trial: u64,
+    round_threads: usize,
+) -> Result<Vec<(&'static str, f64)>, SweepError> {
+    let (n, correct, phase_len) = consensus_setup(spec)?;
+    let fault = fault_spec_for(spec)?;
+    let channel = BinarySymmetricChannel::from_epsilon(spec.epsilon())
+        .map_err(|e| SweepError::Spec(e.to_string()))?;
+    let config = consensus_config(n, spec.seed_for_trial(trial), round_threads, fault);
+    let agents = BenOrAgent::population(n, correct, phase_len);
+    let mut sim = Simulation::new(agents, channel, config)?;
+    let rounds = sim.run_until(spec.rounds, |s| {
+        s.agents()
+            .iter()
+            .enumerate()
+            .all(|(i, a)| a.is_done() || s.fault_plan().is_some_and(|p| p.is_faulty(i)))
+    });
+    let (honest, correct_now) = honest_count(&sim, |a| a.opinion() == Some(Opinion::One));
+    let (_, decided) = honest_count(&sim, |a| a.is_done());
+    let (_, decided_correct) = honest_count(&sim, |a| a.decided() == Some(Opinion::One));
+    let honest = honest.max(1) as f64;
+    Ok(vec![
+        ("rounds", rounds as f64),
+        ("fraction_correct", correct_now as f64 / honest),
+        ("decided_fraction", decided as f64 / honest),
+        ("decided_correct_fraction", decided_correct as f64 / honest),
+        ("messages_sent", sim.metrics().messages_sent as f64),
+    ])
+}
+
+/// `bv-broadcast`: the BV primitive run for the full round cap; reports
+/// which values achieved delivery among the honest agents.
+fn run_bv_broadcast(
+    spec: &ScenarioSpec,
+    trial: u64,
+    round_threads: usize,
+) -> Result<Vec<(&'static str, f64)>, SweepError> {
+    let (n, correct, phase_len) = consensus_setup(spec)?;
+    let fault = fault_spec_for(spec)?;
+    let channel = BinarySymmetricChannel::from_epsilon(spec.epsilon())
+        .map_err(|e| SweepError::Spec(e.to_string()))?;
+    let config = consensus_config(n, spec.seed_for_trial(trial), round_threads, fault);
+    let agents = BvBroadcastAgent::population(n, correct, phase_len);
+    let mut sim = Simulation::new(agents, channel, config)?;
+    sim.run(spec.rounds);
+    let (honest, delivered_one) = honest_count(&sim, |a| a.bin_value(Opinion::One));
+    let (_, delivered_zero) = honest_count(&sim, |a| a.bin_value(Opinion::Zero));
+    let honest = honest.max(1) as f64;
+    Ok(vec![
+        ("rounds", spec.rounds as f64),
+        ("delivered_one_fraction", delivered_one as f64 / honest),
+        ("delivered_zero_fraction", delivered_zero as f64 / honest),
+        ("messages_sent", sim.metrics().messages_sent as f64),
+    ])
+}
+
+/// `safe-bbc`: the EST/AUX safe binary Byzantine consensus loop, run until
+/// every honest agent decides or the round cap.  Honest-only statistics.
+fn run_safe_bbc(
+    spec: &ScenarioSpec,
+    trial: u64,
+    round_threads: usize,
+) -> Result<Vec<(&'static str, f64)>, SweepError> {
+    let (n, correct, phase_len) = consensus_setup(spec)?;
+    let fault = fault_spec_for(spec)?;
+    let channel = BinarySymmetricChannel::from_epsilon(spec.epsilon())
+        .map_err(|e| SweepError::Spec(e.to_string()))?;
+    let config = consensus_config(n, spec.seed_for_trial(trial), round_threads, fault);
+    let agents = SafeBbcAgent::population(n, correct, phase_len);
+    let mut sim = Simulation::new(agents, channel, config)?;
+    let rounds = sim.run_until(spec.rounds, |s| {
+        s.agents()
+            .iter()
+            .enumerate()
+            .all(|(i, a)| a.is_done() || s.fault_plan().is_some_and(|p| p.is_faulty(i)))
+    });
+    let (honest, correct_now) = honest_count(&sim, |a| a.opinion() == Some(Opinion::One));
+    let (_, decided) = honest_count(&sim, |a| a.is_done());
+    let (_, decided_correct) = honest_count(&sim, |a| a.decided() == Some(Opinion::One));
+    let honest = honest.max(1) as f64;
+    Ok(vec![
+        ("rounds", rounds as f64),
+        ("fraction_correct", correct_now as f64 / honest),
+        ("decided_fraction", decided as f64 / honest),
+        ("decided_correct_fraction", decided_correct as f64 / honest),
+        ("messages_sent", sim.metrics().messages_sent as f64),
+    ])
+}
+
+/// `bft-compare` (the E13 workload): one trial runs the paper's Stage-II
+/// style majority boost *and* gossip-adapted Ben-Or over the same cell —
+/// identical `n`, noise, fault directive and round cap — with the two
+/// engines sub-seeded from the trial seed
+/// ([`SimRng::stream_seed`]`(trial_seed, 0 | 1)`), so the comparison is
+/// apples-to-apples per trial and remains thread-count-invariant.
+fn run_bft_compare(
+    spec: &ScenarioSpec,
+    trial: u64,
+    round_threads: usize,
+) -> Result<Vec<(&'static str, f64)>, SweepError> {
+    let (n, correct, phase_len) = consensus_setup(spec)?;
+    let fault = fault_spec_for(spec)?;
+    let channel = BinarySymmetricChannel::from_epsilon(spec.epsilon())
+        .map_err(|e| SweepError::Spec(e.to_string()))?;
+    let trial_seed = spec.seed_for_trial(trial);
+
+    let config = consensus_config(n, SimRng::stream_seed(trial_seed, 0), round_threads, fault);
+    let agents = MajorityBoostAgent::population(n, correct, phase_len);
+    let mut majority = Simulation::new(agents, channel, config)?;
+    majority.run(spec.rounds);
+    let (honest, majority_correct) = honest_count(&majority, |a| a.opinion() == Some(Opinion::One));
+
+    let config = consensus_config(n, SimRng::stream_seed(trial_seed, 1), round_threads, fault);
+    let agents = BenOrAgent::population(n, correct, phase_len);
+    let mut benor = Simulation::new(agents, channel, config)?;
+    let benor_rounds = benor.run_until(spec.rounds, |s| {
+        s.agents()
+            .iter()
+            .enumerate()
+            .all(|(i, a)| a.is_done() || s.fault_plan().is_some_and(|p| p.is_faulty(i)))
+    });
+    let (_, benor_correct) = honest_count(&benor, |a| a.opinion() == Some(Opinion::One));
+    let (_, benor_decided) = honest_count(&benor, |a| a.is_done());
+
+    let messages = majority.metrics().messages_sent + benor.metrics().messages_sent;
+    let all_correct = honest > 0 && majority_correct == honest;
+    let honest = honest.max(1) as f64;
+    Ok(vec![
+        (
+            "majority_fraction_correct",
+            majority_correct as f64 / honest,
+        ),
+        ("majority_all_correct", f64::from(u8::from(all_correct))),
+        ("benor_fraction_correct", benor_correct as f64 / honest),
+        ("benor_decided_fraction", benor_decided as f64 / honest),
+        ("benor_rounds", benor_rounds as f64),
+        ("messages_sent", messages as f64),
+    ])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -511,6 +827,7 @@ mod tests {
                 .iter()
                 .map(|(k, v)| ((*k).to_string(), *v))
                 .collect::<BTreeMap<_, _>>(),
+            faults: String::new(),
         }
     }
 
@@ -547,13 +864,184 @@ mod tests {
         assert_eq!(
             ids,
             vec![
+                "ben-or",
+                "bft-compare",
                 "broadcast",
+                "bv-broadcast",
                 "majority-consensus",
                 "majority-sampler",
                 "rumor",
-                "rumor-zealot"
+                "rumor-zealot",
+                "safe-bbc",
             ]
         );
+    }
+
+    #[test]
+    fn fault_directives_are_rejected_for_non_capable_protocols() {
+        let registry = ProtocolRegistry::builtin();
+        let mut spec = cell(
+            "broadcast",
+            Backend::Agents,
+            &[("n", 100.0), ("epsilon", 0.2)],
+        );
+        spec.faults = "byz:0.2".into();
+        let Err(err) = registry.resolve(&spec) else {
+            panic!("broadcast must reject fault directives");
+        };
+        let message = err.to_string();
+        assert!(
+            message.contains("broadcast") && message.contains("byz:0.2"),
+            "{message}"
+        );
+    }
+
+    #[test]
+    fn fault_fraction_param_overrides_the_directive() {
+        let mut spec = cell("rumor", Backend::Agents, &[("n", 100.0), ("epsilon", 0.2)]);
+        spec.faults = "byz:0.2".into();
+        // No override: the directive stands.
+        let base = fault_spec_for(&spec).unwrap().unwrap();
+        assert_eq!(base.fraction, 0.2);
+        // Override replaces the fraction but keeps the kind.
+        spec.params.insert("fault_fraction".into(), 0.05);
+        let overridden = fault_spec_for(&spec).unwrap().unwrap();
+        assert_eq!(overridden.kind, base.kind);
+        assert_eq!(overridden.fraction, 0.05);
+        // Zero means fault-free — the honest baseline cell of a sweep axis.
+        spec.params.insert("fault_fraction".into(), 0.0);
+        assert_eq!(fault_spec_for(&spec).unwrap(), None);
+        // An override without a base directive has no kind to apply to.
+        spec.faults = String::new();
+        spec.params.insert("fault_fraction".into(), 0.1);
+        let err = fault_spec_for(&spec).unwrap_err();
+        assert!(err.to_string().contains("fault_fraction"), "{err}");
+        // And an out-of-range override fails like a bad directive.
+        spec.faults = "byz:0.2".into();
+        spec.params.insert("fault_fraction".into(), 1.5);
+        assert!(fault_spec_for(&spec).is_err());
+    }
+
+    #[test]
+    fn faulty_rumor_runs_deterministically_and_differs_from_honest() {
+        let registry = ProtocolRegistry::builtin();
+        for backend in [Backend::Agents, Backend::Hybrid(64)] {
+            let honest = cell(
+                "rumor",
+                backend,
+                &[("n", 400.0), ("epsilon", 0.25), ("informed", 10.0)],
+            );
+            let mut faulty = honest.clone();
+            faulty.faults = "byz:0.1".into();
+            let a = registry.run_trial(&faulty, 0).unwrap();
+            let b = registry.run_trial(&faulty, 0).unwrap();
+            assert_eq!(a, b, "same seed must reproduce ({backend})");
+            assert_ne!(
+                a,
+                registry.run_trial(&honest, 0).unwrap(),
+                "Byzantine agents must perturb the run ({backend})"
+            );
+        }
+    }
+
+    #[test]
+    fn dense_rumor_rejects_fault_directives() {
+        let registry = ProtocolRegistry::builtin();
+        let mut spec = cell(
+            "rumor",
+            Backend::Dense,
+            &[("n", 400.0), ("epsilon", 0.25), ("informed", 10.0)],
+        );
+        spec.faults = "byz:0.1".into();
+        let Err(err) = registry.run_trial(&spec, 0) else {
+            panic!("dense + faults must be rejected");
+        };
+        assert!(err.to_string().contains("dense"), "{err}");
+    }
+
+    #[test]
+    fn consensus_protocols_run_and_report_their_metrics() {
+        let registry = ProtocolRegistry::builtin();
+        let expectations: [(&str, &[&str]); 3] = [
+            (
+                "ben-or",
+                &[
+                    "rounds",
+                    "fraction_correct",
+                    "decided_fraction",
+                    "decided_correct_fraction",
+                    "messages_sent",
+                ],
+            ),
+            (
+                "bv-broadcast",
+                &[
+                    "rounds",
+                    "delivered_one_fraction",
+                    "delivered_zero_fraction",
+                    "messages_sent",
+                ],
+            ),
+            (
+                "safe-bbc",
+                &[
+                    "rounds",
+                    "fraction_correct",
+                    "decided_fraction",
+                    "decided_correct_fraction",
+                    "messages_sent",
+                ],
+            ),
+        ];
+        for (protocol, expected) in expectations {
+            let spec = cell(
+                protocol,
+                Backend::Agents,
+                &[("n", 300.0), ("epsilon", 0.3), ("initial_bias", 0.2)],
+            );
+            let a = registry.run_trial(&spec, 0).unwrap();
+            assert_eq!(a, registry.run_trial(&spec, 0).unwrap(), "{protocol}");
+            let names: Vec<&str> = a.iter().map(|(k, _)| *k).collect();
+            assert_eq!(names, expected, "{protocol}");
+        }
+    }
+
+    #[test]
+    fn bft_compare_reports_honest_statistics_under_faults() {
+        let registry = ProtocolRegistry::builtin();
+        let mut spec = cell(
+            "bft-compare",
+            Backend::Agents,
+            &[("n", 300.0), ("epsilon", 0.3), ("initial_bias", 0.2)],
+        );
+        spec.rounds = 120;
+        spec.faults = "byz:0.1".into();
+        let metrics = registry.run_trial(&spec, 0).unwrap();
+        assert_eq!(metrics, registry.run_trial(&spec, 0).unwrap());
+        let names: Vec<&str> = metrics.iter().map(|(k, _)| *k).collect();
+        assert_eq!(
+            names,
+            vec![
+                "majority_fraction_correct",
+                "majority_all_correct",
+                "benor_fraction_correct",
+                "benor_decided_fraction",
+                "benor_rounds",
+                "messages_sent",
+            ]
+        );
+        let get = |name: &str| metrics.iter().find(|(k, _)| *k == name).unwrap().1;
+        for name in ["majority_fraction_correct", "benor_fraction_correct"] {
+            let value = get(name);
+            assert!((0.0..=1.0).contains(&value), "{name} = {value}");
+        }
+        // The 70/30 start under moderate noise: the majority dynamic must
+        // hold its ground for the honest agents even with 10% Byzantine.
+        assert!(get("majority_fraction_correct") > 0.5);
+        // The faulty twin must differ from the honest run.
+        let mut honest = spec.clone();
+        honest.faults = String::new();
+        assert_ne!(metrics, registry.run_trial(&honest, 0).unwrap());
     }
 
     #[test]

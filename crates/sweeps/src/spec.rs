@@ -47,6 +47,12 @@ pub struct ScenarioSpec {
     /// protocol-specific).  Sorted by key, which keeps the canonical form —
     /// and therefore the hash — independent of construction order.
     pub params: BTreeMap<String, f64>,
+    /// Fault injection directive in [`flip_model::FaultSpec`] string form
+    /// (e.g. `byz:0.1`), or empty for a fault-free cell.  Empty is *omitted*
+    /// from the canonical JSON, so every pre-fault spec keeps its historical
+    /// hash address.  A `fault_fraction` param overrides the fraction (with
+    /// `0` meaning fault-free), which is how sweeps put f/n on an axis.
+    pub faults: String,
 }
 
 impl ScenarioSpec {
@@ -99,26 +105,32 @@ impl ScenarioSpec {
         SimRng::stream_seed(SimRng::stream_seed(self.base_seed, self.point), trial)
     }
 
-    /// The canonical JSON form: fixed field order, sorted params.
+    /// The canonical JSON form: fixed field order, sorted params.  The
+    /// `faults` field appears only when non-empty, keeping fault-free specs
+    /// hash-stable with pre-fault builds.
     #[must_use]
     pub fn canonical_json(&self) -> Json {
-        Json::object(vec![
+        let mut fields = vec![
             ("protocol".into(), Json::Str(self.protocol.clone())),
             ("backend".into(), Json::Str(self.backend.to_string())),
             ("trials".into(), Json::UInt(u64::from(self.trials))),
             ("base_seed".into(), Json::UInt(self.base_seed)),
             ("point".into(), Json::UInt(self.point)),
             ("rounds".into(), Json::UInt(self.rounds)),
-            (
-                "params".into(),
-                Json::Object(
-                    self.params
-                        .iter()
-                        .map(|(k, v)| (k.clone(), Json::Float(*v)))
-                        .collect(),
-                ),
+        ];
+        if !self.faults.is_empty() {
+            fields.push(("faults".into(), Json::Str(self.faults.clone())));
+        }
+        fields.push((
+            "params".into(),
+            Json::Object(
+                self.params
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Json::Float(*v)))
+                    .collect(),
             ),
-        ])
+        ));
+        Json::object(fields)
     }
 
     /// The cell's address: FNV-1a (64-bit) over the canonical JSON, as 16
@@ -148,6 +160,7 @@ impl ScenarioSpec {
             doc.get("params")
                 .ok_or_else(|| SweepError::Spec("missing `params`".into()))?,
         )?;
+        let faults = optional_str(doc, "faults")?;
         let spec = Self {
             protocol,
             backend,
@@ -156,6 +169,7 @@ impl ScenarioSpec {
             point,
             rounds,
             params,
+            faults,
         };
         spec.validate()?;
         Ok(spec)
@@ -190,6 +204,11 @@ impl ScenarioSpec {
             return Err(SweepError::Spec(format!(
                 "`epsilon` must be in (0, 0.5], got {epsilon}"
             )));
+        }
+        if !self.faults.is_empty() {
+            self.faults
+                .parse::<flip_model::FaultSpec>()
+                .map_err(|e| SweepError::Spec(e.to_string()))?;
         }
         Ok(())
     }
@@ -226,6 +245,10 @@ pub struct SweepSpec {
     pub point_base: u64,
     /// Round cap shared by every cell (`0` = protocol schedule).
     pub rounds: u64,
+    /// Fault injection directive shared by every cell (empty = fault-free;
+    /// see [`ScenarioSpec::faults`]).  Sweeps vary the *fraction* through a
+    /// `fault_fraction` axis rather than through this string.
+    pub faults: String,
     /// Parameters shared by every cell (axes override on collision).
     pub defaults: BTreeMap<String, f64>,
     /// The grid axes; empty means a single cell built from `defaults`.
@@ -255,6 +278,7 @@ impl SweepSpec {
                 point: self.point_base + cells.len() as u64,
                 rounds: self.rounds,
                 params,
+                faults: self.faults.clone(),
             };
             cell.validate()?;
             cells.push(cell);
@@ -281,10 +305,12 @@ impl SweepSpec {
         self.axes.iter().map(|a| a.values.len().max(1)).product()
     }
 
-    /// The canonical JSON form of the whole sweep.
+    /// The canonical JSON form of the whole sweep.  As with cells, `faults`
+    /// is omitted when empty so fault-free sweep files and hashes are
+    /// unchanged from pre-fault builds.
     #[must_use]
     pub fn to_json(&self) -> Json {
-        Json::object(vec![
+        let mut fields = vec![
             ("name".into(), Json::Str(self.name.clone())),
             ("protocol".into(), Json::Str(self.protocol.clone())),
             ("backend".into(), Json::Str(self.backend.to_string())),
@@ -292,6 +318,11 @@ impl SweepSpec {
             ("base_seed".into(), Json::UInt(self.base_seed)),
             ("point_base".into(), Json::UInt(self.point_base)),
             ("rounds".into(), Json::UInt(self.rounds)),
+        ];
+        if !self.faults.is_empty() {
+            fields.push(("faults".into(), Json::Str(self.faults.clone())));
+        }
+        fields.extend([
             (
                 "defaults".into(),
                 Json::Object(
@@ -320,7 +351,8 @@ impl SweepSpec {
                         .collect(),
                 ),
             ),
-        ])
+        ]);
+        Json::object(fields)
     }
 
     /// A pretty (indented) rendering of [`SweepSpec::to_json`] for spec
@@ -387,6 +419,7 @@ impl SweepSpec {
             base_seed: require_u64(doc, "base_seed")?,
             point_base: require_u64(doc, "point_base")?,
             rounds: require_u64(doc, "rounds")?,
+            faults: optional_str(doc, "faults")?,
             defaults: parse_params(
                 doc.get("defaults")
                     .ok_or_else(|| SweepError::Spec("missing `defaults`".into()))?,
@@ -420,6 +453,18 @@ fn require_str<'a>(doc: &'a Json, key: &str) -> Result<&'a str, SweepError> {
     doc.get(key)
         .and_then(Json::as_str)
         .ok_or_else(|| SweepError::Spec(format!("missing or non-string `{key}`")))
+}
+
+/// Reads an optional string field; absent means empty, but a present
+/// non-string value is still an error.
+fn optional_str(doc: &Json, key: &str) -> Result<String, SweepError> {
+    match doc.get(key) {
+        None => Ok(String::new()),
+        Some(value) => value
+            .as_str()
+            .map(str::to_string)
+            .ok_or_else(|| SweepError::Spec(format!("non-string `{key}`"))),
+    }
 }
 
 fn require_u64(doc: &Json, key: &str) -> Result<u64, SweepError> {
@@ -481,6 +526,7 @@ mod tests {
             base_seed: 7,
             point_base: 100,
             rounds: 50,
+            faults: String::new(),
             defaults: BTreeMap::from([("epsilon".to_string(), 0.2), ("informed".to_string(), 8.0)]),
             axes: vec![
                 Axis {
@@ -579,6 +625,41 @@ mod tests {
         // A bare `hybrid` (no tracked count) must not default silently.
         assert!(SweepSpec::from_json_text("{\"name\":\"x\",\"backend\":\"hybrid\"}").is_err());
         assert!(SweepSpec::from_json_text("not json").is_err());
+    }
+
+    #[test]
+    fn fault_free_specs_omit_the_faults_key_and_keep_their_hashes() {
+        // Hash stability for everything that predates fault injection: an
+        // empty `faults` field must be invisible in the canonical JSON ...
+        let spec = demo_sweep();
+        assert!(!spec.to_json().to_string().contains("\"faults\""));
+        let cell = &spec.expand().unwrap()[0];
+        assert!(!cell.canonical_json().to_string().contains("\"faults\""));
+        // ... and round-trip back to empty.
+        let parsed = SweepSpec::from_json_text(&spec.to_json().to_string()).unwrap();
+        assert_eq!(parsed.faults, "");
+        // A fault-injected twin gets a *different* address.
+        let mut faulty = cell.clone();
+        faulty.faults = "byz:0.1".into();
+        assert_ne!(cell.hash_hex(), faulty.hash_hex());
+    }
+
+    #[test]
+    fn faulty_sweeps_round_trip_and_validate_the_directive() {
+        let mut spec = demo_sweep();
+        spec.faults = "crash:0.2@10".into();
+        let parsed = SweepSpec::from_json_text(&spec.to_pretty_json()).unwrap();
+        assert_eq!(parsed, spec);
+        for cell in parsed.expand().unwrap() {
+            assert_eq!(cell.faults, "crash:0.2@10");
+        }
+        // A malformed directive fails expansion loudly, naming `faults`.
+        spec.faults = "gremlin:0.2".into();
+        let err = spec.expand().unwrap_err().to_string();
+        assert!(err.contains("faults"), "must name the field: {err}");
+        // `byz:0` is rejected at the spec layer too.
+        spec.faults = "byz:0".into();
+        assert!(spec.expand().is_err());
     }
 
     #[test]

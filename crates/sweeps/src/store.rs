@@ -284,6 +284,7 @@ mod tests {
             base_seed: 3,
             point_base: 0,
             rounds: 100,
+            faults: String::new(),
             defaults: Map::from([("epsilon".to_string(), 0.2), ("informed".to_string(), 4.0)]),
             axes: vec![Axis {
                 key: "n".into(),

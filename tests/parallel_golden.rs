@@ -13,7 +13,8 @@
 
 use breathe_paper as _;
 use flip_model::{
-    BinarySymmetricChannel, Opinion, RumorAgent, Simulation, SimulationConfig, RADIX_MIN_N,
+    BinarySymmetricChannel, FaultSpec, Opinion, RumorAgent, Simulation, SimulationConfig,
+    RADIX_MIN_N,
 };
 
 /// One snapshot run: census split and exact message accounting.
@@ -62,6 +63,56 @@ fn parallel_radix_smoke_at_1e7() {
     assert_eq!(sent, (n / 2) as u64, "every informed agent pushes");
     assert_eq!(sent, accepted + collided, "conservation");
     assert!(active >= n / 2, "informed agents never forget");
+}
+
+#[test]
+fn fault_injected_runs_are_thread_invariant_at_radix_scale() {
+    // Fault draws ride the reserved counter-mode RNG stream, so injecting
+    // a tenth of the population as Byzantine-constant agents must not
+    // break lane invariance: the same seed produces the same census,
+    // metrics and fault plan at every thread count.  The faulty run must
+    // also actually differ from the honest one (the injection is live) and
+    // stay seed-sensitive (the plan is a stream, not a fixed prefix).
+    let n = RADIX_MIN_N;
+    let run = |seed: u64, threads: usize, faults: Option<FaultSpec>| {
+        let agents = RumorAgent::population(n, 0, n / 2);
+        let channel = BinarySymmetricChannel::from_epsilon(0.2).expect("valid epsilon");
+        let mut config = SimulationConfig::new(n)
+            .with_seed(seed)
+            .with_reference(Opinion::One)
+            .with_threads(threads);
+        if let Some(spec) = faults {
+            config = config.with_faults(spec);
+        }
+        let mut sim = Simulation::new(agents, channel, config).expect("valid parameters");
+        sim.run(3);
+        let faulty: Vec<usize> = sim.fault_plan().map_or_else(Vec::new, |plan| {
+            (0..n).filter(|&i| plan.is_faulty(i)).collect()
+        });
+        (sim.census(), sim.metrics().clone(), faulty)
+    };
+    let byz: FaultSpec = "byz:0.1".parse().expect("valid directive");
+    let reference = run(0xFA17, 1, Some(byz));
+    // The plan samples i.i.d. per agent, so the count is Binomial(n, 0.1):
+    // a ±5% band around n/10 is ~60 standard deviations wide at this n.
+    let faulty = reference.2.len();
+    assert!(
+        (n / 10).abs_diff(faulty) < n / 200,
+        "byz:0.1 must draw about n/10 faulty agents, got {faulty}"
+    );
+    assert_eq!(run(0xFA17, 4, Some(byz)), reference, "threads = 4");
+    assert_ne!(
+        run(0xFA18, 1, Some(byz)),
+        reference,
+        "a neighbouring seed must diverge"
+    );
+    let honest = run(0xFA17, 1, None);
+    assert!(honest.2.is_empty(), "no plan without a directive");
+    assert_ne!(
+        (honest.0, honest.1),
+        (reference.0, reference.1.clone()),
+        "injected faults must change the run"
+    );
 }
 
 #[test]

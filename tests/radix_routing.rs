@@ -21,8 +21,9 @@
 
 use breathe_paper as _;
 use flip_model::{
-    BinarySymmetricChannel, GossipScheduler, Opinion, RoundPool, RoundRouting, RumorAgent, SimRng,
-    Simulation, SimulationConfig, RADIX_MIN_N,
+    BinarySymmetricChannel, FaultSpec, GossipScheduler, HybridSimulation, Opinion, RoundPool,
+    RoundRouting, RumorAgent, RumorProtocol, SimRng, Simulation, SimulationConfig,
+    StratifiedPopulation, RADIX_MIN_N,
 };
 use rand::RngCore;
 
@@ -222,6 +223,69 @@ fn simulations_are_bit_identical_across_thread_counts() {
     for threads in [2, 3, 8] {
         assert_eq!(run(threads), reference, "threads = {threads}");
     }
+}
+
+#[test]
+fn faulty_simulations_are_bit_identical_across_thread_counts() {
+    // Fault-injection twin of the invariance test above: the fault plan is
+    // drawn from a reserved counter-mode RNG stream, so a Byzantine tenth
+    // of the population must not disturb lane invariance — on either the
+    // per-agent engine or the hybrid engine, each checked independently.
+    let n = RADIX_MIN_N;
+    let byz: FaultSpec = "byz:0.1".parse().expect("valid directive");
+    let agents_run = |threads: usize, seed: u64| {
+        let agents = RumorAgent::population(n, 0, n / 2);
+        let channel = BinarySymmetricChannel::from_epsilon(0.2).expect("valid epsilon");
+        let config = SimulationConfig::new(n)
+            .with_seed(seed)
+            .with_reference(Opinion::One)
+            .with_threads(threads)
+            .with_faults(byz);
+        let mut sim = Simulation::new(agents, channel, config).expect("valid simulation");
+        sim.run(3);
+        (sim.census(), sim.metrics().clone())
+    };
+    let reference = agents_run(1, 0xFA14);
+    for threads in [2, 4, 8] {
+        assert_eq!(
+            agents_run(threads, 0xFA14),
+            reference,
+            "threads = {threads}"
+        );
+    }
+    assert_ne!(agents_run(1, 0xFA15), reference, "seed sensitivity");
+
+    // The hybrid engine draws the same per-agent roles over its tracked
+    // prefix; the tracked set must be large enough to hold every faulty
+    // agent (n/10 here), and the whole run must stay lane-invariant.
+    let k = 16_384;
+    let hybrid_run = |threads: usize, seed: u64| {
+        let tracked = RumorAgent::population(k, 0, k / 2);
+        let bulk = StratifiedPopulation::single(RumorProtocol::population(
+            (n - k) as u64,
+            0,
+            ((n - k) / 2) as u64,
+        ));
+        let channel = BinarySymmetricChannel::from_epsilon(0.2).expect("valid epsilon");
+        let config = SimulationConfig::new(n)
+            .with_seed(seed)
+            .with_reference(Opinion::One)
+            .with_threads(threads)
+            .with_faults(byz);
+        let mut sim = HybridSimulation::new(tracked, RumorProtocol, channel, bulk, config)
+            .expect("valid simulation");
+        sim.run(3);
+        (sim.census(), sim.metrics().clone())
+    };
+    let hybrid_reference = hybrid_run(1, 0xFA16);
+    for threads in [2, 4, 8] {
+        assert_eq!(
+            hybrid_run(threads, 0xFA16),
+            hybrid_reference,
+            "hybrid threads = {threads}"
+        );
+    }
+    assert_ne!(hybrid_run(1, 0xFA17), hybrid_reference, "hybrid seeds");
 }
 
 #[test]
