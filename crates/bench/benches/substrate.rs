@@ -186,6 +186,23 @@ fn substrate(c: &mut Criterion) {
         });
     }
 
+    // The headline round with telemetry recording on: phase timers around
+    // every round phase plus event counters.  The gap to
+    // `engine_round_all_send/100000` is the whole observability overhead —
+    // gated in the baseline so instrumentation creep shows up as a perf
+    // regression, not as a slow mystery.  (Telemetry *off* is the zero-cost
+    // path: `engine_round_all_send` itself runs with the `NullSink`-style
+    // disabled state and is gated separately.)
+    group.bench_function("engine_round_telemetry_overhead", |b| {
+        let n = 100_000;
+        let agents: Vec<Beacon> = (0..n).map(|_| Beacon(Opinion::One)).collect();
+        let channel = BinarySymmetricChannel::from_epsilon(0.2).expect("valid");
+        let config = SimulationConfig::new(n).with_seed(3);
+        let mut sim = Simulation::new(agents, channel, config).expect("valid simulation");
+        sim.enable_telemetry();
+        b.iter(|| sim.step().metrics.messages_sent);
+    });
+
     // The same engine round with four worker lanes — bit-identical results,
     // so the gap to `engine_round_all_send` at the same n is exactly the
     // round's parallel efficiency on the host (≈ overhead-only on a

@@ -249,11 +249,24 @@ impl BroadcastProtocol {
     /// Propagates [`FlipError`] from simulation construction.
     pub fn run_with_seed(&self, seed: u64) -> Result<BroadcastOutcome, FlipError> {
         let mut sim = self.build_simulation(seed)?;
+        Ok(self.run_simulation(&mut sim))
+    }
+
+    /// Runs an already-built simulation (see [`Self::build_simulation`])
+    /// through the full schedule and reports the headline outcome.
+    ///
+    /// Splitting construction from execution lets callers configure the
+    /// engine first — enable telemetry, say — without changing the run:
+    /// `run_with_seed` is exactly `build_simulation` + `run_simulation`.
+    pub fn run_simulation(
+        &self,
+        sim: &mut Simulation<BreatheAgent, BinarySymmetricChannel>,
+    ) -> BroadcastOutcome {
         let stage1_rounds = self.schedule.spreading_rounds();
         sim.run(stage1_rounds);
         let stage1_census = sim.census();
         sim.run(self.schedule.total_rounds() - stage1_rounds);
-        Ok(self.outcome_from(&sim.census(), &stage1_census, sim.metrics().messages_sent))
+        self.outcome_from(&sim.census(), &stage1_census, sim.metrics().messages_sent)
     }
 
     /// Runs one execution, recording per-phase statistics.

@@ -195,20 +195,43 @@ impl MajorityConsensusProtocol {
         agents
     }
 
+    /// Builds the simulation (agents, channel and configuration) for one run.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FlipError`] from channel or engine construction.
+    pub fn build_simulation(
+        &self,
+        seed: u64,
+    ) -> Result<Simulation<BreatheAgent, BinarySymmetricChannel>, FlipError> {
+        let channel = BinarySymmetricChannel::from_epsilon(self.params.epsilon())?;
+        let config = SimulationConfig::new(self.params.n())
+            .with_seed(seed)
+            .with_reference(self.correct);
+        Simulation::new(self.build_agents(), channel, config)
+    }
+
     /// Runs one execution.
     ///
     /// # Errors
     ///
     /// Propagates [`FlipError`] from channel or engine construction.
     pub fn run_with_seed(&self, seed: u64) -> Result<MajorityOutcome, FlipError> {
-        let channel = BinarySymmetricChannel::from_epsilon(self.params.epsilon())?;
-        let config = SimulationConfig::new(self.params.n())
-            .with_seed(seed)
-            .with_reference(self.correct);
-        let mut sim = Simulation::new(self.build_agents(), channel, config)?;
+        let mut sim = self.build_simulation(seed)?;
+        Ok(self.run_simulation(&mut sim))
+    }
+
+    /// Runs an already-built simulation (see [`Self::build_simulation`])
+    /// through the full schedule.  Splitting construction from execution
+    /// lets callers configure the engine first — enable telemetry, say —
+    /// without changing the run.
+    pub fn run_simulation(
+        &self,
+        sim: &mut Simulation<BreatheAgent, BinarySymmetricChannel>,
+    ) -> MajorityOutcome {
         sim.run(self.schedule.total_rounds());
         let census = sim.census();
-        Ok(MajorityOutcome {
+        MajorityOutcome {
             n: self.params.n(),
             epsilon: self.params.epsilon(),
             initial_set_size: self.initial.size(),
@@ -217,7 +240,7 @@ impl MajorityConsensusProtocol {
             messages_sent: sim.metrics().messages_sent,
             fraction_correct: census.fraction_correct(self.correct),
             all_correct: census.is_unanimous(self.correct),
-        })
+        }
     }
 }
 

@@ -2,9 +2,16 @@
 //!
 //! Usage: `cargo run --release -p experiments --bin e03 [-- --full]
 //! [--trials N] [--threads N]`
+//!
+//! A thin wrapper over the registry-backed sweep `e03`
+//! (`experiments::specs`): the broadcast protocol over the
+//! `n × ε` message-complexity grid, digit-for-digit identical to the legacy
+//! `scaling::e03_message_complexity` loop (`tests/spec_equivalence.rs` pins
+//! this).  The same sweep is available with persistence and resume via the
+//! `sweep` binary.
 
 fn main() {
     experiments::cli::run_tables("e03", true, |cfg| {
-        vec![experiments::scaling::e03_message_complexity(cfg)]
+        experiments::specs::backend_tables("e03", cfg)
     });
 }

@@ -5,10 +5,13 @@
 //! sweep gen e01 [--full] [--trials N] [--seed N]
 //!                                     # print a builtin spec as JSON
 //! sweep run spec.json --out DIR [--threads N] [--max-cells N]
+//!                    [--telemetry] [--progress]
 //!                                     # execute, checkpointing each cell
-//! sweep resume DIR [--threads N]      # finish a killed/interrupted sweep
+//! sweep resume DIR [--threads N] [--telemetry] [--progress]
+//!                                     # finish a killed/interrupted sweep
 //! sweep export DIR --csv|--json [--out FILE] [--partial]
 //!                                     # deterministic, grid-ordered export
+//! sweep report DIR [--telemetry]      # completion status + phase profile
 //! ```
 //!
 //! A sweep directory holds a manifest (the spec plus its hash) and JSONL
@@ -16,6 +19,16 @@
 //! skips persisted cells.  Because every cell is a deterministic function of
 //! its hash-addressed spec, an interrupted-then-resumed sweep exports
 //! byte-identical output to an uninterrupted one.
+//!
+//! `--telemetry` (or a non-empty, non-`0` `FLIP_TELEMETRY` environment
+//! variable) additionally records per-cell phase profiles — engine phase
+//! timers, event counters, per-lane busy time — into JSONL shards under
+//! `DIR/telemetry/`, kill-safe alongside the result shards, and prints the
+//! sweep-wide aggregate table to stderr.  Telemetry reads the monotonic
+//! clock only, never the RNG stream: results are bit-identical with it on
+//! or off.  `--progress` streams per-cell completion lines (cells/s,
+//! trials/s, ETA) to stderr.  `sweep report DIR --telemetry` re-renders the
+//! profile table from the persisted shards of any past run.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -25,15 +38,21 @@ use sweeps::{
     export_csv, export_json, ordered_cells, ProtocolRegistry, SweepError, SweepRunner, SweepSpec,
     SweepStore,
 };
+use telemetry::Recorder;
 
 const USAGE: &str = "usage:
   sweep list
   sweep gen <name> [--full] [--trials N] [--seed N] [--rounds N] [--faults D]
-  sweep run <spec.json> --out <dir> [--threads N] [--max-cells N]
-  sweep resume <dir> [--threads N] [--max-cells N]
+  sweep run <spec.json> --out <dir> [--threads N] [--max-cells N] [--telemetry] [--progress]
+  sweep resume <dir> [--threads N] [--max-cells N] [--telemetry] [--progress]
   sweep export <dir> --csv|--json [--out FILE] [--partial]
+  sweep report <dir> [--telemetry]
 (--trials, --threads, --max-cells and --rounds all require values >= 1:
- a zero would silently produce empty runs or empty aggregates)";
+ a zero would silently produce empty runs or empty aggregates;
+ --telemetry is also honoured via the FLIP_TELEMETRY environment variable)";
+
+/// Environment opt-in for `--telemetry`: any non-empty value except `0`.
+const TELEMETRY_ENV: &str = "FLIP_TELEMETRY";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -43,6 +62,7 @@ fn main() -> ExitCode {
         Some("run") => cmd_run(&args[1..]),
         Some("resume") => cmd_resume(&args[1..]),
         Some("export") => cmd_export(&args[1..]),
+        Some("report") => cmd_report(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             println!("{USAGE}");
             Ok(())
@@ -118,6 +138,16 @@ struct Flags {
     csv: bool,
     json: bool,
     partial: bool,
+    telemetry: bool,
+    progress: bool,
+}
+
+impl Flags {
+    /// Whether this invocation records telemetry: the `--telemetry` flag or
+    /// the `FLIP_TELEMETRY` environment opt-in.
+    fn telemetry_requested(&self) -> bool {
+        self.telemetry || std::env::var(TELEMETRY_ENV).is_ok_and(|v| !v.is_empty() && v != "0")
+    }
 }
 
 fn parse_flags(args: &[String]) -> Result<Flags, SweepError> {
@@ -129,6 +159,8 @@ fn parse_flags(args: &[String]) -> Result<Flags, SweepError> {
         csv: false,
         json: false,
         partial: false,
+        telemetry: false,
+        progress: false,
     };
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -157,6 +189,8 @@ fn parse_flags(args: &[String]) -> Result<Flags, SweepError> {
             "--csv" => flags.csv = true,
             "--json" => flags.json = true,
             "--partial" => flags.partial = true,
+            "--telemetry" => flags.telemetry = true,
+            "--progress" => flags.progress = true,
             // Single-dash typos (`-threads`) must not pass as positionals.
             other if other.starts_with('-') => {
                 return Err(SweepError::Spec(format!("unknown flag `{other}`\n{USAGE}")));
@@ -177,7 +211,9 @@ fn parse_positive(raw: &str, flag: &str) -> Result<usize, SweepError> {
 }
 
 fn build_runner(flags: &Flags) -> SweepRunner {
-    let mut runner = SweepRunner::new();
+    let mut runner = SweepRunner::new()
+        .with_telemetry(flags.telemetry_requested())
+        .with_progress(flags.progress);
     if let Some(threads) = flags.threads {
         runner = runner.with_threads(threads);
     }
@@ -189,6 +225,17 @@ fn build_runner(flags: &Flags) -> SweepRunner {
 
 fn execute(spec: &SweepSpec, store: &SweepStore, flags: &Flags) -> Result<(), SweepError> {
     let outcome = build_runner(flags).run(spec, &ProtocolRegistry::builtin(), Some(store))?;
+    if let Some(recorder) = &outcome.telemetry {
+        if !recorder.is_empty() {
+            // stderr, like the progress stream: stdout stays reserved for
+            // the run summary and exports.
+            eprintln!(
+                "telemetry profile (aggregate over {} executed cells):",
+                outcome.executed
+            );
+            eprint!("{}", recorder.render());
+        }
+    }
     println!(
         "sweep `{}` ({}): {} cells total, {} executed, {} already persisted",
         spec.name,
@@ -271,6 +318,59 @@ fn cmd_export(args: &[String]) -> Result<(), SweepError> {
     match &flags.out {
         Some(path) => std::fs::write(path, document)?,
         None => print!("{document}"),
+    }
+    Ok(())
+}
+
+fn cmd_report(args: &[String]) -> Result<(), SweepError> {
+    let flags = parse_flags(args)?;
+    let [dir] = flags.positional.as_slice() else {
+        return Err(SweepError::Spec(format!(
+            "report needs exactly one store directory\n{USAGE}"
+        )));
+    };
+    let (store, spec) = SweepStore::open(Path::new(dir))?;
+    let records = store.load_cells()?;
+    println!(
+        "sweep `{}` ({}): {}/{} cells persisted",
+        spec.name,
+        spec.hash_hex(),
+        records.len(),
+        spec.grid_len(),
+    );
+    if !flags.telemetry_requested() {
+        return Ok(());
+    }
+    let profiles = store.load_telemetry()?;
+    if profiles.is_empty() {
+        println!(
+            "no telemetry profiles recorded; capture them with: sweep run <spec.json> --out {dir} \
+             --telemetry"
+        );
+        return Ok(());
+    }
+    // `Recorder::merge` is commutative, so the merged table equals the
+    // sweep-wide aggregate a live `--telemetry` run prints.
+    let mut merged = Recorder::default();
+    let mut trials = 0u64;
+    let mut cell_ns = 0u64;
+    for cell in profiles.values() {
+        merged.merge(&cell.recorder);
+        trials += cell.trials;
+        cell_ns += cell.elapsed_ns;
+    }
+    println!(
+        "telemetry: {} cell profiles, {} trials, {:.2}s total cell time",
+        profiles.len(),
+        trials,
+        cell_ns as f64 / 1.0e9,
+    );
+    if merged.is_empty() {
+        // Counts-only backends (dense strata) have no per-message engine
+        // work to time; the shards still carry trial counts and wall time.
+        println!("profiles contain no engine phases (counts-only backend)");
+    } else {
+        print!("{}", merged.render());
     }
     Ok(())
 }

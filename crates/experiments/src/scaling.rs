@@ -147,6 +147,19 @@ pub fn e02_rounds_vs_epsilon(cfg: &ExperimentConfig) -> Table {
     table
 }
 
+/// The population sizes swept by E3 (outer axis).
+#[must_use]
+pub fn e03_population_grid(cfg: &ExperimentConfig) -> Vec<usize> {
+    if cfg.quick {
+        vec![500, 1_000, 2_000]
+    } else {
+        vec![500, 1_000, 2_000, 4_000, 8_000]
+    }
+}
+
+/// The noise margins swept by E3 (inner axis).
+pub const E03_EPSILONS: [f64; 2] = [0.2, 0.3];
+
 /// **E3 (Theorem 2.17)** — total messages versus the `n·ln n/ε²` prediction.
 #[must_use]
 pub fn e03_message_complexity(cfg: &ExperimentConfig) -> Table {
@@ -160,15 +173,9 @@ pub fn e03_message_complexity(cfg: &ExperimentConfig) -> Table {
             "all-correct rate",
         ],
     );
-    let ns = if cfg.quick {
-        vec![500, 1_000, 2_000]
-    } else {
-        vec![500, 1_000, 2_000, 4_000, 8_000]
-    };
-    let epsilons = [0.2, 0.3];
     let mut point = 200;
-    for &n in &ns {
-        for &epsilon in &epsilons {
+    for n in e03_population_grid(cfg) {
+        for &epsilon in &E03_EPSILONS {
             let (success, _frac, msgs, _rounds, _s1) = broadcast_point(cfg, point, n, epsilon);
             point += 1;
             let scale = n as f64 * (n as f64).ln() / (epsilon * epsilon);

@@ -1,9 +1,10 @@
 //! Registry-backed sweep specs for the migrated experiments.
 //!
 //! E1 (broadcast scaling), E1-D (dense rumor at large `n`), E2 (broadcast
-//! vs `ε`), E8 (majority consensus), E8-D (dense majority boost), ablation
-//! A2 (Stage II sample count) and E13 (Stage I/II majority vs Ben-Or under
-//! fault injection) are expressed here as declarative [`SweepSpec`]s
+//! vs `ε`), E3 (message complexity), E8 (majority consensus), E8-D (dense
+//! majority boost), ablation A2 (Stage II sample count) and E13 (Stage I/II
+//! majority vs Ben-Or under fault injection) are expressed here as
+//! declarative [`SweepSpec`]s
 //! instead of hand-rolled loops.  Their binaries are thin wrappers: build
 //! the spec, run it through the [`sweeps`] orchestrator, render the legacy
 //! table from the streamed aggregates.
@@ -35,11 +36,12 @@ pub type CellPairs = Vec<(ScenarioSpec, CellRecord)>;
 
 /// The names accepted by [`builtin`] (and the `sweep gen`/`sweep list`
 /// subcommands), in presentation order.
-pub const BUILTIN_SWEEPS: [&str; 8] = [
+pub const BUILTIN_SWEEPS: [&str; 9] = [
     "e01",
     "e01-dense",
     "e01-hybrid",
     "e02",
+    "e03",
     "e08",
     "e08-dense",
     "a2",
@@ -55,6 +57,7 @@ pub fn builtin(name: &str, cfg: &ExperimentConfig) -> Option<SweepSpec> {
         "e01-dense" => Some(e01_dense_sweep(cfg)),
         "e01-hybrid" => Some(e01_hybrid_sweep(cfg)),
         "e02" => Some(e02_sweep(cfg)),
+        "e03" => Some(e03_sweep(cfg)),
         "e08" => Some(e08_sweep(cfg)),
         "e08-dense" => Some(e08_dense_sweep(cfg)),
         "a2" => Some(a2_sweep(cfg)),
@@ -78,6 +81,7 @@ pub fn variant_for(binary: &str, backend: Backend) -> Option<&'static str> {
             ("hybrid", "e01-hybrid"),
         ],
         "e02" => &[("agents", "e02")],
+        "e03" => &[("agents", "e03")],
         "e08" => &[("agents", "e08"), ("dense", "e08-dense")],
         "a2" => &[("agents", "a2")],
         "e13" => &[("agents", "e13")],
@@ -100,6 +104,7 @@ pub fn render(name: &str, cells: &CellPairs) -> Table {
         "e01" => render_e01(cells),
         "e01-dense" | "e01-hybrid" => render_e01_dense(cells),
         "e02" => render_e02(cells),
+        "e03" => render_e03(cells),
         "e08" => render_e08(cells),
         "e08-dense" => render_e08_dense(cells),
         "a2" => render_a2(cells),
@@ -415,6 +420,77 @@ pub fn render_e02(cells: &CellPairs) -> Table {
             rounds.to_string(),
             fmt_float(rounds as f64 * epsilon * epsilon),
             fmt_float(metric(record, "fraction_correct").moments.mean()),
+            fmt_float(success_rate(record, "all_correct").estimate()),
+        ]);
+    }
+    table
+}
+
+// ---------------------------------------------------------------------------
+// E3: message complexity (Theorem 2.17)
+// ---------------------------------------------------------------------------
+
+/// The migrated E3 sweep: `broadcast` over
+/// [`scaling::e03_population_grid`] × [`scaling::E03_EPSILONS`] (row-major,
+/// `n` outer — the legacy nesting), seed points `200, 201, …`.
+#[must_use]
+pub fn e03_sweep(cfg: &ExperimentConfig) -> SweepSpec {
+    SweepSpec {
+        name: "e03".into(),
+        protocol: "broadcast".into(),
+        backend: Backend::Agents,
+        trials: cfg.trials,
+        base_seed: cfg.base_seed,
+        point_base: 200,
+        rounds: 0,
+        faults: faults_directive(cfg),
+        defaults: BTreeMap::new(),
+        axes: vec![
+            Axis {
+                key: "n".into(),
+                values: scaling::e03_population_grid(cfg)
+                    .into_iter()
+                    .map(|n| n as f64)
+                    .collect(),
+            },
+            Axis {
+                key: "epsilon".into(),
+                values: scaling::E03_EPSILONS.to_vec(),
+            },
+        ],
+    }
+}
+
+/// Runs the migrated E3 sweep and renders the legacy table (digit-identical
+/// to [`scaling::e03_message_complexity`]).
+#[must_use]
+pub fn e03_table(cfg: &ExperimentConfig) -> Table {
+    render_e03(&run_in_memory(&e03_sweep(cfg), cfg))
+}
+
+/// Renders E3 from sweep aggregates.
+#[must_use]
+pub fn render_e03(cells: &CellPairs) -> Table {
+    let mut table = Table::new(
+        "E3: message complexity (Theorem 2.17)",
+        &[
+            "n",
+            "epsilon",
+            "mean messages",
+            "messages / (n ln n / eps^2)",
+            "all-correct rate",
+        ],
+    );
+    for (spec, record) in cells {
+        let n = spec.n();
+        let epsilon = spec.epsilon();
+        let msgs = metric(record, "messages_sent").moments.mean();
+        let scale = n as f64 * (n as f64).ln() / (epsilon * epsilon);
+        table.push_row(&[
+            n.to_string(),
+            fmt_float(epsilon),
+            fmt_float(msgs),
+            fmt_float(msgs / scale),
             fmt_float(success_rate(record, "all_correct").estimate()),
         ]);
     }
@@ -824,12 +900,34 @@ mod tests {
         assert_eq!(variant_for("e01", Backend::Hybrid(7)), Some("e01-hybrid"));
         assert_eq!(variant_for("e02", Backend::Agents), Some("e02"));
         assert_eq!(variant_for("e02", Backend::Dense), None);
+        assert_eq!(variant_for("e03", Backend::Agents), Some("e03"));
+        assert_eq!(variant_for("e03", Backend::Dense), None);
         assert_eq!(variant_for("e08", Backend::Agents), Some("e08"));
         assert_eq!(variant_for("e08", Backend::Dense), Some("e08-dense"));
         assert_eq!(variant_for("e08", Backend::Hybrid(7)), None);
         assert_eq!(variant_for("e13", Backend::Agents), Some("e13"));
         assert_eq!(variant_for("e13", Backend::Dense), None);
         assert_eq!(variant_for("e99", Backend::Agents), None);
+    }
+
+    #[test]
+    fn e03_sweep_crosses_n_with_epsilon_in_legacy_order() {
+        let cfg = tiny();
+        let spec = e03_sweep(&cfg);
+        assert_eq!(spec.point_base, 200);
+        let cells = spec.expand().unwrap();
+        let ns = scaling::e03_population_grid(&cfg);
+        assert_eq!(cells.len(), ns.len() * scaling::E03_EPSILONS.len());
+        // Row-major: n outer, epsilon inner — the legacy `point += 1` walk.
+        assert_eq!(cells[0].n(), ns[0] as u64);
+        assert_eq!(cells[0].epsilon(), scaling::E03_EPSILONS[0]);
+        assert_eq!(cells[1].n(), ns[0] as u64);
+        assert_eq!(cells[1].epsilon(), scaling::E03_EPSILONS[1]);
+        for (idx, cell) in cells.iter().enumerate() {
+            assert_eq!(cell.point, 200 + idx as u64);
+            // The legacy harness derivation, exactly.
+            assert_eq!(cell.seed_for_trial(1), cfg.seed_for(200 + idx as u64, 1));
+        }
     }
 
     #[test]

@@ -43,6 +43,14 @@ fn e02_sweep_reproduces_the_legacy_table_digit_for_digit() {
 }
 
 #[test]
+fn e03_sweep_reproduces_the_legacy_table_digit_for_digit() {
+    let cfg = tiny(2);
+    let legacy = scaling::e03_message_complexity(&cfg).to_markdown();
+    let migrated = specs::e03_table(&cfg).to_markdown();
+    assert_eq!(migrated, legacy);
+}
+
+#[test]
 fn e08_sweep_reproduces_the_legacy_table_digit_for_digit() {
     let cfg = tiny(2);
     let legacy = consensus::e08_majority_consensus(&cfg).to_markdown();

@@ -28,6 +28,11 @@ const TINY_SPEC: &str = r#"{
 fn sweep(args: &[&str]) -> Output {
     Command::new(env!("CARGO_BIN_EXE_sweep"))
         .args(args)
+        // Telemetry-off assertions (and byte-identity references) must not
+        // depend on an ambient opt-in from the harness environment; the
+        // tests that want telemetry pass --telemetry or set the variable
+        // explicitly.
+        .env_remove("FLIP_TELEMETRY")
         .output()
         .expect("sweep binary runs")
 }
@@ -218,6 +223,99 @@ fn a_kill_mid_checkpoint_write_loses_only_the_torn_cell() {
     let stdout = sweep_ok(&["resume", dir.to_str().unwrap()]);
     assert!(stdout.contains("1 executed"), "{stdout}");
     assert_eq!(export(&dir, "--csv"), reference_csv);
+}
+
+#[test]
+fn telemetry_run_is_bit_identical_and_report_renders_the_profile() {
+    let root = scratch("telemetry");
+    let spec = write_spec(&root);
+    let spec = spec.to_str().unwrap();
+
+    // Reference: a plain run with telemetry off.
+    let plain_dir = root.join("plain");
+    sweep_ok(&["run", spec, "--out", plain_dir.to_str().unwrap()]);
+    let reference_csv = export(&plain_dir, "--csv");
+
+    // Telemetry on: results must not move by a bit, and the aggregate
+    // profile table streams to stderr alongside the progress lines.
+    let tele_dir = root.join("tele");
+    let out = sweep(&[
+        "run",
+        spec,
+        "--out",
+        tele_dir.to_str().unwrap(),
+        "--telemetry",
+        "--progress",
+    ]);
+    assert!(out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("telemetry profile"), "{stderr}");
+    assert!(stderr.contains("protocol_step"), "{stderr}");
+    assert!(stderr.contains("[sweep] cell"), "{stderr}");
+    assert_eq!(
+        export(&tele_dir, "--csv"),
+        reference_csv,
+        "telemetry must never change results"
+    );
+    // Profile shards live beside — never inside — the result shards.
+    assert!(tele_dir.join("telemetry").is_dir());
+
+    // `report --telemetry` re-renders the profile from persisted shards.
+    let report = sweep_ok(&["report", tele_dir.to_str().unwrap(), "--telemetry"]);
+    assert!(report.contains("4/4 cells persisted"), "{report}");
+    assert!(report.contains("4 cell profiles"), "{report}");
+    assert!(report.contains("protocol_step"), "{report}");
+
+    // A store that never recorded telemetry reports that, not an error.
+    let plain_report = sweep_ok(&["report", plain_dir.to_str().unwrap(), "--telemetry"]);
+    assert!(
+        plain_report.contains("no telemetry profiles"),
+        "{plain_report}"
+    );
+
+    // The FLIP_TELEMETRY environment opt-in is equivalent to the flag.
+    let env_dir = root.join("env");
+    let out = Command::new(env!("CARGO_BIN_EXE_sweep"))
+        .args(["run", spec, "--out", env_dir.to_str().unwrap()])
+        .env("FLIP_TELEMETRY", "1")
+        .output()
+        .expect("sweep binary runs");
+    assert!(out.status.success());
+    assert!(env_dir.join("telemetry").is_dir());
+    assert_eq!(export(&env_dir, "--csv"), reference_csv);
+}
+
+#[test]
+fn telemetry_shards_survive_interruption_and_resume() {
+    let root = scratch("telemetry-resume");
+    let spec = write_spec(&root);
+    let spec = spec.to_str().unwrap();
+    let dir = root.join("store");
+    let dir_str = dir.to_str().unwrap();
+
+    // Interrupt after 2 of 4 cells, then resume with telemetry still on.
+    sweep_ok(&[
+        "run",
+        spec,
+        "--out",
+        dir_str,
+        "--max-cells",
+        "2",
+        "--telemetry",
+    ]);
+    let report = sweep_ok(&["report", dir_str, "--telemetry"]);
+    assert!(report.contains("2/4 cells persisted"), "{report}");
+    assert!(report.contains("2 cell profiles"), "{report}");
+
+    sweep_ok(&["resume", dir_str, "--telemetry"]);
+    let report = sweep_ok(&["report", dir_str, "--telemetry"]);
+    assert!(report.contains("4/4 cells persisted"), "{report}");
+    assert!(report.contains("4 cell profiles"), "{report}");
+
+    // A resume without --telemetry completes fine and keeps the profiles
+    // already persisted (a no-op resume here: the grid is complete).
+    let stdout = sweep_ok(&["resume", dir_str]);
+    assert!(stdout.contains("0 executed"), "{stdout}");
 }
 
 #[test]

@@ -12,6 +12,7 @@ use crate::population::Census;
 use crate::rng::{BernoulliSkip, SimRng};
 use crate::scheduler::{GossipScheduler, RoundRouting, RADIX_MIN_N};
 use crate::trace::TraceRecorder;
+use telemetry::{Event, Phase, Recorder, Telemetry};
 
 /// How the engine applies channel noise to accepted messages.
 ///
@@ -109,6 +110,10 @@ pub struct Simulation<A, C> {
     /// injects faults ([`SimulationConfig::with_faults`]); `None` keeps the
     /// fault-free hot path (and RNG stream) untouched.
     faults: Option<FaultPlan>,
+    /// Phase timers and event counters; off by default (no recorder, no
+    /// clock reads) until [`Simulation::enable_telemetry`].  Timing never
+    /// touches the RNG stream, so enabled runs stay bit-identical.
+    telemetry: Telemetry,
 }
 
 impl<A: Agent, C: Channel> Simulation<A, C> {
@@ -175,14 +180,47 @@ impl<A: Agent, C: Channel> Simulation<A, C> {
             flip_buffer: Vec::with_capacity(n),
             pool,
             faults,
+            telemetry: Telemetry::off(),
         })
+    }
+
+    /// Turns on phase timing and event counting (and, when a worker pool is
+    /// present, per-lane busy-time accounting).
+    ///
+    /// Purely observational: telemetry reads the monotonic clock and adds
+    /// integers the round loop already computed, never the RNG stream, so an
+    /// instrumented run's deliveries, metrics and traces are bit-identical
+    /// to an uninstrumented one.
+    pub fn enable_telemetry(&mut self) {
+        if !self.telemetry.is_enabled() {
+            self.telemetry = Telemetry::enabled();
+        }
+        if let Some(pool) = &self.pool {
+            pool.set_timing(true);
+        }
+    }
+
+    /// The telemetry recorder accumulated so far, when enabled.
+    #[must_use]
+    pub fn telemetry(&self) -> Option<&Recorder> {
+        self.telemetry.recorder()
+    }
+
+    /// Takes the telemetry recorder out, disabling further recording.
+    pub fn take_telemetry(&mut self) -> Option<Recorder> {
+        if let Some(pool) = &self.pool {
+            pool.set_timing(false);
+        }
+        self.telemetry.take()
     }
 
     /// Executes one synchronous round and returns its summary.
     pub fn step(&mut self) -> RoundSummary {
         if self.census_dirty {
+            let span = self.telemetry.begin();
             self.census = Census::of_agents(&self.agents);
             self.census_dirty = false;
+            self.telemetry.end(Phase::CensusApply, span);
         }
         let round = self.round;
 
@@ -190,6 +228,8 @@ impl<A: Agent, C: Channel> Simulation<A, C> {
         // their agent: Byzantine roles inject their bit without consulting
         // (or advancing) the agent, crashed agents fall silent, and
         // adaptive-flip agents run their protocol but transmit its negation.
+        let span = self.telemetry.begin();
+        let mut forced_sends = 0u64;
         self.send_buffer.clear();
         match &self.faults {
             None => {
@@ -202,7 +242,10 @@ impl<A: Agent, C: Channel> Simulation<A, C> {
             Some(plan) => {
                 for (idx, agent) in self.agents.iter_mut().enumerate() {
                     let message = match plan.forced_send(idx, round) {
-                        Some(forced) => forced,
+                        Some(forced) => {
+                            forced_sends += 1;
+                            forced
+                        }
                         None => {
                             let sent = agent.send(round, &mut self.rng);
                             if plan.role(idx) == FaultRole::ByzantineAdaptiveFlip {
@@ -218,26 +261,38 @@ impl<A: Agent, C: Channel> Simulation<A, C> {
                 }
             }
         }
+        self.telemetry.end(Phase::ProtocolStep, span);
+        self.telemetry.add(Event::FaultForcedSends, forced_sends);
 
         // Phase 2: route into the reused buffer, then corrupt + deliver.
         // The parallel and sequential routes are bit-identical; the pool
         // only changes which cores do the work.
         match &self.pool {
-            Some(pool) => self.scheduler.route_into_parallel(
+            Some(pool) => {
+                self.scheduler.route_into_parallel_with(
+                    &self.send_buffer,
+                    &mut self.rng,
+                    &mut self.routing,
+                    pool,
+                    &mut self.telemetry,
+                );
+                if pool.timing_enabled() {
+                    let tel = &mut self.telemetry;
+                    pool.drain_lane_nanos(|lane, ns| tel.record_lane(lane, ns));
+                }
+            }
+            None => self.scheduler.route_into_with(
                 &self.send_buffer,
                 &mut self.rng,
                 &mut self.routing,
-                pool,
+                &mut self.telemetry,
             ),
-            None => self
-                .scheduler
-                .route_into(&self.send_buffer, &mut self.rng, &mut self.routing),
         }
 
         // Split borrows: the routing buffer is read while agents, census,
         // trace and rng are written.
         let noise = self.noise;
-        let (agents, routing, rng, trace, census, channel, flip_buffer, faults) = (
+        let (agents, routing, rng, trace, census, channel, flip_buffer, faults, tel) = (
             &mut self.agents,
             &self.routing,
             &mut self.rng,
@@ -246,6 +301,7 @@ impl<A: Agent, C: Channel> Simulation<A, C> {
             &self.channel,
             &mut self.flip_buffer,
             self.faults.as_ref(),
+            &mut self.telemetry,
         );
         // A message routed to a deaf role dies at the recipient, not in the
         // scheduler: its slot, flip position and (per-message) corruption
@@ -264,11 +320,14 @@ impl<A: Agent, C: Channel> Simulation<A, C> {
         let record_activations = trace.options().record_activations;
         let accepted = routing.accepted();
         let mut flips = 0u64;
+        let mut suppressed = 0u64;
+        let span = tel.begin();
         match noise {
             NoiseMode::Noiseless => {
                 for delivery in accepted {
                     let recipient = delivery.recipient.index();
                     if deaf(recipient) {
+                        suppressed += 1;
                         continue;
                     }
                     if record_activations {
@@ -297,6 +356,7 @@ impl<A: Agent, C: Channel> Simulation<A, C> {
                     }
                     let recipient = delivery.recipient.index();
                     if deaf(recipient) {
+                        suppressed += 1;
                         continue;
                     }
                     if record_activations {
@@ -311,6 +371,7 @@ impl<A: Agent, C: Channel> Simulation<A, C> {
                     flips += u64::from(corrupted != delivery.payload);
                     let recipient = delivery.recipient.index();
                     if deaf(recipient) {
+                        suppressed += 1;
                         continue;
                     }
                     if record_activations {
@@ -320,10 +381,16 @@ impl<A: Agent, C: Channel> Simulation<A, C> {
                 }
             }
         }
+        tel.end(Phase::NoiseMerge, span);
+        if matches!(noise, NoiseMode::PerMessage) {
+            tel.add(Event::PerMessageFallbacks, accepted.len() as u64);
+        }
+        tel.add(Event::FaultSuppressedDeliveries, suppressed);
 
         // Phase 3: end-of-round hooks (statically skipped for agent types
         // that declare the hook unused).
         if A::USES_END_ROUND {
+            let span = tel.begin();
             match faults {
                 None => {
                     for agent in agents.iter_mut() {
@@ -340,6 +407,7 @@ impl<A: Agent, C: Channel> Simulation<A, C> {
                     }
                 }
             }
+            tel.end(Phase::ProtocolStep, span);
         }
 
         let round_metrics = RoundMetrics {
@@ -348,6 +416,12 @@ impl<A: Agent, C: Channel> Simulation<A, C> {
             messages_accepted: self.routing.accepted().len() as u64,
             messages_collided: self.routing.collided,
             bits_flipped: flips,
+            forced_sends,
+            suppressed_deliveries: suppressed,
+            crashed_agents: self
+                .faults
+                .as_ref()
+                .map_or(0, |plan| plan.crashed_count(round) as u64),
         };
         self.metrics.absorb_round(&round_metrics);
 

@@ -245,6 +245,10 @@ impl FaultRole {
 pub struct FaultPlan {
     roles: Vec<FaultRole>,
     faulty: usize,
+    /// The shared crash round when the plan's faulty role is
+    /// [`FaultRole::Crashed`] (a plan injects a single spec, so every
+    /// crashed agent crashes in the same round).
+    crash_round: Option<Round>,
 }
 
 impl FaultPlan {
@@ -271,7 +275,11 @@ impl FaultPlan {
                 }
             })
             .collect();
-        Self { roles, faulty }
+        Self {
+            roles,
+            faulty,
+            crash_round: Self::crash_round_of(&role),
+        }
     }
 
     /// A plan over `n` agents whose first `faulty` agents carry the spec's
@@ -283,7 +291,28 @@ impl FaultPlan {
         let roles = (0..n)
             .map(|i| if i < faulty { role } else { FaultRole::Honest })
             .collect();
-        Self { roles, faulty }
+        Self {
+            roles,
+            faulty,
+            crash_round: Self::crash_round_of(&role),
+        }
+    }
+
+    fn crash_round_of(role: &FaultRole) -> Option<Round> {
+        match role {
+            FaultRole::Crashed { round } => Some(*round),
+            _ => None,
+        }
+    }
+
+    /// How many of the plan's agents are crashed during `round` (O(1): a
+    /// plan carries one spec, so all crashed agents share one crash round).
+    #[must_use]
+    pub fn crashed_count(&self, round: Round) -> usize {
+        match self.crash_round {
+            Some(crash) if round >= crash => self.faulty,
+            _ => 0,
+        }
     }
 
     /// The role of agent `i` (agents beyond the plan are honest).
@@ -543,6 +572,26 @@ mod tests {
         let flip: FaultSpec = "flip:0.5".parse().unwrap();
         let plan = FaultPlan::leading(&flip, 1, 2);
         assert_eq!(plan.forced_send(0, 0), None, "adaptive runs the protocol");
+    }
+
+    #[test]
+    fn crashed_count_is_zero_before_the_crash_round_and_all_faulty_after() {
+        let crash: FaultSpec = "crash:0.5@3".parse().unwrap();
+        let plan = FaultPlan::leading(&crash, 2, 8);
+        assert_eq!(plan.crashed_count(0), 0);
+        assert_eq!(plan.crashed_count(2), 0);
+        assert_eq!(plan.crashed_count(3), 2);
+        assert_eq!(plan.crashed_count(100), 2);
+        // Non-crash faults never report crashed agents.
+        let byz: FaultSpec = "byz:0.5".parse().unwrap();
+        let plan = FaultPlan::leading(&byz, 2, 8);
+        assert_eq!(plan.crashed_count(0), 0);
+        assert_eq!(plan.crashed_count(50), 0);
+        // Sampled plans carry the crash round too.
+        let mut rng = SimRng::from_seed(11);
+        let sampled = FaultPlan::sample(&crash, 1000, &mut rng);
+        assert_eq!(sampled.crashed_count(2), 0);
+        assert_eq!(sampled.crashed_count(3), sampled.faulty_count());
     }
 
     #[test]

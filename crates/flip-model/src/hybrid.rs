@@ -67,6 +67,8 @@ use crate::opinion::Opinion;
 use crate::population::Census;
 use crate::rng::SimRng;
 use crate::stratified::{binomial, validate_and_pad, StratifiedPopulation, StratifiedProtocol};
+use crate::trace::TraceRecorder;
+use telemetry::{Event, Phase, Recorder, Telemetry};
 
 /// A synchronous Flip-model simulation over `k` exactly-simulated tracked
 /// agents plus a dense bulk, exchanging aggregate send counts and sampled
@@ -89,6 +91,11 @@ pub struct HybridSimulation<A, P, C> {
     /// Fault roles over the tracked prefix — the hybrid engine carries the
     /// faulty agents on its exactly-simulated side, against an honest bulk.
     faults: Option<FaultPlan>,
+    /// Activation times and round snapshots for the *tracked* prefix: agent
+    /// index `i` in the trace is tracked agent `i`; the anonymous bulk has no
+    /// per-agent identity to trace.
+    trace: TraceRecorder,
+    telemetry: Telemetry,
 }
 
 impl<A: Agent, P: StratifiedProtocol, C: Channel> HybridSimulation<A, P, C> {
@@ -162,6 +169,7 @@ impl<A: Agent, P: StratifiedProtocol, C: Channel> HybridSimulation<A, P, C> {
             .iter()
             .map(|stratum| vec![0; stratum.counts().len()])
             .collect();
+        let trace = TraceRecorder::new(tracked.len(), config.trace_options(), config.reference());
         Ok(Self {
             tracked,
             protocol,
@@ -174,7 +182,31 @@ impl<A: Agent, P: StratifiedProtocol, C: Channel> HybridSimulation<A, P, C> {
             reference: config.reference(),
             n,
             faults,
+            trace,
+            telemetry: Telemetry::off(),
         })
+    }
+
+    /// Switches phase timing and event counting on for subsequent rounds.
+    ///
+    /// Timing reads the monotonic clock only — never the simulation RNG — so
+    /// an instrumented run's deliveries, metrics and traces are bit-identical
+    /// to an uninstrumented one.
+    pub fn enable_telemetry(&mut self) {
+        if !self.telemetry.is_enabled() {
+            self.telemetry = Telemetry::enabled();
+        }
+    }
+
+    /// The accumulated telemetry, when enabled.
+    #[must_use]
+    pub fn telemetry(&self) -> Option<&Recorder> {
+        self.telemetry.recorder()
+    }
+
+    /// Takes the accumulated telemetry, leaving telemetry disabled.
+    pub fn take_telemetry(&mut self) -> Option<Recorder> {
+        self.telemetry.take()
     }
 
     /// Executes one synchronous round and returns its summary.
@@ -185,7 +217,9 @@ impl<A: Agent, P: StratifiedProtocol, C: Channel> HybridSimulation<A, P, C> {
 
         // Phase 1: sends — tracked agents individually, bulk in aggregate,
         // all into one shared pool.
+        let span = self.telemetry.begin();
         let mut sent_by_symbol = [0u64; 2];
+        let mut forced_sends = 0u64;
         match &self.faults {
             None => {
                 for agent in &mut self.tracked {
@@ -200,7 +234,10 @@ impl<A: Agent, P: StratifiedProtocol, C: Channel> HybridSimulation<A, P, C> {
                 // agents negate their own protocol's send.
                 for (idx, agent) in self.tracked.iter_mut().enumerate() {
                     let symbol = match plan.forced_send(idx, round) {
-                        Some(forced) => forced,
+                        Some(forced) => {
+                            forced_sends += 1;
+                            forced
+                        }
                         None => {
                             let sent = agent.send(round, &mut self.rng);
                             if plan.role(idx) == FaultRole::ByzantineAdaptiveFlip {
@@ -228,13 +265,19 @@ impl<A: Agent, P: StratifiedProtocol, C: Channel> HybridSimulation<A, P, C> {
             }
         }
         let sent = sent_by_symbol[0] + sent_by_symbol[1];
+        self.telemetry.end(Phase::ProtocolStep, span);
+        self.telemetry.add(Event::FaultForcedSends, forced_sends);
 
         // Phase 2: reception against the shared pool.
+        let span = self.telemetry.begin();
         for next in &mut self.next_counts {
             next.fill(0);
         }
         let mut accepted = 0u64;
         let mut flips = 0u64;
+        let mut suppressed = 0u64;
+        let mut tracked_corrections = 0u64;
+        let record_activations = self.trace.options().record_activations;
         if sent == 0 {
             for s in 0..strata {
                 for state in 0..self.bulk.strata()[s].counts.len() {
@@ -262,6 +305,7 @@ impl<A: Agent, P: StratifiedProtocol, C: Channel> HybridSimulation<A, P, C> {
                     Opinion::Zero
                 };
                 let delivered = self.channel.transmit(symbol, &mut self.rng);
+                tracked_corrections += 1;
                 if delivered != symbol {
                     flips += 1;
                 }
@@ -274,9 +318,14 @@ impl<A: Agent, P: StratifiedProtocol, C: Channel> HybridSimulation<A, P, C> {
                     .faults
                     .as_ref()
                     .is_some_and(|plan| !plan.role(idx).accepts_delivery(round));
-                if !deaf {
-                    let _ = agent.deliver(round, delivered, &mut self.rng);
+                if deaf {
+                    suppressed += 1;
+                    continue;
                 }
+                if record_activations {
+                    self.trace.on_delivery(idx, round);
+                }
+                let _ = agent.deliver(round, delivered, &mut self.rng);
             }
 
             // Bulk deliveries: the stratified engine's aggregate pass.
@@ -329,10 +378,19 @@ impl<A: Agent, P: StratifiedProtocol, C: Channel> HybridSimulation<A, P, C> {
                 accepted += stratum_accepted;
             }
         }
+        self.telemetry.end(Phase::NoiseMerge, span);
+        self.telemetry
+            .add(Event::HybridTrackedCorrections, tracked_corrections);
+        self.telemetry
+            .add(Event::FaultSuppressedDeliveries, suppressed);
+
+        let span = self.telemetry.begin();
         for (stratum, next) in self.bulk.strata_mut().iter_mut().zip(&mut self.next_counts) {
             std::mem::swap(&mut stratum.counts, next);
         }
+        self.telemetry.end(Phase::CensusApply, span);
         if A::USES_END_ROUND {
+            let span = self.telemetry.begin();
             match &self.faults {
                 None => {
                     for agent in &mut self.tracked {
@@ -347,6 +405,7 @@ impl<A: Agent, P: StratifiedProtocol, C: Channel> HybridSimulation<A, P, C> {
                     }
                 }
             }
+            self.telemetry.end(Phase::ProtocolStep, span);
         }
 
         let accepted_capped = accepted.min(sent);
@@ -356,11 +415,18 @@ impl<A: Agent, P: StratifiedProtocol, C: Channel> HybridSimulation<A, P, C> {
             messages_accepted: accepted_capped,
             messages_collided: sent - accepted_capped,
             bits_flipped: flips.min(accepted_capped),
+            forced_sends,
+            suppressed_deliveries: suppressed,
+            crashed_agents: self
+                .faults
+                .as_ref()
+                .map_or(0, |plan| plan.crashed_count(round) as u64),
         };
         self.metrics.absorb_round(&round_metrics);
         self.round += 1;
 
         let census = self.census();
+        self.trace.on_round_end(round, &census, sent);
         RoundSummary {
             metrics: round_metrics,
             census_active: census.active(),
@@ -452,6 +518,13 @@ impl<A: Agent, P: StratifiedProtocol, C: Channel> HybridSimulation<A, P, C> {
     #[must_use]
     pub fn fault_plan(&self) -> Option<&FaultPlan> {
         self.faults.as_ref()
+    }
+
+    /// The recorded trace over the tracked prefix (activation index `i` is
+    /// tracked agent `i`; snapshots cover the whole population).
+    #[must_use]
+    pub fn trace(&self) -> &TraceRecorder {
+        &self.trace
     }
 
     /// Consumes the simulation, returning the tracked agents, the bulk

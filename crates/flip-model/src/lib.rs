@@ -116,4 +116,7 @@ pub use population::{majority_bias, Census};
 pub use rng::{BernoulliSkip, SimRng};
 pub use scheduler::{Delivery, GossipScheduler, RoundRouting, RADIX_BUCKET_BITS, RADIX_MIN_N};
 pub use stratified::{StratifiedPopulation, StratifiedProtocol, StratifiedSimulation};
+pub use telemetry::{
+    Event, NullSink, Phase, PhaseProfile, PhaseSpan, PhaseStat, Recorder, Telemetry, TelemetrySink,
+};
 pub use trace::{TraceOptions, TraceRecorder};

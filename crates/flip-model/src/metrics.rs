@@ -16,6 +16,14 @@ pub struct Metrics {
     pub messages_collided: u64,
     /// Accepted messages whose bit was flipped by the channel.
     pub bits_flipped: u64,
+    /// Sends intercepted by the fault plan: Byzantine injections that
+    /// replaced an honest send and crash silencings that dropped one.
+    pub forced_sends: u64,
+    /// Deliveries dropped because the recipient's fault role refused them.
+    pub suppressed_deliveries: u64,
+    /// Agent-rounds spent crashed (per round, the number of agents whose
+    /// crash round had already passed).
+    pub crashed_agent_rounds: u64,
 }
 
 impl Metrics {
@@ -58,6 +66,9 @@ impl Metrics {
         self.messages_accepted += round.messages_accepted;
         self.messages_collided += round.messages_collided;
         self.bits_flipped += round.bits_flipped;
+        self.forced_sends += round.forced_sends;
+        self.suppressed_deliveries += round.suppressed_deliveries;
+        self.crashed_agent_rounds += round.crashed_agents;
     }
 }
 
@@ -74,6 +85,12 @@ pub struct RoundMetrics {
     pub messages_collided: u64,
     /// Accepted messages whose bit was flipped in the round.
     pub bits_flipped: u64,
+    /// Sends intercepted by the fault plan in the round.
+    pub forced_sends: u64,
+    /// Deliveries suppressed by deaf fault roles in the round.
+    pub suppressed_deliveries: u64,
+    /// Agents that were crashed during the round.
+    pub crashed_agents: u64,
 }
 
 #[cfg(test)]
@@ -89,6 +106,7 @@ mod tests {
             messages_accepted: 8,
             messages_collided: 2,
             bits_flipped: 3,
+            ..RoundMetrics::default()
         });
         m.absorb_round(&RoundMetrics {
             round: 1,
@@ -96,6 +114,7 @@ mod tests {
             messages_accepted: 5,
             messages_collided: 0,
             bits_flipped: 1,
+            ..RoundMetrics::default()
         });
         assert_eq!(m.rounds, 2);
         assert_eq!(m.messages_sent, 15);
@@ -121,6 +140,7 @@ mod tests {
             messages_accepted: 80,
             messages_collided: 20,
             bits_flipped: 20,
+            ..RoundMetrics::default()
         });
         assert!((m.empirical_flip_rate().unwrap() - 0.25).abs() < 1e-12);
         assert!((m.collision_rate().unwrap() - 0.2).abs() < 1e-12);

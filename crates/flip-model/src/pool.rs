@@ -38,8 +38,10 @@
 
 use std::cell::UnsafeCell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// Hard cap on pool width: task bundles live in a stack array of this many
 /// slots inside [`RoundPool::run`] (heap-free dispatch), so a pool can never
@@ -87,6 +89,31 @@ struct Shared {
     go: Condvar,
     /// Signalled when the last task of a job finishes (caller waits here).
     done: Condvar,
+    /// When set, every executed task adds its wall time to its lane's
+    /// counter below.  Off (the default) costs one relaxed load per task
+    /// and never reads the clock.
+    timing: AtomicBool,
+    /// Per-lane busy nanoseconds, drained by
+    /// [`RoundPool::drain_lane_nanos`].
+    lane_nanos: [AtomicU64; MAX_WORKERS],
+}
+
+impl Shared {
+    /// Executes one task through `run`, timing it when enabled.
+    ///
+    /// # Safety
+    ///
+    /// Same contract as the `run` trampoline: `context` must point to a
+    /// live task set whose slot `index` is populated and unshared.
+    unsafe fn execute(&self, run: unsafe fn(*const (), usize), context: *const (), index: usize) {
+        let start = self.timing.load(Ordering::Relaxed).then(Instant::now);
+        // SAFETY: forwarded caller contract.
+        unsafe { run(context, index) };
+        if let Some(start) = start {
+            let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            self.lane_nanos[index].fetch_add(ns, Ordering::Relaxed);
+        }
+    }
 }
 
 /// The erased context: the caller's closure and the taken-by-one-executor
@@ -153,6 +180,8 @@ impl RoundPool {
             }),
             go: Condvar::new(),
             done: Condvar::new(),
+            timing: AtomicBool::new(false),
+            lane_nanos: std::array::from_fn(|_| AtomicU64::new(0)),
         });
         let handles = (1..workers)
             .map(|index| {
@@ -174,6 +203,30 @@ impl RoundPool {
     #[must_use]
     pub fn workers(&self) -> usize {
         self.workers
+    }
+
+    /// Turns per-lane busy-time accounting on or off.  Off (the default)
+    /// costs one relaxed flag load per dispatched task and never reads the
+    /// clock, preserving the allocation-free, timing-free hot path.
+    pub fn set_timing(&self, enabled: bool) {
+        self.shared.timing.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Whether per-lane busy-time accounting is on.
+    #[must_use]
+    pub fn timing_enabled(&self) -> bool {
+        self.shared.timing.load(Ordering::Relaxed)
+    }
+
+    /// Drains the accumulated per-lane busy nanoseconds into `sink(lane,
+    /// ns)`, resetting the counters (idle lanes are skipped).
+    pub fn drain_lane_nanos(&self, mut sink: impl FnMut(usize, u64)) {
+        for (lane, counter) in self.shared.lane_nanos.iter().enumerate().take(self.workers) {
+            let ns = counter.swap(0, Ordering::Relaxed);
+            if ns > 0 {
+                sink(lane, ns);
+            }
+        }
     }
 
     /// Runs up to [`Self::workers`] task bundles concurrently, one per lane,
@@ -243,7 +296,7 @@ impl RoundPool {
             shared: if count > 1 { Some(&self.shared) } else { None },
         };
         // SAFETY: slot 0 is populated and no worker executes index 0.
-        unsafe { trampoline::<T, F>(context, 0) };
+        unsafe { self.shared.execute(trampoline::<T, F>, context, 0) };
         drop(rendezvous);
     }
 }
@@ -295,7 +348,10 @@ fn worker_loop(shared: &Shared, index: usize) {
             // SAFETY: the dispatching caller keeps `context` alive until
             // `remaining` reaches zero, which this worker has not yet
             // signalled; `index < tasks` was checked under the lock.
-            let ok = catch_unwind(AssertUnwindSafe(|| unsafe { run(context, index) })).is_ok();
+            let ok = catch_unwind(AssertUnwindSafe(|| unsafe {
+                shared.execute(run, context, index)
+            }))
+            .is_ok();
             let mut state = shared.state.lock().expect("pool mutex poisoned");
             state.panicked |= !ok;
             state.remaining -= 1;
@@ -433,6 +489,38 @@ mod tests {
         // All worker lanes ran to completion before `run` unwound, so their
         // borrows never outlived the call.
         assert_eq!(finished.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn lane_timing_accumulates_only_when_enabled() {
+        let pool = RoundPool::new(2);
+        pool.run([(), ()], |_, ()| {
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        });
+        let mut drained = Vec::new();
+        pool.drain_lane_nanos(|lane, ns| drained.push((lane, ns)));
+        assert!(
+            drained.is_empty(),
+            "timing off records nothing: {drained:?}"
+        );
+
+        pool.set_timing(true);
+        assert!(pool.timing_enabled());
+        pool.run([(), ()], |_, ()| {
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        });
+        pool.drain_lane_nanos(|lane, ns| drained.push((lane, ns)));
+        assert_eq!(drained.len(), 2, "{drained:?}");
+        assert_eq!(drained[0].0, 0);
+        assert_eq!(drained[1].0, 1);
+        assert!(
+            drained.iter().all(|&(_, ns)| ns >= 1_000_000),
+            "{drained:?}"
+        );
+        // Draining resets the counters.
+        let mut again = Vec::new();
+        pool.drain_lane_nanos(|lane, ns| again.push((lane, ns)));
+        assert!(again.is_empty(), "{again:?}");
     }
 
     #[test]

@@ -3,8 +3,9 @@
 use crate::agent::AgentId;
 use crate::error::FlipError;
 use crate::opinion::Opinion;
-use crate::pool::RoundPool;
+use crate::pool::{RoundPool, MAX_WORKERS};
 use crate::rng::SimRng;
+use telemetry::{Event, Phase, Telemetry};
 
 /// A message accepted by its recipient in one round, before channel noise.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -379,10 +380,26 @@ impl GossipScheduler {
         rng: &mut SimRng,
         out: &mut RoundRouting,
     ) {
+        self.route_into_with(sends, rng, out, &mut Telemetry::off());
+    }
+
+    /// [`route_into`](GossipScheduler::route_into) with phase timing and
+    /// event counting through `tel`.
+    ///
+    /// Telemetry is observational only: `tel` never touches `rng`, so the
+    /// routing (and the post-round RNG state) is bit-identical whether the
+    /// handle is enabled, disabled, or absent.
+    pub fn route_into_with(
+        &mut self,
+        sends: &[(u32, Opinion)],
+        rng: &mut SimRng,
+        out: &mut RoundRouting,
+        tel: &mut Telemetry,
+    ) {
         if self.n >= RADIX_MIN_N && self.is_dense(sends.len()) {
-            self.route_into_radix(sends, rng, out);
+            self.route_into_radix_with(sends, rng, out, tel);
         } else {
-            self.route_into_single_pass(sends, rng, out);
+            self.route_into_single_pass_with(sends, rng, out, tel);
         }
     }
 
@@ -412,8 +429,10 @@ impl GossipScheduler {
     /// An associated function (not a method) so the parallel scatter workers
     /// can call it with copied `span`/`threshold` without borrowing the
     /// scheduler.
+    /// Returns the recipient plus the number of rejection redraws the draw
+    /// cost (almost always 0; surfaced as [`Event::LemireRedraws`]).
     #[inline(always)]
-    fn draw_recipient(word: u64, sender: usize, span: u32, threshold: u32) -> usize {
+    fn draw_recipient(word: u64, sender: usize, span: u32, threshold: u32) -> (usize, u64) {
         let mut product = u64::from(word as u32) * u64::from(span);
         let mut attempt = 0usize;
         while (product as u32) < threshold {
@@ -422,12 +441,12 @@ impl GossipScheduler {
             product = u64::from(redraw as u32) * u64::from(span);
         }
         let recipient = (product >> 32) as usize;
-        recipient + usize::from(recipient >= sender)
+        (recipient + usize::from(recipient >= sender), attempt as u64)
     }
 
     /// [`Self::draw_recipient`] with this scheduler's cached span/threshold.
     #[inline(always)]
-    fn recipient_of(&self, word: u64, sender: usize) -> usize {
+    fn recipient_of(&self, word: u64, sender: usize) -> (usize, u64) {
         Self::draw_recipient(word, sender, self.span, self.threshold)
     }
 
@@ -483,19 +502,40 @@ impl GossipScheduler {
         rng: &mut SimRng,
         out: &mut RoundRouting,
     ) {
+        self.route_into_single_pass_with(sends, rng, out, &mut Telemetry::off());
+    }
+
+    /// [`route_into_single_pass`](GossipScheduler::route_into_single_pass)
+    /// with phase timing and event counting through `tel`.
+    pub fn route_into_single_pass_with(
+        &mut self,
+        sends: &[(u32, Opinion)],
+        rng: &mut SimRng,
+        out: &mut RoundRouting,
+        tel: &mut Telemetry,
+    ) {
         let m = sends.len();
         self.grow_buffer(out);
+        let span = tel.begin();
         let base = rng.reserve_block(m);
+        tel.end(Phase::RngReserve, span);
+        let mut redraws = 0u64;
 
         if self.is_dense(m) {
+            let span = tel.begin();
             for (i, &(sender, payload)) in sends.iter().enumerate() {
                 debug_assert!((sender as usize) < self.n, "sender index out of range");
                 let word = SimRng::block_word(base, i);
-                let recipient = self.recipient_of(word, sender as usize);
+                let (recipient, attempts) = self.recipient_of(word, sender as usize);
+                redraws += attempts;
                 let slot = &mut self.slots[recipient];
                 *slot = (*slot).max(Self::packed_word(word, sender, payload, recipient));
             }
+            tel.end(Phase::Scatter, span);
+            tel.add(Event::LemireRedraws, redraws);
+            let span = tel.begin();
             self.emit_dense(m, out);
+            tel.end(Phase::SweepEmit, span);
             return;
         }
 
@@ -505,17 +545,22 @@ impl GossipScheduler {
         if self.recipients.len() < m {
             self.recipients.resize(m, 0);
         }
+        let span = tel.begin();
         for (i, &(sender, payload)) in sends.iter().enumerate() {
             debug_assert!((sender as usize) < self.n, "sender index out of range");
             let word = SimRng::block_word(base, i);
-            let recipient = self.recipient_of(word, sender as usize);
+            let (recipient, attempts) = self.recipient_of(word, sender as usize);
+            redraws += attempts;
             self.recipients[i] = recipient as u32;
             let slot = &mut self.slots[recipient];
             *slot = (*slot).max(Self::packed_word(word, sender, payload, recipient));
         }
+        tel.end(Phase::Scatter, span);
+        tel.add(Event::LemireRedraws, redraws);
 
         // First-arrival emission: the first walk past a recipient finds its
         // winning word and zeroes the slot, so duplicates emit nothing.
+        let span = tel.begin();
         let mut accepted_len = 0usize;
         for &recipient in &self.recipients[..m] {
             let slot = &mut self.slots[recipient as usize];
@@ -527,6 +572,7 @@ impl GossipScheduler {
         out.accepted_len = accepted_len;
         out.sent = m as u64;
         out.collided = m as u64 - accepted_len as u64;
+        tel.end(Phase::SweepEmit, span);
     }
 
     /// The cache-bucketed radix routing path: stage each message into its
@@ -563,9 +609,22 @@ impl GossipScheduler {
         rng: &mut SimRng,
         out: &mut RoundRouting,
     ) {
+        self.route_into_radix_with(sends, rng, out, &mut Telemetry::off());
+    }
+
+    /// [`route_into_radix`](GossipScheduler::route_into_radix) with phase
+    /// timing and event counting through `tel` (the fused resolve + emit
+    /// pass is attributed to [`Phase::WindowResolve`]).
+    pub fn route_into_radix_with(
+        &mut self,
+        sends: &[(u32, Opinion)],
+        rng: &mut SimRng,
+        out: &mut RoundRouting,
+        tel: &mut Telemetry,
+    ) {
         let m = sends.len();
         if !self.is_dense(m) {
-            self.route_into_single_pass(sends, rng, out);
+            self.route_into_single_pass_with(sends, rng, out, tel);
             return;
         }
         self.grow_buffer(out);
@@ -580,21 +639,26 @@ impl GossipScheduler {
         if self.bucket_cursors.len() < bucket_count {
             self.bucket_cursors.resize(bucket_count, 0);
         }
+        let span = tel.begin();
         let base = rng.reserve_block(m);
+        tel.end(Phase::RngReserve, span);
 
         // Phase 1 — scatter into the fixed-capacity staging areas: one
         // sequential write stream per bucket (the staged word carries the
         // in-bucket offset, so a message is a single 8-byte append) instead
         // of a population-wide random scatter.
+        let span = tel.begin();
         for b in 0..bucket_count {
             self.bucket_cursors[b] = (b * capacity) as u32;
         }
         self.spill.clear();
         let bucket_mask = (1u32 << RADIX_BUCKET_BITS) - 1;
+        let mut redraws = 0u64;
         for (i, &(sender, payload)) in sends.iter().enumerate() {
             debug_assert!((sender as usize) < self.n, "sender index out of range");
             let word = SimRng::block_word(base, i);
-            let recipient = self.recipient_of(word, sender as usize);
+            let (recipient, attempts) = self.recipient_of(word, sender as usize);
+            redraws += attempts;
             let pword = Self::packed_word(word, sender, payload, recipient);
             let bucket = recipient >> RADIX_BUCKET_BITS;
             let at = self.bucket_cursors[bucket] as usize;
@@ -605,9 +669,20 @@ impl GossipScheduler {
                 self.spill.push((recipient as u32, pword));
             }
         }
+        tel.end(Phase::Scatter, span);
+        tel.add(Event::LemireRedraws, redraws);
+        tel.add(Event::RadixSpills, self.spill.len() as u64);
+        if tel.is_enabled() {
+            let high_water = (0..bucket_count)
+                .map(|b| u64::from(self.bucket_cursors[b]) - (b * capacity) as u64)
+                .max()
+                .unwrap_or(0);
+            tel.observe_max(Event::StagingHighWater, high_water);
+        }
 
         // Phases 2 + 3 — per bucket: max-resolve staged (+ spilled) words
         // in the resident window, then sweep-emit in recipient order.
+        let span = tel.begin();
         let window_len = 1usize << RADIX_BUCKET_BITS;
         let offset_mask = (1u64 << RADIX_BUCKET_BITS) - 1;
         let mut accepted_len = 0usize;
@@ -640,6 +715,7 @@ impl GossipScheduler {
         out.accepted_len = accepted_len;
         out.sent = m as u64;
         out.collided = m as u64 - accepted_len as u64;
+        tel.end(Phase::WindowResolve, span);
     }
 
     /// Routes one round like [`route_into`](GossipScheduler::route_into),
@@ -658,10 +734,23 @@ impl GossipScheduler {
         out: &mut RoundRouting,
         pool: &RoundPool,
     ) {
+        self.route_into_parallel_with(sends, rng, out, pool, &mut Telemetry::off());
+    }
+
+    /// [`route_into_parallel`](GossipScheduler::route_into_parallel) with
+    /// phase timing and event counting through `tel`.
+    pub fn route_into_parallel_with(
+        &mut self,
+        sends: &[(u32, Opinion)],
+        rng: &mut SimRng,
+        out: &mut RoundRouting,
+        pool: &RoundPool,
+        tel: &mut Telemetry,
+    ) {
         if self.n >= RADIX_MIN_N && self.is_dense(sends.len()) {
-            self.route_into_radix_parallel(sends, rng, out, pool);
+            self.route_into_radix_parallel_with(sends, rng, out, pool, tel);
         } else {
-            self.route_into_single_pass(sends, rng, out);
+            self.route_into_single_pass_with(sends, rng, out, tel);
         }
     }
 
@@ -705,13 +794,28 @@ impl GossipScheduler {
         out: &mut RoundRouting,
         pool: &RoundPool,
     ) {
+        self.route_into_radix_parallel_with(sends, rng, out, pool, &mut Telemetry::off());
+    }
+
+    /// [`route_into_radix_parallel`](GossipScheduler::route_into_radix_parallel)
+    /// with phase timing and event counting through `tel`: the three pool
+    /// dispatches map onto [`Phase::Scatter`], [`Phase::WindowResolve`] and
+    /// [`Phase::SweepEmit`].
+    pub fn route_into_radix_parallel_with(
+        &mut self,
+        sends: &[(u32, Opinion)],
+        rng: &mut SimRng,
+        out: &mut RoundRouting,
+        pool: &RoundPool,
+        tel: &mut Telemetry,
+    ) {
         let m = sends.len();
         if !self.is_dense(m) {
-            self.route_into_single_pass(sends, rng, out);
+            self.route_into_single_pass_with(sends, rng, out, tel);
             return;
         }
         if m == 0 || pool.workers() == 1 {
-            self.route_into_radix(sends, rng, out);
+            self.route_into_radix_with(sends, rng, out, tel);
             return;
         }
         self.grow_buffer(out);
@@ -730,11 +834,17 @@ impl GossipScheduler {
             out.staged.resize(staged_len, 0);
         }
         self.reserve_parallel(lanes);
+        let tspan = tel.begin();
         let base = rng.reserve_block(m);
+        tel.end(Phase::RngReserve, tspan);
         let (span, threshold) = (self.span, self.threshold);
 
         // Phase 1 — parallel scatter: lane `w` stages messages
         // `[w·chunk_len, (w+1)·chunk_len)` into its private bucket areas.
+        // Each lane counts its own rejection redraws into a private slot
+        // (stack array — no allocation, no sharing).
+        let mut lane_redraws = [0u64; MAX_WORKERS];
+        let tspan = tel.begin();
         {
             let staged = &mut out.staged[..staged_len];
             let cursors = &mut self.bucket_cursors[..lanes * bucket_count];
@@ -744,35 +854,58 @@ impl GossipScheduler {
                 .zip(cursors.chunks_mut(bucket_count))
                 .zip(spills.iter_mut())
                 .zip(sends.chunks(chunk_len))
+                .zip(lane_redraws.iter_mut())
                 .enumerate()
-                .map(|(lane, (((staged, cursors), spill), sends))| {
-                    (lane * chunk_len, staged, cursors, spill, sends)
+                .map(|(lane, ((((staged, cursors), spill), sends), redraws))| {
+                    (lane * chunk_len, staged, cursors, spill, sends, redraws)
                 });
-            pool.run(tasks, |_, (first, staged, cursors, spill, sends)| {
-                for (b, cursor) in cursors.iter_mut().enumerate() {
-                    *cursor = (b * capacity) as u32;
-                }
-                spill.clear();
-                for (i, &(sender, payload)) in sends.iter().enumerate() {
-                    debug_assert!((sender as usize) < n, "sender index out of range");
-                    let word = SimRng::block_word(base, first + i);
-                    let recipient = Self::draw_recipient(word, sender as usize, span, threshold);
-                    let pword = Self::packed_word(word, sender, payload, recipient);
-                    let bucket = recipient >> RADIX_BUCKET_BITS;
-                    let at = cursors[bucket] as usize;
-                    if at < (bucket + 1) * capacity {
-                        staged[at] = pword;
-                        cursors[bucket] = at as u32 + 1;
-                    } else {
-                        spill.push((recipient as u32, pword));
+            pool.run(
+                tasks,
+                |_, (first, staged, cursors, spill, sends, redraws)| {
+                    for (b, cursor) in cursors.iter_mut().enumerate() {
+                        *cursor = (b * capacity) as u32;
                     }
-                }
-            });
+                    spill.clear();
+                    let mut lane_attempts = 0u64;
+                    for (i, &(sender, payload)) in sends.iter().enumerate() {
+                        debug_assert!((sender as usize) < n, "sender index out of range");
+                        let word = SimRng::block_word(base, first + i);
+                        let (recipient, attempts) =
+                            Self::draw_recipient(word, sender as usize, span, threshold);
+                        lane_attempts += attempts;
+                        let pword = Self::packed_word(word, sender, payload, recipient);
+                        let bucket = recipient >> RADIX_BUCKET_BITS;
+                        let at = cursors[bucket] as usize;
+                        if at < (bucket + 1) * capacity {
+                            staged[at] = pword;
+                            cursors[bucket] = at as u32 + 1;
+                        } else {
+                            spill.push((recipient as u32, pword));
+                        }
+                    }
+                    *redraws = lane_attempts;
+                },
+            );
+        }
+        tel.end(Phase::Scatter, tspan);
+        tel.add(Event::LemireRedraws, lane_redraws[..lanes].iter().sum());
+        tel.add(
+            Event::RadixSpills,
+            self.spills[..lanes].iter().map(|s| s.len() as u64).sum(),
+        );
+        if tel.is_enabled() {
+            let cursors = &self.bucket_cursors[..lanes * bucket_count];
+            let high_water = (0..lanes * bucket_count)
+                .map(|at| u64::from(cursors[at]) - ((at % bucket_count) * capacity) as u64)
+                .max()
+                .unwrap_or(0);
+            tel.observe_max(Event::StagingHighWater, high_water);
         }
 
         // Phase 2 — parallel resolve: lanes own disjoint contiguous bucket
         // ranges and max-fold every lane's staging (and spills) for their
         // buckets, counting each slot's first arrival.
+        let tspan = tel.begin();
         let bucket_chunk = bucket_count.div_ceil(lanes);
         {
             let staged = &out.staged[..staged_len];
@@ -831,6 +964,7 @@ impl GossipScheduler {
         }
         self.bucket_offsets[bucket_count] = total;
         let accepted_total = total as usize;
+        tel.end(Phase::WindowResolve, tspan);
 
         // Phase 3 — parallel emit: each bucket range sweeps its windows in
         // recipient order into its exact (disjoint) region of the output
@@ -839,6 +973,7 @@ impl GossipScheduler {
         // position without advancing it, which the next winner overwrites —
         // and once a range has emitted its full count the remaining slots
         // are provably zero, so the sweep stops.
+        let tspan = tel.begin();
         {
             let offsets = &self.bucket_offsets[..bucket_count + 1];
             let slots = &mut self.slots[..n];
@@ -876,6 +1011,7 @@ impl GossipScheduler {
         out.accepted_len = accepted_total;
         out.sent = m as u64;
         out.collided = m as u64 - accepted_total as u64;
+        tel.end(Phase::SweepEmit, tspan);
     }
 }
 
@@ -1283,6 +1419,53 @@ mod tests {
             );
             assert_eq!(out_single, out_radix, "round {round}");
             assert_eq!(rng_single.next_u64(), rng_radix.next_u64());
+        }
+    }
+
+    #[test]
+    fn telemetry_counts_forced_spills_without_perturbing_deliveries() {
+        // Same starved-capacity workload as above, but routed through the
+        // instrumented entry point: the spill counter must see every
+        // overflowed message, the staging high-water must pin at the forced
+        // capacity, and — the load-bearing half — deliveries and the RNG
+        // stream must stay bit-identical to the uninstrumented scheduler.
+        let n = (1usize << RADIX_BUCKET_BITS) + 7;
+        let sends: Vec<(u32, Opinion)> = (0..n as u32)
+            .map(|i| (i, Opinion::from_bit(u8::from(i % 2 == 0))))
+            .collect();
+        let mut plain = GossipScheduler::new(n).unwrap();
+        let mut instrumented = GossipScheduler::new(n).unwrap();
+        plain.forced_bucket_capacity = Some(8);
+        instrumented.forced_bucket_capacity = Some(8);
+        let mut tel = Telemetry::enabled();
+        let mut rng_plain = SimRng::from_seed(0x5F14);
+        let mut rng_inst = SimRng::from_seed(0x5F14);
+        let mut out_plain = RoundRouting::with_capacity(n);
+        let mut out_inst = RoundRouting::with_capacity(n);
+        let rounds = 3u64;
+        for round in 0..rounds {
+            plain.route_into_radix(&sends, &mut rng_plain, &mut out_plain);
+            instrumented.route_into_radix_with(&sends, &mut rng_inst, &mut out_inst, &mut tel);
+            assert_eq!(out_plain, out_inst, "round {round}");
+            assert_eq!(rng_plain.next_u64(), rng_inst.next_u64(), "round {round}");
+        }
+        let recorder = tel.recorder().expect("telemetry is enabled");
+        assert!(
+            recorder.event(Event::RadixSpills) > 1_000 * rounds,
+            "starved capacity must spill thousands per round, counted {}",
+            recorder.event(Event::RadixSpills)
+        );
+        assert_eq!(
+            recorder.event(Event::StagingHighWater),
+            8,
+            "high water saturates at the forced capacity"
+        );
+        for phase in [Phase::RngReserve, Phase::Scatter, Phase::WindowResolve] {
+            assert_eq!(
+                recorder.phases().get(phase).count,
+                rounds,
+                "{phase} must be timed once per round"
+            );
         }
     }
 

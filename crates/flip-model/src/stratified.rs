@@ -488,12 +488,15 @@ impl<P: StratifiedProtocol, C: Channel> StratifiedSimulation<P, C> {
         // Independent reception can (rarely) draw slightly more receivers
         // than messages; clamp the accounting so `sent = accepted + collided`.
         let accepted_capped = accepted.min(sent);
+        // The stratified engine carries no fault plan: the fault counters in
+        // its round metrics stay zero.
         let round_metrics = RoundMetrics {
             round,
             messages_sent: sent,
             messages_accepted: accepted_capped,
             messages_collided: sent - accepted_capped,
             bits_flipped: flips.min(accepted_capped),
+            ..RoundMetrics::default()
         };
         self.metrics.absorb_round(&round_metrics);
         self.round += 1;

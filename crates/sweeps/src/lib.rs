@@ -62,6 +62,7 @@ pub mod aggregate;
 pub mod error;
 pub mod export;
 pub mod json;
+pub mod observe;
 pub mod orchestrator;
 pub mod registry;
 pub mod runner;
@@ -71,8 +72,9 @@ pub mod store;
 pub use aggregate::{CellRecord, MetricAggregate, TRACKED_QUANTILES};
 pub use error::SweepError;
 pub use export::{export_csv, export_json, ordered_cells, parse_export_json};
+pub use observe::{CellTelemetry, ProgressReporter, TelemetryHub, TrialContext};
 pub use orchestrator::{SweepOutcome, SweepRunner};
 pub use registry::{ProtocolRegistry, TrialFn};
 pub use runner::{default_threads, TrialRunner, THREADS_ENV};
 pub use spec::{Axis, ScenarioSpec, SweepSpec};
-pub use store::{ShardWriter, SweepStore};
+pub use store::{ShardWriter, SweepStore, TelemetryShardWriter};

@@ -20,15 +20,31 @@
 //! Scheduling therefore cannot influence results — which is what makes
 //! `resume` (skip persisted cells, run the rest) produce byte-identical
 //! exports to an uninterrupted run.
+//!
+//! # Observability
+//!
+//! With [`SweepRunner::with_telemetry`] each cell runs under a fresh
+//! [`TelemetryHub`]: engine-level phase timers and event counters from every
+//! trial merge there, stream into a per-cell [`CellTelemetry`] line in the
+//! store's `telemetry/` shards (same checkpoint-per-cell, torn-tail-tolerant
+//! contract as the result shards), and fold into the sweep-wide
+//! [`SweepOutcome::telemetry`] recorder.  Timing reads the monotonic clock,
+//! never a simulation RNG, so results stay bit-identical with telemetry on.
+//! [`SweepRunner::with_progress`] streams one stderr line per completed cell
+//! (cells/sec, trials/sec, ETA) through [`ProgressReporter`].
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::time::Instant;
+
+use telemetry::Recorder;
 
 use crate::aggregate::CellRecord;
 use crate::error::SweepError;
+use crate::observe::{CellTelemetry, ProgressReporter, TelemetryHub, TrialContext};
 use crate::registry::ProtocolRegistry;
 use crate::runner::{default_threads, TrialRunner};
 use crate::spec::{ScenarioSpec, SweepSpec};
-use crate::store::{ShardWriter, SweepStore};
+use crate::store::{ShardWriter, SweepStore, TelemetryShardWriter};
 
 /// Result of one [`SweepRunner::run`] call.
 #[derive(Debug)]
@@ -44,6 +60,9 @@ pub struct SweepOutcome {
     pub total: usize,
     /// Whether every grid cell now has a record.
     pub completed: bool,
+    /// The merged telemetry recorder over every cell this call executed
+    /// (`None` unless [`SweepRunner::with_telemetry`] was set).
+    pub telemetry: Option<Recorder>,
 }
 
 /// Orchestrates one sweep: expansion, scheduling, checkpointing.
@@ -51,6 +70,8 @@ pub struct SweepOutcome {
 pub struct SweepRunner {
     threads: usize,
     max_cells: Option<usize>,
+    telemetry: bool,
+    progress: bool,
 }
 
 impl SweepRunner {
@@ -61,6 +82,8 @@ impl SweepRunner {
         Self {
             threads: default_threads(),
             max_cells: None,
+            telemetry: false,
+            progress: false,
         }
     }
 
@@ -79,6 +102,24 @@ impl SweepRunner {
     #[must_use]
     pub fn with_max_cells(mut self, max_cells: usize) -> Self {
         self.max_cells = Some(max_cells);
+        self
+    }
+
+    /// Enables per-cell telemetry collection (phase profiles, event
+    /// counters), telemetry shards when a store is attached, and the merged
+    /// [`SweepOutcome::telemetry`] recorder.  Results are bit-identical
+    /// either way.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: bool) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// Enables the live stderr progress reporter (one line per completed
+    /// cell: cells/sec, trials/sec, ETA).
+    #[must_use]
+    pub fn with_progress(mut self, progress: bool) -> Self {
+        self.progress = progress;
         self
     }
 
@@ -129,6 +170,18 @@ impl SweepRunner {
             Some(store) if !pending.is_empty() => store.open_shards(outer)?,
             _ => Vec::new(),
         };
+        let mut tele_shards = match store {
+            Some(store) if self.telemetry && !pending.is_empty() => {
+                store.open_telemetry_shards(outer)?
+            }
+            _ => Vec::new(),
+        };
+        let sweep_hub = if self.telemetry {
+            Some(TelemetryHub::new())
+        } else {
+            None
+        };
+        let progress = ProgressReporter::new(self.progress, pending.len(), skipped);
 
         let next = AtomicUsize::new(0);
         // First error wins and aborts the queue: workers check the flag
@@ -138,22 +191,54 @@ impl SweepRunner {
         let pending_ref = &pending;
         let next_ref = &next;
         let abort_ref = &abort;
+        let sweep_hub_ref = sweep_hub.as_ref();
+        let progress_ref = &progress;
+        let telemetry_on = self.telemetry;
         let mut fresh: Vec<(usize, CellRecord)> = Vec::with_capacity(pending.len());
         let mut first_error: Option<SweepError> = None;
 
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..outer)
-                .map(|_| {
+                .map(|worker| {
                     let mut shard = shards.pop();
+                    let mut tele_shard = tele_shards.pop();
                     scope.spawn(move || {
                         let mut mine: Vec<(usize, CellRecord)> = Vec::new();
                         let run = |cell: &ScenarioSpec,
-                                   shard: Option<&mut ShardWriter>|
+                                   shard: Option<&mut ShardWriter>,
+                                   tele_shard: Option<&mut TelemetryShardWriter>|
                          -> Result<CellRecord, SweepError> {
-                            let record = run_cell(cell, registry, inner)?;
+                            let cell_start = Instant::now();
+                            let hub = telemetry_on.then(TelemetryHub::new);
+                            let record = run_cell(cell, registry, inner, hub.as_ref())?;
+                            // The result record is the checkpoint; telemetry
+                            // rides behind it so a kill in between loses a
+                            // profile, never duplicates one.
                             if let Some(writer) = shard {
                                 writer.append(&record)?;
                             }
+                            if let Some(hub) = &hub {
+                                let recorder = hub.take();
+                                if let Some(writer) = tele_shard {
+                                    writer.append(&CellTelemetry {
+                                        hash: record.hash.clone(),
+                                        point: record.point,
+                                        worker: worker as u64,
+                                        trials: u64::from(cell.trials),
+                                        elapsed_ns: cell_start.elapsed().as_nanos() as u64,
+                                        recorder: recorder.clone(),
+                                    })?;
+                                }
+                                if let Some(sweep_hub) = sweep_hub_ref {
+                                    sweep_hub.absorb(&recorder);
+                                }
+                            }
+                            progress_ref.cell_finished(
+                                worker,
+                                record.point,
+                                u64::from(cell.trials),
+                                cell_start.elapsed(),
+                            );
                             Ok(record)
                         };
                         loop {
@@ -164,7 +249,7 @@ impl SweepRunner {
                             let Some(&(grid_index, cell)) = pending_ref.get(slot) else {
                                 return Ok(mine);
                             };
-                            match run(cell, shard.as_mut()) {
+                            match run(cell, shard.as_mut(), tele_shard.as_mut()) {
                                 Ok(record) => mine.push((grid_index, record)),
                                 Err(err) => {
                                     abort_ref.store(true, Ordering::Relaxed);
@@ -208,6 +293,7 @@ impl SweepRunner {
             skipped,
             total: grid.len(),
             completed,
+            telemetry: sweep_hub.map(|hub| hub.take()),
         })
     }
 }
@@ -229,10 +315,17 @@ fn run_cell(
     cell: &ScenarioSpec,
     registry: &ProtocolRegistry,
     inner_threads: usize,
+    hub: Option<&TelemetryHub>,
 ) -> Result<CellRecord, SweepError> {
     let runner = TrialRunner::new(u64::from(cell.trials)).with_threads(inner_threads);
     let round_threads = runner.round_threads();
-    let results = runner.run(|trial| registry.run_trial_with_threads(cell, trial, round_threads));
+    let results = runner.run(|trial| {
+        let mut context = TrialContext::new(round_threads);
+        if let Some(hub) = hub {
+            context = context.with_hub(hub);
+        }
+        registry.run_trial_with_context(cell, trial, &context)
+    });
     let mut trials = Vec::with_capacity(results.len());
     for result in results {
         trials.push(result?);
@@ -330,7 +423,7 @@ mod tests {
         registry.register(
             "fail-second",
             &[Backend::Agents],
-            Box::new(move |spec, _trial, _round_threads| {
+            Box::new(move |spec, _trial, _ctx| {
                 seen.fetch_add(1, Ordering::Relaxed);
                 if spec.point == 1 {
                     Err(crate::SweepError::Simulation("boom".into()))
@@ -353,6 +446,95 @@ mod tests {
         // Sequentially, the failure on cell 1 must stop the queue: cells
         // 2..20 never run.
         assert_eq!(executed.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn telemetry_runs_match_plain_runs_and_persist_profile_shards() {
+        use crate::store::SweepStore;
+        use telemetry::Phase;
+
+        let dir = std::env::temp_dir().join(format!(
+            "sweep-orchestrator-telemetry-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let spec = tiny_sweep();
+        let registry = ProtocolRegistry::builtin();
+
+        let plain = SweepRunner::new()
+            .with_threads(2)
+            .run(&spec, &registry, None)
+            .unwrap();
+        assert!(plain.telemetry.is_none(), "off by default");
+
+        let store = SweepStore::create(&dir, &spec).unwrap();
+        let observed = SweepRunner::new()
+            .with_threads(2)
+            .with_telemetry(true)
+            .run(&spec, &registry, Some(&store))
+            .unwrap();
+        assert_eq!(
+            observed.cells, plain.cells,
+            "telemetry must never perturb results"
+        );
+
+        let aggregate = observed.telemetry.expect("telemetry recorder");
+        let rounds_timed = aggregate.phases().get(Phase::ProtocolStep).count;
+        assert!(rounds_timed > 0, "engine phases reach the sweep aggregate");
+
+        // One telemetry line per cell, joinable onto the result records,
+        // and their merge reproduces the sweep-wide aggregate exactly.
+        let profiles = store.load_telemetry().unwrap();
+        assert_eq!(profiles.len(), observed.cells.len());
+        let mut merged = telemetry::Recorder::new();
+        for cell in &observed.cells {
+            let profile = profiles.get(&cell.hash).expect("profile per cell");
+            assert_eq!(profile.point, cell.point);
+            assert_eq!(profile.trials, u64::from(spec.trials));
+            assert!(profile.elapsed_ns > 0);
+            merged.merge(&profile.recorder);
+        }
+        assert_eq!(merged, aggregate);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn telemetry_survives_interruption_and_resume() {
+        use crate::store::SweepStore;
+
+        let dir = std::env::temp_dir().join(format!(
+            "sweep-orchestrator-tele-resume-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let spec = tiny_sweep();
+        let registry = ProtocolRegistry::builtin();
+        let store = SweepStore::create(&dir, &spec).unwrap();
+
+        let partial = SweepRunner::new()
+            .with_threads(1)
+            .with_telemetry(true)
+            .with_max_cells(2)
+            .run(&spec, &registry, Some(&store))
+            .unwrap();
+        assert!(!partial.completed);
+        assert_eq!(store.load_telemetry().unwrap().len(), 2);
+
+        let resumed = SweepRunner::new()
+            .with_threads(1)
+            .with_telemetry(true)
+            .run(&spec, &registry, Some(&store))
+            .unwrap();
+        assert!(resumed.completed);
+        assert_eq!(resumed.executed, 1, "only the missing cell re-runs");
+        // The resumed generation's shard joins the first one's: every grid
+        // cell now has exactly one profile.
+        let profiles = store.load_telemetry().unwrap();
+        assert_eq!(profiles.len(), 3);
+        for cell in &resumed.cells {
+            assert!(profiles.contains_key(&cell.hash));
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

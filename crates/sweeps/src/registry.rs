@@ -48,21 +48,25 @@ use flip_model::{
 };
 
 use crate::error::SweepError;
+use crate::observe::TrialContext;
 use crate::spec::ScenarioSpec;
 
-/// Runs one trial of one cell: `(spec, trial_index, round_threads)` → metric
+/// Runs one trial of one cell: `(spec, trial_index, context)` → metric
 /// pairs.
 ///
 /// Implementations must be deterministic functions of
 /// [`ScenarioSpec::seed_for_trial`]`(trial)` and must report the same metric
-/// names for every trial of a cell.  The third argument is the intra-round
-/// worker budget this trial may use (from
-/// [`TrialRunner::round_threads`](crate::TrialRunner::round_threads));
-/// because the engine's parallel rounds are bit-identical across lane
-/// counts, it must never change a trial's metrics — protocols that cannot
-/// honour it simply ignore it.
+/// names for every trial of a cell.  The [`TrialContext`] carries the
+/// intra-round worker budget this trial may use (from
+/// [`TrialRunner::round_threads`](crate::TrialRunner::round_threads)) and
+/// the optional telemetry hub; because the engine's parallel rounds are
+/// bit-identical across lane counts and phase timing never touches the
+/// simulation RNG, neither may ever change a trial's metrics — protocols
+/// that cannot honour them simply ignore the context.
 pub type TrialFn = Box<
-    dyn Fn(&ScenarioSpec, u64, usize) -> Result<Vec<(&'static str, f64)>, SweepError> + Send + Sync,
+    dyn Fn(&ScenarioSpec, u64, &TrialContext) -> Result<Vec<(&'static str, f64)>, SweepError>
+        + Send
+        + Sync,
 >;
 
 struct ProtocolEntry {
@@ -209,7 +213,7 @@ impl ProtocolRegistry {
         spec: &ScenarioSpec,
         trial: u64,
     ) -> Result<Vec<(&'static str, f64)>, SweepError> {
-        self.run_trial_with_threads(spec, trial, 1)
+        self.run_trial_with_context(spec, trial, &TrialContext::sequential())
     }
 
     /// Runs one trial of `spec`, granting it `round_threads` intra-round
@@ -231,7 +235,25 @@ impl ProtocolRegistry {
         trial: u64,
         round_threads: usize,
     ) -> Result<Vec<(&'static str, f64)>, SweepError> {
-        (self.resolve(spec)?)(spec, trial, round_threads)
+        self.run_trial_with_context(spec, trial, &TrialContext::new(round_threads))
+    }
+
+    /// Runs one trial of `spec` under an explicit [`TrialContext`] (thread
+    /// budget plus optional telemetry hub).  The telemetry attachment obeys
+    /// the same invariance contract as the thread budget: metrics are
+    /// bit-identical with and without it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ProtocolRegistry::resolve`] failures and simulation
+    /// errors from the protocol itself.
+    pub fn run_trial_with_context(
+        &self,
+        spec: &ScenarioSpec,
+        trial: u64,
+        context: &TrialContext,
+    ) -> Result<Vec<(&'static str, f64)>, SweepError> {
+        (self.resolve(spec)?)(spec, trial, context)
     }
 }
 
@@ -265,11 +287,16 @@ fn params_from_spec(spec: &ScenarioSpec) -> Result<Params, SweepError> {
 fn run_broadcast(
     spec: &ScenarioSpec,
     trial: u64,
-    _round_threads: usize,
+    ctx: &TrialContext,
 ) -> Result<Vec<(&'static str, f64)>, SweepError> {
     let params = params_from_spec(spec)?;
     let protocol = BroadcastProtocol::new(params, Opinion::One);
-    let outcome = protocol.run_with_seed(spec.seed_for_trial(trial))?;
+    let mut sim = protocol.build_simulation(spec.seed_for_trial(trial))?;
+    if ctx.telemetry_enabled() {
+        sim.enable_telemetry();
+    }
+    let outcome = protocol.run_simulation(&mut sim);
+    ctx.absorb(sim.take_telemetry());
     Ok(vec![
         ("total_rounds", outcome.total_rounds as f64),
         ("stage1_rounds", outcome.stage1_rounds as f64),
@@ -289,7 +316,7 @@ fn run_broadcast(
 fn run_majority_consensus(
     spec: &ScenarioSpec,
     trial: u64,
-    _round_threads: usize,
+    ctx: &TrialContext,
 ) -> Result<Vec<(&'static str, f64)>, SweepError> {
     let params = params_from_spec(spec)?;
     let size = spec.param_or("initial_size", spec.n() as f64) as usize;
@@ -297,7 +324,12 @@ fn run_majority_consensus(
     let initial = InitialSet::with_bias(size, bias).map_err(|e| SweepError::Spec(e.to_string()))?;
     let protocol = MajorityConsensusProtocol::new(params, Opinion::One, initial)
         .map_err(|e| SweepError::Spec(e.to_string()))?;
-    let outcome = protocol.run_with_seed(spec.seed_for_trial(trial))?;
+    let mut sim = protocol.build_simulation(spec.seed_for_trial(trial))?;
+    if ctx.telemetry_enabled() {
+        sim.enable_telemetry();
+    }
+    let outcome = protocol.run_simulation(&mut sim);
+    ctx.absorb(sim.take_telemetry());
     Ok(vec![
         ("total_rounds", outcome.total_rounds as f64),
         ("messages_sent", outcome.messages_sent as f64),
@@ -389,7 +421,7 @@ fn hybrid_tracked(k: u32, n: usize) -> Result<usize, SweepError> {
 fn run_rumor(
     spec: &ScenarioSpec,
     trial: u64,
-    round_threads: usize,
+    ctx: &TrialContext,
 ) -> Result<Vec<(&'static str, f64)>, SweepError> {
     if spec.rounds == 0 {
         return Err(SweepError::Spec(
@@ -406,7 +438,7 @@ fn run_rumor(
         SimulationConfig::new(n)
             .with_seed(spec.seed_for_trial(trial))
             .with_reference(Opinion::One)
-            .with_threads(round_threads),
+            .with_threads(ctx.round_threads),
         fault,
     );
     let (rounds, fraction, messages) = match spec.backend {
@@ -430,7 +462,11 @@ fn run_rumor(
         Backend::Agents => {
             let agents = RumorAgent::population(n, 0, informed as usize);
             let mut sim = Simulation::new(agents, channel, config)?;
+            if ctx.telemetry_enabled() {
+                sim.enable_telemetry();
+            }
             let rounds = sim.run_until(spec.rounds, |s| s.census().active() == n);
+            ctx.absorb(sim.take_telemetry());
             (
                 rounds,
                 sim.census().fraction_correct(Opinion::One),
@@ -447,7 +483,11 @@ fn run_rumor(
                 informed - tracked_ones,
             ));
             let mut sim = HybridSimulation::new(tracked, RumorProtocol, channel, bulk, config)?;
+            if ctx.telemetry_enabled() {
+                sim.enable_telemetry();
+            }
             let rounds = sim.run_until(spec.rounds, |s| s.census().active() == n);
+            ctx.absorb(sim.take_telemetry());
             (
                 rounds,
                 sim.census().fraction_correct(Opinion::One),
@@ -471,7 +511,7 @@ fn run_rumor(
 fn run_rumor_zealot(
     spec: &ScenarioSpec,
     trial: u64,
-    round_threads: usize,
+    ctx: &TrialContext,
 ) -> Result<Vec<(&'static str, f64)>, SweepError> {
     if spec.rounds == 0 {
         return Err(SweepError::Spec(
@@ -499,7 +539,7 @@ fn run_rumor_zealot(
     let config = SimulationConfig::new(n)
         .with_seed(spec.seed_for_trial(trial))
         .with_reference(Opinion::One)
-        .with_threads(round_threads);
+        .with_threads(ctx.round_threads);
     let (rounds, fraction, messages) = match spec.backend {
         Backend::Dense => {
             let population = ZealotRumorProtocol::population(spec.n(), 0, informed, zealots);
@@ -519,7 +559,11 @@ fn run_rumor_zealot(
         Backend::Agents => {
             let agents = ZealotAgent::population(n, 0, informed as usize, zealots as usize);
             let mut sim = Simulation::new(agents, channel, config)?;
+            if ctx.telemetry_enabled() {
+                sim.enable_telemetry();
+            }
             let rounds = sim.run_until(spec.rounds, |s| s.census().active() == n);
+            ctx.absorb(sim.take_telemetry());
             (
                 rounds,
                 sim.census().fraction_correct(Opinion::One),
@@ -550,7 +594,11 @@ fn run_rumor_zealot(
             .map_err(|e| SweepError::Spec(e.to_string()))?;
             let mut sim =
                 HybridSimulation::new(tracked, ZealotRumorProtocol, channel, bulk, config)?;
+            if ctx.telemetry_enabled() {
+                sim.enable_telemetry();
+            }
             let rounds = sim.run_until(spec.rounds, |s| s.census().active() == n);
+            ctx.absorb(sim.take_telemetry());
             (
                 rounds,
                 sim.census().fraction_correct(Opinion::One),
@@ -572,7 +620,7 @@ fn run_rumor_zealot(
 fn run_majority_sampler(
     spec: &ScenarioSpec,
     trial: u64,
-    _round_threads: usize,
+    _ctx: &TrialContext,
 ) -> Result<Vec<(&'static str, f64)>, SweepError> {
     let epsilon = spec.epsilon();
     let n = spec.n();
@@ -672,21 +720,25 @@ fn consensus_config(
 fn run_ben_or(
     spec: &ScenarioSpec,
     trial: u64,
-    round_threads: usize,
+    ctx: &TrialContext,
 ) -> Result<Vec<(&'static str, f64)>, SweepError> {
     let (n, correct, phase_len) = consensus_setup(spec)?;
     let fault = fault_spec_for(spec)?;
     let channel = BinarySymmetricChannel::from_epsilon(spec.epsilon())
         .map_err(|e| SweepError::Spec(e.to_string()))?;
-    let config = consensus_config(n, spec.seed_for_trial(trial), round_threads, fault);
+    let config = consensus_config(n, spec.seed_for_trial(trial), ctx.round_threads, fault);
     let agents = BenOrAgent::population(n, correct, phase_len);
     let mut sim = Simulation::new(agents, channel, config)?;
+    if ctx.telemetry_enabled() {
+        sim.enable_telemetry();
+    }
     let rounds = sim.run_until(spec.rounds, |s| {
         s.agents()
             .iter()
             .enumerate()
             .all(|(i, a)| a.is_done() || s.fault_plan().is_some_and(|p| p.is_faulty(i)))
     });
+    ctx.absorb(sim.take_telemetry());
     let (honest, correct_now) = honest_count(&sim, |a| a.opinion() == Some(Opinion::One));
     let (_, decided) = honest_count(&sim, |a| a.is_done());
     let (_, decided_correct) = honest_count(&sim, |a| a.decided() == Some(Opinion::One));
@@ -705,16 +757,20 @@ fn run_ben_or(
 fn run_bv_broadcast(
     spec: &ScenarioSpec,
     trial: u64,
-    round_threads: usize,
+    ctx: &TrialContext,
 ) -> Result<Vec<(&'static str, f64)>, SweepError> {
     let (n, correct, phase_len) = consensus_setup(spec)?;
     let fault = fault_spec_for(spec)?;
     let channel = BinarySymmetricChannel::from_epsilon(spec.epsilon())
         .map_err(|e| SweepError::Spec(e.to_string()))?;
-    let config = consensus_config(n, spec.seed_for_trial(trial), round_threads, fault);
+    let config = consensus_config(n, spec.seed_for_trial(trial), ctx.round_threads, fault);
     let agents = BvBroadcastAgent::population(n, correct, phase_len);
     let mut sim = Simulation::new(agents, channel, config)?;
+    if ctx.telemetry_enabled() {
+        sim.enable_telemetry();
+    }
     sim.run(spec.rounds);
+    ctx.absorb(sim.take_telemetry());
     let (honest, delivered_one) = honest_count(&sim, |a| a.bin_value(Opinion::One));
     let (_, delivered_zero) = honest_count(&sim, |a| a.bin_value(Opinion::Zero));
     let honest = honest.max(1) as f64;
@@ -731,21 +787,25 @@ fn run_bv_broadcast(
 fn run_safe_bbc(
     spec: &ScenarioSpec,
     trial: u64,
-    round_threads: usize,
+    ctx: &TrialContext,
 ) -> Result<Vec<(&'static str, f64)>, SweepError> {
     let (n, correct, phase_len) = consensus_setup(spec)?;
     let fault = fault_spec_for(spec)?;
     let channel = BinarySymmetricChannel::from_epsilon(spec.epsilon())
         .map_err(|e| SweepError::Spec(e.to_string()))?;
-    let config = consensus_config(n, spec.seed_for_trial(trial), round_threads, fault);
+    let config = consensus_config(n, spec.seed_for_trial(trial), ctx.round_threads, fault);
     let agents = SafeBbcAgent::population(n, correct, phase_len);
     let mut sim = Simulation::new(agents, channel, config)?;
+    if ctx.telemetry_enabled() {
+        sim.enable_telemetry();
+    }
     let rounds = sim.run_until(spec.rounds, |s| {
         s.agents()
             .iter()
             .enumerate()
             .all(|(i, a)| a.is_done() || s.fault_plan().is_some_and(|p| p.is_faulty(i)))
     });
+    ctx.absorb(sim.take_telemetry());
     let (honest, correct_now) = honest_count(&sim, |a| a.opinion() == Some(Opinion::One));
     let (_, decided) = honest_count(&sim, |a| a.is_done());
     let (_, decided_correct) = honest_count(&sim, |a| a.decided() == Some(Opinion::One));
@@ -768,7 +828,7 @@ fn run_safe_bbc(
 fn run_bft_compare(
     spec: &ScenarioSpec,
     trial: u64,
-    round_threads: usize,
+    ctx: &TrialContext,
 ) -> Result<Vec<(&'static str, f64)>, SweepError> {
     let (n, correct, phase_len) = consensus_setup(spec)?;
     let fault = fault_spec_for(spec)?;
@@ -776,21 +836,39 @@ fn run_bft_compare(
         .map_err(|e| SweepError::Spec(e.to_string()))?;
     let trial_seed = spec.seed_for_trial(trial);
 
-    let config = consensus_config(n, SimRng::stream_seed(trial_seed, 0), round_threads, fault);
+    let config = consensus_config(
+        n,
+        SimRng::stream_seed(trial_seed, 0),
+        ctx.round_threads,
+        fault,
+    );
     let agents = MajorityBoostAgent::population(n, correct, phase_len);
     let mut majority = Simulation::new(agents, channel, config)?;
+    if ctx.telemetry_enabled() {
+        majority.enable_telemetry();
+    }
     majority.run(spec.rounds);
+    ctx.absorb(majority.take_telemetry());
     let (honest, majority_correct) = honest_count(&majority, |a| a.opinion() == Some(Opinion::One));
 
-    let config = consensus_config(n, SimRng::stream_seed(trial_seed, 1), round_threads, fault);
+    let config = consensus_config(
+        n,
+        SimRng::stream_seed(trial_seed, 1),
+        ctx.round_threads,
+        fault,
+    );
     let agents = BenOrAgent::population(n, correct, phase_len);
     let mut benor = Simulation::new(agents, channel, config)?;
+    if ctx.telemetry_enabled() {
+        benor.enable_telemetry();
+    }
     let benor_rounds = benor.run_until(spec.rounds, |s| {
         s.agents()
             .iter()
             .enumerate()
             .all(|(i, a)| a.is_done() || s.fault_plan().is_some_and(|p| p.is_faulty(i)))
     });
+    ctx.absorb(benor.take_telemetry());
     let (_, benor_correct) = honest_count(&benor, |a| a.opinion() == Some(Opinion::One));
     let (_, benor_decided) = honest_count(&benor, |a| a.is_done());
 
@@ -1249,9 +1327,7 @@ mod tests {
         registry.register(
             "constant",
             &[Backend::Agents],
-            Box::new(|spec, trial, _round_threads| {
-                Ok(vec![("value", spec.n() as f64 + trial as f64)])
-            }),
+            Box::new(|spec, trial, _ctx| Ok(vec![("value", spec.n() as f64 + trial as f64)])),
         );
         let spec = cell(
             "constant",
@@ -1259,5 +1335,64 @@ mod tests {
             &[("n", 10.0), ("epsilon", 0.2)],
         );
         assert_eq!(registry.run_trial(&spec, 5).unwrap(), vec![("value", 15.0)]);
+    }
+
+    #[test]
+    fn telemetry_context_collects_profiles_without_changing_metrics() {
+        use crate::observe::{TelemetryHub, TrialContext};
+        use telemetry::Phase;
+
+        let registry = ProtocolRegistry::builtin();
+        for backend in [Backend::Agents, Backend::Hybrid(64)] {
+            let spec = cell(
+                "rumor",
+                backend,
+                &[("n", 400.0), ("epsilon", 0.25), ("informed", 10.0)],
+            );
+            let plain = registry.run_trial(&spec, 0).unwrap();
+            let hub = TelemetryHub::new();
+            let ctx = TrialContext::sequential().with_hub(&hub);
+            let observed = registry.run_trial_with_context(&spec, 0, &ctx).unwrap();
+            assert_eq!(
+                plain, observed,
+                "telemetry must be metric-neutral ({backend})"
+            );
+            let recorder = hub.take();
+            let steps = recorder.phases().get(Phase::ProtocolStep).count;
+            assert!(steps > 0, "engine phases reach the hub ({backend})");
+        }
+        // The breathe wrappers (`broadcast`, `majority-consensus`) build
+        // their engines internally; the split construction
+        // (`build_simulation` + `run_simulation`) still reaches the hub.
+        let broadcast = cell(
+            "broadcast",
+            Backend::Agents,
+            &[("n", 200.0), ("epsilon", 0.3)],
+        );
+        let plain = registry.run_trial(&broadcast, 0).unwrap();
+        let hub = TelemetryHub::new();
+        let ctx = TrialContext::sequential().with_hub(&hub);
+        let observed = registry
+            .run_trial_with_context(&broadcast, 0, &ctx)
+            .unwrap();
+        assert_eq!(
+            plain, observed,
+            "telemetry must be metric-neutral (broadcast)"
+        );
+        assert!(
+            hub.take().phases().get(Phase::ProtocolStep).count > 0,
+            "broadcast engine phases reach the hub"
+        );
+
+        // Counts-only backends have no engine telemetry; the hub stays empty.
+        let dense = cell(
+            "rumor",
+            Backend::Dense,
+            &[("n", 400.0), ("epsilon", 0.25), ("informed", 10.0)],
+        );
+        let hub = TelemetryHub::new();
+        let ctx = TrialContext::sequential().with_hub(&hub);
+        registry.run_trial_with_context(&dense, 0, &ctx).unwrap();
+        assert!(hub.take().is_empty());
     }
 }

@@ -27,6 +27,7 @@ use std::path::{Path, PathBuf};
 use crate::aggregate::CellRecord;
 use crate::error::SweepError;
 use crate::json::{parse, Json};
+use crate::observe::CellTelemetry;
 use crate::spec::SweepSpec;
 
 /// The store format version written to manifests.
@@ -164,19 +165,7 @@ impl SweepStore {
     /// Returns [`SweepError::Io`] when the shards directory is unreadable.
     pub fn open_shards(&self, workers: usize) -> Result<Vec<ShardWriter>, SweepError> {
         let shards_dir = self.dir.join("shards");
-        let mut generation = 0u64;
-        for entry in fs::read_dir(&shards_dir)? {
-            let name = entry?.file_name();
-            if let Some(gen) = name
-                .to_str()
-                .and_then(|s| s.strip_prefix("shard-"))
-                .and_then(|s| s.split('-').next())
-                .and_then(|s| s.parse::<u64>().ok())
-            {
-                generation = generation.max(gen);
-            }
-        }
-        generation += 1;
+        let generation = next_generation(&shards_dir, "shard-")?;
         Ok((0..workers)
             .map(|worker| ShardWriter {
                 path: shards_dir.join(format!("shard-{generation:04}-{worker:02}.jsonl")),
@@ -184,6 +173,100 @@ impl SweepStore {
             })
             .collect())
     }
+
+    /// Opens one telemetry shard writer per worker for a new run generation.
+    ///
+    /// Telemetry lives in its own `telemetry/` directory — [`Self::load_cells`]
+    /// treats every `*.jsonl` under `shards/` as cell records, so profile
+    /// data must never land there.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SweepError::Io`] when the telemetry directory cannot be
+    /// created or scanned.
+    pub fn open_telemetry_shards(
+        &self,
+        workers: usize,
+    ) -> Result<Vec<TelemetryShardWriter>, SweepError> {
+        let telemetry_dir = self.dir.join("telemetry");
+        fs::create_dir_all(&telemetry_dir)?;
+        let generation = next_generation(&telemetry_dir, "telemetry-")?;
+        Ok((0..workers)
+            .map(|worker| TelemetryShardWriter {
+                path: telemetry_dir.join(format!("telemetry-{generation:04}-{worker:02}.jsonl")),
+                file: None,
+            })
+            .collect())
+    }
+
+    /// Loads every persisted per-cell telemetry record, keyed by cell hash.
+    ///
+    /// Same tolerance contract as [`Self::load_cells`]: a torn final line is
+    /// dropped (the kill signature), mid-file corruption fails loudly, and a
+    /// store that never ran with telemetry yields an empty map.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SweepError::Io`] on read failures, [`SweepError::Store`]
+    /// on mid-file corruption.
+    pub fn load_telemetry(&self) -> Result<BTreeMap<String, CellTelemetry>, SweepError> {
+        let mut cells = BTreeMap::new();
+        let telemetry_dir = self.dir.join("telemetry");
+        if !telemetry_dir.is_dir() {
+            return Ok(cells);
+        }
+        let mut paths: Vec<PathBuf> = fs::read_dir(&telemetry_dir)?
+            .collect::<Result<Vec<_>, _>>()?
+            .into_iter()
+            .map(|entry| entry.path())
+            .filter(|p| p.extension().is_some_and(|ext| ext == "jsonl"))
+            .collect();
+        paths.sort();
+        for path in paths {
+            let content = fs::read_to_string(&path)?;
+            let lines: Vec<&str> = content.lines().collect();
+            for (i, line) in lines.iter().enumerate() {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                match CellTelemetry::from_json_line(line) {
+                    Ok(record) => {
+                        cells.insert(record.hash.clone(), record);
+                    }
+                    Err(err) if i + 1 == lines.len() && !content.ends_with('\n') => {
+                        // Torn final line from a killed writer: that cell's
+                        // profile is simply missing, never fatal.
+                        let _ = err;
+                    }
+                    Err(err) => {
+                        return Err(SweepError::Store(format!(
+                            "{}:{}: {err}",
+                            path.display(),
+                            i + 1
+                        )));
+                    }
+                }
+            }
+        }
+        Ok(cells)
+    }
+}
+
+/// One past the highest run generation among `prefix`-named files in `dir`.
+fn next_generation(dir: &Path, prefix: &str) -> Result<u64, SweepError> {
+    let mut generation = 0u64;
+    for entry in fs::read_dir(dir)? {
+        let name = entry?.file_name();
+        if let Some(gen) = name
+            .to_str()
+            .and_then(|s| s.strip_prefix(prefix))
+            .and_then(|s| s.split('-').next())
+            .and_then(|s| s.parse::<u64>().ok())
+        {
+            generation = generation.max(gen);
+        }
+    }
+    Ok(generation + 1)
 }
 
 /// An append-only writer for one shard file.
@@ -204,6 +287,45 @@ impl ShardWriter {
     ///
     /// Returns [`SweepError::Io`] on write failures.
     pub fn append(&mut self, record: &CellRecord) -> Result<(), SweepError> {
+        if self.file.is_none() {
+            self.file = Some(BufWriter::new(
+                fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(&self.path)?,
+            ));
+        }
+        let file = self.file.as_mut().expect("just created");
+        file.write_all(record.to_json_line().as_bytes())?;
+        file.write_all(b"\n")?;
+        file.flush()?;
+        Ok(())
+    }
+
+    /// The shard's path (for diagnostics).
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// An append-only writer for one telemetry shard file.
+///
+/// Same lifecycle as [`ShardWriter`]: lazy creation, append + flush per
+/// record, so a kill leaves at most one torn final line.
+#[derive(Debug)]
+pub struct TelemetryShardWriter {
+    path: PathBuf,
+    file: Option<BufWriter<fs::File>>,
+}
+
+impl TelemetryShardWriter {
+    /// Appends one cell's telemetry record and flushes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SweepError::Io`] on write failures.
+    pub fn append(&mut self, record: &CellTelemetry) -> Result<(), SweepError> {
         if self.file.is_none() {
             self.file = Some(BufWriter::new(
                 fs::OpenOptions::new()
@@ -359,6 +481,51 @@ mod tests {
         // Corruption before the end is a hard error.
         fs::write(&path, "garbage\n{\"also\":\"bad\"}\n").unwrap();
         assert!(store.load_cells().is_err());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn telemetry_shards_live_beside_results_and_tolerate_kills() {
+        use telemetry::{Phase, Recorder, TelemetrySink as _};
+
+        let dir = temp_dir("telemetry");
+        let store = SweepStore::create(&dir, &demo_spec()).unwrap();
+        assert!(store.load_telemetry().unwrap().is_empty(), "no dir yet");
+
+        let mut recorder = Recorder::new();
+        recorder.record_phase(Phase::ProtocolStep, 1_000);
+        let record = |hash: &str, point| CellTelemetry {
+            hash: hash.into(),
+            point,
+            worker: 0,
+            trials: 2,
+            elapsed_ns: 5_000,
+            recorder: recorder.clone(),
+        };
+        let mut shards = store.open_telemetry_shards(1).unwrap();
+        shards[0].append(&record("aaaa", 0)).unwrap();
+        shards[0].append(&record("bbbb", 1)).unwrap();
+        let path = shards[0].path().to_path_buf();
+        drop(shards);
+
+        // The result loader must never see telemetry lines.
+        assert!(store.load_cells().unwrap().is_empty());
+        assert_eq!(store.load_telemetry().unwrap().len(), 2);
+
+        // A kill mid-write tears the final line; the loader drops it.
+        let content = fs::read_to_string(&path).unwrap();
+        fs::write(&path, &content[..content.len() - 15]).unwrap();
+        let loaded = store.load_telemetry().unwrap();
+        assert_eq!(loaded.len(), 1);
+        assert_eq!(loaded["aaaa"].recorder, recorder);
+
+        // Resumed generations get fresh file names.
+        let resumed = store.open_telemetry_shards(1).unwrap();
+        assert_ne!(resumed[0].path(), path);
+
+        // Mid-file corruption is a hard error.
+        fs::write(&path, "garbage\n{\"also\":\"bad\"}\n").unwrap();
+        assert!(store.load_telemetry().is_err());
         fs::remove_dir_all(&dir).unwrap();
     }
 
