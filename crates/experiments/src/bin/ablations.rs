@@ -3,15 +3,12 @@
 //! Usage: `cargo run --release -p experiments --bin ablations [-- --full]
 //! [--trials N] [--threads N]`
 //!
-//! A2 (the Stage II sample-count sweep) runs through the registry-backed
-//! `a2` sweep spec (`experiments::specs`); A1 and A3 remain direct loops.
+//! A thin wrapper over the registry-backed `a1`/`a2`/`a3` sweeps
+//! (`experiments::specs`); the same sweeps are available with persistence
+//! and resume via the `sweep` binary.
 
 fn main() {
-    experiments::cli::run_tables("ablations", true, |cfg| {
-        vec![
-            experiments::ablations::a1_required_initial_bias(cfg),
-            experiments::specs::a2_table(cfg),
-            experiments::ablations::a3_phase0_requirement(cfg),
-        ]
+    experiments::cli::run_tables("ablations", false, |cfg| {
+        experiments::specs::backend_tables("ablations", cfg)
     });
 }

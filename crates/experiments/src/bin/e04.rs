@@ -2,9 +2,13 @@
 //!
 //! Usage: `cargo run --release -p experiments --bin e04 [-- --full]
 //! [--trials N] [--threads N]`
+//!
+//! A thin wrapper over the registry-backed `e04` sweep
+//! (`experiments::specs`); the same sweep is available with persistence and
+//! resume via the `sweep` binary.
 
 fn main() {
-    experiments::cli::run_tables("e04", true, |cfg| {
-        vec![experiments::stage_claims::e04_phase0_seeding(cfg)]
+    experiments::cli::run_tables("e04", false, |cfg| {
+        experiments::specs::backend_tables("e04", cfg)
     });
 }

@@ -2,9 +2,13 @@
 //!
 //! Usage: `cargo run --release -p experiments --bin e05 [-- --full]
 //! [--trials N] [--threads N]`
+//!
+//! A thin wrapper over the registry-backed `e05` sweep
+//! (`experiments::specs`); the same sweep is available with persistence and
+//! resume via the `sweep` binary.
 
 fn main() {
-    experiments::cli::run_tables("e05", true, |cfg| {
-        vec![experiments::stage_claims::e05_layer_growth(cfg)]
+    experiments::cli::run_tables("e05", false, |cfg| {
+        experiments::specs::backend_tables("e05", cfg)
     });
 }

@@ -2,9 +2,13 @@
 //!
 //! Usage: `cargo run --release -p experiments --bin e06 [-- --full]
 //! [--trials N] [--threads N]`
+//!
+//! A thin wrapper over the registry-backed `e06` sweep
+//! (`experiments::specs`); the same sweep is available with persistence and
+//! resume via the `sweep` binary.
 
 fn main() {
-    experiments::cli::run_tables("e06", true, |cfg| {
-        vec![experiments::stage_claims::e06_bias_decay(cfg)]
+    experiments::cli::run_tables("e06", false, |cfg| {
+        experiments::specs::backend_tables("e06", cfg)
     });
 }

@@ -2,9 +2,13 @@
 //!
 //! Usage: `cargo run --release -p experiments --bin e07 [-- --full]
 //! [--trials N] [--threads N]`
+//!
+//! A thin wrapper over the registry-backed `e07a`/`e07b` sweep pair
+//! (`experiments::specs`); the same sweeps are available with persistence
+//! and resume via the `sweep` binary.
 
 fn main() {
-    experiments::cli::run_tables("e07", true, |cfg| {
-        experiments::stage_claims::e07_stage2_boost(cfg)
+    experiments::cli::run_tables("e07", false, |cfg| {
+        experiments::specs::backend_tables("e07", cfg)
     });
 }

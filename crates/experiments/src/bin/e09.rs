@@ -2,9 +2,13 @@
 //!
 //! Usage: `cargo run --release -p experiments --bin e09 [-- --full]
 //! [--trials N] [--threads N]`
+//!
+//! A thin wrapper over the registry-backed `e09` sweep
+//! (`experiments::specs`); the same sweep is available with persistence and
+//! resume via the `sweep` binary.
 
 fn main() {
-    experiments::cli::run_tables("e09", true, |cfg| {
-        vec![experiments::scaling::e09_async_overhead(cfg)]
+    experiments::cli::run_tables("e09", false, |cfg| {
+        experiments::specs::backend_tables("e09", cfg)
     });
 }

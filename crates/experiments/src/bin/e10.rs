@@ -2,9 +2,13 @@
 //!
 //! Usage: `cargo run --release -p experiments --bin e10 [-- --full]
 //! [--trials N] [--threads N]`
+//!
+//! A thin wrapper over the registry-backed `e10` sweep
+//! (`experiments::specs`); the same sweep is available with persistence and
+//! resume via the `sweep` binary.
 
 fn main() {
-    experiments::cli::run_tables("e10", true, |cfg| {
-        vec![experiments::comparisons::e10_baseline_comparison(cfg)]
+    experiments::cli::run_tables("e10", false, |cfg| {
+        experiments::specs::backend_tables("e10", cfg)
     });
 }

@@ -2,9 +2,13 @@
 //!
 //! Usage: `cargo run --release -p experiments --bin e11 [-- --full]
 //! [--trials N] [--threads N]`
+//!
+//! A thin wrapper over the registry-backed `e11` sweep
+//! (`experiments::specs`); the same sweep is available with persistence and
+//! resume via the `sweep` binary.
 
 fn main() {
-    experiments::cli::run_tables("e11", true, |cfg| {
-        vec![experiments::comparisons::e11_path_deterioration(cfg)]
+    experiments::cli::run_tables("e11", false, |cfg| {
+        experiments::specs::backend_tables("e11", cfg)
     });
 }

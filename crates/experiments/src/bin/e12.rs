@@ -2,9 +2,13 @@
 //!
 //! Usage: `cargo run --release -p experiments --bin e12 [-- --full]
 //! [--trials N] [--threads N]`
+//!
+//! A thin wrapper over the registry-backed `e12` sweep
+//! (`experiments::specs`); the same sweep is available with persistence and
+//! resume via the `sweep` binary.
 
 fn main() {
-    experiments::cli::run_tables("e12", true, |cfg| {
-        vec![experiments::comparisons::e12_two_party_lower_bound(cfg)]
+    experiments::cli::run_tables("e12", false, |cfg| {
+        experiments::specs::backend_tables("e12", cfg)
     });
 }

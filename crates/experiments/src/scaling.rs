@@ -341,16 +341,22 @@ pub fn e01_dense_scaling(cfg: &ExperimentConfig) -> Table {
     table
 }
 
+/// The population sizes E9 sweeps over its local-clock variants.
+#[must_use]
+pub fn e09_population_grid(cfg: &ExperimentConfig) -> Vec<usize> {
+    if cfg.quick {
+        vec![250, 500, 1_000]
+    } else {
+        vec![500, 1_000, 2_000, 4_000]
+    }
+}
+
 /// **E9 (Theorem 3.1)** — the local-clock variants: correctness preserved and
 /// additive overhead versus `ln² n`.
 #[must_use]
 pub fn e09_async_overhead(cfg: &ExperimentConfig) -> Table {
     let epsilon = 0.3;
-    let ns = if cfg.quick {
-        vec![250, 500, 1_000]
-    } else {
-        vec![500, 1_000, 2_000, 4_000]
-    };
+    let ns = e09_population_grid(cfg);
     let mut table = Table::new(
         "E9: removing the global clock (Theorem 3.1)",
         &[

@@ -1,11 +1,10 @@
-//! Registry-backed sweep specs for the migrated experiments.
+//! Registry-backed sweep specs for the experiment families.
 //!
-//! E1 (broadcast scaling), E1-D (dense rumor at large `n`), E2 (broadcast
-//! vs `ε`), E3 (message complexity), E8 (majority consensus), E8-D (dense
-//! majority boost), ablation A2 (Stage II sample count) and E13 (Stage I/II
-//! majority vs Ben-Or under fault injection) are expressed here as
-//! declarative [`SweepSpec`]s
-//! instead of hand-rolled loops.  Their binaries are thin wrappers: build
+//! Every experiment family — the scaling sweeps E1/E1-D/E1-H/E2/E3, the
+//! per-stage claims E4–E7, the consensus sweeps E8/E8-D, the async/baseline
+//! comparisons E9–E12, the ablations A1–A3 and the fault-injection family
+//! E13 — is expressed here as a declarative [`SweepSpec`]
+//! instead of a hand-rolled loop.  The binaries are thin wrappers: build
 //! the spec, run it through the [`sweeps`] orchestrator, render the legacy
 //! table from the streamed aggregates.
 //!
@@ -21,9 +20,12 @@ use std::collections::BTreeMap;
 
 use analysis::estimators::SuccessRate;
 use analysis::fitting::fit_linear;
+use analysis::stirling::{exact_majority_boost, lemma_2_11_lower_bound};
 use analysis::tables::fmt_float;
+use analysis::theory;
 use analysis::Table;
-use breathe::{InitialSet, Multipliers, Params};
+use baselines::chain_correct_probability;
+use breathe::{InitialSet, Multipliers, Params, Schedule};
 use flip_model::{Backend, DEFAULT_HYBRID_TRACKED};
 use sweeps::{
     Axis, CellRecord, MetricAggregate, ProtocolRegistry, ScenarioSpec, SweepRunner, SweepSpec,
@@ -36,15 +38,26 @@ pub type CellPairs = Vec<(ScenarioSpec, CellRecord)>;
 
 /// The names accepted by [`builtin`] (and the `sweep gen`/`sweep list`
 /// subcommands), in presentation order.
-pub const BUILTIN_SWEEPS: [&str; 9] = [
+pub const BUILTIN_SWEEPS: [&str; 20] = [
     "e01",
     "e01-dense",
     "e01-hybrid",
     "e02",
     "e03",
+    "e04",
+    "e05",
+    "e06",
+    "e07a",
+    "e07b",
     "e08",
     "e08-dense",
+    "e09",
+    "e10",
+    "e11",
+    "e12",
+    "a1",
     "a2",
+    "a3",
     "e13",
 ];
 
@@ -58,39 +71,59 @@ pub fn builtin(name: &str, cfg: &ExperimentConfig) -> Option<SweepSpec> {
         "e01-hybrid" => Some(e01_hybrid_sweep(cfg)),
         "e02" => Some(e02_sweep(cfg)),
         "e03" => Some(e03_sweep(cfg)),
+        "e04" => Some(e04_sweep(cfg)),
+        "e05" => Some(e05_sweep(cfg)),
+        "e06" => Some(e06_sweep(cfg)),
+        "e07a" => Some(e07a_sweep(cfg)),
+        "e07b" => Some(e07b_sweep(cfg)),
         "e08" => Some(e08_sweep(cfg)),
         "e08-dense" => Some(e08_dense_sweep(cfg)),
+        "e09" => Some(e09_sweep(cfg)),
+        "e10" => Some(e10_sweep(cfg)),
+        "e11" => Some(e11_sweep(cfg)),
+        "e12" => Some(e12_sweep(cfg)),
+        "a1" => Some(a1_sweep(cfg)),
         "a2" => Some(a2_sweep(cfg)),
+        "a3" => Some(a3_sweep(cfg)),
         "e13" => Some(e13_sweep(cfg)),
         _ => None,
     }
 }
 
-/// The builtin sweep that runs experiment family `binary` on `backend`'s
-/// engine family, or `None` when no variant exists there.
+/// The builtin sweeps that run experiment family `binary` on `backend`'s
+/// engine family (most binaries render one table, `e07` renders its a/b
+/// pair and `ablations` all three), or `None` when no variant exists there.
 ///
 /// Keyed on [`Backend::as_str`] (the family name), not on enum variants, so
 /// adding a backend to [`Backend::ALL`] does not force edits here — a family
 /// without a variant simply stays unlisted.
 #[must_use]
-pub fn variant_for(binary: &str, backend: Backend) -> Option<&'static str> {
-    let variants: &[(&str, &str)] = match binary {
+pub fn variant_for(binary: &str, backend: Backend) -> Option<&'static [&'static str]> {
+    let variants: &[(&str, &'static [&'static str])] = match binary {
         "e01" => &[
-            ("agents", "e01"),
-            ("dense", "e01-dense"),
-            ("hybrid", "e01-hybrid"),
+            ("agents", &["e01"]),
+            ("dense", &["e01-dense"]),
+            ("hybrid", &["e01-hybrid"]),
         ],
-        "e02" => &[("agents", "e02")],
-        "e03" => &[("agents", "e03")],
-        "e08" => &[("agents", "e08"), ("dense", "e08-dense")],
-        "a2" => &[("agents", "a2")],
-        "e13" => &[("agents", "e13")],
+        "e02" => &[("agents", &["e02"])],
+        "e03" => &[("agents", &["e03"])],
+        "e04" => &[("agents", &["e04"])],
+        "e05" => &[("agents", &["e05"])],
+        "e06" => &[("agents", &["e06"])],
+        "e07" => &[("agents", &["e07a", "e07b"])],
+        "e08" => &[("agents", &["e08"]), ("dense", &["e08-dense"])],
+        "e09" => &[("agents", &["e09"])],
+        "e10" => &[("agents", &["e10"])],
+        "e11" => &[("agents", &["e11"])],
+        "e12" => &[("agents", &["e12"])],
+        "ablations" => &[("agents", &["a1", "a2", "a3"])],
+        "e13" => &[("agents", &["e13"])],
         _ => return None,
     };
     variants
         .iter()
         .find(|(family, _)| *family == backend.as_str())
-        .map(|(_, name)| *name)
+        .map(|(_, names)| *names)
 }
 
 /// Renders the named builtin sweep's table from its aggregates.
@@ -105,9 +138,20 @@ pub fn render(name: &str, cells: &CellPairs) -> Table {
         "e01-dense" | "e01-hybrid" => render_e01_dense(cells),
         "e02" => render_e02(cells),
         "e03" => render_e03(cells),
+        "e04" => render_e04(cells),
+        "e05" => render_e05(cells),
+        "e06" => render_e06(cells),
+        "e07a" => render_e07a(cells),
+        "e07b" => render_e07b(cells),
         "e08" => render_e08(cells),
         "e08-dense" => render_e08_dense(cells),
+        "e09" => render_e09(cells),
+        "e10" => render_e10(cells),
+        "e11" => render_e11(cells),
+        "e12" => render_e12(cells),
+        "a1" => render_a1(cells),
         "a2" => render_a2(cells),
+        "a3" => render_a3(cells),
         "e13" => render_e13(cells),
         other => panic!("no renderer for sweep `{other}`"),
     }
@@ -128,7 +172,7 @@ pub fn render(name: &str, cells: &CellPairs) -> Table {
 /// configured backend.
 #[must_use]
 pub fn backend_tables(binary: &str, cfg: &ExperimentConfig) -> Vec<Table> {
-    let name = variant_for(binary, cfg.backend).unwrap_or_else(|| {
+    let names = variant_for(binary, cfg.backend).unwrap_or_else(|| {
         let supported: Vec<&str> = Backend::ALL
             .iter()
             .filter(|b| variant_for(binary, **b).is_some())
@@ -140,9 +184,14 @@ pub fn backend_tables(binary: &str, cfg: &ExperimentConfig) -> Vec<Table> {
             supported.join(", ")
         )
     });
-    let mut spec = builtin(name, cfg).expect("variant_for only names builtin sweeps");
-    spec.backend = cfg.backend;
-    vec![render(name, &run_in_memory(&spec, cfg))]
+    names
+        .iter()
+        .map(|name| {
+            let mut spec = builtin(name, cfg).expect("variant_for only names builtin sweeps");
+            spec.backend = cfg.backend;
+            render(name, &run_in_memory(&spec, cfg))
+        })
+        .collect()
 }
 
 /// Runs a spec in memory (no store) with the builtin registry, honouring the
@@ -200,6 +249,28 @@ fn constant_u64(record: &CellRecord, name: &str) -> u64 {
 /// hashes) are byte-identical to the pre-fault era.
 fn faults_directive(cfg: &ExperimentConfig) -> String {
     cfg.faults.map(|f| f.to_string()).unwrap_or_default()
+}
+
+/// The protocol [`Params`] a cell resolves to — the renderer-side mirror of
+/// the registry's construction, so renderers can quote schedule-derived
+/// quantities (`beta_s`, `gamma`, round budgets) the metrics do not carry.
+fn spec_params(spec: &ScenarioSpec) -> Params {
+    let practical = Multipliers::practical();
+    let multipliers = Multipliers {
+        s_mult: spec.param_or("s_mult", practical.s_mult),
+        beta_mult: spec.param_or("beta_mult", practical.beta_mult),
+        f_mult: spec.param_or("f_mult", practical.f_mult),
+        gamma_mult: spec.param_or("gamma_mult", practical.gamma_mult),
+        extra_boost_phases: spec.param_or("extra_boost_phases", practical.extra_boost_phases as f64)
+            as usize,
+        final_mult: spec.param_or("final_mult", practical.final_mult),
+    };
+    Params::with_multipliers(
+        usize::try_from(spec.n()).expect("n fits in usize"),
+        spec.epsilon(),
+        multipliers,
+    )
+    .expect("grid parameters are valid")
 }
 
 // ---------------------------------------------------------------------------
@@ -498,6 +569,371 @@ pub fn render_e03(cells: &CellPairs) -> Table {
 }
 
 // ---------------------------------------------------------------------------
+// E4: phase-0 activation and bias (Claim 2.2)
+// ---------------------------------------------------------------------------
+
+/// The channel crossover levels E4 sweeps (the legacy loop's literal list).
+pub const E04_EPSILONS: [f64; 3] = [0.15, 0.2, 0.3];
+
+/// The migrated E4 sweep: `broadcast-detailed` over [`E04_EPSILONS`] at
+/// `n = pick(1000, 4000)`, seed points `400, 401, …`.
+#[must_use]
+pub fn e04_sweep(cfg: &ExperimentConfig) -> SweepSpec {
+    let n = cfg.pick(1_000, 4_000);
+    SweepSpec {
+        name: "e04".into(),
+        protocol: "broadcast-detailed".into(),
+        backend: Backend::Agents,
+        trials: cfg.trials,
+        base_seed: cfg.base_seed,
+        point_base: 400,
+        rounds: 0,
+        faults: faults_directive(cfg),
+        defaults: params_map(&[("n", n as f64)]),
+        axes: vec![Axis {
+            key: "epsilon".into(),
+            values: E04_EPSILONS.to_vec(),
+        }],
+    }
+}
+
+/// Runs the migrated E4 sweep and renders the legacy table (digit-identical
+/// to the retired `stage_claims::e04_phase0_seeding`).
+#[must_use]
+pub fn e04_table(cfg: &ExperimentConfig) -> Table {
+    render_e04(&run_in_memory(&e04_sweep(cfg), cfg))
+}
+
+/// Renders E4 from sweep aggregates.
+#[must_use]
+pub fn render_e04(cells: &CellPairs) -> Table {
+    let mut table = Table::new(
+        "E4: phase-0 activation and bias (Claim 2.2)",
+        &[
+            "epsilon",
+            "beta_s",
+            "mean X0",
+            "bound [beta_s/3, beta_s]",
+            "mean bias eps_0",
+            "claimed bias >= eps/2",
+            "claim holds (rate)",
+        ],
+    );
+    for (spec, record) in cells {
+        let epsilon = spec.epsilon();
+        let params = spec_params(spec);
+        let (lo, hi, min_bias) = theory::claim_2_2_bounds(params.beta_s(), epsilon);
+        table.push_row(&[
+            fmt_float(epsilon),
+            params.beta_s().to_string(),
+            fmt_float(metric(record, "x0").moments.mean()),
+            format!("[{}, {}]", fmt_float(lo), fmt_float(hi)),
+            fmt_float(metric(record, "bias0").moments.mean()),
+            fmt_float(min_bias),
+            fmt_float(success_rate(record, "claim22_holds").estimate()),
+        ]);
+    }
+    table
+}
+
+// ---------------------------------------------------------------------------
+// E5/E6: Stage I layer growth and bias decay under layered parameters
+// ---------------------------------------------------------------------------
+
+/// The layered-multiplier defaults E5 and E6 run under: shrunken `s` and `β`
+/// (structure intact) so that several intermediate Stage I phases exist at
+/// laptop scale — the retired `stage_claims::layered_params`, as spec params.
+fn layered_defaults(n: usize, epsilon: f64) -> BTreeMap<String, f64> {
+    params_map(&[
+        ("n", n as f64),
+        ("epsilon", epsilon),
+        ("s_mult", 0.6),
+        ("beta_mult", 1.2),
+        ("f_mult", 2.0),
+        ("gamma_mult", 6.0),
+        ("extra_boost_phases", 3.0),
+        ("final_mult", 3.0),
+    ])
+}
+
+/// The migrated E5 sweep: a single `broadcast-detailed` cell at
+/// `n = pick(8000, 20000)`, `ε = 0.45`, layered multipliers, seed point 500.
+#[must_use]
+pub fn e05_sweep(cfg: &ExperimentConfig) -> SweepSpec {
+    SweepSpec {
+        name: "e05".into(),
+        protocol: "broadcast-detailed".into(),
+        backend: Backend::Agents,
+        trials: cfg.trials,
+        base_seed: cfg.base_seed,
+        point_base: 500,
+        rounds: 0,
+        faults: faults_directive(cfg),
+        defaults: layered_defaults(cfg.pick(8_000, 20_000), 0.45),
+        axes: vec![],
+    }
+}
+
+/// Runs the migrated E5 sweep and renders the legacy table (digit-identical
+/// to the retired `stage_claims::e05_layer_growth`).
+#[must_use]
+pub fn e05_table(cfg: &ExperimentConfig) -> Table {
+    render_e05(&run_in_memory(&e05_sweep(cfg), cfg))
+}
+
+/// Renders E5 from sweep aggregates: one row per intermediate Stage I level
+/// (walked by metric presence — the registry records `level_cum_{i}` for
+/// every level but the last), then the all-activated summary row.
+#[must_use]
+pub fn render_e05(cells: &CellPairs) -> Table {
+    let mut table = Table::new(
+        "E5: Stage I layer growth (Claim 2.4)",
+        &[
+            "level i",
+            "mean X_i (cumulative activated)",
+            "lower bound (beta+1)^i X0 / 16",
+            "upper bound (beta+1)^i X0",
+            "within bounds (rate)",
+        ],
+    );
+    for (spec, record) in cells {
+        let params = spec_params(spec);
+        let beta = params.beta();
+        // The legacy display bounds: the trial-mean X0 (source included),
+        // rounded, pushed through Claim 2.4.
+        let x0_display = metric(record, "x0p1").moments.mean().round() as u64;
+        let mut level = 0usize;
+        while let Some(cum) = record.metrics.get(&format!("level_cum_{level}")) {
+            let (lo, hi) = theory::claim_2_4_bounds(beta, x0_display, level as u32);
+            table.push_row(&[
+                level.to_string(),
+                fmt_float(cum.moments.mean()),
+                fmt_float(lo),
+                fmt_float(hi),
+                fmt_float(success_rate(record, &format!("claim24_holds_{level}")).estimate()),
+            ]);
+            level += 1;
+        }
+        // Final row: everyone activated at the end of Stage I (Corollary 2.6).
+        table.push_row(&[
+            "end of Stage I".to_string(),
+            format!("all {} agents activated", params.n()),
+            String::new(),
+            String::new(),
+            fmt_float(success_rate(record, "all_active").estimate()),
+        ]);
+    }
+    table
+}
+
+/// The migrated E6 sweep: a single `broadcast-detailed` cell at
+/// `n = pick(4000, 10000)`, `ε = 0.45`, layered multipliers, seed point 600.
+#[must_use]
+pub fn e06_sweep(cfg: &ExperimentConfig) -> SweepSpec {
+    SweepSpec {
+        name: "e06".into(),
+        protocol: "broadcast-detailed".into(),
+        backend: Backend::Agents,
+        trials: cfg.trials,
+        base_seed: cfg.base_seed,
+        point_base: 600,
+        rounds: 0,
+        faults: faults_directive(cfg),
+        defaults: layered_defaults(cfg.pick(4_000, 10_000), 0.45),
+        axes: vec![],
+    }
+}
+
+/// Runs the migrated E6 sweep and renders the legacy table (digit-identical
+/// to the retired `stage_claims::e06_bias_decay`).
+#[must_use]
+pub fn e06_table(cfg: &ExperimentConfig) -> Table {
+    render_e06(&run_in_memory(&e06_sweep(cfg), cfg))
+}
+
+/// Renders E6 from sweep aggregates.  A level whose bias metric is absent
+/// (no trial ever activated it) is skipped — the legacy loop's
+/// `biases.is_empty()` continue; the per-level statistics aggregate only
+/// the trials that activated the level, exactly as the legacy per-trial skip
+/// did.
+#[must_use]
+pub fn render_e06(cells: &CellPairs) -> Table {
+    let mut table = Table::new(
+        "E6: per-level bias decay (Claim 2.8) and end-of-Stage-I bias (Lemma 2.3)",
+        &[
+            "level i",
+            "mean bias eps_i",
+            "claimed lower bound eps^{i+1}/2",
+            "bound holds (rate)",
+        ],
+    );
+    for (spec, record) in cells {
+        let epsilon = spec.epsilon();
+        let levels = constant_u64(record, "levels") as usize;
+        for level in 0..levels {
+            let Some(bias) = record.metrics.get(&format!("level_bias_{level}")) else {
+                continue;
+            };
+            table.push_row(&[
+                level.to_string(),
+                fmt_float(bias.moments.mean()),
+                fmt_float(theory::claim_2_8_bias_lower_bound(epsilon, level as u32)),
+                fmt_float(success_rate(record, &format!("claim28_holds_{level}")).estimate()),
+            ]);
+        }
+        // End-of-Stage-I population bias vs the Lemma 2.3 scale.
+        let n = usize::try_from(spec.n()).expect("n fits in usize");
+        table.push_row(&[
+            "end of Stage I".to_string(),
+            fmt_float(metric(record, "stage1_bias").moments.mean()),
+            format!(
+                "scale sqrt(ln n / n) = {}",
+                fmt_float(theory::stage1_final_bias(n, 1.0))
+            ),
+            fmt_float(metric(record, "stage1_bias_positive").moments.mean()),
+        ]);
+    }
+    table
+}
+
+// ---------------------------------------------------------------------------
+// E7a/E7b: the Stage II boost (Lemmas 2.11 and 2.14)
+// ---------------------------------------------------------------------------
+
+/// The population biases E7a sweeps (the legacy loop's literal list).
+pub const E07_DELTAS: [f64; 6] = [0.005, 0.01, 0.02, 0.05, 0.1, 0.25];
+
+/// The migrated E7a sweep: `mc-boost` over [`E07_DELTAS`] at
+/// `n = pick(1000, 2000)`, `ε = 0.2`, seed points `700, 701, …`.  One cell
+/// trial runs the whole `mc_trials`-sample Monte-Carlo estimate (the legacy
+/// loop's single pass), so `trials` is 1.
+#[must_use]
+pub fn e07a_sweep(cfg: &ExperimentConfig) -> SweepSpec {
+    SweepSpec {
+        name: "e07a".into(),
+        protocol: "mc-boost".into(),
+        backend: Backend::Agents,
+        trials: 1,
+        base_seed: cfg.base_seed,
+        point_base: 700,
+        rounds: 0,
+        faults: faults_directive(cfg),
+        defaults: params_map(&[
+            ("n", cfg.pick(1_000, 2_000) as f64),
+            ("epsilon", 0.2),
+            ("mc_trials", f64::from(cfg.pick(4_000u32, 20_000u32))),
+        ]),
+        axes: vec![Axis {
+            key: "delta".into(),
+            values: E07_DELTAS.to_vec(),
+        }],
+    }
+}
+
+/// Runs the migrated E7a sweep and renders the legacy table (digit-identical
+/// to the first table of the retired `stage_claims::e07_stage2_boost`).
+#[must_use]
+pub fn e07a_table(cfg: &ExperimentConfig) -> Table {
+    render_e07a(&run_in_memory(&e07a_sweep(cfg), cfg))
+}
+
+/// Renders E7a from sweep aggregates.
+#[must_use]
+pub fn render_e07a(cells: &CellPairs) -> Table {
+    let mut table = Table::new(
+        "E7a: majority-of-noisy-samples boost (Lemma 2.11)",
+        &[
+            "population bias delta",
+            "gamma (samples)",
+            "measured Pr[majority correct]",
+            "exact (binomial)",
+            "paper bound min{1/2+4d, 1/2+1/100}",
+        ],
+    );
+    for (spec, record) in cells {
+        let epsilon = spec.epsilon();
+        let delta = spec.param_or("delta", 0.0);
+        let gamma = spec_params(spec).gamma();
+        table.push_row(&[
+            fmt_float(delta),
+            gamma.to_string(),
+            fmt_float(metric(record, "measured").moments.mean()),
+            fmt_float(exact_majority_boost(gamma, epsilon, delta)),
+            fmt_float(lemma_2_11_lower_bound(delta)),
+        ]);
+    }
+    table
+}
+
+/// The migrated E7b sweep: a single `broadcast-detailed` cell at
+/// `n = pick(1000, 2000)`, `ε = 0.2`, seed point 710.
+#[must_use]
+pub fn e07b_sweep(cfg: &ExperimentConfig) -> SweepSpec {
+    SweepSpec {
+        name: "e07b".into(),
+        protocol: "broadcast-detailed".into(),
+        backend: Backend::Agents,
+        trials: cfg.trials,
+        base_seed: cfg.base_seed,
+        point_base: 710,
+        rounds: 0,
+        faults: faults_directive(cfg),
+        defaults: params_map(&[("n", cfg.pick(1_000, 2_000) as f64), ("epsilon", 0.2)]),
+        axes: vec![],
+    }
+}
+
+/// Runs the migrated E7b sweep and renders the legacy table (digit-identical
+/// to the second table of the retired `stage_claims::e07_stage2_boost`).
+#[must_use]
+pub fn e07b_table(cfg: &ExperimentConfig) -> Table {
+    render_e07b(&run_in_memory(&e07b_sweep(cfg), cfg))
+}
+
+/// Renders E7b from sweep aggregates: the bias trajectory from the last
+/// spreading phase through every boosting phase, with the per-phase growth
+/// factor chained off the displayed means.
+#[must_use]
+pub fn render_e07b(cells: &CellPairs) -> Table {
+    let mut table = Table::new(
+        "E7b: bias trajectory over Stage II phases (Lemma 2.14)",
+        &[
+            "boosting phase",
+            "mean fraction correct",
+            "mean bias",
+            "growth factor vs previous phase",
+        ],
+    );
+    for (spec, record) in cells {
+        let params = spec_params(spec);
+        let spreading_count = Schedule::broadcast(&params).spreading_phase_count();
+        let mut phases = 0usize;
+        while record.metrics.contains_key(&format!("phase_frac_{phases}")) {
+            phases += 1;
+        }
+        let mut previous_bias: Option<f64> = None;
+        for phase in (spreading_count - 1)..phases {
+            let frac = metric(record, &format!("phase_frac_{phase}"))
+                .moments
+                .mean();
+            let bias = frac - 0.5;
+            let label = if phase == spreading_count - 1 {
+                "end of Stage I".to_string()
+            } else {
+                format!("{}", phase - spreading_count + 1)
+            };
+            let growth = previous_bias
+                .filter(|p| *p > 0.0)
+                .map(|p| fmt_float(bias / p))
+                .unwrap_or_default();
+            table.push_row(&[label, fmt_float(frac), fmt_float(bias), growth]);
+            previous_bias = Some(bias);
+        }
+    }
+    table
+}
+
+// ---------------------------------------------------------------------------
 // E8: noisy majority-consensus (Corollary 2.18)
 // ---------------------------------------------------------------------------
 
@@ -658,6 +1094,371 @@ pub fn render_e08_dense(cells: &CellPairs) -> Table {
 }
 
 // ---------------------------------------------------------------------------
+// E9: removing the global clock (Theorem 3.1)
+// ---------------------------------------------------------------------------
+
+/// The migrated E9 sweep: `async-broadcast` over
+/// [`scaling::e09_population_grid`] × the two async variants (`0` = bounded
+/// offsets, `1` = resynchronised) at `ε = 0.3`, seed points `900, 901, …` —
+/// the legacy `point += 1` walk with `n` outer.
+#[must_use]
+pub fn e09_sweep(cfg: &ExperimentConfig) -> SweepSpec {
+    SweepSpec {
+        name: "e09".into(),
+        protocol: "async-broadcast".into(),
+        backend: Backend::Agents,
+        trials: cfg.trials,
+        base_seed: cfg.base_seed,
+        point_base: 900,
+        rounds: 0,
+        faults: faults_directive(cfg),
+        defaults: params_map(&[("epsilon", 0.3)]),
+        axes: vec![
+            Axis {
+                key: "n".into(),
+                values: scaling::e09_population_grid(cfg)
+                    .into_iter()
+                    .map(|n| n as f64)
+                    .collect(),
+            },
+            Axis {
+                key: "variant".into(),
+                values: vec![0.0, 1.0],
+            },
+        ],
+    }
+}
+
+/// Runs the migrated E9 sweep and renders the legacy table (digit-identical
+/// to the retired `scaling::e09_async_overhead`).
+#[must_use]
+pub fn e09_table(cfg: &ExperimentConfig) -> Table {
+    render_e09(&run_in_memory(&e09_sweep(cfg), cfg))
+}
+
+/// Renders E9 from sweep aggregates.  The round counts quote trial 0 (the
+/// legacy display choice); the registry records them on trial 0 alone.
+#[must_use]
+pub fn render_e09(cells: &CellPairs) -> Table {
+    let mut table = Table::new(
+        "E9: removing the global clock (Theorem 3.1)",
+        &[
+            "n",
+            "variant",
+            "sync rounds",
+            "total rounds",
+            "overhead rounds",
+            "ln^2 n",
+            "all-correct rate",
+        ],
+    );
+    for (spec, record) in cells {
+        let n = spec.n();
+        let name = if spec.param_or("variant", 0.0) == 0.0 {
+            "bounded offsets"
+        } else {
+            "resynchronised"
+        };
+        let ln_n = (n as f64).ln();
+        table.push_row(&[
+            n.to_string(),
+            name.to_string(),
+            constant_u64(record, "sync_rounds").to_string(),
+            constant_u64(record, "total_rounds").to_string(),
+            constant_u64(record, "overhead_rounds").to_string(),
+            fmt_float(ln_n * ln_n),
+            fmt_float(success_rate(record, "all_correct").estimate()),
+        ]);
+    }
+    table
+}
+
+// ---------------------------------------------------------------------------
+// E10: protocol comparison on the broadcast problem
+// ---------------------------------------------------------------------------
+
+/// The channel crossover levels E10 sweeps (the legacy loop's literal list).
+pub const E10_EPSILONS: [f64; 2] = [0.1, 0.2];
+
+/// The baseline display names, indexed by the `baseline` axis value — the
+/// legacy loop's protocol order.
+pub const E10_BASELINE_NAMES: [&str; 6] = [
+    "breathe (this paper)",
+    "immediate forwarding",
+    "wait for source",
+    "two-choices majority [22]",
+    "three-state majority [6]",
+    "noisy voter with zealot [49]",
+];
+
+/// The migrated E10 sweep: `baseline-compare` over [`E10_EPSILONS`] × the
+/// six baselines at `n = pick(600, 2000)`, seed points `1000, 1001, …` —
+/// the legacy `point += 1` walk with `ε` outer.
+#[must_use]
+pub fn e10_sweep(cfg: &ExperimentConfig) -> SweepSpec {
+    SweepSpec {
+        name: "e10".into(),
+        protocol: "baseline-compare".into(),
+        backend: Backend::Agents,
+        trials: cfg.trials,
+        base_seed: cfg.base_seed,
+        point_base: 1_000,
+        rounds: 0,
+        faults: faults_directive(cfg),
+        defaults: params_map(&[("n", cfg.pick(600, 2_000) as f64)]),
+        axes: vec![
+            Axis {
+                key: "epsilon".into(),
+                values: E10_EPSILONS.to_vec(),
+            },
+            Axis {
+                key: "baseline".into(),
+                values: vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0],
+            },
+        ],
+    }
+}
+
+/// Runs the migrated E10 sweep and renders the legacy table (digit-identical
+/// to the retired `comparisons::e10_baseline_comparison`).
+#[must_use]
+pub fn e10_table(cfg: &ExperimentConfig) -> Table {
+    render_e10(&run_in_memory(&e10_sweep(cfg), cfg))
+}
+
+/// Renders E10 from sweep aggregates.
+#[must_use]
+pub fn render_e10(cells: &CellPairs) -> Table {
+    let mut table = Table::new(
+        "E10: protocol comparison on the broadcast problem",
+        &[
+            "epsilon",
+            "protocol",
+            "rounds",
+            "mean fraction correct",
+            "all-correct rate",
+        ],
+    );
+    for (spec, record) in cells {
+        let idx = spec.param_or("baseline", 0.0) as usize;
+        let budget = spec_params(spec).total_rounds();
+        table.push_row(&[
+            fmt_float(spec.epsilon()),
+            E10_BASELINE_NAMES[idx].to_string(),
+            budget.to_string(),
+            fmt_float(metric(record, "fraction_correct").moments.mean()),
+            fmt_float(success_rate(record, "all_correct").estimate()),
+        ]);
+    }
+    table
+}
+
+// ---------------------------------------------------------------------------
+// E11: per-hop reliability decay (§1.6)
+// ---------------------------------------------------------------------------
+
+/// The channel crossover levels E11 sweeps (the legacy loop's literal list).
+pub const E11_EPSILONS: [f64; 2] = [0.1, 0.3];
+
+/// The chain lengths E11 sweeps (the legacy loop's literal list).
+pub const E11_HOPS: [f64; 6] = [1.0, 2.0, 3.0, 5.0, 8.0, 12.0];
+
+/// The migrated E11 sweep: `chain-relay` over [`E11_EPSILONS`] ×
+/// [`E11_HOPS`], seed points `1100, 1101, …`.  One cell trial runs the whole
+/// `samples`-draw chain estimate (the legacy loop's single call), so
+/// `trials` is 1; the runner derives its seed from `hops` alone, matching
+/// the legacy ε-independent seeding.
+#[must_use]
+pub fn e11_sweep(cfg: &ExperimentConfig) -> SweepSpec {
+    SweepSpec {
+        name: "e11".into(),
+        protocol: "chain-relay".into(),
+        backend: Backend::Agents,
+        trials: 1,
+        base_seed: cfg.base_seed,
+        point_base: 1_100,
+        rounds: 0,
+        faults: faults_directive(cfg),
+        defaults: params_map(&[
+            ("n", 1.0),
+            ("samples", f64::from(cfg.pick(20_000u32, 100_000u32))),
+        ]),
+        axes: vec![
+            Axis {
+                key: "epsilon".into(),
+                values: E11_EPSILONS.to_vec(),
+            },
+            Axis {
+                key: "hops".into(),
+                values: E11_HOPS.to_vec(),
+            },
+        ],
+    }
+}
+
+/// Runs the migrated E11 sweep and renders the legacy table (digit-identical
+/// to the retired `comparisons::e11_path_deterioration`).
+#[must_use]
+pub fn e11_table(cfg: &ExperimentConfig) -> Table {
+    render_e11(&run_in_memory(&e11_sweep(cfg), cfg))
+}
+
+/// Renders E11 from sweep aggregates.
+#[must_use]
+pub fn render_e11(cells: &CellPairs) -> Table {
+    let mut table = Table::new(
+        "E11: per-hop reliability decay (section 1.6)",
+        &[
+            "epsilon",
+            "hops",
+            "measured Pr[correct]",
+            "closed form 1/2 + (2eps)^c / 2",
+        ],
+    );
+    for (spec, record) in cells {
+        let epsilon = spec.epsilon();
+        let hops = spec.param_or("hops", 0.0) as u32;
+        table.push_row(&[
+            fmt_float(epsilon),
+            hops.to_string(),
+            fmt_float(metric(record, "measured").moments.mean()),
+            fmt_float(chain_correct_probability(epsilon, hops)),
+        ]);
+    }
+    table
+}
+
+// ---------------------------------------------------------------------------
+// E12: the two-party Θ(1/ε²) lower bound (§1.4)
+// ---------------------------------------------------------------------------
+
+/// The channel crossover levels E12 sweeps — the legacy mode-dependent grid.
+#[must_use]
+pub fn e12_epsilon_grid(cfg: &ExperimentConfig) -> Vec<f64> {
+    if cfg.quick {
+        vec![0.1, 0.2, 0.3, 0.4]
+    } else {
+        vec![0.05, 0.1, 0.15, 0.2, 0.3, 0.4]
+    }
+}
+
+/// The migrated E12 sweep: `two-party-samples` over [`e12_epsilon_grid`] at
+/// 99% confidence, seed points `1200, 1201, …`.  The search is deterministic
+/// (no RNG), so `trials` is 1.
+#[must_use]
+pub fn e12_sweep(cfg: &ExperimentConfig) -> SweepSpec {
+    SweepSpec {
+        name: "e12".into(),
+        protocol: "two-party-samples".into(),
+        backend: Backend::Agents,
+        trials: 1,
+        base_seed: cfg.base_seed,
+        point_base: 1_200,
+        rounds: 0,
+        faults: faults_directive(cfg),
+        defaults: params_map(&[("n", 1.0), ("confidence", 0.99)]),
+        axes: vec![Axis {
+            key: "epsilon".into(),
+            values: e12_epsilon_grid(cfg),
+        }],
+    }
+}
+
+/// Runs the migrated E12 sweep and renders the legacy table (digit-identical
+/// to the retired `comparisons::e12_two_party_lower_bound`).
+#[must_use]
+pub fn e12_table(cfg: &ExperimentConfig) -> Table {
+    render_e12(&run_in_memory(&e12_sweep(cfg), cfg))
+}
+
+/// Renders E12 from sweep aggregates.
+#[must_use]
+pub fn render_e12(cells: &CellPairs) -> Table {
+    let mut table = Table::new(
+        "E12: two-party channel uses for one reliable bit (section 1.4)",
+        &[
+            "epsilon",
+            "samples needed (exact majority decoder)",
+            "samples * eps^2",
+            "Shannon-style prediction ln(1/0.01)/(2 eps^2)",
+        ],
+    );
+    for (spec, record) in cells {
+        let epsilon = spec.epsilon();
+        let confidence = spec.param_or("confidence", 0.99);
+        let needed = constant_u64(record, "samples");
+        table.push_row(&[
+            fmt_float(epsilon),
+            needed.to_string(),
+            fmt_float(needed as f64 * epsilon * epsilon),
+            fmt_float(theory::two_party_samples(epsilon, 1.0 - confidence)),
+        ]);
+    }
+    table
+}
+
+// ---------------------------------------------------------------------------
+// A1: required initial bias ablation
+// ---------------------------------------------------------------------------
+
+/// The initial biases A1 sweeps (the legacy loop's literal list).
+pub const A1_BIASES: [f64; 5] = [0.002, 0.01, 0.03, 0.08, 0.2];
+
+/// The migrated A1 sweep: `majority-consensus` with the whole population as
+/// the initial set (the registry's `initial_size` default) over [`A1_BIASES`]
+/// at `n = pick(1000, 2000)`, `ε = 0.25`, seed points `2000, 2001, …`.
+#[must_use]
+pub fn a1_sweep(cfg: &ExperimentConfig) -> SweepSpec {
+    SweepSpec {
+        name: "a1".into(),
+        protocol: "majority-consensus".into(),
+        backend: Backend::Agents,
+        trials: cfg.trials,
+        base_seed: cfg.base_seed,
+        point_base: 2_000,
+        rounds: 0,
+        faults: faults_directive(cfg),
+        defaults: params_map(&[("n", cfg.pick(1_000, 2_000) as f64), ("epsilon", 0.25)]),
+        axes: vec![Axis {
+            key: "initial_bias".into(),
+            values: A1_BIASES.to_vec(),
+        }],
+    }
+}
+
+/// Runs the migrated A1 sweep and renders the legacy table (digit-identical
+/// to the retired `ablations::a1_required_initial_bias`).
+#[must_use]
+pub fn a1_table(cfg: &ExperimentConfig) -> Table {
+    render_a1(&run_in_memory(&a1_sweep(cfg), cfg))
+}
+
+/// Renders A1 from sweep aggregates.
+#[must_use]
+pub fn render_a1(cells: &CellPairs) -> Table {
+    let mut table = Table::new(
+        "A1: consensus vs the bias handed to the boosting stage",
+        &[
+            "initial bias",
+            "threshold sqrt(ln n / n)",
+            "mean fraction correct",
+            "all-correct rate",
+        ],
+    );
+    for (spec, record) in cells {
+        let n = spec.n();
+        let threshold = ((n as f64).ln() / n as f64).sqrt();
+        table.push_row(&[
+            fmt_float(spec.param_or("initial_bias", 0.0)),
+            fmt_float(threshold),
+            fmt_float(metric(record, "fraction_correct").moments.mean()),
+            fmt_float(success_rate(record, "all_correct").estimate()),
+        ]);
+    }
+    table
+}
+
+// ---------------------------------------------------------------------------
 // A2: Stage II sample-count ablation
 // ---------------------------------------------------------------------------
 
@@ -720,6 +1521,67 @@ pub fn render_a2(cells: &CellPairs) -> Table {
         table.push_row(&[
             fmt_float(gamma_mult),
             params.gamma().to_string(),
+            fmt_float(metric(record, "fraction_correct").moments.mean()),
+            fmt_float(success_rate(record, "all_correct").estimate()),
+        ]);
+    }
+    table
+}
+
+// ---------------------------------------------------------------------------
+// A3: phase-0 length ablation
+// ---------------------------------------------------------------------------
+
+/// The `s` multipliers A3 sweeps (the legacy loop's literal list).
+pub const A3_S_MULTIPLIERS: [f64; 4] = [0.05, 0.2, 0.5, 1.5];
+
+/// The migrated A3 sweep: `broadcast` with a swept `s_mult` at
+/// `n = pick(600, 1500)`, `ε = 0.2`, seed points `2200, 2201, …`.
+#[must_use]
+pub fn a3_sweep(cfg: &ExperimentConfig) -> SweepSpec {
+    SweepSpec {
+        name: "a3".into(),
+        protocol: "broadcast".into(),
+        backend: Backend::Agents,
+        trials: cfg.trials,
+        base_seed: cfg.base_seed,
+        point_base: 2_200,
+        rounds: 0,
+        faults: faults_directive(cfg),
+        defaults: params_map(&[("n", cfg.pick(600, 1_500) as f64), ("epsilon", 0.2)]),
+        axes: vec![Axis {
+            key: "s_mult".into(),
+            values: A3_S_MULTIPLIERS.to_vec(),
+        }],
+    }
+}
+
+/// Runs the migrated A3 sweep and renders the legacy table (digit-identical
+/// to the retired `ablations::a3_phase0_requirement`).
+#[must_use]
+pub fn a3_table(cfg: &ExperimentConfig) -> Table {
+    render_a3(&run_in_memory(&a3_sweep(cfg), cfg))
+}
+
+/// Renders A3 from sweep aggregates.
+#[must_use]
+pub fn render_a3(cells: &CellPairs) -> Table {
+    let mut table = Table::new(
+        "A3: Stage I output bias vs the phase-0 length multiplier (beta_s = mult * ln n / eps^2)",
+        &[
+            "s multiplier",
+            "beta_s (rounds)",
+            "mean bias after Stage I",
+            "mean fraction correct at the end",
+            "all-correct rate",
+        ],
+    );
+    for (spec, record) in cells {
+        let s_mult = spec.param_or("s_mult", 1.0);
+        table.push_row(&[
+            fmt_float(s_mult),
+            spec_params(spec).beta_s().to_string(),
+            fmt_float(metric(record, "stage1_bias").moments.mean()),
             fmt_float(metric(record, "fraction_correct").moments.mean()),
             fmt_float(success_rate(record, "all_correct").estimate()),
         ]);
@@ -895,17 +1757,29 @@ mod tests {
 
     #[test]
     fn facade_resolves_every_backend_family_it_supports() {
-        assert_eq!(variant_for("e01", Backend::Agents), Some("e01"));
-        assert_eq!(variant_for("e01", Backend::Dense), Some("e01-dense"));
-        assert_eq!(variant_for("e01", Backend::Hybrid(7)), Some("e01-hybrid"));
-        assert_eq!(variant_for("e02", Backend::Agents), Some("e02"));
+        assert_eq!(variant_for("e01", Backend::Agents), Some(&["e01"][..]));
+        assert_eq!(variant_for("e01", Backend::Dense), Some(&["e01-dense"][..]));
+        assert_eq!(
+            variant_for("e01", Backend::Hybrid(7)),
+            Some(&["e01-hybrid"][..])
+        );
+        assert_eq!(variant_for("e02", Backend::Agents), Some(&["e02"][..]));
         assert_eq!(variant_for("e02", Backend::Dense), None);
-        assert_eq!(variant_for("e03", Backend::Agents), Some("e03"));
+        assert_eq!(variant_for("e03", Backend::Agents), Some(&["e03"][..]));
         assert_eq!(variant_for("e03", Backend::Dense), None);
-        assert_eq!(variant_for("e08", Backend::Agents), Some("e08"));
-        assert_eq!(variant_for("e08", Backend::Dense), Some("e08-dense"));
+        assert_eq!(
+            variant_for("e07", Backend::Agents),
+            Some(&["e07a", "e07b"][..])
+        );
+        assert_eq!(variant_for("e07", Backend::Dense), None);
+        assert_eq!(variant_for("e08", Backend::Agents), Some(&["e08"][..]));
+        assert_eq!(variant_for("e08", Backend::Dense), Some(&["e08-dense"][..]));
         assert_eq!(variant_for("e08", Backend::Hybrid(7)), None);
-        assert_eq!(variant_for("e13", Backend::Agents), Some("e13"));
+        assert_eq!(
+            variant_for("ablations", Backend::Agents),
+            Some(&["a1", "a2", "a3"][..])
+        );
+        assert_eq!(variant_for("e13", Backend::Agents), Some(&["e13"][..]));
         assert_eq!(variant_for("e13", Backend::Dense), None);
         assert_eq!(variant_for("e99", Backend::Agents), None);
     }

@@ -7,7 +7,9 @@
 //! so the rendered tables are equal *as strings*.  Any drift in seed
 //! numbering, grid order, aggregation arithmetic or formatting fails here.
 
-use experiments::{ablations, consensus, scaling, specs, ExperimentConfig};
+use experiments::{
+    ablations, comparisons, consensus, scaling, specs, stage_claims, ExperimentConfig,
+};
 use flip_model::Backend;
 
 fn tiny(trials: u32) -> ExperimentConfig {
@@ -51,6 +53,45 @@ fn e03_sweep_reproduces_the_legacy_table_digit_for_digit() {
 }
 
 #[test]
+fn e04_sweep_reproduces_the_legacy_table_digit_for_digit() {
+    let cfg = tiny(3);
+    let legacy = stage_claims::e04_phase0_seeding(&cfg).to_markdown();
+    let migrated = specs::e04_table(&cfg).to_markdown();
+    assert_eq!(migrated, legacy);
+}
+
+#[test]
+fn e05_sweep_reproduces_the_legacy_table_digit_for_digit() {
+    let cfg = tiny(2);
+    let legacy = stage_claims::e05_layer_growth(&cfg).to_markdown();
+    let migrated = specs::e05_table(&cfg).to_markdown();
+    assert_eq!(migrated, legacy);
+}
+
+#[test]
+fn e06_sweep_reproduces_the_legacy_table_digit_for_digit() {
+    let cfg = tiny(2);
+    let legacy = stage_claims::e06_bias_decay(&cfg).to_markdown();
+    let migrated = specs::e06_table(&cfg).to_markdown();
+    assert_eq!(migrated, legacy);
+}
+
+#[test]
+fn e07_sweeps_reproduce_both_legacy_tables_digit_for_digit() {
+    let cfg = tiny(2);
+    let legacy = stage_claims::e07_stage2_boost(&cfg);
+    assert_eq!(legacy.len(), 2);
+    assert_eq!(
+        specs::e07a_table(&cfg).to_markdown(),
+        legacy[0].to_markdown()
+    );
+    assert_eq!(
+        specs::e07b_table(&cfg).to_markdown(),
+        legacy[1].to_markdown()
+    );
+}
+
+#[test]
 fn e08_sweep_reproduces_the_legacy_table_digit_for_digit() {
     let cfg = tiny(2);
     let legacy = consensus::e08_majority_consensus(&cfg).to_markdown();
@@ -63,6 +104,54 @@ fn e08_dense_sweep_reproduces_the_legacy_table_digit_for_digit() {
     let cfg = tiny(1);
     let legacy = consensus::e08_dense_majority(&cfg).to_markdown();
     let migrated = specs::e08_dense_table(&cfg).to_markdown();
+    assert_eq!(migrated, legacy);
+}
+
+#[test]
+fn e09_sweep_reproduces_the_legacy_table_digit_for_digit() {
+    let cfg = tiny(2);
+    let legacy = scaling::e09_async_overhead(&cfg).to_markdown();
+    let migrated = specs::e09_table(&cfg).to_markdown();
+    assert_eq!(migrated, legacy);
+}
+
+#[test]
+fn e10_sweep_reproduces_the_legacy_table_digit_for_digit() {
+    let cfg = tiny(2);
+    let legacy = comparisons::e10_baseline_comparison(&cfg).to_markdown();
+    let migrated = specs::e10_table(&cfg).to_markdown();
+    assert_eq!(migrated, legacy);
+}
+
+#[test]
+fn e11_sweep_reproduces_the_legacy_table_digit_for_digit() {
+    let cfg = tiny(2);
+    let legacy = comparisons::e11_path_deterioration(&cfg).to_markdown();
+    let migrated = specs::e11_table(&cfg).to_markdown();
+    assert_eq!(migrated, legacy);
+}
+
+#[test]
+fn e12_sweep_reproduces_the_legacy_table_digit_for_digit() {
+    let cfg = tiny(2);
+    let legacy = comparisons::e12_two_party_lower_bound(&cfg).to_markdown();
+    let migrated = specs::e12_table(&cfg).to_markdown();
+    assert_eq!(migrated, legacy);
+}
+
+#[test]
+fn a1_sweep_reproduces_the_legacy_table_digit_for_digit() {
+    let cfg = tiny(2);
+    let legacy = ablations::a1_required_initial_bias(&cfg).to_markdown();
+    let migrated = specs::a1_table(&cfg).to_markdown();
+    assert_eq!(migrated, legacy);
+}
+
+#[test]
+fn a3_sweep_reproduces_the_legacy_table_digit_for_digit() {
+    let cfg = tiny(2);
+    let legacy = ablations::a3_phase0_requirement(&cfg).to_markdown();
+    let migrated = specs::a3_table(&cfg).to_markdown();
     assert_eq!(migrated, legacy);
 }
 

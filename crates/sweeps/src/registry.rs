@@ -12,10 +12,16 @@
 //! | id                   | backends               | faults | protocol                                       |
 //! |----------------------|------------------------|--------|------------------------------------------------|
 //! | `broadcast`          | agents                 |        | full two-stage noisy broadcast (`breathe`)     |
+//! | `broadcast-detailed` | agents                 |        | broadcast with per-level Stage I statistics    |
 //! | `majority-consensus` | agents                 |        | noisy majority-consensus from an initial set   |
 //! | `rumor`              | agents, dense, hybrid  | ✓      | push rumor spreading until full activation     |
 //! | `rumor-zealot`       | agents, dense, hybrid  |        | rumor spreading against a zealot subpopulation |
 //! | `majority-sampler`   | dense                  |        | Stage-II style repeated noisy majority boost   |
+//! | `mc-boost`           | agents                 |        | Monte-Carlo noisy-majority boost (Lemma 2.11)  |
+//! | `async-broadcast`    | agents                 |        | broadcast on local clocks (Theorem 3.1)        |
+//! | `baseline-compare`   | agents                 |        | breathe vs the §1.2/§1.6 baseline protocols    |
+//! | `chain-relay`        | agents                 |        | relayed-bit reliability vs chain length (§1.6) |
+//! | `two-party-samples`  | agents                 |        | exact majority-decoder sample counts (§1.4)    |
 //! | `ben-or`             | agents                 | ✓      | Ben-Or randomized consensus (gossip adapted)   |
 //! | `bv-broadcast`       | agents                 | ✓      | the BV-broadcast primitive (gossip adapted)    |
 //! | `safe-bbc`           | agents                 | ✓      | safe binary Byzantine consensus (EST/AUX)      |
@@ -38,14 +44,24 @@
 //! Custom protocols register with [`ProtocolRegistry::register`]; the sweep
 //! runner treats them identically.
 
-use baselines::{BenOrAgent, BvBroadcastAgent, MajorityBoostAgent, SafeBbcAgent};
-use breathe::{BroadcastProtocol, InitialSet, MajorityConsensusProtocol, Multipliers, Params};
+use analysis::chernoff::majority_correct_probability;
+use analysis::theory;
+use baselines::{
+    simulate_chain, BenOrAgent, BvBroadcastAgent, ForwardingProtocol, MajorityBoostAgent,
+    NoisyVoterProtocol, SafeBbcAgent, ThreeStateProtocol, TwoChoicesProtocol,
+    WaitForSourceProtocol,
+};
+use breathe::{
+    AsyncBroadcastProtocol, AsyncVariant, BroadcastProtocol, InitialSet, MajorityConsensusProtocol,
+    Multipliers, Params,
+};
 use flip_model::{
-    Agent, Backend, BinarySymmetricChannel, DenseSimulation, FaultSpec, HybridSimulation,
+    Agent, Backend, BinarySymmetricChannel, Channel, DenseSimulation, FaultSpec, HybridSimulation,
     MajoritySamplerProtocol, Opinion, RumorAgent, RumorProtocol, SimRng, Simulation,
     SimulationConfig, StratifiedPopulation, StratifiedSimulation, ZealotAgent, ZealotRumorProtocol,
     DEFAULT_HYBRID_TRACKED,
 };
+use rand::Rng;
 
 use crate::error::SweepError;
 use crate::observe::TrialContext;
@@ -55,8 +71,11 @@ use crate::spec::ScenarioSpec;
 /// pairs.
 ///
 /// Implementations must be deterministic functions of
-/// [`ScenarioSpec::seed_for_trial`]`(trial)` and must report the same metric
-/// names for every trial of a cell.  The [`TrialContext`] carries the
+/// [`ScenarioSpec::seed_for_trial`]`(trial)` and should report a stable
+/// metric-name set; a metric may be omitted for some trials of a cell (its
+/// aggregate then covers the reporting trials only — per-level statistics
+/// that exist only when the level activated, or run constants recorded on
+/// trial 0 alone).  The [`TrialContext`] carries the
 /// intra-round worker budget this trial may use (from
 /// [`TrialRunner::round_threads`](crate::TrialRunner::round_threads)) and
 /// the optional telemetry hub; because the engine's parallel rounds are
@@ -94,6 +113,28 @@ impl ProtocolRegistry {
     pub fn builtin() -> Self {
         let mut registry = Self::new();
         registry.register("broadcast", &[Backend::Agents], Box::new(run_broadcast));
+        registry.register(
+            "broadcast-detailed",
+            &[Backend::Agents],
+            Box::new(run_broadcast_detailed),
+        );
+        registry.register("mc-boost", &[Backend::Agents], Box::new(run_mc_boost));
+        registry.register(
+            "async-broadcast",
+            &[Backend::Agents],
+            Box::new(run_async_broadcast),
+        );
+        registry.register(
+            "baseline-compare",
+            &[Backend::Agents],
+            Box::new(run_baseline_compare),
+        );
+        registry.register("chain-relay", &[Backend::Agents], Box::new(run_chain_relay));
+        registry.register(
+            "two-party-samples",
+            &[Backend::Agents],
+            Box::new(run_two_party_samples),
+        );
         registry.register(
             "majority-consensus",
             &[Backend::Agents],
@@ -308,7 +349,369 @@ fn run_broadcast(
         ),
         ("fraction_correct", outcome.fraction_correct),
         ("all_correct", f64::from(u8::from(outcome.all_correct))),
+        ("stage1_bias", outcome.fraction_correct_after_stage1 - 0.5),
     ])
+}
+
+/// Interns a dynamically-built metric name (`prefix` + `index`) so level- and
+/// phase-indexed metrics can use the `&'static str` names [`TrialFn`]
+/// returns.  Names are leaked once and reused forever; the universe of
+/// per-level names is tiny (a few dozen across a whole report run).
+fn indexed_metric(prefix: &str, index: usize) -> &'static str {
+    use std::collections::BTreeMap;
+    use std::sync::{Mutex, OnceLock};
+    static NAMES: OnceLock<Mutex<BTreeMap<String, &'static str>>> = OnceLock::new();
+    let name = format!("{prefix}{index}");
+    let mut map = NAMES
+        .get_or_init(|| Mutex::new(BTreeMap::new()))
+        .lock()
+        .expect("metric-name interner poisoned");
+    if let Some(&interned) = map.get(&name) {
+        return interned;
+    }
+    let leaked: &'static str = Box::leak(name.clone().into_boxed_str());
+    map.insert(name, leaked);
+    leaked
+}
+
+/// `broadcast-detailed`: one full broadcast run per trial with the per-level
+/// Stage I statistics the E4/E5/E6/E7b tables render — level sizes, level
+/// biases, the paper's Claim 2.2/2.4/2.8 bound checks (evaluated per trial
+/// against this cell's `Params`), and the per-phase fraction-correct
+/// trajectory.
+///
+/// Level-indexed metrics follow the legacy reporting rules exactly:
+/// `level_cum_i`/`claim24_holds_i` cover levels `0..levels-1`;
+/// `level_bias_i`/`claim28_holds_i` are omitted for a trial whose level `i`
+/// activated no agents (the aggregates then cover the reporting trials
+/// only, matching the legacy per-level vectors).
+fn run_broadcast_detailed(
+    spec: &ScenarioSpec,
+    trial: u64,
+    _ctx: &TrialContext,
+) -> Result<Vec<(&'static str, f64)>, SweepError> {
+    let params = params_from_spec(spec)?;
+    let epsilon = spec.epsilon();
+    let protocol = BroadcastProtocol::new(params.clone(), Opinion::One);
+    let detailed = protocol.run_detailed(spec.seed_for_trial(trial))?;
+    let levels = detailed.levels.len();
+    let level0 = detailed.levels[0];
+    let (lo, hi, min_bias) = theory::claim_2_2_bounds(params.beta_s(), epsilon);
+    let claim22 =
+        level0.activated as f64 >= lo && level0.activated as f64 <= hi && level0.bias() >= min_bias;
+    let mut metrics: Vec<(&'static str, f64)> = vec![
+        ("x0", level0.activated as f64),
+        ("x0p1", level0.activated as f64 + 1.0),
+        ("bias0", level0.bias()),
+        ("claim22_holds", f64::from(u8::from(claim22))),
+        ("levels", levels as f64),
+        (
+            "all_active",
+            f64::from(u8::from(detailed.outcome.active_after_stage1 == params.n())),
+        ),
+        (
+            "stage1_bias",
+            detailed.outcome.fraction_correct_after_stage1 - 0.5,
+        ),
+        (
+            "stage1_bias_positive",
+            f64::from(u8::from(
+                detailed.outcome.fraction_correct_after_stage1 - 0.5 > 0.0,
+            )),
+        ),
+    ];
+    let beta = params.beta();
+    for level in 0..levels.saturating_sub(1) {
+        let x0 = detailed.levels[0].activated + 1;
+        let cumulative = detailed.levels[..=level]
+            .iter()
+            .map(|l| l.activated)
+            .sum::<usize>()
+            + 1;
+        let (lo, hi) = theory::claim_2_4_bounds(beta, x0 as u64, level as u32);
+        let holds = cumulative as f64 >= lo && cumulative as f64 <= hi + 1.0;
+        metrics.push((indexed_metric("level_cum_", level), cumulative as f64));
+        metrics.push((
+            indexed_metric("claim24_holds_", level),
+            f64::from(u8::from(holds)),
+        ));
+    }
+    for (level, stats) in detailed.levels.iter().enumerate() {
+        if stats.activated == 0 {
+            continue;
+        }
+        let bound = theory::claim_2_8_bias_lower_bound(epsilon, level as u32);
+        metrics.push((indexed_metric("level_bias_", level), stats.bias()));
+        metrics.push((
+            indexed_metric("claim28_holds_", level),
+            f64::from(u8::from(stats.bias() >= bound)),
+        ));
+    }
+    for (phase, &fraction) in detailed.fraction_correct_after_phase.iter().enumerate() {
+        metrics.push((indexed_metric("phase_frac_", phase), fraction));
+    }
+    Ok(metrics)
+}
+
+/// `mc-boost`: the Lemma 2.11 Monte-Carlo estimate — `gamma` (from the
+/// cell's `Params`) noisy samples of a `delta`-biased population, majority
+/// decoded, repeated `mc_trials` times inside **one** cell trial.
+///
+/// The whole estimate is one draw, so the spec must set `trials = 1`; the
+/// sample count rides in the `mc_trials` param.  Seeding matches the legacy
+/// E7a loop: the RNG is `stream_seed(stream_seed(base_seed, seed_point),
+/// point - seed_point)` with `seed_point` defaulting to the legacy `700`, so
+/// the cell at `point = seed_point + idx` reproduces
+/// `cfg.seed_for(seed_point, idx)` exactly.
+fn run_mc_boost(
+    spec: &ScenarioSpec,
+    _trial: u64,
+    _ctx: &TrialContext,
+) -> Result<Vec<(&'static str, f64)>, SweepError> {
+    if spec.trials != 1 {
+        return Err(SweepError::Spec(format!(
+            "`mc-boost` cells are single-draw Monte-Carlo estimates; set `trials` to 1 and put \
+             the sample count in the `mc_trials` param (got trials = {})",
+            spec.trials
+        )));
+    }
+    let params = params_from_spec(spec)?;
+    let gamma = params.gamma();
+    let epsilon = spec.epsilon();
+    let Some(&delta) = spec.params.get("delta") else {
+        return Err(SweepError::Spec(
+            "`mc-boost` needs a `delta` param (the population bias to boost)".into(),
+        ));
+    };
+    let mc_trials = spec.param_or("mc_trials", 0.0) as u32;
+    if mc_trials == 0 {
+        return Err(SweepError::Spec(
+            "`mc-boost` needs `mc_trials` >= 1 (the Monte-Carlo sample count)".into(),
+        ));
+    }
+    let seed_point = spec.param_or("seed_point", 700.0) as u64;
+    let Some(idx) = spec.point.checked_sub(seed_point) else {
+        return Err(SweepError::Spec(format!(
+            "`mc-boost` cell point {} precedes its seed point {seed_point}",
+            spec.point
+        )));
+    };
+    let seed = SimRng::stream_seed(SimRng::stream_seed(spec.base_seed, seed_point), idx);
+    let channel = BinarySymmetricChannel::from_epsilon(epsilon)
+        .map_err(|e| SweepError::Spec(e.to_string()))?;
+    let mut rng = SimRng::from_seed(seed);
+    let mut correct_majorities = 0u32;
+    for _ in 0..mc_trials {
+        let mut correct_samples = 0u64;
+        for _ in 0..gamma {
+            // Sample an agent from a population with bias delta, then transmit.
+            let opinion_correct = rng.gen::<f64>() < 0.5 + delta;
+            let sent = if opinion_correct {
+                Opinion::One
+            } else {
+                Opinion::Zero
+            };
+            if channel.transmit(sent, &mut rng) == Opinion::One {
+                correct_samples += 1;
+            }
+        }
+        if 2 * correct_samples > gamma {
+            correct_majorities += 1;
+        }
+    }
+    Ok(vec![(
+        "measured",
+        f64::from(correct_majorities) / f64::from(mc_trials),
+    )])
+}
+
+/// `async-broadcast`: the Theorem 3.1 local-clock broadcast.  The `variant`
+/// param selects the construction: `0` runs bounded clock offsets (with the
+/// legacy `d = 2⌈log₂ n⌉` bound), `1` the resynchronised schedule.
+///
+/// `all_correct` is reported every trial; the round counts
+/// (`sync_rounds`/`total_rounds`/`overhead_rounds`) are fixed by the
+/// schedule, so they are recorded on trial 0 only — exactly the values the
+/// legacy E9 table displayed from its first outcome.
+fn run_async_broadcast(
+    spec: &ScenarioSpec,
+    trial: u64,
+    _ctx: &TrialContext,
+) -> Result<Vec<(&'static str, f64)>, SweepError> {
+    let params = params_from_spec(spec)?;
+    let d = 2 * (spec.n() as f64).log2().ceil() as u64;
+    let variant = match spec.param_or("variant", 0.0) {
+        0.0 => AsyncVariant::BoundedOffsets { max_offset: d },
+        1.0 => AsyncVariant::Resynchronised,
+        other => {
+            return Err(SweepError::Spec(format!(
+                "`async-broadcast` knows variants 0 (bounded offsets) and 1 (resynchronised), \
+                 got `variant = {other}`"
+            )))
+        }
+    };
+    let protocol = AsyncBroadcastProtocol::new(params, Opinion::One, variant);
+    let outcome = protocol.run_with_seed(spec.seed_for_trial(trial))?;
+    let mut metrics: Vec<(&'static str, f64)> =
+        vec![("all_correct", f64::from(u8::from(outcome.all_correct)))];
+    if trial == 0 {
+        metrics.push(("sync_rounds", outcome.synchronous_rounds as f64));
+        metrics.push(("total_rounds", outcome.total_rounds as f64));
+        metrics.push(("overhead_rounds", outcome.overhead_rounds() as f64));
+    }
+    Ok(metrics)
+}
+
+/// `baseline-compare`: one protocol from the E10 comparison per cell, picked
+/// by the `baseline` param — `0` breathe itself, `1` immediate forwarding,
+/// `2` wait-for-source, `3` two-choices majority, `4` three-state majority,
+/// `5` noisy voter with a zealot.  Every baseline gets the breathe round
+/// budget (`Params::total_rounds` for the cell's `n`/`ε`), the legacy
+/// apples-to-apples rule.
+fn run_baseline_compare(
+    spec: &ScenarioSpec,
+    trial: u64,
+    _ctx: &TrialContext,
+) -> Result<Vec<(&'static str, f64)>, SweepError> {
+    let n = usize::try_from(spec.n())
+        .map_err(|_| SweepError::Spec("`n` does not fit in usize".into()))?;
+    let epsilon = spec.epsilon();
+    let params = params_from_spec(spec)?;
+    let budget = params.total_rounds();
+    let correct = Opinion::One;
+    let seed = spec.seed_for_trial(trial);
+    let spec_err = |e: flip_model::FlipError| SweepError::Spec(e.to_string());
+    let (fraction, all_correct) = match spec.param_or("baseline", -1.0) as i64 {
+        0 => {
+            let outcome = BroadcastProtocol::new(params, correct).run_with_seed(seed)?;
+            (outcome.fraction_correct, outcome.all_correct)
+        }
+        1 => {
+            let outcome = ForwardingProtocol::new(n, epsilon, budget)
+                .map_err(spec_err)?
+                .run_with_seed(correct, seed)?;
+            (outcome.fraction_correct, outcome.all_correct)
+        }
+        2 => {
+            let outcome = WaitForSourceProtocol::new(n, epsilon, budget)
+                .map_err(spec_err)?
+                .run_with_seed(correct, seed)?;
+            (outcome.fraction_correct, outcome.all_correct)
+        }
+        3 => {
+            let outcome = TwoChoicesProtocol::new(n, epsilon, budget)
+                .map_err(spec_err)?
+                .run_with_seed(correct, n / 2 + 1, seed)?;
+            (outcome.fraction_correct, outcome.all_correct)
+        }
+        4 => {
+            let outcome = ThreeStateProtocol::new(n, epsilon, budget)
+                .map_err(spec_err)?
+                .run_with_seed(correct, 1, 0, seed)?;
+            (outcome.fraction_correct, outcome.all_correct)
+        }
+        5 => {
+            let outcome = NoisyVoterProtocol::new(n, epsilon, budget)
+                .map_err(spec_err)?
+                .run_with_seed(correct, seed)?;
+            (outcome.fraction_correct, outcome.all_correct)
+        }
+        other => {
+            return Err(SweepError::Spec(format!(
+                "`baseline-compare` knows baselines 0..=5, got `baseline = {other}`"
+            )))
+        }
+    };
+    Ok(vec![
+        ("fraction_correct", fraction),
+        ("all_correct", f64::from(u8::from(all_correct))),
+    ])
+}
+
+/// `chain-relay`: the §1.6 relay chain — one bit forwarded over `hops`
+/// noisy links, majority over nothing (a single path), measured over
+/// `samples` chains inside one cell trial (so `trials` must be 1).
+///
+/// Seeding matches the legacy E11 loop: `stream_seed(stream_seed(base_seed,
+/// seed_point), hops)` with `seed_point` defaulting to the legacy `1100` —
+/// the legacy seed depended on the hop count only, never on `ε`.
+fn run_chain_relay(
+    spec: &ScenarioSpec,
+    _trial: u64,
+    _ctx: &TrialContext,
+) -> Result<Vec<(&'static str, f64)>, SweepError> {
+    if spec.trials != 1 {
+        return Err(SweepError::Spec(format!(
+            "`chain-relay` cells are single-draw Monte-Carlo estimates; set `trials` to 1 and \
+             put the chain count in the `samples` param (got trials = {})",
+            spec.trials
+        )));
+    }
+    let epsilon = spec.epsilon();
+    let Some(&hops) = spec.params.get("hops") else {
+        return Err(SweepError::Spec(
+            "`chain-relay` needs a `hops` param (the chain length)".into(),
+        ));
+    };
+    let hops = hops as u32;
+    let samples = spec.param_or("samples", 0.0) as u32;
+    if samples == 0 {
+        return Err(SweepError::Spec(
+            "`chain-relay` needs `samples` >= 1 (the number of chains to simulate)".into(),
+        ));
+    }
+    let seed_point = spec.param_or("seed_point", 1_100.0) as u64;
+    let seed = SimRng::stream_seed(
+        SimRng::stream_seed(spec.base_seed, seed_point),
+        u64::from(hops),
+    );
+    let measured = simulate_chain(epsilon, hops, samples, seed)
+        .map_err(|e| SweepError::Spec(e.to_string()))?;
+    Ok(vec![("measured", measured)])
+}
+
+/// The smallest odd sample count for which an exact majority decoder over a
+/// binary symmetric channel with crossover `1/2 - epsilon` reaches the given
+/// confidence (searched in steps of two; capped at ~10⁶ samples).
+///
+/// This is the E12 workhorse; it lives here so the `two-party-samples`
+/// protocol and the experiment renderers share one definition.
+#[must_use]
+pub fn samples_for_confidence(epsilon: f64, confidence: f64) -> u64 {
+    let p = 0.5 + epsilon;
+    let mut samples = 1u64;
+    while majority_correct_probability(samples, p) < confidence {
+        samples += 2;
+        if samples > 1_000_000 {
+            break;
+        }
+    }
+    samples
+}
+
+/// `two-party-samples`: the §1.4 two-party lower-bound table — the exact
+/// (deterministic) majority-decoder sample count for the cell's `ε` at the
+/// `confidence` param (default `0.99`).  Deterministic, so `trials` must be
+/// 1.
+fn run_two_party_samples(
+    spec: &ScenarioSpec,
+    _trial: u64,
+    _ctx: &TrialContext,
+) -> Result<Vec<(&'static str, f64)>, SweepError> {
+    if spec.trials != 1 {
+        return Err(SweepError::Spec(format!(
+            "`two-party-samples` is deterministic; set `trials` to 1 (got {})",
+            spec.trials
+        )));
+    }
+    let confidence = spec.param_or("confidence", 0.99);
+    if !(0.0..1.0).contains(&confidence) || confidence <= 0.0 {
+        return Err(SweepError::Spec(format!(
+            "`confidence` must be in (0, 1), got {confidence}"
+        )));
+    }
+    let needed = samples_for_confidence(spec.epsilon(), confidence);
+    Ok(vec![("samples", needed as f64)])
 }
 
 /// `majority-consensus`: params `initial_size` and `initial_bias` select the
@@ -942,17 +1345,194 @@ mod tests {
         assert_eq!(
             ids,
             vec![
+                "async-broadcast",
+                "baseline-compare",
                 "ben-or",
                 "bft-compare",
                 "broadcast",
+                "broadcast-detailed",
                 "bv-broadcast",
+                "chain-relay",
                 "majority-consensus",
                 "majority-sampler",
+                "mc-boost",
                 "rumor",
                 "rumor-zealot",
                 "safe-bbc",
+                "two-party-samples",
             ]
         );
+    }
+
+    #[test]
+    fn broadcast_detailed_reports_per_level_statistics() {
+        let registry = ProtocolRegistry::builtin();
+        let spec = cell(
+            "broadcast-detailed",
+            Backend::Agents,
+            &[("n", 300.0), ("epsilon", 0.3)],
+        );
+        let metrics = registry.run_trial(&spec, 0).unwrap();
+        assert_eq!(metrics, registry.run_trial(&spec, 0).unwrap());
+        let get = |name: &str| {
+            metrics
+                .iter()
+                .find(|(k, _)| *k == name)
+                .map(|(_, v)| *v)
+                .unwrap_or_else(|| panic!("missing metric `{name}`"))
+        };
+        // The level-0 pair matches a direct run_detailed call.
+        let params = Params::practical(300, 0.3).unwrap();
+        let detailed = BroadcastProtocol::new(params, Opinion::One)
+            .run_detailed(spec.seed_for_trial(0))
+            .unwrap();
+        assert_eq!(get("x0"), detailed.levels[0].activated as f64);
+        assert_eq!(get("x0p1"), detailed.levels[0].activated as f64 + 1.0);
+        assert_eq!(get("bias0"), detailed.levels[0].bias());
+        assert_eq!(get("levels"), detailed.levels.len() as f64);
+        assert_eq!(
+            get("stage1_bias"),
+            detailed.outcome.fraction_correct_after_stage1 - 0.5
+        );
+        // Phase trajectory covers every schedule phase.
+        let phases = detailed.fraction_correct_after_phase.len();
+        for phase in 0..phases {
+            assert_eq!(
+                get(&format!("phase_frac_{phase}")),
+                detailed.fraction_correct_after_phase[phase]
+            );
+        }
+        // Cumulative level sizes cover levels 0..levels-1.
+        assert!(metrics.iter().any(|(k, _)| *k == "level_cum_0"));
+    }
+
+    #[test]
+    fn mc_boost_reproduces_the_lemma_2_11_monte_carlo() {
+        let registry = ProtocolRegistry::builtin();
+        let mut spec = cell(
+            "mc-boost",
+            Backend::Agents,
+            &[
+                ("n", 1_000.0),
+                ("epsilon", 0.2),
+                ("delta", 0.1),
+                ("mc_trials", 2_000.0),
+            ],
+        );
+        spec.trials = 1;
+        spec.point = 703;
+        let metrics = registry.run_trial(&spec, 0).unwrap();
+        assert_eq!(metrics, registry.run_trial(&spec, 0).unwrap());
+        let measured = metrics[0].1;
+        assert_eq!(metrics[0].0, "measured");
+        assert!(measured > 0.6, "a 10% bias must boost past 0.6: {measured}");
+        // Multi-trial specs are rejected loudly.
+        spec.trials = 2;
+        let err = registry.run_trial(&spec, 0).unwrap_err();
+        assert!(err.to_string().contains("trials"), "{err}");
+    }
+
+    #[test]
+    fn async_broadcast_runs_both_variants() {
+        let registry = ProtocolRegistry::builtin();
+        for variant in [0.0, 1.0] {
+            let spec = cell(
+                "async-broadcast",
+                Backend::Agents,
+                &[("n", 300.0), ("epsilon", 0.3), ("variant", variant)],
+            );
+            let trial0 = registry.run_trial(&spec, 0).unwrap();
+            assert_eq!(trial0, registry.run_trial(&spec, 0).unwrap());
+            let names: Vec<&str> = trial0.iter().map(|(k, _)| *k).collect();
+            assert_eq!(
+                names,
+                vec![
+                    "all_correct",
+                    "sync_rounds",
+                    "total_rounds",
+                    "overhead_rounds"
+                ],
+                "variant {variant}"
+            );
+            // Later trials report the per-trial metric only.
+            let trial1 = registry.run_trial(&spec, 1).unwrap();
+            let names: Vec<&str> = trial1.iter().map(|(k, _)| *k).collect();
+            assert_eq!(names, vec!["all_correct"], "variant {variant}");
+        }
+        let bad = cell(
+            "async-broadcast",
+            Backend::Agents,
+            &[("n", 300.0), ("epsilon", 0.3), ("variant", 7.0)],
+        );
+        assert!(registry.run_trial(&bad, 0).is_err());
+    }
+
+    #[test]
+    fn baseline_compare_dispatches_every_index() {
+        let registry = ProtocolRegistry::builtin();
+        for baseline in 0..6 {
+            let spec = cell(
+                "baseline-compare",
+                Backend::Agents,
+                &[
+                    ("n", 200.0),
+                    ("epsilon", 0.2),
+                    ("baseline", baseline as f64),
+                ],
+            );
+            let metrics = registry.run_trial(&spec, 0).unwrap();
+            assert_eq!(metrics, registry.run_trial(&spec, 0).unwrap(), "{baseline}");
+            let names: Vec<&str> = metrics.iter().map(|(k, _)| *k).collect();
+            assert_eq!(names, vec!["fraction_correct", "all_correct"], "{baseline}");
+        }
+        let bad = cell(
+            "baseline-compare",
+            Backend::Agents,
+            &[("n", 200.0), ("epsilon", 0.2), ("baseline", 6.0)],
+        );
+        let err = registry.run_trial(&bad, 0).unwrap_err();
+        assert!(err.to_string().contains("0..=5"), "{err}");
+    }
+
+    #[test]
+    fn chain_relay_matches_the_direct_simulation() {
+        let registry = ProtocolRegistry::builtin();
+        let mut spec = cell(
+            "chain-relay",
+            Backend::Agents,
+            &[
+                ("n", 1.0),
+                ("epsilon", 0.3),
+                ("hops", 3.0),
+                ("samples", 5_000.0),
+            ],
+        );
+        spec.trials = 1;
+        spec.point = 1_103;
+        let metrics = registry.run_trial(&spec, 0).unwrap();
+        // The legacy seed derivation: hops-keyed, epsilon-independent.
+        let seed = SimRng::stream_seed(SimRng::stream_seed(spec.base_seed, 1_100), 3);
+        let direct = simulate_chain(0.3, 3, 5_000, seed).unwrap();
+        assert_eq!(metrics, vec![("measured", direct)]);
+    }
+
+    #[test]
+    fn two_party_samples_is_deterministic_and_monotone() {
+        let registry = ProtocolRegistry::builtin();
+        let mut needed = Vec::new();
+        for epsilon in [0.1, 0.2, 0.4] {
+            let mut spec = cell(
+                "two-party-samples",
+                Backend::Agents,
+                &[("n", 1.0), ("epsilon", epsilon)],
+            );
+            spec.trials = 1;
+            let metrics = registry.run_trial(&spec, 0).unwrap();
+            assert_eq!(metrics[0].0, "samples");
+            assert_eq!(metrics[0].1, samples_for_confidence(epsilon, 0.99) as f64);
+            needed.push(metrics[0].1);
+        }
+        assert!(needed[0] > needed[1] && needed[1] > needed[2]);
     }
 
     #[test]
