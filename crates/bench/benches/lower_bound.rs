@@ -4,12 +4,12 @@
 use baselines::simulate_chain;
 use bench::{announce, bench_config};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use experiments::comparisons::samples_for_confidence;
+use sweeps::samples_for_confidence;
 
 fn lower_bound(c: &mut Criterion) {
     let cfg = bench_config();
-    announce(&experiments::comparisons::e11_path_deterioration(&cfg).to_markdown());
-    announce(&experiments::comparisons::e12_two_party_lower_bound(&cfg).to_markdown());
+    announce(&experiments::specs::e11_table(&cfg).to_markdown());
+    announce(&experiments::specs::e12_table(&cfg).to_markdown());
 
     let mut group = c.benchmark_group("e11_e12_lower_bound");
     group.sample_size(20);

@@ -26,9 +26,9 @@ fn one_boost_phase(gamma: u64, epsilon: f64, delta: f64, rng: &mut SimRng) -> Op
 }
 
 fn stage2_boost(c: &mut Criterion) {
-    for table in experiments::stage_claims::e07_stage2_boost(&bench_config()) {
-        announce(&table.to_markdown());
-    }
+    let cfg = bench_config();
+    announce(&experiments::specs::e07a_table(&cfg).to_markdown());
+    announce(&experiments::specs::e07b_table(&cfg).to_markdown());
 
     let mut group = c.benchmark_group("e07_stage2_boost_phase");
     group.sample_size(20);

@@ -231,6 +231,37 @@ fn substrate(c: &mut Criterion) {
         b.iter(|| sim.step().metrics.messages_sent);
     });
 
+    // End-to-end cost of the spec layer itself: protocol resolution plus one
+    // tiny rumor trial through `ProtocolRegistry::run_trial` — the only path
+    // any experiment cell takes since the spec migration.  The trial counter
+    // increments so the registry cannot amortise anything across iterations;
+    // a regression here taxes every cell of every sweep.
+    group.bench_function("registry_dispatch", |b| {
+        let registry = sweeps::ProtocolRegistry::builtin();
+        let spec = sweeps::ScenarioSpec {
+            protocol: "rumor".into(),
+            backend: flip_model::Backend::Agents,
+            trials: 1,
+            base_seed: 9,
+            point: 0,
+            rounds: 80,
+            params: std::collections::BTreeMap::from([
+                ("n".to_string(), 64.0),
+                ("epsilon".to_string(), 0.25),
+                ("informed".to_string(), 4.0),
+            ]),
+            faults: String::new(),
+        };
+        let mut trial = 0u64;
+        b.iter(|| {
+            trial += 1;
+            registry
+                .run_trial(&spec, trial)
+                .expect("rumor trial runs")
+                .len()
+        });
+    });
+
     group.finish();
 }
 

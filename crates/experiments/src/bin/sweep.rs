@@ -1,14 +1,19 @@
 //! `sweep` — the command-line face of the declarative sweep subsystem.
 //!
 //! ```text
-//! sweep list                          # builtin specs and registry protocols
+//! sweep list                          # builtin specs (grouped by family),
+//!                                     #   composed specs, registry protocols
 //! sweep gen e01 [--full] [--trials N] [--seed N]
 //!                                     # print a builtin spec as JSON
 //! sweep run spec.json --out DIR [--threads N] [--max-cells N]
 //!                    [--telemetry] [--progress]
 //!                                     # execute, checkpointing each cell
+//! sweep run report --out DIR [--full] [--trials N] [--seed N] [...]
+//!                                     # the composed full report: E1-E12 as
+//!                                     #   one resumable run, shared budget
 //! sweep resume DIR [--threads N] [--telemetry] [--progress]
-//!                                     # finish a killed/interrupted sweep
+//!                                     # finish a killed/interrupted sweep or
+//!                                     #   composed report (auto-detected)
 //! sweep export DIR --csv|--json [--out FILE] [--partial]
 //!                                     # deterministic, grid-ordered export
 //! sweep report DIR [--telemetry]      # completion status + phase profile
@@ -18,7 +23,11 @@
 //! shards of completed cells; `run` on an existing directory, like `resume`,
 //! skips persisted cells.  Because every cell is a deterministic function of
 //! its hash-addressed spec, an interrupted-then-resumed sweep exports
-//! byte-identical output to an uninterrupted one.
+//! byte-identical output to an uninterrupted one.  A composed report store
+//! (`report.json` plus `members/<name>/` sub-stores) extends the same
+//! contract across sweeps: one shared `--max-cells` budget drains member by
+//! member, and `resume` continues from the first missing cell of the first
+//! incomplete member.
 //!
 //! `--telemetry` (or a non-empty, non-`0` `FLIP_TELEMETRY` environment
 //! variable) additionally records per-cell phase profiles — engine phase
@@ -35,8 +44,8 @@ use std::process::ExitCode;
 
 use experiments::{specs, ExperimentConfig};
 use sweeps::{
-    export_csv, export_json, ordered_cells, ProtocolRegistry, SweepError, SweepRunner, SweepSpec,
-    SweepStore,
+    export_csv, export_json, is_report_store, ordered_cells, ProtocolRegistry, ReportRunner,
+    ReportSpec, ReportStore, SweepError, SweepRunner, SweepSpec, SweepStore,
 };
 use telemetry::Recorder;
 
@@ -44,6 +53,7 @@ const USAGE: &str = "usage:
   sweep list
   sweep gen <name> [--full] [--trials N] [--seed N] [--rounds N] [--faults D]
   sweep run <spec.json> --out <dir> [--threads N] [--max-cells N] [--telemetry] [--progress]
+  sweep run report --out <dir> [--full] [--trials N] [--seed N] [--threads N] [--max-cells N] [--telemetry] [--progress]
   sweep resume <dir> [--threads N] [--max-cells N] [--telemetry] [--progress]
   sweep export <dir> --csv|--json [--out FILE] [--partial]
   sweep report <dir> [--telemetry]
@@ -81,17 +91,28 @@ fn main() -> ExitCode {
 }
 
 fn cmd_list() -> Result<(), SweepError> {
-    println!("builtin sweeps (sweep gen <name>):");
+    println!("builtin sweeps (sweep gen <name>), by experiment family:");
     let cfg = ExperimentConfig::quick();
-    for name in specs::BUILTIN_SWEEPS {
-        let spec = specs::builtin(name, &cfg).expect("builtin names resolve");
-        println!(
-            "  {name:<10} protocol={} backend={} cells={}",
-            spec.protocol,
-            spec.backend,
-            spec.grid_len()
-        );
+    for (family, names) in specs::SWEEP_FAMILIES {
+        println!("  {family}:");
+        for name in names {
+            let spec = specs::builtin(name, &cfg).expect("family names resolve");
+            println!(
+                "    {name:<10} protocol={} backend={} cells={}",
+                spec.protocol,
+                spec.backend,
+                spec.grid_len()
+            );
+        }
     }
+    let report = specs::report_spec(&cfg);
+    println!("composed specs (sweep run report --out <dir>):");
+    println!(
+        "    {:<10} members={} cells={} — E1-E12 as one resumable run",
+        specs::REPORT_SPEC_NAME,
+        report.members.len(),
+        report.total_cells()?,
+    );
     println!("registered protocols:");
     for (id, backends) in ProtocolRegistry::builtin().list() {
         let names: Vec<&str> = backends.iter().map(|b| b.as_str()).collect();
@@ -113,10 +134,19 @@ fn cmd_gen(args: &[String]) -> Result<(), SweepError> {
             "gen takes the sweep name first, then flags (got `{name}`)\n{USAGE}"
         )));
     }
+    if name == specs::REPORT_SPEC_NAME {
+        return Err(SweepError::Spec(
+            "the composed report is not a single spec; run it with: sweep run report --out <dir>"
+                .into(),
+        ));
+    }
     let cfg = experiments::config_from_args(cfg_args.to_vec());
     let mut spec = specs::builtin(name, &cfg).ok_or_else(|| {
+        let suggestion = specs::nearest_builtin(name)
+            .map(|near| format!(" did you mean `{near}`?"))
+            .unwrap_or_default();
         SweepError::Spec(format!(
-            "unknown builtin sweep `{name}`; available: {}",
+            "unknown builtin sweep `{name}`;{suggestion} available: {}",
             specs::BUILTIN_SWEEPS.join(", ")
         ))
     })?;
@@ -261,14 +291,32 @@ fn execute(spec: &SweepSpec, store: &SweepStore, flags: &Flags) -> Result<(), Sw
 }
 
 fn cmd_run(args: &[String]) -> Result<(), SweepError> {
+    // The composed report is a builtin composition, not a spec file on disk.
+    if args.first().is_some_and(|a| a == specs::REPORT_SPEC_NAME) {
+        return cmd_run_report(&args[1..]);
+    }
     let flags = parse_flags(args)?;
     let [spec_path] = flags.positional.as_slice() else {
         return Err(SweepError::Spec(format!(
             "run needs exactly one spec file\n{USAGE}"
         )));
     };
-    let text = std::fs::read_to_string(spec_path)
-        .map_err(|e| SweepError::Spec(format!("cannot read {spec_path}: {e}")))?;
+    let text = std::fs::read_to_string(spec_path).map_err(|e| {
+        // An unreadable path that is nearly a builtin name is almost always
+        // a typo for one, not a missing file — say so.
+        let suggestion = match specs::nearest_builtin(spec_path) {
+            Some(near) if near == specs::REPORT_SPEC_NAME => {
+                "; did you mean the composed report? run it with: sweep run report --out <dir>"
+                    .to_string()
+            }
+            Some(near) => format!(
+                "; did you mean the builtin sweep `{near}`? generate it with: \
+                 sweep gen {near} > {near}.json"
+            ),
+            None => String::new(),
+        };
+        SweepError::Spec(format!("cannot read {spec_path}: {e}{suggestion}"))
+    })?;
     let spec = SweepSpec::from_json_text(&text)?;
     let out = flags
         .out
@@ -278,6 +326,91 @@ fn cmd_run(args: &[String]) -> Result<(), SweepError> {
     execute(&spec, &store, &flags)
 }
 
+/// `sweep run report`: the composed full report as one resumable run.
+///
+/// The config flags (`--full`, `--trials`, `--seed`) select the member
+/// grids exactly as they do for `full_report` and `sweep gen`; the sweep
+/// flags (`--out`, `--threads`, `--max-cells`, `--telemetry`, `--progress`)
+/// mean what they mean for a single sweep, with `--max-cells` budgeting the
+/// whole composition.
+fn cmd_run_report(args: &[String]) -> Result<(), SweepError> {
+    let (cfg_args, sweep_args) = split_config_flags(args);
+    let flags = parse_flags(&sweep_args)?;
+    if let Some(stray) = flags.positional.first() {
+        return Err(SweepError::Spec(format!(
+            "run report takes flags only (got `{stray}`)\n{USAGE}"
+        )));
+    }
+    let out = flags
+        .out
+        .clone()
+        .ok_or_else(|| SweepError::Spec("run report needs --out <dir>".into()))?;
+    let cfg = experiments::config_from_args(cfg_args);
+    let spec = specs::report_spec(&cfg);
+    let store = ReportStore::create(&out, &spec)?;
+    execute_report(&spec, &store, &flags)
+}
+
+/// Splits `sweep run report` arguments into experiment-config flags (fed to
+/// the shared parser) and sweep flags (fed to [`parse_flags`]).
+fn split_config_flags(args: &[String]) -> (Vec<String>, Vec<String>) {
+    let mut cfg_args = Vec::new();
+    let mut sweep_args = Vec::new();
+    let mut iter = args.iter().peekable();
+    while let Some(arg) = iter.next() {
+        match arg.split_once('=').map_or(arg.as_str(), |(flag, _)| flag) {
+            "--full" => cfg_args.push(arg.clone()),
+            "--trials" | "--seed" => {
+                cfg_args.push(arg.clone());
+                if !arg.contains('=') {
+                    if let Some(value) = iter.next() {
+                        cfg_args.push(value.clone());
+                    }
+                }
+            }
+            _ => sweep_args.push(arg.clone()),
+        }
+    }
+    (cfg_args, sweep_args)
+}
+
+fn execute_report(spec: &ReportSpec, store: &ReportStore, flags: &Flags) -> Result<(), SweepError> {
+    let mut runner = ReportRunner::new()
+        .with_telemetry(flags.telemetry_requested())
+        .with_progress(flags.progress);
+    if let Some(threads) = flags.threads {
+        runner = runner.with_threads(threads);
+    }
+    if let Some(max_cells) = flags.max_cells {
+        runner = runner.with_max_cells(max_cells);
+    }
+    let outcome = runner.run(spec, &ProtocolRegistry::builtin(), Some(store))?;
+    println!(
+        "report `{}` ({}): {} members, {} cells total, {} executed, {} already persisted",
+        spec.name,
+        spec.hash_hex(),
+        spec.members.len(),
+        outcome.total,
+        outcome.executed,
+        outcome.skipped,
+    );
+    if outcome.completed {
+        println!(
+            "complete; render with: full_report --store {} --export report.md \
+             (same config flags)",
+            store.dir().display()
+        );
+    } else {
+        println!(
+            "incomplete ({}/{} cells); continue with: sweep resume {}",
+            outcome.skipped + outcome.executed,
+            outcome.total,
+            store.dir().display()
+        );
+    }
+    Ok(())
+}
+
 fn cmd_resume(args: &[String]) -> Result<(), SweepError> {
     let flags = parse_flags(args)?;
     let [dir] = flags.positional.as_slice() else {
@@ -285,7 +418,12 @@ fn cmd_resume(args: &[String]) -> Result<(), SweepError> {
             "resume needs exactly one store directory\n{USAGE}"
         )));
     };
-    let (store, spec) = SweepStore::open(Path::new(dir))?;
+    let dir = Path::new(dir);
+    if is_report_store(dir) {
+        let (store, spec) = ReportStore::open(dir)?;
+        return execute_report(&spec, &store, &flags);
+    }
+    let (store, spec) = SweepStore::open(dir)?;
     execute(&spec, &store, &flags)
 }
 
@@ -300,6 +438,13 @@ fn cmd_export(args: &[String]) -> Result<(), SweepError> {
         return Err(SweepError::Spec(
             "export needs exactly one of --csv or --json".into(),
         ));
+    }
+    if is_report_store(Path::new(dir)) {
+        return Err(SweepError::Spec(format!(
+            "{dir} is a composed report store; export its members individually \
+             (sweep export {dir}/members/<name> --csv) or render the markdown report \
+             with: full_report --store {dir} --export report.md"
+        )));
     }
     let (store, spec) = SweepStore::open(Path::new(dir))?;
     let records = store.load_cells()?;
@@ -329,6 +474,9 @@ fn cmd_report(args: &[String]) -> Result<(), SweepError> {
             "report needs exactly one store directory\n{USAGE}"
         )));
     };
+    if is_report_store(Path::new(dir)) {
+        return cmd_report_composed(Path::new(dir), &flags);
+    }
     let (store, spec) = SweepStore::open(Path::new(dir))?;
     let records = store.load_cells()?;
     println!(
@@ -368,6 +516,69 @@ fn cmd_report(args: &[String]) -> Result<(), SweepError> {
     if merged.is_empty() {
         // Counts-only backends (dense strata) have no per-message engine
         // work to time; the shards still carry trial counts and wall time.
+        println!("profiles contain no engine phases (counts-only backend)");
+    } else {
+        print!("{}", merged.render());
+    }
+    Ok(())
+}
+
+/// `sweep report` on a composed report store: per-member completion status
+/// plus, with `--telemetry`, the profile aggregate merged across members.
+fn cmd_report_composed(dir: &Path, flags: &Flags) -> Result<(), SweepError> {
+    let (store, spec) = ReportStore::open(dir)?;
+    let mut member_lines = Vec::with_capacity(spec.members.len());
+    let mut persisted = 0usize;
+    let mut total = 0usize;
+    let mut merged = Recorder::default();
+    let mut profiles = 0usize;
+    let mut trials = 0u64;
+    let mut cell_ns = 0u64;
+    for member in &spec.members {
+        let sub = store.member_store(member)?;
+        let records = sub.load_cells()?;
+        let cells = member.grid_len();
+        member_lines.push(format!(
+            "  member `{}`: {}/{} cells persisted",
+            member.name,
+            records.len(),
+            cells
+        ));
+        persisted += records.len().min(cells);
+        total += cells;
+        if flags.telemetry_requested() {
+            for profile in sub.load_telemetry()?.values() {
+                merged.merge(&profile.recorder);
+                profiles += 1;
+                trials += profile.trials;
+                cell_ns += profile.elapsed_ns;
+            }
+        }
+    }
+    println!(
+        "report `{}` ({}): {persisted}/{total} cells persisted",
+        spec.name,
+        store.report_hash(),
+    );
+    for line in member_lines {
+        println!("{line}");
+    }
+    if !flags.telemetry_requested() {
+        return Ok(());
+    }
+    if profiles == 0 {
+        println!(
+            "no telemetry profiles recorded; capture them with: sweep run report --out {} \
+             --telemetry",
+            dir.display()
+        );
+        return Ok(());
+    }
+    println!(
+        "telemetry: {profiles} cell profiles, {trials} trials, {:.2}s total cell time",
+        cell_ns as f64 / 1.0e9,
+    );
+    if merged.is_empty() {
         println!("profiles contain no engine phases (counts-only backend)");
     } else {
         print!("{}", merged.render());

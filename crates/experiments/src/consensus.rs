@@ -1,14 +1,9 @@
-//! E8: noisy majority-consensus success versus initial set size and
-//! majority-bias (Corollary 2.18), plus the dense-engine variant E8-D that
-//! measures the Stage II boost on populations of `10⁵`–`10⁶` agents.
-
-use analysis::estimators::{mean, SuccessRate};
-use analysis::tables::fmt_float;
-use analysis::Table;
-use breathe::{InitialSet, MajorityConsensusProtocol, Params};
-use flip_model::{
-    BinarySymmetricChannel, DenseSimulation, MajoritySamplerProtocol, Opinion, SimulationConfig,
-};
+//! Shared parameter grids for the majority-consensus experiments E8 and E8-D.
+//!
+//! The experiment loops themselves live in the sweep registry
+//! (`sweeps::registry`); the sweep specs in [`crate::specs`] consume these
+//! grids to build their axes, so quick/full scaling has one definition per
+//! experiment.
 
 use crate::ExperimentConfig;
 
@@ -32,65 +27,6 @@ pub fn bias_grid(cfg: &ExperimentConfig) -> Vec<f64> {
     }
 }
 
-/// **E8 (Corollary 2.18)** — consensus on the initial majority for varying
-/// `|A|` and majority-bias.
-///
-/// The corollary requires `|A| = Ω(log n / ε²)` and bias `Ω(√(log n / |A|))`;
-/// rows below the requirement are included deliberately to show where the
-/// guarantee starts to apply.
-#[must_use]
-pub fn e08_majority_consensus(cfg: &ExperimentConfig) -> Table {
-    let n = cfg.pick(1_000, 4_000);
-    let epsilon = 0.3;
-    let mut table = Table::new(
-        "E8: noisy majority-consensus (Corollary 2.18)",
-        &[
-            "|A|",
-            "majority-bias",
-            "required bias sqrt(ln n/|A|)",
-            "mean fraction correct",
-            "all-correct rate",
-        ],
-    );
-    let params = Params::practical(n, epsilon).expect("valid parameters");
-    let mut point = 800;
-    for &size in &initial_set_grid(cfg) {
-        if size > n {
-            continue;
-        }
-        for &bias in &bias_grid(cfg) {
-            let initial = InitialSet::with_bias(size, bias).expect("valid bias");
-            if initial.holding_correct <= initial.holding_wrong {
-                continue;
-            }
-            let protocol = MajorityConsensusProtocol::new(params.clone(), Opinion::One, initial)
-                .expect("valid initial set");
-            let runner = cfg.runner();
-            let outcomes = runner.run(|trial| {
-                protocol
-                    .run_with_seed(cfg.seed_for(point, trial))
-                    .expect("simulation construction cannot fail")
-            });
-            point += 1;
-            let mut success = SuccessRate::new();
-            let mut fractions = Vec::new();
-            for o in &outcomes {
-                success.record(o.all_correct);
-                fractions.push(o.fraction_correct);
-            }
-            let required = ((n as f64).ln() / size as f64).sqrt().min(0.5);
-            table.push_row(&[
-                size.to_string(),
-                fmt_float(initial.majority_bias()),
-                fmt_float(required),
-                fmt_float(mean(&fractions)),
-                fmt_float(success.estimate()),
-            ]);
-        }
-    }
-    table
-}
-
 /// The population sizes swept by the dense majority experiment E8-D.
 #[must_use]
 pub fn dense_majority_grid(cfg: &ExperimentConfig) -> Vec<u64> {
@@ -111,65 +47,6 @@ pub fn dense_bias_grid(cfg: &ExperimentConfig) -> Vec<f64> {
     }
 }
 
-/// **E8-D (Lemma 2.11 / Corollary 2.18, dense form)** — Stage II majority
-/// boosting at `n = 10⁵`–`10⁶⁺`.
-///
-/// Every agent starts opinionated with a small whole-population bias towards
-/// the correct opinion and runs `O(log n)` phases of noisy majority sampling
-/// ([`MajoritySamplerProtocol`]).  The paper predicts each phase to multiply
-/// the bias by `Θ(ε·√samples)` until it saturates, so even a 1% initial edge
-/// should end with nearly every agent correct.  Only the dense engine makes
-/// this measurable at such `n`; there is deliberately no per-agent fallback.
-#[must_use]
-pub fn e08_dense_majority(cfg: &ExperimentConfig) -> Table {
-    let epsilon = 0.3f64;
-    // An odd Θ(1/ε²) phase length, the paper's Stage II sample scale.
-    let phase_len = ((2.0 / (epsilon * epsilon)).ceil() as u64) | 1;
-    let mut table = Table::new(
-        &format!("E8-D: dense majority boost (epsilon = {epsilon}, phase_len = {phase_len})"),
-        &[
-            "n",
-            "initial bias",
-            "phases",
-            "final fraction correct",
-            "majority preserved rate",
-        ],
-    );
-    let mut point = 1_800;
-    for &n in &dense_majority_grid(cfg) {
-        for &bias in &dense_bias_grid(cfg) {
-            let correct = ((0.5 + bias) * n as f64).round() as u64;
-            let phases = 2 * (n as f64).log2().ceil() as u64;
-            let runner = cfg.runner();
-            let outcomes = runner.run(|trial| {
-                let sampler = MajoritySamplerProtocol::new(phase_len);
-                let population = sampler.population(n - correct, correct);
-                let channel = BinarySymmetricChannel::from_epsilon(epsilon).expect("valid epsilon");
-                let config = SimulationConfig::new(n as usize)
-                    .with_seed(cfg.seed_for(point, trial))
-                    .with_reference(Opinion::One);
-                let mut sim = DenseSimulation::new(sampler, channel, population, config)
-                    .expect("grid parameters are valid");
-                sim.run(phases * phase_len);
-                sim.census().fraction_correct(Opinion::One)
-            });
-            point += 1;
-            let mut preserved = SuccessRate::new();
-            for &f in &outcomes {
-                preserved.record(f > 0.5);
-            }
-            table.push_row(&[
-                n.to_string(),
-                fmt_float(bias),
-                phases.to_string(),
-                fmt_float(mean(&outcomes)),
-                fmt_float(preserved.estimate()),
-            ]);
-        }
-    }
-    table
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -184,44 +61,13 @@ mod tests {
             bias_grid(&ExperimentConfig::full()).len()
                 > bias_grid(&ExperimentConfig::quick()).len()
         );
-    }
-
-    #[test]
-    fn e08_dense_boosts_small_biases_at_scale() {
-        let cfg = ExperimentConfig {
-            trials: 1,
-            base_seed: 5,
-            ..ExperimentConfig::quick()
-        };
-        let table = e08_dense_majority(&cfg);
-        assert_eq!(
-            table.len(),
-            dense_majority_grid(&cfg).len() * dense_bias_grid(&cfg).len()
+        assert!(
+            dense_majority_grid(&ExperimentConfig::full()).len()
+                > dense_majority_grid(&ExperimentConfig::quick()).len()
         );
-        // Even the smallest swept bias should be amplified to a solid
-        // majority at every n.
-        for row in table.rows() {
-            let fraction: f64 = row[3].parse().unwrap();
-            assert!(fraction > 0.8, "fraction = {fraction}, row = {row:?}");
-        }
-    }
-
-    #[test]
-    fn e08_produces_a_row_per_grid_point_and_large_biased_sets_win() {
-        let cfg = ExperimentConfig {
-            trials: 2,
-            base_seed: 5,
-            ..ExperimentConfig::quick()
-        };
-        let table = e08_majority_consensus(&cfg);
-        assert_eq!(
-            table.len(),
-            initial_set_grid(&cfg).len() * bias_grid(&cfg).len()
+        assert!(
+            dense_bias_grid(&ExperimentConfig::full()).len()
+                > dense_bias_grid(&ExperimentConfig::quick()).len()
         );
-        // The easiest configuration (largest set, largest bias) should reach a
-        // high fraction of correct agents.
-        let last = table.rows().last().unwrap();
-        let fraction: f64 = last[3].parse().unwrap();
-        assert!(fraction > 0.8, "fraction = {fraction}, row = {last:?}");
     }
 }

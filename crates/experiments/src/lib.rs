@@ -7,20 +7,13 @@
 //!
 //! * [`cli`] — the shared command-line convention of every experiment
 //!   binary (`--full`, `--backend`, `--trials`, `--threads`, `--seed`),
-//! * [`scaling`] — E1–E3 and E9: round/message complexity scaling and the
-//!   local-clock overhead,
-//! * [`stage_claims`] — E4–E7: the Stage I claims (2.2, 2.4/2.5/2.7, 2.8) and
-//!   the Stage II boost lemmas (2.11, 2.14),
-//! * [`consensus`] — E8: majority-consensus success versus initial set size
-//!   and bias (Corollary 2.18),
-//! * [`ablations`] — A1–A3: design-choice ablations (required initial bias,
-//!   Stage II sample count, phase-0 length),
-//! * [`comparisons`] — E10–E12: baseline comparison, path deterioration and
-//!   the two-party lower bound,
-//! * [`specs`] — the registry-backed sweep specs: E1, E1-D, E2, E8, E8-D,
-//!   A2 and the fault-injection family E13 expressed as declarative
-//!   [`sweeps::SweepSpec`]s, plus renderers that reproduce the legacy
-//!   tables digit-for-digit from sweep aggregates,
+//! * [`specs`] — every experiment family (E1–E13 and the ablations A1–A3)
+//!   expressed as a declarative [`sweeps::SweepSpec`] over the sweep
+//!   registry, plus renderers that rebuild each results table from
+//!   streaming sweep aggregates (pinned digit-for-digit against the
+//!   original hand-rolled runners in `tests/spec_equivalence.rs`),
+//! * [`scaling`] and [`consensus`] — the shared quick/full parameter grids
+//!   those specs sweep,
 //! * [`report`] — assembling the tables into a markdown report.
 //!
 //! Multi-trial fan-out lives in [`sweeps::TrialRunner`] (re-exported here as
@@ -34,14 +27,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod ablations;
 pub mod cli;
-pub mod comparisons;
 pub mod consensus;
 pub mod report;
 pub mod scaling;
 pub mod specs;
-pub mod stage_claims;
 
 pub use report::Report;
 pub use sweeps::{runner, TrialRunner};

@@ -1,8 +1,27 @@
 //! Assembling experiment tables into a markdown report.
+//!
+//! The report's member list, title and preamble live here so the in-memory
+//! [`full_report`] and the composed, resumable `full_report` binary (which
+//! runs the same members through the `sweeps` store) render byte-identical
+//! markdown from the same definitions.
 
 use analysis::Table;
 
-use crate::{comparisons, consensus, scaling, stage_claims, ExperimentConfig};
+use crate::{specs, ExperimentConfig};
+
+/// The builtin sweeps assembled into the full report, in presentation order:
+/// every quantitative claim of the paper, E1–E12.
+pub const REPORT_MEMBERS: [&str; 13] = [
+    "e01", "e02", "e03", "e04", "e05", "e06", "e07a", "e07b", "e08", "e09", "e10", "e11", "e12",
+];
+
+/// The full report's document title.
+pub const REPORT_TITLE: &str = "Breathe before Speaking — experiment report";
+
+/// The full report's preamble paragraph.
+pub const REPORT_PREAMBLE: &str =
+    "Measured reproductions of every quantitative claim of the paper; see DESIGN.md for the \
+     experiment index and EXPERIMENTS.md for the archived paper-vs-measured discussion.";
 
 /// A named collection of result tables rendered as one markdown document.
 #[derive(Debug, Clone, Default)]
@@ -62,28 +81,20 @@ impl Report {
     }
 }
 
-/// Runs every experiment (E1–E12) and assembles the full report.
+/// Runs every experiment (E1–E12) in memory and assembles the full report.
 ///
-/// With [`ExperimentConfig::quick`] this takes a few minutes on a laptop; the
+/// Each member is the registry-backed builtin sweep rendered through
+/// [`specs::render`] — the same path the persistent, resumable composed run
+/// uses, so both produce identical markdown for the same config.  With
+/// [`ExperimentConfig::quick`] this takes a few minutes on a laptop; the
 /// full preset reproduces the numbers recorded in `EXPERIMENTS.md`.
 #[must_use]
 pub fn full_report(cfg: &ExperimentConfig) -> Report {
-    let mut report = Report::new("Breathe before Speaking — experiment report").with_preamble(
-        "Measured reproductions of every quantitative claim of the paper; see DESIGN.md for the \
-         experiment index and EXPERIMENTS.md for the archived paper-vs-measured discussion.",
-    );
-    report.push(scaling::e01_rounds_vs_n(cfg));
-    report.push(scaling::e02_rounds_vs_epsilon(cfg));
-    report.push(scaling::e03_message_complexity(cfg));
-    report.push(stage_claims::e04_phase0_seeding(cfg));
-    report.push(stage_claims::e05_layer_growth(cfg));
-    report.push(stage_claims::e06_bias_decay(cfg));
-    report.extend(stage_claims::e07_stage2_boost(cfg));
-    report.push(consensus::e08_majority_consensus(cfg));
-    report.push(scaling::e09_async_overhead(cfg));
-    report.push(comparisons::e10_baseline_comparison(cfg));
-    report.push(comparisons::e11_path_deterioration(cfg));
-    report.push(comparisons::e12_two_party_lower_bound(cfg));
+    let mut report = Report::new(REPORT_TITLE).with_preamble(REPORT_PREAMBLE);
+    for name in REPORT_MEMBERS {
+        let spec = specs::builtin(name, cfg).expect("report members are builtin sweeps");
+        report.push(specs::render(name, &specs::run_in_memory(&spec, cfg)));
+    }
     report
 }
 
@@ -104,5 +115,16 @@ mod tests {
         assert!(md.contains("hello"));
         assert!(md.contains("### t1"));
         assert!(md.contains("### t2"));
+    }
+
+    #[test]
+    fn report_members_are_all_builtin() {
+        let cfg = ExperimentConfig::quick();
+        for name in REPORT_MEMBERS {
+            assert!(
+                specs::builtin(name, &cfg).is_some(),
+                "report member `{name}` is not a builtin sweep"
+            );
+        }
     }
 }

@@ -1,16 +1,9 @@
-//! E1–E3 and E9: round and message complexity scaling (Theorem 2.17) and the
-//! local-clock overhead (Theorem 3.1), plus the dense-engine variant E1-D
-//! that pushes the population sweep to `n = 10⁶⁺`.
-
-use analysis::estimators::{mean, SuccessRate};
-use analysis::fitting::fit_linear;
-use analysis::tables::fmt_float;
-use analysis::Table;
-use breathe::{AsyncBroadcastProtocol, AsyncVariant, BroadcastProtocol, Params};
-use flip_model::{
-    Backend, BinarySymmetricChannel, DenseSimulation, HybridSimulation, Opinion, RumorAgent,
-    RumorProtocol, Simulation, SimulationConfig, StratifiedPopulation,
-};
+//! Shared parameter grids for the scaling experiments E1–E3, E1-D and E9.
+//!
+//! The experiment loops themselves live in the sweep registry
+//! (`sweeps::registry`); the sweep specs in [`crate::specs`] consume these
+//! grids to build their axes, so quick/full scaling has one definition per
+//! experiment.
 
 use crate::ExperimentConfig;
 
@@ -34,119 +27,6 @@ pub fn epsilon_grid(cfg: &ExperimentConfig) -> Vec<f64> {
     }
 }
 
-/// Runs the broadcast protocol `cfg.trials` times and summarises success.
-fn broadcast_point(
-    cfg: &ExperimentConfig,
-    point: u64,
-    n: usize,
-    epsilon: f64,
-) -> (SuccessRate, f64, f64, u64, u64) {
-    let params = Params::practical(n, epsilon).expect("grid parameters are valid");
-    let protocol = BroadcastProtocol::new(params, Opinion::One);
-    let runner = cfg.runner();
-    let outcomes = runner.run(|trial| {
-        protocol
-            .run_with_seed(cfg.seed_for(point, trial))
-            .expect("simulation construction cannot fail for valid parameters")
-    });
-    let mut success = SuccessRate::new();
-    let mut fractions = Vec::new();
-    let mut messages = Vec::new();
-    for outcome in &outcomes {
-        success.record(outcome.all_correct);
-        fractions.push(outcome.fraction_correct);
-        messages.push(outcome.messages_sent as f64);
-    }
-    let rounds = outcomes.first().map_or(0, |o| o.total_rounds);
-    (
-        success,
-        mean(&fractions),
-        mean(&messages),
-        rounds,
-        outcomes.first().map_or(0, |o| o.stage1_rounds),
-    )
-}
-
-/// **E1 (Theorem 2.17)** — rounds and success probability versus `n` at fixed `ε`.
-///
-/// The protocol's round count is fixed by the schedule, so the table reports
-/// the measured rounds, the normalised ratio `rounds / (ln n / ε²)` (which the
-/// theorem predicts to be bounded by a constant) and the success statistics.
-/// The last row reports the slope of a linear fit of rounds against `ln n`.
-#[must_use]
-pub fn e01_rounds_vs_n(cfg: &ExperimentConfig) -> Table {
-    let epsilon = 0.2;
-    let mut table = Table::new(
-        "E1: broadcast rounds vs n (epsilon = 0.2, Theorem 2.17)",
-        &[
-            "n",
-            "rounds",
-            "rounds / (ln n / eps^2)",
-            "mean fraction correct",
-            "all-correct rate",
-            "wilson 95% low",
-        ],
-    );
-    let mut ln_ns = Vec::new();
-    let mut rounds_list = Vec::new();
-    for (idx, n) in population_grid(cfg).into_iter().enumerate() {
-        let (success, frac, _msgs, rounds, _s1) = broadcast_point(cfg, idx as u64, n, epsilon);
-        let scale = (n as f64).ln() / (epsilon * epsilon);
-        ln_ns.push((n as f64).ln());
-        rounds_list.push(rounds as f64);
-        table.push_row(&[
-            n.to_string(),
-            rounds.to_string(),
-            fmt_float(rounds as f64 / scale),
-            fmt_float(frac),
-            fmt_float(success.estimate()),
-            fmt_float(success.wilson_interval(1.96).0),
-        ]);
-    }
-    if let Some(fit) = fit_linear(&ln_ns, &rounds_list) {
-        table.push_row(&[
-            "fit: rounds ~ a*ln n + b".to_string(),
-            format!("a = {}", fmt_float(fit.slope)),
-            format!("b = {}", fmt_float(fit.intercept)),
-            format!("R^2 = {}", fmt_float(fit.r_squared)),
-            String::new(),
-            String::new(),
-        ]);
-    }
-    table
-}
-
-/// **E2 (Theorem 2.17)** — rounds versus `ε` at fixed `n`.
-///
-/// The theorem predicts `rounds · ε²` to stay within a constant factor across
-/// the sweep.
-#[must_use]
-pub fn e02_rounds_vs_epsilon(cfg: &ExperimentConfig) -> Table {
-    let n = cfg.pick(1_000, 2_000);
-    let mut table = Table::new(
-        "E2: broadcast rounds vs epsilon (Theorem 2.17)",
-        &[
-            "epsilon",
-            "rounds",
-            "rounds * eps^2",
-            "mean fraction correct",
-            "all-correct rate",
-        ],
-    );
-    for (idx, epsilon) in epsilon_grid(cfg).into_iter().enumerate() {
-        let (success, frac, _msgs, rounds, _s1) =
-            broadcast_point(cfg, 100 + idx as u64, n, epsilon);
-        table.push_row(&[
-            fmt_float(epsilon),
-            rounds.to_string(),
-            fmt_float(rounds as f64 * epsilon * epsilon),
-            fmt_float(frac),
-            fmt_float(success.estimate()),
-        ]);
-    }
-    table
-}
-
 /// The population sizes swept by E3 (outer axis).
 #[must_use]
 pub fn e03_population_grid(cfg: &ExperimentConfig) -> Vec<usize> {
@@ -159,37 +39,6 @@ pub fn e03_population_grid(cfg: &ExperimentConfig) -> Vec<usize> {
 
 /// The noise margins swept by E3 (inner axis).
 pub const E03_EPSILONS: [f64; 2] = [0.2, 0.3];
-
-/// **E3 (Theorem 2.17)** — total messages versus the `n·ln n/ε²` prediction.
-#[must_use]
-pub fn e03_message_complexity(cfg: &ExperimentConfig) -> Table {
-    let mut table = Table::new(
-        "E3: message complexity (Theorem 2.17)",
-        &[
-            "n",
-            "epsilon",
-            "mean messages",
-            "messages / (n ln n / eps^2)",
-            "all-correct rate",
-        ],
-    );
-    let mut point = 200;
-    for n in e03_population_grid(cfg) {
-        for &epsilon in &E03_EPSILONS {
-            let (success, _frac, msgs, _rounds, _s1) = broadcast_point(cfg, point, n, epsilon);
-            point += 1;
-            let scale = n as f64 * (n as f64).ln() / (epsilon * epsilon);
-            table.push_row(&[
-                n.to_string(),
-                fmt_float(epsilon),
-                fmt_float(msgs),
-                fmt_float(msgs / scale),
-                fmt_float(success.estimate()),
-            ]);
-        }
-    }
-    table
-}
 
 /// The population sizes swept by the dense-engine scaling experiment E1-D.
 ///
@@ -205,142 +54,6 @@ pub fn dense_population_grid(cfg: &ExperimentConfig) -> Vec<usize> {
     }
 }
 
-/// One E1-D trial: rounds until full activation (capped), the fraction of
-/// agents holding the source opinion at that point, and total messages.
-/// Wall-clock timing deliberately stays out of the table — experiment output
-/// must be byte-identical per seed; the `dense_engine` criterion bench is
-/// where the engine's speed is measured.
-struct DenseScalingPoint {
-    rounds: u64,
-    fraction_correct: f64,
-    messages_sent: u64,
-}
-
-/// Rounds cap for an E1-D run; full activation takes `O(log n)` rounds, so
-/// 500 leaves an order of magnitude of slack at `n = 10⁷`.
-const DENSE_SCALING_MAX_ROUNDS: u64 = 500;
-
-fn dense_scaling_trial(
-    backend: Backend,
-    n: usize,
-    informed: u64,
-    epsilon: f64,
-    seed: u64,
-) -> DenseScalingPoint {
-    let channel = BinarySymmetricChannel::from_epsilon(epsilon).expect("grid epsilon is valid");
-    let config = SimulationConfig::new(n)
-        .with_seed(seed)
-        .with_reference(Opinion::One);
-    match backend {
-        Backend::Dense => {
-            let population = RumorProtocol::population(n as u64, 0, informed);
-            let mut sim = DenseSimulation::new(RumorProtocol, channel, population, config)
-                .expect("grid parameters are valid");
-            let rounds = sim.run_until(DENSE_SCALING_MAX_ROUNDS, |s| s.census().active() == n);
-            DenseScalingPoint {
-                rounds,
-                fraction_correct: sim.census().fraction_correct(Opinion::One),
-                messages_sent: sim.metrics().messages_sent,
-            }
-        }
-        Backend::Agents => {
-            let agents = RumorAgent::population(n, 0, informed as usize);
-            let mut sim =
-                Simulation::new(agents, channel, config).expect("grid parameters are valid");
-            let rounds = sim.run_until(DENSE_SCALING_MAX_ROUNDS, |s| s.census().active() == n);
-            DenseScalingPoint {
-                rounds,
-                fraction_correct: sim.census().fraction_correct(Opinion::One),
-                messages_sent: sim.metrics().messages_sent,
-            }
-        }
-        Backend::Hybrid(k) => {
-            let k = (k as usize).min(n - 1).max(1);
-            let tracked_ones = informed.min(k as u64);
-            let tracked = RumorAgent::population(k, 0, tracked_ones as usize);
-            let bulk = StratifiedPopulation::single(RumorProtocol::population(
-                (n - k) as u64,
-                0,
-                informed - tracked_ones,
-            ));
-            let mut sim = HybridSimulation::new(tracked, RumorProtocol, channel, bulk, config)
-                .expect("grid parameters are valid");
-            let rounds = sim.run_until(DENSE_SCALING_MAX_ROUNDS, |s| s.census().active() == n);
-            DenseScalingPoint {
-                rounds,
-                fraction_correct: sim.census().fraction_correct(Opinion::One),
-                messages_sent: sim.metrics().messages_sent,
-            }
-        }
-    }
-}
-
-/// **E1-D** — dense-engine rumor spreading at `n = 10⁵`–`10⁶⁺`.
-///
-/// Sweeps [`dense_population_grid`] with 1000 informed agents and `ε = 0.2`
-/// noise over `cfg.trials` trials per size, reporting mean rounds to full
-/// activation (which Theorem 2.17's Stage I analysis predicts to grow as
-/// `Θ(log n)`), the mean fraction of agents left holding the source opinion
-/// and mean message totals.  Called with [`Backend::Agents`] (reachable via
-/// the library API; the `e01` binary routes `--backend agents` to the
-/// classic protocol sweep [`e01_rounds_vs_n`] instead), the per-agent
-/// reference engine runs the same sweep capped at `n = 10⁵` — larger sizes
-/// are impractical there, which is the point of the dense engine.
-#[must_use]
-pub fn e01_dense_scaling(cfg: &ExperimentConfig) -> Table {
-    let epsilon = 0.2;
-    let mut table = Table::new(
-        &format!(
-            "E1-D: rumor spreading at large n (backend = {}, epsilon = 0.2)",
-            cfg.backend
-        ),
-        &[
-            "n",
-            "mean rounds to full activation",
-            "rounds / ln n",
-            "mean fraction holding source bit",
-            "mean messages sent",
-        ],
-    );
-    for (idx, n) in dense_population_grid(cfg).into_iter().enumerate() {
-        if cfg.backend == Backend::Agents && n > 100_000 {
-            continue;
-        }
-        let backend = cfg.backend;
-        let runner = cfg.runner();
-        let trials = runner.run(|trial| {
-            dense_scaling_trial(
-                backend,
-                n,
-                1_000,
-                epsilon,
-                cfg.seed_for(1_300 + idx as u64, trial),
-            )
-        });
-        let rounds = mean(&trials.iter().map(|t| t.rounds as f64).collect::<Vec<_>>());
-        let fraction = mean(
-            &trials
-                .iter()
-                .map(|t| t.fraction_correct)
-                .collect::<Vec<_>>(),
-        );
-        let messages = mean(
-            &trials
-                .iter()
-                .map(|t| t.messages_sent as f64)
-                .collect::<Vec<_>>(),
-        );
-        table.push_row(&[
-            n.to_string(),
-            fmt_float(rounds),
-            fmt_float(rounds / (n as f64).ln()),
-            fmt_float(fraction),
-            fmt_float(messages),
-        ]);
-    }
-    table
-}
-
 /// The population sizes E9 sweeps over its local-clock variants.
 #[must_use]
 pub fn e09_population_grid(cfg: &ExperimentConfig) -> Vec<usize> {
@@ -351,75 +64,9 @@ pub fn e09_population_grid(cfg: &ExperimentConfig) -> Vec<usize> {
     }
 }
 
-/// **E9 (Theorem 3.1)** — the local-clock variants: correctness preserved and
-/// additive overhead versus `ln² n`.
-#[must_use]
-pub fn e09_async_overhead(cfg: &ExperimentConfig) -> Table {
-    let epsilon = 0.3;
-    let ns = e09_population_grid(cfg);
-    let mut table = Table::new(
-        "E9: removing the global clock (Theorem 3.1)",
-        &[
-            "n",
-            "variant",
-            "sync rounds",
-            "total rounds",
-            "overhead rounds",
-            "ln^2 n",
-            "all-correct rate",
-        ],
-    );
-    let mut point = 900;
-    for &n in &ns {
-        let params = Params::practical(n, epsilon).expect("valid parameters");
-        let d = 2 * (n as f64).log2().ceil() as u64;
-        let variants = [
-            (
-                "bounded offsets",
-                AsyncVariant::BoundedOffsets { max_offset: d },
-            ),
-            ("resynchronised", AsyncVariant::Resynchronised),
-        ];
-        for (name, variant) in variants {
-            let protocol = AsyncBroadcastProtocol::new(params.clone(), Opinion::One, variant);
-            let runner = cfg.runner();
-            let outcomes = runner.run(|trial| {
-                protocol
-                    .run_with_seed(cfg.seed_for(point, trial))
-                    .expect("simulation construction cannot fail")
-            });
-            point += 1;
-            let mut success = SuccessRate::new();
-            for o in &outcomes {
-                success.record(o.all_correct);
-            }
-            let first = &outcomes[0];
-            let ln_n = (n as f64).ln();
-            table.push_row(&[
-                n.to_string(),
-                name.to_string(),
-                first.synchronous_rounds.to_string(),
-                first.total_rounds.to_string(),
-                first.overhead_rounds().to_string(),
-                fmt_float(ln_n * ln_n),
-                fmt_float(success.estimate()),
-            ]);
-        }
-    }
-    table
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    fn tiny_config() -> ExperimentConfig {
-        ExperimentConfig {
-            trials: 2,
-            base_seed: 7,
-            ..ExperimentConfig::quick()
-        }
-    }
 
     #[test]
     fn grids_are_larger_in_full_mode() {
@@ -431,66 +78,22 @@ mod tests {
             epsilon_grid(&ExperimentConfig::full()).len()
                 >= epsilon_grid(&ExperimentConfig::quick()).len()
         );
-    }
-
-    #[test]
-    fn e02_table_has_one_row_per_epsilon() {
-        let cfg = tiny_config();
-        let table = e02_rounds_vs_epsilon(&cfg);
-        assert_eq!(table.len(), epsilon_grid(&cfg).len());
-        // The normalised column should be within an order of magnitude across rows.
-        let normalised: Vec<f64> = table
-            .rows()
-            .iter()
-            .map(|r| r[2].parse::<f64>().unwrap())
-            .collect();
-        let max = normalised.iter().cloned().fold(f64::MIN, f64::max);
-        let min = normalised.iter().cloned().fold(f64::MAX, f64::min);
         assert!(
-            max / min < 12.0,
-            "normalised rounds vary too much: {normalised:?}"
+            e03_population_grid(&ExperimentConfig::full()).len()
+                > e03_population_grid(&ExperimentConfig::quick()).len()
+        );
+        assert!(
+            e09_population_grid(&ExperimentConfig::full()).len()
+                > e09_population_grid(&ExperimentConfig::quick()).len()
         );
     }
 
     #[test]
     fn dense_grid_reaches_one_million() {
-        assert!(dense_population_grid(&tiny_config()).contains(&1_000_000));
+        assert!(dense_population_grid(&ExperimentConfig::quick()).contains(&1_000_000));
         assert!(
             dense_population_grid(&ExperimentConfig::full()).len()
                 > dense_population_grid(&ExperimentConfig::quick()).len()
         );
-    }
-
-    #[test]
-    fn e01_dense_covers_the_grid_with_the_dense_backend() {
-        let cfg = tiny_config().with_backend(Backend::Dense);
-        let table = e01_dense_scaling(&cfg);
-        assert_eq!(table.len(), dense_population_grid(&cfg).len());
-        for row in table.rows() {
-            let rounds: f64 = row[1].parse().unwrap();
-            assert!(rounds > 0.0 && rounds < super::DENSE_SCALING_MAX_ROUNDS as f64);
-            let fraction: f64 = row[3].parse().unwrap();
-            assert!((0.0..=1.0).contains(&fraction));
-        }
-    }
-
-    #[test]
-    fn e01_dense_caps_the_agents_backend_sweep() {
-        let cfg = tiny_config();
-        assert_eq!(cfg.backend, Backend::Agents);
-        let table = e01_dense_scaling(&cfg);
-        // Only the 10^5 grid point is practical per-agent.
-        assert_eq!(table.len(), 1);
-        assert_eq!(table.rows()[0][0], "100000");
-    }
-
-    #[test]
-    fn broadcast_point_reports_success_on_easy_instances() {
-        let cfg = tiny_config();
-        let (success, frac, msgs, rounds, stage1) = broadcast_point(&cfg, 0, 300, 0.3);
-        assert_eq!(success.trials(), 2);
-        assert!(frac > 0.9);
-        assert!(msgs > 0.0);
-        assert!(rounds > stage1);
     }
 }

@@ -28,7 +28,8 @@ use baselines::chain_correct_probability;
 use breathe::{InitialSet, Multipliers, Params, Schedule};
 use flip_model::{Backend, DEFAULT_HYBRID_TRACKED};
 use sweeps::{
-    Axis, CellRecord, MetricAggregate, ProtocolRegistry, ScenarioSpec, SweepRunner, SweepSpec,
+    Axis, CellRecord, MetricAggregate, ProtocolRegistry, ReportSpec, ScenarioSpec, SweepRunner,
+    SweepSpec,
 };
 
 use crate::{consensus, scaling, ExperimentConfig};
@@ -61,6 +62,46 @@ pub const BUILTIN_SWEEPS: [&str; 20] = [
     "e13",
 ];
 
+/// The builtin sweeps grouped by experiment family, in presentation order —
+/// the structure behind `sweep list`.  Together the groups cover
+/// [`BUILTIN_SWEEPS`] exactly (pinned by a test below).
+pub const SWEEP_FAMILIES: [(&str, &[&str]); 6] = [
+    (
+        "scaling (E1-E3)",
+        &["e01", "e01-dense", "e01-hybrid", "e02", "e03"],
+    ),
+    (
+        "stage claims (E4-E7)",
+        &["e04", "e05", "e06", "e07a", "e07b"],
+    ),
+    ("consensus (E8)", &["e08", "e08-dense"]),
+    ("comparisons (E9-E12)", &["e09", "e10", "e11", "e12"]),
+    ("ablations (A1-A3)", &["a1", "a2", "a3"]),
+    ("fault injection (E13)", &["e13"]),
+];
+
+/// The name of the composed full-report spec accepted by `sweep run` and
+/// built by [`report_spec`].
+pub const REPORT_SPEC_NAME: &str = "report";
+
+/// The composed full report: every member of
+/// [`crate::report::REPORT_MEMBERS`] (E1–E12) as one [`ReportSpec`], run and
+/// resumed as a single unit by the `full_report` binary and
+/// `sweep run report`.
+///
+/// # Panics
+///
+/// Panics if a report member is not a builtin sweep — a bug
+/// (`report::tests` pins the membership).
+#[must_use]
+pub fn report_spec(cfg: &ExperimentConfig) -> ReportSpec {
+    let members = crate::report::REPORT_MEMBERS
+        .iter()
+        .map(|name| builtin(name, cfg).expect("report members are builtin sweeps"))
+        .collect();
+    ReportSpec::new(REPORT_SPEC_NAME, members).expect("builtin member names are valid and unique")
+}
+
 /// Builds the named builtin sweep for the given configuration; `None` for
 /// unknown names.
 #[must_use]
@@ -88,6 +129,43 @@ pub fn builtin(name: &str, cfg: &ExperimentConfig) -> Option<SweepSpec> {
         "e13" => Some(e13_sweep(cfg)),
         _ => None,
     }
+}
+
+/// The closest builtin name (including the composed [`REPORT_SPEC_NAME`])
+/// within a small edit distance of `name` — the "did you mean" suggestion
+/// behind the `sweep` CLI's unknown-spec errors.  `None` when nothing is
+/// plausibly close, so a garbled path never draws a misleading suggestion.
+#[must_use]
+pub fn nearest_builtin(name: &str) -> Option<&'static str> {
+    let candidates = BUILTIN_SWEEPS.iter().copied().chain([REPORT_SPEC_NAME]);
+    candidates
+        .map(|candidate| (edit_distance(name, candidate), candidate))
+        .filter(|(distance, candidate)| {
+            // A prefix of a builtin is always a plausible typo (`e0`, `rep`);
+            // otherwise the edit distance must be small relative to the
+            // name's length, so `nonexistent.json` suggests nothing.
+            (!name.is_empty() && candidate.starts_with(name))
+                || *distance <= 2.min(name.len().saturating_sub(1))
+        })
+        .min_by_key(|(distance, _)| *distance)
+        .map(|(_, candidate)| candidate)
+}
+
+/// Levenshtein distance, small-string implementation (two rolling rows).
+fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut current = vec![0; b.len() + 1];
+    for (i, ca) in a.iter().enumerate() {
+        current[0] = i + 1;
+        for (j, cb) in b.iter().enumerate() {
+            let substitute = prev[j] + usize::from(ca != cb);
+            current[j + 1] = substitute.min(prev[j + 1] + 1).min(current[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut current);
+    }
+    prev[b.len()]
 }
 
 /// The builtin sweeps that run experiment family `binary` on `backend`'s
@@ -302,7 +380,7 @@ pub fn e01_sweep(cfg: &ExperimentConfig) -> SweepSpec {
 }
 
 /// Runs the migrated E1 sweep and renders the legacy table (digit-identical
-/// to [`scaling::e01_rounds_vs_n`]).
+/// to the retired `scaling::e01_rounds_vs_n`).
 #[must_use]
 pub fn e01_table(cfg: &ExperimentConfig) -> Table {
     render_e01(&run_in_memory(&e01_sweep(cfg), cfg))
@@ -398,7 +476,7 @@ pub fn e01_hybrid_sweep(cfg: &ExperimentConfig) -> SweepSpec {
 }
 
 /// Runs the migrated E1-D sweep and renders the legacy table
-/// (digit-identical to [`scaling::e01_dense_scaling`] on the dense backend).
+/// (digit-identical to the retired `scaling::e01_dense_scaling` on the dense backend).
 #[must_use]
 pub fn e01_dense_table(cfg: &ExperimentConfig) -> Table {
     render_e01_dense(&run_in_memory(&e01_dense_sweep(cfg), cfg))
@@ -464,7 +542,7 @@ pub fn e02_sweep(cfg: &ExperimentConfig) -> SweepSpec {
 }
 
 /// Runs the migrated E2 sweep and renders the legacy table (digit-identical
-/// to [`scaling::e02_rounds_vs_epsilon`]).
+/// to the retired `scaling::e02_rounds_vs_epsilon`).
 #[must_use]
 pub fn e02_table(cfg: &ExperimentConfig) -> Table {
     render_e02(&run_in_memory(&e02_sweep(cfg), cfg))
@@ -533,7 +611,7 @@ pub fn e03_sweep(cfg: &ExperimentConfig) -> SweepSpec {
 }
 
 /// Runs the migrated E3 sweep and renders the legacy table (digit-identical
-/// to [`scaling::e03_message_complexity`]).
+/// to the retired `scaling::e03_message_complexity`).
 #[must_use]
 pub fn e03_table(cfg: &ExperimentConfig) -> Table {
     render_e03(&run_in_memory(&e03_sweep(cfg), cfg))
@@ -986,7 +1064,7 @@ pub fn e08_sweep(cfg: &ExperimentConfig) -> SweepSpec {
 }
 
 /// Runs the migrated E8 sweep and renders the legacy table (digit-identical
-/// to [`consensus::e08_majority_consensus`]).
+/// to the retired `consensus::e08_majority_consensus`).
 #[must_use]
 pub fn e08_table(cfg: &ExperimentConfig) -> Table {
     render_e08(&run_in_memory(&e08_sweep(cfg), cfg))
@@ -1058,7 +1136,7 @@ pub fn e08_dense_sweep(cfg: &ExperimentConfig) -> SweepSpec {
 }
 
 /// Runs the migrated E8-D sweep and renders the legacy table
-/// (digit-identical to [`consensus::e08_dense_majority`]).
+/// (digit-identical to the retired `consensus::e08_dense_majority`).
 #[must_use]
 pub fn e08_dense_table(cfg: &ExperimentConfig) -> Table {
     render_e08_dense(&run_in_memory(&e08_dense_sweep(cfg), cfg))
@@ -1488,7 +1566,7 @@ pub fn a2_sweep(cfg: &ExperimentConfig) -> SweepSpec {
 }
 
 /// Runs the migrated A2 sweep and renders the legacy table (digit-identical
-/// to [`crate::ablations::a2_gamma_requirement`]).
+/// to the retired `ablations::a2_gamma_requirement`).
 #[must_use]
 pub fn a2_table(cfg: &ExperimentConfig) -> Table {
     render_a2(&run_in_memory(&a2_sweep(cfg), cfg))
@@ -1895,5 +1973,49 @@ mod tests {
         let tables = backend_tables("e01", &cfg);
         assert_eq!(tables.len(), 1);
         assert!(tables[0].to_markdown().contains("hybrid:3"));
+    }
+
+    #[test]
+    fn sweep_families_partition_the_builtin_list() {
+        let grouped: Vec<&str> = SWEEP_FAMILIES
+            .iter()
+            .flat_map(|(_, names)| names.iter().copied())
+            .collect();
+        assert_eq!(
+            grouped,
+            BUILTIN_SWEEPS.to_vec(),
+            "families must cover every builtin sweep, in order, exactly once"
+        );
+    }
+
+    #[test]
+    fn report_spec_composes_the_report_members() {
+        let cfg = tiny();
+        let spec = report_spec(&cfg);
+        assert_eq!(spec.name, REPORT_SPEC_NAME);
+        let names: Vec<&str> = spec.members.iter().map(|m| m.name.as_str()).collect();
+        assert_eq!(names, crate::report::REPORT_MEMBERS.to_vec());
+        for member in &spec.members {
+            assert_eq!(
+                Some(member),
+                builtin(&member.name, &cfg).as_ref(),
+                "composed member `{}` must equal its standalone builtin",
+                member.name
+            );
+        }
+        // The hash is content-addressed: a config change moves it.
+        let full = report_spec(&ExperimentConfig::full());
+        assert_ne!(spec.hash_hex(), full.hash_hex());
+    }
+
+    #[test]
+    fn nearest_builtin_suggests_plausible_typos_only() {
+        assert_eq!(nearest_builtin("e0"), Some("e01"));
+        assert_eq!(nearest_builtin("e08-dens"), Some("e08-dense"));
+        assert_eq!(nearest_builtin("repor"), Some("report"));
+        assert_eq!(nearest_builtin("a2"), Some("a2"));
+        assert_eq!(nearest_builtin("ablations"), None);
+        assert_eq!(nearest_builtin("/nonexistent/spec.json"), None);
+        assert_eq!(nearest_builtin(""), None);
     }
 }

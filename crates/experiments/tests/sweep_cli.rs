@@ -426,3 +426,113 @@ fn usage_errors_exit_nonzero_with_guidance() {
     let help = sweep_ok(&["--help"]);
     assert!(help.contains("sweep run"));
 }
+
+#[test]
+fn unknown_sweep_names_suggest_the_nearest_builtin() {
+    let root = scratch("suggest");
+    let dir = root.join("store");
+    let dir = dir.to_str().unwrap();
+
+    // A near-miss spec path is almost always a typo for a builtin name.
+    let run = sweep(&["run", "e0", "--out", dir]);
+    assert!(!run.status.success());
+    let stderr = String::from_utf8_lossy(&run.stderr);
+    assert!(
+        stderr.contains("did you mean the builtin sweep `e01`"),
+        "run e0 must suggest e01, got: {stderr}"
+    );
+    assert!(!Path::new(dir).exists(), "refused runs must not touch disk");
+
+    // A near-miss of the composed report points at `run report`.
+    let report = sweep(&["run", "repor", "--out", dir]);
+    let stderr = String::from_utf8_lossy(&report.stderr);
+    assert!(
+        stderr.contains("did you mean the composed report"),
+        "run repor must suggest the composed report, got: {stderr}"
+    );
+
+    // `gen` gives the same courtesy.
+    let gen = sweep(&["gen", "e08-dens"]);
+    assert!(!gen.status.success());
+    let stderr = String::from_utf8_lossy(&gen.stderr);
+    assert!(
+        stderr.contains("did you mean `e08-dense`"),
+        "gen e08-dens must suggest e08-dense, got: {stderr}"
+    );
+
+    // A name nothing like a builtin gets the plain error, no wild guess.
+    let far = sweep(&["run", "/nonexistent/spec.json", "--out", dir]);
+    let stderr = String::from_utf8_lossy(&far.stderr);
+    assert!(!stderr.contains("did you mean"), "no guess for {stderr}");
+}
+
+#[test]
+fn list_groups_builtins_by_family_and_marks_composed_specs() {
+    let listing = sweep_ok(&["list"]);
+    for family in [
+        "scaling (E1-E3)",
+        "stage claims (E4-E7)",
+        "consensus (E8)",
+        "comparisons (E9-E12)",
+        "ablations (A1-A3)",
+        "fault injection (E13)",
+    ] {
+        assert!(listing.contains(family), "list must group by {family}");
+    }
+    assert!(listing.contains("composed specs"), "{listing}");
+    assert!(listing.contains("members=13"), "{listing}");
+    // The composed entry precedes the protocol listing, after the families.
+    let report_at = listing.find("composed specs").unwrap();
+    let protocols_at = listing.find("registered protocols").unwrap();
+    assert!(report_at < protocols_at);
+}
+
+#[test]
+fn composed_report_runs_resume_and_refuse_flat_export() {
+    let root = scratch("composed");
+    let dir = root.join("report");
+    let dir = dir.to_str().unwrap();
+
+    // `gen report` is meaningless — the composition is not one spec.
+    let gen = sweep(&["gen", "report"]);
+    assert!(!gen.status.success());
+    assert!(String::from_utf8_lossy(&gen.stderr).contains("sweep run report"));
+
+    // `run report` without --out must refuse before touching disk.
+    let no_out = sweep(&["run", "report", "--trials", "1"]);
+    assert!(!no_out.status.success());
+    assert!(String::from_utf8_lossy(&no_out.stderr).contains("--out"));
+
+    // A budgeted composed run persists a cut and reports it as such.
+    let cut = sweep_ok(&[
+        "run",
+        "report",
+        "--out",
+        dir,
+        "--trials",
+        "1",
+        "--max-cells",
+        "2",
+    ]);
+    assert!(cut.contains("13 members"), "{cut}");
+    assert!(cut.contains("2 executed"), "{cut}");
+    assert!(cut.contains("incomplete"), "{cut}");
+    assert!(Path::new(dir).join("report.json").is_file());
+
+    // The composed store resumes through the generic `resume`, budget again.
+    let resumed = sweep_ok(&["resume", dir, "--max-cells", "1"]);
+    assert!(resumed.contains("2 already persisted"), "{resumed}");
+    assert!(resumed.contains("1 executed"), "{resumed}");
+
+    // `report` renders per-member status for a composed store.
+    let status = sweep_ok(&["report", dir]);
+    assert!(status.contains("member `e01`"), "{status}");
+    assert!(status.contains("member `e12`"), "{status}");
+
+    // Flat export is refused with a pointer at the member stores.
+    let export = sweep(&["export", dir, "--csv"]);
+    assert!(!export.status.success());
+    let stderr = String::from_utf8_lossy(&export.stderr);
+    assert!(stderr.contains("composed report store"), "{stderr}");
+    assert!(stderr.contains("full_report --store"), "{stderr}");
+}

@@ -20,6 +20,10 @@
 //! 4. **Aggregate & export** — metrics stream into online moments and P²
 //!    quantile sketches ([`analysis::streaming`]); exports walk the grid in
 //!    spec order as CSV (summary) or JSON (lossless, round-trippable).
+//! 5. **Compose** — a [`ReportSpec`] sequences member sweeps into one
+//!    [`ReportStore`] (shared manifest, per-member sub-stores, one
+//!    `max_cells` budget) so a whole experiment report is a single
+//!    resumable run ([`ReportRunner`]).
 //!
 //! The `sweep` binary (crate `experiments`) is the command-line face:
 //! `sweep run spec.json --out DIR`, `sweep resume DIR`,
@@ -59,6 +63,7 @@
 #![warn(missing_docs)]
 
 pub mod aggregate;
+pub mod compose;
 pub mod error;
 pub mod export;
 pub mod json;
@@ -70,6 +75,10 @@ pub mod spec;
 pub mod store;
 
 pub use aggregate::{CellRecord, MetricAggregate, TRACKED_QUANTILES};
+pub use compose::{
+    is_report_store, MemberOutcome, ReportOutcome, ReportRunner, ReportSpec, ReportStore,
+    REPORT_FORMAT,
+};
 pub use error::SweepError;
 pub use export::{export_csv, export_json, ordered_cells, parse_export_json};
 pub use observe::{CellTelemetry, ProgressReporter, TelemetryHub, TrialContext};

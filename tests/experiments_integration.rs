@@ -2,7 +2,7 @@
 //! generated at a tiny scale and has the expected shape, and the headline
 //! qualitative conclusions of the paper hold in the generated numbers.
 
-use experiments::{comparisons, consensus, scaling, stage_claims, ExperimentConfig};
+use experiments::{specs, ExperimentConfig};
 
 fn tiny() -> ExperimentConfig {
     ExperimentConfig {
@@ -14,7 +14,7 @@ fn tiny() -> ExperimentConfig {
 
 #[test]
 fn e01_success_rates_are_high_everywhere() {
-    let table = scaling::e01_rounds_vs_n(&tiny());
+    let table = specs::e01_table(&tiny());
     // Last row is the fit; the others carry an all-correct rate in column 4.
     for row in &table.rows()[..table.len() - 1] {
         let fraction: f64 = row[3].parse().unwrap();
@@ -25,7 +25,7 @@ fn e01_success_rates_are_high_everywhere() {
 
 #[test]
 fn e03_normalised_message_cost_is_bounded() {
-    let table = scaling::e03_message_complexity(&tiny());
+    let table = specs::e03_table(&tiny());
     for row in table.rows() {
         let normalised: f64 = row[3].parse().unwrap();
         assert!(
@@ -37,9 +37,7 @@ fn e03_normalised_message_cost_is_bounded() {
 
 #[test]
 fn e07_sampling_table_shows_the_boost_growing_with_delta() {
-    let tables = stage_claims::e07_stage2_boost(&tiny());
-    assert_eq!(tables.len(), 2);
-    let sampling = &tables[0];
+    let sampling = &specs::e07a_table(&tiny());
     let measured: Vec<f64> = sampling
         .rows()
         .iter()
@@ -52,7 +50,7 @@ fn e07_sampling_table_shows_the_boost_growing_with_delta() {
 
 #[test]
 fn e08_largest_most_biased_committee_reaches_near_consensus() {
-    let table = consensus::e08_majority_consensus(&tiny());
+    let table = specs::e08_table(&tiny());
     let last = table.rows().last().unwrap();
     let fraction: f64 = last[3].parse().unwrap();
     assert!(fraction > 0.8, "row = {last:?}");
@@ -60,7 +58,7 @@ fn e08_largest_most_biased_committee_reaches_near_consensus() {
 
 #[test]
 fn e10_breathe_rows_dominate_the_failing_baselines() {
-    let table = comparisons::e10_baseline_comparison(&tiny());
+    let table = specs::e10_table(&tiny());
     // Rows come in blocks of six per epsilon: breathe first, then baselines.
     let rows = table.rows();
     assert_eq!(rows.len() % 6, 0);
@@ -75,7 +73,7 @@ fn e10_breathe_rows_dominate_the_failing_baselines() {
 
 #[test]
 fn e12_sample_counts_scale_like_inverse_epsilon_squared() {
-    let table = comparisons::e12_two_party_lower_bound(&tiny());
+    let table = specs::e12_table(&tiny());
     let normalised: Vec<f64> = table.rows().iter().map(|r| r[2].parse().unwrap()).collect();
     let max = normalised.iter().cloned().fold(f64::MIN, f64::max);
     let min = normalised.iter().cloned().fold(f64::MAX, f64::min);

@@ -1,6 +1,8 @@
 //! Smoke tests: every experiment entrypoint behind the `e01`–`e12`,
 //! `ablations` and `full_report` binaries runs end-to-end at a tiny scale
-//! and produces a well-formed, non-empty table.
+//! and produces a well-formed, non-empty table.  Every entrypoint is a
+//! registry-backed sweep spec (`experiments::specs`); the binaries are thin
+//! wrappers over the same functions exercised here.
 //!
 //! The point is rot prevention, not statistics — a binary whose inner
 //! function panics, loops or returns an empty table fails here within
@@ -47,42 +49,40 @@ fn assert_well_formed(table: &Table) {
 
 #[test]
 fn e01_rounds_vs_n_smoke() {
-    assert_well_formed(&experiments::scaling::e01_rounds_vs_n(&smoke_config()));
+    assert_well_formed(&experiments::specs::e01_table(&smoke_config()));
 }
 
 #[test]
 fn e02_rounds_vs_epsilon_smoke() {
-    assert_well_formed(&experiments::scaling::e02_rounds_vs_epsilon(&smoke_config()));
+    assert_well_formed(&experiments::specs::e02_table(&smoke_config()));
 }
 
 #[test]
 fn e03_message_complexity_smoke() {
-    assert_well_formed(&experiments::scaling::e03_message_complexity(
-        &smoke_config(),
-    ));
+    assert_well_formed(&experiments::specs::e03_table(&smoke_config()));
 }
 
 #[test]
 fn e04_phase0_seeding_smoke() {
-    assert_well_formed(&experiments::stage_claims::e04_phase0_seeding(
-        &smoke_config(),
-    ));
+    assert_well_formed(&experiments::specs::e04_table(&smoke_config()));
 }
 
 #[test]
 fn e05_layer_growth_smoke() {
-    assert_well_formed(&experiments::stage_claims::e05_layer_growth(&smoke_config()));
+    assert_well_formed(&experiments::specs::e05_table(&smoke_config()));
 }
 
 #[test]
 fn e06_bias_decay_smoke() {
-    assert_well_formed(&experiments::stage_claims::e06_bias_decay(&smoke_config()));
+    assert_well_formed(&experiments::specs::e06_table(&smoke_config()));
 }
 
 #[test]
 fn e07_stage2_boost_smoke() {
-    let tables = experiments::stage_claims::e07_stage2_boost(&smoke_config());
-    assert!(!tables.is_empty(), "E7 produced no tables");
+    let tables = [
+        experiments::specs::e07a_table(&smoke_config()),
+        experiments::specs::e07b_table(&smoke_config()),
+    ];
     for table in &tables {
         assert_well_formed(table);
     }
@@ -90,41 +90,36 @@ fn e07_stage2_boost_smoke() {
 
 #[test]
 fn e08_majority_consensus_smoke() {
-    assert_well_formed(&experiments::consensus::e08_majority_consensus(
-        &smoke_config(),
-    ));
+    assert_well_formed(&experiments::specs::e08_table(&smoke_config()));
 }
 
 #[test]
 fn e09_async_overhead_smoke() {
-    assert_well_formed(&experiments::scaling::e09_async_overhead(&smoke_config()));
+    assert_well_formed(&experiments::specs::e09_table(&smoke_config()));
 }
 
 #[test]
 fn e10_baseline_comparison_smoke() {
-    assert_well_formed(&experiments::comparisons::e10_baseline_comparison(
-        &smoke_config(),
-    ));
+    assert_well_formed(&experiments::specs::e10_table(&smoke_config()));
 }
 
 #[test]
 fn e11_path_deterioration_smoke() {
-    assert_well_formed(&experiments::comparisons::e11_path_deterioration(
-        &smoke_config(),
-    ));
+    assert_well_formed(&experiments::specs::e11_table(&smoke_config()));
 }
 
 #[test]
 fn e12_two_party_lower_bound_smoke() {
-    assert_well_formed(&experiments::comparisons::e12_two_party_lower_bound(
-        &smoke_config(),
-    ));
+    assert_well_formed(&experiments::specs::e12_table(&smoke_config()));
 }
 
 #[test]
 fn ablations_smoke() {
-    let tables = experiments::ablations::all(&smoke_config());
-    assert_eq!(tables.len(), 3, "expected ablations A1, A2 and A3");
+    let tables = [
+        experiments::specs::a1_table(&smoke_config()),
+        experiments::specs::a2_table(&smoke_config()),
+        experiments::specs::a3_table(&smoke_config()),
+    ];
     for table in &tables {
         assert_well_formed(table);
     }
@@ -163,7 +158,7 @@ fn experiments_are_deterministic_for_a_fixed_seed() {
     // Two runs of the same entrypoint with the same config must be
     // byte-identical; this is the property that makes the e01–e12 binaries
     // reproducible report generators rather than one-off samples.
-    let first = experiments::scaling::e01_rounds_vs_n(&smoke_config());
-    let second = experiments::scaling::e01_rounds_vs_n(&smoke_config());
+    let first = experiments::specs::e01_table(&smoke_config());
+    let second = experiments::specs::e01_table(&smoke_config());
     assert_eq!(first.to_csv(), second.to_csv());
 }
